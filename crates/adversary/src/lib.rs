@@ -1,0 +1,17 @@
+//! # dtrack-adversary — the paper's lower-bound constructions
+//!
+//! The matching lower bounds (Theorems 2.4 and 3.2) are constructive:
+//! Lemma 2.2 builds an input sequence under which the heavy-hitter set
+//! changes Ω(log n / ε) times, Lemma 2.3 an adversary that forces Ω(k)
+//! messages per change from *any* deterministic protocol, and §3.2 the
+//! analogous two-value construction for the median. This crate implements
+//! all three so the experiment harness can demonstrate the Ω(k/ε · log n)
+//! bound empirically against our own protocol.
+
+pub mod hh_lb;
+pub mod median_lb;
+pub mod threshold;
+
+pub use hh_lb::{HhLowerBound, RiseEvent};
+pub use median_lb::MedianLowerBound;
+pub use threshold::ThresholdAdversary;

@@ -1,0 +1,167 @@
+//! §3.2 — the input sequence under which the median changes
+//! Ω(log n / ε) times.
+//!
+//! The paper's construction uses a two-value universe {0, 1}; at the start
+//! of round `i` the lighter value has frequency `(0.5 − 2ε)·m_i` and the
+//! heavier `(0.5 + 2ε)·m_i`. Inserting `4ε/(0.5 − 2ε) · m_i` copies of the
+//! lighter value swaps the two sides and moves the median across the
+//! boundary; there are Ω(log n / ε) rounds.
+//!
+//! Because our protocols assume (near-)distinct items via symbolic
+//! perturbation, the construction uses two *clusters* of distinct values —
+//! `[0, 2^32)` and `[2^32, 2^33)` — rather than two literal values; the
+//! median flips across the cluster boundary exactly as in the paper.
+
+/// The §3.2 construction.
+#[derive(Debug, Clone)]
+pub struct MedianLowerBound {
+    /// The approximation error ε.
+    pub epsilon: f64,
+    /// The generated items.
+    pub items: Vec<u64>,
+    /// Number of rounds generated.
+    pub rounds: u64,
+}
+
+/// Boundary between the low and high clusters.
+pub const CLUSTER_BOUNDARY: u64 = 1 << 32;
+
+impl MedianLowerBound {
+    /// Build the construction, generating rounds until `n_target` items.
+    ///
+    /// # Panics
+    /// Panics unless `ε < 1/8` (the construction needs 0.5 − 2ε bounded
+    /// away from both 0 and 0.5).
+    pub fn construct(epsilon: f64, n_target: u64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon < 0.125,
+            "construction needs 0 < ε < 1/8, got {epsilon}"
+        );
+        // Unique values per cluster, assigned sequentially.
+        let mut next_low = 0u64;
+        let mut next_high = CLUSTER_BOUNDARY;
+        let mut low_val = || {
+            let v = next_low;
+            next_low += 1;
+            v
+        };
+        let mut high_val = || {
+            let v = next_high;
+            next_high += 1;
+            v
+        };
+
+        // Initial state, round 0: low cluster is the light one at
+        // (0.5 − 2ε)·m0, high at (0.5 + 2ε)·m0.
+        let m0 = (64.0 / epsilon).ceil() as u64;
+        let light0 = ((0.5 - 2.0 * epsilon) * m0 as f64).round() as u64;
+        let heavy0 = m0 - light0;
+        let mut items = Vec::new();
+        for _ in 0..light0 {
+            items.push(low_val());
+        }
+        for _ in 0..heavy0 {
+            items.push(high_val());
+        }
+        let mut m_i = items.len() as f64;
+        let mut light_is_low = true;
+        let mut rounds = 0u64;
+        while (items.len() as u64) < n_target {
+            let copies = ((4.0 * epsilon / (0.5 - 2.0 * epsilon)) * m_i).ceil() as u64;
+            if copies == 0 {
+                break;
+            }
+            for _ in 0..copies {
+                items.push(if light_is_low { low_val() } else { high_val() });
+            }
+            m_i += copies as f64;
+            light_is_low = !light_is_low;
+            rounds += 1;
+        }
+        MedianLowerBound {
+            epsilon,
+            items,
+            rounds,
+        }
+    }
+
+    /// Count, by exact simulation, how many times the true median crosses
+    /// the cluster boundary.
+    pub fn count_median_flips(&self) -> u64 {
+        let mut low = 0u64;
+        let mut high = 0u64;
+        let mut flips = 0u64;
+        let mut median_low: Option<bool> = None;
+        for &x in &self.items {
+            if x < CLUSTER_BOUNDARY {
+                low += 1;
+            } else {
+                high += 1;
+            }
+            let is_low = low > high; // median side (strict majority)
+            if low != high {
+                if let Some(prev) = median_low {
+                    if prev != is_low {
+                        flips += 1;
+                    }
+                }
+                median_low = Some(is_low);
+            }
+        }
+        flips
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_flips_every_round() {
+        let lb = MedianLowerBound::construct(0.05, 500_000);
+        assert!(lb.rounds > 5);
+        let flips = lb.count_median_flips();
+        // One flip per round, up to rounding at the boundary.
+        assert!(
+            flips as f64 >= lb.rounds as f64 * 0.8,
+            "{flips} flips for {} rounds",
+            lb.rounds
+        );
+    }
+
+    #[test]
+    fn flips_scale_like_log_n() {
+        let small = MedianLowerBound::construct(0.05, 50_000).count_median_flips();
+        let large = MedianLowerBound::construct(0.05, 5_000_000).count_median_flips();
+        let ratio = large as f64 / small as f64;
+        assert!(
+            (1.2..6.0).contains(&ratio),
+            "flip growth {ratio} not log-like ({small} -> {large})"
+        );
+    }
+
+    #[test]
+    fn smaller_epsilon_more_flips() {
+        let loose = MedianLowerBound::construct(0.1, 1_000_000).count_median_flips();
+        let tight = MedianLowerBound::construct(0.02, 1_000_000).count_median_flips();
+        assert!(
+            tight > loose * 2,
+            "1/ε scaling violated: {loose} vs {tight}"
+        );
+    }
+
+    #[test]
+    fn items_are_distinct() {
+        let lb = MedianLowerBound::construct(0.1, 10_000);
+        let mut sorted = lb.items.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), lb.items.len(), "values must be distinct");
+    }
+
+    #[test]
+    #[should_panic(expected = "construction needs")]
+    fn epsilon_bound_enforced() {
+        MedianLowerBound::construct(0.2, 1000);
+    }
+}

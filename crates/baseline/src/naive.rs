@@ -1,0 +1,364 @@
+//! Naive baselines: forward-everything and coordinator-driven polling.
+
+use dtrack_sim::{Coordinator, MessageSize, Outbox, Site, SiteId};
+use dtrack_sketch::{EquiDepthSummary, ExactOrdered, MergedSummary, OrderStore};
+
+// ---------------------------------------------------------------------
+// Forward-all
+// ---------------------------------------------------------------------
+
+/// Upstream message: the raw item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FwdItem(pub u64);
+
+impl MessageSize for FwdItem {
+    fn size_words(&self) -> u64 {
+        2
+    }
+    fn kind(&self) -> &'static str {
+        "fwd/item"
+    }
+}
+
+/// Forward-all sends nothing downstream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FwdDown {}
+
+impl MessageSize for FwdDown {
+    fn size_words(&self) -> u64 {
+        match *self {}
+    }
+    fn kind(&self) -> &'static str {
+        match *self {}
+    }
+}
+
+/// A site that forwards every arrival — exact tracking at cost n words.
+///
+/// The paper: "we assume that n is sufficiently large (compared with k and
+/// 1/ε); if n is too small, a naive solution that transmits every arrival
+/// to the coordinator would be the best." Experiment E14 locates that
+/// crossover empirically.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ForwardAllSite;
+
+impl Site for ForwardAllSite {
+    type Item = u64;
+    type Up = FwdItem;
+    type Down = FwdDown;
+
+    fn on_item(&mut self, item: u64, out: &mut Vec<FwdItem>) {
+        out.push(FwdItem(item));
+    }
+
+    fn on_message(&mut self, msg: &FwdDown, _out: &mut Vec<FwdItem>) {
+        match *msg {}
+    }
+}
+
+/// Coordinator with the exact global multiset.
+#[derive(Debug, Clone, Default)]
+pub struct ForwardAllCoordinator {
+    store: ExactOrdered,
+}
+
+impl ForwardAllCoordinator {
+    /// Fresh coordinator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Exact stream size.
+    pub fn total(&self) -> u64 {
+        self.store.len()
+    }
+
+    /// Exact `rank_lt(x)`.
+    pub fn rank_lt(&self, x: u64) -> u64 {
+        self.store.rank_lt(x)
+    }
+
+    /// Exact φ-quantile.
+    pub fn quantile(&self, phi: f64) -> Option<u64> {
+        let n = self.store.len();
+        if n == 0 {
+            return None;
+        }
+        let target = ((phi * n as f64).ceil() as u64).clamp(1, n);
+        self.store.select(target - 1)
+    }
+}
+
+impl Coordinator for ForwardAllCoordinator {
+    type Up = FwdItem;
+    type Down = FwdDown;
+
+    fn on_message(&mut self, _from: SiteId, msg: FwdItem, _out: &mut Outbox<FwdDown>) {
+        self.store.insert(msg.0);
+    }
+}
+
+/// Convenience: build a forward-all cluster of `k` sites.
+pub fn forward_all_cluster(
+    k: u32,
+) -> Result<dtrack_sim::Cluster<ForwardAllSite, ForwardAllCoordinator>, dtrack_sim::SimError> {
+    let sites = (0..k).map(|_| ForwardAllSite).collect();
+    dtrack_sim::Cluster::new(sites, ForwardAllCoordinator::new())
+}
+
+// ---------------------------------------------------------------------
+// Periodic polling
+// ---------------------------------------------------------------------
+
+/// Parameters of the polling baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct PollingConfig {
+    /// Number of sites k (>= 2).
+    pub k: u32,
+    /// Approximation error ε ∈ (0, 0.5].
+    pub epsilon: f64,
+}
+
+impl PollingConfig {
+    /// Validated configuration.
+    pub fn new(k: u32, epsilon: f64) -> Result<Self, String> {
+        if k < 2 {
+            return Err(format!("need at least 2 sites, got {k}"));
+        }
+        if !(epsilon > 0.0 && epsilon <= 0.5) {
+            return Err(format!("epsilon must be in (0, 0.5], got {epsilon}"));
+        }
+        Ok(PollingConfig { k, epsilon })
+    }
+}
+
+/// Upstream messages of the polling baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PollUp {
+    /// Counter report: local count grew by `delta`.
+    CountDelta(u64),
+    /// Reply to a poll: a summary of the whole local stream.
+    Summary(EquiDepthSummary),
+}
+
+impl MessageSize for PollUp {
+    fn size_words(&self) -> u64 {
+        match self {
+            PollUp::CountDelta(_) => 1,
+            PollUp::Summary(s) => s.wire_words(),
+        }
+    }
+    fn kind(&self) -> &'static str {
+        match self {
+            PollUp::CountDelta(_) => "poll/count-delta",
+            PollUp::Summary(_) => "poll/summary",
+        }
+    }
+}
+
+/// Downstream message: a poll request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PollRequest;
+
+impl MessageSize for PollRequest {
+    fn size_words(&self) -> u64 {
+        1
+    }
+    fn kind(&self) -> &'static str {
+        "poll/request"
+    }
+}
+
+/// A polling-baseline site: counter reports plus poll replies.
+#[derive(Debug, Clone)]
+pub struct PollingSite<S = ExactOrdered> {
+    config: PollingConfig,
+    store: S,
+    reported: u64,
+}
+
+impl PollingSite<ExactOrdered> {
+    /// Site with exact local state.
+    pub fn exact(config: PollingConfig) -> Self {
+        PollingSite {
+            config,
+            store: ExactOrdered::new(),
+            reported: 0,
+        }
+    }
+}
+
+impl<S: OrderStore> Site for PollingSite<S> {
+    type Item = u64;
+    type Up = PollUp;
+    type Down = PollRequest;
+
+    fn on_item(&mut self, item: u64, out: &mut Vec<PollUp>) {
+        self.store.insert(item);
+        let n = self.store.total();
+        let threshold =
+            ((self.reported as f64) * (1.0 + self.config.epsilon / 2.0)).floor() as u64;
+        if self.reported == 0 || n > threshold.max(self.reported) {
+            out.push(PollUp::CountDelta(n - self.reported));
+            self.reported = n;
+        }
+    }
+
+    fn on_message(&mut self, _msg: &PollRequest, out: &mut Vec<PollUp>) {
+        let n = self.store.total();
+        let step = ((self.config.epsilon * n as f64 / 4.0).floor() as u64).max(1);
+        out.push(PollUp::Summary(self.store.summary(step)));
+    }
+}
+
+/// The polling coordinator: re-collects all summaries every (1+ε) growth.
+#[derive(Debug, Clone)]
+pub struct PollingCoordinator {
+    config: PollingConfig,
+    n_estimate: u64,
+    last_polled_at: u64,
+    latest: Vec<Option<EquiDepthSummary>>,
+    polls: u64,
+}
+
+impl PollingCoordinator {
+    /// Fresh coordinator.
+    pub fn new(config: PollingConfig) -> Self {
+        PollingCoordinator {
+            config,
+            n_estimate: 0,
+            last_polled_at: 0,
+            latest: (0..config.k).map(|_| None).collect(),
+            polls: 0,
+        }
+    }
+
+    /// Number of full polls performed.
+    pub fn polls(&self) -> u64 {
+        self.polls
+    }
+
+    fn merged(&self) -> MergedSummary {
+        MergedSummary::new(self.latest.iter().flatten().cloned().collect())
+    }
+
+    /// An ε-approximate φ-quantile from the last poll.
+    pub fn quantile(&self, phi: f64) -> Option<u64> {
+        let m = self.merged();
+        let n = m.total();
+        if n == 0 {
+            return None;
+        }
+        m.select((phi * n as f64).round() as u64)
+    }
+
+    /// Rank estimate from the last poll.
+    pub fn rank_lt(&self, x: u64) -> u64 {
+        self.merged().rank_estimate(x)
+    }
+}
+
+impl Coordinator for PollingCoordinator {
+    type Up = PollUp;
+    type Down = PollRequest;
+
+    fn on_message(&mut self, from: SiteId, msg: PollUp, out: &mut Outbox<PollRequest>) {
+        match msg {
+            PollUp::CountDelta(d) => {
+                self.n_estimate += d;
+                let due = (self.last_polled_at as f64) * (1.0 + self.config.epsilon);
+                if self.last_polled_at == 0 || self.n_estimate as f64 > due {
+                    self.last_polled_at = self.n_estimate;
+                    self.polls += 1;
+                    out.broadcast(PollRequest);
+                }
+            }
+            PollUp::Summary(s) => {
+                if let Some(slot) = self.latest.get_mut(from.index()) {
+                    *slot = Some(s);
+                }
+            }
+        }
+    }
+}
+
+/// Convenience: build a polling cluster.
+pub fn polling_cluster(
+    config: PollingConfig,
+) -> Result<dtrack_sim::Cluster<PollingSite, PollingCoordinator>, dtrack_sim::SimError> {
+    let sites = (0..config.k).map(|_| PollingSite::exact(config)).collect();
+    dtrack_sim::Cluster::new(sites, PollingCoordinator::new(config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtrack_workload::{Generator, Uniform};
+
+    #[test]
+    fn forward_all_is_exact() {
+        let mut cluster = forward_all_cluster(3).unwrap();
+        let mut gen = Uniform::new(10_000, 3);
+        let mut items = Vec::new();
+        for i in 0..5_000u64 {
+            let x = gen.next_item();
+            items.push(x);
+            cluster.feed(SiteId((i % 3) as u32), x).unwrap();
+        }
+        items.sort_unstable();
+        let coord = cluster.coordinator();
+        assert_eq!(coord.total(), 5_000);
+        assert_eq!(coord.quantile(0.5), Some(items[2499]));
+        assert_eq!(
+            coord.rank_lt(items[1000]),
+            items.partition_point(|&y| y < items[1000]) as u64
+        );
+        // Cost is exactly 2 words per item.
+        assert_eq!(cluster.meter().total_words(), 10_000);
+    }
+
+    #[test]
+    fn polling_tracks_quantiles() {
+        let epsilon = 0.1;
+        let config = PollingConfig::new(4, epsilon).unwrap();
+        let mut cluster = polling_cluster(config).unwrap();
+        let mut gen = Uniform::new(1 << 40, 9);
+        let mut items = Vec::new();
+        for i in 0..30_000u64 {
+            let x = gen.next_item();
+            items.push(x);
+            cluster.feed(SiteId((i % 4) as u32), x).unwrap();
+        }
+        items.sort_unstable();
+        let n = items.len() as u64;
+        let q = cluster.coordinator().quantile(0.5).unwrap();
+        let r = items.partition_point(|&y| y < q) as u64;
+        assert!(
+            (r as f64 - 0.5 * n as f64).abs() <= 2.0 * epsilon * n as f64,
+            "median rank {r} of {n}"
+        );
+        assert!(cluster.coordinator().polls() > 0);
+    }
+
+    #[test]
+    fn polling_costs_more_than_cgmr_style_push() {
+        // The poll round-trips cost strictly more than pure pushing at
+        // the same accuracy; this is the motivation for "push" the paper
+        // cites. (Loose check: polling cost > 0 and grows with n.)
+        let config = PollingConfig::new(4, 0.1).unwrap();
+        let run = |n: u64| {
+            let mut cluster = polling_cluster(config).unwrap();
+            let mut gen = Uniform::new(1 << 30, 4);
+            for i in 0..n {
+                cluster
+                    .feed(SiteId((i % 4) as u32), gen.next_item())
+                    .unwrap();
+            }
+            cluster.meter().total_words()
+        };
+        let w1 = run(10_000);
+        let w2 = run(100_000);
+        assert!(w2 > w1);
+        assert!(w2 < w1 * 6, "polling should still be logarithmic in n");
+    }
+}

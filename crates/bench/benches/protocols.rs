@@ -1,0 +1,128 @@
+//! Criterion micro-benchmarks of per-item protocol cost: the paper claims
+//! "all the algorithms proposed in this paper can be implemented both
+//! space- and time-efficiently" — these benches quantify the per-arrival
+//! processing cost at a site and end-to-end through the cluster.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dtrack_core::allq::AllQConfig;
+use dtrack_core::hh::HhConfig;
+use dtrack_core::quantile::QuantileConfig;
+use dtrack_sim::SiteId;
+use dtrack_workload::{Generator, Zipf};
+
+const FEED: u64 = 10_000;
+
+fn bench_hh_feed(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hh_feed");
+    g.throughput(Throughput::Elements(FEED));
+    for k in [4u32, 16] {
+        g.bench_with_input(BenchmarkId::new("exact", k), &k, |b, &k| {
+            let config = HhConfig::new(k, 0.02).unwrap();
+            b.iter_batched(
+                || {
+                    let mut cluster = dtrack_core::hh::exact_cluster(config).unwrap();
+                    // Pre-warm so the steady-state path is measured.
+                    let mut gen = Zipf::new(1 << 20, 1.1, 1);
+                    for i in 0..20_000u64 {
+                        cluster
+                            .feed(SiteId((i % k as u64) as u32), gen.next_item())
+                            .unwrap();
+                    }
+                    (cluster, Zipf::new(1 << 20, 1.1, 2))
+                },
+                |(mut cluster, mut gen)| {
+                    for i in 0..FEED {
+                        cluster
+                            .feed(SiteId((i % k as u64) as u32), black_box(gen.next_item()))
+                            .unwrap();
+                    }
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_quantile_feed(c: &mut Criterion) {
+    let mut g = c.benchmark_group("quantile_feed");
+    g.throughput(Throughput::Elements(FEED));
+    g.bench_function("median_exact_k8", |b| {
+        let config = QuantileConfig::median(8, 0.05).unwrap();
+        b.iter_batched(
+            || {
+                let mut cluster = dtrack_core::quantile::exact_cluster(config).unwrap();
+                let mut gen = Zipf::new(1 << 30, 1.1, 1);
+                for i in 0..20_000u64 {
+                    cluster
+                        .feed(SiteId((i % 8) as u32), gen.next_item())
+                        .unwrap();
+                }
+                (cluster, Zipf::new(1 << 30, 1.1, 2))
+            },
+            |(mut cluster, mut gen)| {
+                for i in 0..FEED {
+                    cluster
+                        .feed(SiteId((i % 8) as u32), black_box(gen.next_item()))
+                        .unwrap();
+                }
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_allq_feed(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allq_feed");
+    g.throughput(Throughput::Elements(FEED));
+    g.bench_function("exact_k8_eps05", |b| {
+        let config = AllQConfig::new(8, 0.05).unwrap();
+        b.iter_batched(
+            || {
+                let mut cluster = dtrack_core::allq::exact_cluster(config).unwrap();
+                let mut gen = Zipf::new(1 << 30, 1.1, 1);
+                for i in 0..60_000u64 {
+                    cluster
+                        .feed(SiteId((i % 8) as u32), gen.next_item())
+                        .unwrap();
+                }
+                (cluster, Zipf::new(1 << 30, 1.1, 2))
+            },
+            |(mut cluster, mut gen)| {
+                for i in 0..FEED {
+                    cluster
+                        .feed(SiteId((i % 8) as u32), black_box(gen.next_item()))
+                        .unwrap();
+                }
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let config = AllQConfig::new(8, 0.05).unwrap();
+    let mut cluster = dtrack_core::allq::exact_cluster(config).unwrap();
+    let mut gen = Zipf::new(1 << 30, 1.1, 1);
+    for i in 0..200_000u64 {
+        cluster
+            .feed(SiteId((i % 8) as u32), gen.next_item())
+            .unwrap();
+    }
+    let coord_snapshot = cluster.into_parts().0;
+    c.bench_function("allq_quantile_query", |b| {
+        b.iter(|| coord_snapshot.quantile(black_box(0.37)).unwrap())
+    });
+    c.bench_function("allq_rank_query", |b| {
+        b.iter(|| coord_snapshot.rank_lt(black_box(1 << 29)))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_hh_feed, bench_quantile_feed, bench_allq_feed, bench_queries
+);
+criterion_main!(benches);

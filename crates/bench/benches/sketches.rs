@@ -1,0 +1,100 @@
+//! Criterion micro-benchmarks of the local-summary substrate: per-update
+//! cost of SpaceSaving, Misra–Gries, Greenwald–Khanna, and the
+//! order-statistic treap, plus summary extraction and merge.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dtrack_sketch::{
+    EquiDepthSummary, ExactOrdered, GreenwaldKhanna, MergedSummary, MisraGries, SpaceSaving,
+};
+use dtrack_workload::{Generator, Zipf};
+
+const N: u64 = 50_000;
+
+fn stream(seed: u64) -> Vec<u64> {
+    let mut g = Zipf::new(1 << 24, 1.1, seed);
+    (0..N).map(|_| g.next_item()).collect()
+}
+
+fn bench_freq_sketches(c: &mut Criterion) {
+    let items = stream(1);
+    let mut g = c.benchmark_group("freq_sketch_observe");
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("spacesaving_1k", |b| {
+        b.iter(|| {
+            let mut s = SpaceSaving::new(1000);
+            for &x in &items {
+                s.observe(black_box(x));
+            }
+            s.total()
+        })
+    });
+    g.bench_function("misra_gries_1k", |b| {
+        b.iter(|| {
+            let mut s = MisraGries::new(1000);
+            for &x in &items {
+                s.observe(black_box(x));
+            }
+            s.total()
+        })
+    });
+    g.finish();
+}
+
+fn bench_order_stores(c: &mut Criterion) {
+    let items = stream(2);
+    let mut g = c.benchmark_group("order_store_insert");
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("treap", |b| {
+        b.iter(|| {
+            let mut s = ExactOrdered::new();
+            for &x in &items {
+                s.insert(black_box(x));
+            }
+            s.len()
+        })
+    });
+    g.bench_function("gk_eps01", |b| {
+        b.iter(|| {
+            let mut s = GreenwaldKhanna::new(0.01);
+            for &x in &items {
+                s.observe(black_box(x));
+            }
+            s.total()
+        })
+    });
+    g.finish();
+
+    let mut treap = ExactOrdered::new();
+    for &x in &items {
+        treap.insert(x);
+    }
+    c.bench_function("treap_rank", |b| b.iter(|| treap.rank_lt(black_box(1 << 23))));
+    c.bench_function("treap_select", |b| b.iter(|| treap.select(black_box(N / 3))));
+}
+
+fn bench_summaries(c: &mut Criterion) {
+    let mut sorted = stream(3);
+    sorted.sort_unstable();
+    c.bench_function("equidepth_from_sorted", |b| {
+        b.iter(|| EquiDepthSummary::from_sorted(black_box(&sorted), 100))
+    });
+    let parts: Vec<EquiDepthSummary> = (0..8)
+        .map(|i| {
+            let mut s = stream(10 + i);
+            s.sort_unstable();
+            EquiDepthSummary::from_sorted(&s, 100)
+        })
+        .collect();
+    let merged = MergedSummary::new(parts);
+    c.bench_function("merged_rank_estimate", |b| {
+        b.iter(|| merged.rank_estimate(black_box(1 << 23)))
+    });
+    c.bench_function("merged_select", |b| b.iter(|| merged.select(black_box(4 * N / 2))));
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_freq_sketches, bench_order_stores, bench_summaries
+);
+criterion_main!(benches);

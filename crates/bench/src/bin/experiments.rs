@@ -1,0 +1,66 @@
+//! Experiment harness CLI. See EXPERIMENTS.md for the experiment index.
+//!
+//! ```text
+//! cargo run --release -p dtrack-bench --bin experiments -- all
+//! cargo run --release -p dtrack-bench --bin experiments -- e1 e5 e10
+//! ```
+
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: experiments <all | e1..e16 ...> [--out DIR]");
+        eprintln!("\nexperiments:");
+        for (id, desc) in dtrack_bench::EXPERIMENTS {
+            eprintln!("  {id:<4} {desc}");
+        }
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+    let mut out_dir = PathBuf::from("results");
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--out" {
+            match it.next() {
+                Some(dir) => out_dir = PathBuf::from(dir),
+                None => {
+                    eprintln!("--out requires a directory");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            ids.push(a);
+        }
+    }
+    if ids.iter().any(|i| i == "all") {
+        ids = dtrack_bench::EXPERIMENTS
+            .iter()
+            .map(|(id, _)| (*id).to_owned())
+            .collect();
+    }
+    let mut failed = false;
+    for id in &ids {
+        match dtrack_bench::run(id) {
+            Some(tables) => {
+                for t in tables {
+                    println!("{t}");
+                    if let Err(e) = t.write_csv(&out_dir) {
+                        eprintln!(
+                            "warning: could not write {}/{}.csv: {e}",
+                            out_dir.display(),
+                            t.slug
+                        );
+                    }
+                }
+            }
+            None => {
+                eprintln!("unknown experiment id: {id}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(2);
+    }
+}

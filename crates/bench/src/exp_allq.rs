@@ -1,0 +1,164 @@
+//! All-quantiles experiments: Theorem 4.1 cost vs the CGMR baseline,
+//! rank-query accuracy, and the Figure 1 structural invariants.
+
+use dtrack_core::allq::{exact_cluster, AllQConfig};
+use dtrack_core::ExactOracle;
+use dtrack_sim::SiteId;
+use dtrack_workload::{Assignment, Generator, RoundRobin, Uniform, Zipf};
+
+use crate::table::{f3, Table};
+
+/// E10 — all-quantiles communication vs ε: Yi–Zhang
+/// O(k/ε·log n·log²(1/ε)) against CGMR O(k/ε²·log n). The last column is
+/// the measured improvement factor, which should grow roughly like
+/// 1/(ε·log²(1/ε)).
+pub fn e10_cost_vs_eps_vs_baseline() -> Table {
+    let (k, n) = (8u32, 500_000u64);
+    let mut t = Table::new(
+        "e10_allq_cost_vs_eps",
+        "E10 Thm 4.1 vs CGMR'05: all-quantile words vs eps (k=8, n=5e5)",
+        &["eps", "yz_words", "cgmr_words", "cgmr/yz"],
+    );
+    for epsilon in [0.1f64, 0.05, 0.02, 0.01] {
+        let config = AllQConfig::new(k, epsilon).expect("config");
+        let mut cluster = exact_cluster(config).expect("cluster");
+        let mut gen = Uniform::new(1 << 40, 29);
+        let mut assign = RoundRobin::new(k);
+        for _ in 0..n {
+            cluster
+                .feed(assign.next_site(), gen.next_item())
+                .expect("feed");
+        }
+        let ours = cluster.meter().total_words();
+
+        let config = dtrack_baseline::CgmrConfig::new(k, epsilon).expect("config");
+        let mut baseline = dtrack_baseline::cgmr::exact_cluster(config).expect("cluster");
+        let mut gen = Uniform::new(1 << 40, 29);
+        for i in 0..n {
+            baseline
+                .feed(SiteId((i % k as u64) as u32), gen.next_item())
+                .expect("feed");
+        }
+        let cgmr = baseline.meter().total_words();
+        t.row([
+            epsilon.to_string(),
+            ours.to_string(),
+            cgmr.to_string(),
+            f3(cgmr as f64 / ours as f64),
+        ]);
+    }
+    t
+}
+
+/// E11 — rank-query accuracy of the structure across the whole universe,
+/// as a fraction of the ε·n budget, on uniform and Zipf streams.
+pub fn e11_accuracy() -> Table {
+    let (k, epsilon, n) = (6u32, 0.05f64, 400_000u64);
+    let mut t = Table::new(
+        "e11_allq_accuracy",
+        "E11 All-quantiles rank error / (eps n) at checkpoints (k=6, eps=0.05)",
+        &["workload", "max rank err ratio", "max quantile err ratio"],
+    );
+    for workload in ["uniform", "zipf"] {
+        let config = AllQConfig::new(k, epsilon).expect("config");
+        let mut cluster = exact_cluster(config).expect("cluster");
+        let mut oracle = ExactOracle::new();
+        let mut u = Uniform::new(1 << 40, 31);
+        let mut z = Zipf::new(1 << 20, 1.2, 31);
+        let mut assign = RoundRobin::new(k);
+        let mut max_rank = 0.0f64;
+        let mut max_quant = 0.0f64;
+        for i in 0..n {
+            let x = if workload == "uniform" {
+                u.next_item()
+            } else {
+                z.next_item()
+            };
+            oracle.observe(x);
+            cluster.feed(assign.next_site(), x).expect("feed");
+            if i % 20_011 == 0 && i > 0 {
+                let budget = epsilon * oracle.total() as f64;
+                for j in 1..20u64 {
+                    let probe = j * ((1u64 << 40) / 20);
+                    let err = cluster
+                        .coordinator()
+                        .rank_lt(probe)
+                        .abs_diff(oracle.rank_lt(probe));
+                    max_rank = max_rank.max(err as f64 / budget);
+                }
+                for phi in [0.1f64, 0.3, 0.5, 0.7, 0.9] {
+                    if let Some(q) = cluster.coordinator().quantile(phi).expect("query") {
+                        let err = oracle.quantile_rank_error(q, phi) as f64 / budget;
+                        max_quant = max_quant.max(err);
+                    }
+                }
+            }
+        }
+        t.row([workload.to_owned(), f3(max_rank), f3(max_quant)]);
+    }
+    t
+}
+
+/// E12 — the Figure 1 invariants over time: tree height vs the h bound,
+/// leaf count, worst leaf size vs εm/2, worst node-count error vs θm.
+pub fn e12_figure1_invariants() -> Table {
+    let (k, epsilon, n) = (6u32, 0.05f64, 600_000u64);
+    let config = AllQConfig::new(k, epsilon).expect("config");
+    let mut cluster = exact_cluster(config).expect("cluster");
+    let mut oracle = ExactOracle::new();
+    let mut gen = Uniform::new(1 << 40, 37);
+    let mut assign = RoundRobin::new(k);
+    let mut t = Table::new(
+        "e12_figure1",
+        "E12 Figure 1 invariants over time (k=6, eps=0.05)",
+        &[
+            "n",
+            "height",
+            "h bound",
+            "leaves",
+            "max leaf/(eps m/2)",
+            "max node err/(theta m)",
+        ],
+    );
+    for i in 0..n {
+        let x = gen.next_item();
+        oracle.observe(x);
+        cluster.feed(assign.next_site(), x).expect("feed");
+        if (i + 1) % 100_000 != 0 {
+            continue;
+        }
+        let coord = cluster.coordinator();
+        if coord.in_warmup() {
+            continue;
+        }
+        let tree = coord.tree();
+        let range_truth = |lo: u64, hi: Option<u64>| -> u64 {
+            hi.map_or(oracle.total(), |h| oracle.rank_lt(h)) - oracle.rank_lt(lo)
+        };
+        let mut max_leaf = 0.0f64;
+        for leaf in tree.leaves() {
+            let r = tree.node(leaf).range;
+            if r.hi.is_some_and(|h| h == r.lo + 1) {
+                continue;
+            }
+            max_leaf =
+                max_leaf.max(range_truth(r.lo, r.hi) as f64 / coord.leaf_bound().max(1) as f64);
+        }
+        let mut max_err = 0.0f64;
+        for id in tree.live_nodes() {
+            let r = tree.node(id).range;
+            let truth = range_truth(r.lo, r.hi);
+            let err = truth.saturating_sub(coord.node_count(id));
+            max_err = max_err.max(err as f64 / coord.node_error_bound().max(1) as f64);
+        }
+        t.row([
+            (i + 1).to_string(),
+            tree.height().to_string(),
+            config.height_bound().to_string(),
+            tree.leaves().len().to_string(),
+            f3(max_leaf),
+            f3(max_err),
+        ]);
+    }
+    t
+}

@@ -1,0 +1,194 @@
+//! Heavy-hitter experiments: Theorem 2.1 scaling shapes, continuous
+//! correctness, and the re-sync ablation.
+
+use dtrack_core::hh::{exact_cluster, ExactHhSite, HhConfig, HhCoordinator};
+use dtrack_core::ExactOracle;
+use dtrack_sim::{Cluster, SiteId};
+use dtrack_workload::{Assignment, Generator, RoundRobin, ShiftingZipf, Zipf};
+
+use crate::table::{f3, Table};
+
+fn run_hh(
+    k: u32,
+    epsilon: f64,
+    n: u64,
+    gen: &mut dyn Generator,
+    assign: &mut dyn Assignment,
+) -> Cluster<ExactHhSite, HhCoordinator> {
+    let config = HhConfig::new(k, epsilon).expect("valid config");
+    let mut cluster = exact_cluster(config).expect("cluster");
+    for _ in 0..n {
+        cluster
+            .feed(assign.next_site(), gen.next_item())
+            .expect("feed");
+    }
+    cluster
+}
+
+/// Theoretical unit for Theorem 2.1: k/ε · ln n.
+fn hh_bound(k: u32, epsilon: f64, n: u64) -> f64 {
+    k as f64 / epsilon * (n as f64).ln()
+}
+
+/// E1 — cost vs n at fixed k, ε. The words/(k/ε·ln n) ratio must be
+/// roughly flat: that is the Theorem 2.1 shape.
+pub fn e1_cost_vs_n() -> Table {
+    let (k, epsilon) = (10u32, 0.01f64);
+    let mut t = Table::new(
+        "e1_hh_cost_vs_n",
+        "E1  Thm 2.1: heavy-hitter communication vs n (k=10, eps=0.01, Zipf 1.1)",
+        &["n", "words", "messages", "words/(k/eps ln n)"],
+    );
+    for n in [100_000u64, 1_000_000, 10_000_000] {
+        let mut gen = Zipf::new(1 << 20, 1.1, 42);
+        let mut assign = RoundRobin::new(k);
+        let cluster = run_hh(k, epsilon, n, &mut gen, &mut assign);
+        let words = cluster.meter().total_words();
+        t.row([
+            n.to_string(),
+            words.to_string(),
+            cluster.meter().total_messages().to_string(),
+            f3(words as f64 / hh_bound(k, epsilon, n)),
+        ]);
+    }
+    t
+}
+
+/// E2 — cost vs k at fixed n, ε. Words should grow linearly in k.
+pub fn e2_cost_vs_k() -> Table {
+    let (n, epsilon) = (1_000_000u64, 0.02f64);
+    let mut t = Table::new(
+        "e2_hh_cost_vs_k",
+        "E2  Thm 2.1: heavy-hitter communication vs k (n=1e6, eps=0.02)",
+        &["k", "words", "words/k", "words/(k/eps ln n)"],
+    );
+    for k in [2u32, 4, 8, 16, 32, 64] {
+        let mut gen = Zipf::new(1 << 20, 1.1, 7);
+        let mut assign = RoundRobin::new(k);
+        let cluster = run_hh(k, epsilon, n, &mut gen, &mut assign);
+        let words = cluster.meter().total_words();
+        t.row([
+            k.to_string(),
+            words.to_string(),
+            (words / k as u64).to_string(),
+            f3(words as f64 / hh_bound(k, epsilon, n)),
+        ]);
+    }
+    t
+}
+
+/// E3 — cost vs ε, ours against the CGMR'05 baseline. Ours scales as 1/ε,
+/// the baseline as 1/ε²: the ratio column is the paper's Θ(1/ε)
+/// improvement.
+pub fn e3_cost_vs_eps_vs_baseline() -> Table {
+    let (k, n) = (8u32, 500_000u64);
+    let mut t = Table::new(
+        "e3_hh_cost_vs_eps",
+        "E3  Thm 2.1 vs prior art: words vs eps (k=8, n=5e5)",
+        &["eps", "yz_words", "cgmr_words", "cgmr/yz", "yz*eps (flat)"],
+    );
+    for epsilon in [0.1f64, 0.05, 0.02, 0.01, 0.005] {
+        let mut gen = Zipf::new(1 << 20, 1.1, 3);
+        let mut assign = RoundRobin::new(k);
+        let ours = run_hh(k, epsilon, n, &mut gen, &mut assign)
+            .meter()
+            .total_words();
+        // CGMR tracks all quantiles (and hence heavy hitters) by summary
+        // re-shipping.
+        let config = dtrack_baseline::CgmrConfig::new(k, epsilon).expect("config");
+        let mut cluster = dtrack_baseline::cgmr::exact_cluster(config).expect("cluster");
+        let mut gen = Zipf::new(1 << 20, 1.1, 3);
+        for i in 0..n {
+            cluster
+                .feed(SiteId((i % k as u64) as u32), gen.next_item())
+                .expect("feed");
+        }
+        let cgmr = cluster.meter().total_words();
+        t.row([
+            epsilon.to_string(),
+            ours.to_string(),
+            cgmr.to_string(),
+            f3(cgmr as f64 / ours as f64),
+            f3(ours as f64 * epsilon),
+        ]);
+    }
+    t
+}
+
+/// E4 — continuous correctness: feed a shifting-hot-set stream, check the
+/// reported set against the exact oracle at every sampling point, and
+/// report the worst observed frequency-estimate error.
+pub fn e4_accuracy() -> Table {
+    let (k, epsilon, phi, n) = (6u32, 0.02f64, 0.05f64, 400_000u64);
+    let config = HhConfig::new(k, epsilon).expect("config");
+    let mut cluster = exact_cluster(config).expect("cluster");
+    let mut oracle = ExactOracle::new();
+    let mut gen = ShiftingZipf::new(1 << 20, 1.3, 50_000, 11);
+    let mut assign = RoundRobin::new(k);
+    let mut violations = 0u64;
+    let mut checks = 0u64;
+    let mut max_freq_err = 0.0f64;
+    for i in 0..n {
+        let x = gen.next_item();
+        oracle.observe(x);
+        cluster.feed(assign.next_site(), x).expect("feed");
+        if i % 997 == 0 && i > 0 {
+            checks += 1;
+            let reported = cluster.coordinator().heavy_hitters(phi).expect("query");
+            if oracle.check_heavy_hitters(&reported, phi, epsilon).is_some() {
+                violations += 1;
+            }
+            for x in oracle.heavy_hitters(phi) {
+                let est = cluster.coordinator().frequency(x);
+                let truth = oracle.frequency(x);
+                let err = (truth.saturating_sub(est)) as f64 / oracle.total() as f64;
+                max_freq_err = max_freq_err.max(err);
+            }
+        }
+    }
+    let mut t = Table::new(
+        "e4_hh_accuracy",
+        "E4  HH correctness under a shifting hot set (k=6, eps=0.02, phi=0.05)",
+        &["checks", "violations", "max freq err / n", "eps/3 budget"],
+    );
+    t.row([
+        checks.to_string(),
+        violations.to_string(),
+        f3(max_freq_err),
+        f3(epsilon / 3.0),
+    ]);
+    t
+}
+
+/// E15 — ablation of the re-sync trigger (the paper re-syncs after k
+/// `all`-signals).
+pub fn e15_resync_ablation() -> Table {
+    let (k, epsilon, n) = (16u32, 0.02f64, 1_000_000u64);
+    let mut t = Table::new(
+        "e15_hh_resync_ablation",
+        "E15 Ablation: re-sync after {k/2, k, 2k, 4k} all-signals (k=16, eps=0.02, n=1e6)",
+        &["resync_after", "words", "resyncs", "C.m deficit (x eps m/3)"],
+    );
+    for mult in [0.5f64, 1.0, 2.0, 4.0] {
+        let resync = ((k as f64 * mult) as u32).max(1);
+        let config = HhConfig::new(k, epsilon)
+            .expect("config")
+            .with_resync_after(resync);
+        let mut cluster = exact_cluster(config).expect("cluster");
+        let mut gen = Zipf::new(1 << 20, 1.1, 9);
+        let mut assign = RoundRobin::new(k);
+        for _ in 0..n {
+            cluster
+                .feed(assign.next_site(), gen.next_item())
+                .expect("feed");
+        }
+        let deficit = (n - cluster.coordinator().global_count()) as f64;
+        t.row([
+            resync.to_string(),
+            cluster.meter().total_words().to_string(),
+            cluster.coordinator().resyncs().to_string(),
+            f3(deficit / (epsilon * n as f64 / 3.0)),
+        ]);
+    }
+    t
+}

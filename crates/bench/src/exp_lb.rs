@@ -1,0 +1,85 @@
+//! Lower-bound experiments: the Lemma 2.2/2.3 adversary against our
+//! heavy-hitter protocol (Theorem 2.4) and the §3.2 median construction
+//! (Theorem 3.2).
+
+use dtrack_adversary::{HhLowerBound, MedianLowerBound, ThresholdAdversary};
+use dtrack_core::hh::{exact_cluster as hh_cluster, HhConfig};
+use dtrack_core::quantile::{exact_cluster as q_cluster, QuantileConfig};
+use dtrack_sim::SiteId;
+
+use crate::table::{f3, Table};
+
+/// E5 — Theorem 2.4: drive the Lemma 2.2 input with the Lemma 2.3
+/// adversary and measure the messages forced per heavy-hitter change.
+/// The per-change column must grow linearly with k (the Ω(k) bound) and
+/// the total must track k/ε·log n.
+pub fn e5_hh_lower_bound() -> Table {
+    let (phi, epsilon) = (0.3f64, 0.05f64);
+    let mut t = Table::new(
+        "e5_hh_lower_bound",
+        "E5  Thm 2.4: adversarially forced messages (phi=0.3, eps=0.05)",
+        &["k", "changes", "msgs forced", "msgs/change", "msgs/(k/4)"],
+    );
+    for k in [4u32, 8, 16, 32] {
+        let lb = HhLowerBound::construct(phi, epsilon, 2_000_000);
+        let config = HhConfig::new(k, epsilon).expect("config");
+        let mut cluster = hh_cluster(config).expect("cluster");
+        ThresholdAdversary::feed_setup(&mut cluster, &lb.setup).expect("setup");
+        let mut chaff_v = dtrack_adversary::hh_lb::CHAFF_BASE + 5_000_000_000;
+        let mut forced = 0u64;
+        let mut changes = 0u64;
+        for round in &lb.rounds {
+            for e in &round.rises {
+                let outcome =
+                    ThresholdAdversary::deliver(&mut cluster, e.item, e.copies).expect("deliver");
+                forced += outcome.messages;
+                changes += 1;
+            }
+            chaff_v = ThresholdAdversary::feed_chaff(&mut cluster, round.chaff, chaff_v)
+                .expect("chaff");
+        }
+        let per_change = forced as f64 / changes.max(1) as f64;
+        t.row([
+            k.to_string(),
+            changes.to_string(),
+            forced.to_string(),
+            f3(per_change),
+            f3(per_change / (k as f64 / 4.0)),
+        ]);
+    }
+    t
+}
+
+/// E9 — Theorem 3.2: the §3.2 two-cluster construction. The median flips
+/// Ω(log n/ε) times and our tracker pays for every flip; the words column
+/// against the k/ε·ln n unit shows the matching upper bound at work.
+pub fn e9_median_lower_bound() -> Table {
+    let k = 8u32;
+    let mut t = Table::new(
+        "e9_median_lower_bound",
+        "E9  Thm 3.2: median lower-bound construction (k=8)",
+        &["eps", "n", "median flips", "words", "words/(k/eps ln n)"],
+    );
+    for epsilon in [0.1f64, 0.05, 0.02] {
+        let lb = MedianLowerBound::construct(epsilon, 1_000_000);
+        let flips = lb.count_median_flips();
+        let config = QuantileConfig::median(k, epsilon).expect("config");
+        let mut cluster = q_cluster(config).expect("cluster");
+        for (i, &x) in lb.items.iter().enumerate() {
+            cluster
+                .feed(SiteId((i % k as usize) as u32), x)
+                .expect("feed");
+        }
+        let n = lb.items.len() as u64;
+        let words = cluster.meter().total_words();
+        let unit = k as f64 / epsilon * (n as f64).ln();
+        t.row([
+            epsilon.to_string(),
+            n.to_string(),
+            flips.to_string(),
+            words.to_string(),
+            f3(words as f64 / unit),
+        ]);
+    }
+    t
+}

@@ -1,0 +1,203 @@
+//! Space usage and the naive crossover.
+
+use dtrack_core::hh::{HhConfig, HhCoordinator, HhSite, SketchHhSite};
+use dtrack_core::quantile::{QuantileConfig, QuantileCoordinator, QuantileSite, SketchQuantileSite};
+use dtrack_sim::{Cluster, SiteId};
+use dtrack_sketch::{FreqStore, OrderStore};
+use dtrack_workload::{Generator, Zipf};
+
+use crate::table::{f3, Table};
+
+/// E13 — per-site state, exact vs sketch: the paper's "Implementing with
+/// small space" paragraphs promise O(1/ε) (SpaceSaving) for heavy hitters
+/// and O(1/ε·log(εn)) (Greenwald–Khanna) for quantiles; the exact stores
+/// grow with the distinct-item / stream size instead.
+pub fn e13_space() -> Table {
+    let (k, epsilon, n) = (4u32, 0.02f64, 400_000u64);
+    let mut t = Table::new(
+        "e13_space",
+        "E13 Max per-site store entries, exact vs sketch (k=4, eps=0.02, n=4e5, Zipf 1.1)",
+        &["protocol", "exact entries", "sketch entries", "sketch/(1/eps)"],
+    );
+    // Heavy hitters.
+    let config = HhConfig::new(k, epsilon).expect("config");
+    let mut exact = dtrack_core::hh::exact_cluster(config).expect("cluster");
+    let mut sketched: Cluster<SketchHhSite, HhCoordinator> = {
+        let sites = (0..k).map(|_| HhSite::sketched(config)).collect();
+        Cluster::new(sites, HhCoordinator::new(config)).expect("cluster")
+    };
+    let mut gen = Zipf::new(1 << 20, 1.1, 3);
+    for i in 0..n {
+        let x = gen.next_item();
+        let s = SiteId((i % k as u64) as u32);
+        exact.feed(s, x).expect("feed");
+        sketched.feed(s, x).expect("feed");
+    }
+    let exact_max = exact
+        .sites()
+        .iter()
+        .map(|s| s.store().entries())
+        .max()
+        .unwrap_or(0);
+    let sketch_max = sketched
+        .sites()
+        .iter()
+        .map(|s| s.store().entries())
+        .max()
+        .unwrap_or(0);
+    t.row([
+        "heavy hitters".to_owned(),
+        exact_max.to_string(),
+        sketch_max.to_string(),
+        f3(sketch_max as f64 * epsilon),
+    ]);
+    // Quantiles.
+    let config = QuantileConfig::median(k, epsilon).expect("config");
+    let mut exact = dtrack_core::quantile::exact_cluster(config).expect("cluster");
+    let mut sketched: Cluster<SketchQuantileSite, QuantileCoordinator> = {
+        let sites = (0..k).map(|_| QuantileSite::sketched(config)).collect();
+        Cluster::new(sites, QuantileCoordinator::new(config)).expect("cluster")
+    };
+    let mut gen = Zipf::new(1 << 20, 1.1, 3);
+    for i in 0..n {
+        let x = gen.next_item();
+        let s = SiteId((i % k as u64) as u32);
+        exact.feed(s, x).expect("feed");
+        sketched.feed(s, x).expect("feed");
+    }
+    let exact_max = exact
+        .sites()
+        .iter()
+        .map(|s| OrderStore::entries(s.store()))
+        .max()
+        .unwrap_or(0);
+    let sketch_max = sketched
+        .sites()
+        .iter()
+        .map(|s| OrderStore::entries(s.store()))
+        .max()
+        .unwrap_or(0);
+    t.row([
+        "median".to_owned(),
+        exact_max.to_string(),
+        sketch_max.to_string(),
+        f3(sketch_max as f64 * epsilon),
+    ]);
+    t
+}
+
+/// E17 — §5 remark: the randomized sampling tracker vs the deterministic
+/// protocol as k grows. Sampling cost is dominated by S·log n independent
+/// of k; the deterministic cost grows linearly in k — the crossover sits
+/// near ε ≈ 1/k, "breaking the deterministic lower bound for ε = ω(1/k)".
+pub fn e17_sampling_vs_deterministic() -> Table {
+    let (epsilon, n) = (0.1f64, 400_000u64);
+    let mut t = Table::new(
+        "e17_sampling_vs_deterministic",
+        "E17 Randomized sampling vs deterministic HH tracking (eps=0.1, n=4e5)",
+        &["k", "deterministic_words", "sampling_words", "winner"],
+    );
+    for k in [4u32, 8, 16, 32, 64, 128] {
+        let config = HhConfig::new(k, epsilon).expect("config");
+        let mut det = dtrack_core::hh::exact_cluster(config).expect("cluster");
+        let sconfig =
+            dtrack_core::sampling::SamplingConfig::new(k, epsilon, 0.05, 1234).expect("config");
+        let mut samp = dtrack_core::sampling::sampling_cluster(sconfig).expect("cluster");
+        let mut gen = Zipf::new(1 << 20, 1.2, 77);
+        for i in 0..n {
+            let x = gen.next_item();
+            let s = SiteId((i % k as u64) as u32);
+            det.feed(s, x).expect("feed");
+            samp.feed(s, x).expect("feed");
+        }
+        let d = det.meter().total_words();
+        let s = samp.meter().total_words();
+        t.row([
+            k.to_string(),
+            d.to_string(),
+            s.to_string(),
+            if s < d { "sampling" } else { "deterministic" }.to_owned(),
+        ]);
+    }
+    t
+}
+
+/// E18 — §5 open problem: sliding-window heavy hitters. Cost per window
+/// span is O(k/ε) words (the window analogue of the per-round bound) and
+/// stays flat as the stream grows; accuracy is checked against the exact
+/// window oracle.
+pub fn e18_sliding_window() -> Table {
+    use dtrack_core::window::{window_cluster, WindowHhConfig, WindowOracle};
+    let (k, epsilon, phi) = (6u32, 0.05f64, 0.1f64);
+    let w = 50_000u64;
+    let mut t = Table::new(
+        "e18_sliding_window",
+        "E18 Sliding-window HH (k=6, eps=0.05, W=5e4, shifting hot set)",
+        &["n", "words", "words/(n/W)/(k/eps)", "violations", "checks"],
+    );
+    for n in [200_000u64, 400_000, 800_000] {
+        let config = WindowHhConfig::new(k, epsilon, w).expect("config");
+        let mut cluster = window_cluster(config).expect("cluster");
+        let mut oracle = WindowOracle::new(w);
+        let mut gen = dtrack_workload::ShiftingZipf::new(1 << 20, 1.3, w / 2, 13);
+        let mut violations = 0u64;
+        let mut checks = 0u64;
+        for i in 0..n {
+            let x = gen.next_item();
+            oracle.observe(x);
+            cluster
+                .feed(SiteId((i % k as u64) as u32), x)
+                .expect("feed");
+            if i % 2003 == 0 && i > w {
+                checks += 1;
+                let hh = cluster.coordinator().heavy_hitters(phi).expect("query");
+                if oracle.check(&hh, phi, 2.0 * epsilon).is_some() {
+                    violations += 1;
+                }
+            }
+        }
+        let words = cluster.meter().total_words();
+        let per_window_unit = words as f64 / (n as f64 / w as f64) / (k as f64 / epsilon);
+        t.row([
+            n.to_string(),
+            words.to_string(),
+            f3(per_window_unit),
+            violations.to_string(),
+            checks.to_string(),
+        ]);
+    }
+    t
+}
+
+/// E14 — "if n is too small, a naive solution that transmits every
+/// arrival would be the best": forward-all costs exactly 2n words, the
+/// tracker pays its warm-up + rounds; find where tracking wins.
+pub fn e14_naive_crossover() -> Table {
+    let (k, epsilon) = (8u32, 0.05f64);
+    let mut t = Table::new(
+        "e14_naive_crossover",
+        "E14 Forward-all vs heavy-hitter tracking (k=8, eps=0.05)",
+        &["n", "forward_all_words", "tracking_words", "winner"],
+    );
+    for n in [1_000u64, 5_000, 20_000, 100_000, 500_000, 2_000_000] {
+        let mut fwd = dtrack_baseline::naive::forward_all_cluster(k).expect("cluster");
+        let config = HhConfig::new(k, epsilon).expect("config");
+        let mut track = dtrack_core::hh::exact_cluster(config).expect("cluster");
+        let mut gen = Zipf::new(1 << 20, 1.2, 5);
+        for i in 0..n {
+            let x = gen.next_item();
+            let s = SiteId((i % k as u64) as u32);
+            fwd.feed(s, x).expect("feed");
+            track.feed(s, x).expect("feed");
+        }
+        let f = fwd.meter().total_words();
+        let tr = track.meter().total_words();
+        t.row([
+            n.to_string(),
+            f.to_string(),
+            tr.to_string(),
+            if tr < f { "tracking" } else { "forward-all" }.to_owned(),
+        ]);
+    }
+    t
+}

@@ -1,0 +1,160 @@
+//! Single-quantile experiments: Theorem 3.1 scaling shapes, accuracy
+//! across φ, and the granularity ablation.
+
+use dtrack_core::quantile::{exact_cluster, ExactQuantileSite, QuantileConfig, QuantileCoordinator};
+use dtrack_core::ExactOracle;
+use dtrack_sim::Cluster;
+use dtrack_workload::{Assignment, Generator, RoundRobin, SortedRamp, Uniform};
+
+use crate::table::{f3, Table};
+
+fn run_quantile(
+    config: QuantileConfig,
+    n: u64,
+    gen: &mut dyn Generator,
+    assign: &mut dyn Assignment,
+) -> Cluster<ExactQuantileSite, QuantileCoordinator> {
+    let mut cluster = exact_cluster(config).expect("cluster");
+    for _ in 0..n {
+        cluster
+            .feed(assign.next_site(), gen.next_item())
+            .expect("feed");
+    }
+    cluster
+}
+
+fn q_bound(k: u32, epsilon: f64, n: u64) -> f64 {
+    k as f64 / epsilon * (n as f64).ln()
+}
+
+/// E6 — median cost vs n: the words/(k/ε·ln n) ratio must stay roughly
+/// flat (Theorem 3.1 shape).
+pub fn e6_cost_vs_n() -> Table {
+    let (k, epsilon) = (8u32, 0.02f64);
+    let mut t = Table::new(
+        "e6_median_cost_vs_n",
+        "E6  Thm 3.1: median-tracking communication vs n (k=8, eps=0.02, uniform)",
+        &["n", "words", "rebuilds", "recenters", "splits", "words/(k/eps ln n)"],
+    );
+    for n in [100_000u64, 1_000_000, 4_000_000] {
+        let config = QuantileConfig::median(k, epsilon).expect("config");
+        let mut gen = Uniform::new(1 << 40, 21);
+        let mut assign = RoundRobin::new(k);
+        let cluster = run_quantile(config, n, &mut gen, &mut assign);
+        let stats = cluster.coordinator().stats();
+        let words = cluster.meter().total_words();
+        t.row([
+            n.to_string(),
+            words.to_string(),
+            stats.rebuilds.to_string(),
+            stats.recenters.to_string(),
+            stats.splits.to_string(),
+            f3(words as f64 / q_bound(k, epsilon, n)),
+        ]);
+    }
+    t
+}
+
+/// E7 — cost vs k (at fixed ε) and vs ε (at fixed k): both scalings of
+/// Theorem 3.1 in two tables.
+pub fn e7_cost_vs_k_and_eps() -> Vec<Table> {
+    let n = 1_000_000u64;
+    let mut by_k = Table::new(
+        "e7a_median_cost_vs_k",
+        "E7a Thm 3.1: median communication vs k (n=1e6, eps=0.05)",
+        &["k", "words", "words/k"],
+    );
+    for k in [2u32, 4, 8, 16, 32] {
+        let config = QuantileConfig::median(k, 0.05).expect("config");
+        let mut gen = Uniform::new(1 << 40, 5);
+        let mut assign = RoundRobin::new(k);
+        let cluster = run_quantile(config, n, &mut gen, &mut assign);
+        let words = cluster.meter().total_words();
+        by_k.row([k.to_string(), words.to_string(), (words / k as u64).to_string()]);
+    }
+    let mut by_eps = Table::new(
+        "e7b_median_cost_vs_eps",
+        "E7b Thm 3.1: median communication vs eps (n=1e6, k=8)",
+        &["eps", "words", "words*eps (flat)"],
+    );
+    for epsilon in [0.1f64, 0.05, 0.02, 0.01] {
+        let config = QuantileConfig::median(8, epsilon).expect("config");
+        let mut gen = Uniform::new(1 << 40, 5);
+        let mut assign = RoundRobin::new(8);
+        let cluster = run_quantile(config, n, &mut gen, &mut assign);
+        let words = cluster.meter().total_words();
+        by_eps.row([
+            epsilon.to_string(),
+            words.to_string(),
+            f3(words as f64 * epsilon),
+        ]);
+    }
+    vec![by_k, by_eps]
+}
+
+/// E8 — accuracy across φ: the worst observed rank error of the tracked
+/// quantile, as a fraction of ε·n, on both benign and adversarial streams.
+pub fn e8_accuracy() -> Table {
+    let (k, epsilon, n) = (6u32, 0.05f64, 400_000u64);
+    let mut t = Table::new(
+        "e8_quantile_accuracy",
+        "E8  Quantile ε-guarantee across phi (k=6, eps=0.05): max rank error / (eps n)",
+        &["phi", "uniform", "sorted ramp"],
+    );
+    for phi in [0.05f64, 0.25, 0.5, 0.75, 0.95] {
+        let mut cells = vec![phi.to_string()];
+        for ramp in [false, true] {
+            let config = QuantileConfig::new(k, epsilon, phi).expect("config");
+            let mut cluster = exact_cluster(config).expect("cluster");
+            let mut oracle = ExactOracle::new();
+            let mut u = Uniform::new(1 << 40, 17);
+            let mut r = SortedRamp::new(0, 977);
+            let mut assign = RoundRobin::new(k);
+            let mut worst = 0.0f64;
+            for i in 0..n {
+                let x = if ramp { r.next_item() } else { u.next_item() };
+                oracle.observe(x);
+                cluster.feed(assign.next_site(), x).expect("feed");
+                if i % 1009 == 0 && i > 0 {
+                    if let Some(q) = cluster.coordinator().quantile() {
+                        let err = oracle.quantile_rank_error(q, phi) as f64
+                            / (epsilon * oracle.total() as f64);
+                        worst = worst.max(err);
+                    }
+                }
+            }
+            cells.push(f3(worst));
+        }
+        t.row(cells);
+    }
+    t
+}
+
+/// E16 — ablation of the interval granularity constant (paper: build at
+/// 3εm/16, split at εm/4).
+pub fn e16_granularity_ablation() -> Table {
+    let (k, epsilon, n) = (8u32, 0.05f64, 1_000_000u64);
+    let mut t = Table::new(
+        "e16_quantile_granularity",
+        "E16 Ablation: interval granularity constant (k=8, eps=0.05, n=1e6)",
+        &["granularity", "words", "separators", "recenters", "splits", "probes"],
+    );
+    for g in [1u32, 2, 3, 4, 6] {
+        let config = QuantileConfig::median(k, epsilon)
+            .expect("config")
+            .with_granularity(g);
+        let mut gen = Uniform::new(1 << 40, 13);
+        let mut assign = RoundRobin::new(k);
+        let cluster = run_quantile(config, n, &mut gen, &mut assign);
+        let stats = cluster.coordinator().stats();
+        t.row([
+            g.to_string(),
+            cluster.meter().total_words().to_string(),
+            cluster.coordinator().separator_count().to_string(),
+            stats.recenters.to_string(),
+            stats.splits.to_string(),
+            stats.probes.to_string(),
+        ]);
+    }
+    t
+}

@@ -1,0 +1,119 @@
+//! Minimal table type: aligned console output plus CSV export.
+
+use std::fmt;
+use std::io::Write;
+use std::path::Path;
+
+/// A result table with a title, a slug (used as the CSV file name), and
+/// string cells.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Table {
+    /// Human-readable title shown above the table.
+    pub title: String,
+    /// File-name-safe identifier.
+    pub slug: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells; each row should match `headers` in length.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New empty table.
+    pub fn new(slug: &str, title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_owned(),
+            slug: slug.to_owned(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row of displayable cells.
+    pub fn row<I, D>(&mut self, cells: I)
+    where
+        I: IntoIterator<Item = D>,
+        D: fmt::Display,
+    {
+        let row: Vec<String> = cells.into_iter().map(|c| c.to_string()).collect();
+        debug_assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Write the table as `<dir>/<slug>.csv`.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let mut f = std::io::BufWriter::new(std::fs::File::create(dir.join(format!(
+            "{}.csv",
+            self.slug
+        )))?);
+        writeln!(f, "{}", self.headers.join(","))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join(","))?;
+        }
+        f.flush()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "\n== {} ==", self.title)?;
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(c.len());
+                }
+            }
+        }
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, c) in cells.iter().enumerate() {
+                let w = widths.get(i).copied().unwrap_or(c.len());
+                write!(f, "{c:>w$}  ")?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        let total: usize = widths.iter().map(|w| w + 2).sum();
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Format a float with 3 significant-ish decimals for table cells.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", "Demo", &["n", "words"]);
+        t.row(["1000", "42"]);
+        t.row(["1000000", "123456"]);
+        let s = t.to_string();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("123456"));
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let mut t = Table::new("demo_csv", "Demo", &["a", "b"]);
+        t.row(["1", "2"]);
+        let dir = std::env::temp_dir().join("dtrack-table-test");
+        t.write_csv(&dir).unwrap();
+        let content = std::fs::read_to_string(dir.join("demo_csv.csv")).unwrap();
+        assert_eq!(content, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn f3_formats() {
+        assert_eq!(f3(1.23456), "1.235");
+    }
+}

@@ -1,0 +1,220 @@
+//! Shared pieces of the tracking protocols: parameter validation, value
+//! ranges, and reply collection.
+
+use std::fmt;
+
+/// Errors from protocol construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// ε outside (0, 0.5].
+    BadEpsilon(f64),
+    /// φ outside [0, 1].
+    BadPhi(f64),
+    /// k < 2.
+    BadSiteCount(u32),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::BadEpsilon(e) => write!(f, "epsilon must be in (0, 0.5], got {e}"),
+            CoreError::BadPhi(p) => write!(f, "phi must be in [0, 1], got {p}"),
+            CoreError::BadSiteCount(k) => write!(f, "need at least 2 sites, got {k}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Validate a protocol error parameter ε.
+pub fn check_epsilon(epsilon: f64) -> Result<(), CoreError> {
+    if epsilon.is_finite() && epsilon > 0.0 && epsilon <= 0.5 {
+        Ok(())
+    } else {
+        Err(CoreError::BadEpsilon(epsilon))
+    }
+}
+
+/// Validate a quantile/heavy-hitter fraction φ.
+pub fn check_phi(phi: f64) -> Result<(), CoreError> {
+    if phi.is_finite() && (0.0..=1.0).contains(&phi) {
+        Ok(())
+    } else {
+        Err(CoreError::BadPhi(phi))
+    }
+}
+
+/// Validate the number of sites k.
+pub fn check_sites(k: u32) -> Result<(), CoreError> {
+    if k >= 2 {
+        Ok(())
+    } else {
+        Err(CoreError::BadSiteCount(k))
+    }
+}
+
+/// A half-open value range `[lo, hi)`; `hi = None` means unbounded above
+/// (so `ValueRange::all()` covers the whole universe, including
+/// `u64::MAX`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ValueRange {
+    /// Inclusive lower bound.
+    pub lo: u64,
+    /// Exclusive upper bound; `None` = +∞.
+    pub hi: Option<u64>,
+}
+
+impl ValueRange {
+    /// The whole universe.
+    pub fn all() -> Self {
+        ValueRange { lo: 0, hi: None }
+    }
+
+    /// `[lo, hi)`.
+    pub fn new(lo: u64, hi: Option<u64>) -> Self {
+        debug_assert!(hi.is_none_or(|h| lo < h), "empty range [{lo}, {hi:?})");
+        ValueRange { lo, hi }
+    }
+
+    /// Does the range contain `x`?
+    #[inline]
+    pub fn contains(&self, x: u64) -> bool {
+        x >= self.lo && self.hi.is_none_or(|h| x < h)
+    }
+
+    /// Wire size in words (lo and an encoded hi).
+    pub fn words(&self) -> u64 {
+        2
+    }
+}
+
+impl fmt::Display for ValueRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.hi {
+            Some(h) => write!(f, "[{}, {})", self.lo, h),
+            None => write!(f, "[{}, +inf)", self.lo),
+        }
+    }
+}
+
+/// Collects one reply from each of `k` sites during a poll.
+#[derive(Debug, Clone)]
+pub struct KCollector<T> {
+    slots: Vec<Option<T>>,
+    got: u32,
+}
+
+impl<T> KCollector<T> {
+    /// Expect `k` replies.
+    pub fn new(k: u32) -> Self {
+        KCollector {
+            slots: (0..k).map(|_| None).collect(),
+            got: 0,
+        }
+    }
+
+    /// Record the reply from site `idx`. Returns `true` once all replies
+    /// have arrived. A duplicate reply from the same site replaces the old
+    /// one without double counting.
+    pub fn put(&mut self, idx: usize, value: T) -> bool {
+        if idx >= self.slots.len() {
+            return false;
+        }
+        if self.slots[idx].is_none() {
+            self.got += 1;
+        }
+        self.slots[idx] = Some(value);
+        self.got as usize == self.slots.len()
+    }
+
+    /// True when all replies are in.
+    pub fn complete(&self) -> bool {
+        self.got as usize == self.slots.len()
+    }
+
+    /// Take the replies, in site order.
+    ///
+    /// # Panics
+    /// Panics if called before [`Self::complete`].
+    pub fn take(self) -> Vec<T> {
+        assert!(
+            self.got as usize == self.slots.len(),
+            "KCollector::take before all replies arrived"
+        );
+        self.slots.into_iter().map(|s| s.expect("complete")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epsilon_validation() {
+        assert!(check_epsilon(0.01).is_ok());
+        assert!(check_epsilon(0.5).is_ok());
+        assert!(check_epsilon(0.0).is_err());
+        assert!(check_epsilon(0.51).is_err());
+        assert!(check_epsilon(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn phi_validation() {
+        assert!(check_phi(0.0).is_ok());
+        assert!(check_phi(0.5).is_ok());
+        assert!(check_phi(1.0).is_ok());
+        assert!(check_phi(-0.1).is_err());
+        assert!(check_phi(1.1).is_err());
+    }
+
+    #[test]
+    fn sites_validation() {
+        assert!(check_sites(2).is_ok());
+        assert!(check_sites(1).is_err());
+        assert_eq!(
+            check_sites(0).unwrap_err().to_string(),
+            "need at least 2 sites, got 0"
+        );
+    }
+
+    #[test]
+    fn value_range_contains() {
+        let r = ValueRange::new(10, Some(20));
+        assert!(r.contains(10));
+        assert!(r.contains(19));
+        assert!(!r.contains(20));
+        assert!(!r.contains(9));
+        let all = ValueRange::all();
+        assert!(all.contains(0));
+        assert!(all.contains(u64::MAX));
+        assert_eq!(all.to_string(), "[0, +inf)");
+        assert_eq!(r.to_string(), "[10, 20)");
+    }
+
+    #[test]
+    fn kcollector_gathers_in_order() {
+        let mut c: KCollector<u64> = KCollector::new(3);
+        assert!(!c.put(1, 10));
+        assert!(!c.put(0, 5));
+        assert!(!c.complete());
+        // Duplicate from site 0 does not complete the poll.
+        assert!(!c.put(0, 6));
+        assert!(c.put(2, 20));
+        assert!(c.complete());
+        assert_eq!(c.take(), vec![6, 10, 20]);
+    }
+
+    #[test]
+    fn kcollector_ignores_out_of_range() {
+        let mut c: KCollector<u64> = KCollector::new(2);
+        assert!(!c.put(7, 1));
+        assert!(!c.complete());
+    }
+
+    #[test]
+    #[should_panic(expected = "before all replies")]
+    fn kcollector_take_panics_when_incomplete() {
+        let c: KCollector<u64> = KCollector::new(2);
+        c.take();
+    }
+}

@@ -1,0 +1,217 @@
+//! Tracking |A|: the (1+ε)-factor counting protocol.
+//!
+//! From the paper's introduction: "The simplest case f(A) = |A| just counts
+//! the total number of items received so far across all the sites. This
+//! problem can be easily solved with O(k/ε · log n) communication where
+//! each site simply reports to the coordinator whenever its local count
+//! increases by a 1 + ε factor."
+//!
+//! The coordinator's estimate is a (1−ε)-underestimate of the true total:
+//! each site's unreported backlog is less than ε times its last report,
+//! hence less than ε times its local count, and the deficits sum to less
+//! than ε·n.
+//!
+//! Each site sends O(log_{1+ε} n_j) = O(log n / ε) messages of one word,
+//! totaling O(k/ε · log n) words — the protocol's cost bound, verified by
+//! this module's scaling tests and exercised by every protocol that
+//! embeds count tracking (the window trackers' epoch detection).
+
+use dtrack_sim::{Coordinator, MessageSize, Outbox, Site, SiteId};
+
+use crate::common::{check_epsilon, CoreError};
+
+/// Upstream message: the increment since the site's last report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CountDelta(pub u64);
+
+impl MessageSize for CountDelta {
+    fn size_words(&self) -> u64 {
+        1
+    }
+    fn kind(&self) -> &'static str {
+        "count/delta"
+    }
+}
+
+/// The counter protocol never sends downstream messages; this uninhabited
+/// type records that in the type system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NoDown {}
+
+impl MessageSize for NoDown {
+    fn size_words(&self) -> u64 {
+        match *self {}
+    }
+    fn kind(&self) -> &'static str {
+        match *self {}
+    }
+}
+
+/// Site state: local count and the value last reported.
+#[derive(Debug, Clone)]
+pub struct CounterSite {
+    epsilon: f64,
+    local: u64,
+    reported: u64,
+}
+
+impl CounterSite {
+    /// A site with error parameter ε.
+    pub fn new(epsilon: f64) -> Result<Self, CoreError> {
+        check_epsilon(epsilon)?;
+        Ok(CounterSite {
+            epsilon,
+            local: 0,
+            reported: 0,
+        })
+    }
+
+    /// The exact local count (oracle access for tests).
+    pub fn local_count(&self) -> u64 {
+        self.local
+    }
+}
+
+impl Site for CounterSite {
+    type Item = u64;
+    type Up = CountDelta;
+    type Down = NoDown;
+
+    fn on_item(&mut self, _item: u64, out: &mut Vec<CountDelta>) {
+        self.local += 1;
+        // Report when the local count reaches (1+ε) times the last report
+        // (and immediately on the first item, so the estimate is exact
+        // while counts are tiny).
+        let threshold = ((self.reported as f64) * (1.0 + self.epsilon)).floor() as u64;
+        if self.reported == 0 || self.local > threshold.max(self.reported) {
+            out.push(CountDelta(self.local - self.reported));
+            self.reported = self.local;
+        }
+    }
+
+    fn on_message(&mut self, msg: &NoDown, _out: &mut Vec<CountDelta>) {
+        match *msg {}
+    }
+}
+
+/// Coordinator state: the sum of all reported increments.
+#[derive(Debug, Clone, Default)]
+pub struct CounterCoordinator {
+    estimate: u64,
+}
+
+impl CounterCoordinator {
+    /// Fresh coordinator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The tracked estimate of |A|; always satisfies
+    /// `(1 − ε) · |A| < estimate <= |A|`.
+    pub fn estimate(&self) -> u64 {
+        self.estimate
+    }
+}
+
+impl Coordinator for CounterCoordinator {
+    type Up = CountDelta;
+    type Down = NoDown;
+
+    fn on_message(&mut self, _from: SiteId, msg: CountDelta, _out: &mut Outbox<NoDown>) {
+        self.estimate += msg.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtrack_sim::Cluster;
+
+    fn run(k: u32, epsilon: f64, n: u64) -> Cluster<CounterSite, CounterCoordinator> {
+        let sites = (0..k)
+            .map(|_| CounterSite::new(epsilon).unwrap())
+            .collect();
+        let mut cluster = Cluster::new(sites, CounterCoordinator::new()).unwrap();
+        for i in 0..n {
+            cluster.feed(SiteId((i % k as u64) as u32), i).unwrap();
+        }
+        cluster
+    }
+
+    #[test]
+    fn estimate_within_epsilon_at_all_times() {
+        let k = 5;
+        let epsilon = 0.1;
+        let sites = (0..k)
+            .map(|_| CounterSite::new(epsilon).unwrap())
+            .collect();
+        let mut cluster = Cluster::new(sites, CounterCoordinator::new()).unwrap();
+        for i in 0..10_000u64 {
+            cluster.feed(SiteId((i % k as u64) as u32), i).unwrap();
+            let n = i + 1;
+            let est = cluster.coordinator().estimate();
+            assert!(est <= n, "estimate {est} exceeds true {n}");
+            assert!(
+                (est as f64) > (1.0 - epsilon) * n as f64 - k as f64,
+                "estimate {est} too low for n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn cost_scales_logarithmically() {
+        let eps = 0.05;
+        let c_small = run(4, eps, 1_000);
+        let c_big = run(4, eps, 100_000);
+        let w_small = c_small.meter().total_words();
+        let w_big = c_big.meter().total_words();
+        // 100x the items must cost far less than 100x the words: the bound
+        // is k/ε·log n, so the ratio should be close to log(1e5)/log(1e3)
+        // with warm-up noise. Assert well under 10x.
+        assert!(
+            w_big < w_small * 10,
+            "words grew too fast: {w_small} -> {w_big}"
+        );
+        assert!(w_big > w_small, "more items must cost something");
+    }
+
+    #[test]
+    fn cost_scales_inversely_with_epsilon() {
+        let coarse = run(4, 0.2, 50_000).meter().total_words();
+        let fine = run(4, 0.02, 50_000).meter().total_words();
+        // 10x smaller ε must cost roughly 10x more (within a loose band).
+        let ratio = fine as f64 / coarse as f64;
+        assert!(
+            (4.0..25.0).contains(&ratio),
+            "1/ε scaling off: ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn skewed_assignment_still_within_bound() {
+        // All items at one site: per-site log bound still applies.
+        let epsilon = 0.1;
+        let sites = (0..3)
+            .map(|_| CounterSite::new(epsilon).unwrap())
+            .collect();
+        let mut cluster = Cluster::new(sites, CounterCoordinator::new()).unwrap();
+        let n = 20_000u64;
+        for i in 0..n {
+            cluster.feed(SiteId(0), i).unwrap();
+        }
+        let est = cluster.coordinator().estimate();
+        assert!(est <= n && (est as f64) > (1.0 - epsilon) * n as f64 - 3.0);
+        let msgs = cluster.meter().total_messages();
+        let bound = (1.0 / epsilon) * (n as f64).ln() * 4.0 + 16.0;
+        assert!(
+            (msgs as f64) < bound,
+            "{msgs} messages exceeds O(1/ε log n) bound {bound}"
+        );
+    }
+
+    #[test]
+    fn bad_epsilon_rejected() {
+        assert!(CounterSite::new(0.0).is_err());
+        assert!(CounterSite::new(0.7).is_err());
+    }
+}

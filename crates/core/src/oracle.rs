@@ -1,0 +1,199 @@
+//! Exact reference oracle for verifying the ε-guarantees.
+//!
+//! The oracle ingests the same item stream as the cluster (ignoring site
+//! assignment — the guarantees are about the union multiset A) and answers
+//! exact heavy-hitter, rank, and quantile queries. Tests and the experiment
+//! harness compare the tracked answers against it, either after every
+//! arrival (small streams) or at sampled checkpoints (large streams).
+
+use dtrack_sketch::{ExactFrequencies, ExactOrdered};
+
+/// Exact multiset state of the whole stream.
+#[derive(Debug, Clone, Default)]
+pub struct ExactOracle {
+    freqs: ExactFrequencies,
+    ordered: ExactOrdered,
+}
+
+impl ExactOracle {
+    /// Empty oracle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one arrival.
+    pub fn observe(&mut self, x: u64) {
+        self.freqs.observe(x);
+        self.ordered.insert(x);
+    }
+
+    /// Total number of items n = |A|.
+    pub fn total(&self) -> u64 {
+        self.freqs.total()
+    }
+
+    /// Exact frequency of `x`.
+    pub fn frequency(&self, x: u64) -> u64 {
+        self.freqs.count(x)
+    }
+
+    /// The exact φ-heavy hitters: `{x : m_x >= φ|A|}`, sorted.
+    pub fn heavy_hitters(&self, phi: f64) -> Vec<u64> {
+        let thresh = phi * self.total() as f64;
+        let mut out: Vec<u64> = self
+            .freqs
+            .iter()
+            .filter(|&(_, c)| c as f64 >= thresh)
+            .map(|(x, _)| x)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Verify an approximate heavy-hitter answer per the paper's
+    /// definition: the reported set must contain every x with
+    /// `m_x >= φ|A|` and no x with `m_x < (φ−ε)|A|`. Returns a
+    /// description of the first violation, if any.
+    pub fn check_heavy_hitters(&self, reported: &[u64], phi: f64, epsilon: f64) -> Option<String> {
+        let n = self.total() as f64;
+        for &x in reported {
+            if (self.frequency(x) as f64) < (phi - epsilon) * n {
+                return Some(format!(
+                    "false positive: {x} has frequency {} < (φ−ε)n = {}",
+                    self.frequency(x),
+                    (phi - epsilon) * n
+                ));
+            }
+        }
+        for x in self.heavy_hitters(phi) {
+            if !reported.contains(&x) {
+                return Some(format!(
+                    "false negative: {x} has frequency {} >= φn = {}",
+                    self.frequency(x),
+                    phi * n
+                ));
+            }
+        }
+        None
+    }
+
+    /// Exact `rank_lt(x) = |{a ∈ A : a < x}|`.
+    pub fn rank_lt(&self, x: u64) -> u64 {
+        self.ordered.rank_lt(x)
+    }
+
+    /// Exact `rank_le(x) = |{a ∈ A : a <= x}|`.
+    pub fn rank_le(&self, x: u64) -> u64 {
+        self.ordered.rank_le(x)
+    }
+
+    /// Is `q` a valid ε-approximate φ-quantile? Per the paper, a valid
+    /// answer is a φ′-quantile for some φ′ ∈ [φ−ε, φ+ε]; with ties this
+    /// means the interval `[rank_lt(q), rank_le(q)]` must intersect
+    /// `[(φ−ε)n, (φ+ε)n]`.
+    pub fn quantile_ok(&self, q: u64, phi: f64, epsilon: f64) -> bool {
+        let n = self.total() as f64;
+        let lo_ok = (phi - epsilon) * n;
+        let hi_ok = (phi + epsilon) * n;
+        let r_lo = self.rank_lt(q) as f64;
+        let r_hi = self.rank_le(q) as f64;
+        r_lo <= hi_ok && r_hi >= lo_ok
+    }
+
+    /// Distance (in items) from `q` to being a valid φ-quantile: 0 when
+    /// `q`'s rank interval contains φn, otherwise the gap. Used by
+    /// experiments to report observed error vs. the ε·n budget.
+    pub fn quantile_rank_error(&self, q: u64, phi: f64) -> u64 {
+        let target = (phi * self.total() as f64).round() as u64;
+        let r_lo = self.rank_lt(q);
+        let r_hi = self.rank_le(q);
+        if target < r_lo {
+            r_lo - target
+        } else { target.saturating_sub(r_hi) }
+    }
+
+    /// The exact φ-quantile by the `rank_lt` convention: the smallest value
+    /// q with `rank_le(q) >= ceil(φ n)`.
+    pub fn quantile(&self, phi: f64) -> Option<u64> {
+        let n = self.total();
+        if n == 0 {
+            return None;
+        }
+        let target = ((phi * n as f64).ceil() as u64).clamp(1, n);
+        self.ordered.select(target - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oracle_of(items: &[u64]) -> ExactOracle {
+        let mut o = ExactOracle::new();
+        for &x in items {
+            o.observe(x);
+        }
+        o
+    }
+
+    #[test]
+    fn heavy_hitters_by_definition() {
+        // 10 items: five 1s, three 2s, two 3s.
+        let o = oracle_of(&[1, 1, 1, 1, 1, 2, 2, 2, 3, 3]);
+        assert_eq!(o.heavy_hitters(0.5), vec![1]);
+        assert_eq!(o.heavy_hitters(0.3), vec![1, 2]);
+        assert_eq!(o.heavy_hitters(0.2), vec![1, 2, 3]);
+        assert_eq!(o.heavy_hitters(0.51), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn check_heavy_hitters_finds_violations() {
+        let o = oracle_of(&[1, 1, 1, 1, 1, 2, 2, 2, 3, 3]);
+        // Valid: contains the 0.5-HH {1}; extra item 2 has freq 0.3 >= φ−ε.
+        assert!(o.check_heavy_hitters(&[1, 2], 0.5, 0.25).is_none());
+        // False negative: misses 1.
+        let v = o.check_heavy_hitters(&[2], 0.5, 0.25).unwrap();
+        assert!(v.contains("false negative"));
+        // False positive: 3 has frequency 0.2 < (0.5-0.25).
+        let v = o.check_heavy_hitters(&[1, 3], 0.5, 0.25).unwrap();
+        assert!(v.contains("false positive"));
+    }
+
+    #[test]
+    fn ranks_and_quantiles() {
+        let o = oracle_of(&[10, 20, 30, 40, 50, 60, 70, 80, 90, 100]);
+        assert_eq!(o.rank_lt(50), 4);
+        assert_eq!(o.rank_le(50), 5);
+        assert_eq!(o.quantile(0.5), Some(50));
+        assert_eq!(o.quantile(0.0), Some(10));
+        assert_eq!(o.quantile(1.0), Some(100));
+        assert!(o.quantile_ok(50, 0.5, 0.0));
+        assert!(o.quantile_ok(60, 0.5, 0.1));
+        assert!(!o.quantile_ok(90, 0.5, 0.1));
+        assert_eq!(o.quantile_rank_error(50, 0.5), 0);
+        assert_eq!(o.quantile_rank_error(90, 0.5), 3); // rank_lt(90)=8 vs 5
+    }
+
+    #[test]
+    fn quantile_with_ties_uses_rank_interval() {
+        // 100 copies of 7 surrounded by singletons.
+        let mut items = vec![1u64, 2, 3];
+        items.extend(std::iter::repeat_n(7, 100));
+        items.extend([1000, 1001]);
+        let o = oracle_of(&items);
+        // 7 spans ranks [3, 103]; it is a valid φ-quantile for a wide
+        // range of φ even with ε = 0.
+        assert!(o.quantile_ok(7, 0.5, 0.0));
+        assert!(o.quantile_ok(7, 0.1, 0.0));
+        assert!(!o.quantile_ok(7, 0.995, 0.0));
+        assert_eq!(o.quantile(0.5), Some(7));
+    }
+
+    #[test]
+    fn empty_oracle() {
+        let o = ExactOracle::new();
+        assert_eq!(o.total(), 0);
+        assert_eq!(o.quantile(0.5), None);
+        assert!(o.heavy_hitters(0.1).is_empty());
+    }
+}

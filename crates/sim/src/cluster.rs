@@ -1,0 +1,352 @@
+//! Deterministic single-threaded runner for the distributed streaming model.
+//!
+//! [`Cluster`] owns `k` site state machines and one coordinator. Feeding an
+//! item to a site runs all communication it triggers — including iterative
+//! coordinator-initiated rounds such as polls and broadcasts — to
+//! quiescence, metering every message hop. This matches the paper's model
+//! where "communication is instant" and all exchanges finish before the
+//! next item arrives.
+
+use std::collections::VecDeque;
+
+use crate::error::SimError;
+use crate::meter::MessageMeter;
+use crate::proto::{Coordinator, Down, MessageSize, Outbox, Site, SiteId};
+
+/// Default per-arrival message fuse. A healthy protocol exchanges O(k + 1/ε)
+/// messages per arrival in the worst case; hitting the fuse indicates a
+/// livelock bug rather than a legitimately long exchange.
+pub const DEFAULT_FUSE: u64 = 10_000_000;
+
+/// Deterministic in-process cluster of `k` sites plus a coordinator.
+#[derive(Debug)]
+pub struct Cluster<S, C>
+where
+    S: Site,
+    C: Coordinator<Up = S::Up, Down = S::Down>,
+{
+    sites: Vec<S>,
+    coordinator: C,
+    meter: MessageMeter,
+    fuse: u64,
+    items_fed: u64,
+    // Reused buffers to keep the hot path allocation-free.
+    up_queue: VecDeque<(SiteId, S::Up)>,
+    outbox: Outbox<S::Down>,
+    site_buf: Vec<S::Up>,
+}
+
+impl<S, C> Cluster<S, C>
+where
+    S: Site,
+    C: Coordinator<Up = S::Up, Down = S::Down>,
+{
+    /// Build a cluster from pre-constructed site and coordinator state.
+    ///
+    /// Returns [`SimError::TooFewSites`] when fewer than 2 sites are given:
+    /// with k = 1 the model degenerates to a single data stream and the
+    /// communication measure is meaningless.
+    pub fn new(sites: Vec<S>, coordinator: C) -> Result<Self, SimError> {
+        if sites.len() < 2 {
+            return Err(SimError::TooFewSites {
+                sites: sites.len() as u32,
+            });
+        }
+        Ok(Cluster {
+            sites,
+            coordinator,
+            meter: MessageMeter::new(),
+            fuse: DEFAULT_FUSE,
+            items_fed: 0,
+            up_queue: VecDeque::new(),
+            outbox: Outbox::new(),
+            site_buf: Vec::new(),
+        })
+    }
+
+    /// Override the per-arrival message fuse (mainly for livelock tests).
+    pub fn with_fuse(mut self, fuse: u64) -> Self {
+        self.fuse = fuse;
+        self
+    }
+
+    /// Number of sites k.
+    pub fn num_sites(&self) -> u32 {
+        self.sites.len() as u32
+    }
+
+    /// Total number of items fed so far (the paper's `n` at the current
+    /// time instance).
+    pub fn items_fed(&self) -> u64 {
+        self.items_fed
+    }
+
+    /// The communication meter.
+    pub fn meter(&self) -> &MessageMeter {
+        &self.meter
+    }
+
+    /// Mutable access to the meter (e.g. to reset after a warm-up phase).
+    pub fn meter_mut(&mut self) -> &mut MessageMeter {
+        &mut self.meter
+    }
+
+    /// Immutable access to the coordinator, for queries.
+    pub fn coordinator(&self) -> &C {
+        &self.coordinator
+    }
+
+    /// Immutable access to a site's state (used by adversaries and tests).
+    pub fn site(&self, id: SiteId) -> Option<&S> {
+        self.sites.get(id.index())
+    }
+
+    /// Immutable access to all sites.
+    pub fn sites(&self) -> &[S] {
+        &self.sites
+    }
+
+    /// Deliver `item` to site `site` and run all triggered communication to
+    /// quiescence.
+    pub fn feed(&mut self, site: SiteId, item: S::Item) -> Result<(), SimError> {
+        let k = self.sites.len();
+        let s = self
+            .sites
+            .get_mut(site.index())
+            .ok_or(SimError::NoSuchSite {
+                site: site.0,
+                sites: k as u32,
+            })?;
+        self.items_fed += 1;
+        debug_assert!(self.site_buf.is_empty());
+        s.on_item(item, &mut self.site_buf);
+        for up in self.site_buf.drain(..) {
+            self.meter.record_up(up.kind(), up.size_words());
+            self.up_queue.push_back((site, up));
+        }
+        self.drain()
+    }
+
+    /// Feed a whole assigned stream, stopping at the first error.
+    pub fn feed_stream<I>(&mut self, stream: I) -> Result<(), SimError>
+    where
+        I: IntoIterator<Item = (SiteId, S::Item)>,
+    {
+        for (site, item) in stream {
+            self.feed(site, item)?;
+        }
+        Ok(())
+    }
+
+    /// Process queued upstream messages (and the downstream messages they
+    /// trigger) until the system is quiescent.
+    fn drain(&mut self) -> Result<(), SimError> {
+        let mut hops: u64 = 0;
+        while let Some((from, up)) = self.up_queue.pop_front() {
+            hops += 1;
+            if hops > self.fuse {
+                return Err(SimError::Livelock { fuse: self.fuse });
+            }
+            debug_assert!(self.outbox.is_empty());
+            self.coordinator.on_message(from, up, &mut self.outbox);
+            // Move the downstream batch out so we can borrow sites mutably.
+            let downs: Vec<(Down, S::Down)> = self.outbox.drain().collect();
+            for (dest, msg) in downs {
+                match dest {
+                    Down::Unicast(dst) => {
+                        self.deliver_down(dst, &msg)?;
+                    }
+                    Down::Broadcast => {
+                        for i in 0..self.sites.len() {
+                            self.deliver_down(SiteId(i as u32), &msg)?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn deliver_down(&mut self, dst: SiteId, msg: &S::Down) -> Result<(), SimError> {
+        self.meter.record_down(msg.kind(), msg.size_words());
+        let k = self.sites.len() as u32;
+        let s = self
+            .sites
+            .get_mut(dst.index())
+            .ok_or(SimError::NoSuchSite { site: dst.0, sites: k })?;
+        debug_assert!(self.site_buf.is_empty());
+        s.on_message(msg, &mut self.site_buf);
+        for up in self.site_buf.drain(..) {
+            self.meter.record_up(up.kind(), up.size_words());
+            self.up_queue.push_back((dst, up));
+        }
+        Ok(())
+    }
+
+    /// Tear down the cluster, returning the coordinator, the sites, and the
+    /// final meter.
+    pub fn into_parts(self) -> (C, Vec<S>, MessageMeter) {
+        (self.coordinator, self.sites, self.meter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy protocol: sites forward every item; coordinator acks every 3rd
+    /// message with a broadcast; an ack does not trigger further traffic.
+    #[derive(Debug, Default)]
+    struct FwdSite {
+        seen: u64,
+        acks: u64,
+    }
+
+    #[derive(Debug)]
+    enum FwdUp {
+        Item(u64),
+    }
+    #[derive(Debug)]
+    enum FwdDown {
+        Ack,
+    }
+
+    impl MessageSize for FwdUp {
+        fn size_words(&self) -> u64 {
+            2
+        }
+        fn kind(&self) -> &'static str {
+            "fwd/item"
+        }
+    }
+    impl MessageSize for FwdDown {
+        fn size_words(&self) -> u64 {
+            1
+        }
+        fn kind(&self) -> &'static str {
+            "fwd/ack"
+        }
+    }
+
+    impl Site for FwdSite {
+        type Item = u64;
+        type Up = FwdUp;
+        type Down = FwdDown;
+        fn on_item(&mut self, item: u64, out: &mut Vec<FwdUp>) {
+            self.seen += 1;
+            out.push(FwdUp::Item(item));
+        }
+        fn on_message(&mut self, _msg: &FwdDown, _out: &mut Vec<FwdUp>) {
+            self.acks += 1;
+        }
+    }
+
+    #[derive(Debug, Default)]
+    struct FwdCoord {
+        received: u64,
+        sum: u64,
+    }
+
+    impl Coordinator for FwdCoord {
+        type Up = FwdUp;
+        type Down = FwdDown;
+        fn on_message(&mut self, _from: SiteId, msg: FwdUp, out: &mut Outbox<FwdDown>) {
+            let FwdUp::Item(x) = msg;
+            self.received += 1;
+            self.sum += x;
+            if self.received.is_multiple_of(3) {
+                out.broadcast(FwdDown::Ack);
+            }
+        }
+    }
+
+    fn cluster(k: usize) -> Cluster<FwdSite, FwdCoord> {
+        let sites = (0..k).map(|_| FwdSite::default()).collect();
+        Cluster::new(sites, FwdCoord::default()).unwrap()
+    }
+
+    #[test]
+    fn rejects_small_clusters() {
+        let err = Cluster::new(vec![FwdSite::default()], FwdCoord::default()).unwrap_err();
+        assert_eq!(err, SimError::TooFewSites { sites: 1 });
+    }
+
+    #[test]
+    fn feed_runs_to_quiescence_and_meters() {
+        let mut c = cluster(4);
+        for i in 0..6u64 {
+            c.feed(SiteId((i % 4) as u32), i * 10).unwrap();
+        }
+        assert_eq!(c.coordinator().received, 6);
+        assert_eq!(c.coordinator().sum, (1 + 2 + 3 + 4 + 5) * 10);
+        // 6 upstream item messages of 2 words each.
+        assert_eq!(c.meter().kind("fwd/item").messages, 6);
+        assert_eq!(c.meter().kind("fwd/item").words, 12);
+        // 2 broadcasts (after messages 3 and 6), each expands to k=4 acks.
+        assert_eq!(c.meter().kind("fwd/ack").messages, 8);
+        // Every site saw both acks.
+        for s in c.sites() {
+            assert_eq!(s.acks, 2);
+        }
+        assert_eq!(c.items_fed(), 6);
+    }
+
+    #[test]
+    fn feed_to_missing_site_errors() {
+        let mut c = cluster(2);
+        let err = c.feed(SiteId(9), 1).unwrap_err();
+        assert_eq!(err, SimError::NoSuchSite { site: 9, sites: 2 });
+    }
+
+    #[test]
+    fn feed_stream_consumes_pairs() {
+        let mut c = cluster(3);
+        let stream = (0..9u64).map(|i| (SiteId((i % 3) as u32), i));
+        c.feed_stream(stream).unwrap();
+        assert_eq!(c.coordinator().received, 9);
+    }
+
+    /// A site that replies to every ack with another item forever — the
+    /// fuse must convert the livelock into an error.
+    #[derive(Debug, Default)]
+    struct LoopSite;
+    impl Site for LoopSite {
+        type Item = u64;
+        type Up = FwdUp;
+        type Down = FwdDown;
+        fn on_item(&mut self, item: u64, out: &mut Vec<FwdUp>) {
+            out.push(FwdUp::Item(item));
+        }
+        fn on_message(&mut self, _msg: &FwdDown, out: &mut Vec<FwdUp>) {
+            out.push(FwdUp::Item(0));
+        }
+    }
+
+    #[derive(Debug, Default)]
+    struct LoopCoord;
+    impl Coordinator for LoopCoord {
+        type Up = FwdUp;
+        type Down = FwdDown;
+        fn on_message(&mut self, from: SiteId, _msg: FwdUp, out: &mut Outbox<FwdDown>) {
+            out.unicast(from, FwdDown::Ack);
+        }
+    }
+
+    #[test]
+    fn livelock_hits_fuse() {
+        let sites = vec![LoopSite, LoopSite];
+        let mut c = Cluster::new(sites, LoopCoord).unwrap().with_fuse(1000);
+        let err = c.feed(SiteId(0), 1).unwrap_err();
+        assert_eq!(err, SimError::Livelock { fuse: 1000 });
+    }
+
+    #[test]
+    fn into_parts_returns_state() {
+        let mut c = cluster(2);
+        c.feed(SiteId(0), 7).unwrap();
+        let (coord, sites, meter) = c.into_parts();
+        assert_eq!(coord.sum, 7);
+        assert_eq!(sites.len(), 2);
+        assert_eq!(meter.kind("fwd/item").messages, 1);
+    }
+}

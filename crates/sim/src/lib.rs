@@ -1,0 +1,35 @@
+//! # dtrack-sim — the distributed streaming model substrate
+//!
+//! Implements the communication model of Yi & Zhang (PODS 2009): a sequence
+//! of items is observed by `k` remote *sites*, each of which has a two-way
+//! channel to a designated *coordinator*. Sites never talk to each other
+//! directly. Communication is instant: after an item arrives at a site, all
+//! communication it triggers (including iterative coordinator-initiated
+//! polls) completes before the next item arrives.
+//!
+//! The complexity measure is the **total number of words communicated**,
+//! where one word is Θ(log u) = Θ(log n) bits; here a word is 64 bits.
+//!
+//! Two runtimes are provided:
+//!
+//! * [`Cluster`] — a deterministic, single-threaded runner that drains all
+//!   triggered communication to quiescence after every arrival while
+//!   metering every message. This is what the experiment harness uses: it
+//!   measures exactly the quantity the paper's theorems bound.
+//! * [`threaded::ThreadedCluster`] — the same protocols on real OS threads
+//!   connected by `crossbeam` channels, demonstrating that the protocol
+//!   implementations are genuinely message-driven and share no state.
+//!
+//! Protocols are written against the [`Site`] and [`Coordinator`] traits and
+//! are agnostic to which runtime carries their messages.
+
+pub mod cluster;
+pub mod error;
+pub mod meter;
+pub mod proto;
+pub mod threaded;
+
+pub use cluster::Cluster;
+pub use error::SimError;
+pub use meter::{CostReport, KindCost, MessageMeter};
+pub use proto::{Coordinator, Down, MessageSize, Outbox, Site, SiteId};

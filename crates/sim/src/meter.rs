@@ -1,0 +1,196 @@
+//! Communication metering: counts messages and words, per direction and per
+//! message kind.
+//!
+//! The paper's theorems bound the *total number of words* exchanged over the
+//! whole tracking period, where a word is Θ(log u) bits. The meter tallies
+//! both words and messages (the lower bound of Theorem 2.4 is in fact a
+//! bound on the number of messages), and keeps a per-kind breakdown so
+//! experiments can attribute cost to protocol phases (e.g. how much of the
+//! heavy-hitter budget goes to `all` signals vs. item updates vs. re-sync
+//! polls).
+
+use std::collections::BTreeMap;
+
+/// Message/word tallies for one message kind in one direction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KindCost {
+    /// Number of messages.
+    pub messages: u64,
+    /// Total words across those messages.
+    pub words: u64,
+}
+
+impl KindCost {
+    fn add(&mut self, words: u64) {
+        self.messages += 1;
+        self.words += words;
+    }
+}
+
+/// Accumulates communication cost during a run.
+#[derive(Debug, Clone, Default)]
+pub struct MessageMeter {
+    up: KindCost,
+    down: KindCost,
+    by_kind: BTreeMap<&'static str, KindCost>,
+}
+
+impl MessageMeter {
+    /// A fresh meter with all tallies at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one upstream (site -> coordinator) message of `words` words.
+    #[inline]
+    pub fn record_up(&mut self, kind: &'static str, words: u64) {
+        self.up.add(words);
+        self.by_kind.entry(kind).or_default().add(words);
+    }
+
+    /// Record one downstream (coordinator -> site) message of `words` words.
+    #[inline]
+    pub fn record_down(&mut self, kind: &'static str, words: u64) {
+        self.down.add(words);
+        self.by_kind.entry(kind).or_default().add(words);
+    }
+
+    /// Total messages in both directions.
+    pub fn total_messages(&self) -> u64 {
+        self.up.messages + self.down.messages
+    }
+
+    /// Total words in both directions — the paper's cost measure.
+    pub fn total_words(&self) -> u64 {
+        self.up.words + self.down.words
+    }
+
+    /// Upstream tallies.
+    pub fn up(&self) -> KindCost {
+        self.up
+    }
+
+    /// Downstream tallies.
+    pub fn down(&self) -> KindCost {
+        self.down
+    }
+
+    /// Cost attributed to a message kind (zero if never seen).
+    pub fn kind(&self, kind: &str) -> KindCost {
+        self.by_kind.get(kind).copied().unwrap_or_default()
+    }
+
+    /// Snapshot of the full per-kind breakdown, sorted by kind label.
+    pub fn report(&self) -> CostReport {
+        CostReport {
+            up: self.up,
+            down: self.down,
+            by_kind: self
+                .by_kind
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), *v))
+                .collect(),
+        }
+    }
+
+    /// Reset all tallies to zero (e.g. to exclude a warm-up phase).
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+/// An owned snapshot of a [`MessageMeter`], suitable for storing in
+/// experiment records after the run has been torn down.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CostReport {
+    /// Upstream tallies.
+    pub up: KindCost,
+    /// Downstream tallies.
+    pub down: KindCost,
+    /// Per-kind tallies, sorted by label.
+    pub by_kind: Vec<(String, KindCost)>,
+}
+
+impl CostReport {
+    /// Total words in both directions.
+    pub fn total_words(&self) -> u64 {
+        self.up.words + self.down.words
+    }
+
+    /// Total messages in both directions.
+    pub fn total_messages(&self) -> u64 {
+        self.up.messages + self.down.messages
+    }
+}
+
+impl std::fmt::Display for CostReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "total: {} msgs / {} words (up {}/{}, down {}/{})",
+            self.total_messages(),
+            self.total_words(),
+            self.up.messages,
+            self.up.words,
+            self.down.messages,
+            self.down.words,
+        )?;
+        for (kind, c) in &self.by_kind {
+            writeln!(f, "  {kind:<24} {:>10} msgs {:>12} words", c.messages, c.words)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tallies_accumulate_per_direction() {
+        let mut m = MessageMeter::new();
+        m.record_up("a", 2);
+        m.record_up("a", 3);
+        m.record_down("b", 1);
+        assert_eq!(m.up(), KindCost { messages: 2, words: 5 });
+        assert_eq!(m.down(), KindCost { messages: 1, words: 1 });
+        assert_eq!(m.total_messages(), 3);
+        assert_eq!(m.total_words(), 6);
+    }
+
+    #[test]
+    fn kind_breakdown() {
+        let mut m = MessageMeter::new();
+        m.record_up("x/update", 2);
+        m.record_down("x/update", 2);
+        m.record_up("x/sync", 1);
+        assert_eq!(m.kind("x/update"), KindCost { messages: 2, words: 4 });
+        assert_eq!(m.kind("x/sync"), KindCost { messages: 1, words: 1 });
+        assert_eq!(m.kind("missing"), KindCost::default());
+    }
+
+    #[test]
+    fn report_snapshot_matches_meter() {
+        let mut m = MessageMeter::new();
+        m.record_up("u", 4);
+        m.record_down("d", 6);
+        let r = m.report();
+        assert_eq!(r.total_words(), m.total_words());
+        assert_eq!(r.total_messages(), m.total_messages());
+        assert_eq!(r.by_kind.len(), 2);
+        // Sorted by label.
+        assert_eq!(r.by_kind[0].0, "d");
+        assert_eq!(r.by_kind[1].0, "u");
+        let text = r.to_string();
+        assert!(text.contains("total: 2 msgs / 10 words"));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut m = MessageMeter::new();
+        m.record_up("u", 4);
+        m.reset();
+        assert_eq!(m.total_words(), 0);
+        assert_eq!(m.report().by_kind.len(), 0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Protocol traits: how sites and the coordinator exchange messages.
+//!
+//! A tracking protocol is a pair of state machines:
+//!
+//! * a **site** reacts to item arrivals and to downstream messages from the
+//!   coordinator, emitting upstream messages;
+//! * the **coordinator** reacts to upstream messages, emitting downstream
+//!   messages (unicast or broadcast).
+//!
+//! Sites must never initiate communication spontaneously: every upstream
+//! message is a reaction to an arrival or a downstream message, matching the
+//! model in the paper (and the premise of the Lemma 2.3 lower bound).
+
+/// Identifier of a remote site, in `0..k`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SiteId(pub u32);
+
+impl SiteId {
+    /// The site index as a usize, for indexing site vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for SiteId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// Every protocol message reports its size in 64-bit words and a static
+/// label used for cost breakdowns in the experiment harness.
+///
+/// The paper measures communication in words of Θ(log u) = Θ(log n) bits;
+/// a message of constant size is O(1) words.
+pub trait MessageSize {
+    /// Size of this message in 64-bit words (>= 1: even a bare signal
+    /// occupies a word on the wire).
+    fn size_words(&self) -> u64;
+
+    /// A short static label naming the message class, e.g. `"hh/all"`.
+    fn kind(&self) -> &'static str;
+}
+
+/// A site-side protocol state machine.
+pub trait Site {
+    /// The item type observed by sites (usually `u64`).
+    type Item;
+    /// Upstream message type (site -> coordinator).
+    type Up: MessageSize;
+    /// Downstream message type (coordinator -> site).
+    type Down: MessageSize;
+
+    /// An item has arrived at this site. Push any triggered upstream
+    /// messages into `out`.
+    fn on_item(&mut self, item: Self::Item, out: &mut Vec<Self::Up>);
+
+    /// A downstream message has arrived from the coordinator. Push any
+    /// triggered upstream messages (e.g. poll replies) into `out`.
+    fn on_message(&mut self, msg: &Self::Down, out: &mut Vec<Self::Up>);
+}
+
+/// Destination of a downstream message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Down {
+    /// Send to one site.
+    Unicast(SiteId),
+    /// Send to every site; metered as k separate messages, matching the
+    /// paper's accounting of a broadcast as k words.
+    Broadcast,
+}
+
+/// Buffer of downstream messages produced by one coordinator step.
+#[derive(Debug)]
+pub struct Outbox<D> {
+    pub(crate) msgs: Vec<(Down, D)>,
+}
+
+impl<D> Default for Outbox<D> {
+    fn default() -> Self {
+        Outbox { msgs: Vec::new() }
+    }
+}
+
+impl<D> Outbox<D> {
+    /// Create an empty outbox.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queue a unicast message to `site`.
+    #[inline]
+    pub fn unicast(&mut self, site: SiteId, msg: D) {
+        self.msgs.push((Down::Unicast(site), msg));
+    }
+
+    /// Queue a broadcast to all sites.
+    #[inline]
+    pub fn broadcast(&mut self, msg: D) {
+        self.msgs.push((Down::Broadcast, msg));
+    }
+
+    /// Number of queued directives (a broadcast counts once here; the
+    /// runtime expands and meters it as k messages).
+    pub fn len(&self) -> usize {
+        self.msgs.len()
+    }
+
+    /// True if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.msgs.is_empty()
+    }
+
+    /// Drain the queued messages.
+    pub fn drain(&mut self) -> impl Iterator<Item = (Down, D)> + '_ {
+        self.msgs.drain(..)
+    }
+}
+
+/// The coordinator-side protocol state machine.
+pub trait Coordinator {
+    /// Upstream message type (site -> coordinator).
+    type Up: MessageSize;
+    /// Downstream message type (coordinator -> site).
+    type Down: MessageSize;
+
+    /// An upstream message from `from` has arrived. Queue any downstream
+    /// messages on `out`.
+    fn on_message(&mut self, from: SiteId, msg: Self::Up, out: &mut Outbox<Self::Down>);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Ping;
+    impl MessageSize for Ping {
+        fn size_words(&self) -> u64 {
+            1
+        }
+        fn kind(&self) -> &'static str {
+            "ping"
+        }
+    }
+
+    #[test]
+    fn site_id_display_and_index() {
+        let s = SiteId(3);
+        assert_eq!(s.to_string(), "S3");
+        assert_eq!(s.index(), 3);
+    }
+
+    #[test]
+    fn outbox_collects_and_drains() {
+        let mut out: Outbox<Ping> = Outbox::new();
+        assert!(out.is_empty());
+        out.unicast(SiteId(1), Ping);
+        out.broadcast(Ping);
+        assert_eq!(out.len(), 2);
+        let drained: Vec<_> = out.drain().collect();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].0, Down::Unicast(SiteId(1)));
+        assert_eq!(drained[1].0, Down::Broadcast);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,393 @@
+//! Threaded runtime: the same protocols on real OS threads connected by
+//! `crossbeam` channels.
+//!
+//! One thread per site plus one coordinator thread. Every hop is metered
+//! exactly as in the deterministic [`crate::Cluster`]. Unlike the
+//! deterministic runner, arrivals at *different* sites may interleave with
+//! in-flight communication; [`ThreadedCluster::settle`] waits until the
+//! system is quiescent, which is when queries are meaningful.
+//!
+//! This runtime exists to demonstrate that the protocol implementations are
+//! genuinely message-driven (no hidden shared state): the exact same `Site`
+//! and `Coordinator` state machines run under both runtimes, and integration
+//! tests assert they produce identical answers and identical word counts on
+//! identical single-site-at-a-time schedules.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::error::SimError;
+use crate::meter::MessageMeter;
+use crate::proto::{Coordinator, Down, MessageSize, Outbox, Site, SiteId};
+
+enum SiteCmd<S: Site> {
+    Item(S::Item),
+    Down(Arc<S::Down>),
+    Stop(Sender<S>),
+}
+
+enum CoordCmd<C: Coordinator> {
+    Up(SiteId, C::Up),
+    With(Box<dyn FnOnce(&mut C) + Send>),
+    Stop(Sender<C>),
+}
+
+/// Shared bookkeeping for quiescence detection: the number of messages that
+/// are queued or currently being processed. A handler increments the counter
+/// for each output *before* decrementing for its input, so the counter only
+/// reaches zero when the whole cascade has finished.
+#[derive(Debug, Default)]
+struct Pending(AtomicU64);
+
+impl Pending {
+    fn inc(&self) {
+        self.0.fetch_add(1, Ordering::SeqCst);
+    }
+    fn dec(&self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+    fn is_idle(&self) -> bool {
+        self.0.load(Ordering::SeqCst) == 0
+    }
+}
+
+/// A cluster running on OS threads.
+pub struct ThreadedCluster<S, C>
+where
+    S: Site + Send + 'static,
+    C: Coordinator<Up = S::Up, Down = S::Down> + Send + 'static,
+    S::Item: Send,
+    S::Up: Send,
+    S::Down: Send + Sync,
+{
+    site_txs: Vec<Sender<SiteCmd<S>>>,
+    coord_tx: Sender<CoordCmd<C>>,
+    site_handles: Vec<JoinHandle<()>>,
+    coord_handle: Option<JoinHandle<()>>,
+    pending: Arc<Pending>,
+    meter: Arc<Mutex<MessageMeter>>,
+}
+
+impl<S, C> ThreadedCluster<S, C>
+where
+    S: Site + Send + 'static,
+    C: Coordinator<Up = S::Up, Down = S::Down> + Send + 'static,
+    S::Item: Send,
+    S::Up: Send,
+    S::Down: Send + Sync,
+{
+    /// Spawn one thread per site plus a coordinator thread.
+    pub fn spawn(sites: Vec<S>, coordinator: C) -> Result<Self, SimError> {
+        if sites.len() < 2 {
+            return Err(SimError::TooFewSites {
+                sites: sites.len() as u32,
+            });
+        }
+        let pending = Arc::new(Pending::default());
+        let meter = Arc::new(Mutex::new(MessageMeter::new()));
+        let (coord_tx, coord_rx): (Sender<CoordCmd<C>>, Receiver<CoordCmd<C>>) = unbounded();
+
+        let mut site_txs = Vec::with_capacity(sites.len());
+        let mut site_handles = Vec::with_capacity(sites.len());
+        for (i, site) in sites.into_iter().enumerate() {
+            let (tx, rx) = unbounded::<SiteCmd<S>>();
+            site_txs.push(tx);
+            let coord_tx = coord_tx.clone();
+            let pending = Arc::clone(&pending);
+            let meter = Arc::clone(&meter);
+            let id = SiteId(i as u32);
+            site_handles.push(std::thread::spawn(move || {
+                run_site(site, id, rx, coord_tx, pending, meter)
+            }));
+        }
+
+        let coord_pending = Arc::clone(&pending);
+        let coord_meter = Arc::clone(&meter);
+        let txs = site_txs.clone();
+        let coord_handle = std::thread::spawn(move || {
+            run_coordinator(coordinator, coord_rx, txs, coord_pending, coord_meter)
+        });
+
+        Ok(ThreadedCluster {
+            site_txs,
+            coord_tx,
+            site_handles,
+            coord_handle: Some(coord_handle),
+            pending,
+            meter,
+        })
+    }
+
+    /// Number of sites k.
+    pub fn num_sites(&self) -> u32 {
+        self.site_txs.len() as u32
+    }
+
+    /// Deliver an item to a site (asynchronously).
+    pub fn feed(&self, site: SiteId, item: S::Item) -> Result<(), SimError> {
+        let tx = self
+            .site_txs
+            .get(site.index())
+            .ok_or(SimError::NoSuchSite {
+                site: site.0,
+                sites: self.site_txs.len() as u32,
+            })?;
+        self.pending.inc();
+        tx.send(SiteCmd::Item(item))
+            .map_err(|_| SimError::WorkerGone { who: "site" })
+    }
+
+    /// Block until no message is queued or being processed anywhere.
+    pub fn settle(&self) {
+        while !self.pending.is_idle() {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Run a closure against the coordinator state on its own thread and
+    /// return the result. Call [`Self::settle`] first if the query must
+    /// observe a quiescent state.
+    pub fn with_coordinator<R, F>(&self, f: F) -> Result<R, SimError>
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut C) -> R + Send + 'static,
+    {
+        let (tx, rx) = unbounded();
+        self.coord_tx
+            .send(CoordCmd::With(Box::new(move |c: &mut C| {
+                // Receiver outlives the closure; ignore a dropped receiver.
+                let _ = tx.send(f(c));
+            })))
+            .map_err(|_| SimError::WorkerGone { who: "coordinator" })?;
+        rx.recv().map_err(|_| SimError::WorkerGone { who: "coordinator" })
+    }
+
+    /// Snapshot the communication meter.
+    pub fn cost(&self) -> MessageMeter {
+        self.meter.lock().clone()
+    }
+
+    /// Stop all threads and return the final coordinator, sites, and meter.
+    pub fn shutdown(mut self) -> Result<(C, Vec<S>, MessageMeter), SimError> {
+        self.settle();
+        let mut sites = Vec::with_capacity(self.site_txs.len());
+        for tx in &self.site_txs {
+            let (stx, srx) = unbounded();
+            tx.send(SiteCmd::Stop(stx))
+                .map_err(|_| SimError::WorkerGone { who: "site" })?;
+            sites.push(srx.recv().map_err(|_| SimError::WorkerGone { who: "site" })?);
+        }
+        let (ctx, crx) = unbounded();
+        self.coord_tx
+            .send(CoordCmd::Stop(ctx))
+            .map_err(|_| SimError::WorkerGone { who: "coordinator" })?;
+        let coordinator = crx
+            .recv()
+            .map_err(|_| SimError::WorkerGone { who: "coordinator" })?;
+        for h in self.site_handles.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(h) = self.coord_handle.take() {
+            let _ = h.join();
+        }
+        let meter = self.meter.lock().clone();
+        Ok((coordinator, sites, meter))
+    }
+}
+
+fn run_site<S, C>(
+    mut site: S,
+    id: SiteId,
+    rx: Receiver<SiteCmd<S>>,
+    coord_tx: Sender<CoordCmd<C>>,
+    pending: Arc<Pending>,
+    meter: Arc<Mutex<MessageMeter>>,
+) where
+    S: Site + Send + 'static,
+    C: Coordinator<Up = S::Up, Down = S::Down> + Send + 'static,
+{
+    let mut out: Vec<S::Up> = Vec::new();
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            SiteCmd::Item(item) => {
+                site.on_item(item, &mut out);
+            }
+            SiteCmd::Down(msg) => {
+                {
+                    let mut m = meter.lock();
+                    m.record_down(msg.kind(), msg.size_words());
+                }
+                site.on_message(&msg, &mut out);
+            }
+            SiteCmd::Stop(reply) => {
+                let _ = reply.send(site);
+                return;
+            }
+        }
+        for up in out.drain(..) {
+            {
+                let mut m = meter.lock();
+                m.record_up(up.kind(), up.size_words());
+            }
+            pending.inc();
+            if coord_tx.send(CoordCmd::Up(id, up)).is_err() {
+                pending.dec();
+                return;
+            }
+        }
+        // The input message is fully handled only after its outputs are
+        // enqueued; decrement last so `pending` can't dip to zero early.
+        pending.dec();
+    }
+}
+
+fn run_coordinator<S, C>(
+    mut coordinator: C,
+    rx: Receiver<CoordCmd<C>>,
+    site_txs: Vec<Sender<SiteCmd<S>>>,
+    pending: Arc<Pending>,
+    _meter: Arc<Mutex<MessageMeter>>,
+) where
+    S: Site + Send + 'static,
+    C: Coordinator<Up = S::Up, Down = S::Down> + Send + 'static,
+    S::Down: Send + Sync,
+{
+    let mut outbox: Outbox<S::Down> = Outbox::new();
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            CoordCmd::Up(from, up) => {
+                coordinator.on_message(from, up, &mut outbox);
+                let downs: Vec<(Down, S::Down)> = outbox.drain().collect();
+                for (dest, msg) in downs {
+                    let msg = Arc::new(msg);
+                    match dest {
+                        Down::Unicast(dst) => {
+                            if let Some(tx) = site_txs.get(dst.index()) {
+                                pending.inc();
+                                if tx.send(SiteCmd::Down(Arc::clone(&msg))).is_err() {
+                                    pending.dec();
+                                }
+                            }
+                        }
+                        Down::Broadcast => {
+                            for tx in &site_txs {
+                                pending.inc();
+                                if tx.send(SiteCmd::Down(Arc::clone(&msg))).is_err() {
+                                    pending.dec();
+                                }
+                            }
+                        }
+                    }
+                }
+                pending.dec();
+            }
+            CoordCmd::With(f) => f(&mut coordinator),
+            CoordCmd::Stop(reply) => {
+                let _ = reply.send(coordinator);
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Default)]
+    struct CountSite {
+        local: u64,
+    }
+    #[derive(Debug)]
+    struct Inc(u64);
+    #[derive(Debug)]
+    struct Nudge;
+
+    impl MessageSize for Inc {
+        fn size_words(&self) -> u64 {
+            1
+        }
+        fn kind(&self) -> &'static str {
+            "t/inc"
+        }
+    }
+    impl MessageSize for Nudge {
+        fn size_words(&self) -> u64 {
+            1
+        }
+        fn kind(&self) -> &'static str {
+            "t/nudge"
+        }
+    }
+
+    impl Site for CountSite {
+        type Item = u64;
+        type Up = Inc;
+        type Down = Nudge;
+        fn on_item(&mut self, item: u64, out: &mut Vec<Inc>) {
+            self.local += item;
+            out.push(Inc(item));
+        }
+        fn on_message(&mut self, _msg: &Nudge, _out: &mut Vec<Inc>) {}
+    }
+
+    #[derive(Debug, Default)]
+    struct SumCoord {
+        sum: u64,
+        ups: u64,
+    }
+    impl Coordinator for SumCoord {
+        type Up = Inc;
+        type Down = Nudge;
+        fn on_message(&mut self, _from: SiteId, msg: Inc, out: &mut Outbox<Nudge>) {
+            self.sum += msg.0;
+            self.ups += 1;
+            if self.ups.is_multiple_of(5) {
+                out.broadcast(Nudge);
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_roundtrip_sums_and_meters() {
+        let sites = (0..4).map(|_| CountSite::default()).collect();
+        let cluster = ThreadedCluster::spawn(sites, SumCoord::default()).unwrap();
+        let mut expect = 0u64;
+        for i in 1..=20u64 {
+            expect += i;
+            cluster.feed(SiteId((i % 4) as u32), i).unwrap();
+        }
+        cluster.settle();
+        let sum = cluster.with_coordinator(|c| c.sum).unwrap();
+        assert_eq!(sum, expect);
+        let meter = cluster.cost();
+        assert_eq!(meter.kind("t/inc").messages, 20);
+        // 4 broadcasts (after ups 5, 10, 15, 20) x 4 sites.
+        assert_eq!(meter.kind("t/nudge").messages, 16);
+        let (coord, sites, meter2) = cluster.shutdown().unwrap();
+        assert_eq!(coord.sum, expect);
+        assert_eq!(sites.iter().map(|s| s.local).sum::<u64>(), expect);
+        assert_eq!(meter2.total_messages(), 36);
+    }
+
+    #[test]
+    fn spawn_requires_two_sites() {
+        let err = ThreadedCluster::spawn(vec![CountSite::default()], SumCoord::default())
+            .err()
+            .unwrap();
+        assert_eq!(err, SimError::TooFewSites { sites: 1 });
+    }
+
+    #[test]
+    fn feed_unknown_site_errors() {
+        let sites = (0..2).map(|_| CountSite::default()).collect();
+        let cluster = ThreadedCluster::spawn(sites, SumCoord::default()).unwrap();
+        let err = cluster.feed(SiteId(5), 1).unwrap_err();
+        assert_eq!(err, SimError::NoSuchSite { site: 5, sites: 2 });
+        cluster.shutdown().unwrap();
+    }
+}

@@ -1,0 +1,405 @@
+//! Exact local stores: a frequency map and an order-statistic treap.
+//!
+//! The basic protocols of the paper assume each site "maintains the exact
+//! frequency of each x ∈ U at site Sj" (§2.1) and can answer exact rank and
+//! range-count polls (§3.1 step 1–2). [`ExactFrequencies`] and
+//! [`ExactOrdered`] provide those with O(log n) (or O(1)) operations.
+
+use std::collections::HashMap;
+
+/// Exact per-item frequency counts for a site's local stream.
+#[derive(Debug, Clone, Default)]
+pub struct ExactFrequencies {
+    counts: HashMap<u64, u64>,
+    total: u64,
+}
+
+impl ExactFrequencies {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one occurrence of `x`; returns the new count of `x`.
+    #[inline]
+    pub fn observe(&mut self, x: u64) -> u64 {
+        self.total += 1;
+        let c = self.counts.entry(x).or_insert(0);
+        *c += 1;
+        *c
+    }
+
+    /// Exact count of `x`.
+    #[inline]
+    pub fn count(&self, x: u64) -> u64 {
+        self.counts.get(&x).copied().unwrap_or(0)
+    }
+
+    /// Total number of items observed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct items observed.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Iterate over `(item, count)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts.iter().map(|(k, v)| (*k, *v))
+    }
+}
+
+/// A node of the order-statistic treap: a multiset entry with subtree
+/// weight. `size` counts total multiplicity (not distinct keys) in the
+/// subtree so ranks are multiset ranks.
+#[derive(Debug, Clone)]
+struct Node {
+    key: u64,
+    prio: u64,
+    mult: u64,
+    size: u64,
+    left: Option<Box<Node>>,
+    right: Option<Box<Node>>,
+}
+
+impl Node {
+    fn new(key: u64, prio: u64) -> Box<Node> {
+        Box::new(Node {
+            key,
+            prio,
+            mult: 1,
+            size: 1,
+            left: None,
+            right: None,
+        })
+    }
+
+    fn update(&mut self) {
+        self.size = self.mult + subtree_size(&self.left) + subtree_size(&self.right);
+    }
+}
+
+#[inline]
+fn subtree_size(n: &Option<Box<Node>>) -> u64 {
+    n.as_ref().map_or(0, |n| n.size)
+}
+
+/// SplitMix64: deterministic pseudo-random priorities so treap shape (and
+/// thus all protocol runs) are reproducible without an RNG dependency.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// An order-statistic treap over a multiset of `u64` values.
+///
+/// Supports the exact queries quantile-tracking sites must answer:
+/// * `rank_lt(x)` — number of stored items strictly less than `x`;
+/// * `rank_le(x)` — number of stored items ≤ `x`;
+/// * `select(r)` — the item of multiset rank `r` (0-based);
+/// * `range_count(lo, hi)` — items in the inclusive range `[lo, hi]`.
+///
+/// All operations are O(log n) expected; insertion order does not affect
+/// results, and the structure is deterministic for a given insertion
+/// sequence.
+#[derive(Debug, Clone)]
+pub struct ExactOrdered {
+    root: Option<Box<Node>>,
+    prio_state: u64,
+    len: u64,
+}
+
+impl Default for ExactOrdered {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExactOrdered {
+    /// Empty multiset.
+    pub fn new() -> Self {
+        ExactOrdered {
+            root: None,
+            prio_state: 0x5DEE_CE66_D123_4567,
+            len: 0,
+        }
+    }
+
+    /// Number of stored items (with multiplicity).
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when no items are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert one occurrence of `x`.
+    pub fn insert(&mut self, x: u64) {
+        let prio = splitmix64(&mut self.prio_state);
+        let root = self.root.take();
+        self.root = Some(Self::insert_node(root, x, prio));
+        self.len += 1;
+    }
+
+    fn insert_node(node: Option<Box<Node>>, key: u64, prio: u64) -> Box<Node> {
+        match node {
+            None => Node::new(key, prio),
+            Some(mut n) => {
+                if key == n.key {
+                    n.mult += 1;
+                    n.size += 1;
+                    n
+                } else if key < n.key {
+                    let child = Self::insert_node(n.left.take(), key, prio);
+                    n.left = Some(child);
+                    if n.left.as_ref().is_some_and(|l| l.prio > n.prio) {
+                        Self::rotate_right(n)
+                    } else {
+                        n.update();
+                        n
+                    }
+                } else {
+                    let child = Self::insert_node(n.right.take(), key, prio);
+                    n.right = Some(child);
+                    if n.right.as_ref().is_some_and(|r| r.prio > n.prio) {
+                        Self::rotate_left(n)
+                    } else {
+                        n.update();
+                        n
+                    }
+                }
+            }
+        }
+    }
+
+    fn rotate_right(mut n: Box<Node>) -> Box<Node> {
+        let mut l = n.left.take().expect("rotate_right requires a left child");
+        n.left = l.right.take();
+        n.update();
+        l.right = Some(n);
+        l.update();
+        l
+    }
+
+    fn rotate_left(mut n: Box<Node>) -> Box<Node> {
+        let mut r = n.right.take().expect("rotate_left requires a right child");
+        n.right = r.left.take();
+        n.update();
+        r.left = Some(n);
+        r.update();
+        r
+    }
+
+    /// Number of items strictly less than `x`.
+    pub fn rank_lt(&self, x: u64) -> u64 {
+        let mut acc = 0u64;
+        let mut cur = &self.root;
+        while let Some(n) = cur {
+            if x <= n.key {
+                cur = &n.left;
+            } else {
+                acc += subtree_size(&n.left) + n.mult;
+                cur = &n.right;
+            }
+        }
+        acc
+    }
+
+    /// Number of items less than or equal to `x`.
+    pub fn rank_le(&self, x: u64) -> u64 {
+        if x == u64::MAX {
+            return self.len;
+        }
+        self.rank_lt(x + 1)
+    }
+
+    /// Exact multiplicity of `x`.
+    pub fn count(&self, x: u64) -> u64 {
+        self.rank_le(x) - self.rank_lt(x)
+    }
+
+    /// Number of items in the inclusive range `[lo, hi]`; 0 when `lo > hi`.
+    pub fn range_count(&self, lo: u64, hi: u64) -> u64 {
+        if lo > hi {
+            return 0;
+        }
+        self.rank_le(hi) - self.rank_lt(lo)
+    }
+
+    /// The item of multiset rank `r` (0-based); `None` when `r >= len`.
+    pub fn select(&self, r: u64) -> Option<u64> {
+        if r >= self.len {
+            return None;
+        }
+        let mut r = r;
+        let mut cur = &self.root;
+        while let Some(n) = cur {
+            let left = subtree_size(&n.left);
+            if r < left {
+                cur = &n.left;
+            } else if r < left + n.mult {
+                return Some(n.key);
+            } else {
+                r -= left + n.mult;
+                cur = &n.right;
+            }
+        }
+        None
+    }
+
+    /// Iterate over `(value, multiplicity)` in ascending value order.
+    pub fn iter(&self) -> ExactOrderedIter<'_> {
+        let mut stack = Vec::new();
+        let mut cur = self.root.as_deref();
+        while let Some(n) = cur {
+            stack.push(n);
+            cur = n.left.as_deref();
+        }
+        ExactOrderedIter { stack }
+    }
+}
+
+/// In-order iterator over an [`ExactOrdered`] multiset.
+pub struct ExactOrderedIter<'a> {
+    stack: Vec<&'a Node>,
+}
+
+impl<'a> Iterator for ExactOrderedIter<'a> {
+    type Item = (u64, u64);
+    fn next(&mut self) -> Option<Self::Item> {
+        let n = self.stack.pop()?;
+        let mut cur = n.right.as_deref();
+        while let Some(c) = cur {
+            self.stack.push(c);
+            cur = c.left.as_deref();
+        }
+        Some((n.key, n.mult))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequencies_count_and_total() {
+        let mut f = ExactFrequencies::new();
+        for x in [5, 5, 7, 5, 9] {
+            f.observe(x);
+        }
+        assert_eq!(f.count(5), 3);
+        assert_eq!(f.count(7), 1);
+        assert_eq!(f.count(42), 0);
+        assert_eq!(f.total(), 5);
+        assert_eq!(f.distinct(), 3);
+        let mut pairs: Vec<_> = f.iter().collect();
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(5, 3), (7, 1), (9, 1)]);
+    }
+
+    #[test]
+    fn ordered_rank_select_roundtrip() {
+        let mut t = ExactOrdered::new();
+        let vals = [50u64, 10, 30, 30, 90, 70, 30];
+        for v in vals {
+            t.insert(v);
+        }
+        // Sorted: 10, 30, 30, 30, 50, 70, 90
+        assert_eq!(t.len(), 7);
+        assert_eq!(t.rank_lt(10), 0);
+        assert_eq!(t.rank_lt(30), 1);
+        assert_eq!(t.rank_le(30), 4);
+        assert_eq!(t.rank_lt(100), 7);
+        assert_eq!(t.count(30), 3);
+        assert_eq!(t.count(11), 0);
+        assert_eq!(t.select(0), Some(10));
+        assert_eq!(t.select(3), Some(30));
+        assert_eq!(t.select(4), Some(50));
+        assert_eq!(t.select(6), Some(90));
+        assert_eq!(t.select(7), None);
+    }
+
+    #[test]
+    fn range_count_inclusive() {
+        let mut t = ExactOrdered::new();
+        for v in 0..100u64 {
+            t.insert(v * 2); // evens 0..198
+        }
+        assert_eq!(t.range_count(0, 198), 100);
+        assert_eq!(t.range_count(10, 20), 6); // 10,12,14,16,18,20
+        assert_eq!(t.range_count(11, 11), 0);
+        assert_eq!(t.range_count(20, 10), 0);
+        assert_eq!(t.range_count(197, u64::MAX), 1);
+    }
+
+    #[test]
+    fn extreme_keys() {
+        let mut t = ExactOrdered::new();
+        t.insert(0);
+        t.insert(u64::MAX);
+        t.insert(u64::MAX);
+        assert_eq!(t.rank_lt(0), 0);
+        assert_eq!(t.rank_le(0), 1);
+        assert_eq!(t.rank_le(u64::MAX), 3);
+        assert_eq!(t.rank_lt(u64::MAX), 1);
+        assert_eq!(t.count(u64::MAX), 2);
+        assert_eq!(t.select(2), Some(u64::MAX));
+    }
+
+    #[test]
+    fn iter_is_sorted_with_multiplicity() {
+        let mut t = ExactOrdered::new();
+        for v in [9u64, 1, 5, 5, 9, 9] {
+            t.insert(v);
+        }
+        let got: Vec<_> = t.iter().collect();
+        assert_eq!(got, vec![(1, 1), (5, 2), (9, 3)]);
+    }
+
+    #[test]
+    fn matches_sorted_vec_on_dense_input() {
+        let mut t = ExactOrdered::new();
+        let mut v: Vec<u64> = Vec::new();
+        // Deterministic pseudo-random inserts.
+        let mut st = 42u64;
+        for _ in 0..2000 {
+            let x = splitmix64(&mut st) % 500;
+            t.insert(x);
+            v.push(x);
+        }
+        v.sort_unstable();
+        for probe in (0..500).step_by(7) {
+            let lt = v.partition_point(|&y| y < probe) as u64;
+            let le = v.partition_point(|&y| y <= probe) as u64;
+            assert_eq!(t.rank_lt(probe), lt, "rank_lt({probe})");
+            assert_eq!(t.rank_le(probe), le, "rank_le({probe})");
+        }
+        for r in (0..v.len()).step_by(13) {
+            assert_eq!(t.select(r as u64), Some(v[r]), "select({r})");
+        }
+    }
+
+    #[test]
+    fn treap_depth_is_logarithmic() {
+        // Sorted insertion is the worst case for a plain BST; the treap
+        // must keep expected O(log n) depth.
+        let mut t = ExactOrdered::new();
+        for v in 0..10_000u64 {
+            t.insert(v);
+        }
+        fn depth(n: &Option<Box<Node>>) -> u32 {
+            n.as_ref()
+                .map_or(0, |n| 1 + depth(&n.left).max(depth(&n.right)))
+        }
+        let d = depth(&t.root);
+        assert!(d < 64, "treap depth {d} too large for n=10000");
+    }
+}

@@ -1,0 +1,175 @@
+//! Misra–Gries frequent-items summary.
+//!
+//! The oldest deterministic heavy-hitter summary: `capacity` counters, and
+//! when a new item arrives with all counters taken, every counter is
+//! decremented (items reaching zero are dropped). Guarantees for a stream
+//! of n items:
+//!
+//! * `true(x) - n / (capacity + 1) <= estimate(x) <= true(x)` for every x —
+//!   an **underestimate**, the mirror image of SpaceSaving.
+//!
+//! The tracking protocols use SpaceSaving; Misra–Gries exists here as an
+//! independent implementation used by tests to cross-check the sketch-based
+//! heavy-hitter sites (two different summaries agreeing on classifications
+//! is strong evidence neither is silently broken).
+
+use std::collections::HashMap;
+
+/// The Misra–Gries summary.
+#[derive(Debug, Clone)]
+pub struct MisraGries {
+    capacity: usize,
+    counters: HashMap<u64, u64>,
+    total: u64,
+}
+
+impl MisraGries {
+    /// Summary with the given number of counters.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MisraGries capacity must be positive");
+        MisraGries {
+            capacity,
+            counters: HashMap::with_capacity(capacity * 2),
+            total: 0,
+        }
+    }
+
+    /// Summary sized for absolute error `epsilon * n`:
+    /// `capacity = ⌈1/epsilon⌉`.
+    ///
+    /// # Panics
+    /// Panics if `epsilon` is not in (0, 1].
+    pub fn with_epsilon(epsilon: f64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon <= 1.0,
+            "epsilon must be in (0, 1], got {epsilon}"
+        );
+        Self::new((1.0 / epsilon).ceil() as usize)
+    }
+
+    /// Number of counters.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total number of observed items.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Record one occurrence of `x`.
+    pub fn observe(&mut self, x: u64) {
+        self.total += 1;
+        if let Some(c) = self.counters.get_mut(&x) {
+            *c += 1;
+            return;
+        }
+        if self.counters.len() < self.capacity {
+            self.counters.insert(x, 1);
+            return;
+        }
+        // Decrement-all step; drop zeros. Amortized O(1): every decrement
+        // pairs with a previous increment.
+        self.counters.retain(|_, c| {
+            *c -= 1;
+            *c > 0
+        });
+    }
+
+    /// Underestimate of the frequency of `x`.
+    pub fn estimate(&self, x: u64) -> u64 {
+        self.counters.get(&x).copied().unwrap_or(0)
+    }
+
+    /// Candidate heavy hitters: items whose estimate is at least
+    /// `threshold`.
+    pub fn candidates(&self, threshold: u64) -> Vec<u64> {
+        let mut v: Vec<u64> = self
+            .counters
+            .iter()
+            .filter(|&(_, &c)| c >= threshold)
+            .map(|(&x, _)| x)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Iterate over `(item, estimate)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counters.iter().map(|(&x, &c)| (x, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn exact_when_under_capacity() {
+        let mut mg = MisraGries::new(10);
+        for x in [1u64, 1, 2, 3, 1] {
+            mg.observe(x);
+        }
+        assert_eq!(mg.estimate(1), 3);
+        assert_eq!(mg.estimate(2), 1);
+        assert_eq!(mg.estimate(9), 0);
+    }
+
+    #[test]
+    fn underestimate_with_bounded_error() {
+        let mut stream = Vec::new();
+        let mut st = 3u64;
+        for i in 0..6000u64 {
+            if i % 4 == 0 {
+                stream.push(7);
+            } else {
+                st = st.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                stream.push(100 + st % 300);
+            }
+        }
+        let cap = 40;
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        let mut mg = MisraGries::new(cap);
+        for &x in &stream {
+            *truth.entry(x).or_insert(0) += 1;
+            mg.observe(x);
+        }
+        let n = stream.len() as u64;
+        let bound = n / (cap as u64 + 1);
+        for (&x, &t) in &truth {
+            let e = mg.estimate(x);
+            assert!(e <= t, "must underestimate, item {x}: {e} > {t}");
+            assert!(t - e <= bound, "error bound violated for {x}: {t}-{e} > {bound}");
+        }
+    }
+
+    #[test]
+    fn candidates_sorted_and_filtered() {
+        let mut mg = MisraGries::new(5);
+        for _ in 0..10 {
+            mg.observe(3);
+        }
+        for _ in 0..4 {
+            mg.observe(1);
+        }
+        let c = mg.candidates(5);
+        assert_eq!(c, vec![3]);
+        let c = mg.candidates(1);
+        assert_eq!(c, vec![1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        MisraGries::new(0);
+    }
+
+    #[test]
+    fn with_epsilon_sizes_capacity() {
+        assert_eq!(MisraGries::with_epsilon(0.05).capacity(), 20);
+    }
+}

@@ -1,0 +1,233 @@
+//! Property-based tests of the summary substrate: the guarantees every
+//! sketch advertises must hold for arbitrary streams, not just the unit
+//! tests' hand-built ones. The tracking protocols' correctness proofs
+//! consume exactly these properties.
+
+use dtrack_sketch::{
+    EquiDepthSummary, ExactOrdered, GreenwaldKhanna, MergedSummary, MisraGries, SpaceSaving,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn freq_of(stream: &[u64]) -> HashMap<u64, u64> {
+    let mut m = HashMap::new();
+    for &x in stream {
+        *m.entry(x).or_insert(0u64) += 1;
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// SpaceSaving: count is an overestimate, `count − error` a lower
+    /// bound, error at most n/capacity, and every (n/capacity)-frequent
+    /// item is monitored.
+    #[test]
+    fn spacesaving_guarantees(
+        stream in prop::collection::vec(0u64..300, 50..2000),
+        cap in 4usize..64,
+    ) {
+        let truth = freq_of(&stream);
+        let mut ss = SpaceSaving::new(cap);
+        for &x in &stream {
+            ss.observe(x);
+        }
+        let n = stream.len() as u64;
+        let bound = n / cap as u64;
+        for c in ss.iter() {
+            let t = truth.get(&c.item).copied().unwrap_or(0);
+            prop_assert!(c.count >= t);
+            prop_assert!(c.count - c.error <= t);
+            prop_assert!(c.error <= bound);
+        }
+        prop_assert!(ss.min_count() <= bound);
+        for (&x, &t) in &truth {
+            if t > bound {
+                prop_assert!(ss.get(x).is_some(), "frequent item {x} evicted");
+            }
+            prop_assert!(ss.upper_bound(x) >= t);
+            prop_assert!(ss.lower_bound(x) <= t);
+        }
+    }
+
+    /// Misra–Gries: estimate is an underestimate with deficit at most
+    /// n/(capacity+1).
+    #[test]
+    fn misra_gries_guarantees(
+        stream in prop::collection::vec(0u64..300, 50..2000),
+        cap in 4usize..64,
+    ) {
+        let truth = freq_of(&stream);
+        let mut mg = MisraGries::new(cap);
+        for &x in &stream {
+            mg.observe(x);
+        }
+        let bound = stream.len() as u64 / (cap as u64 + 1);
+        for (&x, &t) in &truth {
+            let e = mg.estimate(x);
+            prop_assert!(e <= t);
+            prop_assert!(t - e <= bound, "item {x}: deficit {} > {bound}", t - e);
+        }
+    }
+
+    /// SpaceSaving and Misra–Gries bracket the truth from opposite sides.
+    #[test]
+    fn ss_and_mg_bracket_truth(
+        stream in prop::collection::vec(0u64..200, 100..1500),
+    ) {
+        let cap = 32;
+        let mut ss = SpaceSaving::new(cap);
+        let mut mg = MisraGries::new(cap);
+        for &x in &stream {
+            ss.observe(x);
+            mg.observe(x);
+        }
+        for x in 0u64..200 {
+            prop_assert!(mg.estimate(x) <= ss.upper_bound(x));
+        }
+    }
+
+    /// Greenwald–Khanna: every quantile query lands within εn ranks.
+    #[test]
+    fn gk_quantile_error_bounded(
+        stream in prop::collection::vec(0u64..100_000, 100..3000),
+        eps_pct in 2u32..20,
+    ) {
+        let eps = eps_pct as f64 / 100.0;
+        let mut gk = GreenwaldKhanna::new(eps);
+        for &x in &stream {
+            gk.observe(x);
+        }
+        let mut sorted = stream.clone();
+        sorted.sort_unstable();
+        let n = sorted.len() as u64;
+        let slack = (eps * n as f64).ceil() as u64 + 2;
+        for phi in [0.0, 0.1, 0.5, 0.9, 1.0] {
+            let q = gk.quantile(phi).unwrap();
+            let target = ((phi * n as f64).ceil() as u64).clamp(1, n);
+            let lo = sorted.partition_point(|&y| y < q) as u64 + 1;
+            let hi = sorted.partition_point(|&y| y <= q) as u64;
+            let dist = if target < lo { lo - target } else { target.saturating_sub(hi) };
+            prop_assert!(dist <= slack, "phi {phi}: dist {dist} > {slack}");
+        }
+    }
+
+    /// The order-statistic treap agrees exactly with a sorted vector.
+    #[test]
+    fn treap_matches_sorted_vec(
+        stream in prop::collection::vec(0u64..10_000, 1..1500),
+        probes in prop::collection::vec(0u64..10_000, 10),
+    ) {
+        let mut t = ExactOrdered::new();
+        for &x in &stream {
+            t.insert(x);
+        }
+        let mut sorted = stream.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(t.len(), sorted.len() as u64);
+        for &p in &probes {
+            prop_assert_eq!(t.rank_lt(p), sorted.partition_point(|&y| y < p) as u64);
+            prop_assert_eq!(t.rank_le(p), sorted.partition_point(|&y| y <= p) as u64);
+        }
+        for r in [0u64, sorted.len() as u64 / 2, sorted.len() as u64 - 1] {
+            prop_assert_eq!(t.select(r), Some(sorted[r as usize]));
+        }
+        prop_assert_eq!(t.select(sorted.len() as u64), None);
+    }
+
+    /// Equi-depth summaries: rank estimates within the advertised error,
+    /// and the error bound of a merge is the sum of the parts.
+    #[test]
+    fn equidepth_merge_error_additive(
+        a in prop::collection::vec(0u64..50_000, 20..800),
+        b in prop::collection::vec(0u64..50_000, 20..800),
+        step in 5u64..100,
+    ) {
+        let mut sa = a.clone();
+        sa.sort_unstable();
+        let mut sb = b.clone();
+        sb.sort_unstable();
+        let pa = EquiDepthSummary::from_sorted(&sa, step);
+        let pb = EquiDepthSummary::from_sorted(&sb, step);
+        let merged = MergedSummary::new(vec![pa.clone(), pb.clone()]);
+        prop_assert_eq!(merged.rank_error(), pa.rank_error() + pb.rank_error());
+        prop_assert_eq!(merged.total(), (a.len() + b.len()) as u64);
+        let mut all = a.clone();
+        all.extend(&b);
+        all.sort_unstable();
+        for probe in (0..50_000).step_by(7919) {
+            let truth = all.partition_point(|&y| y < probe) as u64;
+            let est = merged.rank_estimate(probe);
+            prop_assert!(
+                est.abs_diff(truth) <= merged.rank_error(),
+                "probe {probe}: est {est}, truth {truth}, bound {}",
+                merged.rank_error()
+            );
+        }
+    }
+
+    /// Merged select returns a value whose true rank is near the target.
+    #[test]
+    fn merged_select_near_target(
+        a in prop::collection::vec(0u64..50_000, 200..900),
+        b in prop::collection::vec(0u64..50_000, 200..900),
+    ) {
+        let step = 20u64;
+        let mut sa = a.clone();
+        sa.sort_unstable();
+        let mut sb = b.clone();
+        sb.sort_unstable();
+        let merged = MergedSummary::new(vec![
+            EquiDepthSummary::from_sorted(&sa, step),
+            EquiDepthSummary::from_sorted(&sb, step),
+        ]);
+        let mut all = a.clone();
+        all.extend(&b);
+        all.sort_unstable();
+        let n = all.len() as u64;
+        for target in [n / 4, n / 2, 3 * n / 4] {
+            if let Some(v) = merged.select(target) {
+                let r_lo = all.partition_point(|&y| y < v) as u64;
+                let r_hi = all.partition_point(|&y| y <= v) as u64;
+                let slack = merged.rank_error() + merged.max_rank_gap();
+                let dist = if target < r_lo {
+                    r_lo - target
+                } else {
+                    target.saturating_sub(r_hi)
+                };
+                prop_assert!(dist <= slack, "target {target}: value {v} off by {dist}");
+            }
+        }
+    }
+
+    /// GK range summaries stay within their advertised error too.
+    #[test]
+    fn gk_summary_range_bounded(
+        stream in prop::collection::vec(0u64..10_000, 300..2000),
+        lo in 0u64..5_000,
+    ) {
+        use dtrack_sketch::OrderStore;
+        let hi = lo + 4_000;
+        let mut gk = GreenwaldKhanna::new(0.02);
+        for &x in &stream {
+            gk.observe(x);
+        }
+        let mut sorted = stream.clone();
+        sorted.sort_unstable();
+        let in_range: Vec<u64> = sorted
+            .iter()
+            .copied()
+            .filter(|&v| v >= lo && v < hi)
+            .collect();
+        let s = gk.summary_range(lo, Some(hi), 50);
+        // Total within the sketch's rank error at both endpoints.
+        let err = 2 * OrderStore::rank_error(&gk) + 2;
+        prop_assert!(
+            s.total().abs_diff(in_range.len() as u64) <= err,
+            "range total {} vs true {}",
+            s.total(),
+            in_range.len()
+        );
+    }
+}

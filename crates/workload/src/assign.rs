@@ -1,0 +1,201 @@
+//! Site-assignment policies: which of the k sites observes each item.
+//!
+//! The paper's model lets an adversary choose both values and sites; cost
+//! bounds must hold for any assignment. Round-robin is the benign default,
+//! uniform-random the typical case, skewed and bursty assignments stress
+//! per-site thresholds.
+
+use dtrack_sim::SiteId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic sequence of site choices.
+pub trait Assignment {
+    /// The site observing the next item.
+    fn next_site(&mut self) -> SiteId;
+}
+
+/// Cycles through sites 0, 1, …, k−1.
+#[derive(Debug, Clone)]
+pub struct RoundRobin {
+    k: u32,
+    next: u32,
+}
+
+impl RoundRobin {
+    /// Round-robin over `k` sites.
+    ///
+    /// # Panics
+    /// Panics if `k` is zero.
+    pub fn new(k: u32) -> Self {
+        assert!(k > 0, "need at least one site");
+        RoundRobin { k, next: 0 }
+    }
+}
+
+impl Assignment for RoundRobin {
+    fn next_site(&mut self) -> SiteId {
+        let s = SiteId(self.next);
+        self.next = (self.next + 1) % self.k;
+        s
+    }
+}
+
+/// Uniformly random site per item.
+#[derive(Debug, Clone)]
+pub struct UniformSites {
+    k: u32,
+    rng: StdRng,
+}
+
+impl UniformSites {
+    /// Uniform over `k` sites with the given seed.
+    ///
+    /// # Panics
+    /// Panics if `k` is zero.
+    pub fn new(k: u32, seed: u64) -> Self {
+        assert!(k > 0, "need at least one site");
+        UniformSites {
+            k,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Assignment for UniformSites {
+    fn next_site(&mut self) -> SiteId {
+        SiteId(self.rng.gen_range(0..self.k))
+    }
+}
+
+/// Zipf-skewed site choice: site 0 observes the most traffic, site k−1 the
+/// least — models a hot front-end server.
+#[derive(Debug, Clone)]
+pub struct SkewedSites {
+    cdf: Vec<f64>,
+    rng: StdRng,
+}
+
+impl SkewedSites {
+    /// Skewed over `k` sites with exponent `s` and the given seed.
+    ///
+    /// # Panics
+    /// Panics if `k` is zero or `s` is not positive and finite.
+    pub fn new(k: u32, s: f64, seed: u64) -> Self {
+        assert!(k > 0, "need at least one site");
+        assert!(s.is_finite() && s > 0.0, "skew must be positive");
+        let mut cdf = Vec::with_capacity(k as usize);
+        let mut acc = 0.0;
+        for r in 1..=k {
+            acc += 1.0 / (r as f64).powf(s);
+            cdf.push(acc);
+        }
+        for v in &mut cdf {
+            *v /= acc;
+        }
+        SkewedSites {
+            cdf,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Assignment for SkewedSites {
+    fn next_site(&mut self) -> SiteId {
+        let u: f64 = self.rng.gen();
+        SiteId(self.cdf.partition_point(|&c| c < u) as u32)
+    }
+}
+
+/// One site at a time receives a burst of `burst_len` consecutive items,
+/// then the burst moves to a random other site — the worst case for
+/// per-site trigger thresholds.
+#[derive(Debug, Clone)]
+pub struct Bursts {
+    k: u32,
+    burst_len: u64,
+    current: u32,
+    left_in_burst: u64,
+    rng: StdRng,
+}
+
+impl Bursts {
+    /// Bursty assignment over `k` sites.
+    ///
+    /// # Panics
+    /// Panics if `k` is zero.
+    pub fn new(k: u32, burst_len: u64, seed: u64) -> Self {
+        assert!(k > 0, "need at least one site");
+        Bursts {
+            k,
+            burst_len: burst_len.max(1),
+            current: 0,
+            left_in_burst: burst_len.max(1),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Assignment for Bursts {
+    fn next_site(&mut self) -> SiteId {
+        if self.left_in_burst == 0 {
+            self.current = self.rng.gen_range(0..self.k);
+            self.left_in_burst = self.burst_len;
+        }
+        self.left_in_burst -= 1;
+        SiteId(self.current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn histogram(a: &mut impl Assignment, n: usize) -> HashMap<u32, usize> {
+        let mut h = HashMap::new();
+        for _ in 0..n {
+            *h.entry(a.next_site().0).or_insert(0) += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut a = RoundRobin::new(3);
+        let sites: Vec<u32> = (0..7).map(|_| a.next_site().0).collect();
+        assert_eq!(sites, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn uniform_is_balanced() {
+        let mut a = UniformSites::new(4, 5);
+        let h = histogram(&mut a, 8000);
+        for s in 0..4 {
+            let c = h[&s];
+            assert!((1500..2500).contains(&c), "site {s} got {c}");
+        }
+    }
+
+    #[test]
+    fn skewed_favors_low_sites() {
+        let mut a = SkewedSites::new(4, 1.5, 5);
+        let h = histogram(&mut a, 8000);
+        assert!(h[&0] > h[&3] * 2, "site 0 should dominate: {h:?}");
+    }
+
+    #[test]
+    fn bursts_are_contiguous() {
+        let mut a = Bursts::new(5, 10, 9);
+        let sites: Vec<u32> = (0..100).map(|_| a.next_site().0).collect();
+        for chunk in sites.chunks(10) {
+            assert!(chunk.iter().all(|&s| s == chunk[0]), "burst broken: {chunk:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one site")]
+    fn zero_sites_panics() {
+        RoundRobin::new(0);
+    }
+}

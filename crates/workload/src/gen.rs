@@ -1,0 +1,277 @@
+//! Item-value generators.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic stream of item values.
+pub trait Generator {
+    /// Produce the next item.
+    fn next_item(&mut self) -> u64;
+}
+
+/// Uniform values over `[0, universe)`.
+#[derive(Debug, Clone)]
+pub struct Uniform {
+    universe: u64,
+    rng: StdRng,
+}
+
+impl Uniform {
+    /// Uniform over `[0, universe)` with the given seed.
+    ///
+    /// # Panics
+    /// Panics if `universe` is zero.
+    pub fn new(universe: u64, seed: u64) -> Self {
+        assert!(universe > 0, "universe must be positive");
+        Uniform {
+            universe,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Generator for Uniform {
+    fn next_item(&mut self) -> u64 {
+        self.rng.gen_range(0..self.universe)
+    }
+}
+
+/// Zipf-distributed values: item `r` (1-based rank) has probability
+/// proportional to `1/r^s`. The standard skewed-frequency model for
+/// monitoring streams; `s ≈ 1.1–1.5` covers typical network traces.
+///
+/// Sampling is by inverse CDF over a table of `min(universe, 2^20)`
+/// distinct values (larger universes are truncated — documented in
+/// DESIGN.md; the tail beyond 2^20 ranks carries negligible mass for
+/// s > 1).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+    rng: StdRng,
+    /// Spread multiplier so values cover the universe rather than 0..u
+    /// densely (keeps quantile structures honest).
+    stride: u64,
+}
+
+impl Zipf {
+    /// Zipf over `universe` values with skew `s` and the given seed.
+    ///
+    /// # Panics
+    /// Panics if `universe` is zero or `s` is not positive and finite.
+    pub fn new(universe: u64, s: f64, seed: u64) -> Self {
+        assert!(universe > 0, "universe must be positive");
+        assert!(s.is_finite() && s > 0.0, "skew must be positive");
+        let distinct = universe.min(1 << 20);
+        let mut cdf = Vec::with_capacity(distinct as usize);
+        let mut acc = 0.0f64;
+        for r in 1..=distinct {
+            acc += 1.0 / (r as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf {
+            cdf,
+            rng: StdRng::seed_from_u64(seed),
+            stride: (universe / distinct).max(1),
+        }
+    }
+}
+
+impl Generator for Zipf {
+    fn next_item(&mut self) -> u64 {
+        let u: f64 = self.rng.gen();
+        let rank = self.cdf.partition_point(|&c| c < u) as u64;
+        // Scramble rank -> value so popular items are spread over the
+        // universe instead of clustered at 0 (splitmix finalizer, then
+        // mapped back into range).
+        let mut z = rank.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        (z % self.cdf.len() as u64) * self.stride
+    }
+}
+
+/// Monotonically increasing values — the adversarial pattern that drags
+/// every quantile upward and forces the §3.1 protocol to keep recentering.
+#[derive(Debug, Clone)]
+pub struct SortedRamp {
+    next: u64,
+    step: u64,
+}
+
+impl SortedRamp {
+    /// Ramp starting at `start`, increasing by `step` per item.
+    pub fn new(start: u64, step: u64) -> Self {
+        SortedRamp {
+            next: start,
+            step: step.max(1),
+        }
+    }
+}
+
+impl Generator for SortedRamp {
+    fn next_item(&mut self) -> u64 {
+        let v = self.next;
+        self.next = self.next.wrapping_add(self.step);
+        v
+    }
+}
+
+/// Zipf whose hot set rotates every `shift_every` items: the heavy-hitter
+/// set churns over time, exercising both sides of the classification rule.
+#[derive(Debug, Clone)]
+pub struct ShiftingZipf {
+    inner: Zipf,
+    shift_every: u64,
+    produced: u64,
+    offset: u64,
+    universe: u64,
+}
+
+impl ShiftingZipf {
+    /// Shifting Zipf over `universe` values with skew `s`.
+    pub fn new(universe: u64, s: f64, shift_every: u64, seed: u64) -> Self {
+        ShiftingZipf {
+            inner: Zipf::new(universe, s, seed),
+            shift_every: shift_every.max(1),
+            produced: 0,
+            offset: 0,
+            universe,
+        }
+    }
+}
+
+impl Generator for ShiftingZipf {
+    fn next_item(&mut self) -> u64 {
+        self.produced += 1;
+        if self.produced.is_multiple_of(self.shift_every) {
+            self.offset = self.offset.wrapping_add(0x5851_F42D_4C95_7F2D);
+        }
+        (self.inner.next_item().wrapping_add(self.offset)) % self.universe
+    }
+}
+
+/// Two-phase drift: uniform over a low band, then (after `switch_at`
+/// items) uniform over a disjoint high band. Moves every quantile across
+/// the universe in one jump — the round-restart stress test.
+#[derive(Debug, Clone)]
+pub struct TwoPhaseDrift {
+    low: Uniform,
+    high: Uniform,
+    switch_at: u64,
+    produced: u64,
+    band: u64,
+}
+
+impl TwoPhaseDrift {
+    /// Drift from `[0, band)` to `[band, 2·band)` after `switch_at` items.
+    pub fn new(band: u64, switch_at: u64, seed: u64) -> Self {
+        TwoPhaseDrift {
+            low: Uniform::new(band, seed),
+            high: Uniform::new(band, seed ^ 0xDEAD_BEEF),
+            switch_at,
+            produced: 0,
+            band,
+        }
+    }
+}
+
+impl Generator for TwoPhaseDrift {
+    fn next_item(&mut self) -> u64 {
+        self.produced += 1;
+        if self.produced <= self.switch_at {
+            self.low.next_item()
+        } else {
+            self.band + self.high.next_item()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn uniform_stays_in_range_and_spreads() {
+        let mut g = Uniform::new(1000, 1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..5000 {
+            let v = g.next_item();
+            assert!(v < 1000);
+            seen.insert(v);
+        }
+        assert!(seen.len() > 900, "uniform should cover most of the range");
+    }
+
+    #[test]
+    fn zipf_is_skewed() {
+        let mut g = Zipf::new(10_000, 1.3, 7);
+        let mut freq: HashMap<u64, u64> = HashMap::new();
+        let n = 50_000;
+        for _ in 0..n {
+            *freq.entry(g.next_item()).or_insert(0) += 1;
+        }
+        let mut counts: Vec<u64> = freq.values().copied().collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        // The most frequent item carries a large share; the tail is long.
+        assert!(counts[0] > (n / 20) as u64, "top item too light: {}", counts[0]);
+        assert!(freq.len() > 100, "tail too short: {}", freq.len());
+    }
+
+    #[test]
+    fn zipf_skew_parameter_matters() {
+        let top_share = |s: f64| {
+            let mut g = Zipf::new(10_000, s, 11);
+            let mut freq: HashMap<u64, u64> = HashMap::new();
+            for _ in 0..20_000 {
+                *freq.entry(g.next_item()).or_insert(0) += 1;
+            }
+            *freq.values().max().unwrap() as f64 / 20_000.0
+        };
+        assert!(top_share(2.0) > top_share(1.05));
+    }
+
+    #[test]
+    fn sorted_ramp_is_monotone() {
+        let mut g = SortedRamp::new(5, 3);
+        let vals: Vec<u64> = (0..100).map(|_| g.next_item()).collect();
+        assert!(vals.windows(2).all(|w| w[1] > w[0]));
+        assert_eq!(vals[0], 5);
+        assert_eq!(vals[1], 8);
+    }
+
+    #[test]
+    fn shifting_zipf_changes_hot_set() {
+        let mut g = ShiftingZipf::new(1 << 30, 1.5, 5_000, 3);
+        let phase1: Vec<u64> = (0..5_000).map(|_| g.next_item()).collect();
+        let phase2: Vec<u64> = (0..5_000).map(|_| g.next_item()).collect();
+        let top = |v: &[u64]| {
+            let mut f: HashMap<u64, u64> = HashMap::new();
+            for &x in v {
+                *f.entry(x).or_insert(0) += 1;
+            }
+            f.into_iter().max_by_key(|&(_, c)| c).unwrap().0
+        };
+        assert_ne!(top(&phase1), top(&phase2), "hot item should rotate");
+    }
+
+    #[test]
+    fn two_phase_drift_switches_band() {
+        let mut g = TwoPhaseDrift::new(1000, 100, 5);
+        for _ in 0..100 {
+            assert!(g.next_item() < 1000);
+        }
+        for _ in 0..100 {
+            assert!(g.next_item() >= 1000);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "universe must be positive")]
+    fn zero_universe_panics() {
+        Uniform::new(0, 1);
+    }
+}

@@ -1,0 +1,76 @@
+//! Sensor network: track the median and the 95th percentile of readings
+//! that drift over time, with per-reading communication far below one
+//! message.
+//!
+//! The paper's §3 protocol maintains a single φ-quantile continuously; we
+//! run two independent trackers (φ = 0.5 and φ = 0.95) side by side over
+//! the same simulated sensor field.
+//!
+//! ```text
+//! cargo run --release --example sensor_median
+//! ```
+
+use dtrack::core::quantile::{exact_cluster, QuantileConfig};
+use dtrack::core::ExactOracle;
+use dtrack::workload::{Assignment, Generator, TwoPhaseDrift, UniformSites};
+
+fn main() {
+    let k = 10; // sensors
+    let epsilon = 0.05;
+    let n = 600_000u64;
+
+    let median_cfg = QuantileConfig::median(k, epsilon).expect("valid parameters");
+    let p95_cfg = QuantileConfig::new(k, epsilon, 0.95).expect("valid parameters");
+    let mut median = exact_cluster(median_cfg).expect("cluster");
+    let mut p95 = exact_cluster(p95_cfg).expect("cluster");
+    let mut oracle = ExactOracle::new();
+
+    // Readings sit in a low band, then jump to a high band mid-run
+    // (e.g. a heat front passing the field) — every quantile moves.
+    let mut readings = TwoPhaseDrift::new(10_000, n / 2, 3);
+    let mut sensors = UniformSites::new(k, 5);
+
+    println!(
+        "{:>9}  {:>10} {:>10}  {:>10} {:>10}  {:>9}",
+        "readings", "med est", "med true", "p95 est", "p95 true", "words"
+    );
+    for i in 1..=n {
+        let r = readings.next_item();
+        let s = sensors.next_site();
+        oracle.observe(r);
+        median.feed(s, r).expect("feed");
+        p95.feed(s, r).expect("feed");
+        if i % 100_000 == 0 {
+            let m_est = median.coordinator().quantile().unwrap_or(0);
+            let p_est = p95.coordinator().quantile().unwrap_or(0);
+            println!(
+                "{:>9}  {:>10} {:>10}  {:>10} {:>10}  {:>9}",
+                i,
+                m_est,
+                oracle.quantile(0.5).unwrap_or(0),
+                p_est,
+                oracle.quantile(0.95).unwrap_or(0),
+                median.meter().total_words() + p95.meter().total_words(),
+            );
+            assert!(
+                oracle.quantile_ok(m_est, 0.5, epsilon),
+                "median left the ε-band"
+            );
+            assert!(
+                oracle.quantile_ok(p_est, 0.95, epsilon),
+                "p95 left the ε-band"
+            );
+        }
+    }
+    let stats = median.coordinator().stats();
+    println!(
+        "\nmedian tracker: {} rounds, {} recenters, {} interval splits, {} probes",
+        stats.rebuilds, stats.recenters, stats.splits, stats.probes
+    );
+    println!(
+        "total communication for both trackers: {} words over {} readings ({:.4} words/reading)",
+        median.meter().total_words() + p95.meter().total_words(),
+        n,
+        (median.meter().total_words() + p95.meter().total_words()) as f64 / n as f64
+    );
+}

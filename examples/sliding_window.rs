@@ -1,0 +1,77 @@
+//! The §5 extensions together: sliding-window heavy hitters and window
+//! quantiles over a stream whose distribution rotates, plus the
+//! randomized sampling tracker for comparison.
+//!
+//! ```text
+//! cargo run --release --example sliding_window
+//! ```
+
+use dtrack::core::sampling::{sampling_cluster, SamplingConfig};
+use dtrack::core::window::{
+    window_cluster, window_quantile_cluster, WindowHhConfig, WindowOracle,
+};
+use dtrack::prelude::*;
+use dtrack::workload::{Generator, ShiftingZipf};
+
+fn main() {
+    let k = 6;
+    let epsilon = 0.05;
+    let w = 50_000u64; // window: the last 50k events
+    let phi = 0.1;
+
+    let config = WindowHhConfig::new(k, epsilon, w).expect("valid parameters");
+    let mut hh = window_cluster(config).expect("cluster");
+    let mut med = window_quantile_cluster(config).expect("cluster");
+    let samp_cfg = SamplingConfig::new(k, epsilon, 0.05, 99).expect("valid parameters");
+    let mut whole_stream = sampling_cluster(samp_cfg).expect("cluster");
+    let mut oracle = WindowOracle::new(w);
+
+    // The hot item rotates every half-window: the *window* heavy hitters
+    // change completely while the *whole-stream* heavy hitters blur.
+    let mut gen = ShiftingZipf::new(1 << 24, 1.4, w / 2, 17);
+    let n = 500_000u64;
+    println!(
+        "{:>9}  {:>14}  {:>14}  {:>12}",
+        "events", "window HHs", "window median", "total words"
+    );
+    for i in 1..=n {
+        let x = gen.next_item();
+        let s = SiteId((i % k as u64) as u32);
+        oracle.observe(x);
+        hh.feed(s, x).expect("feed");
+        med.feed(s, x).expect("feed");
+        whole_stream.feed(s, x).expect("feed");
+        if i % 100_000 == 0 {
+            let window_hh = hh.coordinator().heavy_hitters(phi).expect("query");
+            let median = med
+                .coordinator()
+                .quantile(0.5)
+                .expect("valid phi")
+                .unwrap_or(0);
+            println!(
+                "{:>9}  {:>14}  {:>14}  {:>12}",
+                i,
+                format!("{:?}", window_hh.iter().take(2).collect::<Vec<_>>()),
+                median,
+                hh.meter().total_words() + med.meter().total_words(),
+            );
+            if let Some(v) = oracle.check(&window_hh, phi, 2.0 * epsilon) {
+                println!("  !! window guarantee violated: {v}");
+            }
+        }
+    }
+
+    // Contrast: over the whole stream, no single rotating item stays
+    // heavy; over the window, the current hot item always is.
+    let whole_hh = whole_stream
+        .coordinator()
+        .heavy_hitters(phi)
+        .expect("query");
+    let window_hh = hh.coordinator().heavy_hitters(phi).expect("query");
+    println!("\nwhole-stream 0.1-heavy hitters (sampled): {whole_hh:?}");
+    println!("window 0.1-heavy hitters               : {window_hh:?}");
+    println!(
+        "exact window check                      : {:?}",
+        oracle.heavy_hitters(phi)
+    );
+}

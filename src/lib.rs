@@ -1,0 +1,61 @@
+//! # dtrack — continuous tracking of distributed heavy hitters and quantiles
+//!
+//! A from-scratch Rust implementation of **Ke Yi & Qin Zhang, "Optimal
+//! Tracking of Distributed Heavy Hitters and Quantiles", PODS 2009**: `k`
+//! remote sites observe a stream of items and a designated coordinator
+//! continuously maintains approximate heavy hitters and quantiles of the
+//! union stream, using communication that matches the paper's optimal
+//! O(k/ε · log n) bounds.
+//!
+//! ## Crates
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`core`] | the paper's protocols: counter, heavy hitters (§2), single quantile (§3), all quantiles (§4) |
+//! | [`sim`] | the distributed streaming model: sites, coordinator, metered channels, deterministic + threaded runtimes |
+//! | [`sketch`] | local summaries: SpaceSaving, Misra–Gries, Greenwald–Khanna, order-statistic stores, mergeable equi-depth summaries |
+//! | [`baseline`] | prior art the paper improves on: CGMR'05 summary shipping, forward-all, periodic polling |
+//! | [`adversary`] | the lower-bound constructions of Lemma 2.2/2.3 and §3.2 |
+//! | [`workload`] | seeded generators (Zipf, uniform, ramps, drifts) and site assignments |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dtrack::prelude::*;
+//!
+//! // 4 sites, 1% error; track heavy hitters of the union stream.
+//! let config = HhConfig::new(4, 0.05).unwrap();
+//! let mut cluster = dtrack::core::hh::exact_cluster(config).unwrap();
+//!
+//! // Feed an assigned stream: site (i % 4) observes each item.
+//! for i in 0..10_000u64 {
+//!     let item = if i % 3 == 0 { 7 } else { i };
+//!     cluster.feed(SiteId((i % 4) as u32), item).unwrap();
+//! }
+//!
+//! // Item 7 holds a third of the stream: a 0.25-heavy hitter.
+//! let heavy = cluster.coordinator().heavy_hitters(0.25).unwrap();
+//! assert_eq!(heavy, vec![7]);
+//!
+//! // Communication stayed logarithmic in the stream length.
+//! println!("{} words", cluster.meter().total_words());
+//! ```
+
+pub use dtrack_adversary as adversary;
+pub use dtrack_baseline as baseline;
+pub use dtrack_core as core;
+pub use dtrack_sim as sim;
+pub use dtrack_sketch as sketch;
+pub use dtrack_workload as workload;
+
+/// The commonly needed types in one import.
+pub mod prelude {
+    pub use dtrack_core::allq::{AllQConfig, AllQCoordinator, AllQSite};
+    pub use dtrack_core::counter::{CounterCoordinator, CounterSite};
+    pub use dtrack_core::hh::{HhConfig, HhCoordinator, HhSite};
+    pub use dtrack_core::quantile::{QuantileConfig, QuantileCoordinator, QuantileSite};
+    pub use dtrack_core::{CoreError, ExactOracle, ValueRange};
+    pub use dtrack_sim::{Cluster, Coordinator, MessageSize, Outbox, Site, SiteId};
+    pub use dtrack_sketch::{FreqStore, OrderStore};
+    pub use dtrack_workload::{Assignment, Generator, Stream};
+}

@@ -1,0 +1,113 @@
+//! The lower-bound constructions run through the full protocols: the
+//! protocols must stay correct while paying the forced cost, and the
+//! forced cost must display the Ω(k/ε·log n) shape.
+
+use dtrack::adversary::{HhLowerBound, MedianLowerBound, ThresholdAdversary};
+use dtrack::core::hh::HhConfig;
+use dtrack::core::quantile::QuantileConfig;
+use dtrack::prelude::*;
+
+#[test]
+fn hh_lower_bound_stream_forces_messages_and_stays_correct() {
+    let phi = 0.3;
+    let epsilon = 0.05;
+    let lb = HhLowerBound::construct(phi, epsilon, 600_000);
+    assert!(lb.forced_changes() > 10);
+
+    let config = HhConfig::new(8, epsilon).unwrap();
+    let mut cluster = dtrack::core::hh::exact_cluster(config).unwrap();
+    let mut oracle = ExactOracle::new();
+    for &x in &lb.setup {
+        oracle.observe(x);
+    }
+    ThresholdAdversary::feed_setup(&mut cluster, &lb.setup).unwrap();
+    let mut chaff = dtrack::adversary::hh_lb::CHAFF_BASE + 7_000_000_000;
+    let mut forced_total = 0u64;
+    for round in &lb.rounds {
+        for e in &round.rises {
+            for _ in 0..e.copies {
+                oracle.observe(e.item);
+            }
+            let f = ThresholdAdversary::deliver(&mut cluster, e.item, e.copies).unwrap();
+            forced_total += f.messages;
+            let reported = cluster.coordinator().heavy_hitters(phi).unwrap();
+            if let Some(v) = oracle.check_heavy_hitters(&reported, phi, epsilon) {
+                panic!("violation under adversarial stream: {v}");
+            }
+        }
+        for i in 0..round.chaff {
+            oracle.observe(chaff + i);
+        }
+        chaff = ThresholdAdversary::feed_chaff(&mut cluster, round.chaff, chaff).unwrap();
+    }
+    // Ω(k) per change.
+    let per_change = forced_total as f64 / lb.forced_changes() as f64;
+    assert!(
+        per_change >= 2.0,
+        "adversary failed to force messages: {per_change}"
+    );
+}
+
+#[test]
+fn median_lower_bound_stream_tracked_correctly() {
+    let epsilon = 0.05;
+    let lb = MedianLowerBound::construct(epsilon, 400_000);
+    assert!(lb.count_median_flips() > 5);
+
+    let k = 6;
+    let config = QuantileConfig::median(k, epsilon).unwrap();
+    let mut cluster = dtrack::core::quantile::exact_cluster(config).unwrap();
+    let mut oracle = ExactOracle::new();
+    for (i, &x) in lb.items.iter().enumerate() {
+        oracle.observe(x);
+        cluster.feed(SiteId((i % k as usize) as u32), x).unwrap();
+        if i % 997 == 0 && i > 0 {
+            let q = cluster.coordinator().quantile().expect("nonempty");
+            assert!(
+                oracle.quantile_ok(q, 0.5, epsilon),
+                "item {i}: median {q} outside ε-band (rank {} of {})",
+                oracle.rank_lt(q),
+                oracle.total()
+            );
+        }
+    }
+    // The flips forced real work: at least one recenter or rebuild per
+    // couple of flips.
+    let stats = cluster.coordinator().stats();
+    assert!(
+        stats.recenters + stats.rebuilds >= lb.count_median_flips() / 4,
+        "median flips did not force maintenance: {stats:?} vs {} flips",
+        lb.count_median_flips()
+    );
+}
+
+#[test]
+fn forced_cost_grows_with_k() {
+    let phi = 0.3;
+    let epsilon = 0.05;
+    let per_change = |k: u32| {
+        let lb = HhLowerBound::construct(phi, epsilon, 300_000);
+        let config = HhConfig::new(k, epsilon).unwrap();
+        let mut cluster = dtrack::core::hh::exact_cluster(config).unwrap();
+        ThresholdAdversary::feed_setup(&mut cluster, &lb.setup).unwrap();
+        let mut chaff = dtrack::adversary::hh_lb::CHAFF_BASE + 8_000_000_000;
+        let mut forced = 0u64;
+        let mut changes = 0u64;
+        for round in &lb.rounds {
+            for e in &round.rises {
+                forced += ThresholdAdversary::deliver(&mut cluster, e.item, e.copies)
+                    .unwrap()
+                    .messages;
+                changes += 1;
+            }
+            chaff = ThresholdAdversary::feed_chaff(&mut cluster, round.chaff, chaff).unwrap();
+        }
+        forced as f64 / changes.max(1) as f64
+    };
+    let low_k = per_change(4);
+    let high_k = per_change(16);
+    assert!(
+        high_k > low_k * 1.5,
+        "per-change cost must grow with k: {low_k:.1} vs {high_k:.1}"
+    );
+}

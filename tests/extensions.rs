@@ -1,0 +1,132 @@
+//! Integration tests for the §5 extension modules through the facade:
+//! the randomized sampling tracker and the sliding-window trackers,
+//! exercised together on shared streams.
+
+use dtrack::core::hh::HhConfig;
+use dtrack::core::sampling::{sampling_cluster, SamplingConfig};
+use dtrack::core::window::{
+    window_cluster, window_quantile_cluster, WindowHhConfig, WindowOracle,
+};
+use dtrack::prelude::*;
+use dtrack::workload::{Generator, RoundRobin, ShiftingZipf, Stream, Zipf};
+
+#[test]
+fn sampling_and_deterministic_agree_on_clear_heavy_hitters() {
+    let k = 6;
+    let epsilon = 0.05;
+    let phi = 0.25;
+    let det_config = HhConfig::new(k, epsilon).unwrap();
+    let samp_config = SamplingConfig::new(k, epsilon, 0.01, 7).unwrap();
+    let mut det = dtrack::core::hh::exact_cluster(det_config).unwrap();
+    let mut samp = sampling_cluster(samp_config).unwrap();
+    let mut oracle = ExactOracle::new();
+
+    let mut gen = Zipf::new(1 << 18, 1.1, 3);
+    for i in 0..150_000u64 {
+        // One third of the stream is item 5.
+        let x = if i % 3 == 0 { 5 } else { gen.next_item() };
+        let s = SiteId((i % k as u64) as u32);
+        oracle.observe(x);
+        det.feed(s, x).unwrap();
+        samp.feed(s, x).unwrap();
+    }
+    let from_det = det.coordinator().heavy_hitters(phi).unwrap();
+    let from_samp = samp.coordinator().heavy_hitters(phi).unwrap();
+    // Both find the unambiguous heavy item.
+    for x in oracle.heavy_hitters(phi + 2.0 * epsilon) {
+        assert!(from_det.contains(&x), "deterministic missed {x}");
+        assert!(from_samp.contains(&x), "sampling missed {x}");
+    }
+    // And sampling pays far less at this k and ε than k/ε forwarding
+    // would suggest per item.
+    assert!(samp.meter().total_words() < 200_000);
+}
+
+#[test]
+fn window_hh_and_window_quantile_share_epoch_machinery() {
+    let k = 4;
+    let epsilon = 0.1;
+    let w = 25_000u64;
+    let config = WindowHhConfig::new(k, epsilon, w).unwrap();
+    let mut hh = window_cluster(config).unwrap();
+    let mut wq = window_quantile_cluster(config).unwrap();
+    let mut oracle = WindowOracle::new(w);
+
+    let mut gen = ShiftingZipf::new(1 << 22, 1.4, w / 2, 5);
+    for i in 0..120_000u64 {
+        let x = gen.next_item();
+        let s = SiteId((i % k as u64) as u32);
+        oracle.observe(x);
+        hh.feed(s, x).unwrap();
+        wq.feed(s, x).unwrap();
+        if i % 3001 == 0 && i > w {
+            // Window heavy hitters correct.
+            let reported = hh.coordinator().heavy_hitters(0.15).unwrap();
+            if let Some(v) = oracle.check(&reported, 0.15, 2.0 * epsilon) {
+                panic!("item {i}: {v}");
+            }
+            // Window size estimates agree between the two protocols
+            // within an epoch.
+            let wh = hh.coordinator().window_estimate();
+            let wn = wq.coordinator().window_estimate();
+            assert!(
+                wh.abs_diff(wn) <= 2 * config.epoch_len(),
+                "window estimates diverge: {wh} vs {wn}"
+            );
+        }
+    }
+}
+
+#[test]
+fn whole_stream_and_window_answers_differ_after_a_shift() {
+    // After a distribution shift older than the window, the window
+    // tracker forgets; the whole-stream tracker does not.
+    let k = 4;
+    let epsilon = 0.05;
+    let w = 20_000u64;
+    let phi = 0.3;
+    let whole_config = HhConfig::new(k, epsilon).unwrap();
+    let win_config = WindowHhConfig::new(k, epsilon, w).unwrap();
+    let mut whole = dtrack::core::hh::exact_cluster(whole_config).unwrap();
+    let mut win = window_cluster(win_config).unwrap();
+
+    let n = 200_000u64;
+    let mut st = 9u64;
+    let mut xorshift = move || {
+        st ^= st << 13;
+        st ^= st >> 7;
+        st ^= st << 17;
+        st
+    };
+    for i in 0..n {
+        // Item 1 is heavy only in the first 40%; afterwards pure noise.
+        let x = if i < 2 * n / 5 && i % 2 == 0 {
+            1
+        } else {
+            1_000_000 + xorshift() % 1_000_000
+        };
+        let s = SiteId((i % k as u64) as u32);
+        whole.feed(s, x).unwrap();
+        win.feed(s, x).unwrap();
+    }
+    // Whole stream: item 1 holds ~20% of all items => 0.15-heavy.
+    let whole_hh = whole.coordinator().heavy_hitters(0.15).unwrap();
+    assert!(whole_hh.contains(&1), "whole-stream tracker lost item 1");
+    // Window: item 1 left the window 140k items ago.
+    let win_hh = win.coordinator().heavy_hitters(phi).unwrap();
+    assert!(
+        !win_hh.contains(&1),
+        "window tracker failed to forget item 1"
+    );
+}
+
+#[test]
+fn feed_stream_helper_works_with_extension_protocols() {
+    let k = 3;
+    let config = WindowHhConfig::new(k, 0.1, 10_000).unwrap();
+    let mut cluster = window_cluster(config).unwrap();
+    let stream = Stream::new(Zipf::new(1 << 16, 1.3, 11), RoundRobin::new(k), 40_000);
+    cluster.feed_stream(stream).unwrap();
+    assert!(cluster.coordinator().window_estimate() > 0);
+    assert!(!cluster.coordinator().heavy_hitters(0.05).unwrap().is_empty());
+}

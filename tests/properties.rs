@@ -1,0 +1,157 @@
+//! Property-based tests: the ε-guarantees and protocol invariants must
+//! hold for arbitrary streams, assignments, and parameters — not just the
+//! hand-picked workloads of the unit tests.
+
+use dtrack::core::allq::AllQConfig;
+use dtrack::core::hh::HhConfig;
+use dtrack::core::quantile::QuantileConfig;
+use dtrack::prelude::*;
+use proptest::prelude::*;
+
+/// A random assigned stream: values with duplicates, arbitrary sites.
+fn arb_stream(k: u32, max_len: usize) -> impl Strategy<Value = Vec<(u32, u64)>> {
+    prop::collection::vec((0..k, 0u64..10_000), 100..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn counter_never_overestimates_and_stays_close(
+        stream in arb_stream(4, 3000),
+        eps_pct in 2u32..40,
+    ) {
+        let epsilon = eps_pct as f64 / 100.0;
+        let sites = (0..4).map(|_| CounterSite::new(epsilon).unwrap()).collect();
+        let mut cluster = Cluster::new(sites, CounterCoordinator::new()).unwrap();
+        for (i, &(site, item)) in stream.iter().enumerate() {
+            cluster.feed(SiteId(site), item).unwrap();
+            let n = (i + 1) as u64;
+            let est = cluster.coordinator().estimate();
+            prop_assert!(est <= n);
+            prop_assert!(est as f64 > (1.0 - epsilon) * n as f64 - 4.0);
+        }
+    }
+
+    #[test]
+    fn hh_invariants_hold_for_random_streams(
+        stream in arb_stream(3, 2500),
+        eps_pct in 5u32..30,
+    ) {
+        let epsilon = eps_pct as f64 / 100.0;
+        let config = HhConfig::new(3, epsilon).unwrap();
+        let mut cluster = dtrack::core::hh::exact_cluster(config).unwrap();
+        let mut oracle = ExactOracle::new();
+        for &(site, item) in &stream {
+            oracle.observe(item);
+            cluster.feed(SiteId(site), item).unwrap();
+        }
+        let m = oracle.total();
+        let coord = cluster.coordinator();
+        // Invariant (3).
+        prop_assert!(coord.global_count() <= m);
+        prop_assert!(coord.global_count() as f64 >= m as f64 * (1.0 - epsilon / 3.0) - 1.0);
+        // Invariant (2) on a sample of items.
+        for x in (0..10_000u64).step_by(613) {
+            let mx = oracle.frequency(x);
+            let cmx = coord.frequency(x);
+            prop_assert!(cmx <= mx, "C.m_{x} = {cmx} > {mx}");
+            prop_assert!(cmx as f64 >= mx as f64 - epsilon * m as f64 / 3.0);
+        }
+    }
+
+    #[test]
+    fn hh_classification_is_epsilon_correct(
+        stream in arb_stream(3, 2500),
+        phi_pct in 10u32..50,
+    ) {
+        let epsilon = 0.08;
+        let phi = phi_pct as f64 / 100.0;
+        let config = HhConfig::new(3, epsilon).unwrap();
+        let mut cluster = dtrack::core::hh::exact_cluster(config).unwrap();
+        let mut oracle = ExactOracle::new();
+        for &(site, item) in &stream {
+            oracle.observe(item);
+            cluster.feed(SiteId(site), item).unwrap();
+        }
+        let reported = cluster.coordinator().heavy_hitters(phi).unwrap();
+        prop_assert!(oracle.check_heavy_hitters(&reported, phi, epsilon).is_none());
+    }
+
+    #[test]
+    fn quantile_guarantee_holds_for_random_streams(
+        stream in arb_stream(3, 2500),
+        phi_pct in 5u32..96,
+    ) {
+        let epsilon = 0.15;
+        let phi = phi_pct as f64 / 100.0;
+        let config = QuantileConfig::new(3, epsilon, phi)
+            .unwrap()
+            // Small warm-up so random short streams exercise tracking.
+            .with_warmup_target(200);
+        let mut cluster = dtrack::core::quantile::exact_cluster(config).unwrap();
+        let mut oracle = ExactOracle::new();
+        for (i, &(site, item)) in stream.iter().enumerate() {
+            oracle.observe(item);
+            cluster.feed(SiteId(site), item).unwrap();
+            if i % 97 == 0 {
+                let q = cluster.coordinator().quantile().expect("nonempty");
+                prop_assert!(
+                    oracle.quantile_ok(q, phi, epsilon),
+                    "item {}: {} outside band (rank {} of {})",
+                    i, q, oracle.rank_lt(q), oracle.total()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn allq_guarantee_holds_for_random_streams(
+        stream in arb_stream(3, 2000),
+    ) {
+        let epsilon = 0.2;
+        let config = AllQConfig::new(3, epsilon)
+            .unwrap()
+            .with_warmup_target(300);
+        let mut cluster = dtrack::core::allq::exact_cluster(config).unwrap();
+        let mut oracle = ExactOracle::new();
+        for &(site, item) in &stream {
+            oracle.observe(item);
+            cluster.feed(SiteId(site), item).unwrap();
+        }
+        for phi in [0.1, 0.5, 0.9] {
+            let q = cluster.coordinator().quantile(phi).unwrap().expect("nonempty");
+            prop_assert!(
+                oracle.quantile_ok(q, phi, epsilon),
+                "phi {}: {} outside band (rank {} of {})",
+                phi, q, oracle.rank_lt(q), oracle.total()
+            );
+        }
+        // Rank queries across the value domain.
+        let n = oracle.total();
+        for probe in (0..10_000u64).step_by(1111) {
+            let est = cluster.coordinator().rank_lt(probe);
+            let truth = oracle.rank_lt(probe);
+            prop_assert!(
+                est.abs_diff(truth) as f64 <= epsilon * n as f64 + 1.0,
+                "rank({}): {} vs {}", probe, est, truth
+            );
+        }
+    }
+
+    #[test]
+    fn meter_words_always_at_least_messages(
+        stream in arb_stream(4, 1500),
+    ) {
+        // Every message costs at least one word, under any protocol.
+        let config = HhConfig::new(4, 0.1).unwrap();
+        let mut cluster = dtrack::core::hh::exact_cluster(config).unwrap();
+        for &(site, item) in &stream {
+            cluster.feed(SiteId(site), item).unwrap();
+        }
+        prop_assert!(cluster.meter().total_words() >= cluster.meter().total_messages());
+    }
+}

@@ -1,0 +1,83 @@
+//! The deterministic runner and the threaded runtime must produce
+//! identical answers and identical communication on identical
+//! one-item-at-a-time schedules (feeding then settling serializes the
+//! threaded runtime into the same global order).
+
+use dtrack::core::hh::{HhConfig, HhCoordinator, HhSite};
+use dtrack::prelude::*;
+use dtrack::sim::threaded::ThreadedCluster;
+use dtrack::workload::{RoundRobin, Stream, Zipf};
+
+#[test]
+fn threaded_matches_deterministic_serialized() {
+    let k = 4;
+    let epsilon = 0.1;
+    let config = HhConfig::new(k, epsilon).unwrap();
+    let stream: Vec<(SiteId, u64)> = Stream::new(
+        Zipf::new(1 << 14, 1.4, 7),
+        RoundRobin::new(k),
+        30_000,
+    )
+    .collect();
+
+    // Deterministic run.
+    let mut det = dtrack::core::hh::exact_cluster(config).unwrap();
+    det.feed_stream(stream.iter().copied()).unwrap();
+    let det_words = det.meter().total_words();
+    let det_msgs = det.meter().total_messages();
+    let det_hh = det.coordinator().heavy_hitters(0.1).unwrap();
+    let det_m = det.coordinator().global_count();
+
+    // Threaded run, serialized by settling after every item.
+    let sites: Vec<_> = (0..k).map(|_| HhSite::exact(config)).collect();
+    let threaded = ThreadedCluster::spawn(sites, HhCoordinator::new(config)).unwrap();
+    for &(site, item) in &stream {
+        threaded.feed(site, item).unwrap();
+        threaded.settle();
+    }
+    let thr_hh = threaded
+        .with_coordinator(|c| c.heavy_hitters(0.1).unwrap())
+        .unwrap();
+    let thr_m = threaded.with_coordinator(|c| c.global_count()).unwrap();
+    let (_, _, meter) = threaded.shutdown().unwrap();
+
+    assert_eq!(det_hh, thr_hh, "answers diverge");
+    assert_eq!(det_m, thr_m, "tracked counts diverge");
+    assert_eq!(det_words, meter.total_words(), "word counts diverge");
+    assert_eq!(det_msgs, meter.total_messages(), "message counts diverge");
+}
+
+#[test]
+fn threaded_concurrent_feeding_still_correct() {
+    // Without per-item settling, arrivals interleave with in-flight
+    // communication; the ε-guarantee must still hold at quiescence
+    // (the protocol is trigger-based, not order-based).
+    let k = 4;
+    let epsilon = 0.1;
+    let phi = 0.2;
+    let config = HhConfig::new(k, epsilon).unwrap();
+    let sites: Vec<_> = (0..k).map(|_| HhSite::exact(config)).collect();
+    let threaded = ThreadedCluster::spawn(sites, HhCoordinator::new(config)).unwrap();
+
+    let stream: Vec<(SiteId, u64)> = Stream::new(
+        Zipf::new(1 << 14, 1.5, 9),
+        RoundRobin::new(k),
+        40_000,
+    )
+    .collect();
+    let mut oracle = ExactOracle::new();
+    for &(site, item) in &stream {
+        oracle.observe(item);
+        threaded.feed(site, item).unwrap();
+    }
+    threaded.settle();
+    let reported = threaded
+        .with_coordinator(move |c| c.heavy_hitters(phi).unwrap())
+        .unwrap();
+    // Concurrency can reorder deltas between sites, so allow the full 2ε
+    // slack rather than the serialized ε.
+    if let Some(v) = oracle.check_heavy_hitters(&reported, phi, 2.0 * epsilon) {
+        panic!("threaded run violated the guarantee: {v}");
+    }
+    threaded.shutdown().unwrap();
+}
