@@ -105,9 +105,7 @@ impl HhLowerBound {
             // new light level, and the stream grows to m_next = heavy/(φ−ε′).
             let m_next = (heavy as f64 / (phi - eps2)).round() as u64;
             let copies = ((phi * m_next as f64) - light as f64).round().max(1.0) as u64;
-            let chaff = m_next
-                .saturating_sub(m_cur)
-                .saturating_sub(l * copies);
+            let chaff = m_next.saturating_sub(m_cur).saturating_sub(l * copies);
             let light_group = if b == 0 { &group1 } else { &group0 };
             let rises: Vec<RiseEvent> = light_group
                 .iter()
@@ -213,9 +211,9 @@ mod tests {
         let mut freq: HashMap<u64, u64> = HashMap::new();
         let mut n = 0u64;
         let check = |freq: &HashMap<u64, u64>, n: u64, ctx: &str| {
-            let ratios: Vec<f64> = (0..2).map(|t| {
-                freq.get(&(t as u64)).copied().unwrap_or(0) as f64 / n as f64
-            }).collect();
+            let ratios: Vec<f64> = (0..2)
+                .map(|t| freq.get(&(t as u64)).copied().unwrap_or(0) as f64 / n as f64)
+                .collect();
             for r in ratios {
                 let near_heavy = (r - phi).abs() < 0.02;
                 let near_light = (r - (phi - 2.0 * eps)).abs() < 0.02;

@@ -218,10 +218,12 @@ mod tests {
     use super::*;
     use dtrack_workload::{Generator, Uniform};
 
-    fn run(k: u32, epsilon: f64, n: u64, seed: u64) -> (
-        dtrack_sim::Cluster<CgmrSite, CgmrCoordinator>,
-        Vec<u64>,
-    ) {
+    fn run(
+        k: u32,
+        epsilon: f64,
+        n: u64,
+        seed: u64,
+    ) -> (dtrack_sim::Cluster<CgmrSite, CgmrCoordinator>, Vec<u64>) {
         let config = CgmrConfig::new(k, epsilon).unwrap();
         let mut cluster = exact_cluster(config).unwrap();
         let mut gen = Uniform::new(1 << 40, seed);

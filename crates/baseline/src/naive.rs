@@ -196,8 +196,7 @@ impl<S: OrderStore> Site for PollingSite<S> {
     fn on_item(&mut self, item: u64, out: &mut Vec<PollUp>) {
         self.store.insert(item);
         let n = self.store.total();
-        let threshold =
-            ((self.reported as f64) * (1.0 + self.config.epsilon / 2.0)).floor() as u64;
+        let threshold = ((self.reported as f64) * (1.0 + self.config.epsilon / 2.0)).floor() as u64;
         if self.reported == 0 || n > threshold.max(self.reported) {
             out.push(PollUp::CountDelta(n - self.reported));
             self.reported = n;

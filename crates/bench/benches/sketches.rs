@@ -68,8 +68,12 @@ fn bench_order_stores(c: &mut Criterion) {
     for &x in &items {
         treap.insert(x);
     }
-    c.bench_function("treap_rank", |b| b.iter(|| treap.rank_lt(black_box(1 << 23))));
-    c.bench_function("treap_select", |b| b.iter(|| treap.select(black_box(N / 3))));
+    c.bench_function("treap_rank", |b| {
+        b.iter(|| treap.rank_lt(black_box(1 << 23)))
+    });
+    c.bench_function("treap_select", |b| {
+        b.iter(|| treap.select(black_box(N / 3)))
+    });
 }
 
 fn bench_summaries(c: &mut Criterion) {
@@ -89,7 +93,9 @@ fn bench_summaries(c: &mut Criterion) {
     c.bench_function("merged_rank_estimate", |b| {
         b.iter(|| merged.rank_estimate(black_box(1 << 23)))
     });
-    c.bench_function("merged_select", |b| b.iter(|| merged.select(black_box(4 * N / 2))));
+    c.bench_function("merged_select", |b| {
+        b.iter(|| merged.select(black_box(4 * N / 2)))
+    });
 }
 
 criterion_group!(

@@ -10,20 +10,21 @@ use std::path::PathBuf;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: experiments <all | e1..e16 ...> [--out DIR]");
+        eprintln!("usage: experiments <all | smoke | e1..e18 ...> [--out DIR]");
         eprintln!("\nexperiments:");
         for (id, desc) in dtrack_bench::EXPERIMENTS {
             eprintln!("  {id:<4} {desc}");
         }
+        eprintln!("  smoke  tiny per-protocol run, writes BENCH_seed.json");
         std::process::exit(if args.is_empty() { 2 } else { 0 });
     }
-    let mut out_dir = PathBuf::from("results");
+    let mut explicit_out: Option<PathBuf> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         if a == "--out" {
             match it.next() {
-                Some(dir) => out_dir = PathBuf::from(dir),
+                Some(dir) => explicit_out = Some(PathBuf::from(dir)),
                 None => {
                     eprintln!("--out requires a directory");
                     std::process::exit(2);
@@ -33,12 +34,42 @@ fn main() {
             ids.push(a);
         }
     }
+    // `smoke` composes with other ids instead of short-circuiting them:
+    // `experiments e1 smoke --out d/` runs the smoke suite AND e1.
+    let want_smoke = ids.iter().any(|i| i == "smoke");
+    ids.retain(|i| i != "smoke");
     if ids.iter().any(|i| i == "all") {
         ids = dtrack_bench::EXPERIMENTS
             .iter()
             .map(|(id, _)| (*id).to_owned())
             .collect();
     }
+    if want_smoke {
+        let results = dtrack_bench::smoke::run_smoke();
+        for r in &results {
+            println!(
+                "{:<60} {:>9} words {:>8.1} ms {:>12.0} items/s",
+                r.scenario, r.words, r.wall_ms, r.items_per_sec
+            );
+        }
+        let json = dtrack_bench::smoke::smoke_json(&results);
+        let path = match &explicit_out {
+            Some(dir) => {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("warning: could not create {}: {e}", dir.display());
+                    std::process::exit(1);
+                }
+                dir.join("BENCH_seed.json")
+            }
+            None => PathBuf::from("BENCH_seed.json"),
+        };
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!("wrote {}", path.display());
+    }
+    let out_dir = explicit_out.unwrap_or_else(|| PathBuf::from("results"));
     let mut failed = false;
     for id in &ids {
         match dtrack_bench::run(id) {

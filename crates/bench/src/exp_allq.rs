@@ -1,9 +1,14 @@
 //! All-quantiles experiments: Theorem 4.1 cost vs the CGMR baseline,
 //! rank-query accuracy, and the Figure 1 structural invariants.
+//!
+//! The cost sweep (E10) is metered through the shared `dtrack-testkit`
+//! scenario harness; E11 and E12 keep dedicated loops because they read
+//! protocol internals (tree nodes, per-checkpoint worst errors) the
+//! scenario abstraction deliberately does not expose.
 
 use dtrack_core::allq::{exact_cluster, AllQConfig};
 use dtrack_core::ExactOracle;
-use dtrack_sim::SiteId;
+use dtrack_testkit::{measure_cost, AssignmentSpec, GeneratorSpec, ProtocolSpec, Scenario};
 use dtrack_workload::{Assignment, Generator, RoundRobin, Uniform, Zipf};
 
 use crate::table::{f3, Table};
@@ -11,7 +16,7 @@ use crate::table::{f3, Table};
 /// E10 — all-quantiles communication vs ε: Yi–Zhang
 /// O(k/ε·log n·log²(1/ε)) against CGMR O(k/ε²·log n). The last column is
 /// the measured improvement factor, which should grow roughly like
-/// 1/(ε·log²(1/ε)).
+/// 1/(ε·log²(1/ε)). Both protocols see the identical stream.
 pub fn e10_cost_vs_eps_vs_baseline() -> Table {
     let (k, n) = (8u32, 500_000u64);
     let mut t = Table::new(
@@ -20,26 +25,22 @@ pub fn e10_cost_vs_eps_vs_baseline() -> Table {
         &["eps", "yz_words", "cgmr_words", "cgmr/yz"],
     );
     for epsilon in [0.1f64, 0.05, 0.02, 0.01] {
-        let config = AllQConfig::new(k, epsilon).expect("config");
-        let mut cluster = exact_cluster(config).expect("cluster");
-        let mut gen = Uniform::new(1 << 40, 29);
-        let mut assign = RoundRobin::new(k);
-        for _ in 0..n {
-            cluster
-                .feed(assign.next_site(), gen.next_item())
-                .expect("feed");
-        }
-        let ours = cluster.meter().total_words();
-
-        let config = dtrack_baseline::CgmrConfig::new(k, epsilon).expect("config");
-        let mut baseline = dtrack_baseline::cgmr::exact_cluster(config).expect("cluster");
-        let mut gen = Uniform::new(1 << 40, 29);
-        for i in 0..n {
-            baseline
-                .feed(SiteId((i % k as u64) as u32), gen.next_item())
-                .expect("feed");
-        }
-        let cgmr = baseline.meter().total_words();
+        let base = Scenario::new(
+            GeneratorSpec::Uniform { universe: 1 << 40 },
+            AssignmentSpec::RoundRobin,
+            k,
+            epsilon,
+            n,
+            29,
+            ProtocolSpec::AllQExact,
+        );
+        let ours = measure_cost(&base).expect("scenario").words;
+        let cgmr = measure_cost(&Scenario {
+            protocol: ProtocolSpec::Cgmr,
+            ..base
+        })
+        .expect("scenario")
+        .words;
         t.row([
             epsilon.to_string(),
             ours.to_string(),

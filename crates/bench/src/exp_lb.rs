@@ -35,8 +35,8 @@ pub fn e5_hh_lower_bound() -> Table {
                 forced += outcome.messages;
                 changes += 1;
             }
-            chaff_v = ThresholdAdversary::feed_chaff(&mut cluster, round.chaff, chaff_v)
-                .expect("chaff");
+            chaff_v =
+                ThresholdAdversary::feed_chaff(&mut cluster, round.chaff, chaff_v).expect("chaff");
         }
         let per_change = forced as f64 / changes.max(1) as f64;
         t.row([

@@ -1,7 +1,9 @@
 //! Space usage and the naive crossover.
 
 use dtrack_core::hh::{HhConfig, HhCoordinator, HhSite, SketchHhSite};
-use dtrack_core::quantile::{QuantileConfig, QuantileCoordinator, QuantileSite, SketchQuantileSite};
+use dtrack_core::quantile::{
+    QuantileConfig, QuantileCoordinator, QuantileSite, SketchQuantileSite,
+};
 use dtrack_sim::{Cluster, SiteId};
 use dtrack_sketch::{FreqStore, OrderStore};
 use dtrack_workload::{Generator, Zipf};
@@ -17,7 +19,12 @@ pub fn e13_space() -> Table {
     let mut t = Table::new(
         "e13_space",
         "E13 Max per-site store entries, exact vs sketch (k=4, eps=0.02, n=4e5, Zipf 1.1)",
-        &["protocol", "exact entries", "sketch entries", "sketch/(1/eps)"],
+        &[
+            "protocol",
+            "exact entries",
+            "sketch entries",
+            "sketch/(1/eps)",
+        ],
     );
     // Heavy hitters.
     let config = HhConfig::new(k, epsilon).expect("config");
@@ -171,8 +178,11 @@ pub fn e18_sliding_window() -> Table {
 
 /// E14 — "if n is too small, a naive solution that transmits every
 /// arrival would be the best": forward-all costs exactly 2n words, the
-/// tracker pays its warm-up + rounds; find where tracking wins.
+/// tracker pays its warm-up + rounds; find where tracking wins. Both
+/// protocols are metered through the shared testkit harness on the
+/// identical stream.
 pub fn e14_naive_crossover() -> Table {
+    use dtrack_testkit::{measure_cost, AssignmentSpec, GeneratorSpec, ProtocolSpec, Scenario};
     let (k, epsilon) = (8u32, 0.05f64);
     let mut t = Table::new(
         "e14_naive_crossover",
@@ -180,18 +190,25 @@ pub fn e14_naive_crossover() -> Table {
         &["n", "forward_all_words", "tracking_words", "winner"],
     );
     for n in [1_000u64, 5_000, 20_000, 100_000, 500_000, 2_000_000] {
-        let mut fwd = dtrack_baseline::naive::forward_all_cluster(k).expect("cluster");
-        let config = HhConfig::new(k, epsilon).expect("config");
-        let mut track = dtrack_core::hh::exact_cluster(config).expect("cluster");
-        let mut gen = Zipf::new(1 << 20, 1.2, 5);
-        for i in 0..n {
-            let x = gen.next_item();
-            let s = SiteId((i % k as u64) as u32);
-            fwd.feed(s, x).expect("feed");
-            track.feed(s, x).expect("feed");
-        }
-        let f = fwd.meter().total_words();
-        let tr = track.meter().total_words();
+        let base = Scenario::new(
+            GeneratorSpec::Zipf {
+                universe: 1 << 20,
+                s: 1.2,
+            },
+            AssignmentSpec::RoundRobin,
+            k,
+            epsilon,
+            n,
+            5,
+            ProtocolSpec::ForwardAll,
+        );
+        let f = measure_cost(&base).expect("scenario").words;
+        let tr = measure_cost(&Scenario {
+            protocol: ProtocolSpec::HhExact,
+            ..base
+        })
+        .expect("scenario")
+        .words;
         t.row([
             n.to_string(),
             f.to_string(),

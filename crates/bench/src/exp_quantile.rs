@@ -1,9 +1,18 @@
 //! Single-quantile experiments: Theorem 3.1 scaling shapes, accuracy
 //! across φ, and the granularity ablation.
+//!
+//! Pure cost-shape sweeps (E7) are metered through the shared
+//! `dtrack-testkit` scenario harness. E6, E8, and E16 keep dedicated
+//! loops because they read protocol internals the scenario abstraction
+//! deliberately does not expose (coordinator rebuild/recenter/split
+//! statistics, per-checkpoint worst rank error).
 
-use dtrack_core::quantile::{exact_cluster, ExactQuantileSite, QuantileConfig, QuantileCoordinator};
+use dtrack_core::quantile::{
+    exact_cluster, ExactQuantileSite, QuantileConfig, QuantileCoordinator,
+};
 use dtrack_core::ExactOracle;
 use dtrack_sim::Cluster;
+use dtrack_testkit::{measure_cost, AssignmentSpec, GeneratorSpec, ProtocolSpec, Scenario};
 use dtrack_workload::{Assignment, Generator, RoundRobin, SortedRamp, Uniform};
 
 use crate::table::{f3, Table};
@@ -34,7 +43,14 @@ pub fn e6_cost_vs_n() -> Table {
     let mut t = Table::new(
         "e6_median_cost_vs_n",
         "E6  Thm 3.1: median-tracking communication vs n (k=8, eps=0.02, uniform)",
-        &["n", "words", "rebuilds", "recenters", "splits", "words/(k/eps ln n)"],
+        &[
+            "n",
+            "words",
+            "rebuilds",
+            "recenters",
+            "splits",
+            "words/(k/eps ln n)",
+        ],
     );
     for n in [100_000u64, 1_000_000, 4_000_000] {
         let config = QuantileConfig::median(k, epsilon).expect("config");
@@ -59,18 +75,31 @@ pub fn e6_cost_vs_n() -> Table {
 /// Theorem 3.1 in two tables.
 pub fn e7_cost_vs_k_and_eps() -> Vec<Table> {
     let n = 1_000_000u64;
+    let median_scenario = |k: u32, epsilon: f64| {
+        Scenario::new(
+            GeneratorSpec::Uniform { universe: 1 << 40 },
+            AssignmentSpec::RoundRobin,
+            k,
+            epsilon,
+            n,
+            5,
+            ProtocolSpec::QuantileExact { phi: 0.5 },
+        )
+    };
     let mut by_k = Table::new(
         "e7a_median_cost_vs_k",
         "E7a Thm 3.1: median communication vs k (n=1e6, eps=0.05)",
         &["k", "words", "words/k"],
     );
     for k in [2u32, 4, 8, 16, 32] {
-        let config = QuantileConfig::median(k, 0.05).expect("config");
-        let mut gen = Uniform::new(1 << 40, 5);
-        let mut assign = RoundRobin::new(k);
-        let cluster = run_quantile(config, n, &mut gen, &mut assign);
-        let words = cluster.meter().total_words();
-        by_k.row([k.to_string(), words.to_string(), (words / k as u64).to_string()]);
+        let words = measure_cost(&median_scenario(k, 0.05))
+            .expect("scenario")
+            .words;
+        by_k.row([
+            k.to_string(),
+            words.to_string(),
+            (words / k as u64).to_string(),
+        ]);
     }
     let mut by_eps = Table::new(
         "e7b_median_cost_vs_eps",
@@ -78,11 +107,9 @@ pub fn e7_cost_vs_k_and_eps() -> Vec<Table> {
         &["eps", "words", "words*eps (flat)"],
     );
     for epsilon in [0.1f64, 0.05, 0.02, 0.01] {
-        let config = QuantileConfig::median(8, epsilon).expect("config");
-        let mut gen = Uniform::new(1 << 40, 5);
-        let mut assign = RoundRobin::new(8);
-        let cluster = run_quantile(config, n, &mut gen, &mut assign);
-        let words = cluster.meter().total_words();
+        let words = measure_cost(&median_scenario(8, epsilon))
+            .expect("scenario")
+            .words;
         by_eps.row([
             epsilon.to_string(),
             words.to_string(),
@@ -137,7 +164,14 @@ pub fn e16_granularity_ablation() -> Table {
     let mut t = Table::new(
         "e16_quantile_granularity",
         "E16 Ablation: interval granularity constant (k=8, eps=0.05, n=1e6)",
-        &["granularity", "words", "separators", "recenters", "splits", "probes"],
+        &[
+            "granularity",
+            "words",
+            "separators",
+            "recenters",
+            "splits",
+            "probes",
+        ],
     );
     for g in [1u32, 2, 3, 4, 6] {
         let config = QuantileConfig::median(k, epsilon)

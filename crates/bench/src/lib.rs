@@ -23,6 +23,7 @@ pub mod exp_hh;
 pub mod exp_lb;
 pub mod exp_misc;
 pub mod exp_quantile;
+pub mod smoke;
 pub mod table;
 
 pub use table::Table;
@@ -31,21 +32,42 @@ pub use table::Table;
 pub const EXPERIMENTS: &[(&str, &str)] = &[
     ("e1", "Thm 2.1 — heavy-hitter cost vs n (log n shape)"),
     ("e2", "Thm 2.1 — heavy-hitter cost vs k (linear shape)"),
-    ("e3", "Thm 2.1 — heavy-hitter cost vs 1/eps, vs CGMR 1/eps^2"),
-    ("e4", "HH correctness: continuous oracle check + observed error"),
-    ("e5", "Thm 2.4 — adversarial lower bound forces Omega(k) per change"),
+    (
+        "e3",
+        "Thm 2.1 — heavy-hitter cost vs 1/eps, vs CGMR 1/eps^2",
+    ),
+    (
+        "e4",
+        "HH correctness: continuous oracle check + observed error",
+    ),
+    (
+        "e5",
+        "Thm 2.4 — adversarial lower bound forces Omega(k) per change",
+    ),
     ("e6", "Thm 3.1 — median cost vs n (log n shape)"),
     ("e7", "Thm 3.1 — quantile cost vs k and vs 1/eps"),
-    ("e8", "Quantile correctness across phi: observed rank error vs eps*n"),
+    (
+        "e8",
+        "Quantile correctness across phi: observed rank error vs eps*n",
+    ),
     ("e9", "Thm 3.2 — median lower-bound construction"),
-    ("e10", "Thm 4.1 — all-quantiles cost vs eps, vs CGMR baseline"),
+    (
+        "e10",
+        "Thm 4.1 — all-quantiles cost vs eps, vs CGMR baseline",
+    ),
     ("e11", "All-quantiles rank-query accuracy"),
-    ("e12", "Figure 1 — structural invariants of the quantile tree"),
+    (
+        "e12",
+        "Figure 1 — structural invariants of the quantile tree",
+    ),
     ("e13", "Small-space sites: per-site state, exact vs sketch"),
     ("e14", "Naive forward-all crossover (small n)"),
     ("e15", "Ablation: HH re-sync trigger (k/2, k, 2k signals)"),
     ("e16", "Ablation: quantile interval granularity"),
-    ("e17", "§5 remark — randomized sampling vs deterministic, crossover in k"),
+    (
+        "e17",
+        "§5 remark — randomized sampling vs deterministic, crossover in k",
+    ),
     ("e18", "§5 open problem — sliding-window heavy hitters"),
 ];
 

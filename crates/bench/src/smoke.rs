@@ -1,0 +1,136 @@
+//! Smoke benchmark: one tiny, fixed scenario per protocol family, timed
+//! end-to-end and emitted as a JSON snapshot.
+//!
+//! ```text
+//! cargo run --release -p dtrack-bench --bin experiments -- smoke
+//! ```
+//!
+//! writes `BENCH_seed.json` — the first point of the repo's performance
+//! trajectory. Metered words/messages are bit-for-bit deterministic
+//! (regressions there are protocol changes, not noise); wall-clock
+//! throughput is indicative.
+
+use dtrack_testkit::{measure_cost, AssignmentSpec, GeneratorSpec, ProtocolSpec, Scenario};
+use std::time::Instant;
+
+/// One timed smoke cell.
+#[derive(Debug, Clone)]
+pub struct SmokeResult {
+    /// Replayable scenario name.
+    pub scenario: String,
+    /// Metered words (deterministic).
+    pub words: u64,
+    /// Metered messages (deterministic).
+    pub messages: u64,
+    /// Wall-clock time for the whole run.
+    pub wall_ms: f64,
+    /// Items fed per wall-clock second.
+    pub items_per_sec: f64,
+}
+
+/// The smoke matrix: every protocol family once, at a size small enough
+/// to finish in well under a second per cell even in debug builds.
+pub fn smoke_scenarios() -> Vec<Scenario> {
+    let protocols = [
+        ProtocolSpec::Counter,
+        ProtocolSpec::HhExact,
+        ProtocolSpec::HhSketched,
+        ProtocolSpec::QuantileExact { phi: 0.5 },
+        ProtocolSpec::QuantileSketched { phi: 0.5 },
+        ProtocolSpec::AllQExact,
+        ProtocolSpec::Cgmr,
+        ProtocolSpec::Polling,
+        ProtocolSpec::ForwardAll,
+    ];
+    protocols
+        .into_iter()
+        .map(|protocol| {
+            Scenario::new(
+                GeneratorSpec::Zipf {
+                    universe: 1 << 20,
+                    s: 1.2,
+                },
+                AssignmentSpec::RoundRobin,
+                4,
+                0.1,
+                20_000,
+                1,
+                protocol,
+            )
+        })
+        .collect()
+}
+
+/// Run the smoke matrix, timing each scenario.
+pub fn run_smoke() -> Vec<SmokeResult> {
+    smoke_scenarios()
+        .iter()
+        .map(|scenario| {
+            let start = Instant::now();
+            let report = measure_cost(scenario).expect("smoke scenario failed");
+            let wall = start.elapsed();
+            SmokeResult {
+                scenario: report.scenario,
+                words: report.words,
+                messages: report.messages,
+                wall_ms: wall.as_secs_f64() * 1e3,
+                items_per_sec: scenario.n as f64 / wall.as_secs_f64().max(1e-9),
+            }
+        })
+        .collect()
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Render smoke results as a stable, human-diffable JSON document.
+pub fn smoke_json(results: &[SmokeResult]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"dtrack-bench-smoke/v1\",\n  \"cells\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"words\": {}, \"messages\": {}, \
+             \"wall_ms\": {:.3}, \"items_per_sec\": {:.0}}}{}\n",
+            json_escape(&r.scenario),
+            r.words,
+            r.messages,
+            r.wall_ms,
+            r.items_per_sec,
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_covers_every_protocol_family() {
+        let scenarios = smoke_scenarios();
+        assert_eq!(scenarios.len(), 9);
+        let labels: std::collections::BTreeSet<_> =
+            scenarios.iter().map(|s| s.protocol.label()).collect();
+        assert_eq!(labels.len(), 9);
+    }
+
+    #[test]
+    fn smoke_json_is_valid_enough() {
+        let results = vec![SmokeResult {
+            scenario: "hh-exact/zipf/round-robin/k4/eps0.1/n20000/seed1".to_owned(),
+            words: 1234,
+            messages: 567,
+            wall_ms: 8.5,
+            items_per_sec: 2_352_941.0,
+        }];
+        let j = smoke_json(&results);
+        assert!(j.contains("\"schema\": \"dtrack-bench-smoke/v1\""));
+        assert!(j.contains("\"words\": 1234"));
+        assert!(j.ends_with("]\n}\n"));
+        // Balanced braces/brackets, no trailing comma before the close.
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert!(!j.contains(",\n  ]"));
+    }
+}

@@ -6,7 +6,7 @@ use std::path::Path;
 
 /// A result table with a title, a slug (used as the CSV file name), and
 /// string cells.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Human-readable title shown above the table.
     pub title: String,
@@ -43,10 +43,9 @@ impl Table {
     /// Write the table as `<dir>/<slug>.csv`.
     pub fn write_csv(&self, dir: &Path) -> std::io::Result<()> {
         std::fs::create_dir_all(dir)?;
-        let mut f = std::io::BufWriter::new(std::fs::File::create(dir.join(format!(
-            "{}.csv",
-            self.slug
-        )))?);
+        let mut f = std::io::BufWriter::new(std::fs::File::create(
+            dir.join(format!("{}.csv", self.slug)),
+        )?);
         writeln!(f, "{}", self.headers.join(","))?;
         for row in &self.rows {
             writeln!(f, "{}", row.join(","))?;

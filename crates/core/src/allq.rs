@@ -549,24 +549,18 @@ impl<S: OrderStore> Site for AllQSite<S> {
             AqDown::RangeSummaryPoll { range } => {
                 let cnt = self.range_count(range);
                 let step = (cnt / 32).max(1);
-                out.push(AqUp::RangeSummary(self.store.summary_range(
-                    range.lo,
-                    range.hi,
-                    step,
-                )));
+                out.push(AqUp::RangeSummary(
+                    self.store.summary_range(range.lo, range.hi, step),
+                ));
             }
             AqDown::ReplaceSubtree { at, sub } => {
                 let ranges: Option<Vec<ValueRange>> = self.tracking.as_mut().map(|t| {
                     let appended = t.tree.graft(*at, sub);
                     t.unrep.resize(t.tree.len(), 0);
-                    appended
-                        .iter()
-                        .map(|&id| t.tree.node(id).range)
-                        .collect()
+                    appended.iter().map(|&id| t.tree.node(id).range).collect()
                 });
                 if let Some(ranges) = ranges {
-                    let counts: Vec<u64> =
-                        ranges.iter().map(|r| self.range_count(r)).collect();
+                    let counts: Vec<u64> = ranges.iter().map(|r| self.range_count(r)).collect();
                     out.push(AqUp::SubtreeCounts(counts));
                 }
             }
@@ -885,8 +879,8 @@ impl Coordinator for AllQCoordinator {
                     store.insert(item);
                     if store.len() >= self.config.warmup_target && self.pending.is_none() {
                         let n = store.len();
-                        let step = ((self.config.epsilon * n as f64 / 32.0).floor() as u64)
-                            .clamp(1, 64);
+                        let step =
+                            ((self.config.epsilon * n as f64 / 32.0).floor() as u64).clamp(1, 64);
                         let summary = EquiDepthSummary::from_sorted_counts(store.iter(), n, step);
                         let merged = MergedSummary::new(vec![summary]);
                         self.begin_install(&merged, n, out);
@@ -937,8 +931,7 @@ impl Coordinator for AllQCoordinator {
                 }
             }
             AqUp::RangeSummary(s) => {
-                if let Some(AqPending::PartialSummaries { collector, .. }) = self.pending.as_mut()
-                {
+                if let Some(AqPending::PartialSummaries { collector, .. }) = self.pending.as_mut() {
                     if collector.put(from.index(), s) {
                         let Some(AqPending::PartialSummaries {
                             at,
@@ -1149,7 +1142,12 @@ mod tests {
             oracle.observe(x);
             cluster.feed(SiteId((i % k as usize) as u32), x).unwrap();
             if i % 50 == 0 {
-                check_all_quantiles(cluster.coordinator(), &oracle, epsilon, &format!("item {i}"));
+                check_all_quantiles(
+                    cluster.coordinator(),
+                    &oracle,
+                    epsilon,
+                    &format!("item {i}"),
+                );
             }
         }
         assert!(cluster.coordinator().stats().rebuilds >= 1);
@@ -1195,7 +1193,12 @@ mod tests {
             oracle.observe(x);
             cluster.feed(SiteId((i % k as u64) as u32), x).unwrap();
             if i % 500 == 0 && i > 0 {
-                check_all_quantiles(cluster.coordinator(), &oracle, epsilon, &format!("item {i}"));
+                check_all_quantiles(
+                    cluster.coordinator(),
+                    &oracle,
+                    epsilon,
+                    &format!("item {i}"),
+                );
             }
         }
         let stats = cluster.coordinator().stats();
@@ -1310,7 +1313,12 @@ mod tests {
             oracle.observe(x);
             cluster.feed(SiteId((i % k as u64) as u32), x).unwrap();
             if i % 400 == 0 && i > 0 {
-                check_all_quantiles(cluster.coordinator(), &oracle, epsilon, &format!("item {i}"));
+                check_all_quantiles(
+                    cluster.coordinator(),
+                    &oracle,
+                    epsilon,
+                    &format!("item {i}"),
+                );
             }
         }
     }

@@ -141,7 +141,10 @@ impl<T> KCollector<T> {
             self.got as usize == self.slots.len(),
             "KCollector::take before all replies arrived"
         );
-        self.slots.into_iter().map(|s| s.expect("complete")).collect()
+        self.slots
+            .into_iter()
+            .map(|s| s.expect("complete"))
+            .collect()
     }
 }
 

@@ -128,9 +128,7 @@ mod tests {
     use dtrack_sim::Cluster;
 
     fn run(k: u32, epsilon: f64, n: u64) -> Cluster<CounterSite, CounterCoordinator> {
-        let sites = (0..k)
-            .map(|_| CounterSite::new(epsilon).unwrap())
-            .collect();
+        let sites = (0..k).map(|_| CounterSite::new(epsilon).unwrap()).collect();
         let mut cluster = Cluster::new(sites, CounterCoordinator::new()).unwrap();
         for i in 0..n {
             cluster.feed(SiteId((i % k as u64) as u32), i).unwrap();
@@ -142,9 +140,7 @@ mod tests {
     fn estimate_within_epsilon_at_all_times() {
         let k = 5;
         let epsilon = 0.1;
-        let sites = (0..k)
-            .map(|_| CounterSite::new(epsilon).unwrap())
-            .collect();
+        let sites = (0..k).map(|_| CounterSite::new(epsilon).unwrap()).collect();
         let mut cluster = Cluster::new(sites, CounterCoordinator::new()).unwrap();
         for i in 0..10_000u64 {
             cluster.feed(SiteId((i % k as u64) as u32), i).unwrap();
@@ -191,9 +187,7 @@ mod tests {
     fn skewed_assignment_still_within_bound() {
         // All items at one site: per-site log bound still applies.
         let epsilon = 0.1;
-        let sites = (0..3)
-            .map(|_| CounterSite::new(epsilon).unwrap())
-            .collect();
+        let sites = (0..3).map(|_| CounterSite::new(epsilon).unwrap()).collect();
         let mut cluster = Cluster::new(sites, CounterCoordinator::new()).unwrap();
         let n = 20_000u64;
         for i in 0..n {

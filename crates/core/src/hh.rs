@@ -240,7 +240,9 @@ impl<F: FreqStore> Site for HhSite<F> {
         self.delta_m += 1;
         let t = self.threshold();
         if self.delta_m >= t {
-            out.push(HhUp::AllSignal { delta: self.delta_m });
+            out.push(HhUp::AllSignal {
+                delta: self.delta_m,
+            });
             self.delta_m = 0;
         }
         if unreported >= t {

@@ -109,7 +109,9 @@ impl ExactOracle {
         let r_hi = self.rank_le(q);
         if target < r_lo {
             r_lo - target
-        } else { target.saturating_sub(r_hi) }
+        } else {
+            target.saturating_sub(r_hi)
+        }
     }
 
     /// The exact φ-quantile by the `rank_lt` convention: the smallest value

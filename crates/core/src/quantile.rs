@@ -440,11 +440,9 @@ impl<S: OrderStore> Site for QuantileSite<S> {
             QDown::RangeSummaryPoll { range } => {
                 let cnt = self.range_count(range);
                 let step = (cnt / 32).max(1);
-                out.push(QUp::RangeSummary(self.store.summary_range(
-                    range.lo,
-                    range.hi,
-                    step,
-                )));
+                out.push(QUp::RangeSummary(
+                    self.store.summary_range(range.lo, range.hi, step),
+                ));
             }
             QDown::SplitInstall {
                 sep,
@@ -455,7 +453,10 @@ impl<S: OrderStore> Site for QuantileSite<S> {
                     let pos = t.interval_of(*sep);
                     let old = t.bounds(pos);
                     let left_range = ValueRange::new(old.lo, Some(*sep));
-                    let right_range = ValueRange { lo: *sep, hi: old.hi };
+                    let right_range = ValueRange {
+                        lo: *sep,
+                        hi: old.hi,
+                    };
                     t.seps.insert(pos, *sep);
                     t.ids[pos] = *left_id;
                     t.ids.insert(pos + 1, *right_id);
@@ -757,8 +758,7 @@ impl QuantileCoordinator {
         }
         // 3. Pivot recenter when the estimated rank drift is too large.
         let eps_m = self.config.epsilon * m as f64;
-        let new_drift =
-            (1.0 - self.config.phi) * self.dl as f64 - self.config.phi * self.dr as f64;
+        let new_drift = (1.0 - self.config.phi) * self.dl as f64 - self.config.phi * self.dr as f64;
         let total_drift = self.base_drift + new_drift;
         if total_drift.abs() >= 7.0 * eps_m / 8.0 && new_drift.abs() >= eps_m / 8.0 {
             self.pending = Some(Pending::RecenterSides(KCollector::new(self.config.k)));
@@ -1014,9 +1014,9 @@ impl Coordinator for QuantileCoordinator {
                         let merged = MergedSummary::new(collector.take());
                         let total = merged.total();
                         let range = self.interval_bounds(pos);
-                        let sep = merged.select(total / 2).filter(|&v| {
-                            v > range.lo && range.hi.is_none_or(|h| v < h)
-                        });
+                        let sep = merged
+                            .select(total / 2)
+                            .filter(|&v| v > range.lo && range.hi.is_none_or(|h| v < h));
                         match sep {
                             Some(sep) => {
                                 let left_id = self.fresh_id();
@@ -1179,7 +1179,11 @@ mod tests {
         let mut stream = Vec::new();
         let mut st = 11u64;
         for i in 0..20_000u64 {
-            stream.push(if i % 2 == 0 { 1 << 20 } else { xorshift(&mut st) % (1 << 30) });
+            stream.push(if i % 2 == 0 {
+                1 << 20
+            } else {
+                xorshift(&mut st) % (1 << 30)
+            });
         }
         run_and_check_continuously(4, 0.1, 0.5, &stream, 13);
     }
@@ -1268,7 +1272,10 @@ mod tests {
         }
         let est = cluster.coordinator().n_estimate();
         assert!(est <= n);
-        assert!(est as f64 >= n as f64 * 0.9, "estimate {est} too low for {n}");
+        assert!(
+            est as f64 >= n as f64 * 0.9,
+            "estimate {est} too low for {n}"
+        );
     }
 
     #[test]

@@ -192,9 +192,7 @@ impl SamplingCoordinator {
         }
         let mut sorted = self.sample.clone();
         sorted.sort_unstable();
-        let idx = ((phi * sorted.len() as f64).ceil() as usize)
-            .clamp(1, sorted.len())
-            - 1;
+        let idx = ((phi * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
         Ok(Some(sorted[idx]))
     }
 

@@ -286,8 +286,8 @@ impl Coordinator for WindowHhCoordinator {
                     self.epoch_started_at = self.count;
                     out.broadcast(NewEpoch(self.epoch));
                     // Expire epochs that left the window.
-                    let keep_from = (self.epoch + 1)
-                        .saturating_sub(self.config.epochs_in_window() + 1);
+                    let keep_from =
+                        (self.epoch + 1).saturating_sub(self.config.epochs_in_window() + 1);
                     self.per_epoch.retain(|&e, _| e >= keep_from);
                     self.epoch_totals.retain(|&e, _| e >= keep_from);
                 }
@@ -295,8 +295,7 @@ impl Coordinator for WindowHhCoordinator {
             WUp::ItemDelta { epoch, item, delta } => {
                 // Reports for expired epochs are dropped (their epoch has
                 // left the window anyway).
-                let keep_from = (self.epoch + 1)
-                    .saturating_sub(self.config.epochs_in_window() + 1);
+                let keep_from = (self.epoch + 1).saturating_sub(self.config.epochs_in_window() + 1);
                 if epoch >= keep_from {
                     *self
                         .per_epoch
@@ -416,7 +415,10 @@ pub enum WqUp {
     CountDelta { delta: u64 },
     /// Equi-depth summary of the items this site received during the
     /// epoch that just closed.
-    EpochSummary { epoch: u64, summary: EquiDepthSummary },
+    EpochSummary {
+        epoch: u64,
+        summary: EquiDepthSummary,
+    },
 }
 
 impl MessageSize for WqUp {
@@ -487,8 +489,7 @@ impl Site for WindowQuantileSite {
                 / (16.0 * self.config.k as f64))
                 .floor() as u64)
                 .max(1);
-            let summary =
-                EquiDepthSummary::from_sorted_counts(self.buffer.iter(), local, step);
+            let summary = EquiDepthSummary::from_sorted_counts(self.buffer.iter(), local, step);
             out.push(WqUp::EpochSummary {
                 epoch: self.epoch,
                 summary,
@@ -569,14 +570,13 @@ impl Coordinator for WindowQuantileCoordinator {
                     self.epoch += 1;
                     self.epoch_started_at = self.count;
                     out.broadcast(NewEpoch(self.epoch));
-                    let keep_from = (self.epoch + 1)
-                        .saturating_sub(self.config.epochs_in_window() + 1);
+                    let keep_from =
+                        (self.epoch + 1).saturating_sub(self.config.epochs_in_window() + 1);
                     self.summaries.retain(|&e, _| e >= keep_from);
                 }
             }
             WqUp::EpochSummary { epoch, summary } => {
-                let keep_from = (self.epoch + 1)
-                    .saturating_sub(self.config.epochs_in_window() + 1);
+                let keep_from = (self.epoch + 1).saturating_sub(self.config.epochs_in_window() + 1);
                 if epoch >= keep_from {
                     self.summaries.entry(epoch).or_default().push(summary);
                 }
@@ -750,7 +750,10 @@ mod tests {
     #[test]
     fn config_validation() {
         assert!(WindowHhConfig::new(1, 0.1, 100_000).is_err());
-        assert!(WindowHhConfig::new(4, 0.1, 100).is_err(), "window too small");
+        assert!(
+            WindowHhConfig::new(4, 0.1, 100).is_err(),
+            "window too small"
+        );
         let c = WindowHhConfig::new(4, 0.1, 100_000).unwrap();
         assert_eq!(c.epoch_len(), 2500);
         assert_eq!(c.epochs_in_window(), 40);

@@ -173,7 +173,10 @@ where
         let s = self
             .sites
             .get_mut(dst.index())
-            .ok_or(SimError::NoSuchSite { site: dst.0, sites: k })?;
+            .ok_or(SimError::NoSuchSite {
+                site: dst.0,
+                sites: k,
+            })?;
         debug_assert!(self.site_buf.is_empty());
         s.on_message(msg, &mut self.site_buf);
         for up in self.site_buf.drain(..) {

@@ -136,7 +136,11 @@ impl std::fmt::Display for CostReport {
             self.down.words,
         )?;
         for (kind, c) in &self.by_kind {
-            writeln!(f, "  {kind:<24} {:>10} msgs {:>12} words", c.messages, c.words)?;
+            writeln!(
+                f,
+                "  {kind:<24} {:>10} msgs {:>12} words",
+                c.messages, c.words
+            )?;
         }
         Ok(())
     }
@@ -152,8 +156,20 @@ mod tests {
         m.record_up("a", 2);
         m.record_up("a", 3);
         m.record_down("b", 1);
-        assert_eq!(m.up(), KindCost { messages: 2, words: 5 });
-        assert_eq!(m.down(), KindCost { messages: 1, words: 1 });
+        assert_eq!(
+            m.up(),
+            KindCost {
+                messages: 2,
+                words: 5
+            }
+        );
+        assert_eq!(
+            m.down(),
+            KindCost {
+                messages: 1,
+                words: 1
+            }
+        );
         assert_eq!(m.total_messages(), 3);
         assert_eq!(m.total_words(), 6);
     }
@@ -164,8 +180,20 @@ mod tests {
         m.record_up("x/update", 2);
         m.record_down("x/update", 2);
         m.record_up("x/sync", 1);
-        assert_eq!(m.kind("x/update"), KindCost { messages: 2, words: 4 });
-        assert_eq!(m.kind("x/sync"), KindCost { messages: 1, words: 1 });
+        assert_eq!(
+            m.kind("x/update"),
+            KindCost {
+                messages: 2,
+                words: 4
+            }
+        );
+        assert_eq!(
+            m.kind("x/sync"),
+            KindCost {
+                messages: 1,
+                words: 1
+            }
+        );
         assert_eq!(m.kind("missing"), KindCost::default());
     }
 

@@ -163,7 +163,8 @@ where
                 let _ = tx.send(f(c));
             })))
             .map_err(|_| SimError::WorkerGone { who: "coordinator" })?;
-        rx.recv().map_err(|_| SimError::WorkerGone { who: "coordinator" })
+        rx.recv()
+            .map_err(|_| SimError::WorkerGone { who: "coordinator" })
     }
 
     /// Snapshot the communication meter.
@@ -179,7 +180,10 @@ where
             let (stx, srx) = unbounded();
             tx.send(SiteCmd::Stop(stx))
                 .map_err(|_| SimError::WorkerGone { who: "site" })?;
-            sites.push(srx.recv().map_err(|_| SimError::WorkerGone { who: "site" })?);
+            sites.push(
+                srx.recv()
+                    .map_err(|_| SimError::WorkerGone { who: "site" })?,
+            );
         }
         let (ctx, crx) = unbounded();
         self.coord_tx

@@ -240,7 +240,9 @@ mod tests {
             let hi = sorted.partition_point(|&y| y <= q) as u64;
             let dist = if target < lo {
                 lo - target
-            } else { target.saturating_sub(hi) };
+            } else {
+                target.saturating_sub(hi)
+            };
             assert!(
                 dist <= slack,
                 "phi={phi}: quantile {q} rank [{lo},{hi}] vs target {target} (slack {slack})"
@@ -299,7 +301,10 @@ mod tests {
             );
             let est = gk.rank_estimate(probe);
             let err = est.abs_diff(truth);
-            assert!(err <= slack, "estimate {est} vs {truth}, err {err} > {slack}");
+            assert!(
+                err <= slack,
+                "estimate {est} vs {truth}, err {err} > {slack}"
+            );
         }
     }
 

@@ -79,6 +79,37 @@ impl MisraGries {
         });
     }
 
+    /// Merge another summary into this one (Agarwal et al., "Mergeable
+    /// Summaries"): add counters pointwise, then, if more than `capacity`
+    /// counters remain, subtract the (capacity+1)-st largest counter value
+    /// from every counter and drop the non-positive ones. The merged
+    /// summary keeps the Misra–Gries guarantee for the concatenated
+    /// stream: `true(x) − (n₁+n₂)/(capacity+1) <= estimate(x) <= true(x)`.
+    /// Merging is commutative: both orders yield identical counters.
+    ///
+    /// # Panics
+    /// Panics if the capacities differ (the error guarantee would be the
+    /// weaker of the two, which is almost never what a caller wants).
+    pub fn merge(&mut self, other: &MisraGries) {
+        assert_eq!(
+            self.capacity, other.capacity,
+            "can only merge equal-capacity MisraGries summaries"
+        );
+        for (&x, &c) in &other.counters {
+            *self.counters.entry(x).or_insert(0) += c;
+        }
+        self.total += other.total;
+        if self.counters.len() > self.capacity {
+            let mut counts: Vec<u64> = self.counters.values().copied().collect();
+            counts.sort_unstable_by(|a, b| b.cmp(a));
+            let cut = counts[self.capacity];
+            self.counters.retain(|_, c| {
+                *c = c.saturating_sub(cut);
+                *c > 0
+            });
+        }
+    }
+
     /// Underestimate of the frequency of `x`.
     pub fn estimate(&self, x: u64) -> u64 {
         self.counters.get(&x).copied().unwrap_or(0)
@@ -127,7 +158,9 @@ mod tests {
             if i % 4 == 0 {
                 stream.push(7);
             } else {
-                st = st.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                st = st
+                    .wrapping_mul(2862933555777941757)
+                    .wrapping_add(3037000493);
                 stream.push(100 + st % 300);
             }
         }
@@ -143,7 +176,10 @@ mod tests {
         for (&x, &t) in &truth {
             let e = mg.estimate(x);
             assert!(e <= t, "must underestimate, item {x}: {e} > {t}");
-            assert!(t - e <= bound, "error bound violated for {x}: {t}-{e} > {bound}");
+            assert!(
+                t - e <= bound,
+                "error bound violated for {x}: {t}-{e} > {bound}"
+            );
         }
     }
 

@@ -153,6 +153,75 @@ impl SpaceSaving {
         })
     }
 
+    /// Merge another sketch into this one (Agarwal et al., "Mergeable
+    /// Summaries"). For items monitored on both sides, counts and errors
+    /// add; an item monitored on one side only gets the other side's
+    /// `min_count` added to both its count and its error (the other
+    /// side's upper bound on what it may have missed). The combined
+    /// counters are then truncated to the `capacity` largest, ties broken
+    /// by item id so that merging is exactly commutative.
+    ///
+    /// Merged guarantees, for the concatenated stream of n = n₁+n₂ items:
+    ///
+    /// * `count` still overestimates and `count − error` still
+    ///   underestimates every monitored item's true frequency;
+    /// * `error <= n / capacity`;
+    /// * every item with true frequency `> 2n / capacity` stays monitored
+    ///   (the merge doubles the miss threshold, matching the cited
+    ///   analysis).
+    ///
+    /// Protocol `tag`s are reset to zero: a merge produces a fresh
+    /// summary-level object, not a tracking-site state.
+    ///
+    /// # Panics
+    /// Panics if the capacities differ.
+    pub fn merge(&mut self, other: &SpaceSaving) {
+        assert_eq!(
+            self.capacity, other.capacity,
+            "can only merge equal-capacity SpaceSaving sketches"
+        );
+        let min_self = self.min_count();
+        let min_other = other.min_count();
+        // item -> (count, error)
+        let mut merged: HashMap<u64, (u64, u64)> = HashMap::with_capacity(2 * self.capacity);
+        for s in &self.heap {
+            merged.insert(s.item, (s.count, s.error));
+        }
+        for o in &other.heap {
+            merged
+                .entry(o.item)
+                .and_modify(|(c, e)| {
+                    *c += o.count;
+                    *e += o.error;
+                })
+                .or_insert((o.count + min_self, o.error + min_self));
+        }
+        for s in &self.heap {
+            if !other.pos.contains_key(&s.item) {
+                let entry = merged.get_mut(&s.item).expect("inserted above");
+                entry.0 += min_other;
+                entry.1 += min_other;
+            }
+        }
+        let mut all: Vec<(u64, (u64, u64))> = merged.into_iter().collect();
+        all.sort_unstable_by(|a, b| (b.1 .0.cmp(&a.1 .0)).then(a.0.cmp(&b.0)));
+        all.truncate(self.capacity);
+        self.total += other.total;
+        self.heap.clear();
+        self.pos.clear();
+        for (item, (count, error)) in all {
+            let i = self.heap.len();
+            self.heap.push(Slot {
+                item,
+                count,
+                error,
+                tag: 0,
+            });
+            self.pos.insert(item, i);
+            self.sift_up(i);
+        }
+    }
+
     /// The counter for `x`, if monitored.
     pub fn get(&self, x: u64) -> Option<CounterView> {
         self.pos.get(&x).map(|&i| {

@@ -277,7 +277,9 @@ impl OrderStore for GreenwaldKhanna {
     fn summary_range(&self, lo: u64, hi: Option<u64>, step: u64) -> EquiDepthSummary {
         let step = step.max(1);
         let lo_rank = OrderStore::rank_lt(self, lo);
-        let hi_rank = hi.map_or(GreenwaldKhanna::total(self), |h| OrderStore::rank_lt(self, h));
+        let hi_rank = hi.map_or(GreenwaldKhanna::total(self), |h| {
+            OrderStore::rank_lt(self, h)
+        });
         let cnt = hi_rank.saturating_sub(lo_rank);
         let gk_err = OrderStore::rank_error(self);
         let mut seps = Vec::new();

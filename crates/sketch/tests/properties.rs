@@ -201,6 +201,166 @@ proptest! {
         }
     }
 
+    /// Misra–Gries merge: commutative, still an underestimate, and the
+    /// deficit of the merged summary stays within (n₁+n₂)/(capacity+1) —
+    /// the mergeable-summaries guarantee for the concatenated stream.
+    #[test]
+    fn mg_merge_commutes_and_bounds_error(
+        a in prop::collection::vec(0u64..250, 50..1200),
+        b in prop::collection::vec(0u64..250, 50..1200),
+        cap in 8usize..48,
+    ) {
+        let feed = |stream: &[u64]| {
+            let mut mg = MisraGries::new(cap);
+            for &x in stream {
+                mg.observe(x);
+            }
+            mg
+        };
+        let (ma, mb) = (feed(&a), feed(&b));
+        let mut ab = ma.clone();
+        ab.merge(&mb);
+        let mut ba = mb.clone();
+        ba.merge(&ma);
+        let mut truth = freq_of(&a);
+        for (x, c) in freq_of(&b) {
+            *truth.entry(x).or_insert(0) += c;
+        }
+        let n = (a.len() + b.len()) as u64;
+        let bound = n / (cap as u64 + 1);
+        prop_assert_eq!(ab.total(), n);
+        for x in 0u64..250 {
+            prop_assert_eq!(
+                ab.estimate(x), ba.estimate(x),
+                "merge not commutative at item {}", x
+            );
+            let t = truth.get(&x).copied().unwrap_or(0);
+            let e = ab.estimate(x);
+            prop_assert!(e <= t, "item {x}: merged estimate {e} > true {t}");
+            prop_assert!(t - e <= bound, "item {x}: merged deficit {} > {bound}", t - e);
+        }
+    }
+
+    /// SpaceSaving merge: commutative, count/error brackets still hold,
+    /// per-counter error stays within (n₁+n₂)/capacity, and items above
+    /// twice that threshold stay monitored.
+    #[test]
+    fn ss_merge_commutes_and_bounds_error(
+        a in prop::collection::vec(0u64..250, 50..1200),
+        b in prop::collection::vec(0u64..250, 50..1200),
+        cap in 8usize..48,
+    ) {
+        let feed = |stream: &[u64]| {
+            let mut ss = SpaceSaving::new(cap);
+            for &x in stream {
+                ss.observe(x);
+            }
+            ss
+        };
+        let (sa, sb) = (feed(&a), feed(&b));
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        let mut truth = freq_of(&a);
+        for (x, c) in freq_of(&b) {
+            *truth.entry(x).or_insert(0) += c;
+        }
+        let n = (a.len() + b.len()) as u64;
+        let bound = n / cap as u64;
+        prop_assert_eq!(ab.total(), n);
+        prop_assert_eq!(ab.min_count(), ba.min_count());
+        for c in ab.iter() {
+            let t = truth.get(&c.item).copied().unwrap_or(0);
+            prop_assert!(c.count >= t, "item {}: merged count {} < true {t}", c.item, c.count);
+            prop_assert!(c.count - c.error <= t, "item {} lower bound broken", c.item);
+            prop_assert!(c.error <= bound, "item {}: error {} > {bound}", c.item, c.error);
+        }
+        for x in 0u64..250 {
+            prop_assert_eq!(ab.upper_bound(x), ba.upper_bound(x));
+            prop_assert_eq!(ab.lower_bound(x), ba.lower_bound(x));
+            let t = truth.get(&x).copied().unwrap_or(0);
+            if t > 2 * bound {
+                prop_assert!(ab.get(x).is_some(), "heavy item {x} lost in merge");
+            }
+            prop_assert!(ab.upper_bound(x) >= t);
+            prop_assert!(ab.lower_bound(x) <= t);
+        }
+    }
+
+    /// The GK merge path the protocols use — extract equi-depth summaries
+    /// and combine them — is order-insensitive and keeps the additive
+    /// error bound on rank estimates against the exact concatenation.
+    #[test]
+    fn gk_summary_merge_commutes_and_bounds_error(
+        a in prop::collection::vec(0u64..50_000, 100..1500),
+        b in prop::collection::vec(0u64..50_000, 100..1500),
+    ) {
+        use dtrack_sketch::OrderStore;
+        let feed = |stream: &[u64]| {
+            let mut gk = GreenwaldKhanna::new(0.05);
+            for &x in stream {
+                gk.observe(x);
+            }
+            gk
+        };
+        let (ga, gb) = (feed(&a), feed(&b));
+        let step = 40u64;
+        let (pa, pb) = (
+            ga.summary_range(0, None, step),
+            gb.summary_range(0, None, step),
+        );
+        let ab = MergedSummary::new(vec![pa.clone(), pb.clone()]);
+        let ba = MergedSummary::new(vec![pb, pa]);
+        prop_assert_eq!(ab.total(), (a.len() + b.len()) as u64);
+        prop_assert_eq!(ab.total(), ba.total());
+        prop_assert_eq!(ab.rank_error(), ba.rank_error());
+        let mut all = a.clone();
+        all.extend(&b);
+        all.sort_unstable();
+        for probe in (0..50_000).step_by(6199) {
+            prop_assert_eq!(
+                ab.rank_estimate(probe), ba.rank_estimate(probe),
+                "merge order changed rank({})", probe
+            );
+            let t = all.partition_point(|&y| y < probe) as u64;
+            prop_assert!(
+                ab.rank_estimate(probe).abs_diff(t) <= ab.rank_error(),
+                "probe {}: est {} truth {} bound {}",
+                probe, ab.rank_estimate(probe), t, ab.rank_error()
+            );
+        }
+    }
+
+    /// GK rank bounds sandwich the true rank and the point estimate.
+    #[test]
+    fn gk_rank_bounds_sandwich_truth(
+        stream in prop::collection::vec(0u64..100_000, 100..2500),
+        eps_pct in 2u32..20,
+    ) {
+        use dtrack_sketch::OrderStore;
+        let eps = eps_pct as f64 / 100.0;
+        let mut gk = GreenwaldKhanna::new(eps);
+        for &x in &stream {
+            gk.observe(x);
+        }
+        let mut sorted = stream.clone();
+        sorted.sort_unstable();
+        let n = sorted.len() as u64;
+        let slack = OrderStore::rank_error(&gk) + 1;
+        for probe in (0..100_000u64).step_by(9973) {
+            let (lo, hi) = gk.rank_bounds(probe);
+            prop_assert!(lo <= hi);
+            let est = gk.rank_estimate(probe);
+            prop_assert!(lo <= est && est <= hi, "estimate outside its own bounds");
+            let t = sorted.partition_point(|&y| y < probe) as u64;
+            prop_assert!(
+                t.saturating_sub(slack) <= hi && lo <= (t + slack).min(n),
+                "true rank {t} not bracketed by [{lo}, {hi}] +- {slack}"
+            );
+        }
+    }
+
     /// GK range summaries stay within their advertised error too.
     #[test]
     fn gk_summary_range_bounded(

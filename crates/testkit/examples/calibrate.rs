@@ -1,0 +1,14 @@
+fn main() {
+    for s in dtrack_testkit::default_matrix() {
+        match dtrack_testkit::run_scenario(&s) {
+            Ok(r) => println!(
+                "{:>6.1}% {:>9} / {:>9}  {}",
+                100.0 * r.budget_used(),
+                r.words,
+                r.budget_words,
+                r.scenario
+            ),
+            Err(e) => println!("FAIL {e}"),
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! # dtrack-testkit — deterministic differential testing
+//!
+//! A reusable harness that runs every tracking protocol in the workspace —
+//! the Yi–Zhang counter / heavy-hitter / quantile / all-quantiles
+//! protocols and the CGMR / naive baselines — against the exact
+//! [`dtrack_core::ExactOracle`] on a matrix of seeded scenarios, checking
+//! two things per run:
+//!
+//! 1. **Accuracy** — the protocol's ε-guarantee holds at ~16 mid-stream
+//!    checkpoints and at the end of the stream (heavy-hitter sets by the
+//!    paper's definition, quantiles by the rank-interval convention,
+//!    exactness for forward-all).
+//! 2. **Communication** — the words metered by [`dtrack_sim`] stay under
+//!    an explicit-constant version of the paper's bound for that protocol
+//!    ([`bound::word_budget`]).
+//!
+//! A [`Scenario`] is a *value* — generator, assignment, k, ε, n, seed,
+//! protocol — so every failure message names a bit-for-bit replayable
+//! run. Integration tests and the experiment harness both drive this
+//! crate instead of hand-rolling their own scenario loops.
+//!
+//! ```
+//! use dtrack_testkit::{run_scenario, Scenario};
+//! use dtrack_testkit::scenario::{AssignmentSpec, GeneratorSpec, ProtocolSpec};
+//!
+//! let report = run_scenario(&Scenario::new(
+//!     GeneratorSpec::Zipf { universe: 1 << 20, s: 1.2 },
+//!     AssignmentSpec::RoundRobin,
+//!     4,    // k
+//!     0.1,  // epsilon
+//!     2_000, // n
+//!     7,    // seed
+//!     ProtocolSpec::HhExact,
+//! ))
+//! .unwrap();
+//! assert!(report.checks > 0);
+//! assert!(report.words <= report.budget_words);
+//! ```
+
+pub mod bound;
+pub mod matrix;
+pub mod report;
+pub mod runner;
+pub mod scenario;
+
+pub use matrix::{default_matrix, matrix};
+pub use report::{ScenarioFailure, ScenarioReport};
+pub use runner::{measure_cost, run_matrix, run_scenario};
+pub use scenario::{AssignmentSpec, GeneratorSpec, ProtocolSpec, Scenario, Tuning};

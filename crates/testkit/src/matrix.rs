@@ -1,0 +1,185 @@
+//! The default scenario matrix: a deterministic spread of
+//! (generator × assignment × k × ε × protocol) combinations.
+//!
+//! A full cartesian product over the axes would be thousands of runs; the
+//! default matrix instead rotates the axes Latin-square style so that
+//! every protocol meets every generator, every assignment, several k and
+//! several ε across the suite, while staying fast enough to run in every
+//! `cargo test`. Use [`matrix`] directly for a custom (e.g. nightly-sized)
+//! product.
+
+use crate::scenario::{AssignmentSpec, GeneratorSpec, ProtocolSpec, Scenario};
+
+/// The generator axis used by the default matrix.
+pub const GENERATORS: [GeneratorSpec; 5] = [
+    GeneratorSpec::Zipf {
+        universe: 1 << 20,
+        s: 1.2,
+    },
+    GeneratorSpec::Uniform { universe: 1 << 36 },
+    GeneratorSpec::SortedRamp { start: 0, step: 17 },
+    GeneratorSpec::ShiftingZipf {
+        universe: 1 << 24,
+        s: 1.3,
+        shift_every: 1_500,
+    },
+    GeneratorSpec::TwoPhaseDrift {
+        band: 1 << 20,
+        switch_at: 3_000,
+    },
+];
+
+/// The assignment axis used by the default matrix.
+pub const ASSIGNMENTS: [AssignmentSpec; 4] = [
+    AssignmentSpec::RoundRobin,
+    AssignmentSpec::UniformSites,
+    AssignmentSpec::SkewedSites { s: 1.3 },
+    AssignmentSpec::Bursts { burst_len: 97 },
+];
+
+/// The protocol axis used by the default matrix.
+pub const PROTOCOLS: [ProtocolSpec; 10] = [
+    ProtocolSpec::Counter,
+    ProtocolSpec::HhExact,
+    ProtocolSpec::HhSketched,
+    ProtocolSpec::QuantileExact { phi: 0.5 },
+    ProtocolSpec::QuantileExact { phi: 0.25 },
+    ProtocolSpec::QuantileSketched { phi: 0.5 },
+    ProtocolSpec::AllQExact,
+    ProtocolSpec::Cgmr,
+    ProtocolSpec::Polling,
+    ProtocolSpec::ForwardAll,
+];
+
+/// The site-count axis used by the default matrix.
+pub const KS: [u32; 3] = [3, 5, 8];
+
+/// The ε axis used by the default matrix.
+pub const EPSILONS: [f64; 3] = [0.05, 0.1, 0.2];
+
+/// Explicit cartesian product over given axes — every combination, one
+/// scenario each. Stream length and seed are derived deterministically.
+pub fn matrix(
+    generators: &[GeneratorSpec],
+    assignments: &[AssignmentSpec],
+    ks: &[u32],
+    epsilons: &[f64],
+    protocols: &[ProtocolSpec],
+    n: u64,
+) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    for (gi, &generator) in generators.iter().enumerate() {
+        for (ai, &assignment) in assignments.iter().enumerate() {
+            for (ki, &k) in ks.iter().enumerate() {
+                for (ei, &epsilon) in epsilons.iter().enumerate() {
+                    for (pi, &protocol) in protocols.iter().enumerate() {
+                        out.push(Scenario {
+                            generator,
+                            assignment,
+                            k,
+                            epsilon,
+                            n,
+                            seed: 1
+                                + (((gi * 131 + ai) * 131 + ki) * 131 + ei) as u64 * 131
+                                + pi as u64,
+                            protocol,
+                            tuning: Default::default(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The default matrix: every protocol × 4 rotated slices of the
+/// generator/assignment/k/ε axes — 40 scenarios, each a distinct
+/// (generator, assignment, k, ε, protocol) combination.
+pub fn default_matrix() -> Vec<Scenario> {
+    let mut out = Vec::new();
+    for (pi, &protocol) in PROTOCOLS.iter().enumerate() {
+        for slice in 0..4usize {
+            let generator = GENERATORS[(pi + slice) % GENERATORS.len()];
+            // Stride 3 is coprime to the 4-wide axis, so the four slices
+            // visit all four assignments for every protocol.
+            let assignment = ASSIGNMENTS[(pi + 3 * slice + 1) % ASSIGNMENTS.len()];
+            let k = KS[(pi + slice) % KS.len()];
+            let epsilon = EPSILONS[(pi + 2 * slice) % EPSILONS.len()];
+            out.push(Scenario {
+                generator,
+                assignment,
+                k,
+                epsilon,
+                n: 6_000,
+                seed: (pi as u64) * 41 + slice as u64 + 1,
+                protocol,
+                tuning: Default::default(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn combo_key(s: &Scenario) -> (String, String, u32, u64, String) {
+        (
+            s.generator.label().to_owned(),
+            s.assignment.label().to_owned(),
+            s.k,
+            s.epsilon.to_bits(),
+            s.protocol.label().to_owned(),
+        )
+    }
+
+    #[test]
+    fn default_matrix_has_at_least_30_distinct_combinations() {
+        let scenarios = default_matrix();
+        let combos: BTreeSet<_> = scenarios.iter().map(combo_key).collect();
+        assert!(
+            combos.len() >= 30,
+            "only {} distinct combinations",
+            combos.len()
+        );
+        assert_eq!(combos.len(), scenarios.len(), "duplicate combination");
+    }
+
+    #[test]
+    fn default_matrix_covers_every_axis_value() {
+        let scenarios = default_matrix();
+        for g in GENERATORS {
+            assert!(scenarios.iter().any(|s| s.generator == g), "missing {g:?}");
+        }
+        for a in ASSIGNMENTS {
+            assert!(scenarios.iter().any(|s| s.assignment == a), "missing {a:?}");
+        }
+        for p in PROTOCOLS {
+            assert!(scenarios.iter().any(|s| s.protocol == p), "missing {p:?}");
+        }
+        for k in KS {
+            assert!(scenarios.iter().any(|s| s.k == k), "missing k={k}");
+        }
+        for e in EPSILONS {
+            assert!(scenarios.iter().any(|s| s.epsilon == e), "missing eps={e}");
+        }
+    }
+
+    #[test]
+    fn cartesian_matrix_is_complete() {
+        let m = matrix(
+            &GENERATORS[..2],
+            &ASSIGNMENTS[..2],
+            &[4],
+            &[0.1, 0.2],
+            &[ProtocolSpec::Counter, ProtocolSpec::ForwardAll],
+            1000,
+        );
+        assert_eq!(m.len(), 2 * 2 * 2 * 2);
+        let combos: BTreeSet<_> = m.iter().map(combo_key).collect();
+        assert_eq!(combos.len(), m.len());
+    }
+}

@@ -1,0 +1,112 @@
+//! The differential-testing matrix: every protocol against the exact
+//! oracle across rotated (generator, assignment, k, ε) combinations,
+//! with the metered communication held to the paper's bound.
+
+use dtrack_testkit::{default_matrix, run_scenario};
+use std::collections::BTreeSet;
+
+#[test]
+fn default_matrix_passes_accuracy_and_bound_checks() {
+    let scenarios = default_matrix();
+    assert!(
+        scenarios.len() >= 30,
+        "matrix shrank to {}",
+        scenarios.len()
+    );
+    let mut failures = Vec::new();
+    let mut total_checks = 0u64;
+    for scenario in &scenarios {
+        match run_scenario(scenario) {
+            Ok(report) => {
+                assert!(
+                    report.checks > 0,
+                    "[{}] ran zero oracle comparisons",
+                    report.scenario
+                );
+                assert!(report.words <= report.budget_words);
+                total_checks += report.checks;
+            }
+            Err(e) => failures.push(e.to_string()),
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} scenario(s) failed:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+    // The matrix as a whole must exercise the oracle heavily.
+    assert!(total_checks > 1_000, "only {total_checks} oracle checks");
+}
+
+#[test]
+fn matrix_spans_all_five_axes() {
+    let scenarios = default_matrix();
+    let generators: BTreeSet<_> = scenarios.iter().map(|s| s.generator.label()).collect();
+    let assignments: BTreeSet<_> = scenarios.iter().map(|s| s.assignment.label()).collect();
+    // Debug form distinguishes the two quantile φ values that share the
+    // "quantile-exact" label.
+    let protocols: BTreeSet<_> = scenarios
+        .iter()
+        .map(|s| format!("{:?}", s.protocol))
+        .collect();
+    let ks: BTreeSet<_> = scenarios.iter().map(|s| s.k).collect();
+    let epsilons: BTreeSet<_> = scenarios.iter().map(|s| s.epsilon.to_bits()).collect();
+    assert_eq!(generators.len(), 5);
+    assert_eq!(assignments.len(), 4);
+    assert_eq!(protocols.len(), 10);
+    assert!(ks.len() >= 3);
+    assert!(epsilons.len() >= 3);
+}
+
+#[test]
+fn reports_are_deterministic() {
+    let scenario = &default_matrix()[0];
+    let a = run_scenario(scenario).unwrap();
+    let b = run_scenario(scenario).unwrap();
+    assert_eq!(a, b, "same scenario, different transcript");
+}
+
+#[test]
+fn optimal_protocol_beats_cgmr_at_small_epsilon() {
+    // The paper's headline: Θ(k/ε·log n) vs CGMR's Θ(k/ε²·log n). The
+    // harness must reproduce the separation on a concrete scenario pair.
+    use dtrack_testkit::scenario::{AssignmentSpec, GeneratorSpec, ProtocolSpec, Scenario};
+    let base = Scenario::new(
+        GeneratorSpec::Uniform { universe: 1 << 36 },
+        AssignmentSpec::RoundRobin,
+        5,
+        0.05,
+        40_000,
+        11,
+        ProtocolSpec::QuantileExact { phi: 0.5 },
+    );
+    let quantile = run_scenario(&base).unwrap();
+    let cgmr = run_scenario(&Scenario {
+        protocol: ProtocolSpec::Cgmr,
+        ..base
+    })
+    .unwrap();
+    assert!(
+        cgmr.words > 2 * quantile.words,
+        "no separation: cgmr {} vs quantile {}",
+        cgmr.words,
+        quantile.words
+    );
+}
+
+#[test]
+fn rejects_degenerate_site_counts() {
+    use dtrack_testkit::scenario::{AssignmentSpec, GeneratorSpec, ProtocolSpec, Scenario};
+    let err = run_scenario(&Scenario::new(
+        GeneratorSpec::Uniform { universe: 100 },
+        AssignmentSpec::RoundRobin,
+        1,
+        0.1,
+        100,
+        1,
+        ProtocolSpec::Counter,
+    ))
+    .unwrap_err();
+    assert!(err.to_string().contains("k >= 2"), "{err}");
+}

@@ -189,7 +189,10 @@ mod tests {
         let mut a = Bursts::new(5, 10, 9);
         let sites: Vec<u32> = (0..100).map(|_| a.next_site().0).collect();
         for chunk in sites.chunks(10) {
-            assert!(chunk.iter().all(|&s| s == chunk[0]), "burst broken: {chunk:?}");
+            assert!(
+                chunk.iter().all(|&s| s == chunk[0]),
+                "burst broken: {chunk:?}"
+            );
         }
     }
 

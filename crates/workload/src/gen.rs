@@ -217,7 +217,11 @@ mod tests {
         let mut counts: Vec<u64> = freq.values().copied().collect();
         counts.sort_unstable_by(|a, b| b.cmp(a));
         // The most frequent item carries a large share; the tail is long.
-        assert!(counts[0] > (n / 20) as u64, "top item too light: {}", counts[0]);
+        assert!(
+            counts[0] > (n / 20) as u64,
+            "top item too light: {}",
+            counts[0]
+        );
         assert!(freq.len() > 100, "tail too short: {}", freq.len());
     }
 

@@ -33,7 +33,10 @@ fn main() {
 
     let n = 1_000_000u64;
     let report_every = 200_000u64;
-    println!("{:>9}  {:>8}  {:>22}  alerts", "packets", "words", "top flow (true share)");
+    println!(
+        "{:>9}  {:>8}  {:>22}  alerts",
+        "packets", "words", "top flow (true share)"
+    );
     for i in 1..=n {
         let flow = flows.next_item();
         oracle.observe(flow);

@@ -41,6 +41,9 @@ fn main() {
     println!("\nstream length        : {n}");
     println!("communication        : {words} words");
     println!("naive forwarding     : {} words", 2 * n);
-    println!("savings              : {:.0}x", 2.0 * n as f64 / words as f64);
+    println!(
+        "savings              : {:.0}x",
+        2.0 * n as f64 / words as f64
+    );
     println!("\nper message kind:\n{}", cluster.meter().report());
 }

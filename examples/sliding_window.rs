@@ -7,9 +7,7 @@
 //! ```
 
 use dtrack::core::sampling::{sampling_cluster, SamplingConfig};
-use dtrack::core::window::{
-    window_cluster, window_quantile_cluster, WindowHhConfig, WindowOracle,
-};
+use dtrack::core::window::{window_cluster, window_quantile_cluster, WindowHhConfig, WindowOracle};
 use dtrack::prelude::*;
 use dtrack::workload::{Generator, ShiftingZipf};
 

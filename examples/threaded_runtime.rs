@@ -19,8 +19,7 @@ fn main() {
     let epsilon = 0.05;
     let config = HhConfig::new(k, epsilon).expect("valid parameters");
     let sites: Vec<_> = (0..k).map(|_| HhSite::exact(config)).collect();
-    let cluster =
-        ThreadedCluster::spawn(sites, HhCoordinator::new(config)).expect("spawn threads");
+    let cluster = ThreadedCluster::spawn(sites, HhCoordinator::new(config)).expect("spawn threads");
 
     let mut gen = Zipf::new(1 << 16, 1.3, 21);
     let n = 200_000u64;

@@ -1,150 +1,115 @@
 //! End-to-end integration: every protocol against the exact oracle on
-//! combinations of workloads and site assignments, through the public
-//! facade API.
+//! combinations of workloads and site assignments, driven through the
+//! shared `dtrack-testkit` differential harness (which also holds every
+//! run to the paper's communication bound).
 
-use dtrack::core::allq::AllQConfig;
-use dtrack::core::hh::HhConfig;
-use dtrack::core::quantile::QuantileConfig;
 use dtrack::prelude::*;
-use dtrack::workload::{
-    Bursts, RoundRobin, ShiftingZipf, SkewedSites, SortedRamp, Stream, TwoPhaseDrift, Uniform,
-    UniformSites, Zipf,
+use dtrack::workload::{RoundRobin, Stream, Zipf};
+use dtrack_testkit::{
+    measure_cost, run_scenario, AssignmentSpec, GeneratorSpec, ProtocolSpec, Scenario,
 };
 
 const N: u64 = 25_000;
 
-fn streams(k: u32) -> Vec<(&'static str, Vec<(SiteId, u64)>)> {
+/// The five workload/assignment pairings the seed suite has always
+/// exercised: benign, skewed, and adversarial streams over distinct
+/// routing patterns.
+fn workloads() -> Vec<(GeneratorSpec, AssignmentSpec)> {
     vec![
         (
-            "zipf/round-robin",
-            Stream::new(Zipf::new(1 << 20, 1.2, 11), RoundRobin::new(k), N).collect(),
+            GeneratorSpec::Zipf {
+                universe: 1 << 20,
+                s: 1.2,
+            },
+            AssignmentSpec::RoundRobin,
         ),
         (
-            "uniform/random-sites",
-            Stream::new(Uniform::new(1 << 36, 13), UniformSites::new(k, 17), N).collect(),
+            GeneratorSpec::Uniform { universe: 1 << 36 },
+            AssignmentSpec::UniformSites,
         ),
         (
-            "ramp/bursts",
-            Stream::new(SortedRamp::new(0, 17), Bursts::new(k, 97, 23), N).collect(),
+            GeneratorSpec::SortedRamp { start: 0, step: 17 },
+            AssignmentSpec::Bursts { burst_len: 97 },
         ),
         (
-            "shift/skewed-sites",
-            Stream::new(
-                ShiftingZipf::new(1 << 24, 1.3, N / 4, 29),
-                SkewedSites::new(k, 1.3, 31),
-                N,
-            )
-            .collect(),
+            GeneratorSpec::ShiftingZipf {
+                universe: 1 << 24,
+                s: 1.3,
+                shift_every: N / 4,
+            },
+            AssignmentSpec::SkewedSites { s: 1.3 },
         ),
         (
-            "drift/round-robin",
-            Stream::new(TwoPhaseDrift::new(1 << 20, N / 2, 37), RoundRobin::new(k), N).collect(),
+            GeneratorSpec::TwoPhaseDrift {
+                band: 1 << 20,
+                switch_at: N / 2,
+            },
+            AssignmentSpec::RoundRobin,
         ),
     ]
 }
 
-#[test]
-fn heavy_hitters_correct_on_all_workloads() {
-    let k = 5;
-    let epsilon = 0.05;
-    let phi = 0.1;
-    for (name, stream) in streams(k) {
-        let config = HhConfig::new(k, epsilon).unwrap();
-        let mut cluster = dtrack::core::hh::exact_cluster(config).unwrap();
-        let mut oracle = ExactOracle::new();
-        for (i, &(site, item)) in stream.iter().enumerate() {
-            oracle.observe(item);
-            cluster.feed(site, item).unwrap();
-            if i % 577 == 0 {
-                let reported = cluster.coordinator().heavy_hitters(phi).unwrap();
-                if let Some(v) = oracle.check_heavy_hitters(&reported, phi, epsilon) {
-                    panic!("[{name}] item {i}: {v}");
-                }
-            }
-        }
+/// Run one protocol across all five workloads, failing with the full
+/// scenario name on the first guarantee violation.
+fn check_protocol_on_all_workloads(protocol: ProtocolSpec, epsilon: f64) {
+    for (i, (generator, assignment)) in workloads().into_iter().enumerate() {
+        let scenario = Scenario::new(
+            generator,
+            assignment,
+            5,
+            epsilon,
+            N,
+            11 + i as u64,
+            protocol,
+        );
+        let report = run_scenario(&scenario).unwrap_or_else(|e| panic!("{e}"));
+        assert!(
+            report.checks > 0,
+            "[{}] no oracle checks ran",
+            report.scenario
+        );
     }
 }
 
 #[test]
+fn heavy_hitters_correct_on_all_workloads() {
+    check_protocol_on_all_workloads(ProtocolSpec::HhExact, 0.05);
+}
+
+#[test]
+fn sketched_heavy_hitters_correct_on_all_workloads() {
+    check_protocol_on_all_workloads(ProtocolSpec::HhSketched, 0.05);
+}
+
+#[test]
 fn quantiles_correct_on_all_workloads() {
-    let k = 5;
-    let epsilon = 0.08;
-    for (name, stream) in streams(k) {
-        for phi in [0.25, 0.5, 0.9] {
-            let config = QuantileConfig::new(k, epsilon, phi).unwrap();
-            let mut cluster = dtrack::core::quantile::exact_cluster(config).unwrap();
-            let mut oracle = ExactOracle::new();
-            for (i, &(site, item)) in stream.iter().enumerate() {
-                oracle.observe(item);
-                cluster.feed(site, item).unwrap();
-                if i % 577 == 0 {
-                    let q = cluster.coordinator().quantile().expect("nonempty");
-                    assert!(
-                        oracle.quantile_ok(q, phi, epsilon),
-                        "[{name}] item {i}, phi {phi}: {q} outside ε-band \
-                         (rank {} of {})",
-                        oracle.rank_lt(q),
-                        oracle.total()
-                    );
-                }
-            }
-        }
+    for phi in [0.25, 0.5, 0.9] {
+        check_protocol_on_all_workloads(ProtocolSpec::QuantileExact { phi }, 0.08);
     }
 }
 
 #[test]
 fn all_quantiles_correct_on_all_workloads() {
-    let k = 5;
-    let epsilon = 0.1;
-    for (name, stream) in streams(k) {
-        let config = AllQConfig::new(k, epsilon).unwrap();
-        let mut cluster = dtrack::core::allq::exact_cluster(config).unwrap();
-        let mut oracle = ExactOracle::new();
-        for (i, &(site, item)) in stream.iter().enumerate() {
-            oracle.observe(item);
-            cluster.feed(site, item).unwrap();
-            if i % 1733 == 0 && i > 0 {
-                for phi in [0.05, 0.3, 0.5, 0.8, 0.99] {
-                    let q = cluster
-                        .coordinator()
-                        .quantile(phi)
-                        .unwrap()
-                        .expect("nonempty");
-                    assert!(
-                        oracle.quantile_ok(q, phi, epsilon),
-                        "[{name}] item {i}, phi {phi}: {q} outside ε-band"
-                    );
-                }
-            }
-        }
-    }
+    check_protocol_on_all_workloads(ProtocolSpec::AllQExact, 0.1);
 }
 
 #[test]
 fn counter_tracks_on_all_workloads() {
-    let k = 5;
-    let epsilon = 0.1;
-    for (name, stream) in streams(k) {
-        let sites = (0..k)
-            .map(|_| CounterSite::new(epsilon).unwrap())
-            .collect();
-        let mut cluster = Cluster::new(sites, CounterCoordinator::new()).unwrap();
-        for (i, &(site, item)) in stream.iter().enumerate() {
-            cluster.feed(site, item).unwrap();
-            let n = (i + 1) as u64;
-            let est = cluster.coordinator().estimate();
-            assert!(est <= n, "[{name}] overestimate at {n}");
-            assert!(
-                est as f64 > (1.0 - epsilon) * n as f64 - k as f64,
-                "[{name}] estimate {est} too low at {n}"
-            );
-        }
-    }
+    check_protocol_on_all_workloads(ProtocolSpec::Counter, 0.1);
+}
+
+#[test]
+fn baselines_correct_on_all_workloads() {
+    check_protocol_on_all_workloads(ProtocolSpec::Cgmr, 0.1);
+    check_protocol_on_all_workloads(ProtocolSpec::ForwardAll, 0.1);
 }
 
 #[test]
 fn hh_and_allq_agree_on_heavy_hitters() {
     // Two independent protocol stacks must agree on clearly-heavy items.
+    // This cross-protocol comparison feeds both clusters one stream, which
+    // the scenario harness intentionally does not model — so it drives the
+    // facade API directly.
     let k = 4;
     let epsilon = 0.02;
     let phi = 0.2;
@@ -152,12 +117,8 @@ fn hh_and_allq_agree_on_heavy_hitters() {
     let config_aq = AllQConfig::new(k, epsilon).unwrap();
     let mut hh = dtrack::core::hh::exact_cluster(config_hh).unwrap();
     let mut aq = dtrack::core::allq::exact_cluster(config_aq).unwrap();
-    let stream: Vec<(SiteId, u64)> = Stream::new(
-        Zipf::new(1 << 16, 1.6, 41),
-        RoundRobin::new(k),
-        60_000,
-    )
-    .collect();
+    let stream: Vec<(SiteId, u64)> =
+        Stream::new(Zipf::new(1 << 16, 1.6, 41), RoundRobin::new(k), 60_000).collect();
     let mut oracle = ExactOracle::new();
     for &(site, item) in &stream {
         oracle.observe(item);
@@ -175,42 +136,26 @@ fn hh_and_allq_agree_on_heavy_hitters() {
 
 #[test]
 fn cost_comparison_matches_theory_order() {
-    // On the same stream: counter < single quantile <= heavy hitters /
-    // all-quantiles < CGMR < forward-all (for large n and small ε).
-    let k = 6;
-    let epsilon = 0.02;
-    let n = 120_000u64;
-    let stream: Vec<(SiteId, u64)> =
-        Stream::new(Uniform::new(1 << 36, 43), RoundRobin::new(k), n).collect();
-
-    let counter_words = {
-        let sites = (0..k)
-            .map(|_| CounterSite::new(epsilon).unwrap())
-            .collect();
-        let mut c = Cluster::new(sites, CounterCoordinator::new()).unwrap();
-        c.feed_stream(stream.iter().copied()).unwrap();
-        c.meter().total_words()
+    // On the same stream: counter < single quantile < CGMR, and our
+    // tracker beats plain forwarding outright (for large n and small ε).
+    let base = Scenario::new(
+        GeneratorSpec::Uniform { universe: 1 << 36 },
+        AssignmentSpec::RoundRobin,
+        6,
+        0.02,
+        120_000,
+        43,
+        ProtocolSpec::Counter,
+    );
+    let words = |protocol: ProtocolSpec| {
+        measure_cost(&Scenario { protocol, ..base })
+            .unwrap_or_else(|e| panic!("{e}"))
+            .words
     };
-    let quantile_words = {
-        let mut c =
-            dtrack::core::quantile::exact_cluster(QuantileConfig::median(k, epsilon).unwrap())
-                .unwrap();
-        c.feed_stream(stream.iter().copied()).unwrap();
-        c.meter().total_words()
-    };
-    let cgmr_words = {
-        let mut c = dtrack::baseline::cgmr::exact_cluster(
-            dtrack::baseline::CgmrConfig::new(k, epsilon).unwrap(),
-        )
-        .unwrap();
-        c.feed_stream(stream.iter().copied()).unwrap();
-        c.meter().total_words()
-    };
-    let forward_words = {
-        let mut c = dtrack::baseline::naive::forward_all_cluster(k).unwrap();
-        c.feed_stream(stream.iter().copied()).unwrap();
-        c.meter().total_words()
-    };
+    let counter_words = words(ProtocolSpec::Counter);
+    let quantile_words = words(ProtocolSpec::QuantileExact { phi: 0.5 });
+    let cgmr_words = words(ProtocolSpec::Cgmr);
+    let forward_words = words(ProtocolSpec::ForwardAll);
     assert!(
         counter_words < quantile_words,
         "counter {counter_words} !< quantile {quantile_words}"

@@ -4,9 +4,7 @@
 
 use dtrack::core::hh::HhConfig;
 use dtrack::core::sampling::{sampling_cluster, SamplingConfig};
-use dtrack::core::window::{
-    window_cluster, window_quantile_cluster, WindowHhConfig, WindowOracle,
-};
+use dtrack::core::window::{window_cluster, window_quantile_cluster, WindowHhConfig, WindowOracle};
 use dtrack::prelude::*;
 use dtrack::workload::{Generator, RoundRobin, ShiftingZipf, Stream, Zipf};
 
@@ -128,5 +126,9 @@ fn feed_stream_helper_works_with_extension_protocols() {
     let stream = Stream::new(Zipf::new(1 << 16, 1.3, 11), RoundRobin::new(k), 40_000);
     cluster.feed_stream(stream).unwrap();
     assert!(cluster.coordinator().window_estimate() > 0);
-    assert!(!cluster.coordinator().heavy_hitters(0.05).unwrap().is_empty());
+    assert!(!cluster
+        .coordinator()
+        .heavy_hitters(0.05)
+        .unwrap()
+        .is_empty());
 }

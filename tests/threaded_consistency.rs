@@ -4,21 +4,19 @@
 //! threaded runtime into the same global order).
 
 use dtrack::core::hh::{HhConfig, HhCoordinator, HhSite};
+use dtrack::core::quantile::{QuantileCoordinator, QuantileSite};
 use dtrack::prelude::*;
 use dtrack::sim::threaded::ThreadedCluster;
 use dtrack::workload::{RoundRobin, Stream, Zipf};
+use dtrack_testkit::{AssignmentSpec, GeneratorSpec, ProtocolSpec, Scenario};
 
 #[test]
 fn threaded_matches_deterministic_serialized() {
     let k = 4;
     let epsilon = 0.1;
     let config = HhConfig::new(k, epsilon).unwrap();
-    let stream: Vec<(SiteId, u64)> = Stream::new(
-        Zipf::new(1 << 14, 1.4, 7),
-        RoundRobin::new(k),
-        30_000,
-    )
-    .collect();
+    let stream: Vec<(SiteId, u64)> =
+        Stream::new(Zipf::new(1 << 14, 1.4, 7), RoundRobin::new(k), 30_000).collect();
 
     // Deterministic run.
     let mut det = dtrack::core::hh::exact_cluster(config).unwrap();
@@ -47,6 +45,155 @@ fn threaded_matches_deterministic_serialized() {
     assert_eq!(det_msgs, meter.total_messages(), "message counts diverge");
 }
 
+/// The same seeded scenario stream through both runtimes (serialized by
+/// settling after every item) must report identical final answers and
+/// identical metered cost — for every workload/assignment shape in the
+/// testkit axes, not just the round-robin Zipf of the test above.
+#[test]
+fn threaded_matches_deterministic_across_seeded_workloads() {
+    let k = 4;
+    let epsilon = 0.1;
+    let workloads = [
+        (
+            GeneratorSpec::Uniform { universe: 1 << 30 },
+            AssignmentSpec::UniformSites,
+        ),
+        (
+            GeneratorSpec::ShiftingZipf {
+                universe: 1 << 16,
+                s: 1.3,
+                shift_every: 2_000,
+            },
+            AssignmentSpec::SkewedSites { s: 1.3 },
+        ),
+        (
+            GeneratorSpec::TwoPhaseDrift {
+                band: 1 << 16,
+                switch_at: 4_000,
+            },
+            AssignmentSpec::Bursts { burst_len: 53 },
+        ),
+    ];
+    for (seed, (generator, assignment)) in workloads.into_iter().enumerate() {
+        let scenario = Scenario::new(
+            generator,
+            assignment,
+            k,
+            epsilon,
+            8_000,
+            100 + seed as u64,
+            ProtocolSpec::HhExact,
+        );
+        let stream: Vec<(SiteId, u64)> = scenario.stream().collect();
+        let config = HhConfig::new(k, epsilon).unwrap();
+
+        let mut det = dtrack::core::hh::exact_cluster(config).unwrap();
+        det.feed_stream(stream.iter().copied()).unwrap();
+
+        let sites: Vec<_> = (0..k).map(|_| HhSite::exact(config)).collect();
+        let threaded = ThreadedCluster::spawn(sites, HhCoordinator::new(config)).unwrap();
+        for &(site, item) in &stream {
+            threaded.feed(site, item).unwrap();
+            threaded.settle();
+        }
+        let thr_hh = threaded
+            .with_coordinator(|c| c.heavy_hitters(0.15).unwrap())
+            .unwrap();
+        let thr_m = threaded.with_coordinator(|c| c.global_count()).unwrap();
+        let (_, _, meter) = threaded.shutdown().unwrap();
+
+        let name = scenario.to_string();
+        assert_eq!(
+            det.coordinator().heavy_hitters(0.15).unwrap(),
+            thr_hh,
+            "[{name}] answers diverge"
+        );
+        assert_eq!(
+            det.coordinator().global_count(),
+            thr_m,
+            "[{name}] tracked counts diverge"
+        );
+        assert_eq!(
+            det.meter().total_words(),
+            meter.total_words(),
+            "[{name}] word counts diverge"
+        );
+        assert_eq!(
+            det.meter().total_messages(),
+            meter.total_messages(),
+            "[{name}] message counts diverge"
+        );
+    }
+}
+
+/// Same consistency regression for the quantile protocol: both runtimes
+/// must land on the identical tracked median and identical cost.
+#[test]
+fn threaded_matches_deterministic_for_quantile() {
+    let k = 4;
+    let epsilon = 0.1;
+    let config = QuantileConfig::median(k, epsilon)
+        .unwrap()
+        .with_warmup_target(500);
+    let scenario = Scenario::new(
+        GeneratorSpec::Zipf {
+            universe: 1 << 20,
+            s: 1.2,
+        },
+        AssignmentSpec::RoundRobin,
+        k,
+        epsilon,
+        10_000,
+        33,
+        ProtocolSpec::QuantileExact { phi: 0.5 },
+    );
+    let stream: Vec<(SiteId, u64)> = scenario.stream().collect();
+
+    let mut det = dtrack::core::quantile::exact_cluster(config).unwrap();
+    det.feed_stream(stream.iter().copied()).unwrap();
+
+    let sites: Vec<_> = (0..k).map(|_| QuantileSite::exact(config)).collect();
+    let threaded = ThreadedCluster::spawn(sites, QuantileCoordinator::new(config)).unwrap();
+    for &(site, item) in &stream {
+        threaded.feed(site, item).unwrap();
+        threaded.settle();
+    }
+    let thr_q = threaded.with_coordinator(|c| c.quantile()).unwrap();
+    let thr_n = threaded.with_coordinator(|c| c.n_estimate()).unwrap();
+    let (_, _, meter) = threaded.shutdown().unwrap();
+
+    assert_eq!(det.coordinator().quantile(), thr_q, "medians diverge");
+    assert_eq!(det.coordinator().n_estimate(), thr_n, "n estimates diverge");
+    assert_eq!(det.meter().total_words(), meter.total_words());
+    assert_eq!(det.meter().total_messages(), meter.total_messages());
+}
+
+/// And for the counter: identical estimate, identical cost.
+#[test]
+fn threaded_matches_deterministic_for_counter() {
+    let k = 3;
+    let epsilon = 0.05;
+    let stream: Vec<(SiteId, u64)> =
+        Stream::new(Zipf::new(1 << 20, 1.3, 21), RoundRobin::new(k), 20_000).collect();
+
+    let sites = (0..k).map(|_| CounterSite::new(epsilon).unwrap()).collect();
+    let mut det = Cluster::new(sites, CounterCoordinator::new()).unwrap();
+    det.feed_stream(stream.iter().copied()).unwrap();
+
+    let sites: Vec<_> = (0..k).map(|_| CounterSite::new(epsilon).unwrap()).collect();
+    let threaded = ThreadedCluster::spawn(sites, CounterCoordinator::new()).unwrap();
+    for &(site, item) in &stream {
+        threaded.feed(site, item).unwrap();
+        threaded.settle();
+    }
+    let thr_est = threaded.with_coordinator(|c| c.estimate()).unwrap();
+    let (_, _, meter) = threaded.shutdown().unwrap();
+
+    assert_eq!(det.coordinator().estimate(), thr_est, "estimates diverge");
+    assert_eq!(det.meter().total_words(), meter.total_words());
+    assert_eq!(det.meter().total_messages(), meter.total_messages());
+}
+
 #[test]
 fn threaded_concurrent_feeding_still_correct() {
     // Without per-item settling, arrivals interleave with in-flight
@@ -59,12 +206,8 @@ fn threaded_concurrent_feeding_still_correct() {
     let sites: Vec<_> = (0..k).map(|_| HhSite::exact(config)).collect();
     let threaded = ThreadedCluster::spawn(sites, HhCoordinator::new(config)).unwrap();
 
-    let stream: Vec<(SiteId, u64)> = Stream::new(
-        Zipf::new(1 << 14, 1.5, 9),
-        RoundRobin::new(k),
-        40_000,
-    )
-    .collect();
+    let stream: Vec<(SiteId, u64)> =
+        Stream::new(Zipf::new(1 << 14, 1.5, 9), RoundRobin::new(k), 40_000).collect();
     let mut oracle = ExactOracle::new();
     for &(site, item) in &stream {
         oracle.observe(item);
