@@ -1,12 +1,13 @@
 //! Criterion micro-benchmarks of the local-summary substrate: per-update
 //! cost of SpaceSaving, Misra–Gries, Greenwald–Khanna, and the
-//! order-statistic treap, plus summary extraction and merge.
+//! order-statistic treap, plus summary extraction, merge, and the
+//! discrete samplers behind the workload generators.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use dtrack_sketch::{
     EquiDepthSummary, ExactOrdered, GreenwaldKhanna, MergedSummary, MisraGries, SpaceSaving,
 };
-use dtrack_workload::{Generator, Zipf};
+use dtrack_workload::{AliasTable, Generator, IndexedCdf, Zipf};
 
 const N: u64 = 50_000;
 
@@ -98,9 +99,63 @@ fn bench_summaries(c: &mut Criterion) {
     });
 }
 
+/// The three ways to invert a Zipf CDF, on identical draws: binary search
+/// (the seed implementation), the guide table (bit-identical results,
+/// expected O(1)), and the alias method (worst-case O(1), different
+/// stream). See DESIGN.md §"Sampling discrete distributions in O(1)".
+fn bench_samplers(c: &mut Criterion) {
+    let n = 1u64 << 20;
+    let s = 1.2f64;
+    // The production table builders, so the comparison always measures the
+    // exact tables the generator samples.
+    let cdf = dtrack_workload::gen::zipf_cdf(n, s);
+    let pmf = dtrack_workload::gen::zipf_weights(n, s);
+    let indexed = IndexedCdf::new(cdf.clone());
+    let alias = AliasTable::new(&pmf);
+    // Deterministic uniform draws, reused by all three samplers.
+    let draws: Vec<f64> = {
+        let mut st = 0x9E37u64;
+        (0..10_000)
+            .map(|_| {
+                st = st
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (st >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+            })
+            .collect()
+    };
+    let mut g = c.benchmark_group("zipf_rank_sample");
+    g.throughput(Throughput::Elements(draws.len() as u64));
+    g.bench_function("partition_point", |b| {
+        b.iter(|| {
+            draws
+                .iter()
+                .map(|&u| cdf.partition_point(|&c| c < black_box(u)))
+                .sum::<usize>()
+        })
+    });
+    g.bench_function("indexed_cdf", |b| {
+        b.iter(|| {
+            draws
+                .iter()
+                .map(|&u| indexed.lookup(black_box(u)))
+                .sum::<usize>()
+        })
+    });
+    g.bench_function("alias_table", |b| {
+        b.iter(|| {
+            draws
+                .iter()
+                .map(|&u| alias.sample(black_box(u)))
+                .sum::<usize>()
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_freq_sketches, bench_order_stores, bench_summaries
+    targets = bench_freq_sketches, bench_order_stores, bench_summaries, bench_samplers
 );
 criterion_main!(benches);

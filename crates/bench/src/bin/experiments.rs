@@ -15,7 +15,10 @@ fn main() {
         for (id, desc) in dtrack_bench::EXPERIMENTS {
             eprintln!("  {id:<4} {desc}");
         }
-        eprintln!("  smoke  tiny per-protocol run, writes BENCH_seed.json");
+        eprintln!(
+            "  smoke  per-protocol perf run, writes {}",
+            dtrack_bench::smoke::SMOKE_SNAPSHOT
+        );
         std::process::exit(if args.is_empty() { 2 } else { 0 });
     }
     let mut explicit_out: Option<PathBuf> = None;
@@ -52,16 +55,22 @@ fn main() {
                 r.scenario, r.words, r.wall_ms, r.items_per_sec
             );
         }
+        println!(
+            "geomean: {:.0} items/s over {} cells",
+            dtrack_bench::smoke::geomean_items_per_sec(&results),
+            results.len()
+        );
         let json = dtrack_bench::smoke::smoke_json(&results);
+        let snapshot = dtrack_bench::smoke::SMOKE_SNAPSHOT;
         let path = match &explicit_out {
             Some(dir) => {
                 if let Err(e) = std::fs::create_dir_all(dir) {
                     eprintln!("warning: could not create {}: {e}", dir.display());
                     std::process::exit(1);
                 }
-                dir.join("BENCH_seed.json")
+                dir.join(snapshot)
             }
-            None => PathBuf::from("BENCH_seed.json"),
+            None => PathBuf::from(snapshot),
         };
         if let Err(e) = std::fs::write(&path, &json) {
             eprintln!("warning: could not write {}: {e}", path.display());

@@ -32,7 +32,7 @@
 //! * A leaf exceeding `(ε/2 − θ)m` is split the same way.
 //! * When the tracked total doubles, the round restarts with a fresh tree.
 
-use std::collections::HashSet;
+use dtrack_hash::FxHashSet;
 
 use dtrack_sim::{Coordinator, MessageSize, Outbox, Site, SiteId};
 use dtrack_sketch::{EquiDepthSummary, ExactOrdered, GreenwaldKhanna, MergedSummary, OrderStore};
@@ -613,7 +613,7 @@ pub struct AllQCoordinator {
     s: Vec<u64>,
     round: u32,
     m_round: u64,
-    no_split: HashSet<u32>,
+    no_split: FxHashSet<u32>,
     stats: AllQStats,
 }
 
@@ -631,7 +631,7 @@ impl AllQCoordinator {
             s: vec![0],
             round: 0,
             m_round: 0,
-            no_split: HashSet::new(),
+            no_split: FxHashSet::default(),
             stats: AllQStats::default(),
         }
     }

@@ -89,6 +89,36 @@ impl Site for CounterSite {
         }
     }
 
+    /// Batched fast path: between reports the site is a pure counter, so a
+    /// quiet stretch of arrivals collapses to one addition. The next report
+    /// fires at `local > max(threshold, reported)`, which depends only on
+    /// `reported` — constant across the stretch — so the transcript is
+    /// identical to replaying [`Site::on_item`] per arrival.
+    fn on_items(&mut self, items: &[u64], out: &mut Vec<CountDelta>) -> usize {
+        if self.reported == 0 {
+            // First-ever arrival reports immediately; fall back to the
+            // per-item step for it.
+            if let Some(&first) = items.first() {
+                self.on_item(first, out);
+                return 1;
+            }
+            return 0;
+        }
+        let threshold = ((self.reported as f64) * (1.0 + self.epsilon)).floor() as u64;
+        let trigger_at = threshold.max(self.reported) + 1;
+        // Arrivals consumable without reaching the trigger count.
+        let quiet = (trigger_at - 1).saturating_sub(self.local);
+        if quiet as usize >= items.len() {
+            self.local += items.len() as u64;
+            return items.len();
+        }
+        self.local += quiet + 1;
+        debug_assert_eq!(self.local, trigger_at);
+        out.push(CountDelta(self.local - self.reported));
+        self.reported = self.local;
+        quiet as usize + 1
+    }
+
     fn on_message(&mut self, msg: &NoDown, _out: &mut Vec<CountDelta>) {
         match *msg {}
     }
@@ -201,6 +231,39 @@ mod tests {
             (msgs as f64) < bound,
             "{msgs} messages exceeds O(1/ε log n) bound {bound}"
         );
+    }
+
+    #[test]
+    fn batched_fast_path_matches_per_item() {
+        // Drive one site both ways through every regime (first report,
+        // small counts, large counts) and with many different run shapes.
+        for chunk in [1usize, 2, 3, 7, 64, 1000] {
+            let mut a = CounterSite::new(0.1).unwrap();
+            let mut b = CounterSite::new(0.1).unwrap();
+            let mut out_a = Vec::new();
+            let mut out_b = Vec::new();
+            let items = vec![0u64; 5000];
+            for item in &items {
+                a.on_item(*item, &mut out_a);
+            }
+            let mut rest: &[u64] = &items;
+            while !rest.is_empty() {
+                let take = rest.len().min(chunk);
+                let mut off = 0;
+                while off < take {
+                    let before = out_b.len();
+                    let consumed = b.on_items(&rest[off..take], &mut out_b);
+                    assert!(consumed > 0);
+                    // At most one report per on_items call.
+                    assert!(out_b.len() - before <= 1);
+                    off += consumed;
+                }
+                rest = &rest[take..];
+            }
+            assert_eq!(out_a, out_b, "chunk={chunk}");
+            assert_eq!(a.local, b.local);
+            assert_eq!(a.reported, b.reported);
+        }
     }
 
     #[test]

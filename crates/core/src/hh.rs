@@ -40,8 +40,7 @@
 //! O(1/ε) words per site, with the sketch error folded into the
 //! classification slack (use `ε_sketch = ε/6`, see DESIGN.md).
 
-use std::collections::HashMap;
-
+use dtrack_hash::FxHashMap;
 use dtrack_sim::{Coordinator, MessageSize, Outbox, Site, SiteId};
 use dtrack_sketch::store::{ExactFreqStore, SketchFreqStore};
 use dtrack_sketch::FreqStore;
@@ -282,7 +281,7 @@ pub struct HhCoordinator {
     /// `C.m`.
     m: u64,
     /// `C.m_x` for every item ever reported.
-    counts: HashMap<u64, u64>,
+    counts: FxHashMap<u64, u64>,
     all_signals: u32,
     sync: Option<KCollector<u64>>,
     resyncs: u64,
@@ -295,7 +294,7 @@ impl HhCoordinator {
             config,
             phase: Phase::Warmup,
             m: 0,
-            counts: HashMap::new(),
+            counts: FxHashMap::default(),
             all_signals: 0,
             sync: None,
             resyncs: 0,

@@ -36,7 +36,7 @@
 //! O(1/ε·log(εn))-space variant, with the sketch error absorbed into the
 //! polls' slack.
 
-use std::collections::{HashMap, HashSet};
+use dtrack_hash::{FxHashMap, FxHashSet};
 
 use dtrack_sim::{Coordinator, MessageSize, Outbox, Site, SiteId};
 use dtrack_sketch::{EquiDepthSummary, ExactOrdered, GreenwaldKhanna, MergedSummary, OrderStore};
@@ -545,9 +545,9 @@ pub struct QuantileCoordinator {
     seps: Vec<u64>,
     ids: Vec<u32>,
     counts: Vec<u64>,
-    id_pos: HashMap<u32, usize>,
+    id_pos: FxHashMap<u32, usize>,
     next_id: u32,
-    no_split: HashSet<u32>,
+    no_split: FxHashSet<u32>,
     // --- pivot state ---
     pivot: u64,
     pivot_epoch: u32,
@@ -570,9 +570,9 @@ impl QuantileCoordinator {
             seps: Vec::new(),
             ids: Vec::new(),
             counts: Vec::new(),
-            id_pos: HashMap::new(),
+            id_pos: FxHashMap::default(),
             next_id: 0,
-            no_split: HashSet::new(),
+            no_split: FxHashSet::default(),
             pivot: 0,
             pivot_epoch: 0,
             r_base: 0,

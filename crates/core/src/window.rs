@@ -27,7 +27,7 @@
 //! (8k/ε item reports + 8k/ε count reports + (4/ε)·k boundary broadcasts),
 //! the window analogue of the paper's O(k/ε) per doubling round.
 
-use std::collections::HashMap;
+use dtrack_hash::FxHashMap;
 
 use dtrack_sim::{Coordinator, MessageSize, Outbox, Site, SiteId};
 
@@ -120,7 +120,7 @@ pub struct WindowHhSite {
     count_unrep: u64,
     /// Unreported per-item increments (carried across epochs; attributed
     /// to the epoch current at report time).
-    unrep: HashMap<u64, u64>,
+    unrep: FxHashMap<u64, u64>,
 }
 
 impl WindowHhSite {
@@ -130,7 +130,7 @@ impl WindowHhSite {
             config,
             epoch: 0,
             count_unrep: 0,
-            unrep: HashMap::new(),
+            unrep: FxHashMap::default(),
         }
     }
 
@@ -186,9 +186,9 @@ pub struct WindowHhCoordinator {
     /// Arrivals counted at the start of the current epoch.
     epoch_started_at: u64,
     /// Per-epoch tracked frequencies, keyed by epoch id.
-    per_epoch: HashMap<u64, HashMap<u64, u64>>,
+    per_epoch: FxHashMap<u64, FxHashMap<u64, u64>>,
     /// Per-epoch tracked arrival totals.
-    epoch_totals: HashMap<u64, u64>,
+    epoch_totals: FxHashMap<u64, u64>,
     epochs_bumped: u64,
 }
 
@@ -200,8 +200,8 @@ impl WindowHhCoordinator {
             count: 0,
             epoch: 0,
             epoch_started_at: 0,
-            per_epoch: HashMap::new(),
-            epoch_totals: HashMap::new(),
+            per_epoch: FxHashMap::default(),
+            epoch_totals: FxHashMap::default(),
             epochs_bumped: 0,
         }
     }
@@ -252,7 +252,7 @@ impl WindowHhCoordinator {
         if w == 0 {
             return Ok(Vec::new());
         }
-        let mut totals: HashMap<u64, u64> = HashMap::new();
+        let mut totals: FxHashMap<u64, u64> = FxHashMap::default();
         for e in self.window_epochs() {
             if let Some(m) = self.per_epoch.get(&e) {
                 for (&x, &c) in m {
@@ -323,7 +323,7 @@ pub fn window_cluster(
 pub struct WindowOracle {
     window: u64,
     items: std::collections::VecDeque<u64>,
-    freq: HashMap<u64, u64>,
+    freq: FxHashMap<u64, u64>,
 }
 
 impl WindowOracle {
@@ -332,7 +332,7 @@ impl WindowOracle {
         WindowOracle {
             window,
             items: std::collections::VecDeque::new(),
-            freq: HashMap::new(),
+            freq: FxHashMap::default(),
         }
     }
 
@@ -509,7 +509,7 @@ pub struct WindowQuantileCoordinator {
     epoch: u64,
     epoch_started_at: u64,
     /// Per-epoch summaries, keyed by epoch id.
-    summaries: HashMap<u64, Vec<EquiDepthSummary>>,
+    summaries: FxHashMap<u64, Vec<EquiDepthSummary>>,
 }
 
 impl WindowQuantileCoordinator {
@@ -520,7 +520,7 @@ impl WindowQuantileCoordinator {
             count: 0,
             epoch: 0,
             epoch_started_at: 0,
-            summaries: HashMap::new(),
+            summaries: FxHashMap::default(),
         }
     }
 

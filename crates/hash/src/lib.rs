@@ -1,0 +1,183 @@
+//! # dtrack-hash — deterministic fast hashing for the ingest hot path
+//!
+//! Every metered arrival touches several hash maps (site frequency stores,
+//! the heavy-hitter coordinator's counts, sketch position indices, the
+//! oracle's frequency table). `std`'s default SipHash-1-3 is a DoS-hardened
+//! keyed hash: great for servers parsing untrusted input, needlessly slow
+//! for a simulator hashing its own `u64` item ids — and, because
+//! `RandomState` re-seeds per map, it makes iteration order differ from run
+//! to run, which differential tests must then paper over.
+//!
+//! [`FxHasher`] is the FiraFox/rustc "Fx" multiply-xor hash: one wrapping
+//! multiply per 8-byte word, no key material, identical across runs and
+//! platforms of equal pointer width. The protocols never rely on map
+//! iteration order for their *answers* (sorted outputs are part of the API
+//! contract, locked by property tests), so the only observable effect of
+//! the swap is speed.
+//!
+//! Use the aliases:
+//!
+//! ```
+//! use dtrack_hash::FxHashMap;
+//! let mut counts: FxHashMap<u64, u64> = FxHashMap::default();
+//! *counts.entry(42).or_insert(0) += 1;
+//! assert_eq!(counts[&42], 1);
+//! ```
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Seed/multiplier from the 64-bit Fx hash (splitmix64's golden-ratio
+/// constant), as used by rustc's `FxHasher`.
+const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx multiply-xor hasher: `state = (state rotl 5 ^ word) * K` per
+/// 8-byte word. Deterministic (no per-instance key), extremely cheap for
+/// the small fixed-width keys (`u64` items, `u32` node ids) that dominate
+/// this workspace's maps.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic path for composite/byte-string keys: fold whole words,
+        // then the ragged tail. Hot-path keys (`u64`, `u32`) never reach
+        // this — they use the fixed-width fast paths below.
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            self.add_to_hash(word);
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            // Mix in the length so "ab" and "ab\0" differ.
+            self.add_to_hash(u64::from_le_bytes(word) ^ (rest.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s; `Default` everywhere, no seed.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed by the deterministic Fx hash.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed by the deterministic Fx hash.
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+/// One-shot hash of a `u64` key (for direct table/bucket schemes that
+/// bypass `HashMap` entirely).
+#[inline]
+pub fn hash_u64(x: u64) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u64(x);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash + ?Sized>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        for x in [0u64, 1, 42, u64::MAX, 0x9E37_79B9] {
+            assert_eq!(hash_of(&x), hash_of(&x));
+            assert_eq!(hash_u64(x), hash_u64(x));
+        }
+        // Two separately-built maps iterate identically (no per-map seed).
+        let build = |vals: &[u64]| -> Vec<u64> {
+            let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+            for &v in vals {
+                m.insert(v, v);
+            }
+            m.keys().copied().collect()
+        };
+        let vals: Vec<u64> = (0..500).map(|i| i * 7919).collect();
+        assert_eq!(build(&vals), build(&vals));
+    }
+
+    #[test]
+    fn distinct_keys_rarely_collide() {
+        let mut seen = std::collections::HashSet::new();
+        for x in 0..100_000u64 {
+            seen.insert(hash_u64(x));
+        }
+        // Sequential keys must spread: all distinct for this range.
+        assert_eq!(seen.len(), 100_000);
+    }
+
+    #[test]
+    fn low_bits_spread_for_sequential_keys() {
+        // HashMap uses the high bits for bucket selection via multiply;
+        // still, check the full hash isn't degenerate on small deltas.
+        let a = hash_u64(1);
+        let b = hash_u64(2);
+        assert_ne!(a, b);
+        assert!(
+            (a ^ b).count_ones() > 8,
+            "neighboring keys differ in too few bits"
+        );
+    }
+
+    #[test]
+    fn byte_string_tail_disambiguated() {
+        assert_ne!(hash_of(&[1u8, 2, 3][..]), hash_of(&[1u8, 2, 3, 0][..]));
+        assert_ne!(hash_of(&"ab"), hash_of(&"abc"));
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(9));
+        assert!(!s.insert(9));
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        assert_eq!(m.get(&1), Some(&"one"));
+    }
+}

@@ -8,8 +8,20 @@
 //! experiments can attribute cost to protocol phases (e.g. how much of the
 //! heavy-hitter budget goes to `all` signals vs. item updates vs. re-sync
 //! polls).
-
-use std::collections::BTreeMap;
+//!
+//! ## Hot-path design
+//!
+//! `record_up`/`record_down` run once per metered hop — tens of millions of
+//! times in a large scenario — so the per-kind breakdown must not cost a
+//! tree walk per message. Kinds are interned into a small array-backed
+//! registry on first sight; after that a record is two array adds. Kind
+//! labels are `&'static str` literals, so the fast path resolves the index
+//! by *pointer* identity (one `(addr, len)` compare against a one-entry
+//! cache, then a short linear scan), falling back to a by-value scan only
+//! when a label reaches us through a different literal address. Interning
+//! order is arrival order; [`MessageMeter::report`] sorts by label so the
+//! rendered breakdown stays deterministic regardless of which message kind
+//! happened to arrive first.
 
 /// Message/word tallies for one message kind in one direction.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -21,9 +33,30 @@ pub struct KindCost {
 }
 
 impl KindCost {
+    #[inline]
     fn add(&mut self, words: u64) {
         self.messages += 1;
         self.words += words;
+    }
+}
+
+/// Interned identity of a `&'static str` kind label: data address + length.
+/// Stored as plain integers so the meter stays `Send` (raw pointers would
+/// drop the auto trait, and the threaded runtime shares the meter behind a
+/// mutex).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct LabelKey {
+    addr: usize,
+    len: usize,
+}
+
+impl LabelKey {
+    #[inline]
+    fn of(s: &'static str) -> Self {
+        LabelKey {
+            addr: s.as_ptr() as usize,
+            len: s.len(),
+        }
     }
 }
 
@@ -32,7 +65,14 @@ impl KindCost {
 pub struct MessageMeter {
     up: KindCost,
     down: KindCost,
-    by_kind: BTreeMap<&'static str, KindCost>,
+    /// Interned kind labels, in interning (first-seen) order.
+    kinds: Vec<&'static str>,
+    /// Pointer identities parallel to `kinds` (fast-path resolution).
+    keys: Vec<LabelKey>,
+    /// Per-kind tallies parallel to `kinds`.
+    by_kind: Vec<KindCost>,
+    /// One-entry most-recently-used cache: (label identity, index).
+    mru: Option<(LabelKey, usize)>,
 }
 
 impl MessageMeter {
@@ -41,18 +81,53 @@ impl MessageMeter {
         Self::default()
     }
 
+    /// Resolve `kind` to its registry index, interning it on first sight.
+    #[inline]
+    fn kind_index(&mut self, kind: &'static str) -> usize {
+        let key = LabelKey::of(kind);
+        if let Some((k, i)) = self.mru {
+            if k == key {
+                return i;
+            }
+        }
+        let i = self.kind_index_slow(key, kind);
+        self.mru = Some((key, i));
+        i
+    }
+
+    #[cold]
+    fn kind_index_slow(&mut self, key: LabelKey, kind: &'static str) -> usize {
+        // Pointer-identity scan first: literals resolve without touching
+        // string bytes. Registries hold a handful of kinds, so linear is
+        // faster than any hashed structure here.
+        if let Some(i) = self.keys.iter().position(|&k| k == key) {
+            return i;
+        }
+        // Same label text via a different literal address (possible across
+        // codegen units): merge by value so the report never splits a kind.
+        if let Some(i) = self.kinds.iter().position(|&k| k == kind) {
+            return i;
+        }
+        self.kinds.push(kind);
+        self.keys.push(key);
+        self.by_kind.push(KindCost::default());
+        self.kinds.len() - 1
+    }
+
     /// Record one upstream (site -> coordinator) message of `words` words.
     #[inline]
     pub fn record_up(&mut self, kind: &'static str, words: u64) {
         self.up.add(words);
-        self.by_kind.entry(kind).or_default().add(words);
+        let i = self.kind_index(kind);
+        self.by_kind[i].add(words);
     }
 
     /// Record one downstream (coordinator -> site) message of `words` words.
     #[inline]
     pub fn record_down(&mut self, kind: &'static str, words: u64) {
         self.down.add(words);
-        self.by_kind.entry(kind).or_default().add(words);
+        let i = self.kind_index(kind);
+        self.by_kind[i].add(words);
     }
 
     /// Total messages in both directions.
@@ -77,19 +152,30 @@ impl MessageMeter {
 
     /// Cost attributed to a message kind (zero if never seen).
     pub fn kind(&self, kind: &str) -> KindCost {
-        self.by_kind.get(kind).copied().unwrap_or_default()
+        self.kinds
+            .iter()
+            .position(|&k| k == kind)
+            .map(|i| self.by_kind[i])
+            .unwrap_or_default()
     }
 
     /// Snapshot of the full per-kind breakdown, sorted by kind label.
+    ///
+    /// The registry stores kinds in first-seen order, which depends on the
+    /// message schedule; sorting here keeps the report (and everything
+    /// diffed against it) independent of interning order.
     pub fn report(&self) -> CostReport {
+        let mut by_kind: Vec<(String, KindCost)> = self
+            .kinds
+            .iter()
+            .zip(&self.by_kind)
+            .map(|(k, v)| ((*k).to_owned(), *v))
+            .collect();
+        by_kind.sort_unstable_by(|a, b| a.0.cmp(&b.0));
         CostReport {
             up: self.up,
             down: self.down,
-            by_kind: self
-                .by_kind
-                .iter()
-                .map(|(k, v)| ((*k).to_owned(), *v))
-                .collect(),
+            by_kind,
         }
     }
 
@@ -214,11 +300,70 @@ mod tests {
     }
 
     #[test]
+    fn report_order_independent_of_interning_order() {
+        // Same tallies recorded in opposite kind order must render the
+        // same sorted report, even though the array registry interned the
+        // kinds differently.
+        let mut fwd = MessageMeter::new();
+        fwd.record_up("hh/all", 2);
+        fwd.record_up("hh/item", 3);
+        fwd.record_down("hh/new-count", 2);
+        let mut rev = MessageMeter::new();
+        rev.record_down("hh/new-count", 2);
+        rev.record_up("hh/item", 3);
+        rev.record_up("hh/all", 2);
+        assert_eq!(fwd.report(), rev.report());
+        let report = fwd.report();
+        let labels: Vec<&str> = report.by_kind.iter().map(|(k, _)| k.as_str()).collect();
+        let mut sorted = labels.clone();
+        sorted.sort_unstable();
+        assert_eq!(labels, sorted);
+    }
+
+    #[test]
+    fn duplicate_label_text_merges() {
+        // The same label text arriving via different `&'static str`
+        // addresses must land in one registry entry. Leaked boxes give us
+        // two distinct addresses with identical bytes.
+        let a: &'static str = Box::leak("dup/kind".to_owned().into_boxed_str());
+        let b: &'static str = Box::leak("dup/kind".to_owned().into_boxed_str());
+        assert_ne!(a.as_ptr(), b.as_ptr());
+        let mut m = MessageMeter::new();
+        m.record_up(a, 1);
+        m.record_up(b, 2);
+        assert_eq!(
+            m.kind("dup/kind"),
+            KindCost {
+                messages: 2,
+                words: 3
+            }
+        );
+        assert_eq!(m.report().by_kind.len(), 1);
+    }
+
+    #[test]
+    fn mru_cache_survives_alternating_kinds() {
+        let mut m = MessageMeter::new();
+        for _ in 0..1000 {
+            m.record_up("alt/a", 1);
+            m.record_down("alt/b", 2);
+        }
+        assert_eq!(m.kind("alt/a").messages, 1000);
+        assert_eq!(m.kind("alt/b").words, 2000);
+    }
+
+    #[test]
     fn reset_clears_everything() {
         let mut m = MessageMeter::new();
         m.record_up("u", 4);
         m.reset();
         assert_eq!(m.total_words(), 0);
         assert_eq!(m.report().by_kind.len(), 0);
+    }
+
+    #[test]
+    fn meter_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<MessageMeter>();
     }
 }

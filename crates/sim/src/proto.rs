@@ -56,6 +56,37 @@ pub trait Site {
     /// messages into `out`.
     fn on_item(&mut self, item: Self::Item, out: &mut Vec<Self::Up>);
 
+    /// A run of consecutive items has arrived at this site. Consume a
+    /// prefix of `items`, pushing any triggered upstream messages into
+    /// `out`, and return how many items were consumed (at least 1 when
+    /// `items` is nonempty).
+    ///
+    /// **Contract:** `out` is empty on entry, and the site must stop
+    /// consuming as soon as it has pushed at least one message — the
+    /// runtime then plays all triggered communication to quiescence before
+    /// offering the rest of the run, so coordinator replies (new
+    /// thresholds, re-syncs) land between items exactly as in per-item
+    /// [`Site::on_item`] delivery. Implementations may override this to
+    /// swallow provably quiet stretches in O(1) (see `CounterSite`), but
+    /// must stay *transcript-identical* to the per-item path: the
+    /// differential harness pins metered words bit-for-bit.
+    ///
+    /// The default simply replays `on_item` and stops after the first item
+    /// that emits traffic.
+    fn on_items(&mut self, items: &[Self::Item], out: &mut Vec<Self::Up>) -> usize
+    where
+        Self::Item: Clone,
+    {
+        debug_assert!(out.is_empty());
+        for (i, item) in items.iter().enumerate() {
+            self.on_item(item.clone(), out);
+            if !out.is_empty() {
+                return i + 1;
+            }
+        }
+        items.len()
+    }
+
     /// A downstream message has arrived from the coordinator. Push any
     /// triggered upstream messages (e.g. poll replies) into `out`.
     fn on_message(&mut self, msg: &Self::Down, out: &mut Vec<Self::Up>);

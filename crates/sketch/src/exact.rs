@@ -4,13 +4,21 @@
 //! frequency of each x ∈ U at site Sj" (§2.1) and can answer exact rank and
 //! range-count polls (§3.1 step 1–2). [`ExactFrequencies`] and
 //! [`ExactOrdered`] provide those with O(log n) (or O(1)) operations.
+//!
+//! Both structures sit on the per-arrival hot path (every site store and
+//! the differential oracle are built from them), so they avoid the two
+//! classic per-item taxes: [`ExactFrequencies`] hashes with the
+//! deterministic Fx hash instead of SipHash, and [`ExactOrdered`] is an
+//! *arena* treap — nodes live contiguously in a `Vec` and link by `u32`
+//! index, so insertion allocates nothing after the arena has grown and
+//! lookups chase 32-bit indices in cache instead of scattered `Box`es.
 
-use std::collections::HashMap;
+use dtrack_hash::FxHashMap;
 
 /// Exact per-item frequency counts for a site's local stream.
 #[derive(Debug, Clone, Default)]
 pub struct ExactFrequencies {
-    counts: HashMap<u64, u64>,
+    counts: FxHashMap<u64, u64>,
     total: u64,
 }
 
@@ -51,39 +59,20 @@ impl ExactFrequencies {
     }
 }
 
+/// Sentinel index for "no child".
+const NIL: u32 = u32::MAX;
+
 /// A node of the order-statistic treap: a multiset entry with subtree
 /// weight. `size` counts total multiplicity (not distinct keys) in the
-/// subtree so ranks are multiset ranks.
+/// subtree so ranks are multiset ranks. Children are arena indices.
 #[derive(Debug, Clone)]
 struct Node {
     key: u64,
     prio: u64,
     mult: u64,
     size: u64,
-    left: Option<Box<Node>>,
-    right: Option<Box<Node>>,
-}
-
-impl Node {
-    fn new(key: u64, prio: u64) -> Box<Node> {
-        Box::new(Node {
-            key,
-            prio,
-            mult: 1,
-            size: 1,
-            left: None,
-            right: None,
-        })
-    }
-
-    fn update(&mut self) {
-        self.size = self.mult + subtree_size(&self.left) + subtree_size(&self.right);
-    }
-}
-
-#[inline]
-fn subtree_size(n: &Option<Box<Node>>) -> u64 {
-    n.as_ref().map_or(0, |n| n.size)
+    left: u32,
+    right: u32,
 }
 
 /// SplitMix64: deterministic pseudo-random priorities so treap shape (and
@@ -107,10 +96,12 @@ fn splitmix64(state: &mut u64) -> u64 {
 ///
 /// All operations are O(log n) expected; insertion order does not affect
 /// results, and the structure is deterministic for a given insertion
-/// sequence.
+/// sequence. Storage is an index-linked arena: one `Vec` growth per new
+/// distinct key, zero per-node heap allocations.
 #[derive(Debug, Clone)]
 pub struct ExactOrdered {
-    root: Option<Box<Node>>,
+    nodes: Vec<Node>,
+    root: u32,
     prio_state: u64,
     len: u64,
 }
@@ -125,10 +116,18 @@ impl ExactOrdered {
     /// Empty multiset.
     pub fn new() -> Self {
         ExactOrdered {
-            root: None,
+            nodes: Vec::new(),
+            root: NIL,
             prio_state: 0x5DEE_CE66_D123_4567,
             len: 0,
         }
+    }
+
+    /// Empty multiset with arena room for `distinct` keys.
+    pub fn with_capacity(distinct: usize) -> Self {
+        let mut t = Self::new();
+        t.nodes.reserve(distinct);
+        t
     }
 
     /// Number of stored items (with multiplicity).
@@ -141,73 +140,121 @@ impl ExactOrdered {
         self.len == 0
     }
 
+    /// Number of distinct keys stored (arena occupancy).
+    pub fn distinct(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Remove every item, keeping the arena's capacity for reuse.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.root = NIL;
+        self.prio_state = 0x5DEE_CE66_D123_4567;
+        self.len = 0;
+    }
+
+    #[inline]
+    fn node(&self, idx: u32) -> &Node {
+        &self.nodes[idx as usize]
+    }
+
+    #[inline]
+    fn subtree_size(&self, idx: u32) -> u64 {
+        if idx == NIL {
+            0
+        } else {
+            self.node(idx).size
+        }
+    }
+
+    #[inline]
+    fn update(&mut self, idx: u32) {
+        let (l, r, mult) = {
+            let n = self.node(idx);
+            (n.left, n.right, n.mult)
+        };
+        self.nodes[idx as usize].size = mult + self.subtree_size(l) + self.subtree_size(r);
+    }
+
     /// Insert one occurrence of `x`.
     pub fn insert(&mut self, x: u64) {
         let prio = splitmix64(&mut self.prio_state);
-        let root = self.root.take();
-        self.root = Some(Self::insert_node(root, x, prio));
+        let root = self.root;
+        self.root = self.insert_at(root, x, prio);
         self.len += 1;
     }
 
-    fn insert_node(node: Option<Box<Node>>, key: u64, prio: u64) -> Box<Node> {
-        match node {
-            None => Node::new(key, prio),
-            Some(mut n) => {
-                if key == n.key {
-                    n.mult += 1;
-                    n.size += 1;
-                    n
-                } else if key < n.key {
-                    let child = Self::insert_node(n.left.take(), key, prio);
-                    n.left = Some(child);
-                    if n.left.as_ref().is_some_and(|l| l.prio > n.prio) {
-                        Self::rotate_right(n)
-                    } else {
-                        n.update();
-                        n
-                    }
-                } else {
-                    let child = Self::insert_node(n.right.take(), key, prio);
-                    n.right = Some(child);
-                    if n.right.as_ref().is_some_and(|r| r.prio > n.prio) {
-                        Self::rotate_left(n)
-                    } else {
-                        n.update();
-                        n
-                    }
-                }
+    fn insert_at(&mut self, idx: u32, key: u64, prio: u64) -> u32 {
+        if idx == NIL {
+            let id = self.nodes.len() as u32;
+            self.nodes.push(Node {
+                key,
+                prio,
+                mult: 1,
+                size: 1,
+                left: NIL,
+                right: NIL,
+            });
+            return id;
+        }
+        let nkey = self.node(idx).key;
+        if key == nkey {
+            let n = &mut self.nodes[idx as usize];
+            n.mult += 1;
+            n.size += 1;
+            idx
+        } else if key < nkey {
+            let child = self.insert_at(self.node(idx).left, key, prio);
+            self.nodes[idx as usize].left = child;
+            if self.node(child).prio > self.node(idx).prio {
+                self.rotate_right(idx)
+            } else {
+                self.update(idx);
+                idx
+            }
+        } else {
+            let child = self.insert_at(self.node(idx).right, key, prio);
+            self.nodes[idx as usize].right = child;
+            if self.node(child).prio > self.node(idx).prio {
+                self.rotate_left(idx)
+            } else {
+                self.update(idx);
+                idx
             }
         }
     }
 
-    fn rotate_right(mut n: Box<Node>) -> Box<Node> {
-        let mut l = n.left.take().expect("rotate_right requires a left child");
-        n.left = l.right.take();
-        n.update();
-        l.right = Some(n);
-        l.update();
+    fn rotate_right(&mut self, idx: u32) -> u32 {
+        let l = self.node(idx).left;
+        debug_assert_ne!(l, NIL, "rotate_right requires a left child");
+        self.nodes[idx as usize].left = self.node(l).right;
+        self.update(idx);
+        self.nodes[l as usize].right = idx;
+        self.update(l);
         l
     }
 
-    fn rotate_left(mut n: Box<Node>) -> Box<Node> {
-        let mut r = n.right.take().expect("rotate_left requires a right child");
-        n.right = r.left.take();
-        n.update();
-        r.left = Some(n);
-        r.update();
+    fn rotate_left(&mut self, idx: u32) -> u32 {
+        let r = self.node(idx).right;
+        debug_assert_ne!(r, NIL, "rotate_left requires a right child");
+        self.nodes[idx as usize].right = self.node(r).left;
+        self.update(idx);
+        self.nodes[r as usize].left = idx;
+        self.update(r);
         r
     }
 
     /// Number of items strictly less than `x`.
     pub fn rank_lt(&self, x: u64) -> u64 {
         let mut acc = 0u64;
-        let mut cur = &self.root;
-        while let Some(n) = cur {
+        let mut cur = self.root;
+        while cur != NIL {
+            let n = self.node(cur);
             if x <= n.key {
-                cur = &n.left;
+                cur = n.left;
             } else {
-                acc += subtree_size(&n.left) + n.mult;
-                cur = &n.right;
+                acc += self.subtree_size(n.left) + n.mult;
+                cur = n.right;
             }
         }
         acc
@@ -240,16 +287,17 @@ impl ExactOrdered {
             return None;
         }
         let mut r = r;
-        let mut cur = &self.root;
-        while let Some(n) = cur {
-            let left = subtree_size(&n.left);
+        let mut cur = self.root;
+        while cur != NIL {
+            let n = self.node(cur);
+            let left = self.subtree_size(n.left);
             if r < left {
-                cur = &n.left;
+                cur = n.left;
             } else if r < left + n.mult {
                 return Some(n.key);
             } else {
                 r -= left + n.mult;
-                cur = &n.right;
+                cur = n.right;
             }
         }
         None
@@ -257,30 +305,36 @@ impl ExactOrdered {
 
     /// Iterate over `(value, multiplicity)` in ascending value order.
     pub fn iter(&self) -> ExactOrderedIter<'_> {
-        let mut stack = Vec::new();
-        let mut cur = self.root.as_deref();
-        while let Some(n) = cur {
-            stack.push(n);
-            cur = n.left.as_deref();
-        }
-        ExactOrderedIter { stack }
+        let mut iter = ExactOrderedIter {
+            tree: self,
+            stack: Vec::new(),
+        };
+        iter.push_left_spine(self.root);
+        iter
     }
 }
 
 /// In-order iterator over an [`ExactOrdered`] multiset.
 pub struct ExactOrderedIter<'a> {
-    stack: Vec<&'a Node>,
+    tree: &'a ExactOrdered,
+    stack: Vec<u32>,
+}
+
+impl ExactOrderedIter<'_> {
+    fn push_left_spine(&mut self, mut idx: u32) {
+        while idx != NIL {
+            self.stack.push(idx);
+            idx = self.tree.node(idx).left;
+        }
+    }
 }
 
 impl<'a> Iterator for ExactOrderedIter<'a> {
     type Item = (u64, u64);
     fn next(&mut self) -> Option<Self::Item> {
-        let n = self.stack.pop()?;
-        let mut cur = n.right.as_deref();
-        while let Some(c) = cur {
-            self.stack.push(c);
-            cur = c.left.as_deref();
-        }
+        let idx = self.stack.pop()?;
+        let n = self.tree.node(idx);
+        self.push_left_spine(n.right);
         Some((n.key, n.mult))
     }
 }
@@ -314,6 +368,7 @@ mod tests {
         }
         // Sorted: 10, 30, 30, 30, 50, 70, 90
         assert_eq!(t.len(), 7);
+        assert_eq!(t.distinct(), 5);
         assert_eq!(t.rank_lt(10), 0);
         assert_eq!(t.rank_lt(30), 1);
         assert_eq!(t.rank_le(30), 4);
@@ -365,6 +420,22 @@ mod tests {
     }
 
     #[test]
+    fn clear_keeps_capacity_and_resets_state() {
+        let mut t = ExactOrdered::with_capacity(100);
+        for v in [3u64, 1, 2, 2] {
+            t.insert(v);
+        }
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.distinct(), 0);
+        assert_eq!(t.select(0), None);
+        // Re-inserting after clear behaves like a fresh treap.
+        t.insert(9);
+        t.insert(4);
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![(4, 1), (9, 1)]);
+    }
+
+    #[test]
     fn matches_sorted_vec_on_dense_input() {
         let mut t = ExactOrdered::new();
         let mut v: Vec<u64> = Vec::new();
@@ -395,11 +466,14 @@ mod tests {
         for v in 0..10_000u64 {
             t.insert(v);
         }
-        fn depth(n: &Option<Box<Node>>) -> u32 {
-            n.as_ref()
-                .map_or(0, |n| 1 + depth(&n.left).max(depth(&n.right)))
+        fn depth(t: &ExactOrdered, idx: u32) -> u32 {
+            if idx == NIL {
+                return 0;
+            }
+            let n = t.node(idx);
+            1 + depth(t, n.left).max(depth(t, n.right))
         }
-        let d = depth(&t.root);
+        let d = depth(&t, t.root);
         assert!(d < 64, "treap depth {d} too large for n=10000");
     }
 }

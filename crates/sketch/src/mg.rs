@@ -13,13 +13,13 @@
 //! heavy-hitter sites (two different summaries agreeing on classifications
 //! is strong evidence neither is silently broken).
 
-use std::collections::HashMap;
+use dtrack_hash::FxHashMap;
 
 /// The Misra–Gries summary.
 #[derive(Debug, Clone)]
 pub struct MisraGries {
     capacity: usize,
-    counters: HashMap<u64, u64>,
+    counters: FxHashMap<u64, u64>,
     total: u64,
 }
 
@@ -32,7 +32,7 @@ impl MisraGries {
         assert!(capacity > 0, "MisraGries capacity must be positive");
         MisraGries {
             capacity,
-            counters: HashMap::with_capacity(capacity * 2),
+            counters: FxHashMap::with_capacity_and_hasher(capacity * 2, Default::default()),
             total: 0,
         }
     }

@@ -17,10 +17,11 @@
 //! item; the sketch never interprets it, but returns it on eviction so the
 //! protocol can account for the unreported mass it loses.
 //!
-//! Implementation: an indexed binary min-heap keyed by count, with a hash
-//! map from item to heap slot — O(log capacity) per update.
+//! Implementation: an indexed binary min-heap keyed by count, with a
+//! deterministic fast-hash map from item to heap slot — O(log capacity)
+//! per update.
 
-use std::collections::HashMap;
+use dtrack_hash::FxHashMap;
 
 /// A monitored counter as seen by callers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,7 +62,7 @@ struct Slot {
 pub struct SpaceSaving {
     capacity: usize,
     heap: Vec<Slot>,
-    pos: HashMap<u64, usize>,
+    pos: FxHashMap<u64, usize>,
     total: u64,
 }
 
@@ -75,7 +76,7 @@ impl SpaceSaving {
         SpaceSaving {
             capacity,
             heap: Vec::with_capacity(capacity),
-            pos: HashMap::with_capacity(capacity * 2),
+            pos: FxHashMap::with_capacity_and_hasher(capacity * 2, Default::default()),
             total: 0,
         }
     }
@@ -183,7 +184,8 @@ impl SpaceSaving {
         let min_self = self.min_count();
         let min_other = other.min_count();
         // item -> (count, error)
-        let mut merged: HashMap<u64, (u64, u64)> = HashMap::with_capacity(2 * self.capacity);
+        let mut merged: FxHashMap<u64, (u64, u64)> =
+            FxHashMap::with_capacity_and_hasher(2 * self.capacity, Default::default());
         for s in &self.heap {
             merged.insert(s.item, (s.count, s.error));
         }

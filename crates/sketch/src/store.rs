@@ -8,7 +8,7 @@
 //! the operations the protocols need, and are implemented by both the exact
 //! stores and the sketches.
 
-use std::collections::HashMap;
+use dtrack_hash::FxHashMap;
 
 use crate::exact::{ExactFrequencies, ExactOrdered};
 use crate::gk::GreenwaldKhanna;
@@ -48,7 +48,7 @@ pub trait FreqStore {
 #[derive(Debug, Clone, Default)]
 pub struct ExactFreqStore {
     counts: ExactFrequencies,
-    reported: HashMap<u64, u64>,
+    reported: FxHashMap<u64, u64>,
 }
 
 impl ExactFreqStore {
@@ -236,8 +236,8 @@ impl OrderStore for ExactOrdered {
     }
 
     fn entries(&self) -> usize {
-        // Distinct keys stored; counted by walking the iterator.
-        self.iter().count()
+        // Distinct keys stored — the treap arena's occupancy.
+        self.distinct()
     }
 }
 
@@ -325,8 +325,8 @@ mod tests {
         // Reports accumulated through the store must never exceed the true
         // count, even across evictions and re-entries.
         let mut s = SketchFreqStore::new(3);
-        let mut truth: HashMap<u64, u64> = HashMap::new();
-        let mut reported: HashMap<u64, u64> = HashMap::new();
+        let mut truth: std::collections::HashMap<u64, u64> = Default::default();
+        let mut reported: std::collections::HashMap<u64, u64> = Default::default();
         // Adversarial pattern: rotate 6 items through 3 counters.
         let stream: Vec<u64> = (0..600u64).map(|i| i % 6).collect();
         for &x in &stream {

@@ -1,0 +1,24 @@
+//! Regenerate the golden communication-cost fixture.
+//!
+//! ```text
+//! cargo run --release -p dtrack-testkit --example golden_dump \
+//!     > crates/testkit/tests/golden_matrix_costs.txt
+//! ```
+//!
+//! The fixture pins the metered words and messages of every
+//! `default_matrix()` scenario, in both differential (`check`) and
+//! meter-only modes. Performance work must keep these values bit-identical:
+//! any drift means the protocol semantics moved, not just the speed.
+
+use dtrack_testkit::{default_matrix, measure_cost, run_scenario};
+
+fn main() {
+    for scenario in default_matrix() {
+        let checked = run_scenario(&scenario).expect("matrix scenario must pass");
+        let metered = measure_cost(&scenario).expect("metering must succeed");
+        println!(
+            "{} check {} {} meter {} {}",
+            scenario, checked.words, checked.messages, metered.words, metered.messages
+        );
+    }
+}

@@ -45,5 +45,7 @@ pub mod scenario;
 
 pub use matrix::{default_matrix, matrix};
 pub use report::{ScenarioFailure, ScenarioReport};
-pub use runner::{measure_cost, run_matrix, run_scenario};
+pub use runner::{
+    measure_cost, measure_cost_per_item, run_matrix, run_scenario, run_scenario_per_item,
+};
 pub use scenario::{AssignmentSpec, GeneratorSpec, ProtocolSpec, Scenario, Tuning};

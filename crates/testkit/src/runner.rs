@@ -37,19 +37,50 @@ enum Mode {
     Meter,
 }
 
+/// How items are delivered to the cluster. Both paths are
+/// transcript-identical by construction; the per-item path exists so
+/// differential tests can prove it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FeedMode {
+    /// Checkpoint-aligned chunks through `Cluster::feed_batch`.
+    Batched,
+    /// One `Cluster::feed` call per item (the pre-batching behavior).
+    PerItem,
+}
+
+/// Items per `feed_batch` call. Large enough to amortize per-call
+/// overhead, small enough to stay cache-resident; checkpoints shorten the
+/// final chunk before each boundary so check timing is unaffected.
+const FEED_CHUNK: u64 = 4096;
+
 /// Run a scenario to completion in differential mode.
 ///
 /// Returns the cost/accuracy report, or the first guarantee violation
 /// with the scenario name attached (every failure is replayable: the
 /// scenario is fully seeded).
 pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, ScenarioFailure> {
-    dispatch(scenario, Mode::Check)
+    dispatch(scenario, Mode::Check, FeedMode::Batched)
 }
 
 /// Feed the scenario's stream and report metered cost only — no oracle,
 /// no budget enforcement (`checks` is 0 in the report).
 pub fn measure_cost(scenario: &Scenario) -> Result<ScenarioReport, ScenarioFailure> {
-    dispatch(scenario, Mode::Meter)
+    dispatch(scenario, Mode::Meter, FeedMode::Batched)
+}
+
+/// Differential-testing aid: [`run_scenario`], but delivering every item
+/// through a separate `Cluster::feed` call instead of `feed_batch`. The
+/// report must be identical to [`run_scenario`]'s — the batch path is an
+/// optimization, not a semantic change — and `testkit`'s differential
+/// tests assert exactly that.
+pub fn run_scenario_per_item(scenario: &Scenario) -> Result<ScenarioReport, ScenarioFailure> {
+    dispatch(scenario, Mode::Check, FeedMode::PerItem)
+}
+
+/// Differential-testing aid: per-item variant of [`measure_cost`] (see
+/// [`run_scenario_per_item`]).
+pub fn measure_cost_per_item(scenario: &Scenario) -> Result<ScenarioReport, ScenarioFailure> {
+    dispatch(scenario, Mode::Meter, FeedMode::PerItem)
 }
 
 /// Run every scenario in differential mode, stopping at the first failure.
@@ -57,7 +88,11 @@ pub fn run_matrix(scenarios: &[Scenario]) -> Result<Vec<ScenarioReport>, Scenari
     scenarios.iter().map(run_scenario).collect()
 }
 
-fn dispatch(scenario: &Scenario, mode: Mode) -> Result<ScenarioReport, ScenarioFailure> {
+fn dispatch(
+    scenario: &Scenario,
+    mode: Mode,
+    feed: FeedMode,
+) -> Result<ScenarioReport, ScenarioFailure> {
     let fail = |detail: String| ScenarioFailure {
         scenario: scenario.to_string(),
         detail,
@@ -66,15 +101,15 @@ fn dispatch(scenario: &Scenario, mode: Mode) -> Result<ScenarioReport, ScenarioF
         return Err(fail("scenarios need k >= 2".to_owned()));
     }
     match scenario.protocol {
-        ProtocolSpec::Counter => run_counter(scenario, mode),
-        ProtocolSpec::HhExact | ProtocolSpec::HhSketched => run_hh(scenario, mode),
+        ProtocolSpec::Counter => run_counter(scenario, mode, feed),
+        ProtocolSpec::HhExact | ProtocolSpec::HhSketched => run_hh(scenario, mode, feed),
         ProtocolSpec::QuantileExact { phi } | ProtocolSpec::QuantileSketched { phi } => {
-            run_quantile(scenario, phi, mode)
+            run_quantile(scenario, phi, mode, feed)
         }
-        ProtocolSpec::AllQExact => run_allq(scenario, mode),
-        ProtocolSpec::Cgmr => run_cgmr(scenario, mode),
-        ProtocolSpec::Polling => run_polling(scenario, mode),
-        ProtocolSpec::ForwardAll => run_forward_all(scenario, mode),
+        ProtocolSpec::AllQExact => run_allq(scenario, mode, feed),
+        ProtocolSpec::Cgmr => run_cgmr(scenario, mode, feed),
+        ProtocolSpec::Polling => run_polling(scenario, mode, feed),
+        ProtocolSpec::ForwardAll => run_forward_all(scenario, mode, feed),
     }
     .map_err(fail)
 }
@@ -98,9 +133,17 @@ fn effective_warmup(scenario: &Scenario, mode: Mode, protocol_default: u64) -> u
 /// Feed the scenario's stream through `cluster`; in differential mode
 /// also maintain the oracle, call `check` at every checkpoint and at the
 /// end, and verify the communication budget.
+///
+/// The default delivery is [`FeedMode::Batched`]: items go to the cluster
+/// in chunks of up to [`FEED_CHUNK`] through `Cluster::feed_batch`, with
+/// every chunk cut at the next checkpoint boundary so checks observe
+/// exactly the same prefixes as per-item delivery. The oracle ingests
+/// lazily, so observing a whole chunk before feeding it changes nothing it
+/// can answer at the checkpoint.
 fn drive<S, C>(
     scenario: &Scenario,
     mode: Mode,
+    feed: FeedMode,
     warmup: u64,
     mut cluster: Cluster<S, C>,
     mut check: impl FnMut(&C, &ExactOracle, u64) -> Result<u64, String>,
@@ -112,17 +155,53 @@ where
     let mut oracle = ExactOracle::new();
     let check_every = scenario.check_every();
     let mut checks = 0u64;
-    for (i, (site, item)) in scenario.stream().enumerate() {
-        if mode == Mode::Check {
-            oracle.observe(item);
+    let mut stream = scenario.stream();
+    match feed {
+        FeedMode::Batched => {
+            let mut batch: Vec<(dtrack_sim::SiteId, u64)> =
+                Vec::with_capacity(FEED_CHUNK.min(scenario.n) as usize);
+            let mut fed = 0u64;
+            while fed < scenario.n {
+                let mut stop = scenario.n.min(fed + FEED_CHUNK);
+                if mode == Mode::Check {
+                    // Cut the chunk at the next checkpoint boundary.
+                    let next_check = (fed / check_every + 1) * check_every;
+                    stop = stop.min(next_check);
+                }
+                batch.clear();
+                for _ in fed..stop {
+                    let (site, item) = stream
+                        .next()
+                        .ok_or_else(|| format!("stream ended early at item {fed}"))?;
+                    if mode == Mode::Check {
+                        oracle.observe(item);
+                    }
+                    batch.push((site, item));
+                }
+                cluster
+                    .feed_batch(&batch)
+                    .map_err(|e| format!("feed_batch failed in items {fed}..{stop}: {e}"))?;
+                fed = stop;
+                if mode == Mode::Check && fed.is_multiple_of(check_every) {
+                    checks += check(cluster.coordinator(), &oracle, fed)
+                        .map_err(|e| format!("checkpoint at item {fed}: {e}"))?;
+                }
+            }
         }
-        cluster
-            .feed(site, item)
-            .map_err(|e| format!("feed failed at item {i}: {e}"))?;
-        let fed = (i + 1) as u64;
-        if mode == Mode::Check && fed.is_multiple_of(check_every) {
-            checks += check(cluster.coordinator(), &oracle, fed)
-                .map_err(|e| format!("checkpoint at item {fed}: {e}"))?;
+        FeedMode::PerItem => {
+            for (i, (site, item)) in stream.enumerate() {
+                if mode == Mode::Check {
+                    oracle.observe(item);
+                }
+                cluster
+                    .feed(site, item)
+                    .map_err(|e| format!("feed failed at item {i}: {e}"))?;
+                let fed = (i + 1) as u64;
+                if mode == Mode::Check && fed.is_multiple_of(check_every) {
+                    checks += check(cluster.coordinator(), &oracle, fed)
+                        .map_err(|e| format!("checkpoint at item {fed}: {e}"))?;
+                }
+            }
         }
     }
     if mode == Mode::Check && !scenario.n.is_multiple_of(check_every) {
@@ -155,7 +234,7 @@ where
     })
 }
 
-fn run_counter(scenario: &Scenario, mode: Mode) -> Result<ScenarioReport, String> {
+fn run_counter(scenario: &Scenario, mode: Mode, feed: FeedMode) -> Result<ScenarioReport, String> {
     let eps = scenario.epsilon;
     let k = scenario.k;
     let sites = (0..k)
@@ -163,21 +242,28 @@ fn run_counter(scenario: &Scenario, mode: Mode) -> Result<ScenarioReport, String
         .collect::<Result<Vec<_>, _>>()
         .map_err(|e| e.to_string())?;
     let cluster = Cluster::new(sites, CounterCoordinator::new()).map_err(|e| e.to_string())?;
-    drive(scenario, mode, 0, cluster, move |coord, oracle, _fed| {
-        let n = oracle.total();
-        let est = coord.estimate();
-        if est > n {
-            return Err(format!("counter overestimates: {est} > {n}"));
-        }
-        // Each of the k sites can hold back one (1+ε)-factor step.
-        if (est as f64) < (1.0 - eps) * n as f64 - k as f64 {
-            return Err(format!("counter estimate {est} below (1-eps)n for n={n}"));
-        }
-        Ok(2)
-    })
+    drive(
+        scenario,
+        mode,
+        feed,
+        0,
+        cluster,
+        move |coord, oracle, _fed| {
+            let n = oracle.total();
+            let est = coord.estimate();
+            if est > n {
+                return Err(format!("counter overestimates: {est} > {n}"));
+            }
+            // Each of the k sites can hold back one (1+ε)-factor step.
+            if (est as f64) < (1.0 - eps) * n as f64 - k as f64 {
+                return Err(format!("counter estimate {est} below (1-eps)n for n={n}"));
+            }
+            Ok(2)
+        },
+    )
 }
 
-fn run_hh(scenario: &Scenario, mode: Mode) -> Result<ScenarioReport, String> {
+fn run_hh(scenario: &Scenario, mode: Mode, feed: FeedMode) -> Result<ScenarioReport, String> {
     let eps = scenario.epsilon;
     let mut config = HhConfig::new(scenario.k, eps).map_err(|e| e.to_string())?;
     let warmup = effective_warmup(scenario, mode, config.warmup_target);
@@ -216,28 +302,47 @@ fn run_hh(scenario: &Scenario, mode: Mode) -> Result<ScenarioReport, String> {
     match scenario.protocol {
         ProtocolSpec::HhSketched => {
             let cluster = dtrack_core::hh::sketched_cluster(config).map_err(|e| e.to_string())?;
-            drive(scenario, mode, warmup, cluster, move |coord, oracle, _| {
-                check(
-                    coord.global_count(),
-                    &|phi| coord.heavy_hitters(phi).map_err(|e| e.to_string()),
-                    oracle,
-                )
-            })
+            drive(
+                scenario,
+                mode,
+                feed,
+                warmup,
+                cluster,
+                move |coord, oracle, _| {
+                    check(
+                        coord.global_count(),
+                        &|phi| coord.heavy_hitters(phi).map_err(|e| e.to_string()),
+                        oracle,
+                    )
+                },
+            )
         }
         _ => {
             let cluster = dtrack_core::hh::exact_cluster(config).map_err(|e| e.to_string())?;
-            drive(scenario, mode, warmup, cluster, move |coord, oracle, _| {
-                check(
-                    coord.global_count(),
-                    &|phi| coord.heavy_hitters(phi).map_err(|e| e.to_string()),
-                    oracle,
-                )
-            })
+            drive(
+                scenario,
+                mode,
+                feed,
+                warmup,
+                cluster,
+                move |coord, oracle, _| {
+                    check(
+                        coord.global_count(),
+                        &|phi| coord.heavy_hitters(phi).map_err(|e| e.to_string()),
+                        oracle,
+                    )
+                },
+            )
         }
     }
 }
 
-fn run_quantile(scenario: &Scenario, phi: f64, mode: Mode) -> Result<ScenarioReport, String> {
+fn run_quantile(
+    scenario: &Scenario,
+    phi: f64,
+    mode: Mode,
+    feed: FeedMode,
+) -> Result<ScenarioReport, String> {
     let eps = scenario.epsilon;
     let mut config = QuantileConfig::new(scenario.k, eps, phi).map_err(|e| e.to_string())?;
     let warmup = effective_warmup(scenario, mode, config.warmup_target);
@@ -266,68 +371,85 @@ fn run_quantile(scenario: &Scenario, phi: f64, mode: Mode) -> Result<ScenarioRep
         ProtocolSpec::QuantileSketched { .. } => {
             let cluster =
                 dtrack_core::quantile::sketched_cluster(config).map_err(|e| e.to_string())?;
-            drive(scenario, mode, warmup, cluster, move |coord, oracle, _| {
-                check(coord.quantile(), oracle)
-            })
+            drive(
+                scenario,
+                mode,
+                feed,
+                warmup,
+                cluster,
+                move |coord, oracle, _| check(coord.quantile(), oracle),
+            )
         }
         _ => {
             let cluster =
                 dtrack_core::quantile::exact_cluster(config).map_err(|e| e.to_string())?;
-            drive(scenario, mode, warmup, cluster, move |coord, oracle, _| {
-                check(coord.quantile(), oracle)
-            })
+            drive(
+                scenario,
+                mode,
+                feed,
+                warmup,
+                cluster,
+                move |coord, oracle, _| check(coord.quantile(), oracle),
+            )
         }
     }
 }
 
-fn run_allq(scenario: &Scenario, mode: Mode) -> Result<ScenarioReport, String> {
+fn run_allq(scenario: &Scenario, mode: Mode, feed: FeedMode) -> Result<ScenarioReport, String> {
     let eps = scenario.epsilon;
     let mut config = AllQConfig::new(scenario.k, eps).map_err(|e| e.to_string())?;
     let warmup = effective_warmup(scenario, mode, config.warmup_target);
     config = config.with_warmup_target(warmup);
     let cluster = dtrack_core::allq::exact_cluster(config).map_err(|e| e.to_string())?;
-    drive(scenario, mode, warmup, cluster, move |coord, oracle, _| {
-        let n = oracle.total();
-        if n == 0 {
-            return Ok(0);
-        }
-        let mut checks = 0;
-        for phi in PROBE_PHIS {
-            let q = coord
-                .quantile(phi)
-                .map_err(|e| e.to_string())?
-                .ok_or_else(|| format!("phi={phi}: no answer on a nonempty stream"))?;
-            if !oracle.quantile_ok(q, phi, eps) {
-                return Err(format!(
-                    "phi={phi}: {q} outside the ε-band (rank {} of {n})",
-                    oracle.rank_lt(q)
-                ));
+    drive(
+        scenario,
+        mode,
+        feed,
+        warmup,
+        cluster,
+        move |coord, oracle, _| {
+            let n = oracle.total();
+            if n == 0 {
+                return Ok(0);
             }
-            checks += 1;
-        }
-        // Rank queries: probe at the oracle's own quantile positions so the
-        // probes track the value distribution (and its drift) exactly.
-        for phi in PROBE_PHIS {
-            let probe = oracle.quantile(phi).expect("nonempty");
-            let est = coord.rank_lt(probe);
-            let truth = oracle.rank_lt(probe);
-            if est.abs_diff(truth) as f64 > eps * n as f64 + 2.0 {
-                return Err(format!(
-                    "rank_lt({probe}): {est} vs true {truth}, beyond εn = {}",
-                    eps * n as f64
-                ));
+            let mut checks = 0;
+            for phi in PROBE_PHIS {
+                let q = coord
+                    .quantile(phi)
+                    .map_err(|e| e.to_string())?
+                    .ok_or_else(|| format!("phi={phi}: no answer on a nonempty stream"))?;
+                if !oracle.quantile_ok(q, phi, eps) {
+                    return Err(format!(
+                        "phi={phi}: {q} outside the ε-band (rank {} of {n})",
+                        oracle.rank_lt(q)
+                    ));
+                }
+                checks += 1;
             }
-            checks += 1;
-        }
-        Ok(checks)
-    })
+            // Rank queries: probe at the oracle's own quantile positions so the
+            // probes track the value distribution (and its drift) exactly.
+            for phi in PROBE_PHIS {
+                let probe = oracle.quantile(phi).expect("nonempty");
+                let est = coord.rank_lt(probe);
+                let truth = oracle.rank_lt(probe);
+                if est.abs_diff(truth) as f64 > eps * n as f64 + 2.0 {
+                    return Err(format!(
+                        "rank_lt({probe}): {est} vs true {truth}, beyond εn = {}",
+                        eps * n as f64
+                    ));
+                }
+                checks += 1;
+            }
+            Ok(checks)
+        },
+    )
 }
 
-fn run_cgmr(scenario: &Scenario, mode: Mode) -> Result<ScenarioReport, String> {
+fn run_cgmr(scenario: &Scenario, mode: Mode, feed: FeedMode) -> Result<ScenarioReport, String> {
     let eps = scenario.epsilon;
     let config = CgmrConfig::new(scenario.k, eps)?;
     let cluster = dtrack_baseline::cgmr::exact_cluster(config).map_err(|e| e.to_string())?;
-    drive(scenario, mode, 0, cluster, move |coord, oracle, _| {
+    drive(scenario, mode, feed, 0, cluster, move |coord, oracle, _| {
         let n = oracle.total();
         if n == 0 {
             return Ok(0);
@@ -355,11 +477,11 @@ fn run_cgmr(scenario: &Scenario, mode: Mode) -> Result<ScenarioReport, String> {
     })
 }
 
-fn run_polling(scenario: &Scenario, mode: Mode) -> Result<ScenarioReport, String> {
+fn run_polling(scenario: &Scenario, mode: Mode, feed: FeedMode) -> Result<ScenarioReport, String> {
     let eps = scenario.epsilon;
     let config = PollingConfig::new(scenario.k, eps)?;
     let cluster = dtrack_baseline::naive::polling_cluster(config).map_err(|e| e.to_string())?;
-    drive(scenario, mode, 0, cluster, move |coord, oracle, _| {
+    drive(scenario, mode, feed, 0, cluster, move |coord, oracle, _| {
         let n = oracle.total();
         if n == 0 {
             return Ok(0);
@@ -383,10 +505,14 @@ fn run_polling(scenario: &Scenario, mode: Mode) -> Result<ScenarioReport, String
     })
 }
 
-fn run_forward_all(scenario: &Scenario, mode: Mode) -> Result<ScenarioReport, String> {
+fn run_forward_all(
+    scenario: &Scenario,
+    mode: Mode,
+    feed: FeedMode,
+) -> Result<ScenarioReport, String> {
     let cluster =
         dtrack_baseline::naive::forward_all_cluster(scenario.k).map_err(|e| e.to_string())?;
-    drive(scenario, mode, 0, cluster, move |coord, oracle, _| {
+    drive(scenario, mode, feed, 0, cluster, move |coord, oracle, _| {
         let n = oracle.total();
         if coord.total() != n {
             return Err(format!("total {} != true {n}", coord.total()));

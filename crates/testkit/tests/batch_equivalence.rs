@@ -1,0 +1,45 @@
+//! Differential test: batched ingestion (`Cluster::feed_batch` via the
+//! default runner path) and per-item ingestion (`Cluster::feed`) must
+//! produce identical meter tallies AND identical query answers.
+//!
+//! `run_scenario` checkpoints already compare protocol answers against the
+//! oracle; here the two delivery paths run the same scenario and the full
+//! reports (words, messages, checks, budget) are compared field by field.
+//! A subset of `default_matrix()` keeps the runtime reasonable while still
+//! covering every protocol family and every assignment policy.
+
+use dtrack_testkit::{
+    default_matrix, measure_cost, measure_cost_per_item, run_scenario, run_scenario_per_item,
+};
+
+#[test]
+fn batched_and_per_item_feeding_are_transcript_identical() {
+    // Every 3rd scenario: 14 of 40, hitting all 10 protocols (4 scenarios
+    // per protocol, stride 3 is coprime to 4) and all assignments.
+    let scenarios: Vec<_> = default_matrix().into_iter().step_by(3).collect();
+    let protocols: std::collections::BTreeSet<_> =
+        scenarios.iter().map(|s| s.protocol.label()).collect();
+    // 9 labels = all 10 protocols (the two QuantileExact φ variants share
+    // a label).
+    assert!(
+        protocols.len() >= 9,
+        "subset no longer covers every protocol family: {protocols:?}"
+    );
+    for scenario in &scenarios {
+        let batched = run_scenario(scenario).unwrap_or_else(|f| panic!("batched: {f}"));
+        let per_item = run_scenario_per_item(scenario).unwrap_or_else(|f| panic!("per-item: {f}"));
+        assert_eq!(batched, per_item, "differential reports diverged");
+    }
+}
+
+#[test]
+fn batched_and_per_item_metering_agree_without_oracle() {
+    // Meter-only mode exercises the protocol-default warm-up (a different
+    // code path through every site), so cover it separately on a smaller
+    // slice.
+    for scenario in default_matrix().into_iter().step_by(7) {
+        let batched = measure_cost(&scenario).unwrap_or_else(|f| panic!("batched: {f}"));
+        let per_item = measure_cost_per_item(&scenario).unwrap_or_else(|f| panic!("per-item: {f}"));
+        assert_eq!(batched, per_item, "meter-only reports diverged");
+    }
+}

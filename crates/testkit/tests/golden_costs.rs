@@ -1,0 +1,77 @@
+//! Golden-cost lock: the metered words and messages of every
+//! `default_matrix()` scenario are pinned to the values the *pre-overhaul*
+//! (PR 1) harness produced.
+//!
+//! Performance work — batching, hashing, metering, sampling — must leave
+//! the communication transcript bit-identical: any drift here is a change
+//! to protocol semantics (or to the seeded workload bytes), not a speedup.
+//! Regenerate the fixture only when a PR *deliberately* changes protocol
+//! behavior, with:
+//!
+//! ```text
+//! cargo run --release -p dtrack-testkit --example golden_dump \
+//!     > crates/testkit/tests/golden_matrix_costs.txt
+//! ```
+
+use dtrack_testkit::{default_matrix, measure_cost, run_scenario};
+
+const GOLDEN: &str = include_str!("golden_matrix_costs.txt");
+
+#[derive(Debug, PartialEq, Eq)]
+struct GoldenLine {
+    scenario: String,
+    check_words: u64,
+    check_messages: u64,
+    meter_words: u64,
+    meter_messages: u64,
+}
+
+fn parse_golden() -> Vec<GoldenLine> {
+    GOLDEN
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| {
+            let parts: Vec<&str> = l.split_whitespace().collect();
+            assert_eq!(parts.len(), 7, "malformed golden line: {l}");
+            assert_eq!(parts[1], "check");
+            assert_eq!(parts[4], "meter");
+            GoldenLine {
+                scenario: parts[0].to_owned(),
+                check_words: parts[2].parse().unwrap(),
+                check_messages: parts[3].parse().unwrap(),
+                meter_words: parts[5].parse().unwrap(),
+                meter_messages: parts[6].parse().unwrap(),
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn default_matrix_costs_are_bit_identical_to_golden() {
+    let golden = parse_golden();
+    let scenarios = default_matrix();
+    assert_eq!(
+        golden.len(),
+        scenarios.len(),
+        "fixture and matrix disagree on scenario count — regenerate the fixture"
+    );
+    for (scenario, expect) in scenarios.iter().zip(&golden) {
+        assert_eq!(
+            scenario.to_string(),
+            expect.scenario,
+            "matrix order changed — regenerate the fixture"
+        );
+        let checked = run_scenario(scenario).unwrap_or_else(|f| panic!("{f}"));
+        assert_eq!(
+            (checked.words, checked.messages),
+            (expect.check_words, expect.check_messages),
+            "differential-mode cost drifted for {scenario}"
+        );
+        let metered = measure_cost(scenario).unwrap_or_else(|f| panic!("{f}"));
+        assert_eq!(
+            (metered.words, metered.messages),
+            (expect.meter_words, expect.meter_messages),
+            "meter-mode cost drifted for {scenario}"
+        );
+    }
+}

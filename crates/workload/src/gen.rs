@@ -1,7 +1,12 @@
 //! Item-value generators.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+use crate::sample::IndexedCdf;
 
 /// A deterministic stream of item values.
 pub trait Generator {
@@ -40,17 +45,79 @@ impl Generator for Uniform {
 /// proportional to `1/r^s`. The standard skewed-frequency model for
 /// monitoring streams; `s ≈ 1.1–1.5` covers typical network traces.
 ///
-/// Sampling is by inverse CDF over a table of `min(universe, 2^20)`
-/// distinct values (larger universes are truncated — documented in
-/// DESIGN.md; the tail beyond 2^20 ranks carries negligible mass for
-/// s > 1).
+/// Sampling is by guide-table-indexed inverse CDF over a table of
+/// `min(universe, 2^20)` distinct values (larger universes are truncated —
+/// documented in DESIGN.md; the tail beyond 2^20 ranks carries negligible
+/// mass for s > 1). The indexed lookup returns exactly the rank the
+/// original `partition_point` binary search did, in O(1) expected probes,
+/// so seeded streams are byte-identical across the implementations; see
+/// DESIGN.md for why the alias method was *not* used here.
+///
+/// The table — 2^20 `powf` evaluations plus the guide index, ~12 MB and
+/// tens of milliseconds — depends only on `(universe, s)`, never on the
+/// seed, so it is built once per process and shared (`Arc`) between all
+/// generators asking for the same distribution. Benchmarks that construct
+/// one generator per cell stop paying the build in every cell.
 #[derive(Debug, Clone)]
 pub struct Zipf {
-    cdf: Vec<f64>,
+    table: Arc<IndexedCdf>,
     rng: StdRng,
     /// Spread multiplier so values cover the universe rather than 0..u
     /// densely (keeps quantile structures honest).
     stride: u64,
+}
+
+/// The unnormalized Zipf weights `1/r^s` for ranks `1..=distinct` — the
+/// single source of the float-op sequence behind every Zipf table in the
+/// workspace (generator, benches). Seeded streams depend on these exact
+/// bits; do not "improve" the arithmetic here.
+pub fn zipf_weights(distinct: u64, s: f64) -> Vec<f64> {
+    (1..=distinct).map(|r| 1.0 / (r as f64).powf(s)).collect()
+}
+
+/// The normalized Zipf CDF exactly as [`Zipf`] samples it: weights
+/// accumulated in rank order, then divided by the final total (so the
+/// last entry is exactly 1.0). See [`zipf_weights`] for the
+/// bit-stability contract.
+pub fn zipf_cdf(distinct: u64, s: f64) -> Vec<f64> {
+    let mut cdf = zipf_weights(distinct, s);
+    let mut acc = 0.0f64;
+    for v in &mut cdf {
+        acc += *v;
+        *v = acc;
+    }
+    let total = acc;
+    for v in &mut cdf {
+        *v /= total;
+    }
+    cdf
+}
+
+/// Cache key: (distinct rank count, skew bits).
+type ZipfTableCache = Mutex<HashMap<(u64, u64), Arc<IndexedCdf>>>;
+
+/// Process-wide cache of finished Zipf tables, keyed by
+/// `(distinct, s.to_bits())`. A handful of distributions exist per
+/// process; entries are never evicted.
+fn zipf_table(distinct: u64, s: f64) -> Arc<IndexedCdf> {
+    static CACHE: OnceLock<ZipfTableCache> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(t) = cache
+        .lock()
+        .expect("zipf cache")
+        .get(&(distinct, s.to_bits()))
+    {
+        return Arc::clone(t);
+    }
+    // Build outside the lock: construction takes milliseconds and other
+    // threads may want other tables meanwhile. A racing duplicate build is
+    // harmless (last insert wins; both tables are identical).
+    let table = Arc::new(IndexedCdf::new(zipf_cdf(distinct, s)));
+    cache
+        .lock()
+        .expect("zipf cache")
+        .insert((distinct, s.to_bits()), Arc::clone(&table));
+    table
 }
 
 impl Zipf {
@@ -62,18 +129,8 @@ impl Zipf {
         assert!(universe > 0, "universe must be positive");
         assert!(s.is_finite() && s > 0.0, "skew must be positive");
         let distinct = universe.min(1 << 20);
-        let mut cdf = Vec::with_capacity(distinct as usize);
-        let mut acc = 0.0f64;
-        for r in 1..=distinct {
-            acc += 1.0 / (r as f64).powf(s);
-            cdf.push(acc);
-        }
-        let total = acc;
-        for v in &mut cdf {
-            *v /= total;
-        }
         Zipf {
-            cdf,
+            table: zipf_table(distinct, s),
             rng: StdRng::seed_from_u64(seed),
             stride: (universe / distinct).max(1),
         }
@@ -83,13 +140,13 @@ impl Zipf {
 impl Generator for Zipf {
     fn next_item(&mut self) -> u64 {
         let u: f64 = self.rng.gen();
-        let rank = self.cdf.partition_point(|&c| c < u) as u64;
+        let rank = self.table.lookup(u) as u64;
         // Scramble rank -> value so popular items are spread over the
         // universe instead of clustered at 0 (splitmix finalizer, then
         // mapped back into range).
         let mut z = rank.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        (z % self.cdf.len() as u64) * self.stride
+        (z % self.table.len() as u64) * self.stride
     }
 }
 

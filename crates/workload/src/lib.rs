@@ -13,9 +13,14 @@
 
 pub mod assign;
 pub mod gen;
+pub mod sample;
 
 pub use assign::{Assignment, Bursts, RoundRobin, SkewedSites, UniformSites};
 pub use gen::{Generator, ShiftingZipf, SortedRamp, TwoPhaseDrift, Uniform, Zipf};
+pub use sample::{AliasTable, IndexedCdf};
+
+#[doc(inline)]
+pub use gen::{zipf_cdf, zipf_weights};
 
 use dtrack_sim::SiteId;
 

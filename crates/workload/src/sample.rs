@@ -1,0 +1,293 @@
+//! O(1) discrete sampling primitives for the workload generators.
+//!
+//! Two table samplers with different contracts (see DESIGN.md §"Sampling
+//! discrete distributions in O(1)"):
+//!
+//! * [`IndexedCdf`] — a guide-table-accelerated inverse CDF (Chen & Asau).
+//!   For any draw `u` it returns **exactly** the index that
+//!   `cdf.partition_point(|&c| c < u)` would, so swapping it under an
+//!   existing seeded generator leaves every historical stream byte-for-byte
+//!   intact, while the expected probe count drops from Θ(log n) scattered
+//!   binary-search reads to ~2 adjacent ones.
+//! * [`AliasTable`] — Vose's alias method. True worst-case O(1) (one table
+//!   row per draw), but it maps the unit interval to outcomes differently
+//!   than the inverse CDF, so the same RNG stream produces a *different*
+//!   (equally distributed) item sequence. Use it for workloads without a
+//!   replay-compatibility constraint.
+
+/// A cumulative distribution with a guide table for O(1)-expected inverse
+/// lookups that are bit-identical to binary search.
+///
+/// `cdf` must be non-decreasing with a last element ≥ any queried `u`
+/// (generators normalize so the last element is exactly 1.0).
+#[derive(Debug, Clone)]
+pub struct IndexedCdf {
+    cdf: Vec<f64>,
+    /// `guide[j]` = first index i with `cdf[i] >= j / guide.len()`; a lower
+    /// bound for the answer of any `u` in bucket j, so the linear scan
+    /// below never starts past its target.
+    guide: Vec<u32>,
+}
+
+impl IndexedCdf {
+    /// Index a finished CDF. O(n) build, one `u32` per entry.
+    ///
+    /// # Panics
+    /// Panics if `cdf` is empty or longer than `u32::MAX` entries.
+    pub fn new(cdf: Vec<f64>) -> Self {
+        assert!(!cdf.is_empty(), "empty cdf");
+        assert!(u32::try_from(cdf.len()).is_ok(), "cdf too long");
+        let buckets = cdf.len();
+        let mut guide = vec![0u32; buckets];
+        let mut i = 0usize;
+        for (j, g) in guide.iter_mut().enumerate() {
+            let lo = j as f64 / buckets as f64;
+            while i < cdf.len() && cdf[i] < lo {
+                i += 1;
+            }
+            *g = i.min(cdf.len() - 1) as u32;
+        }
+        IndexedCdf { cdf, guide }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when the table has no outcomes (never: `new` rejects empty).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// The index `cdf.partition_point(|&c| c < u)` would return, in O(1)
+    /// expected probes (clamped to the last index for `u` beyond the CDF's
+    /// top, which seeded `[0,1)` draws never produce).
+    #[inline]
+    pub fn lookup(&self, u: f64) -> usize {
+        // Bucket by truncation; `u` in [0,1) keeps this in range, but clamp
+        // anyway so a stray u >= 1.0 cannot index out of bounds.
+        let j = ((u * self.guide.len() as f64) as usize).min(self.guide.len() - 1);
+        let mut i = self.guide[j] as usize;
+        while self.cdf[i] < u {
+            i += 1;
+            if i == self.cdf.len() {
+                return self.cdf.len() - 1;
+            }
+        }
+        // For non-power-of-two lengths, `u * len` can round so that
+        // truncation lands one bucket high (u just below j/len with
+        // trunc(u*len) == j), starting the scan past the answer; step back
+        // to the *first* index with cdf[i] >= u. Almost always 0 steps.
+        while i > 0 && self.cdf[i - 1] >= u {
+            i -= 1;
+        }
+        i
+    }
+}
+
+/// Vose's alias method: worst-case O(1) sampling from a fixed discrete
+/// distribution.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    /// Per-column acceptance threshold, pre-scaled to [0, 1).
+    prob: Vec<f64>,
+    /// Alternative outcome when the column's own outcome is rejected.
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Build from (unnormalized) non-negative weights.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, longer than `u32::MAX` entries, or has
+    /// a non-finite / negative / all-zero total.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "empty weight table");
+        assert!(
+            u32::try_from(weights.len()).is_ok(),
+            "weight table too long"
+        );
+        let total: f64 = weights.iter().sum();
+        assert!(
+            total.is_finite() && total > 0.0 && weights.iter().all(|&w| w >= 0.0),
+            "weights must be non-negative with a positive finite sum"
+        );
+        let n = weights.len();
+        // Scale so the average weight is exactly 1 column.
+        let mut scaled: Vec<f64> = weights.iter().map(|&w| w * n as f64 / total).collect();
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in scaled.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        let mut prob = vec![1.0f64; n];
+        let mut alias: Vec<u32> = (0..n as u32).collect();
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            prob[s as usize] = scaled[s as usize];
+            alias[s as usize] = l;
+            scaled[l as usize] -= 1.0 - scaled[s as usize];
+            if scaled[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Leftovers (floating-point slack) keep prob = 1.0: self-aliased.
+        AliasTable { prob, alias }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True when the table has no outcomes (never: `new` rejects empty).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Sample an outcome index from one uniform draw in `[0, 1)`: the
+    /// integer part picks the column, the fractional part runs the
+    /// accept/alias test. Exactly one table row is touched.
+    #[inline]
+    pub fn sample(&self, u: f64) -> usize {
+        let scaled = u * self.len() as f64;
+        let col = (scaled as usize).min(self.len() - 1);
+        let frac = scaled - col as f64;
+        if frac < self.prob[col] {
+            col
+        } else {
+            self.alias[col] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn zipf_cdf(n: usize, s: f64) -> Vec<f64> {
+        let mut acc = 0.0;
+        let mut cdf = Vec::with_capacity(n);
+        for r in 1..=n {
+            acc += 1.0 / (r as f64).powf(s);
+            cdf.push(acc);
+        }
+        for v in &mut cdf {
+            *v /= acc;
+        }
+        cdf
+    }
+
+    #[test]
+    fn indexed_cdf_matches_partition_point_exactly() {
+        for &(n, s) in &[(1usize, 1.0), (7, 0.5), (1000, 1.2), (50_000, 2.0)] {
+            let cdf = zipf_cdf(n, s);
+            let idx = IndexedCdf::new(cdf.clone());
+            let mut rng = StdRng::seed_from_u64(9);
+            for _ in 0..20_000 {
+                let u: f64 = rng.gen();
+                assert_eq!(
+                    idx.lookup(u),
+                    cdf.partition_point(|&c| c < u),
+                    "n={n} s={s} u={u}"
+                );
+            }
+            // Boundary probes: exactly-on-a-cdf-value and the extremes.
+            for &u in cdf.iter().take(200) {
+                assert_eq!(idx.lookup(u), cdf.partition_point(|&c| c < u));
+            }
+            assert_eq!(idx.lookup(0.0), cdf.partition_point(|&c| c < 0.0));
+        }
+    }
+
+    #[test]
+    fn indexed_cdf_survives_bucket_truncation_rounding() {
+        // Regression: with a non-power-of-two length, u = nextafter(j/n, -inf)
+        // can truncate into bucket j (trunc(u*n) == j although u < j/n), so
+        // the scan would start one entry past the answer without the
+        // backward correction. Construct that exact situation: cdf[8] is
+        // the double just below 0.9 and u probes it directly.
+        let below = |x: f64| f64::from_bits(x.to_bits() - 1);
+        let mut cdf: Vec<f64> = (1..=9).map(|i| i as f64 / 10.0).collect();
+        cdf[8] = below(0.9);
+        cdf.push(1.0);
+        let idx = IndexedCdf::new(cdf.clone());
+        for &u in cdf
+            .iter()
+            .chain([below(0.3), 0.9, below(below(0.9))].iter())
+        {
+            assert_eq!(
+                idx.lookup(u),
+                cdf.partition_point(|&c| c < u),
+                "u = {u:?} ({:#x})",
+                u.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn indexed_cdf_clamps_out_of_range_u() {
+        let idx = IndexedCdf::new(zipf_cdf(100, 1.1));
+        assert_eq!(idx.lookup(1.0), 99);
+        assert_eq!(idx.lookup(2.0), 99);
+    }
+
+    #[test]
+    fn alias_table_matches_distribution() {
+        let weights = [5.0, 1.0, 0.0, 3.0, 1.0];
+        let table = AliasTable::new(&weights);
+        let total: f64 = weights.iter().sum();
+        let mut counts = [0u64; 5];
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 200_000;
+        for _ in 0..n {
+            counts[table.sample(rng.gen())] += 1;
+        }
+        for (i, &w) in weights.iter().enumerate() {
+            let expect = w / total;
+            let got = counts[i] as f64 / n as f64;
+            assert!(
+                (got - expect).abs() < 0.01,
+                "outcome {i}: got {got}, expected {expect}"
+            );
+        }
+        assert_eq!(counts[2], 0, "zero-weight outcome must never appear");
+    }
+
+    #[test]
+    fn alias_table_is_deterministic_and_total() {
+        let table = AliasTable::new(
+            &zipf_cdf(1000, 1.3)
+                .windows(2)
+                .map(|w| w[1] - w[0])
+                .collect::<Vec<_>>(),
+        );
+        let mut a = StdRng::seed_from_u64(11);
+        let mut b = StdRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let s = table.sample(a.gen());
+            assert_eq!(s, table.sample(b.gen()));
+            assert!(s < table.len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty weight table")]
+    fn alias_rejects_empty() {
+        AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite sum")]
+    fn alias_rejects_zero_total() {
+        AliasTable::new(&[0.0, 0.0]);
+    }
+}

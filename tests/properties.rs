@@ -155,3 +155,67 @@ proptest! {
         prop_assert!(cluster.meter().total_words() >= cluster.meter().total_messages());
     }
 }
+
+// Satellite of the hot-path overhaul: protocol and oracle answers must be
+// functions of stream *content*, never of hash-map iteration order. The
+// hot maps hash with deterministic Fx (dtrack-hash); these properties pin
+// the answer-level contract by recomputing every answer from a SipHash
+// (`RandomState`) reference whose iteration order differs per process, and
+// by asserting the sorted-output convention directly.
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 16,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn answers_independent_of_hash_iteration_order(
+        stream in arb_stream(4, 2500),
+        phi_pct in 10u32..60,
+    ) {
+        let phi = phi_pct as f64 / 100.0;
+        // Fx-hashed oracle vs a std-SipHash frequency reference.
+        let mut oracle = ExactOracle::new();
+        let mut sip: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        let mut values: Vec<u64> = Vec::with_capacity(stream.len());
+        for &(_, item) in &stream {
+            oracle.observe(item);
+            *sip.entry(item).or_insert(0) += 1;
+            values.push(item);
+        }
+        let n = values.len() as u64;
+        // Heavy hitters: sorted, duplicate-free, and equal to the SipHash
+        // reference classified by the same rule.
+        let hh = oracle.heavy_hitters(phi);
+        prop_assert!(hh.windows(2).all(|w| w[0] < w[1]), "unsorted: {:?}", hh);
+        let thresh = phi * n as f64;
+        let mut reference: Vec<u64> = sip
+            .iter()
+            .filter(|&(_, &c)| c as f64 >= thresh)
+            .map(|(&x, _)| x)
+            .collect();
+        reference.sort_unstable();
+        prop_assert_eq!(&hh, &reference);
+        // Quantiles: equal to the sorted-vector reference at every probe.
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for phi_q in [0.01, 0.25, 0.5, 0.75, 0.99] {
+            let target = ((phi_q * n as f64).ceil() as u64).clamp(1, n);
+            prop_assert_eq!(oracle.quantile(phi_q), Some(sorted[(target - 1) as usize]));
+        }
+        // Tracked heavy hitters: two independent clusters (fresh maps, so
+        // fresh bucket layouts) must answer identically and sorted.
+        let config = HhConfig::new(4, 0.08).unwrap();
+        let run = || {
+            let mut cluster = dtrack::core::hh::exact_cluster(config).unwrap();
+            for &(site, item) in &stream {
+                cluster.feed(SiteId(site), item).unwrap();
+            }
+            cluster.coordinator().heavy_hitters(phi.max(0.1)).unwrap()
+        };
+        let first = run();
+        let second = run();
+        prop_assert!(first.windows(2).all(|w| w[0] < w[1]));
+        prop_assert_eq!(first, second);
+    }
+}
