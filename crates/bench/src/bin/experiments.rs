@@ -60,6 +60,10 @@ fn main() {
             dtrack_bench::smoke::geomean_items_per_sec(&results),
             results.len()
         );
+        println!(
+            "threaded batched/per-item speedup (geomean): {:.2}x",
+            dtrack_bench::smoke::threaded_batched_speedup(&results)
+        );
         let json = dtrack_bench::smoke::smoke_json(&results);
         let snapshot = dtrack_bench::smoke::SMOKE_SNAPSHOT;
         let path = match &explicit_out {

@@ -5,30 +5,47 @@
 //! cargo run --release -p dtrack-bench --bin experiments -- smoke
 //! ```
 //!
-//! writes `BENCH_pr2.json` — the current point of the repo's performance
-//! trajectory (`BENCH_seed.json` is the frozen PR 1 baseline). Metered
+//! writes `BENCH_pr3.json` — the current point of the repo's performance
+//! trajectory (`BENCH_seed.json` and `BENCH_pr2.json` are the frozen
+//! PR 1 / PR 2 baselines). For the deterministic cells the metered
 //! words/messages are bit-for-bit deterministic (regressions there are
 //! protocol changes, not noise); wall-clock throughput is indicative.
 //!
-//! Two cell sizes per protocol: n = 20 000 cells match the seed snapshot
-//! one-to-one for before/after comparisons, and n = 200 000 throughput
-//! cells (added in PR 2) keep per-item costs visible as the fixed
-//! per-run overheads shrink.
+//! Three cell groups:
+//!
+//! * n = 20 000 deterministic cells — match the seed snapshot one-to-one
+//!   for before/after comparisons;
+//! * n = 200 000 deterministic cells (PR 2) — keep per-item costs visible
+//!   as fixed per-run overheads shrink;
+//! * n = 200 000 **threaded** cells (PR 3) — the parallel ingest engine,
+//!   each protocol measured twice: per-item delivery (one channel hop per
+//!   item, the threaded baseline) and batched delivery (whole per-site
+//!   runs through `Site::on_items`). Their words are *not* pinned:
+//!   free-running ingest interleaves arrivals with in-flight
+//!   communication, so the transcript legitimately varies run to run (the
+//!   site-at-a-time equivalence tests pin the deterministic schedule
+//!   instead). The batched/per-item throughput ratio is the headline
+//!   number — it is what batching buys on real threads.
 
-use dtrack_testkit::{measure_cost, AssignmentSpec, GeneratorSpec, ProtocolSpec, Scenario};
+use dtrack_testkit::{
+    measure_cost, measure_threaded, AssignmentSpec, GeneratorSpec, ProtocolSpec, Scenario,
+    ThreadedIngest,
+};
 use std::time::Instant;
 
 /// File name of the smoke snapshot written by `experiments smoke`.
-pub const SMOKE_SNAPSHOT: &str = "BENCH_pr2.json";
+pub const SMOKE_SNAPSHOT: &str = "BENCH_pr3.json";
 
 /// One timed smoke cell.
 #[derive(Debug, Clone)]
 pub struct SmokeResult {
-    /// Replayable scenario name.
+    /// Replayable scenario name, prefixed with the runtime mode for
+    /// threaded cells (`threaded-per-item:` / `threaded-batched:`).
     pub scenario: String,
-    /// Metered words (deterministic).
+    /// Metered words (deterministic for deterministic cells; indicative
+    /// for threaded cells).
     pub words: u64,
-    /// Metered messages (deterministic).
+    /// Metered messages (same caveat as `words`).
     pub messages: u64,
     /// Wall-clock time for the whole run.
     pub wall_ms: f64,
@@ -36,7 +53,7 @@ pub struct SmokeResult {
     pub items_per_sec: f64,
 }
 
-/// The protocol axis of the smoke matrix.
+/// The protocol axis of the deterministic smoke matrix.
 const SMOKE_PROTOCOLS: [ProtocolSpec; 9] = [
     ProtocolSpec::Counter,
     ProtocolSpec::HhExact,
@@ -49,30 +66,66 @@ const SMOKE_PROTOCOLS: [ProtocolSpec; 9] = [
     ProtocolSpec::ForwardAll,
 ];
 
-/// The smoke matrix: every protocol family at the seed-comparable size
-/// (n = 20k) and at the PR 2 throughput size (n = 200k).
+/// The protocol axis of the threaded throughput cells. A spread over the
+/// interesting site-side behaviors: O(1) quiet-stretch swallowing
+/// (counter), exact per-item stores (hh-exact), sketch stores
+/// (hh-sketched), and tree-based quantile tracking (quantile-sketched).
+const THREADED_PROTOCOLS: [ProtocolSpec; 4] = [
+    ProtocolSpec::Counter,
+    ProtocolSpec::HhExact,
+    ProtocolSpec::HhSketched,
+    ProtocolSpec::QuantileSketched { phi: 0.5 },
+];
+
+/// Stream length of the threaded throughput cells.
+pub const THREADED_N: u64 = 200_000;
+
+fn smoke_scenario(protocol: ProtocolSpec, n: u64) -> Scenario {
+    Scenario::new(
+        GeneratorSpec::Zipf {
+            universe: 1 << 20,
+            s: 1.2,
+        },
+        AssignmentSpec::RoundRobin,
+        4,
+        0.1,
+        n,
+        1,
+        protocol,
+    )
+}
+
+/// The deterministic smoke matrix: every protocol family at the
+/// seed-comparable size (n = 20k) and at the PR 2 throughput size
+/// (n = 200k).
 pub fn smoke_scenarios() -> Vec<Scenario> {
     let mut out = Vec::with_capacity(2 * SMOKE_PROTOCOLS.len());
     for n in [20_000u64, 200_000] {
         for protocol in SMOKE_PROTOCOLS {
-            out.push(Scenario::new(
-                GeneratorSpec::Zipf {
-                    universe: 1 << 20,
-                    s: 1.2,
-                },
-                AssignmentSpec::RoundRobin,
-                4,
-                0.1,
-                n,
-                1,
-                protocol,
-            ));
+            out.push(smoke_scenario(protocol, n));
         }
     }
     out
 }
 
-/// Run the smoke matrix, timing each scenario.
+/// The threaded throughput cells (PR 3): per-protocol scenarios driven
+/// through `ThreadedCluster` free-running, once per ingest mode.
+pub fn threaded_scenarios() -> Vec<Scenario> {
+    THREADED_PROTOCOLS
+        .iter()
+        .map(|&p| smoke_scenario(p, THREADED_N))
+        .collect()
+}
+
+fn mode_label(ingest: ThreadedIngest) -> &'static str {
+    match ingest {
+        ThreadedIngest::PerItem => "threaded-per-item",
+        ThreadedIngest::Batched => "threaded-batched",
+    }
+}
+
+/// Run the smoke matrix (deterministic + threaded cells), timing each
+/// scenario.
 ///
 /// Workload tables (the 2^20-entry Zipf CDF) are process-wide immutable
 /// assets shared by every cell, so they are built once in an untimed
@@ -86,7 +139,7 @@ pub fn run_smoke() -> Vec<SmokeResult> {
         // process-wide cache; dropping it immediately keeps this O(1).
         let _ = scenario.stream();
     }
-    scenarios
+    let mut results: Vec<SmokeResult> = scenarios
         .iter()
         .map(|scenario| {
             let start = Instant::now();
@@ -100,7 +153,25 @@ pub fn run_smoke() -> Vec<SmokeResult> {
                 items_per_sec: scenario.n as f64 / wall.as_secs_f64().max(1e-9),
             }
         })
-        .collect()
+        .collect();
+    for scenario in threaded_scenarios() {
+        for ingest in [ThreadedIngest::PerItem, ThreadedIngest::Batched] {
+            // Threaded cells time ingest only (stream generation, spawn,
+            // and teardown excluded — `ThreadedOutcome::ingest_ms`), so
+            // the batched/per-item ratio measures the delivery path, not
+            // shared setup costs.
+            let outcome =
+                measure_threaded(&scenario, ingest).expect("threaded smoke scenario failed");
+            results.push(SmokeResult {
+                scenario: format!("{}:{}", mode_label(ingest), outcome.report.scenario),
+                words: outcome.report.words,
+                messages: outcome.report.messages,
+                wall_ms: outcome.ingest_ms,
+                items_per_sec: scenario.n as f64 / (outcome.ingest_ms / 1e3).max(1e-9),
+            });
+        }
+    }
+    results
 }
 
 /// Geometric mean of `items_per_sec` over `results` (0.0 when empty).
@@ -112,13 +183,44 @@ pub fn geomean_items_per_sec(results: &[SmokeResult]) -> f64 {
     (log_sum / results.len() as f64).exp()
 }
 
+/// Geometric-mean speedup of the `threaded-batched:` cells over their
+/// `threaded-per-item:` twins (1.0 when no pairs are present). This is
+/// the acceptance number for batched parallel ingest.
+pub fn threaded_batched_speedup(results: &[SmokeResult]) -> f64 {
+    let rate_of = |prefix: &str, suffix: &str| {
+        results
+            .iter()
+            .find(|r| r.scenario.strip_prefix(prefix) == Some(suffix))
+            .map(|r| r.items_per_sec)
+    };
+    let mut log_sum = 0.0;
+    let mut pairs = 0usize;
+    for r in results {
+        if let Some(name) = r.scenario.strip_prefix("threaded-batched:") {
+            if let Some(base) = rate_of("threaded-per-item:", name) {
+                log_sum += (r.items_per_sec.max(1.0) / base.max(1.0)).ln();
+                pairs += 1;
+            }
+        }
+    }
+    if pairs == 0 {
+        1.0
+    } else {
+        (log_sum / pairs as f64).exp()
+    }
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 /// Render smoke results as a stable, human-diffable JSON document.
 pub fn smoke_json(results: &[SmokeResult]) -> String {
-    let mut out = String::from("{\n  \"schema\": \"dtrack-bench-smoke/v1\",\n  \"cells\": [\n");
+    let mut out = String::from("{\n  \"schema\": \"dtrack-bench-smoke/v2\",\n");
+    out.push_str(&format!(
+        "  \"threaded_batched_speedup\": {:.2},\n  \"cells\": [\n",
+        threaded_batched_speedup(results)
+    ));
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"scenario\": \"{}\", \"words\": {}, \"messages\": {}, \
@@ -152,6 +254,16 @@ mod tests {
     }
 
     #[test]
+    fn threaded_cells_cover_the_parallel_axis() {
+        let scenarios = threaded_scenarios();
+        assert_eq!(scenarios.len(), 4);
+        assert!(scenarios.iter().all(|s| s.n == THREADED_N));
+        let labels: std::collections::BTreeSet<_> =
+            scenarios.iter().map(|s| s.protocol.label()).collect();
+        assert_eq!(labels.len(), 4);
+    }
+
+    #[test]
     fn geomean_is_between_min_and_max() {
         let mk = |ips: f64| SmokeResult {
             scenario: "s".to_owned(),
@@ -167,6 +279,28 @@ mod tests {
     }
 
     #[test]
+    fn speedup_pairs_batched_with_per_item_cells() {
+        let mk = |name: &str, ips: f64| SmokeResult {
+            scenario: name.to_owned(),
+            words: 1,
+            messages: 1,
+            wall_ms: 1.0,
+            items_per_sec: ips,
+        };
+        let results = vec![
+            mk("threaded-per-item:counter/x", 1e6),
+            mk("threaded-batched:counter/x", 3e6),
+            mk("threaded-per-item:hh-exact/y", 2e6),
+            mk("threaded-batched:hh-exact/y", 8e6),
+            mk("counter/unrelated-deterministic", 5e6),
+        ];
+        // geomean(3, 4) = sqrt(12)
+        let s = threaded_batched_speedup(&results);
+        assert!((s - 12f64.sqrt()).abs() < 1e-9, "got {s}");
+        assert_eq!(threaded_batched_speedup(&[]), 1.0);
+    }
+
+    #[test]
     fn smoke_json_is_valid_enough() {
         let results = vec![SmokeResult {
             scenario: "hh-exact/zipf/round-robin/k4/eps0.1/n20000/seed1".to_owned(),
@@ -176,7 +310,8 @@ mod tests {
             items_per_sec: 2_352_941.0,
         }];
         let j = smoke_json(&results);
-        assert!(j.contains("\"schema\": \"dtrack-bench-smoke/v1\""));
+        assert!(j.contains("\"schema\": \"dtrack-bench-smoke/v2\""));
+        assert!(j.contains("\"threaded_batched_speedup\""));
         assert!(j.contains("\"words\": 1234"));
         assert!(j.ends_with("]\n}\n"));
         // Balanced braces/brackets, no trailing comma before the close.

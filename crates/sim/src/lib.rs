@@ -17,7 +17,10 @@
 //!   metering every message. This is what the experiment harness uses: it
 //!   measures exactly the quantity the paper's theorems bound.
 //! * [`threaded::ThreadedCluster`] — the same protocols on real OS threads
-//!   connected by `crossbeam` channels, demonstrating that the protocol
+//!   connected by `crossbeam` channels: bounded site queues with
+//!   backpressure, event-based quiescence, per-thread meters, and both a
+//!   transcript-identical site-at-a-time batch schedule and a free-running
+//!   parallel ingest path. It demonstrates that the protocol
 //!   implementations are genuinely message-driven and share no state.
 //!
 //! Protocols are written against the [`Site`] and [`Coordinator`] traits and

@@ -179,6 +179,26 @@ impl MessageMeter {
         }
     }
 
+    /// Fold another meter's tallies into this one, matching kinds by
+    /// label (by pointer identity when possible, by value otherwise — two
+    /// threads metering the same kind through different literal addresses
+    /// still land in one entry).
+    ///
+    /// This is how the threaded runtime aggregates its per-thread meters:
+    /// each worker tallies locally with zero sharing, and the runtime
+    /// merges on snapshot/shutdown.
+    pub fn merge(&mut self, other: &MessageMeter) {
+        self.up.messages += other.up.messages;
+        self.up.words += other.up.words;
+        self.down.messages += other.down.messages;
+        self.down.words += other.down.words;
+        for (&kind, cost) in other.kinds.iter().zip(&other.by_kind) {
+            let i = self.kind_index(kind);
+            self.by_kind[i].messages += cost.messages;
+            self.by_kind[i].words += cost.words;
+        }
+    }
+
     /// Reset all tallies to zero (e.g. to exclude a warm-up phase).
     pub fn reset(&mut self) {
         *self = Self::default();
@@ -350,6 +370,83 @@ mod tests {
         }
         assert_eq!(m.kind("alt/a").messages, 1000);
         assert_eq!(m.kind("alt/b").words, 2000);
+    }
+
+    #[test]
+    fn merge_folds_totals_and_kinds() {
+        let mut a = MessageMeter::new();
+        a.record_up("m/item", 2);
+        a.record_down("m/ack", 1);
+        let mut b = MessageMeter::new();
+        b.record_up("m/item", 3);
+        b.record_up("m/poll", 5);
+        a.merge(&b);
+        assert_eq!(
+            a.kind("m/item"),
+            KindCost {
+                messages: 2,
+                words: 5
+            }
+        );
+        assert_eq!(
+            a.kind("m/poll"),
+            KindCost {
+                messages: 1,
+                words: 5
+            }
+        );
+        assert_eq!(a.total_messages(), 4);
+        assert_eq!(a.total_words(), 11);
+        assert_eq!(
+            a.up(),
+            KindCost {
+                messages: 3,
+                words: 10
+            }
+        );
+    }
+
+    #[test]
+    fn merge_matches_sequential_recording() {
+        // Splitting a message sequence across two meters and merging must
+        // equal recording the whole sequence on one meter.
+        let mut whole = MessageMeter::new();
+        let mut left = MessageMeter::new();
+        let mut right = MessageMeter::new();
+        for i in 0..100u64 {
+            let (kind, words) = match i % 3 {
+                0 => ("s/a", 1),
+                1 => ("s/b", 2),
+                _ => ("s/c", 3),
+            };
+            whole.record_up(kind, words);
+            if i < 50 {
+                left.record_up(kind, words);
+            } else {
+                right.record_up(kind, words);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left.report(), whole.report());
+    }
+
+    #[test]
+    fn merge_unifies_duplicate_label_addresses() {
+        let a: &'static str = Box::leak("merge/dup".to_owned().into_boxed_str());
+        let b: &'static str = Box::leak("merge/dup".to_owned().into_boxed_str());
+        let mut m1 = MessageMeter::new();
+        m1.record_up(a, 1);
+        let mut m2 = MessageMeter::new();
+        m2.record_down(b, 2);
+        m1.merge(&m2);
+        assert_eq!(m1.report().by_kind.len(), 1);
+        assert_eq!(
+            m1.kind("merge/dup"),
+            KindCost {
+                messages: 2,
+                words: 3
+            }
+        );
     }
 
     #[test]

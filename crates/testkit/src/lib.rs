@@ -42,6 +42,7 @@ pub mod matrix;
 pub mod report;
 pub mod runner;
 pub mod scenario;
+pub mod threaded;
 
 pub use matrix::{default_matrix, matrix};
 pub use report::{ScenarioFailure, ScenarioReport};
@@ -49,3 +50,7 @@ pub use runner::{
     measure_cost, measure_cost_per_item, run_matrix, run_scenario, run_scenario_per_item,
 };
 pub use scenario::{AssignmentSpec, GeneratorSpec, ProtocolSpec, Scenario, Tuning};
+pub use threaded::{
+    measure_threaded, run_scenario_reference, run_scenario_threaded, ThreadedIngest,
+    ThreadedOutcome,
+};

@@ -50,8 +50,10 @@ enum FeedMode {
 
 /// Items per `feed_batch` call. Large enough to amortize per-call
 /// overhead, small enough to stay cache-resident; checkpoints shorten the
-/// final chunk before each boundary so check timing is unaffected.
-const FEED_CHUNK: u64 = 4096;
+/// final chunk before each boundary so check timing is unaffected. The
+/// threaded runner ships the same chunks so both runtimes see identical
+/// same-site runs.
+pub(crate) const FEED_CHUNK: u64 = 4096;
 
 /// Run a scenario to completion in differential mode.
 ///

@@ -1,20 +1,28 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
-//! Only `crossbeam::channel::{unbounded, Sender, Receiver}` is provided,
-//! backed by `std::sync::mpsc`. Semantics used by this workspace (unbounded
-//! MPSC, blocking `recv`, `Err` on disconnect) are identical; the stub does
-//! not provide `select!`, bounded channels, or the `Sync` receiver.
+//! Only `crossbeam::channel::{unbounded, bounded, Sender, Receiver}` is
+//! provided, backed by `std::sync::mpsc`. Semantics used by this workspace
+//! (MPSC, blocking `recv`, blocking `send` on a full bounded queue, `Err`
+//! on disconnect) are identical; the stub does not provide `select!` or
+//! the `Sync` receiver.
 
 pub mod channel {
     use std::sync::mpsc;
 
-    /// Sending half of an unbounded channel.
-    pub struct Sender<T>(mpsc::Sender<T>);
+    enum Tx<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
 
-    /// Receiving half of an unbounded channel.
+    /// Sending half of a channel.
+    pub struct Sender<T>(Tx<T>);
+
+    /// Receiving half of a channel.
     pub struct Receiver<T>(mpsc::Receiver<T>);
 
-    /// Error returned when the receiving side has disconnected.
+    /// Error returned when the receiving side has disconnected. The
+    /// unsent message is handed back (and dropped with the error when the
+    /// caller discards it).
     #[derive(Debug, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
 
@@ -24,14 +32,22 @@ pub mod channel {
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            Sender(self.0.clone())
+            match &self.0 {
+                Tx::Unbounded(tx) => Sender(Tx::Unbounded(tx.clone())),
+                Tx::Bounded(tx) => Sender(Tx::Bounded(tx.clone())),
+            }
         }
     }
 
     impl<T> Sender<T> {
-        /// Enqueue a message; fails only if the receiver is gone.
+        /// Enqueue a message; fails only if the receiver is gone. On a
+        /// full bounded channel this blocks until space frees up — that
+        /// blocking is the backpressure the threaded runtime relies on.
         pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
-            self.0.send(msg).map_err(|mpsc::SendError(m)| SendError(m))
+            match &self.0 {
+                Tx::Unbounded(tx) => tx.send(msg).map_err(|mpsc::SendError(m)| SendError(m)),
+                Tx::Bounded(tx) => tx.send(msg).map_err(|mpsc::SendError(m)| SendError(m)),
+            }
         }
     }
 
@@ -51,13 +67,21 @@ pub mod channel {
     /// Create an unbounded MPSC channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::channel();
-        (Sender(tx), Receiver(rx))
+        (Sender(Tx::Unbounded(tx)), Receiver(rx))
+    }
+
+    /// Create a bounded MPSC channel holding at most `cap` queued
+    /// messages; `send` blocks while the queue is full. `cap` = 0 is a
+    /// rendezvous channel, as in real crossbeam.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(Tx::Bounded(tx)), Receiver(rx))
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::channel::unbounded;
+    use super::channel::{bounded, unbounded};
 
     #[test]
     fn roundtrip_across_threads() {
@@ -76,5 +100,39 @@ mod tests {
         assert_eq!(sum, 4950);
         drop(rx);
         assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_drained() {
+        let (tx, rx) = bounded::<u64>(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        // Queue full: the third send must block until the consumer takes
+        // one message, not fail or drop.
+        let t0 = std::time::Instant::now();
+        let h = {
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                tx.send(3).unwrap();
+                t0.elapsed()
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert_eq!(rx.recv().unwrap(), 1);
+        let blocked_for = h.join().unwrap();
+        assert!(
+            blocked_for >= std::time::Duration::from_millis(25),
+            "send returned after {blocked_for:?}; expected it to block on the full queue"
+        );
+        assert_eq!(rx.recv().unwrap(), 2);
+        assert_eq!(rx.recv().unwrap(), 3);
+    }
+
+    #[test]
+    fn bounded_send_errors_when_receiver_gone() {
+        let (tx, rx) = bounded::<u64>(4);
+        tx.send(7).unwrap();
+        drop(rx);
+        assert!(tx.send(8).is_err());
     }
 }

@@ -194,6 +194,94 @@ fn threaded_matches_deterministic_for_counter() {
     assert_eq!(det.meter().total_messages(), meter.total_messages());
 }
 
+/// `ThreadedCluster::feed_batch` (site-at-a-time, internally settled per
+/// quiescent run) must reproduce the deterministic `Cluster::feed_batch`
+/// transcript without the caller settling per item — this is the fast
+/// transcript-identical path the testkit equivalence suite drives over
+/// the whole matrix; here it is pinned at the integration level.
+#[test]
+fn threaded_feed_batch_matches_deterministic() {
+    let k = 4;
+    let epsilon = 0.1;
+    let config = HhConfig::new(k, epsilon).unwrap();
+    let stream: Vec<(SiteId, u64)> =
+        Stream::new(Zipf::new(1 << 14, 1.4, 7), RoundRobin::new(k), 30_000).collect();
+
+    let mut det = dtrack::core::hh::exact_cluster(config).unwrap();
+    det.feed_batch(&stream).unwrap();
+
+    let sites: Vec<_> = (0..k).map(|_| HhSite::exact(config)).collect();
+    let threaded = ThreadedCluster::spawn(sites, HhCoordinator::new(config)).unwrap();
+    threaded.feed_batch(&stream).unwrap();
+    threaded.settle();
+    let (coord, _, meter) = threaded.shutdown().unwrap();
+
+    assert_eq!(
+        det.coordinator().heavy_hitters(0.1).unwrap(),
+        coord.heavy_hitters(0.1).unwrap(),
+        "answers diverge"
+    );
+    assert_eq!(
+        det.coordinator().global_count(),
+        coord.global_count(),
+        "tracked counts diverge"
+    );
+    assert_eq!(det.meter().total_words(), meter.total_words());
+    assert_eq!(det.meter().total_messages(), meter.total_messages());
+}
+
+/// Free-running batched ingest (`ingest_run`) trades the deterministic
+/// transcript for parallel throughput; the ε-guarantee must still hold at
+/// quiescence. Same 2ε slack as the per-item concurrent test: deltas can
+/// reorder between sites.
+#[test]
+fn threaded_parallel_ingest_still_correct() {
+    let k = 4;
+    let epsilon = 0.1;
+    let phi = 0.2;
+    let config = HhConfig::new(k, epsilon).unwrap();
+    let sites: Vec<_> = (0..k).map(|_| HhSite::exact(config)).collect();
+    let threaded = ThreadedCluster::spawn(sites, HhCoordinator::new(config)).unwrap();
+
+    let stream: Vec<(SiteId, u64)> =
+        Stream::new(Zipf::new(1 << 14, 1.5, 9), RoundRobin::new(k), 40_000).collect();
+    let mut oracle = ExactOracle::new();
+    // One-run window per site so no site races unboundedly far ahead of
+    // coordinator feedback (see `ingest_run` docs).
+    let mut tickets: Vec<Option<dtrack::sim::threaded::RunTicket>> =
+        (0..k as usize).map(|_| None).collect();
+    let mut per_site: Vec<Vec<u64>> = vec![Vec::new(); k as usize];
+    for part in stream.chunks(512) {
+        for &(site, item) in part {
+            oracle.observe(item);
+            per_site[site.index()].push(item);
+        }
+        for (i, items) in per_site.iter_mut().enumerate() {
+            if !items.is_empty() {
+                if let Some(t) = tickets[i].take() {
+                    t.wait();
+                }
+                tickets[i] = Some(
+                    threaded
+                        .ingest_run(SiteId(i as u32), std::mem::take(items))
+                        .unwrap(),
+                );
+            }
+        }
+    }
+    for t in tickets.into_iter().flatten() {
+        t.wait();
+    }
+    threaded.settle();
+    let reported = threaded
+        .with_coordinator(move |c| c.heavy_hitters(phi).unwrap())
+        .unwrap();
+    if let Some(v) = oracle.check_heavy_hitters(&reported, phi, 2.0 * epsilon) {
+        panic!("parallel batched ingest violated the guarantee: {v}");
+    }
+    threaded.shutdown().unwrap();
+}
+
 #[test]
 fn threaded_concurrent_feeding_still_correct() {
     // Without per-item settling, arrivals interleave with in-flight
