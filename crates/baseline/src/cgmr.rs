@@ -17,7 +17,9 @@
 //! O(1/ε) words, giving the O(k/ε² · log n) total that Theorems 3.1/4.1
 //! beat by Θ(1/ε) (up to polylog(1/ε)).
 
-use dtrack_sim::{Coordinator, MessageSize, Outbox, Site, SiteId};
+use dtrack_sim::{
+    Answer, Coordinator, MessageSize, Outbox, Protocol, Query, QueryError, Site, SiteId, PROBE_PHIS,
+};
 use dtrack_sketch::{EquiDepthSummary, ExactOrdered, MergedSummary, OrderStore};
 
 /// Parameters of the CGMR baseline.
@@ -211,6 +213,71 @@ pub fn exact_cluster(
 ) -> Result<dtrack_sim::Cluster<CgmrSite, CgmrCoordinator>, dtrack_sim::SimError> {
     let sites = (0..config.k).map(|_| CgmrSite::exact(config)).collect();
     dtrack_sim::Cluster::new(sites, CgmrCoordinator::new(config))
+}
+
+/// [`Protocol`] adapter: the CGMR'05 summary-shipping baseline for the
+/// [`dtrack_sim::Tracker`] facade.
+#[derive(Debug, Clone, Copy)]
+pub struct CgmrProtocol {
+    config: CgmrConfig,
+}
+
+impl CgmrProtocol {
+    /// Wrap a validated [`CgmrConfig`].
+    pub fn new(config: CgmrConfig) -> Self {
+        CgmrProtocol { config }
+    }
+}
+
+impl Protocol for CgmrProtocol {
+    type Site = CgmrSite;
+    type Up = CgmrUp;
+    type Down = CgmrDown;
+    type Coordinator = CgmrCoordinator;
+
+    fn label(&self) -> &'static str {
+        "cgmr"
+    }
+
+    fn sites_hint(&self) -> Option<u32> {
+        Some(self.config.k)
+    }
+
+    fn build(&self, k: u32) -> Result<(Vec<CgmrSite>, CgmrCoordinator), String> {
+        let sites = (0..k).map(|_| CgmrSite::exact(self.config)).collect();
+        Ok((sites, CgmrCoordinator::new(self.config)))
+    }
+
+    fn query(&self, c: &CgmrCoordinator, query: Query) -> Result<Answer, QueryError> {
+        match query {
+            Query::Count => Ok(Answer::LengthEstimate(c.n_estimate())),
+            Query::Quantile { phi } => Ok(Answer::QuantileAt {
+                phi,
+                value: c.quantile(phi),
+            }),
+            Query::RankLt { x } => Ok(Answer::RankLt {
+                x,
+                rank: c.rank_lt(x),
+            }),
+            Query::HeavyHitters { phi } => {
+                let mut items = c.heavy_hitters(phi, self.config.epsilon);
+                items.sort_unstable();
+                Ok(Answer::HeavyHitters { phi, items })
+            }
+            other => Err(self.unsupported(other)),
+        }
+    }
+
+    fn answers(&self, c: &CgmrCoordinator) -> Result<Vec<Answer>, QueryError> {
+        let mut out = vec![Answer::LengthEstimate(c.n_estimate())];
+        for phi in PROBE_PHIS {
+            out.push(Answer::QuantileAt {
+                phi,
+                value: c.quantile(phi),
+            });
+        }
+        Ok(out)
+    }
 }
 
 #[cfg(test)]

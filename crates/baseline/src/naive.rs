@@ -1,6 +1,8 @@
 //! Naive baselines: forward-everything and coordinator-driven polling.
 
-use dtrack_sim::{Coordinator, MessageSize, Outbox, Site, SiteId};
+use dtrack_sim::{
+    Answer, Coordinator, MessageSize, Outbox, Protocol, Query, QueryError, Site, SiteId, PROBE_PHIS,
+};
 use dtrack_sketch::{EquiDepthSummary, ExactOrdered, MergedSummary, OrderStore};
 
 // ---------------------------------------------------------------------
@@ -104,6 +106,60 @@ pub fn forward_all_cluster(
 ) -> Result<dtrack_sim::Cluster<ForwardAllSite, ForwardAllCoordinator>, dtrack_sim::SimError> {
     let sites = (0..k).map(|_| ForwardAllSite).collect();
     dtrack_sim::Cluster::new(sites, ForwardAllCoordinator::new())
+}
+
+/// [`Protocol`] adapter: the forward-every-arrival baseline for the
+/// [`dtrack_sim::Tracker`] facade. Exact answers at n words.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ForwardAllProtocol;
+
+impl ForwardAllProtocol {
+    /// The baseline has no parameters.
+    pub fn new() -> Self {
+        ForwardAllProtocol
+    }
+}
+
+impl Protocol for ForwardAllProtocol {
+    type Site = ForwardAllSite;
+    type Up = FwdItem;
+    type Down = FwdDown;
+    type Coordinator = ForwardAllCoordinator;
+
+    fn label(&self) -> &'static str {
+        "forward-all"
+    }
+
+    fn build(&self, k: u32) -> Result<(Vec<ForwardAllSite>, ForwardAllCoordinator), String> {
+        let sites = (0..k).map(|_| ForwardAllSite).collect();
+        Ok((sites, ForwardAllCoordinator::new()))
+    }
+
+    fn query(&self, c: &ForwardAllCoordinator, query: Query) -> Result<Answer, QueryError> {
+        match query {
+            Query::Count => Ok(Answer::Total(c.total())),
+            Query::Quantile { phi } => Ok(Answer::QuantileAt {
+                phi,
+                value: c.quantile(phi),
+            }),
+            Query::RankLt { x } => Ok(Answer::RankLt {
+                x,
+                rank: c.rank_lt(x),
+            }),
+            other => Err(self.unsupported(other)),
+        }
+    }
+
+    fn answers(&self, c: &ForwardAllCoordinator) -> Result<Vec<Answer>, QueryError> {
+        let mut out = vec![Answer::Total(c.total())];
+        for phi in PROBE_PHIS {
+            out.push(Answer::QuantileAt {
+                phi,
+                value: c.quantile(phi),
+            });
+        }
+        Ok(out)
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -287,6 +343,61 @@ pub fn polling_cluster(
 ) -> Result<dtrack_sim::Cluster<PollingSite, PollingCoordinator>, dtrack_sim::SimError> {
     let sites = (0..config.k).map(|_| PollingSite::exact(config)).collect();
     dtrack_sim::Cluster::new(sites, PollingCoordinator::new(config))
+}
+
+/// [`Protocol`] adapter: the periodic-polling strawman for the
+/// [`dtrack_sim::Tracker`] facade. Answers carry a 2ε band (up to εn
+/// arrivals are unaccounted between polls).
+#[derive(Debug, Clone, Copy)]
+pub struct PollingProtocol {
+    config: PollingConfig,
+}
+
+impl PollingProtocol {
+    /// Wrap a validated [`PollingConfig`].
+    pub fn new(config: PollingConfig) -> Self {
+        PollingProtocol { config }
+    }
+}
+
+impl Protocol for PollingProtocol {
+    type Site = PollingSite;
+    type Up = PollUp;
+    type Down = PollRequest;
+    type Coordinator = PollingCoordinator;
+
+    fn label(&self) -> &'static str {
+        "polling"
+    }
+
+    fn sites_hint(&self) -> Option<u32> {
+        Some(self.config.k)
+    }
+
+    fn build(&self, k: u32) -> Result<(Vec<PollingSite>, PollingCoordinator), String> {
+        let sites = (0..k).map(|_| PollingSite::exact(self.config)).collect();
+        Ok((sites, PollingCoordinator::new(self.config)))
+    }
+
+    fn query(&self, c: &PollingCoordinator, query: Query) -> Result<Answer, QueryError> {
+        match query {
+            Query::Quantile { phi } => Ok(Answer::QuantileAt {
+                phi,
+                value: c.quantile(phi),
+            }),
+            other => Err(self.unsupported(other)),
+        }
+    }
+
+    fn answers(&self, c: &PollingCoordinator) -> Result<Vec<Answer>, QueryError> {
+        Ok(PROBE_PHIS
+            .iter()
+            .map(|&phi| Answer::QuantileAt {
+                phi,
+                value: c.quantile(phi),
+            })
+            .collect())
+    }
 }
 
 #[cfg(test)]

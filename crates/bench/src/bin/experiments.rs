@@ -64,6 +64,15 @@ fn main() {
             "threaded batched/per-item speedup (geomean): {:.2}x",
             dtrack_bench::smoke::threaded_batched_speedup(&results)
         );
+        let overhead = dtrack_bench::smoke::facade_overhead_geomean(&results);
+        println!("facade/direct wall-clock overhead (geomean): {overhead:.3}x");
+        // The documented acceptance ceiling, enforced: the facade must
+        // cost <= 2% over the bare clusters (geomean over best-of-2
+        // pairs on both backends, so scheduler noise is averaged out).
+        if overhead > 1.02 {
+            eprintln!("FAIL: facade overhead {overhead:.3}x exceeds the 1.02x ceiling");
+            std::process::exit(1);
+        }
         let json = dtrack_bench::smoke::smoke_json(&results);
         let snapshot = dtrack_bench::smoke::SMOKE_SNAPSHOT;
         let path = match &explicit_out {

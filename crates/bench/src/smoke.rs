@@ -5,13 +5,14 @@
 //! cargo run --release -p dtrack-bench --bin experiments -- smoke
 //! ```
 //!
-//! writes `BENCH_pr3.json` — the current point of the repo's performance
-//! trajectory (`BENCH_seed.json` and `BENCH_pr2.json` are the frozen
-//! PR 1 / PR 2 baselines). For the deterministic cells the metered
-//! words/messages are bit-for-bit deterministic (regressions there are
-//! protocol changes, not noise); wall-clock throughput is indicative.
+//! writes `BENCH_pr4.json` — the current point of the repo's performance
+//! trajectory (`BENCH_seed.json`, `BENCH_pr2.json`, and `BENCH_pr3.json`
+//! are the frozen earlier baselines). For the deterministic cells the
+//! metered words/messages are bit-for-bit deterministic (regressions
+//! there are protocol changes, not noise); wall-clock throughput is
+//! indicative.
 //!
-//! Three cell groups:
+//! Four cell groups:
 //!
 //! * n = 20 000 deterministic cells — match the seed snapshot one-to-one
 //!   for before/after comparisons;
@@ -26,7 +27,18 @@
 //!   site-at-a-time equivalence tests pin the deterministic schedule
 //!   instead). The batched/per-item throughput ratio is the headline
 //!   number — it is what batching buys on real threads.
+//! * **facade-vs-direct** cells (PR 4) — the same ingest driven once
+//!   through the `Tracker` facade and once against the bare
+//!   `Cluster`/`ThreadedCluster`, on both backends, per protocol. The
+//!   facade's erasure sits at batch/query granularity, so its overhead
+//!   must be noise (`facade_overhead_geomean` ≈ 1.00, acceptance ≤ 1.02);
+//!   each cell is best-of-2 to keep scheduler noise out of the ratio.
 
+use dtrack_core::counter::CounterProtocol;
+use dtrack_core::hh::{HhConfig, HhExactProtocol, HhSketchedProtocol};
+use dtrack_core::quantile::{QuantileConfig, QuantileSketchedProtocol};
+use dtrack_sim::threaded::{RunTicket, ThreadedCluster};
+use dtrack_sim::{BackendKind, Cluster, Protocol, SiteId, Tracker};
 use dtrack_testkit::{
     measure_cost, measure_threaded, AssignmentSpec, GeneratorSpec, ProtocolSpec, Scenario,
     ThreadedIngest,
@@ -34,7 +46,7 @@ use dtrack_testkit::{
 use std::time::Instant;
 
 /// File name of the smoke snapshot written by `experiments smoke`.
-pub const SMOKE_SNAPSHOT: &str = "BENCH_pr3.json";
+pub const SMOKE_SNAPSHOT: &str = "BENCH_pr4.json";
 
 /// One timed smoke cell.
 #[derive(Debug, Clone)]
@@ -124,6 +136,193 @@ fn mode_label(ingest: ThreadedIngest) -> &'static str {
     }
 }
 
+/// Facade/direct cell-name prefixes per backend: (facade, direct).
+/// Shared by the cell builders, [`facade_overhead_geomean`]'s pairing,
+/// and the structural tests, so a rename cannot silently empty the
+/// overhead metric.
+const DET_PAIR: (&str, &str) = ("facade-det:", "direct-det:");
+/// Threaded twin of [`DET_PAIR`].
+const THR_PAIR: (&str, &str) = ("facade-thr:", "direct-thr:");
+
+/// Items per deterministic `feed_batch` call in the facade/direct cells
+/// — the testkit's chunking, so the pair cells mirror the drivers.
+const PAIR_CHUNK: usize = dtrack_testkit::runner::FEED_CHUNK as usize;
+
+/// Target per-site run length for the free-running threaded pair cells
+/// — the testkit's, so the pairs mirror the headline threaded cells.
+const PAIR_FREE_RUN: usize = dtrack_testkit::threaded::FREE_RUN;
+
+/// Build one timed cell from a closure that ingests the stream and
+/// returns (words, messages). Best-of-2: construction state is rebuilt
+/// for each attempt, only the faster ingest wall-clock is kept, so the
+/// facade/direct *ratio* is not dominated by one unlucky scheduling.
+fn timed_cell(name: String, n: u64, mut run_once: impl FnMut() -> (u64, u64, f64)) -> SmokeResult {
+    let (mut words, mut messages, mut wall_ms) = run_once();
+    let (w2, m2, t2) = run_once();
+    if t2 < wall_ms {
+        (words, messages, wall_ms) = (w2, m2, t2);
+    }
+    SmokeResult {
+        scenario: name,
+        words,
+        messages,
+        wall_ms,
+        items_per_sec: n as f64 / (wall_ms / 1e3).max(1e-9),
+    }
+}
+
+/// Deterministic ingest against the bare [`Cluster`] — no facade.
+fn direct_deterministic<P: Protocol>(p: &P, scenario: &Scenario) -> SmokeResult {
+    let stream: Vec<(SiteId, u64)> = scenario.stream().collect();
+    timed_cell(format!("{}{scenario}", DET_PAIR.1), scenario.n, || {
+        let (sites, coordinator) = p.build(scenario.k).expect("protocol build");
+        let mut cluster = Cluster::new(sites, coordinator).expect("cluster");
+        let start = Instant::now();
+        for part in stream.chunks(PAIR_CHUNK) {
+            cluster.feed_batch(part).expect("feed_batch");
+        }
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let meter = cluster.meter();
+        (meter.total_words(), meter.total_messages(), wall_ms)
+    })
+}
+
+/// The same deterministic ingest through the [`Tracker`] facade.
+fn facade_deterministic<P: Protocol>(p: &P, scenario: &Scenario) -> SmokeResult {
+    let stream: Vec<(SiteId, u64)> = scenario.stream().collect();
+    timed_cell(format!("{}{scenario}", DET_PAIR.0), scenario.n, || {
+        let mut tracker = Tracker::builder()
+            .sites(scenario.k)
+            .backend(BackendKind::Deterministic)
+            .protocol(p.clone())
+            .build()
+            .expect("tracker");
+        let start = Instant::now();
+        for part in stream.chunks(PAIR_CHUNK) {
+            tracker.feed_batch(part).expect("feed_batch");
+        }
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let meter = tracker.cost();
+        (meter.total_words(), meter.total_messages(), wall_ms)
+    })
+}
+
+/// Free-running batched ingest against the bare [`ThreadedCluster`] —
+/// the one-run-per-site ticket window hand-rolled, as pre-facade callers
+/// had to.
+fn direct_threaded<P: Protocol>(p: &P, scenario: &Scenario) -> SmokeResult {
+    let stream: Vec<(SiteId, u64)> = scenario.stream().collect();
+    let k = scenario.k as usize;
+    timed_cell(format!("{}{scenario}", THR_PAIR.1), scenario.n, || {
+        let (sites, coordinator) = p.build(scenario.k).expect("protocol build");
+        let cluster = ThreadedCluster::spawn(sites, coordinator).expect("spawn");
+        let mut per_site: Vec<Vec<u64>> = vec![Vec::new(); k];
+        let mut tickets: Vec<Option<RunTicket>> = (0..k).map(|_| None).collect();
+        let start = Instant::now();
+        for part in stream.chunks(PAIR_FREE_RUN * k) {
+            for &(site, item) in part {
+                per_site[site.index()].push(item);
+            }
+            for (i, items) in per_site.iter_mut().enumerate() {
+                if !items.is_empty() {
+                    if let Some(t) = tickets[i].take() {
+                        t.wait().expect("run consumed");
+                    }
+                    tickets[i] = Some(
+                        cluster
+                            .ingest_run(SiteId(i as u32), std::mem::take(items))
+                            .expect("ingest_run"),
+                    );
+                }
+            }
+        }
+        for t in tickets.into_iter().flatten() {
+            t.wait().expect("run consumed");
+        }
+        cluster.settle();
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let meter = cluster.cost();
+        let out = (meter.total_words(), meter.total_messages(), wall_ms);
+        cluster.shutdown().expect("shutdown");
+        out
+    })
+}
+
+/// The same free-running batched ingest through the [`Tracker`] facade
+/// (the ticket window lives inside the threaded backend).
+fn facade_threaded<P: Protocol>(p: &P, scenario: &Scenario) -> SmokeResult {
+    let stream: Vec<(SiteId, u64)> = scenario.stream().collect();
+    let k = scenario.k as usize;
+    timed_cell(format!("{}{scenario}", THR_PAIR.0), scenario.n, || {
+        let mut tracker = Tracker::builder()
+            .sites(scenario.k)
+            .backend(BackendKind::Threaded)
+            .protocol(p.clone())
+            .build()
+            .expect("tracker");
+        let mut per_site: Vec<Vec<u64>> = vec![Vec::new(); k];
+        let start = Instant::now();
+        for part in stream.chunks(PAIR_FREE_RUN * k) {
+            for &(site, item) in part {
+                per_site[site.index()].push(item);
+            }
+            for (i, items) in per_site.iter_mut().enumerate() {
+                if !items.is_empty() {
+                    tracker
+                        .ingest(SiteId(i as u32), std::mem::take(items))
+                        .expect("ingest");
+                }
+            }
+        }
+        tracker.settle();
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let meter = tracker.cost();
+        (meter.total_words(), meter.total_messages(), wall_ms)
+    })
+}
+
+fn push_pair_cells<P: Protocol>(out: &mut Vec<SmokeResult>, p: &P, scenario: &Scenario) {
+    out.push(direct_deterministic(p, scenario));
+    out.push(facade_deterministic(p, scenario));
+    out.push(direct_threaded(p, scenario));
+    out.push(facade_threaded(p, scenario));
+}
+
+/// The facade-vs-direct cells: the [`THREADED_PROTOCOLS`] spread, each
+/// measured through the facade and against the bare clusters, on both
+/// backends. `n` is [`THREADED_N`] in the real run; tests pass a small
+/// n to exercise the actual cell builder cheaply.
+fn facade_direct_cells_at(n: u64) -> Vec<SmokeResult> {
+    let mut out = Vec::new();
+    let s = smoke_scenario(ProtocolSpec::Counter, n);
+    push_pair_cells(
+        &mut out,
+        &CounterProtocol::new(s.epsilon).expect("epsilon"),
+        &s,
+    );
+    let s = smoke_scenario(ProtocolSpec::HhExact, n);
+    let config = HhConfig::new(s.k, s.epsilon).expect("config");
+    push_pair_cells(&mut out, &HhExactProtocol::new(config), &s);
+    let s = smoke_scenario(ProtocolSpec::HhSketched, n);
+    let config = HhConfig::new(s.k, s.epsilon).expect("config");
+    push_pair_cells(&mut out, &HhSketchedProtocol::new(config), &s);
+    let s = smoke_scenario(ProtocolSpec::QuantileSketched { phi: 0.5 }, n);
+    let config = QuantileConfig::new(s.k, s.epsilon, 0.5).expect("config");
+    push_pair_cells(&mut out, &QuantileSketchedProtocol::new(config), &s);
+    // The hardcoded blocks above cannot iterate THREADED_PROTOCOLS (each
+    // adapter is a different type), so pin the coverage instead: every
+    // protocol in the headline threaded spread must have pair cells.
+    for spec in THREADED_PROTOCOLS {
+        let label = spec.label();
+        assert!(
+            out.iter()
+                .any(|c| c.scenario.contains(&format!(":{label}/"))),
+            "facade/direct pair cells missing for {label}"
+        );
+    }
+    out
+}
+
 /// Run the smoke matrix (deterministic + threaded cells), timing each
 /// scenario.
 ///
@@ -171,6 +370,7 @@ pub fn run_smoke() -> Vec<SmokeResult> {
             });
         }
     }
+    results.extend(facade_direct_cells_at(THREADED_N));
     results
 }
 
@@ -210,16 +410,49 @@ pub fn threaded_batched_speedup(results: &[SmokeResult]) -> f64 {
     }
 }
 
+/// Geometric-mean wall-clock ratio of the `facade-…:` cells over their
+/// `direct-…:` twins (1.0 when no pairs are present). 1.00 means the
+/// facade costs nothing; the acceptance ceiling is 1.02 (≤ 2% overhead).
+pub fn facade_overhead_geomean(results: &[SmokeResult]) -> f64 {
+    let direct_of = |prefix: &str, suffix: &str| {
+        results
+            .iter()
+            .find(|r| r.scenario.strip_prefix(prefix) == Some(suffix))
+            .map(|r| r.wall_ms)
+    };
+    let mut log_sum = 0.0;
+    let mut pairs = 0usize;
+    for r in results {
+        for (facade, direct) in [
+            ("facade-det:", "direct-det:"),
+            ("facade-thr:", "direct-thr:"),
+        ] {
+            if let Some(name) = r.scenario.strip_prefix(facade) {
+                if let Some(base) = direct_of(direct, name) {
+                    log_sum += (r.wall_ms.max(1e-6) / base.max(1e-6)).ln();
+                    pairs += 1;
+                }
+            }
+        }
+    }
+    if pairs == 0 {
+        1.0
+    } else {
+        (log_sum / pairs as f64).exp()
+    }
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 /// Render smoke results as a stable, human-diffable JSON document.
 pub fn smoke_json(results: &[SmokeResult]) -> String {
-    let mut out = String::from("{\n  \"schema\": \"dtrack-bench-smoke/v2\",\n");
+    let mut out = String::from("{\n  \"schema\": \"dtrack-bench-smoke/v3\",\n");
     out.push_str(&format!(
-        "  \"threaded_batched_speedup\": {:.2},\n  \"cells\": [\n",
-        threaded_batched_speedup(results)
+        "  \"threaded_batched_speedup\": {:.2},\n  \"facade_overhead_geomean\": {:.3},\n  \"cells\": [\n",
+        threaded_batched_speedup(results),
+        facade_overhead_geomean(results)
     ));
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(
@@ -301,6 +534,72 @@ mod tests {
     }
 
     #[test]
+    fn facade_overhead_pairs_facade_with_direct_cells() {
+        let mk = |name: &str, wall_ms: f64| SmokeResult {
+            scenario: name.to_owned(),
+            words: 1,
+            messages: 1,
+            wall_ms,
+            items_per_sec: 1.0,
+        };
+        let results = vec![
+            mk("direct-det:counter/x", 10.0),
+            mk("facade-det:counter/x", 11.0),
+            mk("direct-thr:counter/x", 20.0),
+            mk("facade-thr:counter/x", 19.0),
+            mk("threaded-per-item:counter/x", 5.0),
+        ];
+        // geomean(1.1, 0.95) = sqrt(1.045)
+        let o = facade_overhead_geomean(&results);
+        assert!((o - (1.1f64 * 0.95).sqrt()).abs() < 1e-9, "got {o}");
+        assert_eq!(facade_overhead_geomean(&[]), 1.0);
+    }
+
+    #[test]
+    fn facade_direct_cells_pair_up_and_feed_the_overhead_metric() {
+        // Run the *real* cell builder at a small n so the test exercises
+        // exactly what `experiments smoke` ships: a facade and a direct
+        // cell per backend for every pair protocol, each pair visible to
+        // the overhead extractor (so a renamed prefix or a dropped
+        // protocol block can't silently turn the metric into its
+        // no-pairs default of 1.0).
+        let cells = facade_direct_cells_at(4_000);
+        assert_eq!(cells.len(), 4 * THREADED_PROTOCOLS.len());
+        for prefix in [DET_PAIR.0, DET_PAIR.1, THR_PAIR.0, THR_PAIR.1] {
+            assert_eq!(
+                cells
+                    .iter()
+                    .filter(|c| c.scenario.starts_with(prefix))
+                    .count(),
+                THREADED_PROTOCOLS.len(),
+                "{prefix} cells missing"
+            );
+        }
+        // Every facade cell found its direct twin: perturbing one pair's
+        // facade wall-clock must move the geomean.
+        let base = facade_overhead_geomean(&cells);
+        assert!(base > 0.0);
+        let mut perturbed = cells.clone();
+        let f = perturbed
+            .iter_mut()
+            .find(|c| c.scenario.starts_with(DET_PAIR.0))
+            .expect("facade cell");
+        f.wall_ms *= 10.0;
+        assert!(facade_overhead_geomean(&perturbed) > base);
+        // Deterministic facade/direct twins meter identical words — the
+        // facade adds no communication.
+        for c in &cells {
+            if let Some(name) = c.scenario.strip_prefix(DET_PAIR.0) {
+                let twin = cells
+                    .iter()
+                    .find(|d| d.scenario.strip_prefix(DET_PAIR.1) == Some(name))
+                    .expect("direct twin");
+                assert_eq!(c.words, twin.words, "facade changed the transcript");
+            }
+        }
+    }
+
+    #[test]
     fn smoke_json_is_valid_enough() {
         let results = vec![SmokeResult {
             scenario: "hh-exact/zipf/round-robin/k4/eps0.1/n20000/seed1".to_owned(),
@@ -310,8 +609,9 @@ mod tests {
             items_per_sec: 2_352_941.0,
         }];
         let j = smoke_json(&results);
-        assert!(j.contains("\"schema\": \"dtrack-bench-smoke/v2\""));
+        assert!(j.contains("\"schema\": \"dtrack-bench-smoke/v3\""));
         assert!(j.contains("\"threaded_batched_speedup\""));
+        assert!(j.contains("\"facade_overhead_geomean\""));
         assert!(j.contains("\"words\": 1234"));
         assert!(j.ends_with("]\n}\n"));
         // Balanced braces/brackets, no trailing comma before the close.

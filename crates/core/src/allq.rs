@@ -34,7 +34,9 @@
 
 use dtrack_hash::FxHashSet;
 
-use dtrack_sim::{Coordinator, MessageSize, Outbox, Site, SiteId};
+use dtrack_sim::{
+    Answer, Coordinator, MessageSize, Outbox, Protocol, Query, QueryError, Site, SiteId, PROBE_PHIS,
+};
 use dtrack_sketch::{EquiDepthSummary, ExactOrdered, GreenwaldKhanna, MergedSummary, OrderStore};
 
 use crate::common::{check_epsilon, check_phi, check_sites, CoreError, KCollector, ValueRange};
@@ -1025,6 +1027,76 @@ pub fn sketched_cluster(
     let sites = (0..config.k).map(|_| AllQSite::sketched(config)).collect();
     dtrack_sim::Cluster::new(sites, AllQCoordinator::new(config))
         .map_err(|_| CoreError::BadSiteCount(config.k))
+}
+
+/// [`Protocol`] adapter: the §4 all-quantiles tree with exact sites, for
+/// the [`dtrack_sim::Tracker`] facade. Answers arbitrary quantile, rank,
+/// and (2ε-error) heavy-hitter queries from one structure.
+#[derive(Debug, Clone, Copy)]
+pub struct AllQExactProtocol {
+    config: AllQConfig,
+}
+
+impl AllQExactProtocol {
+    /// Wrap a validated [`AllQConfig`].
+    pub fn new(config: AllQConfig) -> Self {
+        AllQExactProtocol { config }
+    }
+}
+
+impl Protocol for AllQExactProtocol {
+    type Site = ExactAllQSite;
+    type Up = AqUp;
+    type Down = AqDown;
+    type Coordinator = AllQCoordinator;
+
+    fn label(&self) -> &'static str {
+        "allq-exact"
+    }
+
+    fn sites_hint(&self) -> Option<u32> {
+        Some(self.config.k)
+    }
+
+    fn build(&self, k: u32) -> Result<(Vec<ExactAllQSite>, AllQCoordinator), String> {
+        let sites = (0..k).map(|_| AllQSite::exact(self.config)).collect();
+        Ok((sites, AllQCoordinator::new(self.config)))
+    }
+
+    fn query(&self, c: &AllQCoordinator, query: Query) -> Result<Answer, QueryError> {
+        match query {
+            Query::Count => Ok(Answer::LengthEstimate(c.n_estimate())),
+            Query::Quantile { phi } => {
+                let value = c
+                    .quantile(phi)
+                    .map_err(|e| QueryError::Protocol(e.to_string()))?;
+                Ok(Answer::QuantileAt { phi, value })
+            }
+            Query::RankLt { x } => Ok(Answer::RankLt {
+                x,
+                rank: c.rank_lt(x),
+            }),
+            Query::HeavyHitters { phi } => {
+                let mut items = c
+                    .heavy_hitters(phi)
+                    .map_err(|e| QueryError::Protocol(e.to_string()))?;
+                items.sort_unstable();
+                Ok(Answer::HeavyHitters { phi, items })
+            }
+            other => Err(self.unsupported(other)),
+        }
+    }
+
+    fn answers(&self, c: &AllQCoordinator) -> Result<Vec<Answer>, QueryError> {
+        let mut out = vec![Answer::LengthEstimate(c.n_estimate())];
+        for phi in PROBE_PHIS {
+            let value = c
+                .quantile(phi)
+                .map_err(|e| QueryError::Protocol(e.to_string()))?;
+            out.push(Answer::QuantileAt { phi, value });
+        }
+        Ok(out)
+    }
 }
 
 #[cfg(test)]

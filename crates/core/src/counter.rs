@@ -16,7 +16,9 @@
 //! this module's scaling tests and exercised by every protocol that
 //! embeds count tracking (the window trackers' epoch detection).
 
-use dtrack_sim::{Coordinator, MessageSize, Outbox, Site, SiteId};
+use dtrack_sim::{
+    Answer, Coordinator, MessageSize, Outbox, Protocol, Query, QueryError, Site, SiteId,
+};
 
 use crate::common::{check_epsilon, CoreError};
 
@@ -149,6 +151,51 @@ impl Coordinator for CounterCoordinator {
 
     fn on_message(&mut self, _from: SiteId, msg: CountDelta, _out: &mut Outbox<NoDown>) {
         self.estimate += msg.0;
+    }
+}
+
+/// [`Protocol`] adapter: the §1 counter on the [`dtrack_sim::Tracker`]
+/// facade. Answers [`Query::Count`] with the (1−ε)-approximate total.
+#[derive(Debug, Clone, Copy)]
+pub struct CounterProtocol {
+    epsilon: f64,
+}
+
+impl CounterProtocol {
+    /// A counter tracker with error parameter ε (validated).
+    pub fn new(epsilon: f64) -> Result<Self, CoreError> {
+        check_epsilon(epsilon)?;
+        Ok(CounterProtocol { epsilon })
+    }
+}
+
+impl Protocol for CounterProtocol {
+    type Site = CounterSite;
+    type Up = CountDelta;
+    type Down = NoDown;
+    type Coordinator = CounterCoordinator;
+
+    fn label(&self) -> &'static str {
+        "counter"
+    }
+
+    fn build(&self, k: u32) -> Result<(Vec<CounterSite>, CounterCoordinator), String> {
+        let sites = (0..k)
+            .map(|_| CounterSite::new(self.epsilon))
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|e| e.to_string())?;
+        Ok((sites, CounterCoordinator::new()))
+    }
+
+    fn query(&self, c: &CounterCoordinator, query: Query) -> Result<Answer, QueryError> {
+        match query {
+            Query::Count => Ok(Answer::Count(c.estimate())),
+            other => Err(self.unsupported(other)),
+        }
+    }
+
+    fn answers(&self, c: &CounterCoordinator) -> Result<Vec<Answer>, QueryError> {
+        Ok(vec![Answer::Count(c.estimate())])
     }
 }
 

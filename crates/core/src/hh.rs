@@ -41,7 +41,10 @@
 //! classification slack (use `ε_sketch = ε/6`, see DESIGN.md).
 
 use dtrack_hash::FxHashMap;
-use dtrack_sim::{Coordinator, MessageSize, Outbox, Site, SiteId};
+use dtrack_sim::{
+    Answer, Coordinator, MessageSize, Outbox, Protocol, Query, QueryError, Site, SiteId,
+    HH_PROBE_PHIS,
+};
 use dtrack_sketch::store::{ExactFreqStore, SketchFreqStore};
 use dtrack_sketch::FreqStore;
 
@@ -430,6 +433,128 @@ pub fn sketched_cluster(
     let sites = (0..config.k).map(|_| HhSite::sketched(config)).collect();
     dtrack_sim::Cluster::new(sites, HhCoordinator::new(config))
         .map_err(|_| CoreError::BadSiteCount(config.k))
+}
+
+/// Shared query dispatch for both heavy-hitter facade adapters.
+fn hh_query(label: &'static str, c: &HhCoordinator, query: Query) -> Result<Answer, QueryError> {
+    match query {
+        Query::Count => Ok(Answer::StreamLength(c.global_count())),
+        Query::HeavyHitters { phi } => {
+            let mut items = c
+                .heavy_hitters(phi)
+                .map_err(|e| QueryError::Protocol(e.to_string()))?;
+            items.sort_unstable();
+            Ok(Answer::HeavyHitters { phi, items })
+        }
+        Query::Frequency { x } => Ok(Answer::Frequency {
+            x,
+            count: c.frequency(x),
+        }),
+        other => Err(QueryError::Unsupported {
+            protocol: label,
+            query: other,
+        }),
+    }
+}
+
+/// Canonical answer set: the tracked m, then the heavy-hitter set for
+/// every standard probe threshold meaningfully above ε.
+fn hh_answers(epsilon: f64, c: &HhCoordinator) -> Result<Vec<Answer>, QueryError> {
+    let mut out = vec![Answer::StreamLength(c.global_count())];
+    for phi in HH_PROBE_PHIS {
+        if phi > epsilon {
+            let mut items = c
+                .heavy_hitters(phi)
+                .map_err(|e| QueryError::Protocol(e.to_string()))?;
+            items.sort_unstable();
+            out.push(Answer::HeavyHitters { phi, items });
+        }
+    }
+    Ok(out)
+}
+
+/// [`Protocol`] adapter: §2.1 heavy hitters with exact per-site frequency
+/// stores, for the [`dtrack_sim::Tracker`] facade.
+#[derive(Debug, Clone, Copy)]
+pub struct HhExactProtocol {
+    config: HhConfig,
+}
+
+impl HhExactProtocol {
+    /// Wrap a validated [`HhConfig`].
+    pub fn new(config: HhConfig) -> Self {
+        HhExactProtocol { config }
+    }
+}
+
+impl Protocol for HhExactProtocol {
+    type Site = ExactHhSite;
+    type Up = HhUp;
+    type Down = HhDown;
+    type Coordinator = HhCoordinator;
+
+    fn label(&self) -> &'static str {
+        "hh-exact"
+    }
+
+    fn sites_hint(&self) -> Option<u32> {
+        Some(self.config.k)
+    }
+
+    fn build(&self, k: u32) -> Result<(Vec<ExactHhSite>, HhCoordinator), String> {
+        let sites = (0..k).map(|_| HhSite::exact(self.config)).collect();
+        Ok((sites, HhCoordinator::new(self.config)))
+    }
+
+    fn query(&self, c: &HhCoordinator, query: Query) -> Result<Answer, QueryError> {
+        hh_query(self.label(), c, query)
+    }
+
+    fn answers(&self, c: &HhCoordinator) -> Result<Vec<Answer>, QueryError> {
+        hh_answers(self.config.epsilon, c)
+    }
+}
+
+/// [`Protocol`] adapter: §2.1 heavy hitters with SpaceSaving sites
+/// (O(1/ε) words per site), for the [`dtrack_sim::Tracker`] facade.
+#[derive(Debug, Clone, Copy)]
+pub struct HhSketchedProtocol {
+    config: HhConfig,
+}
+
+impl HhSketchedProtocol {
+    /// Wrap a validated [`HhConfig`].
+    pub fn new(config: HhConfig) -> Self {
+        HhSketchedProtocol { config }
+    }
+}
+
+impl Protocol for HhSketchedProtocol {
+    type Site = SketchHhSite;
+    type Up = HhUp;
+    type Down = HhDown;
+    type Coordinator = HhCoordinator;
+
+    fn label(&self) -> &'static str {
+        "hh-sketched"
+    }
+
+    fn sites_hint(&self) -> Option<u32> {
+        Some(self.config.k)
+    }
+
+    fn build(&self, k: u32) -> Result<(Vec<SketchHhSite>, HhCoordinator), String> {
+        let sites = (0..k).map(|_| HhSite::sketched(self.config)).collect();
+        Ok((sites, HhCoordinator::new(self.config)))
+    }
+
+    fn query(&self, c: &HhCoordinator, query: Query) -> Result<Answer, QueryError> {
+        hh_query(self.label(), c, query)
+    }
+
+    fn answers(&self, c: &HhCoordinator) -> Result<Vec<Answer>, QueryError> {
+        hh_answers(self.config.epsilon, c)
+    }
 }
 
 #[cfg(test)]

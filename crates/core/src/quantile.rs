@@ -38,7 +38,9 @@
 
 use dtrack_hash::{FxHashMap, FxHashSet};
 
-use dtrack_sim::{Coordinator, MessageSize, Outbox, Site, SiteId};
+use dtrack_sim::{
+    Answer, Coordinator, MessageSize, Outbox, Protocol, Query, QueryError, Site, SiteId,
+};
 use dtrack_sketch::{EquiDepthSummary, ExactOrdered, GreenwaldKhanna, MergedSummary, OrderStore};
 
 use crate::common::{check_epsilon, check_phi, check_sites, CoreError, KCollector, ValueRange};
@@ -1102,6 +1104,116 @@ pub fn sketched_cluster(
         .collect();
     dtrack_sim::Cluster::new(sites, QuantileCoordinator::new(config))
         .map_err(|_| CoreError::BadSiteCount(config.k))
+}
+
+/// Shared query dispatch for both single-quantile facade adapters.
+fn quantile_query(
+    label: &'static str,
+    c: &QuantileCoordinator,
+    query: Query,
+) -> Result<Answer, QueryError> {
+    match query {
+        Query::TrackedQuantile => Ok(Answer::Quantile(c.quantile())),
+        Query::Count => Ok(Answer::LengthEstimate(c.n_estimate())),
+        other => Err(QueryError::Unsupported {
+            protocol: label,
+            query: other,
+        }),
+    }
+}
+
+/// Canonical answer set: the tracked quantile, then the n estimate.
+fn quantile_answers(c: &QuantileCoordinator) -> Vec<Answer> {
+    vec![
+        Answer::Quantile(c.quantile()),
+        Answer::LengthEstimate(c.n_estimate()),
+    ]
+}
+
+/// [`Protocol`] adapter: the §3.1 single-quantile tracker with exact
+/// (treap) sites, for the [`dtrack_sim::Tracker`] facade.
+#[derive(Debug, Clone, Copy)]
+pub struct QuantileExactProtocol {
+    config: QuantileConfig,
+}
+
+impl QuantileExactProtocol {
+    /// Wrap a validated [`QuantileConfig`].
+    pub fn new(config: QuantileConfig) -> Self {
+        QuantileExactProtocol { config }
+    }
+}
+
+impl Protocol for QuantileExactProtocol {
+    type Site = ExactQuantileSite;
+    type Up = QUp;
+    type Down = QDown;
+    type Coordinator = QuantileCoordinator;
+
+    fn label(&self) -> &'static str {
+        "quantile-exact"
+    }
+
+    fn sites_hint(&self) -> Option<u32> {
+        Some(self.config.k)
+    }
+
+    fn build(&self, k: u32) -> Result<(Vec<ExactQuantileSite>, QuantileCoordinator), String> {
+        let sites = (0..k).map(|_| QuantileSite::exact(self.config)).collect();
+        Ok((sites, QuantileCoordinator::new(self.config)))
+    }
+
+    fn query(&self, c: &QuantileCoordinator, query: Query) -> Result<Answer, QueryError> {
+        quantile_query(self.label(), c, query)
+    }
+
+    fn answers(&self, c: &QuantileCoordinator) -> Result<Vec<Answer>, QueryError> {
+        Ok(quantile_answers(c))
+    }
+}
+
+/// [`Protocol`] adapter: the §3.1 single-quantile tracker with
+/// Greenwald–Khanna sites, for the [`dtrack_sim::Tracker`] facade.
+#[derive(Debug, Clone, Copy)]
+pub struct QuantileSketchedProtocol {
+    config: QuantileConfig,
+}
+
+impl QuantileSketchedProtocol {
+    /// Wrap a validated [`QuantileConfig`].
+    pub fn new(config: QuantileConfig) -> Self {
+        QuantileSketchedProtocol { config }
+    }
+}
+
+impl Protocol for QuantileSketchedProtocol {
+    type Site = SketchQuantileSite;
+    type Up = QUp;
+    type Down = QDown;
+    type Coordinator = QuantileCoordinator;
+
+    fn label(&self) -> &'static str {
+        "quantile-sketched"
+    }
+
+    fn sites_hint(&self) -> Option<u32> {
+        Some(self.config.k)
+    }
+
+    fn build(&self, k: u32) -> Result<(Vec<SketchQuantileSite>, QuantileCoordinator), String> {
+        let sites = (0..k)
+            .map(|_| QuantileSite::sketched(self.config))
+            .collect();
+        Ok((sites, QuantileCoordinator::new(self.config)))
+    }
+
+    fn query(&self, c: &QuantileCoordinator, query: Query) -> Result<Answer, QueryError> {
+        quantile_query(self.label(), c, query)
+    }
+
+    fn answers(&self, c: &QuantileCoordinator) -> Result<Vec<Answer>, QueryError> {
+        Ok(quantile_answers(c))
+    }
 }
 
 #[cfg(test)]

@@ -29,7 +29,9 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use dtrack_sim::{Coordinator, MessageSize, Outbox, Site, SiteId};
+use dtrack_sim::{
+    Answer, Coordinator, MessageSize, Outbox, Protocol, Query, QueryError, Site, SiteId, PROBE_PHIS,
+};
 
 use crate::common::{check_epsilon, check_phi, check_sites, CoreError};
 
@@ -255,6 +257,70 @@ pub fn sampling_cluster(
         .collect();
     dtrack_sim::Cluster::new(sites, SamplingCoordinator::new(config))
         .map_err(|_| CoreError::BadSiteCount(config.k))
+}
+
+/// [`Protocol`] adapter: the §5 randomized sampling tracker for the
+/// [`dtrack_sim::Tracker`] facade. Answers hold with probability 1 − δ.
+#[derive(Debug, Clone, Copy)]
+pub struct SamplingProtocol {
+    config: SamplingConfig,
+}
+
+impl SamplingProtocol {
+    /// Wrap a validated [`SamplingConfig`].
+    pub fn new(config: SamplingConfig) -> Self {
+        SamplingProtocol { config }
+    }
+}
+
+impl Protocol for SamplingProtocol {
+    type Site = SamplingSite;
+    type Up = Sampled;
+    type Down = SetLevel;
+    type Coordinator = SamplingCoordinator;
+
+    fn label(&self) -> &'static str {
+        "sampling"
+    }
+
+    fn sites_hint(&self) -> Option<u32> {
+        Some(self.config.k)
+    }
+
+    fn build(&self, k: u32) -> Result<(Vec<SamplingSite>, SamplingCoordinator), String> {
+        let sites = (0..k).map(|i| SamplingSite::new(self.config, i)).collect();
+        Ok((sites, SamplingCoordinator::new(self.config)))
+    }
+
+    fn query(&self, c: &SamplingCoordinator, query: Query) -> Result<Answer, QueryError> {
+        match query {
+            Query::HeavyHitters { phi } => {
+                let mut items = c
+                    .heavy_hitters(phi)
+                    .map_err(|e| QueryError::Protocol(e.to_string()))?;
+                items.sort_unstable();
+                Ok(Answer::HeavyHitters { phi, items })
+            }
+            Query::Quantile { phi } => {
+                let value = c
+                    .quantile(phi)
+                    .map_err(|e| QueryError::Protocol(e.to_string()))?;
+                Ok(Answer::QuantileAt { phi, value })
+            }
+            other => Err(self.unsupported(other)),
+        }
+    }
+
+    fn answers(&self, c: &SamplingCoordinator) -> Result<Vec<Answer>, QueryError> {
+        let mut out = Vec::new();
+        for phi in PROBE_PHIS {
+            let value = c
+                .quantile(phi)
+                .map_err(|e| QueryError::Protocol(e.to_string()))?;
+            out.push(Answer::QuantileAt { phi, value });
+        }
+        Ok(out)
+    }
 }
 
 #[cfg(test)]

@@ -29,7 +29,9 @@
 
 use dtrack_hash::FxHashMap;
 
-use dtrack_sim::{Coordinator, MessageSize, Outbox, Site, SiteId};
+use dtrack_sim::{
+    Answer, Coordinator, MessageSize, Outbox, Protocol, Query, QueryError, Site, SiteId, PROBE_PHIS,
+};
 
 use crate::common::{check_epsilon, check_phi, check_sites, CoreError};
 
@@ -318,6 +320,62 @@ pub fn window_cluster(
         .map_err(|_| CoreError::BadSiteCount(config.k))
 }
 
+/// [`Protocol`] adapter: the §5 sliding-window heavy-hitter tracker for
+/// the [`dtrack_sim::Tracker`] facade.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowHhProtocol {
+    config: WindowHhConfig,
+}
+
+impl WindowHhProtocol {
+    /// Wrap a validated [`WindowHhConfig`].
+    pub fn new(config: WindowHhConfig) -> Self {
+        WindowHhProtocol { config }
+    }
+}
+
+impl Protocol for WindowHhProtocol {
+    type Site = WindowHhSite;
+    type Up = WUp;
+    type Down = NewEpoch;
+    type Coordinator = WindowHhCoordinator;
+
+    fn label(&self) -> &'static str {
+        "window-hh"
+    }
+
+    fn sites_hint(&self) -> Option<u32> {
+        Some(self.config.k)
+    }
+
+    fn build(&self, k: u32) -> Result<(Vec<WindowHhSite>, WindowHhCoordinator), String> {
+        let sites = (0..k).map(|_| WindowHhSite::new(self.config)).collect();
+        Ok((sites, WindowHhCoordinator::new(self.config)))
+    }
+
+    fn query(&self, c: &WindowHhCoordinator, query: Query) -> Result<Answer, QueryError> {
+        match query {
+            Query::Count => Ok(Answer::LengthEstimate(c.window_estimate())),
+            Query::HeavyHitters { phi } => {
+                let mut items = c
+                    .heavy_hitters(phi)
+                    .map_err(|e| QueryError::Protocol(e.to_string()))?;
+                items.sort_unstable();
+                Ok(Answer::HeavyHitters { phi, items })
+            }
+            Query::Frequency { x } => Ok(Answer::Frequency {
+                x,
+                count: c.frequency(x),
+            }),
+            other => Err(self.unsupported(other)),
+        }
+    }
+
+    fn answers(&self, c: &WindowHhCoordinator) -> Result<Vec<Answer>, QueryError> {
+        Ok(vec![Answer::LengthEstimate(c.window_estimate())])
+    }
+}
+
 /// Exact sliding-window oracle for tests and experiments.
 #[derive(Debug, Clone)]
 pub struct WindowOracle {
@@ -594,6 +652,73 @@ pub fn window_quantile_cluster(
         .collect();
     dtrack_sim::Cluster::new(sites, WindowQuantileCoordinator::new(config))
         .map_err(|_| CoreError::BadSiteCount(config.k))
+}
+
+/// [`Protocol`] adapter: the §5 sliding-window quantile tracker for the
+/// [`dtrack_sim::Tracker`] facade.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowQuantileProtocol {
+    config: WindowHhConfig,
+}
+
+impl WindowQuantileProtocol {
+    /// Wrap a validated [`WindowHhConfig`].
+    pub fn new(config: WindowHhConfig) -> Self {
+        WindowQuantileProtocol { config }
+    }
+}
+
+impl Protocol for WindowQuantileProtocol {
+    type Site = WindowQuantileSite;
+    type Up = WqUp;
+    type Down = NewEpoch;
+    type Coordinator = WindowQuantileCoordinator;
+
+    fn label(&self) -> &'static str {
+        "window-quantile"
+    }
+
+    fn sites_hint(&self) -> Option<u32> {
+        Some(self.config.k)
+    }
+
+    fn build(
+        &self,
+        k: u32,
+    ) -> Result<(Vec<WindowQuantileSite>, WindowQuantileCoordinator), String> {
+        let sites = (0..k)
+            .map(|_| WindowQuantileSite::new(self.config))
+            .collect();
+        Ok((sites, WindowQuantileCoordinator::new(self.config)))
+    }
+
+    fn query(&self, c: &WindowQuantileCoordinator, query: Query) -> Result<Answer, QueryError> {
+        match query {
+            Query::Count => Ok(Answer::LengthEstimate(c.window_estimate())),
+            Query::Quantile { phi } => {
+                let value = c
+                    .quantile(phi)
+                    .map_err(|e| QueryError::Protocol(e.to_string()))?;
+                Ok(Answer::QuantileAt { phi, value })
+            }
+            Query::RankLt { x } => Ok(Answer::RankLt {
+                x,
+                rank: c.rank_lt(x),
+            }),
+            other => Err(self.unsupported(other)),
+        }
+    }
+
+    fn answers(&self, c: &WindowQuantileCoordinator) -> Result<Vec<Answer>, QueryError> {
+        let mut out = vec![Answer::LengthEstimate(c.window_estimate())];
+        for phi in PROBE_PHIS {
+            let value = c
+                .quantile(phi)
+                .map_err(|e| QueryError::Protocol(e.to_string()))?;
+            out.push(Answer::QuantileAt { phi, value });
+        }
+        Ok(out)
+    }
 }
 
 #[cfg(test)]

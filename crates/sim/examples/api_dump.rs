@@ -1,0 +1,12 @@
+//! Print the crate's public-API surface document to stdout.
+//!
+//! ```text
+//! cargo run -p dtrack-sim --example api_dump > api/dtrack-sim.txt
+//! ```
+//!
+//! The committed snapshot is diffed by `tests/api_snapshot.rs`, so public
+//! API changes are deliberate: change the API, regenerate, commit both.
+
+fn main() {
+    print!("{}", dtrack_sim::api::surface());
+}

@@ -1,0 +1,334 @@
+//! Runtime-agnostic driving surface: the [`Backend`] trait and its two
+//! implementations.
+//!
+//! A backend owns `k` [`Site`] state machines plus one [`Coordinator`]
+//! and carries their messages. The [`Backend`] trait is the *only*
+//! surface the [`crate::Tracker`] facade (and the testkit's generic
+//! scenario drivers) need, so adding a runtime — the ROADMAP's async
+//! executor, work-stealing shards, a sharded coordinator — means one new
+//! impl here and zero changes anywhere above.
+//!
+//! Two implementations exist today:
+//!
+//! * [`DeterministicBackend`] wraps [`Cluster`]: single-threaded, every
+//!   arrival drained to quiescence, the transcript the paper's theorems
+//!   are metered against. `settle` is a no-op (the system is always
+//!   quiescent between calls).
+//! * [`ThreadedBackend`] wraps [`crate::threaded::ThreadedCluster`]: one
+//!   OS thread per site plus a coordinator thread. `feed_batch` uses the
+//!   transcript-identical site-at-a-time schedule; [`Backend::ingest`]
+//!   uses free-running per-site runs with a one-run completion window per
+//!   site (the ticket discipline that keeps feedback-starved sites from
+//!   over-communicating lives *here*, so every caller gets it for free).
+
+#![deny(missing_docs)]
+
+use crate::cluster::Cluster;
+use crate::error::SimError;
+use crate::meter::MessageMeter;
+use crate::proto::{Coordinator, Site, SiteId};
+use crate::threaded::{RunTicket, ThreadedCluster};
+
+/// A runtime that can drive one protocol instance: deliver items, reach
+/// quiescence, answer coordinator queries, meter communication, and tear
+/// down.
+///
+/// All methods take `&mut self` even where an implementation could accept
+/// `&self` (the threaded cluster's channels are `Sync`): the facade
+/// serializes callers anyway, and `&mut` keeps the deterministic and
+/// threaded signatures identical.
+pub trait Backend<S, C>: Sized
+where
+    S: Site,
+    S::Item: Clone,
+    C: Coordinator<Up = S::Up, Down = S::Down>,
+{
+    /// Deliver one item to one site.
+    ///
+    /// Deterministic: runs all triggered communication to quiescence
+    /// before returning. Threaded: enqueues and returns (backpressure
+    /// blocks only when the site's queue is full).
+    fn feed(&mut self, site: SiteId, item: S::Item) -> Result<(), SimError>;
+
+    /// Deliver a pre-assigned batch on a site-at-a-time schedule whose
+    /// transcript (answers *and* metered words) is bit-identical to
+    /// calling [`Backend::feed`] once per pair on the deterministic
+    /// backend.
+    fn feed_batch(&mut self, batch: &[(SiteId, S::Item)]) -> Result<(), SimError>;
+
+    /// Deliver a whole same-site run for free-running consumption — the
+    /// maximum-throughput path. Arrivals may interleave with in-flight
+    /// communication, so the transcript is *not* pinned; the ε-guarantee
+    /// still holds at quiescence. Implementations bound how far a site
+    /// may run ahead of coordinator feedback (the threaded backend keeps
+    /// a one-run window per site).
+    fn ingest(&mut self, site: SiteId, items: Vec<S::Item>) -> Result<(), SimError>;
+
+    /// Block until no message is queued or in flight anywhere. Queries
+    /// are meaningful (and meters consistent) only at quiescence.
+    fn settle(&mut self);
+
+    /// Run a closure against the coordinator state and return its result.
+    /// Call [`Backend::settle`] first if the query must observe a
+    /// quiescent state.
+    fn with_coordinator<R, F>(&mut self, f: F) -> Result<R, SimError>
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut C) -> R + Send + 'static;
+
+    /// Snapshot the communication meter (merged across threads where
+    /// applicable). Call after [`Backend::settle`] for a consistent
+    /// picture.
+    fn cost(&mut self) -> MessageMeter;
+
+    /// Tear down, returning the final coordinator, sites, and meter.
+    fn finish(self) -> Result<(C, Vec<S>, MessageMeter), SimError>;
+}
+
+/// The single-threaded, transcript-pinned backend (wraps [`Cluster`]).
+pub struct DeterministicBackend<S, C>
+where
+    S: Site,
+    C: Coordinator<Up = S::Up, Down = S::Down>,
+{
+    cluster: Cluster<S, C>,
+    /// Scratch for [`Backend::ingest`]'s (site, item) pairing.
+    run_buf: Vec<(SiteId, S::Item)>,
+}
+
+impl<S, C> DeterministicBackend<S, C>
+where
+    S: Site,
+    C: Coordinator<Up = S::Up, Down = S::Down>,
+{
+    /// Build the backend from pre-constructed protocol state.
+    pub fn new(sites: Vec<S>, coordinator: C) -> Result<Self, SimError> {
+        Ok(DeterministicBackend {
+            cluster: Cluster::new(sites, coordinator)?,
+            run_buf: Vec::new(),
+        })
+    }
+
+    /// The wrapped cluster (typed access for tests and adversaries).
+    pub fn cluster(&self) -> &Cluster<S, C> {
+        &self.cluster
+    }
+}
+
+impl<S, C> Backend<S, C> for DeterministicBackend<S, C>
+where
+    S: Site,
+    S::Item: Clone,
+    C: Coordinator<Up = S::Up, Down = S::Down>,
+{
+    fn feed(&mut self, site: SiteId, item: S::Item) -> Result<(), SimError> {
+        self.cluster.feed(site, item)
+    }
+
+    fn feed_batch(&mut self, batch: &[(SiteId, S::Item)]) -> Result<(), SimError> {
+        self.cluster.feed_batch(batch)
+    }
+
+    fn ingest(&mut self, site: SiteId, items: Vec<S::Item>) -> Result<(), SimError> {
+        // Free-running and quiescent delivery coincide on a single
+        // thread; reuse the batched same-site run path.
+        self.run_buf.clear();
+        self.run_buf.extend(items.into_iter().map(|it| (site, it)));
+        self.cluster.feed_batch(&self.run_buf)
+    }
+
+    fn settle(&mut self) {
+        // Always quiescent between calls.
+    }
+
+    fn with_coordinator<R, F>(&mut self, f: F) -> Result<R, SimError>
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut C) -> R + Send + 'static,
+    {
+        Ok(f(self.cluster.coordinator_mut()))
+    }
+
+    fn cost(&mut self) -> MessageMeter {
+        self.cluster.meter().clone()
+    }
+
+    fn finish(self) -> Result<(C, Vec<S>, MessageMeter), SimError> {
+        Ok(self.cluster.into_parts())
+    }
+}
+
+/// The OS-thread backend (wraps [`ThreadedCluster`]).
+pub struct ThreadedBackend<S, C>
+where
+    S: Site + Send + 'static,
+    C: Coordinator<Up = S::Up, Down = S::Down> + Send + 'static,
+    S::Item: Send + Clone,
+    S::Up: Send,
+    S::Down: Send + Sync,
+{
+    cluster: ThreadedCluster<S, C>,
+    /// One outstanding free-run ticket per site: before enqueueing a
+    /// site's next run, its previous run must have been consumed. See
+    /// [`ThreadedCluster::ingest_run`] for why unbounded queueing of runs
+    /// floods the channel with stale-threshold deltas.
+    tickets: Vec<Option<RunTicket>>,
+}
+
+impl<S, C> ThreadedBackend<S, C>
+where
+    S: Site + Send + 'static,
+    C: Coordinator<Up = S::Up, Down = S::Down> + Send + 'static,
+    S::Item: Send + Clone,
+    S::Up: Send,
+    S::Down: Send + Sync,
+{
+    /// Spawn the worker threads from pre-constructed protocol state.
+    pub fn spawn(sites: Vec<S>, coordinator: C) -> Result<Self, SimError> {
+        let k = sites.len();
+        Ok(ThreadedBackend {
+            cluster: ThreadedCluster::spawn(sites, coordinator)?,
+            tickets: (0..k).map(|_| None).collect(),
+        })
+    }
+}
+
+impl<S, C> Backend<S, C> for ThreadedBackend<S, C>
+where
+    S: Site + Send + 'static,
+    C: Coordinator<Up = S::Up, Down = S::Down> + Send + 'static,
+    S::Item: Send + Clone,
+    S::Up: Send,
+    S::Down: Send + Sync,
+{
+    fn feed(&mut self, site: SiteId, item: S::Item) -> Result<(), SimError> {
+        self.cluster.feed(site, item)
+    }
+
+    fn feed_batch(&mut self, batch: &[(SiteId, S::Item)]) -> Result<(), SimError> {
+        self.cluster.feed_batch(batch)
+    }
+
+    fn ingest(&mut self, site: SiteId, items: Vec<S::Item>) -> Result<(), SimError> {
+        if let Some(slot) = self.tickets.get_mut(site.index()) {
+            if let Some(ticket) = slot.take() {
+                ticket.wait()?;
+            }
+        }
+        let ticket = self.cluster.ingest_run(site, items)?;
+        if let Some(slot) = self.tickets.get_mut(site.index()) {
+            *slot = Some(ticket);
+        }
+        Ok(())
+    }
+
+    fn settle(&mut self) {
+        // The pending counter covers queued runs (each `Run` command
+        // holds a token until fully consumed), so waiting for quiescence
+        // also waits out every outstanding ticket.
+        self.cluster.settle();
+    }
+
+    fn with_coordinator<R, F>(&mut self, f: F) -> Result<R, SimError>
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut C) -> R + Send + 'static,
+    {
+        self.cluster.with_coordinator(f)
+    }
+
+    fn cost(&mut self) -> MessageMeter {
+        self.cluster.cost()
+    }
+
+    fn finish(mut self) -> Result<(C, Vec<S>, MessageMeter), SimError> {
+        self.tickets.clear();
+        self.cluster.shutdown()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::{MessageSize, Outbox};
+
+    #[derive(Debug, Default)]
+    struct EchoSite;
+    #[derive(Debug)]
+    struct Up(u64);
+    #[derive(Debug)]
+    struct NoDown;
+
+    impl MessageSize for Up {
+        fn size_words(&self) -> u64 {
+            1
+        }
+        fn kind(&self) -> &'static str {
+            "b/up"
+        }
+    }
+    impl MessageSize for NoDown {
+        fn size_words(&self) -> u64 {
+            1
+        }
+        fn kind(&self) -> &'static str {
+            "b/down"
+        }
+    }
+
+    impl Site for EchoSite {
+        type Item = u64;
+        type Up = Up;
+        type Down = NoDown;
+        fn on_item(&mut self, item: u64, out: &mut Vec<Up>) {
+            out.push(Up(item));
+        }
+        fn on_message(&mut self, _msg: &NoDown, _out: &mut Vec<Up>) {}
+    }
+
+    #[derive(Debug, Default)]
+    struct SumCoord {
+        sum: u64,
+    }
+    impl Coordinator for SumCoord {
+        type Up = Up;
+        type Down = NoDown;
+        fn on_message(&mut self, _from: SiteId, msg: Up, _out: &mut Outbox<NoDown>) {
+            self.sum += msg.0;
+        }
+    }
+
+    fn run_backend<B: Backend<EchoSite, SumCoord>>(mut b: B) {
+        b.feed(SiteId(0), 1).unwrap();
+        b.feed_batch(&[(SiteId(1), 2), (SiteId(1), 3)]).unwrap();
+        b.ingest(SiteId(0), vec![4, 5]).unwrap();
+        b.ingest(SiteId(0), vec![6]).unwrap();
+        b.settle();
+        let sum = b.with_coordinator(|c| c.sum).unwrap();
+        assert_eq!(sum, 21);
+        let meter = b.cost();
+        assert_eq!(meter.kind("b/up").messages, 6);
+        let (coord, sites, meter) = b.finish().unwrap();
+        assert_eq!(coord.sum, 21);
+        assert_eq!(sites.len(), 2);
+        assert_eq!(meter.total_messages(), 6);
+    }
+
+    #[test]
+    fn deterministic_backend_drives_the_protocol() {
+        let sites = (0..2).map(|_| EchoSite).collect();
+        run_backend(DeterministicBackend::new(sites, SumCoord::default()).unwrap());
+    }
+
+    #[test]
+    fn threaded_backend_drives_the_protocol() {
+        let sites = (0..2).map(|_| EchoSite).collect();
+        run_backend(ThreadedBackend::spawn(sites, SumCoord::default()).unwrap());
+    }
+
+    #[test]
+    fn backends_reject_small_clusters() {
+        assert!(DeterministicBackend::new(vec![EchoSite], SumCoord::default()).is_err());
+        assert!(ThreadedBackend::spawn(vec![EchoSite], SumCoord::default()).is_err());
+    }
+}

@@ -25,14 +25,27 @@
 //!
 //! Protocols are written against the [`Site`] and [`Coordinator`] traits and
 //! are agnostic to which runtime carries their messages.
+//!
+//! Both runtimes are normally reached through the [`Tracker`] facade: a
+//! [`Protocol`] description plus a [`BackendKind`] build one erased handle
+//! that feeds items, settles, answers typed [`Query`]s, and meters cost —
+//! so application code (and the testkit's scenario drivers) never name a
+//! concrete cluster type, and new backends are drop-in [`Backend`] impls.
 
+pub mod api;
+pub mod backend;
 pub mod cluster;
 pub mod error;
 pub mod meter;
 pub mod proto;
+pub mod query;
 pub mod threaded;
+pub mod tracker;
 
+pub use backend::{Backend, DeterministicBackend, ThreadedBackend};
 pub use cluster::Cluster;
 pub use error::SimError;
 pub use meter::{CostReport, KindCost, MessageMeter};
 pub use proto::{Coordinator, Down, MessageSize, Outbox, Site, SiteId};
+pub use query::{Answer, Query, QueryError, HH_PROBE_PHIS, PROBE_PHIS};
+pub use tracker::{BackendKind, ErasedProtocol, Protocol, Tracker, TrackerBuilder, TrackerError};

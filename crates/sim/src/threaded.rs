@@ -169,10 +169,18 @@ enum CoordCmd<C: Coordinator> {
 pub struct RunTicket(Receiver<()>);
 
 impl RunTicket {
-    /// Block until the run has been fully consumed (returns immediately
-    /// if the consuming site died — there is nothing left to wait for).
-    pub fn wait(self) {
-        let _ = self.0.recv();
+    /// Block until the run has been fully consumed.
+    ///
+    /// Returns [`SimError::WorkerGone`] when the consuming site died
+    /// before finishing the run (its `done` sender is destroyed with the
+    /// unwinding thread): the items were *not* all ingested, and callers
+    /// that used to treat this as normal completion silently dropped
+    /// data. The disconnect still resolves immediately — a dead worker
+    /// can never hang the feeder.
+    pub fn wait(self) -> Result<(), SimError> {
+        self.0
+            .recv()
+            .map_err(|_| SimError::WorkerGone { who: "site" })
     }
 }
 
@@ -848,8 +856,8 @@ mod tests {
         let t1 = cluster
             .ingest_run(SiteId(1), (101..=200).collect())
             .unwrap();
-        t0.wait();
-        t1.wait();
+        t0.wait().unwrap();
+        t1.wait().unwrap();
         cluster.settle();
         let (coord, _, meter) = cluster.shutdown().unwrap();
         assert_eq!(coord.sum, (1..=200u64).sum::<u64>());
@@ -861,18 +869,27 @@ mod tests {
         let sites = (0..2).map(|_| CountSite::default()).collect();
         let cluster = ThreadedCluster::spawn(sites, SumCoord::default()).unwrap();
         // Empty run: resolved immediately.
-        cluster.ingest_run(SiteId(0), Vec::new()).unwrap().wait();
+        cluster
+            .ingest_run(SiteId(0), Vec::new())
+            .unwrap()
+            .wait()
+            .unwrap();
         cluster.shutdown().unwrap();
 
         // Dead site: the run's poison item kills the thread mid-run; the
         // `done` sender is destroyed with the unwinding thread's state and
-        // `wait` must resolve via the disconnect instead of hanging.
+        // `wait` must resolve via the disconnect — as an error, since the
+        // run was *not* fully consumed — instead of hanging or reporting
+        // success.
         let sites = (0..2).map(|_| PoisonSite).collect();
         let cluster = ThreadedCluster::spawn(sites, SumCoord::default()).unwrap();
         let ticket = cluster
             .ingest_run(SiteId(0), vec![1, 2, POISON, 3])
             .unwrap();
-        ticket.wait();
+        assert_eq!(
+            ticket.wait().unwrap_err(),
+            SimError::WorkerGone { who: "site" }
+        );
         cluster.settle();
         assert_eq!(
             cluster.shutdown().unwrap_err(),

@@ -1,0 +1,576 @@
+//! The [`Tracker`] facade: one runtime-agnostic handle over any tracking
+//! protocol on any backend.
+//!
+//! ```text
+//! let mut tracker = Tracker::builder()
+//!     .sites(k)
+//!     .protocol(some_protocol)          // anything implementing Protocol
+//!     .backend(BackendKind::Threaded)   // or Deterministic (the default)
+//!     .build()?;
+//! tracker.feed_batch(&stream)?;
+//! let hh = tracker.query(Query::HeavyHitters { phi: 0.05 })?;
+//! let meter = tracker.finish()?;
+//! ```
+//!
+//! ## Layering
+//!
+//! * [`Protocol`] is the *typed* description of one protocol: how to
+//!   construct its sites and coordinator, and how to answer [`Query`]s
+//!   against the coordinator. Implementations live next to each protocol
+//!   (`dtrack-core`, `dtrack-baseline`); the testkit's registry maps its
+//!   `ProtocolSpec` matrix axis onto them in exactly one table.
+//! * [`crate::Backend`] is the *typed* runtime surface (deterministic or
+//!   threaded today; async/sharded backends are drop-in).
+//! * [`ErasedProtocol`] is the object-safe product of the two, and
+//!   [`Tracker`] is a plain struct wrapping `Box<dyn ErasedProtocol>` so
+//!   callers never see a type parameter.
+//!
+//! ## Object-safety choices
+//!
+//! `Protocol` and `Backend` are deliberately *not* object-safe: protocol
+//! message types differ per protocol, and `Backend::with_coordinator` is
+//! generic over the closure result. Erasure therefore happens **above**
+//! both traits, in the private `Bound` adapter, where items are pinned to
+//! `u64` (the paper's word-sized universe) and coordinator access is
+//! narrowed to the [`Query`] → [`Answer`] algebra, which *is* object-safe.
+//! Messages themselves are never boxed — inside a `Bound` the site, the
+//! coordinator, and the channel payloads are all concrete types — so the
+//! facade costs one virtual call per *batch/query*, not per message, and
+//! the metered transcript is bit-identical to driving the clusters
+//! directly.
+
+#![deny(missing_docs)]
+
+use std::fmt;
+
+use crate::backend::{Backend, DeterministicBackend, ThreadedBackend};
+use crate::error::SimError;
+use crate::meter::MessageMeter;
+use crate::proto::{Coordinator, MessageSize, Site, SiteId};
+use crate::query::{Answer, Query, QueryError};
+
+/// A typed description of one tracking protocol: construction plus the
+/// query surface over its coordinator.
+///
+/// The bounds make every protocol runnable on every backend (the
+/// threaded runtime needs `Send` state machines and `Send + Sync`
+/// downstream messages); `Clone` lets the facade carry the description
+/// into backend threads for queries.
+pub trait Protocol: Clone + Send + Sync + 'static {
+    /// Site state machine (items are pinned to `u64`, the paper's
+    /// word-sized universe).
+    type Site: Site<Item = u64, Up = Self::Up, Down = Self::Down> + Send + 'static;
+    /// Upstream message type.
+    type Up: MessageSize + Send + 'static;
+    /// Downstream message type.
+    type Down: MessageSize + Send + Sync + 'static;
+    /// Coordinator state machine.
+    type Coordinator: Coordinator<Up = Self::Up, Down = Self::Down> + Send + 'static;
+
+    /// Short stable label (e.g. `"hh-exact"`), used in reports and
+    /// error messages.
+    fn label(&self) -> &'static str;
+
+    /// The site count this description already fixes (protocols whose
+    /// config embeds k), if any. The builder cross-checks it against
+    /// [`TrackerBuilder::sites`].
+    fn sites_hint(&self) -> Option<u32> {
+        None
+    }
+
+    /// Construct the `k` site state machines and the coordinator.
+    fn build(&self, k: u32) -> Result<(Vec<Self::Site>, Self::Coordinator), String>;
+
+    /// Answer one typed query against a quiescent coordinator.
+    fn query(&self, coordinator: &Self::Coordinator, query: Query) -> Result<Answer, QueryError>;
+
+    /// The protocol's canonical final-answer set, in canonical order.
+    /// Rendering each answer with `Display` reproduces the legacy
+    /// transcript strings the equivalence suites compare.
+    fn answers(&self, coordinator: &Self::Coordinator) -> Result<Vec<Answer>, QueryError>;
+
+    /// Convenience for [`Protocol::query`] implementations: the canonical
+    /// "not answerable by this protocol" error.
+    fn unsupported(&self, query: Query) -> QueryError {
+        QueryError::Unsupported {
+            protocol: self.label(),
+            query,
+        }
+    }
+}
+
+/// Which runtime a [`Tracker`] runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// Single-threaded, transcript-pinned (wraps [`crate::Cluster`]).
+    #[default]
+    Deterministic,
+    /// One OS thread per site plus a coordinator thread (wraps
+    /// [`crate::threaded::ThreadedCluster`]).
+    Threaded,
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendKind::Deterministic => write!(f, "deterministic"),
+            BackendKind::Threaded => write!(f, "threaded"),
+        }
+    }
+}
+
+/// Why a [`Tracker`] could not be built.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrackerError {
+    /// The protocol rejected its construction parameters.
+    Protocol(String),
+    /// No site count: neither [`TrackerBuilder::sites`] nor the
+    /// protocol's [`Protocol::sites_hint`] provided k.
+    MissingSiteCount,
+    /// [`TrackerBuilder::sites`] disagrees with the protocol's embedded
+    /// site count.
+    SiteCountMismatch {
+        /// k requested via the builder.
+        requested: u32,
+        /// k embedded in the protocol configuration.
+        embedded: u32,
+    },
+    /// The runtime failed to start.
+    Sim(SimError),
+}
+
+impl fmt::Display for TrackerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrackerError::Protocol(detail) => write!(f, "protocol construction failed: {detail}"),
+            TrackerError::MissingSiteCount => {
+                write!(
+                    f,
+                    "no site count: call .sites(k) or use a protocol that embeds k"
+                )
+            }
+            TrackerError::SiteCountMismatch {
+                requested,
+                embedded,
+            } => write!(
+                f,
+                "builder asked for {requested} sites but the protocol config embeds {embedded}"
+            ),
+            TrackerError::Sim(e) => write!(f, "runtime failed to start: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrackerError {}
+
+impl From<SimError> for TrackerError {
+    fn from(e: SimError) -> Self {
+        TrackerError::Sim(e)
+    }
+}
+
+/// The object-safe protocol-on-backend surface [`Tracker`] wraps.
+///
+/// This is the erased layer: items are `u64`, coordinator access is the
+/// [`Query`] algebra, teardown returns only the meter. Implemented once,
+/// generically, for every ([`Protocol`], [`Backend`]) pair — protocol
+/// and backend authors never touch it.
+pub trait ErasedProtocol: Send {
+    /// Protocol label (see [`Protocol::label`]).
+    fn label(&self) -> &'static str;
+    /// See [`Backend::feed`].
+    fn feed(&mut self, site: SiteId, item: u64) -> Result<(), SimError>;
+    /// See [`Backend::feed_batch`].
+    fn feed_batch(&mut self, batch: &[(SiteId, u64)]) -> Result<(), SimError>;
+    /// See [`Backend::ingest`].
+    fn ingest(&mut self, site: SiteId, items: Vec<u64>) -> Result<(), SimError>;
+    /// See [`Backend::settle`].
+    fn settle(&mut self);
+    /// Settle, then answer one typed query.
+    fn query(&mut self, query: Query) -> Result<Answer, QueryError>;
+    /// Settle, then produce the canonical final-answer set.
+    fn answers(&mut self) -> Result<Vec<Answer>, QueryError>;
+    /// See [`Backend::cost`].
+    fn cost(&mut self) -> MessageMeter;
+    /// Tear down, returning the final merged meter.
+    fn finish(self: Box<Self>) -> Result<MessageMeter, SimError>;
+}
+
+/// The generic (protocol, backend) pairing behind `Box<dyn ErasedProtocol>`.
+struct Bound<P, B> {
+    protocol: P,
+    backend: B,
+}
+
+impl<P, B> ErasedProtocol for Bound<P, B>
+where
+    P: Protocol,
+    B: Backend<P::Site, P::Coordinator> + Send,
+{
+    fn label(&self) -> &'static str {
+        self.protocol.label()
+    }
+
+    fn feed(&mut self, site: SiteId, item: u64) -> Result<(), SimError> {
+        self.backend.feed(site, item)
+    }
+
+    fn feed_batch(&mut self, batch: &[(SiteId, u64)]) -> Result<(), SimError> {
+        self.backend.feed_batch(batch)
+    }
+
+    fn ingest(&mut self, site: SiteId, items: Vec<u64>) -> Result<(), SimError> {
+        self.backend.ingest(site, items)
+    }
+
+    fn settle(&mut self) {
+        self.backend.settle();
+    }
+
+    fn query(&mut self, query: Query) -> Result<Answer, QueryError> {
+        self.backend.settle();
+        let protocol = self.protocol.clone();
+        self.backend
+            .with_coordinator(move |c| protocol.query(c, query))
+            .map_err(QueryError::Runtime)?
+    }
+
+    fn answers(&mut self) -> Result<Vec<Answer>, QueryError> {
+        self.backend.settle();
+        let protocol = self.protocol.clone();
+        self.backend
+            .with_coordinator(move |c| protocol.answers(c))
+            .map_err(QueryError::Runtime)?
+    }
+
+    fn cost(&mut self) -> MessageMeter {
+        self.backend.cost()
+    }
+
+    fn finish(self: Box<Self>) -> Result<MessageMeter, SimError> {
+        let (_coordinator, _sites, meter) = self.backend.finish()?;
+        Ok(meter)
+    }
+}
+
+/// Builder for [`Tracker`] (start with [`Tracker::builder`]).
+#[derive(Debug, Clone, Default)]
+pub struct TrackerBuilder<P = ()> {
+    sites: Option<u32>,
+    backend: BackendKind,
+    protocol: P,
+}
+
+impl<P> TrackerBuilder<P> {
+    /// Number of sites k (may be omitted when the protocol's config
+    /// embeds k; must agree with it when both are given).
+    pub fn sites(mut self, k: u32) -> Self {
+        self.sites = Some(k);
+        self
+    }
+
+    /// Which runtime carries the messages (default:
+    /// [`BackendKind::Deterministic`]).
+    pub fn backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+}
+
+impl TrackerBuilder<()> {
+    /// Select the protocol to track.
+    pub fn protocol<P: Protocol>(self, protocol: P) -> TrackerBuilder<P> {
+        TrackerBuilder {
+            sites: self.sites,
+            backend: self.backend,
+            protocol,
+        }
+    }
+}
+
+impl<P: Protocol> TrackerBuilder<P> {
+    /// Construct the protocol state and start the chosen backend.
+    pub fn build(self) -> Result<Tracker, TrackerError> {
+        let k = match (self.sites, self.protocol.sites_hint()) {
+            (Some(requested), Some(embedded)) if requested != embedded => {
+                return Err(TrackerError::SiteCountMismatch {
+                    requested,
+                    embedded,
+                })
+            }
+            (Some(k), _) | (None, Some(k)) => k,
+            (None, None) => return Err(TrackerError::MissingSiteCount),
+        };
+        let (sites, coordinator) = self.protocol.build(k).map_err(TrackerError::Protocol)?;
+        let inner: Box<dyn ErasedProtocol> = match self.backend {
+            BackendKind::Deterministic => Box::new(Bound {
+                backend: DeterministicBackend::new(sites, coordinator)?,
+                protocol: self.protocol,
+            }),
+            BackendKind::Threaded => Box::new(Bound {
+                backend: ThreadedBackend::spawn(sites, coordinator)?,
+                protocol: self.protocol,
+            }),
+        };
+        Ok(Tracker {
+            inner,
+            backend: self.backend,
+            k,
+        })
+    }
+}
+
+/// One continuously tracked function over a distributed stream: `k` sites
+/// and a coordinator, on a chosen backend, answering typed queries at any
+/// time — the paper's model as a single handle.
+pub struct Tracker {
+    inner: Box<dyn ErasedProtocol>,
+    backend: BackendKind,
+    k: u32,
+}
+
+impl fmt::Debug for Tracker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tracker")
+            .field("protocol", &self.inner.label())
+            .field("backend", &self.backend)
+            .field("k", &self.k)
+            .finish()
+    }
+}
+
+impl Tracker {
+    /// Start building a tracker.
+    pub fn builder() -> TrackerBuilder {
+        TrackerBuilder::default()
+    }
+
+    /// The protocol's label (e.g. `"hh-exact"`).
+    pub fn protocol_label(&self) -> &'static str {
+        self.inner.label()
+    }
+
+    /// Which backend this tracker runs on.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.backend
+    }
+
+    /// Number of sites k.
+    pub fn num_sites(&self) -> u32 {
+        self.k
+    }
+
+    /// Deliver one item to one site (see [`Backend::feed`]).
+    pub fn feed(&mut self, site: SiteId, item: u64) -> Result<(), SimError> {
+        self.inner.feed(site, item)
+    }
+
+    /// Deliver a pre-assigned batch on the transcript-identical
+    /// site-at-a-time schedule (see [`Backend::feed_batch`]).
+    pub fn feed_batch(&mut self, batch: &[(SiteId, u64)]) -> Result<(), SimError> {
+        self.inner.feed_batch(batch)
+    }
+
+    /// Deliver a same-site run on the free-running throughput path (see
+    /// [`Backend::ingest`]).
+    pub fn ingest(&mut self, site: SiteId, items: Vec<u64>) -> Result<(), SimError> {
+        self.inner.ingest(site, items)
+    }
+
+    /// Block until the system is quiescent (no-op on the deterministic
+    /// backend).
+    pub fn settle(&mut self) {
+        self.inner.settle();
+    }
+
+    /// Answer a typed query against the quiescent coordinator state.
+    /// Settles first, so a mid-stream query on the threaded backend
+    /// observes a consistent snapshot; costs zero communication (queries
+    /// read continuously maintained state).
+    pub fn query(&mut self, query: Query) -> Result<Answer, QueryError> {
+        self.inner.query(query)
+    }
+
+    /// The protocol's canonical final-answer set (settles first).
+    /// `Display` of each element reproduces the legacy transcript
+    /// strings.
+    pub fn answers(&mut self) -> Result<Vec<Answer>, QueryError> {
+        self.inner.answers()
+    }
+
+    /// Snapshot the communication meter (settle first — or use
+    /// [`Tracker::query`]/[`Tracker::answers`], which settle for you —
+    /// for a consistent mid-run picture).
+    pub fn cost(&mut self) -> MessageMeter {
+        self.inner.cost()
+    }
+
+    /// Tear down the backend and return the final merged meter. Worker
+    /// death on the threaded backend surfaces here.
+    pub fn finish(self) -> Result<MessageMeter, SimError> {
+        self.inner.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::Outbox;
+
+    /// Minimal test protocol: sites forward every item, the coordinator
+    /// counts them; `Count` is the only supported query.
+    #[derive(Debug, Clone)]
+    struct CountProtocol;
+
+    #[derive(Debug, Default)]
+    struct FwdSite;
+    #[derive(Debug)]
+    struct UpMsg;
+    #[derive(Debug)]
+    struct NoDown;
+
+    impl MessageSize for UpMsg {
+        fn size_words(&self) -> u64 {
+            1
+        }
+        fn kind(&self) -> &'static str {
+            "t/up"
+        }
+    }
+    impl MessageSize for NoDown {
+        fn size_words(&self) -> u64 {
+            1
+        }
+        fn kind(&self) -> &'static str {
+            "t/down"
+        }
+    }
+
+    impl Site for FwdSite {
+        type Item = u64;
+        type Up = UpMsg;
+        type Down = NoDown;
+        fn on_item(&mut self, _item: u64, out: &mut Vec<UpMsg>) {
+            out.push(UpMsg);
+        }
+        fn on_message(&mut self, _msg: &NoDown, _out: &mut Vec<UpMsg>) {}
+    }
+
+    #[derive(Debug, Default)]
+    struct CountCoord {
+        seen: u64,
+    }
+    impl Coordinator for CountCoord {
+        type Up = UpMsg;
+        type Down = NoDown;
+        fn on_message(&mut self, _from: SiteId, _msg: UpMsg, _out: &mut Outbox<NoDown>) {
+            self.seen += 1;
+        }
+    }
+
+    impl Protocol for CountProtocol {
+        type Site = FwdSite;
+        type Up = UpMsg;
+        type Down = NoDown;
+        type Coordinator = CountCoord;
+
+        fn label(&self) -> &'static str {
+            "test-count"
+        }
+        fn build(&self, k: u32) -> Result<(Vec<FwdSite>, CountCoord), String> {
+            Ok(((0..k).map(|_| FwdSite).collect(), CountCoord::default()))
+        }
+        fn query(&self, c: &CountCoord, query: Query) -> Result<Answer, QueryError> {
+            match query {
+                Query::Count => Ok(Answer::Count(c.seen)),
+                other => Err(self.unsupported(other)),
+            }
+        }
+        fn answers(&self, c: &CountCoord) -> Result<Vec<Answer>, QueryError> {
+            Ok(vec![Answer::Count(c.seen)])
+        }
+    }
+
+    #[test]
+    fn builder_requires_a_site_count() {
+        let err = Tracker::builder()
+            .protocol(CountProtocol)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, TrackerError::MissingSiteCount);
+    }
+
+    #[test]
+    fn tracker_feeds_queries_and_finishes() {
+        for backend in [BackendKind::Deterministic, BackendKind::Threaded] {
+            let mut t = Tracker::builder()
+                .sites(3)
+                .backend(backend)
+                .protocol(CountProtocol)
+                .build()
+                .unwrap();
+            assert_eq!(t.num_sites(), 3);
+            assert_eq!(t.backend_kind(), backend);
+            assert_eq!(t.protocol_label(), "test-count");
+            t.feed(SiteId(0), 9).unwrap();
+            t.feed_batch(&[(SiteId(1), 1), (SiteId(2), 2), (SiteId(2), 3)])
+                .unwrap();
+            t.ingest(SiteId(0), vec![7, 8]).unwrap();
+            let answer = t.query(Query::Count).unwrap();
+            assert_eq!(answer, Answer::Count(6));
+            assert_eq!(answer.to_string(), "estimate=6");
+            assert_eq!(t.answers().unwrap(), vec![Answer::Count(6)]);
+            let err = t.query(Query::TrackedQuantile).unwrap_err();
+            assert!(matches!(err, QueryError::Unsupported { .. }), "{err}");
+            t.settle();
+            assert_eq!(t.cost().kind("t/up").messages, 6);
+            let meter = t.finish().unwrap();
+            assert_eq!(meter.total_messages(), 6);
+        }
+    }
+
+    #[test]
+    fn builder_cross_checks_embedded_site_counts() {
+        #[derive(Debug, Clone)]
+        struct Hinted;
+        impl Protocol for Hinted {
+            type Site = FwdSite;
+            type Up = UpMsg;
+            type Down = NoDown;
+            type Coordinator = CountCoord;
+            fn label(&self) -> &'static str {
+                "hinted"
+            }
+            fn sites_hint(&self) -> Option<u32> {
+                Some(4)
+            }
+            fn build(&self, k: u32) -> Result<(Vec<FwdSite>, CountCoord), String> {
+                Ok(((0..k).map(|_| FwdSite).collect(), CountCoord::default()))
+            }
+            fn query(&self, _c: &CountCoord, query: Query) -> Result<Answer, QueryError> {
+                Err(self.unsupported(query))
+            }
+            fn answers(&self, _c: &CountCoord) -> Result<Vec<Answer>, QueryError> {
+                Ok(Vec::new())
+            }
+        }
+        // Hint alone suffices.
+        let t = Tracker::builder().protocol(Hinted).build().unwrap();
+        assert_eq!(t.num_sites(), 4);
+        // Agreement is fine.
+        assert!(Tracker::builder().sites(4).protocol(Hinted).build().is_ok());
+        // Disagreement is an error, not a silent pick.
+        let err = Tracker::builder()
+            .sites(8)
+            .protocol(Hinted)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            TrackerError::SiteCountMismatch {
+                requested: 8,
+                embedded: 4,
+            }
+        );
+    }
+}

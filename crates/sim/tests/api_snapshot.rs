@@ -1,0 +1,15 @@
+//! The public-API snapshot lock: `api/dtrack-sim.txt` (repo root) must
+//! match the generated surface exactly, so API changes are deliberate
+//! two-file commits (code + snapshot), never accidents.
+
+#[test]
+fn public_api_matches_committed_snapshot() {
+    let committed = include_str!("../../../api/dtrack-sim.txt");
+    let generated = dtrack_sim::api::surface();
+    assert_eq!(
+        committed, generated,
+        "public API surface drifted from api/dtrack-sim.txt — if the change \
+         is intentional, regenerate with:\n  cargo run -p dtrack-sim \
+         --example api_dump > api/dtrack-sim.txt"
+    );
+}

@@ -13,15 +13,49 @@
 //! * CGMR / polling baselines — O(k/ε² · log n),
 //! * forward-all — exactly one word per arrival (plus nothing down).
 //!
+//! Which shape and constant applies to which protocol is data in the
+//! [`crate::registry`] — this module only evaluates a [`BudgetShape`],
+//! so it contains no per-protocol dispatch.
+//!
 //! Every budget also includes the warm-up spend (the protocols forward
 //! raw items until the stream is long enough for thresholds to be ≥ 1
 //! item) and a small additive floor so tiny streams aren't judged by an
 //! asymptotic formula.
 
-use crate::scenario::{GeneratorSpec, ProtocolSpec, Scenario};
+use crate::registry;
+use crate::scenario::{GeneratorSpec, Scenario};
 
 /// Additive floor: protocol setup plus at least one full sync round.
 const FLOOR: f64 = 256.0;
+
+/// The Θ-shape (and explicit constant) of one protocol's word bound.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BudgetShape {
+    /// `coeff · (k/ε) · log₂ n` — the paper's optimal tracking bound.
+    KOverEps(f64),
+    /// `coeff · (k/ε) · log₂²(1/ε) · log₂ n` — the all-quantiles tree.
+    KOverEpsLogSqInvEps(f64),
+    /// `coeff · (k/ε²) · log₂ n` — the summary-reshipping baselines.
+    KOverEpsSq(f64),
+    /// `coeff · n` — per-arrival forwarding.
+    Linear(f64),
+}
+
+impl BudgetShape {
+    /// Evaluate the tracked-phase budget for the scenario's parameters.
+    fn tracked_words(self, k: f64, eps: f64, n: f64) -> f64 {
+        let log_n = (n + 2.0).log2();
+        let log_inv_eps = (1.0 / eps).log2().max(1.0);
+        match self {
+            BudgetShape::KOverEps(c) => c * (k / eps) * log_n,
+            BudgetShape::KOverEpsLogSqInvEps(c) => {
+                c * (k / eps) * log_inv_eps * log_inv_eps * log_n
+            }
+            BudgetShape::KOverEpsSq(c) => c * (k / (eps * eps)) * log_n,
+            BudgetShape::Linear(c) => c * n,
+        }
+    }
+}
 
 /// Structured order-adversarial workloads (the sorted ramp that drags
 /// every quantile monotonically, the mid-stream band jump) force the
@@ -35,15 +69,7 @@ fn adversarial_factor(scenario: &Scenario) -> f64 {
         scenario.generator,
         GeneratorSpec::SortedRamp { .. } | GeneratorSpec::TwoPhaseDrift { .. }
     );
-    let order_protocol = matches!(
-        scenario.protocol,
-        ProtocolSpec::QuantileExact { .. }
-            | ProtocolSpec::QuantileSketched { .. }
-            | ProtocolSpec::AllQExact
-            | ProtocolSpec::Cgmr
-            | ProtocolSpec::Polling
-    );
-    if order_adversarial && order_protocol {
+    if order_adversarial && registry::profile(scenario.protocol).order_sensitive {
         2.0
     } else {
         1.0
@@ -57,31 +83,20 @@ pub fn word_budget(scenario: &Scenario, warmup: u64) -> u64 {
     let k = scenario.k as f64;
     let eps = scenario.epsilon;
     let n = scenario.n as f64;
-    let log_n = (n + 2.0).log2();
-    let log_inv_eps = (1.0 / eps).log2().max(1.0);
     // Warm-up: raw forwards (~2 words each: item + framing under the word
     // model) and the initial summary collection, which is O(k/ε) words for
     // every protocol family here.
     let warmup_cost = 3.0 * warmup as f64 + 4.0 * k / eps;
-    let tracked = match scenario.protocol {
-        ProtocolSpec::Counter => 8.0 * (k / eps) * log_n,
-        ProtocolSpec::HhExact | ProtocolSpec::HhSketched => 24.0 * (k / eps) * log_n,
-        ProtocolSpec::QuantileExact { .. } | ProtocolSpec::QuantileSketched { .. } => {
-            48.0 * (k / eps) * log_n
-        }
-        ProtocolSpec::AllQExact => 48.0 * (k / eps) * log_inv_eps * log_inv_eps * log_n,
-        ProtocolSpec::Cgmr => 24.0 * (k / (eps * eps)) * log_n,
-        ProtocolSpec::Polling => 24.0 * (k / (eps * eps)) * log_n,
-        // One word up per arrival, nothing downstream; allow framing slack.
-        ProtocolSpec::ForwardAll => 2.0 * n,
-    };
+    let tracked = registry::profile(scenario.protocol)
+        .budget
+        .tracked_words(k, eps, n);
     (warmup_cost + adversarial_factor(scenario) * tracked + FLOOR).ceil() as u64
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scenario::{AssignmentSpec, GeneratorSpec};
+    use crate::scenario::{AssignmentSpec, GeneratorSpec, ProtocolSpec};
 
     fn scenario(protocol: ProtocolSpec, k: u32, epsilon: f64, n: u64) -> Scenario {
         Scenario {
@@ -135,5 +150,21 @@ mod tests {
         let b = word_budget(&scenario(ProtocolSpec::ForwardAll, 4, 0.1, 1_000), 0);
         assert!(b >= 2_000);
         assert!(b < 3_000);
+    }
+
+    #[test]
+    fn adversarial_generators_widen_order_protocol_budgets_only() {
+        let benign = scenario(ProtocolSpec::QuantileExact { phi: 0.5 }, 4, 0.1, 50_000);
+        let ramp = Scenario {
+            generator: GeneratorSpec::SortedRamp { start: 0, step: 1 },
+            ..benign
+        };
+        assert!(word_budget(&ramp, 0) > word_budget(&benign, 0));
+        let hh_benign = scenario(ProtocolSpec::HhExact, 4, 0.1, 50_000);
+        let hh_ramp = Scenario {
+            generator: GeneratorSpec::SortedRamp { start: 0, step: 1 },
+            ..hh_benign
+        };
+        assert_eq!(word_budget(&hh_ramp, 0), word_budget(&hh_benign, 0));
     }
 }

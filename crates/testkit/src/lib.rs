@@ -39,18 +39,25 @@
 
 pub mod bound;
 pub mod matrix;
+pub mod registry;
 pub mod report;
 pub mod runner;
 pub mod scenario;
 pub mod threaded;
 
 pub use matrix::{default_matrix, matrix};
+pub use registry::{ProtocolProfile, WarmupPolicy};
 pub use report::{ScenarioFailure, ScenarioReport};
 pub use runner::{
-    measure_cost, measure_cost_per_item, run_matrix, run_scenario, run_scenario_per_item,
+    measure_cost, measure_cost_per_item, run_matrix, run_scenario, run_scenario_on,
+    run_scenario_per_item,
 };
 pub use scenario::{AssignmentSpec, GeneratorSpec, ProtocolSpec, Scenario, Tuning};
 pub use threaded::{
     measure_threaded, run_scenario_reference, run_scenario_threaded, ThreadedIngest,
     ThreadedOutcome,
 };
+
+// The facade types scenario drivers hand out, re-exported so harness
+// consumers don't need a direct dtrack-sim dependency.
+pub use dtrack_sim::{Answer, BackendKind, Query, QueryError, Tracker, PROBE_PHIS};

@@ -1,11 +1,17 @@
-//! Drive one [`Scenario`] end-to-end.
+//! Drive one [`Scenario`] end-to-end through the [`Tracker`] facade.
 //!
-//! Two entry points share all cluster construction and stream plumbing:
+//! One generic driver serves every protocol (construction, checkpoint
+//! checks, and budgets come from the [`crate::registry`]) and every
+//! backend (the facade hides the runtime). Entry points:
 //!
-//! * [`run_scenario`] — differential mode: feed the assigned stream
-//!   through the protocol cluster and the exact oracle in lockstep, check
-//!   the ε-guarantee at periodic checkpoints and at the end, then check
-//!   the metered communication against the paper's bound.
+//! * [`run_scenario`] — differential mode on the deterministic backend:
+//!   feed the assigned stream through the protocol tracker and the exact
+//!   oracle in lockstep, check the ε-guarantee at periodic checkpoints
+//!   and at the end, then check the metered communication against the
+//!   paper's bound.
+//! * [`run_scenario_on`] — the same differential run on a chosen
+//!   [`BackendKind`]; the site-at-a-time schedule makes the threaded
+//!   backend transcript-identical, so the same budgets apply.
 //! * [`measure_cost`] — meter-only mode: feed the same stream and report
 //!   the metered cost without maintaining an oracle or enforcing the
 //!   budget. This is what the experiment harness uses for its scaling
@@ -14,19 +20,13 @@
 //!   k → 64) deliberately leave the calibrated-budget envelope.
 
 use crate::bound::word_budget;
+use crate::registry::{self, WarmupPolicy};
 use crate::report::{ScenarioFailure, ScenarioReport};
-use crate::scenario::{ProtocolSpec, Scenario};
-use dtrack_baseline::{CgmrConfig, PollingConfig};
-use dtrack_core::allq::AllQConfig;
-use dtrack_core::counter::{CounterCoordinator, CounterSite};
-use dtrack_core::hh::HhConfig;
-use dtrack_core::quantile::QuantileConfig;
+use crate::scenario::Scenario;
 use dtrack_core::ExactOracle;
-use dtrack_sim::{Cluster, Coordinator, Site};
+use dtrack_sim::{BackendKind, SiteId, Tracker};
 
-/// Quantile fractions probed when a protocol answers rank/quantile
-/// queries for every φ simultaneously.
-pub const PROBE_PHIS: [f64; 5] = [0.05, 0.25, 0.5, 0.75, 0.95];
+pub use dtrack_sim::PROBE_PHIS;
 
 /// How a scenario is driven.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,52 +37,83 @@ enum Mode {
     Meter,
 }
 
-/// How items are delivered to the cluster. Both paths are
+/// How items are delivered to the tracker. Both paths are
 /// transcript-identical by construction; the per-item path exists so
 /// differential tests can prove it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum FeedMode {
-    /// Checkpoint-aligned chunks through `Cluster::feed_batch`.
+    /// Checkpoint-aligned chunks through [`Tracker::feed_batch`].
     Batched,
-    /// One `Cluster::feed` call per item (the pre-batching behavior).
+    /// One [`Tracker::feed`] call per item (the pre-batching behavior).
     PerItem,
 }
 
 /// Items per `feed_batch` call. Large enough to amortize per-call
 /// overhead, small enough to stay cache-resident; checkpoints shorten the
 /// final chunk before each boundary so check timing is unaffected. The
-/// threaded runner ships the same chunks so both runtimes see identical
-/// same-site runs.
-pub(crate) const FEED_CHUNK: u64 = 4096;
+/// threaded driver (and the bench harness's facade-vs-direct cells) ship
+/// the same chunks so every driver sees identical same-site runs.
+pub const FEED_CHUNK: u64 = 4096;
 
-/// Run a scenario to completion in differential mode.
+/// Run a scenario to completion in differential mode on the
+/// deterministic backend.
 ///
 /// Returns the cost/accuracy report, or the first guarantee violation
 /// with the scenario name attached (every failure is replayable: the
 /// scenario is fully seeded).
 pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioReport, ScenarioFailure> {
-    dispatch(scenario, Mode::Check, FeedMode::Batched)
+    dispatch(
+        scenario,
+        Mode::Check,
+        FeedMode::Batched,
+        BackendKind::Deterministic,
+    )
+}
+
+/// [`run_scenario`] on an explicit backend. The batched site-at-a-time
+/// schedule keeps the threaded backend's transcript — and therefore its
+/// budget compliance — bit-identical to the deterministic one.
+pub fn run_scenario_on(
+    scenario: &Scenario,
+    backend: BackendKind,
+) -> Result<ScenarioReport, ScenarioFailure> {
+    dispatch(scenario, Mode::Check, FeedMode::Batched, backend)
 }
 
 /// Feed the scenario's stream and report metered cost only — no oracle,
 /// no budget enforcement (`checks` is 0 in the report).
 pub fn measure_cost(scenario: &Scenario) -> Result<ScenarioReport, ScenarioFailure> {
-    dispatch(scenario, Mode::Meter, FeedMode::Batched)
+    dispatch(
+        scenario,
+        Mode::Meter,
+        FeedMode::Batched,
+        BackendKind::Deterministic,
+    )
 }
 
 /// Differential-testing aid: [`run_scenario`], but delivering every item
-/// through a separate `Cluster::feed` call instead of `feed_batch`. The
+/// through a separate [`Tracker::feed`] call instead of `feed_batch`. The
 /// report must be identical to [`run_scenario`]'s — the batch path is an
 /// optimization, not a semantic change — and `testkit`'s differential
 /// tests assert exactly that.
 pub fn run_scenario_per_item(scenario: &Scenario) -> Result<ScenarioReport, ScenarioFailure> {
-    dispatch(scenario, Mode::Check, FeedMode::PerItem)
+    dispatch(
+        scenario,
+        Mode::Check,
+        FeedMode::PerItem,
+        BackendKind::Deterministic,
+    )
 }
 
 /// Differential-testing aid: per-item variant of [`measure_cost`] (see
 /// [`run_scenario_per_item`]).
 pub fn measure_cost_per_item(scenario: &Scenario) -> Result<ScenarioReport, ScenarioFailure> {
-    dispatch(scenario, Mode::Meter, FeedMode::PerItem)
+    dispatch(
+        scenario,
+        Mode::Meter,
+        FeedMode::PerItem,
+        BackendKind::Deterministic,
+    )
 }
 
 /// Run every scenario in differential mode, stopping at the first failure.
@@ -94,6 +125,7 @@ fn dispatch(
     scenario: &Scenario,
     mode: Mode,
     feed: FeedMode,
+    backend: BackendKind,
 ) -> Result<ScenarioReport, ScenarioFailure> {
     let fail = |detail: String| ScenarioFailure {
         scenario: scenario.to_string(),
@@ -102,65 +134,41 @@ fn dispatch(
     if scenario.k < 2 {
         return Err(fail("scenarios need k >= 2".to_owned()));
     }
-    match scenario.protocol {
-        ProtocolSpec::Counter => run_counter(scenario, mode, feed),
-        ProtocolSpec::HhExact | ProtocolSpec::HhSketched => run_hh(scenario, mode, feed),
-        ProtocolSpec::QuantileExact { phi } | ProtocolSpec::QuantileSketched { phi } => {
-            run_quantile(scenario, phi, mode, feed)
-        }
-        ProtocolSpec::AllQExact => run_allq(scenario, mode, feed),
-        ProtocolSpec::Cgmr => run_cgmr(scenario, mode, feed),
-        ProtocolSpec::Polling => run_polling(scenario, mode, feed),
-        ProtocolSpec::ForwardAll => run_forward_all(scenario, mode, feed),
-    }
-    .map_err(fail)
+    let profile = registry::profile(scenario.protocol);
+    let policy = match mode {
+        Mode::Check => WarmupPolicy::Differential,
+        Mode::Meter => WarmupPolicy::ProtocolDefault,
+    };
+    let warmup = registry::resolve_warmup(profile, scenario, policy).map_err(&fail)?;
+    let tracker = (profile.build)(scenario, warmup, backend).map_err(&fail)?;
+    drive(scenario, mode, feed, warmup, tracker, profile.check).map_err(fail)
 }
 
-/// The warm-up length a scenario runs with. In differential mode warm-up
-/// is pinned to n/8 so a scenario spends most of its stream in tracking
-/// mode (the interesting regime) and the budget calibration sees one
-/// consistent warm-up policy; in meter-only mode the protocol default is
-/// kept so cost tables reflect the paper's configuration. `tuning.warmup`
-/// overrides both.
-fn effective_warmup(scenario: &Scenario, mode: Mode, protocol_default: u64) -> u64 {
-    if let Some(w) = scenario.tuning.warmup {
-        return w;
-    }
-    match mode {
-        Mode::Check => (scenario.n / 8).max(32),
-        Mode::Meter => protocol_default,
-    }
-}
-
-/// Feed the scenario's stream through `cluster`; in differential mode
+/// Feed the scenario's stream through `tracker`; in differential mode
 /// also maintain the oracle, call `check` at every checkpoint and at the
 /// end, and verify the communication budget.
 ///
-/// The default delivery is [`FeedMode::Batched`]: items go to the cluster
-/// in chunks of up to [`FEED_CHUNK`] through `Cluster::feed_batch`, with
+/// The default delivery is [`FeedMode::Batched`]: items go to the tracker
+/// in chunks of up to [`FEED_CHUNK`] through [`Tracker::feed_batch`], with
 /// every chunk cut at the next checkpoint boundary so checks observe
 /// exactly the same prefixes as per-item delivery. The oracle ingests
 /// lazily, so observing a whole chunk before feeding it changes nothing it
 /// can answer at the checkpoint.
-fn drive<S, C>(
+fn drive(
     scenario: &Scenario,
     mode: Mode,
     feed: FeedMode,
     warmup: u64,
-    mut cluster: Cluster<S, C>,
-    mut check: impl FnMut(&C, &ExactOracle, u64) -> Result<u64, String>,
-) -> Result<ScenarioReport, String>
-where
-    S: Site<Item = u64>,
-    C: Coordinator<Up = S::Up, Down = S::Down>,
-{
+    mut tracker: Tracker,
+    check: registry::CheckFn,
+) -> Result<ScenarioReport, String> {
     let mut oracle = ExactOracle::new();
     let check_every = scenario.check_every();
     let mut checks = 0u64;
     let mut stream = scenario.stream();
     match feed {
         FeedMode::Batched => {
-            let mut batch: Vec<(dtrack_sim::SiteId, u64)> =
+            let mut batch: Vec<(SiteId, u64)> =
                 Vec::with_capacity(FEED_CHUNK.min(scenario.n) as usize);
             let mut fed = 0u64;
             while fed < scenario.n {
@@ -180,12 +188,12 @@ where
                     }
                     batch.push((site, item));
                 }
-                cluster
+                tracker
                     .feed_batch(&batch)
                     .map_err(|e| format!("feed_batch failed in items {fed}..{stop}: {e}"))?;
                 fed = stop;
                 if mode == Mode::Check && fed.is_multiple_of(check_every) {
-                    checks += check(cluster.coordinator(), &oracle, fed)
+                    checks += check(&mut tracker, &oracle, scenario)
                         .map_err(|e| format!("checkpoint at item {fed}: {e}"))?;
                 }
             }
@@ -195,12 +203,12 @@ where
                 if mode == Mode::Check {
                     oracle.observe(item);
                 }
-                cluster
+                tracker
                     .feed(site, item)
                     .map_err(|e| format!("feed failed at item {i}: {e}"))?;
                 let fed = (i + 1) as u64;
                 if mode == Mode::Check && fed.is_multiple_of(check_every) {
-                    checks += check(cluster.coordinator(), &oracle, fed)
+                    checks += check(&mut tracker, &oracle, scenario)
                         .map_err(|e| format!("checkpoint at item {fed}: {e}"))?;
                 }
             }
@@ -209,12 +217,18 @@ where
     if mode == Mode::Check && !scenario.n.is_multiple_of(check_every) {
         // The loop already checkpointed at fed == n when check_every
         // divides n; only the ragged tail needs a final pass.
-        checks += check(cluster.coordinator(), &oracle, scenario.n)
-            .map_err(|e| format!("final check: {e}"))?;
+        checks +=
+            check(&mut tracker, &oracle, scenario).map_err(|e| format!("final check: {e}"))?;
     }
 
-    let words = cluster.meter().total_words();
-    let messages = cluster.meter().total_messages();
+    // Tear down through finish() so threaded worker death surfaces as an
+    // error instead of silently yielding a partial transcript; the
+    // returned meter is the post-settle merge cost() would have given.
+    let meter = tracker
+        .finish()
+        .map_err(|e| format!("teardown failed: {e}"))?;
+    let words = meter.total_words();
+    let messages = meter.total_messages();
     let budget = word_budget(scenario, warmup);
     if mode == Mode::Check && words > budget {
         return Err(format!(
@@ -236,320 +250,10 @@ where
     })
 }
 
-fn run_counter(scenario: &Scenario, mode: Mode, feed: FeedMode) -> Result<ScenarioReport, String> {
-    let eps = scenario.epsilon;
-    let k = scenario.k;
-    let sites = (0..k)
-        .map(|_| CounterSite::new(eps))
-        .collect::<Result<Vec<_>, _>>()
-        .map_err(|e| e.to_string())?;
-    let cluster = Cluster::new(sites, CounterCoordinator::new()).map_err(|e| e.to_string())?;
-    drive(
-        scenario,
-        mode,
-        feed,
-        0,
-        cluster,
-        move |coord, oracle, _fed| {
-            let n = oracle.total();
-            let est = coord.estimate();
-            if est > n {
-                return Err(format!("counter overestimates: {est} > {n}"));
-            }
-            // Each of the k sites can hold back one (1+ε)-factor step.
-            if (est as f64) < (1.0 - eps) * n as f64 - k as f64 {
-                return Err(format!("counter estimate {est} below (1-eps)n for n={n}"));
-            }
-            Ok(2)
-        },
-    )
-}
-
-fn run_hh(scenario: &Scenario, mode: Mode, feed: FeedMode) -> Result<ScenarioReport, String> {
-    let eps = scenario.epsilon;
-    let mut config = HhConfig::new(scenario.k, eps).map_err(|e| e.to_string())?;
-    let warmup = effective_warmup(scenario, mode, config.warmup_target);
-    config = config.with_warmup_target(warmup);
-    if let Some(r) = scenario.tuning.resync_after {
-        config = config.with_resync_after(r);
-    }
-    // φ thresholds checked against the oracle; every φ > ε is meaningful.
-    let phis: Vec<f64> = [0.02, 0.05, 0.1, 0.25, 0.5]
-        .into_iter()
-        .filter(|&phi| phi > eps)
-        .collect();
-    let check = move |global_count: u64,
-                      hh_of: &dyn Fn(f64) -> Result<Vec<u64>, String>,
-                      oracle: &ExactOracle|
-          -> Result<u64, String> {
-        let m = oracle.total();
-        // Invariant (3) of Figure 1: the tracked count is an
-        // (1−ε/3)-underestimate of m.
-        if global_count > m {
-            return Err(format!("tracked count {global_count} > true {m}"));
-        }
-        if (global_count as f64) < m as f64 * (1.0 - eps / 3.0) - 1.0 {
-            return Err(format!("tracked count {global_count} too stale for m={m}"));
-        }
-        let mut checks = 1;
-        for &phi in &phis {
-            let reported = hh_of(phi)?;
-            if let Some(violation) = oracle.check_heavy_hitters(&reported, phi, eps) {
-                return Err(format!("phi={phi}: {violation}"));
-            }
-            checks += 1;
-        }
-        Ok(checks)
-    };
-    match scenario.protocol {
-        ProtocolSpec::HhSketched => {
-            let cluster = dtrack_core::hh::sketched_cluster(config).map_err(|e| e.to_string())?;
-            drive(
-                scenario,
-                mode,
-                feed,
-                warmup,
-                cluster,
-                move |coord, oracle, _| {
-                    check(
-                        coord.global_count(),
-                        &|phi| coord.heavy_hitters(phi).map_err(|e| e.to_string()),
-                        oracle,
-                    )
-                },
-            )
-        }
-        _ => {
-            let cluster = dtrack_core::hh::exact_cluster(config).map_err(|e| e.to_string())?;
-            drive(
-                scenario,
-                mode,
-                feed,
-                warmup,
-                cluster,
-                move |coord, oracle, _| {
-                    check(
-                        coord.global_count(),
-                        &|phi| coord.heavy_hitters(phi).map_err(|e| e.to_string()),
-                        oracle,
-                    )
-                },
-            )
-        }
-    }
-}
-
-fn run_quantile(
-    scenario: &Scenario,
-    phi: f64,
-    mode: Mode,
-    feed: FeedMode,
-) -> Result<ScenarioReport, String> {
-    let eps = scenario.epsilon;
-    let mut config = QuantileConfig::new(scenario.k, eps, phi).map_err(|e| e.to_string())?;
-    let warmup = effective_warmup(scenario, mode, config.warmup_target);
-    config = config.with_warmup_target(warmup);
-    if let Some(g) = scenario.tuning.granularity {
-        config = config.with_granularity(g);
-    }
-    let check = move |quantile: Option<u64>, oracle: &ExactOracle| -> Result<u64, String> {
-        let Some(q) = quantile else {
-            return if oracle.total() == 0 {
-                Ok(0)
-            } else {
-                Err("no quantile answer on a nonempty stream".to_owned())
-            };
-        };
-        if !oracle.quantile_ok(q, phi, eps) {
-            return Err(format!(
-                "phi={phi}: {q} outside the ε-band (rank {} of {})",
-                oracle.rank_lt(q),
-                oracle.total()
-            ));
-        }
-        Ok(1)
-    };
-    match scenario.protocol {
-        ProtocolSpec::QuantileSketched { .. } => {
-            let cluster =
-                dtrack_core::quantile::sketched_cluster(config).map_err(|e| e.to_string())?;
-            drive(
-                scenario,
-                mode,
-                feed,
-                warmup,
-                cluster,
-                move |coord, oracle, _| check(coord.quantile(), oracle),
-            )
-        }
-        _ => {
-            let cluster =
-                dtrack_core::quantile::exact_cluster(config).map_err(|e| e.to_string())?;
-            drive(
-                scenario,
-                mode,
-                feed,
-                warmup,
-                cluster,
-                move |coord, oracle, _| check(coord.quantile(), oracle),
-            )
-        }
-    }
-}
-
-fn run_allq(scenario: &Scenario, mode: Mode, feed: FeedMode) -> Result<ScenarioReport, String> {
-    let eps = scenario.epsilon;
-    let mut config = AllQConfig::new(scenario.k, eps).map_err(|e| e.to_string())?;
-    let warmup = effective_warmup(scenario, mode, config.warmup_target);
-    config = config.with_warmup_target(warmup);
-    let cluster = dtrack_core::allq::exact_cluster(config).map_err(|e| e.to_string())?;
-    drive(
-        scenario,
-        mode,
-        feed,
-        warmup,
-        cluster,
-        move |coord, oracle, _| {
-            let n = oracle.total();
-            if n == 0 {
-                return Ok(0);
-            }
-            let mut checks = 0;
-            for phi in PROBE_PHIS {
-                let q = coord
-                    .quantile(phi)
-                    .map_err(|e| e.to_string())?
-                    .ok_or_else(|| format!("phi={phi}: no answer on a nonempty stream"))?;
-                if !oracle.quantile_ok(q, phi, eps) {
-                    return Err(format!(
-                        "phi={phi}: {q} outside the ε-band (rank {} of {n})",
-                        oracle.rank_lt(q)
-                    ));
-                }
-                checks += 1;
-            }
-            // Rank queries: probe at the oracle's own quantile positions so the
-            // probes track the value distribution (and its drift) exactly.
-            for phi in PROBE_PHIS {
-                let probe = oracle.quantile(phi).expect("nonempty");
-                let est = coord.rank_lt(probe);
-                let truth = oracle.rank_lt(probe);
-                if est.abs_diff(truth) as f64 > eps * n as f64 + 2.0 {
-                    return Err(format!(
-                        "rank_lt({probe}): {est} vs true {truth}, beyond εn = {}",
-                        eps * n as f64
-                    ));
-                }
-                checks += 1;
-            }
-            Ok(checks)
-        },
-    )
-}
-
-fn run_cgmr(scenario: &Scenario, mode: Mode, feed: FeedMode) -> Result<ScenarioReport, String> {
-    let eps = scenario.epsilon;
-    let config = CgmrConfig::new(scenario.k, eps)?;
-    let cluster = dtrack_baseline::cgmr::exact_cluster(config).map_err(|e| e.to_string())?;
-    drive(scenario, mode, feed, 0, cluster, move |coord, oracle, _| {
-        let n = oracle.total();
-        if n == 0 {
-            return Ok(0);
-        }
-        let mut checks = 0;
-        for phi in PROBE_PHIS {
-            let q = coord
-                .quantile(phi)
-                .ok_or_else(|| format!("phi={phi}: no answer on a nonempty stream"))?;
-            if !oracle.quantile_ok(q, phi, eps) {
-                return Err(format!(
-                    "phi={phi}: {q} outside the ε-band (rank {} of {n})",
-                    oracle.rank_lt(q)
-                ));
-            }
-            let probe = oracle.quantile(phi).expect("nonempty");
-            let est = coord.rank_lt(probe);
-            let truth = oracle.rank_lt(probe);
-            if est.abs_diff(truth) as f64 > eps * n as f64 + 2.0 {
-                return Err(format!("rank_lt({probe}): {est} vs true {truth}"));
-            }
-            checks += 2;
-        }
-        Ok(checks)
-    })
-}
-
-fn run_polling(scenario: &Scenario, mode: Mode, feed: FeedMode) -> Result<ScenarioReport, String> {
-    let eps = scenario.epsilon;
-    let config = PollingConfig::new(scenario.k, eps)?;
-    let cluster = dtrack_baseline::naive::polling_cluster(config).map_err(|e| e.to_string())?;
-    drive(scenario, mode, feed, 0, cluster, move |coord, oracle, _| {
-        let n = oracle.total();
-        if n == 0 {
-            return Ok(0);
-        }
-        let mut checks = 0;
-        for phi in PROBE_PHIS {
-            let q = coord
-                .quantile(phi)
-                .ok_or_else(|| format!("phi={phi}: no answer on a nonempty stream"))?;
-            // Between polls up to εn arrivals are unaccounted on top of
-            // the summaries' own εn error — the strawman's band is 2ε.
-            if !oracle.quantile_ok(q, phi, 2.0 * eps) {
-                return Err(format!(
-                    "phi={phi}: {q} outside the 2ε-band (rank {} of {n})",
-                    oracle.rank_lt(q)
-                ));
-            }
-            checks += 1;
-        }
-        Ok(checks)
-    })
-}
-
-fn run_forward_all(
-    scenario: &Scenario,
-    mode: Mode,
-    feed: FeedMode,
-) -> Result<ScenarioReport, String> {
-    let cluster =
-        dtrack_baseline::naive::forward_all_cluster(scenario.k).map_err(|e| e.to_string())?;
-    drive(scenario, mode, feed, 0, cluster, move |coord, oracle, _| {
-        let n = oracle.total();
-        if coord.total() != n {
-            return Err(format!("total {} != true {n}", coord.total()));
-        }
-        if n == 0 {
-            return Ok(1);
-        }
-        let mut checks = 1;
-        for phi in PROBE_PHIS {
-            let probe = oracle.quantile(phi).expect("nonempty");
-            if coord.rank_lt(probe) != oracle.rank_lt(probe) {
-                return Err(format!(
-                    "rank_lt({probe}): {} != exact {}",
-                    coord.rank_lt(probe),
-                    oracle.rank_lt(probe)
-                ));
-            }
-            let q = coord
-                .quantile(phi)
-                .ok_or_else(|| format!("phi={phi}: no answer on a nonempty stream"))?;
-            // Same multiset ⇒ the answer must be an exact φ-quantile
-            // under the rank-interval convention.
-            if !oracle.quantile_ok(q, phi, 0.0) {
-                return Err(format!("phi={phi}: {q} is not an exact quantile"));
-            }
-            checks += 2;
-        }
-        Ok(checks)
-    })
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scenario::{AssignmentSpec, GeneratorSpec};
+    use crate::scenario::{AssignmentSpec, GeneratorSpec, ProtocolSpec};
 
     fn base(protocol: ProtocolSpec) -> Scenario {
         Scenario::new(
@@ -602,5 +306,16 @@ mod tests {
         let default = measure_cost(&s).unwrap();
         let coarse = measure_cost(&s.with_granularity(6)).unwrap();
         assert_ne!(default.words, coarse.words);
+    }
+
+    #[test]
+    fn differential_mode_passes_on_the_threaded_backend_too() {
+        // The site-at-a-time schedule is transcript-identical, so the
+        // same differential run (checks, budget, words) must succeed and
+        // meter identically on real threads.
+        let s = base(ProtocolSpec::HhExact);
+        let det = run_scenario(&s).unwrap();
+        let thr = run_scenario_on(&s, BackendKind::Threaded).unwrap();
+        assert_eq!(det, thr);
     }
 }

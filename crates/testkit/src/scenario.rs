@@ -220,19 +220,11 @@ pub enum ProtocolSpec {
 }
 
 impl ProtocolSpec {
-    /// Short label used in scenario names.
+    /// Short label used in scenario names (a field of the protocol's
+    /// [`crate::registry`] profile — the registry is the one place that
+    /// dispatches over `ProtocolSpec`).
     pub fn label(&self) -> &'static str {
-        match self {
-            ProtocolSpec::Counter => "counter",
-            ProtocolSpec::HhExact => "hh-exact",
-            ProtocolSpec::HhSketched => "hh-sketched",
-            ProtocolSpec::QuantileExact { .. } => "quantile-exact",
-            ProtocolSpec::QuantileSketched { .. } => "quantile-sketched",
-            ProtocolSpec::AllQExact => "allq-exact",
-            ProtocolSpec::Cgmr => "cgmr",
-            ProtocolSpec::Polling => "polling",
-            ProtocolSpec::ForwardAll => "forward-all",
-        }
+        crate::registry::profile(*self).label
     }
 }
 

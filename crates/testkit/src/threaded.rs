@@ -1,80 +1,83 @@
-//! Drive a [`Scenario`] through the threaded runtime.
+//! Drive a [`Scenario`] through the threaded runtime — via the same
+//! [`Tracker`] facade as [`crate::runner`], so there is no per-protocol
+//! code here at all.
 //!
 //! Three entry points share one generic driver:
 //!
-//! * [`run_scenario_threaded`] — site-at-a-time schedule through
-//!   [`ThreadedCluster::feed_batch`]: the transcript (final answers *and*
+//! * [`run_scenario_threaded`] — site-at-a-time schedule through the
+//!   threaded backend's `feed_batch`: the transcript (final answers *and*
 //!   metered words) must be bit-identical to the deterministic runner on
 //!   the same stream, and `testkit`'s equivalence tests assert exactly
 //!   that against the golden fixture.
 //! * [`run_scenario_reference`] — the deterministic twin: the same
-//!   construction and the same chunked schedule through
-//!   [`Cluster::feed_batch`], reporting the same answer strings, so the
-//!   two runtimes can be compared outcome-for-outcome.
+//!   construction and the same chunked schedule on the deterministic
+//!   backend, reporting the same answers, so the two runtimes can be
+//!   compared outcome-for-outcome.
 //! * [`measure_threaded`] — free-running parallel ingest for throughput
 //!   benchmarks: items flow to all site threads concurrently (per item or
-//!   as per-site runs) with a single settle at the end. Wall-clock is the
-//!   interesting output; the metered words are *not* transcript-pinned
-//!   here because arrivals interleave with in-flight communication.
+//!   as per-site runs through [`Tracker::ingest`]) with a single settle
+//!   at the end. Wall-clock is the interesting output; the metered words
+//!   are *not* transcript-pinned here because arrivals interleave with
+//!   in-flight communication.
 //!
-//! Answers are canonical strings (sorted where the underlying query has
-//! no inherent order) so "identical answers" is a plain `Vec<String>`
-//! equality — meaningful across runtimes and cheap to diff in a failure
-//! message.
+//! Answers are typed [`Answer`]s whose `Display` reproduces the legacy
+//! canonical strings (sorted where the underlying query has no inherent
+//! order), so "identical answers" is plain `Vec<Answer>` equality —
+//! meaningful across runtimes and cheap to diff in a failure message.
 
 use crate::bound::word_budget;
+use crate::registry::{self, WarmupPolicy};
 use crate::report::{ScenarioFailure, ScenarioReport};
-use crate::runner::{FEED_CHUNK, PROBE_PHIS};
-use crate::scenario::{ProtocolSpec, Scenario};
-use dtrack_baseline::{CgmrConfig, PollingConfig};
-use dtrack_core::allq::{AllQConfig, AllQCoordinator, AllQSite};
-use dtrack_core::counter::{CounterCoordinator, CounterSite};
-use dtrack_core::hh::{HhConfig, HhCoordinator, HhSite};
-use dtrack_core::quantile::{QuantileConfig, QuantileCoordinator, QuantileSite};
-use dtrack_sim::threaded::ThreadedCluster;
-use dtrack_sim::{Cluster, Coordinator, Site, SiteId};
+use crate::runner::FEED_CHUNK;
+use crate::scenario::Scenario;
+use dtrack_sim::{Answer, BackendKind, SiteId, Tracker};
 use std::time::Instant;
 
-/// How [`measure_threaded`] delivers items to the threaded cluster.
+/// How [`measure_threaded`] delivers items to the threaded backend.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ThreadedIngest {
-    /// One [`ThreadedCluster::feed`] call per item — the per-hop baseline.
+    /// One [`Tracker::feed`] call per item — the per-hop baseline.
     PerItem,
-    /// Per-site runs through [`ThreadedCluster::ingest_run`], keeping all
-    /// site threads busy with `Site::on_items` fast-path consumption.
+    /// Per-site runs through [`Tracker::ingest`], keeping all site
+    /// threads busy with `Site::on_items` fast-path consumption (the
+    /// backend enforces the one-run completion window per site).
     Batched,
 }
 
 /// Outcome of one threaded (or reference) run: the usual cost report plus
-/// the protocol's final answers in canonical form.
+/// the protocol's canonical final answers.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ThreadedOutcome {
     /// Cost summary (checks is always 0: accuracy is asserted by
     /// comparing answers against the deterministic reference, not by an
     /// in-run oracle).
     pub report: ScenarioReport,
-    /// Canonical final answers (protocol-specific).
-    pub answers: Vec<String>,
+    /// Typed canonical final answers (protocol-specific); `Display`
+    /// renders the legacy canonical strings.
+    pub answers: Vec<Answer>,
     /// Wall-clock milliseconds spent feeding the stream and settling —
-    /// stream generation, cluster spawn, and teardown excluded, so
+    /// stream generation, tracker construction, and teardown excluded, so
     /// throughput comparisons measure ingest, not setup.
     pub ingest_ms: f64,
 }
 
-/// Target per-site run length for free-running batched ingest (see the
-/// `ThreadedIngest::Batched` comment in `drive`).
-const FREE_RUN: usize = 128;
+/// Target per-site run length for free-running batched ingest: long
+/// enough to amortize the channel hop, short enough that (with the
+/// backend's one-run window) a site never runs far ahead of coordinator
+/// feedback. Public so the bench harness's facade-vs-direct cells use
+/// the same run length as the headline threaded cells.
+pub const FREE_RUN: usize = 128;
 
 enum Exec {
-    /// Deterministic [`Cluster`], chunked `feed_batch` schedule.
+    /// Deterministic backend, chunked `feed_batch` schedule.
     Deterministic,
-    /// [`ThreadedCluster::feed_batch`] on the same chunked schedule.
+    /// Threaded backend, same chunked site-at-a-time schedule.
     ThreadedSiteAtATime,
-    /// Free-running threaded ingest.
+    /// Threaded backend, free-running ingest.
     ThreadedFree(ThreadedIngest),
 }
 
-/// Run the scenario through [`ThreadedCluster`] on a site-at-a-time
+/// Run the scenario through the threaded backend on a site-at-a-time
 /// schedule; answers and metered words are transcript-identical to
 /// [`run_scenario_reference`] (and therefore to `measure_cost` and the
 /// golden fixture).
@@ -84,7 +87,7 @@ pub fn run_scenario_threaded(scenario: &Scenario) -> Result<ThreadedOutcome, Sce
 
 /// The deterministic twin of [`run_scenario_threaded`]: same
 /// construction, same chunked schedule, same answer extraction, driven
-/// through the single-threaded [`Cluster`].
+/// through the deterministic backend.
 pub fn run_scenario_reference(scenario: &Scenario) -> Result<ThreadedOutcome, ScenarioFailure> {
     dispatch(scenario, Exec::Deterministic)
 }
@@ -107,114 +110,58 @@ fn dispatch(scenario: &Scenario, exec: Exec) -> Result<ThreadedOutcome, Scenario
     if scenario.k < 2 {
         return Err(fail("scenarios need k >= 2".to_owned()));
     }
-    match scenario.protocol {
-        ProtocolSpec::Counter => counter(scenario, exec),
-        ProtocolSpec::HhExact | ProtocolSpec::HhSketched => hh(scenario, exec),
-        ProtocolSpec::QuantileExact { phi } | ProtocolSpec::QuantileSketched { phi } => {
-            quantile(scenario, phi, exec)
-        }
-        ProtocolSpec::AllQExact => allq(scenario, exec),
-        ProtocolSpec::Cgmr => cgmr(scenario, exec),
-        ProtocolSpec::Polling => polling(scenario, exec),
-        ProtocolSpec::ForwardAll => forward_all(scenario, exec),
-    }
-    .map_err(fail)
-}
-
-/// Shared plumbing: build the stream, run it through the chosen runtime,
-/// and extract the final answers from the surviving coordinator.
-fn drive<S, C>(
-    scenario: &Scenario,
-    exec: Exec,
-    warmup: u64,
-    sites: Vec<S>,
-    coordinator: C,
-    answers: impl Fn(&C) -> Result<Vec<String>, String>,
-) -> Result<ThreadedOutcome, String>
-where
-    S: Site<Item = u64> + Send + 'static,
-    S::Up: Send,
-    S::Down: Send + Sync,
-    C: Coordinator<Up = S::Up, Down = S::Down> + Send + 'static,
-{
+    let backend = match exec {
+        Exec::Deterministic => BackendKind::Deterministic,
+        Exec::ThreadedSiteAtATime | Exec::ThreadedFree(_) => BackendKind::Threaded,
+    };
+    // Throughput/equivalence runs keep the protocol-default warm-up so
+    // cost numbers reflect the paper's configuration.
+    let (mut tracker, warmup): (Tracker, u64) =
+        registry::build_tracker(scenario, WarmupPolicy::ProtocolDefault, backend).map_err(&fail)?;
     let stream: Vec<(SiteId, u64)> = scenario.stream().collect();
     let chunk = FEED_CHUNK as usize;
-    let (coordinator, words, messages, ingest_ms) = match exec {
-        Exec::Deterministic => {
-            let mut cluster = Cluster::new(sites, coordinator).map_err(|e| e.to_string())?;
-            let start = Instant::now();
+
+    let start = Instant::now();
+    match exec {
+        Exec::Deterministic | Exec::ThreadedSiteAtATime => {
             for part in stream.chunks(chunk) {
-                cluster.feed_batch(part).map_err(|e| e.to_string())?;
+                tracker.feed_batch(part).map_err(|e| fail(e.to_string()))?;
             }
-            let ingest_ms = start.elapsed().as_secs_f64() * 1e3;
-            let (c, _sites, meter) = cluster.into_parts();
-            (c, meter.total_words(), meter.total_messages(), ingest_ms)
         }
-        Exec::ThreadedSiteAtATime => {
-            let cluster = ThreadedCluster::spawn(sites, coordinator).map_err(|e| e.to_string())?;
-            let start = Instant::now();
-            for part in stream.chunks(chunk) {
-                cluster.feed_batch(part).map_err(|e| e.to_string())?;
+        Exec::ThreadedFree(ThreadedIngest::PerItem) => {
+            for &(site, item) in &stream {
+                tracker.feed(site, item).map_err(|e| fail(e.to_string()))?;
             }
-            cluster.settle();
-            let ingest_ms = start.elapsed().as_secs_f64() * 1e3;
-            let (c, _sites, meter) = cluster.shutdown().map_err(|e| e.to_string())?;
-            (c, meter.total_words(), meter.total_messages(), ingest_ms)
         }
-        Exec::ThreadedFree(ingest) => {
+        Exec::ThreadedFree(ThreadedIngest::Batched) => {
+            // Per chunk, hand every site its run at once so all k threads
+            // chew in parallel; the backend's one-run window per site
+            // bounds feedback staleness to ~FREE_RUN items while the
+            // pipeline keeps every thread busy.
             let k = scenario.k as usize;
-            let cluster = ThreadedCluster::spawn(sites, coordinator).map_err(|e| e.to_string())?;
-            let start = Instant::now();
-            match ingest {
-                ThreadedIngest::PerItem => {
-                    for &(site, item) in &stream {
-                        cluster.feed(site, item).map_err(|e| e.to_string())?;
-                    }
+            let mut per_site: Vec<Vec<u64>> = vec![Vec::new(); k];
+            for part in stream.chunks(FREE_RUN * k) {
+                for &(site, item) in part {
+                    per_site[site.index()].push(item);
                 }
-                ThreadedIngest::Batched => {
-                    // Per chunk, hand every site its run at once so all k
-                    // threads chew in parallel — but with a one-run window
-                    // per site: before enqueueing a site's next run, wait
-                    // for its previous ticket. Unbounded queueing would
-                    // let a site race arbitrarily far ahead of the
-                    // coordinator feedback parked behind its queued runs,
-                    // and a feedback-starved site over-communicates (a
-                    // heavy-hitter site on stale thresholds floods the
-                    // channel with deltas), costing more than batching
-                    // saves. The window bounds staleness to ~FREE_RUN
-                    // items while the pipeline keeps every thread busy.
-                    let mut per_site: Vec<Vec<u64>> = vec![Vec::new(); k];
-                    let mut tickets: Vec<Option<dtrack_sim::threaded::RunTicket>> =
-                        (0..k).map(|_| None).collect();
-                    for part in stream.chunks(FREE_RUN * k) {
-                        for &(site, item) in part {
-                            per_site[site.index()].push(item);
-                        }
-                        for (i, items) in per_site.iter_mut().enumerate() {
-                            if !items.is_empty() {
-                                if let Some(t) = tickets[i].take() {
-                                    t.wait();
-                                }
-                                tickets[i] = Some(
-                                    cluster
-                                        .ingest_run(SiteId(i as u32), std::mem::take(items))
-                                        .map_err(|e| e.to_string())?,
-                                );
-                            }
-                        }
-                    }
-                    for t in tickets.into_iter().flatten() {
-                        t.wait();
+                for (i, items) in per_site.iter_mut().enumerate() {
+                    if !items.is_empty() {
+                        tracker
+                            .ingest(SiteId(i as u32), std::mem::take(items))
+                            .map_err(|e| fail(e.to_string()))?;
                     }
                 }
             }
-            cluster.settle();
-            let ingest_ms = start.elapsed().as_secs_f64() * 1e3;
-            let (c, _sites, meter) = cluster.shutdown().map_err(|e| e.to_string())?;
-            (c, meter.total_words(), meter.total_messages(), ingest_ms)
         }
-    };
-    let answers = answers(&coordinator)?;
+    }
+    tracker.settle();
+    let ingest_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let answers = tracker.answers().map_err(|e| fail(e.to_string()))?;
+    // finish() both merges the final meter and surfaces worker death —
+    // a site thread that died after its queue drained must fail the run,
+    // not return partial answers as a success.
+    let meter = tracker.finish().map_err(|e| fail(e.to_string()))?;
     Ok(ThreadedOutcome {
         report: ScenarioReport {
             scenario: scenario.to_string(),
@@ -222,8 +169,8 @@ where
             k: scenario.k,
             epsilon: scenario.epsilon,
             n: scenario.n,
-            words,
-            messages,
+            words: meter.total_words(),
+            messages: meter.total_messages(),
             budget_words: word_budget(scenario, warmup),
             checks: 0,
         },
@@ -232,182 +179,10 @@ where
     })
 }
 
-fn fmt_opt(q: Option<u64>) -> String {
-    match q {
-        Some(v) => v.to_string(),
-        None => "-".to_owned(),
-    }
-}
-
-fn counter(scenario: &Scenario, exec: Exec) -> Result<ThreadedOutcome, String> {
-    let sites = (0..scenario.k)
-        .map(|_| CounterSite::new(scenario.epsilon))
-        .collect::<Result<Vec<_>, _>>()
-        .map_err(|e| e.to_string())?;
-    drive(scenario, exec, 0, sites, CounterCoordinator::new(), |c| {
-        Ok(vec![format!("estimate={}", c.estimate())])
-    })
-}
-
-fn hh(scenario: &Scenario, exec: Exec) -> Result<ThreadedOutcome, String> {
-    let eps = scenario.epsilon;
-    let mut config = HhConfig::new(scenario.k, eps).map_err(|e| e.to_string())?;
-    if let Some(w) = scenario.tuning.warmup {
-        config = config.with_warmup_target(w);
-    }
-    if let Some(r) = scenario.tuning.resync_after {
-        config = config.with_resync_after(r);
-    }
-    let warmup = config.warmup_target;
-    let phis: Vec<f64> = [0.02, 0.05, 0.1, 0.25, 0.5]
-        .into_iter()
-        .filter(|&phi| phi > eps)
-        .collect();
-    let answers = move |c: &HhCoordinator| -> Result<Vec<String>, String> {
-        let mut out = vec![format!("m={}", c.global_count())];
-        for &phi in &phis {
-            // Sort: the heavy-hitter *set* is the answer; report order may
-            // legitimately differ between runtimes.
-            let mut hh = c.heavy_hitters(phi).map_err(|e| e.to_string())?;
-            hh.sort_unstable();
-            out.push(format!("hh(phi={phi})={hh:?}"));
-        }
-        Ok(out)
-    };
-    let coordinator = HhCoordinator::new(config);
-    match scenario.protocol {
-        ProtocolSpec::HhSketched => {
-            let sites = (0..config.k).map(|_| HhSite::sketched(config)).collect();
-            drive(scenario, exec, warmup, sites, coordinator, answers)
-        }
-        _ => {
-            let sites = (0..config.k).map(|_| HhSite::exact(config)).collect();
-            drive(scenario, exec, warmup, sites, coordinator, answers)
-        }
-    }
-}
-
-fn quantile(scenario: &Scenario, phi: f64, exec: Exec) -> Result<ThreadedOutcome, String> {
-    let mut config =
-        QuantileConfig::new(scenario.k, scenario.epsilon, phi).map_err(|e| e.to_string())?;
-    if let Some(w) = scenario.tuning.warmup {
-        config = config.with_warmup_target(w);
-    }
-    if let Some(g) = scenario.tuning.granularity {
-        config = config.with_granularity(g);
-    }
-    let warmup = config.warmup_target;
-    let answers = |c: &QuantileCoordinator| -> Result<Vec<String>, String> {
-        Ok(vec![
-            format!("quantile={}", fmt_opt(c.quantile())),
-            format!("n={}", c.n_estimate()),
-        ])
-    };
-    let coordinator = QuantileCoordinator::new(config);
-    match scenario.protocol {
-        ProtocolSpec::QuantileSketched { .. } => {
-            let sites = (0..config.k)
-                .map(|_| QuantileSite::sketched(config))
-                .collect();
-            drive(scenario, exec, warmup, sites, coordinator, answers)
-        }
-        _ => {
-            let sites = (0..config.k).map(|_| QuantileSite::exact(config)).collect();
-            drive(scenario, exec, warmup, sites, coordinator, answers)
-        }
-    }
-}
-
-fn allq(scenario: &Scenario, exec: Exec) -> Result<ThreadedOutcome, String> {
-    let mut config = AllQConfig::new(scenario.k, scenario.epsilon).map_err(|e| e.to_string())?;
-    if let Some(w) = scenario.tuning.warmup {
-        config = config.with_warmup_target(w);
-    }
-    let warmup = config.warmup_target;
-    let sites = (0..config.k).map(|_| AllQSite::exact(config)).collect();
-    drive(
-        scenario,
-        exec,
-        warmup,
-        sites,
-        AllQCoordinator::new(config),
-        |c: &AllQCoordinator| {
-            let mut out = vec![format!("n={}", c.n_estimate())];
-            for phi in PROBE_PHIS {
-                let q = c.quantile(phi).map_err(|e| e.to_string())?;
-                out.push(format!("q({phi})={}", fmt_opt(q)));
-            }
-            Ok(out)
-        },
-    )
-}
-
-fn cgmr(scenario: &Scenario, exec: Exec) -> Result<ThreadedOutcome, String> {
-    let config = CgmrConfig::new(scenario.k, scenario.epsilon)?;
-    let sites = (0..config.k)
-        .map(|_| dtrack_baseline::cgmr::CgmrSite::exact(config))
-        .collect();
-    drive(
-        scenario,
-        exec,
-        0,
-        sites,
-        dtrack_baseline::cgmr::CgmrCoordinator::new(config),
-        |c| {
-            let mut out = vec![format!("n={}", c.n_estimate())];
-            for phi in PROBE_PHIS {
-                out.push(format!("q({phi})={}", fmt_opt(c.quantile(phi))));
-            }
-            Ok(out)
-        },
-    )
-}
-
-fn polling(scenario: &Scenario, exec: Exec) -> Result<ThreadedOutcome, String> {
-    let config = PollingConfig::new(scenario.k, scenario.epsilon)?;
-    let sites = (0..config.k)
-        .map(|_| dtrack_baseline::naive::PollingSite::exact(config))
-        .collect();
-    drive(
-        scenario,
-        exec,
-        0,
-        sites,
-        dtrack_baseline::naive::PollingCoordinator::new(config),
-        |c| {
-            let mut out = Vec::new();
-            for phi in PROBE_PHIS {
-                out.push(format!("q({phi})={}", fmt_opt(c.quantile(phi))));
-            }
-            Ok(out)
-        },
-    )
-}
-
-fn forward_all(scenario: &Scenario, exec: Exec) -> Result<ThreadedOutcome, String> {
-    let sites = (0..scenario.k)
-        .map(|_| dtrack_baseline::naive::ForwardAllSite)
-        .collect();
-    drive(
-        scenario,
-        exec,
-        0,
-        sites,
-        dtrack_baseline::naive::ForwardAllCoordinator::new(),
-        |c| {
-            let mut out = vec![format!("total={}", c.total())];
-            for phi in PROBE_PHIS {
-                out.push(format!("q({phi})={}", fmt_opt(c.quantile(phi))));
-            }
-            Ok(out)
-        },
-    )
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scenario::{AssignmentSpec, GeneratorSpec};
+    use crate::scenario::{AssignmentSpec, GeneratorSpec, ProtocolSpec};
 
     fn base(protocol: ProtocolSpec) -> Scenario {
         Scenario::new(
@@ -454,5 +229,15 @@ mod tests {
             assert_eq!(out.answers.len(), 1);
             assert!(out.report.words > 0, "{ingest:?} metered nothing");
         }
+    }
+
+    #[test]
+    fn answers_render_the_canonical_strings() {
+        let s = base(ProtocolSpec::QuantileExact { phi: 0.5 });
+        let out = run_scenario_reference(&s).unwrap();
+        let rendered: Vec<String> = out.answers.iter().map(ToString::to_string).collect();
+        assert_eq!(rendered.len(), 2);
+        assert!(rendered[0].starts_with("quantile="), "{rendered:?}");
+        assert!(rendered[1].starts_with("n="), "{rendered:?}");
     }
 }

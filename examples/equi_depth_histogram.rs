@@ -5,65 +5,84 @@
 //!
 //! We track a Zipf stream across 6 sites and render the coordinator's
 //! histogram, query arbitrary quantiles and ranks, and extract the
-//! 2ε-heavy hitters — all with zero extra communication at query time.
+//! 2ε-heavy hitters — all through typed `Tracker` queries, with zero
+//! extra communication at query time. (For structural introspection of
+//! the tree itself, drop below the facade to `allq::exact_cluster`.)
 //!
 //! ```text
 //! cargo run --release --example equi_depth_histogram
 //! ```
 
-use dtrack::core::allq::{exact_cluster, AllQConfig};
-use dtrack::workload::{Assignment, Generator, RoundRobin, Zipf};
+use dtrack::prelude::*;
+use dtrack::workload::{RoundRobin, Zipf};
 
 fn main() {
     let k = 6;
     let epsilon = 0.05;
     let config = AllQConfig::new(k, epsilon).expect("valid parameters");
-    let mut cluster = exact_cluster(config).expect("cluster");
+    let mut tracker = Tracker::builder()
+        .protocol(AllQExactProtocol::new(config))
+        .build()
+        .expect("tracker");
 
     let mut gen = Zipf::new(1 << 20, 1.15, 77);
     let mut assign = RoundRobin::new(k);
     let n = 800_000u64;
+    let mut batch = Vec::with_capacity(4096);
     for _ in 0..n {
-        cluster
-            .feed(assign.next_site(), gen.next_item())
-            .expect("feed");
+        batch.push((assign.next_site(), gen.next_item()));
+        if batch.len() == batch.capacity() {
+            tracker.feed_batch(&batch).expect("feed");
+            batch.clear();
+        }
     }
-    let coord = cluster.coordinator();
+    tracker.feed_batch(&batch).expect("feed");
 
     // 1. The histogram: deciles of the tracked distribution.
     println!("decile histogram (each bucket holds ~10% of items):");
     let mut prev = 0u64;
     for d in 1..=10 {
-        let q = coord
-            .quantile(d as f64 / 10.0)
+        let q = tracker
+            .query(Query::Quantile {
+                phi: d as f64 / 10.0,
+            })
             .expect("valid phi")
+            .as_quantile()
+            .expect("quantile answer")
             .expect("nonempty");
         println!("  bucket {d:>2}: [{prev:>8}, {q:>8})");
         prev = q;
     }
 
     // 2. Arbitrary rank queries.
+    let n_est = tracker
+        .query(Query::Count)
+        .expect("query")
+        .as_count()
+        .expect("count answer");
     println!("\nrank queries:");
     for probe in [1u64 << 10, 1 << 15, 1 << 19] {
-        let r = coord.rank_lt(probe);
+        let r = tracker
+            .query(Query::RankLt { x: probe })
+            .expect("query")
+            .as_count()
+            .expect("rank answer");
         println!(
             "  rank({probe:>8}) ~ {r:>8}  ({:.1}% of the stream)",
-            100.0 * r as f64 / coord.n_estimate() as f64
+            100.0 * r as f64 / n_est as f64
         );
     }
 
     // 3. Heavy hitters fall out of the same structure (the paper's [7]
     //    observation), at doubled error.
-    let hh = coord.heavy_hitters(0.05).expect("valid phi");
-    println!("\n0.05-heavy hitters from the histogram: {hh:?}");
+    let hh = tracker
+        .query(Query::HeavyHitters { phi: 0.05 })
+        .expect("valid phi");
+    println!("\n0.05-heavy hitters from the histogram: {hh}");
 
-    // 4. Structure introspection (Figure 1).
-    let tree = coord.tree();
+    let meter = tracker.finish().expect("clean teardown");
     println!(
-        "\ntree: {} live leaves, height {} (bound {}), total communication {} words",
-        tree.leaves().len(),
-        tree.height(),
-        config.height_bound(),
-        cluster.meter().total_words()
+        "\ntracked n ~ {n_est} (true {n}), total communication {} words",
+        meter.total_words()
     );
 }

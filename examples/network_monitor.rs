@@ -11,10 +11,8 @@
 //! cargo run --release --example network_monitor
 //! ```
 
-use dtrack::core::hh::{sketched_cluster, HhConfig};
-use dtrack::core::ExactOracle;
 use dtrack::prelude::*;
-use dtrack::workload::{Assignment, Generator, ShiftingZipf, SkewedSites};
+use dtrack::workload::{ShiftingZipf, SkewedSites};
 
 fn main() {
     let k = 8; // ingress routers
@@ -22,7 +20,10 @@ fn main() {
     let phi = 0.05; // alert on flows above 5% of traffic
     let config = HhConfig::new(k, epsilon).expect("valid parameters");
     // Sketch-backed sites: O(1/ε) counters per router.
-    let mut cluster = sketched_cluster(config).expect("cluster");
+    let mut tracker = Tracker::builder()
+        .protocol(HhSketchedProtocol::new(config))
+        .build()
+        .expect("tracker");
     let mut oracle = ExactOracle::new();
 
     // Flow ids are Zipf-distributed; the hot set rotates every 200k
@@ -40,9 +41,14 @@ fn main() {
     for i in 1..=n {
         let flow = flows.next_item();
         oracle.observe(flow);
-        cluster.feed(routers.next_site(), flow).expect("feed");
+        tracker.feed(routers.next_site(), flow).expect("feed");
         if i % report_every == 0 {
-            let alerts = cluster.coordinator().heavy_hitters(phi).expect("query");
+            let alerts = tracker
+                .query(Query::HeavyHitters { phi })
+                .expect("query")
+                .as_items()
+                .expect("heavy-hitter answer")
+                .to_vec();
             let top = oracle
                 .heavy_hitters(phi)
                 .first()
@@ -57,7 +63,7 @@ fn main() {
             println!(
                 "{:>9}  {:>8}  {:>22}  {:?}",
                 i,
-                cluster.meter().total_words(),
+                tracker.cost().total_words(),
                 top,
                 alerts.iter().take(4).collect::<Vec<_>>()
             );
@@ -67,15 +73,13 @@ fn main() {
             }
         }
     }
-    // Router memory stayed tiny regardless of flow count.
-    let max_entries = cluster
-        .sites()
-        .iter()
-        .map(|s| s.store().entries())
-        .max()
-        .unwrap_or(0);
+    // Per-router memory stayed at O(1/ε) counters by construction
+    // (SpaceSaving sites) regardless of how many distinct flows passed.
+    let meter = tracker.finish().expect("clean teardown");
     println!(
-        "\nmax per-router state: {max_entries} counters (vs {} distinct flows seen)",
-        oracle.heavy_hitters(0.0).len()
+        "\n{} distinct flows seen; control traffic {} words total:\n{}",
+        oracle.heavy_hitters(0.0).len(),
+        meter.total_words(),
+        meter.report()
     );
 }

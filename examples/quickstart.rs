@@ -1,4 +1,5 @@
-//! Quickstart: track heavy hitters of a skewed stream observed by 4 sites.
+//! Quickstart: track heavy hitters of a skewed stream observed by 4 sites
+//! through the `Tracker` facade.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -9,35 +10,51 @@ use dtrack::workload::{RoundRobin, Zipf};
 
 fn main() {
     // 4 sites, 2% approximation error. One tracker answers heavy-hitter
-    // queries for every threshold φ >= ε.
+    // queries for every threshold φ >= ε. The config embeds k, so the
+    // builder needs no separate `.sites(k)` call.
     let k = 4;
     let epsilon = 0.02;
     let config = HhConfig::new(k, epsilon).expect("valid parameters");
-    let mut cluster = dtrack::core::hh::exact_cluster(config).expect("cluster");
+    let mut tracker = Tracker::builder()
+        .protocol(HhExactProtocol::new(config))
+        .build()
+        .expect("tracker");
 
-    // A Zipf(1.2) stream of one million items, observed round-robin.
+    // A Zipf(1.2) stream of one million items, observed round-robin,
+    // delivered in batches (transcript-identical to per-item feeding,
+    // just faster).
     let mut gen = Zipf::new(1 << 20, 1.2, 42);
     let mut assign = RoundRobin::new(k);
     let n = 1_000_000u64;
+    let mut batch = Vec::with_capacity(4096);
     for _ in 0..n {
-        cluster
-            .feed(assign.next_site(), gen.next_item())
-            .expect("feed");
+        batch.push((assign.next_site(), gen.next_item()));
+        if batch.len() == batch.capacity() {
+            tracker.feed_batch(&batch).expect("feed");
+            batch.clear();
+        }
     }
+    tracker.feed_batch(&batch).expect("feed");
 
     // Query the continuously maintained answer — no extra communication.
     for phi in [0.05, 0.02] {
-        let heavy = cluster.coordinator().heavy_hitters(phi).expect("query");
+        let answer = tracker.query(Query::HeavyHitters { phi }).expect("query");
+        let heavy = answer.as_items().expect("heavy-hitter answer").to_vec();
         println!("{}-heavy hitters ({} items):", phi, heavy.len());
         for x in heavy.iter().take(8) {
-            let est = cluster.coordinator().frequency(*x);
+            let est = tracker
+                .query(Query::Frequency { x: *x })
+                .expect("query")
+                .as_count()
+                .expect("frequency answer");
             println!("  item {x:>8}  tracked frequency ~{est}");
         }
     }
 
     // The whole run cost O(k/ε · log n) words — compare with the naive
     // 2n words of forwarding everything.
-    let words = cluster.meter().total_words();
+    let meter = tracker.finish().expect("clean teardown");
+    let words = meter.total_words();
     println!("\nstream length        : {n}");
     println!("communication        : {words} words");
     println!("naive forwarding     : {} words", 2 * n);
@@ -45,5 +62,5 @@ fn main() {
         "savings              : {:.0}x",
         2.0 * n as f64 / words as f64
     );
-    println!("\nper message kind:\n{}", cluster.meter().report());
+    println!("\nper message kind:\n{}", meter.report());
 }

@@ -10,9 +10,16 @@
 //! cargo run --release --example sensor_median
 //! ```
 
-use dtrack::core::quantile::{exact_cluster, QuantileConfig};
-use dtrack::core::ExactOracle;
-use dtrack::workload::{Assignment, Generator, TwoPhaseDrift, UniformSites};
+use dtrack::prelude::*;
+use dtrack::workload::{TwoPhaseDrift, UniformSites};
+
+fn tracked(t: &mut Tracker) -> u64 {
+    t.query(Query::TrackedQuantile)
+        .expect("query")
+        .as_quantile()
+        .expect("quantile answer")
+        .unwrap_or(0)
+}
 
 fn main() {
     let k = 10; // sensors
@@ -21,8 +28,14 @@ fn main() {
 
     let median_cfg = QuantileConfig::median(k, epsilon).expect("valid parameters");
     let p95_cfg = QuantileConfig::new(k, epsilon, 0.95).expect("valid parameters");
-    let mut median = exact_cluster(median_cfg).expect("cluster");
-    let mut p95 = exact_cluster(p95_cfg).expect("cluster");
+    let mut median = Tracker::builder()
+        .protocol(QuantileExactProtocol::new(median_cfg))
+        .build()
+        .expect("tracker");
+    let mut p95 = Tracker::builder()
+        .protocol(QuantileExactProtocol::new(p95_cfg))
+        .build()
+        .expect("tracker");
     let mut oracle = ExactOracle::new();
 
     // Readings sit in a low band, then jump to a high band mid-run
@@ -41,8 +54,8 @@ fn main() {
         median.feed(s, r).expect("feed");
         p95.feed(s, r).expect("feed");
         if i % 100_000 == 0 {
-            let m_est = median.coordinator().quantile().unwrap_or(0);
-            let p_est = p95.coordinator().quantile().unwrap_or(0);
+            let m_est = tracked(&mut median);
+            let p_est = tracked(&mut p95);
             println!(
                 "{:>9}  {:>10} {:>10}  {:>10} {:>10}  {:>9}",
                 i,
@@ -50,7 +63,7 @@ fn main() {
                 oracle.quantile(0.5).unwrap_or(0),
                 p_est,
                 oracle.quantile(0.95).unwrap_or(0),
-                median.meter().total_words() + p95.meter().total_words(),
+                median.cost().total_words() + p95.cost().total_words(),
             );
             assert!(
                 oracle.quantile_ok(m_est, 0.5, epsilon),
@@ -62,15 +75,12 @@ fn main() {
             );
         }
     }
-    let stats = median.coordinator().stats();
+    let median_words = median.finish().expect("teardown").total_words();
+    let p95_words = p95.finish().expect("teardown").total_words();
     println!(
-        "\nmedian tracker: {} rounds, {} recenters, {} interval splits, {} probes",
-        stats.rebuilds, stats.recenters, stats.splits, stats.probes
-    );
-    println!(
-        "total communication for both trackers: {} words over {} readings ({:.4} words/reading)",
-        median.meter().total_words() + p95.meter().total_words(),
+        "\ntotal communication for both trackers: {} words over {} readings ({:.4} words/reading)",
+        median_words + p95_words,
         n,
-        (median.meter().total_words() + p95.meter().total_words()) as f64 / n as f64
+        (median_words + p95_words) as f64 / n as f64
     );
 }

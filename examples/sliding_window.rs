@@ -1,15 +1,26 @@
 //! The §5 extensions together: sliding-window heavy hitters and window
 //! quantiles over a stream whose distribution rotates, plus the
-//! randomized sampling tracker for comparison.
+//! randomized sampling tracker for comparison — three `Tracker`s over the
+//! same simulated stream.
 //!
 //! ```text
 //! cargo run --release --example sliding_window
 //! ```
 
-use dtrack::core::sampling::{sampling_cluster, SamplingConfig};
-use dtrack::core::window::{window_cluster, window_quantile_cluster, WindowHhConfig, WindowOracle};
+use dtrack::core::sampling::{SamplingConfig, SamplingProtocol};
+use dtrack::core::window::{
+    WindowHhConfig, WindowHhProtocol, WindowOracle, WindowQuantileProtocol,
+};
 use dtrack::prelude::*;
 use dtrack::workload::{Generator, ShiftingZipf};
+
+fn heavy(t: &mut Tracker, phi: f64) -> Vec<u64> {
+    t.query(Query::HeavyHitters { phi })
+        .expect("query")
+        .as_items()
+        .expect("heavy-hitter answer")
+        .to_vec()
+}
 
 fn main() {
     let k = 6;
@@ -18,10 +29,19 @@ fn main() {
     let phi = 0.1;
 
     let config = WindowHhConfig::new(k, epsilon, w).expect("valid parameters");
-    let mut hh = window_cluster(config).expect("cluster");
-    let mut med = window_quantile_cluster(config).expect("cluster");
     let samp_cfg = SamplingConfig::new(k, epsilon, 0.05, 99).expect("valid parameters");
-    let mut whole_stream = sampling_cluster(samp_cfg).expect("cluster");
+    let mut hh = Tracker::builder()
+        .protocol(WindowHhProtocol::new(config))
+        .build()
+        .expect("tracker");
+    let mut med = Tracker::builder()
+        .protocol(WindowQuantileProtocol::new(config))
+        .build()
+        .expect("tracker");
+    let mut whole_stream = Tracker::builder()
+        .protocol(SamplingProtocol::new(samp_cfg))
+        .build()
+        .expect("tracker");
     let mut oracle = WindowOracle::new(w);
 
     // The hot item rotates every half-window: the *window* heavy hitters
@@ -40,18 +60,19 @@ fn main() {
         med.feed(s, x).expect("feed");
         whole_stream.feed(s, x).expect("feed");
         if i % 100_000 == 0 {
-            let window_hh = hh.coordinator().heavy_hitters(phi).expect("query");
+            let window_hh = heavy(&mut hh, phi);
             let median = med
-                .coordinator()
-                .quantile(0.5)
+                .query(Query::Quantile { phi: 0.5 })
                 .expect("valid phi")
+                .as_quantile()
+                .expect("quantile answer")
                 .unwrap_or(0);
             println!(
                 "{:>9}  {:>14}  {:>14}  {:>12}",
                 i,
                 format!("{:?}", window_hh.iter().take(2).collect::<Vec<_>>()),
                 median,
-                hh.meter().total_words() + med.meter().total_words(),
+                hh.cost().total_words() + med.cost().total_words(),
             );
             if let Some(v) = oracle.check(&window_hh, phi, 2.0 * epsilon) {
                 println!("  !! window guarantee violated: {v}");
@@ -61,11 +82,8 @@ fn main() {
 
     // Contrast: over the whole stream, no single rotating item stays
     // heavy; over the window, the current hot item always is.
-    let whole_hh = whole_stream
-        .coordinator()
-        .heavy_hitters(phi)
-        .expect("query");
-    let window_hh = hh.coordinator().heavy_hitters(phi).expect("query");
+    let whole_hh = heavy(&mut whole_stream, phi);
+    let window_hh = heavy(&mut hh, phi);
     println!("\nwhole-stream 0.1-heavy hitters (sampled): {whole_hh:?}");
     println!("window 0.1-heavy hitters               : {window_hh:?}");
     println!(

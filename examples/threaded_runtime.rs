@@ -1,58 +1,54 @@
 //! The same protocol state machines on real OS threads: one thread per
-//! site, one for the coordinator, crossbeam channels in between.
-//!
-//! The deterministic `Cluster` used elsewhere is ideal for metering, but
-//! this demonstrates the protocols are genuinely message-driven — no
-//! shared state, no hidden synchronization beyond the channels.
+//! site, one for the coordinator, crossbeam channels in between — behind
+//! the exact same `Tracker` facade as the deterministic runtime. The only
+//! difference from `quickstart` is `.backend(BackendKind::Threaded)`.
 //!
 //! ```text
 //! cargo run --release --example threaded_runtime
 //! ```
 
-use dtrack::core::hh::{HhConfig, HhCoordinator, HhSite};
 use dtrack::prelude::*;
-use dtrack::sim::threaded::ThreadedCluster;
 use dtrack::workload::{Generator, Zipf};
 
 fn main() {
-    let k = 4;
+    let k = 4u32;
     let epsilon = 0.05;
     let config = HhConfig::new(k, epsilon).expect("valid parameters");
-    let sites: Vec<_> = (0..k).map(|_| HhSite::exact(config)).collect();
-    let cluster = ThreadedCluster::spawn(sites, HhCoordinator::new(config)).expect("spawn threads");
+    let mut tracker = Tracker::builder()
+        .backend(BackendKind::Threaded)
+        .protocol(HhExactProtocol::new(config))
+        .build()
+        .expect("spawn threads");
 
     let mut gen = Zipf::new(1 << 16, 1.3, 21);
     let n = 200_000u64;
     for i in 0..n {
-        cluster
+        tracker
             .feed(SiteId((i % k as u64) as u32), gen.next_item())
             .expect("feed");
         if i % 50_000 == 49_999 {
-            // Wait for quiescence before querying coordinator state.
-            cluster.settle();
-            let (hh, words) = cluster
-                .with_coordinator(move |c| c.heavy_hitters(0.1).expect("query"))
-                .map(|hh| (hh, 0u64))
-                .expect("coordinator alive");
-            let words = words + cluster.cost().total_words();
-            println!(
-                "after {:>7} items: 0.1-heavy hitters {:?} ({} words so far)",
-                i + 1,
-                hh.iter().take(5).collect::<Vec<_>>(),
-                words
-            );
+            // query() settles the cluster first, so the answer reflects a
+            // quiescent snapshot — no manual synchronization needed.
+            let hh = tracker
+                .query(Query::HeavyHitters { phi: 0.1 })
+                .expect("query");
+            let words = tracker.cost().total_words();
+            println!("after {:>7} items: {hh} ({words} words so far)", i + 1);
         }
     }
-    cluster.settle();
-    let (coordinator, sites, meter) = cluster.shutdown().expect("clean shutdown");
+
+    let m = tracker
+        .query(Query::Count)
+        .expect("query")
+        .as_count()
+        .expect("count answer");
+    let meter = tracker.finish().expect("clean shutdown");
     println!(
-        "\nfinal: C.m = {} (true {n}), {} tracked items, {} messages / {} words",
-        coordinator.global_count(),
-        coordinator.tracked_items(),
+        "\nfinal: C.m = {} (true {}), {} messages / {} words",
+        m,
+        n,
         meter.total_messages(),
         meter.total_words()
     );
-    let per_site: Vec<u64> = sites.iter().map(|s| s.local_count()).collect();
-    println!("per-site item counts: {per_site:?}");
-    assert_eq!(per_site.iter().sum::<u64>(), n);
+    assert!(m <= n, "tracked count must underestimate");
 }

@@ -23,22 +23,28 @@
 //! ```
 //! use dtrack::prelude::*;
 //!
-//! // 4 sites, 1% error; track heavy hitters of the union stream.
+//! // 4 sites (embedded in the config), ε = 0.05; track heavy hitters of
+//! // the union stream. Swap `.backend(BackendKind::Threaded)` in to run
+//! // the same protocol on OS threads.
 //! let config = HhConfig::new(4, 0.05).unwrap();
-//! let mut cluster = dtrack::core::hh::exact_cluster(config).unwrap();
+//! let mut tracker = Tracker::builder()
+//!     .protocol(HhExactProtocol::new(config))
+//!     .build()
+//!     .unwrap();
 //!
 //! // Feed an assigned stream: site (i % 4) observes each item.
 //! for i in 0..10_000u64 {
 //!     let item = if i % 3 == 0 { 7 } else { i };
-//!     cluster.feed(SiteId((i % 4) as u32), item).unwrap();
+//!     tracker.feed(SiteId((i % 4) as u32), item).unwrap();
 //! }
 //!
-//! // Item 7 holds a third of the stream: a 0.25-heavy hitter.
-//! let heavy = cluster.coordinator().heavy_hitters(0.25).unwrap();
-//! assert_eq!(heavy, vec![7]);
+//! // Item 7 holds a third of the stream: a 0.25-heavy hitter. Queries
+//! // read continuously maintained state — no extra communication.
+//! let heavy = tracker.query(Query::HeavyHitters { phi: 0.25 }).unwrap();
+//! assert_eq!(heavy.as_items(), Some(&[7u64][..]));
 //!
 //! // Communication stayed logarithmic in the stream length.
-//! println!("{} words", cluster.meter().total_words());
+//! println!("{} words", tracker.cost().total_words());
 //! ```
 
 pub use dtrack_adversary as adversary;
@@ -50,12 +56,20 @@ pub use dtrack_workload as workload;
 
 /// The commonly needed types in one import.
 pub mod prelude {
-    pub use dtrack_core::allq::{AllQConfig, AllQCoordinator, AllQSite};
-    pub use dtrack_core::counter::{CounterCoordinator, CounterSite};
-    pub use dtrack_core::hh::{HhConfig, HhCoordinator, HhSite};
-    pub use dtrack_core::quantile::{QuantileConfig, QuantileCoordinator, QuantileSite};
+    pub use dtrack_core::allq::{AllQConfig, AllQCoordinator, AllQExactProtocol, AllQSite};
+    pub use dtrack_core::counter::{CounterCoordinator, CounterProtocol, CounterSite};
+    pub use dtrack_core::hh::{
+        HhConfig, HhCoordinator, HhExactProtocol, HhSite, HhSketchedProtocol,
+    };
+    pub use dtrack_core::quantile::{
+        QuantileConfig, QuantileCoordinator, QuantileExactProtocol, QuantileSite,
+        QuantileSketchedProtocol,
+    };
     pub use dtrack_core::{CoreError, ExactOracle, ValueRange};
-    pub use dtrack_sim::{Cluster, Coordinator, MessageSize, Outbox, Site, SiteId};
+    pub use dtrack_sim::{
+        Answer, BackendKind, Cluster, Coordinator, MessageSize, Outbox, Protocol, Query,
+        QueryError, Site, SiteId, Tracker, TrackerBuilder, TrackerError,
+    };
     pub use dtrack_sketch::{FreqStore, OrderStore};
     pub use dtrack_workload::{Assignment, Generator, Stream};
 }

@@ -259,7 +259,7 @@ fn threaded_parallel_ingest_still_correct() {
         for (i, items) in per_site.iter_mut().enumerate() {
             if !items.is_empty() {
                 if let Some(t) = tickets[i].take() {
-                    t.wait();
+                    t.wait().unwrap();
                 }
                 tickets[i] = Some(
                     threaded
@@ -270,7 +270,7 @@ fn threaded_parallel_ingest_still_correct() {
         }
     }
     for t in tickets.into_iter().flatten() {
-        t.wait();
+        t.wait().unwrap();
     }
     threaded.settle();
     let reported = threaded
