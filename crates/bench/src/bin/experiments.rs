@@ -73,6 +73,15 @@ fn main() {
             eprintln!("FAIL: facade overhead {overhead:.3}x exceeds the 1.02x ceiling");
             std::process::exit(1);
         }
+        let scale = dtrack_bench::smoke::sharded_scale_speedup_k256(&results);
+        println!("sharded/threaded ingest speedup at k=256 (geomean): {scale:.2}x");
+        // The work-stealing pool's acceptance number, enforced: with 256
+        // sites on a fixed worker pool, multiplexing must out-ingest
+        // one-OS-thread-per-site.
+        if scale <= 1.0 {
+            eprintln!("FAIL: sharded k=256 speedup {scale:.2}x does not beat the threaded backend");
+            std::process::exit(1);
+        }
         let json = dtrack_bench::smoke::smoke_json(&results);
         let snapshot = dtrack_bench::smoke::SMOKE_SNAPSHOT;
         let path = match &explicit_out {

@@ -5,14 +5,13 @@
 //! cargo run --release -p dtrack-bench --bin experiments -- smoke
 //! ```
 //!
-//! writes `BENCH_pr4.json` — the current point of the repo's performance
-//! trajectory (`BENCH_seed.json`, `BENCH_pr2.json`, and `BENCH_pr3.json`
-//! are the frozen earlier baselines). For the deterministic cells the
-//! metered words/messages are bit-for-bit deterministic (regressions
-//! there are protocol changes, not noise); wall-clock throughput is
-//! indicative.
+//! writes `BENCH_pr5.json` — the current point of the repo's performance
+//! trajectory (`BENCH_seed.json` through `BENCH_pr4.json` are the frozen
+//! earlier baselines). For the deterministic cells the metered
+//! words/messages are bit-for-bit deterministic (regressions there are
+//! protocol changes, not noise); wall-clock throughput is indicative.
 //!
-//! Four cell groups:
+//! Five cell groups:
 //!
 //! * n = 20 000 deterministic cells — match the seed snapshot one-to-one
 //!   for before/after comparisons;
@@ -33,6 +32,14 @@
 //!   facade's erasure sits at batch/query granularity, so its overhead
 //!   must be noise (`facade_overhead_geomean` ≈ 1.00, acceptance ≤ 1.02);
 //!   each cell is best-of-2 to keep scheduler noise out of the ratio.
+//! * **site-scale** cells (PR 5) — free-running batched ingest at
+//!   k ∈ {4, 64, 256} sites on the one-thread-per-site `Threaded`
+//!   backend vs the work-stealing `Sharded` pool. At k ≈ cores the two
+//!   are comparable; at k ≫ cores the threaded backend drowns in
+//!   context switches while the pool keeps its fixed workers busy —
+//!   `sharded_scale_speedup_k256` (geomean of sharded/threaded
+//!   throughput over the k = 256 pairs) is the acceptance number and
+//!   must exceed 1.0.
 
 use dtrack_core::counter::CounterProtocol;
 use dtrack_core::hh::{HhConfig, HhExactProtocol, HhSketchedProtocol};
@@ -40,13 +47,13 @@ use dtrack_core::quantile::{QuantileConfig, QuantileSketchedProtocol};
 use dtrack_sim::threaded::{RunTicket, ThreadedCluster};
 use dtrack_sim::{BackendKind, Cluster, Protocol, SiteId, Tracker};
 use dtrack_testkit::{
-    measure_cost, measure_threaded, AssignmentSpec, GeneratorSpec, ProtocolSpec, Scenario,
-    ThreadedIngest,
+    measure_cost, measure_on_backend, measure_threaded, AssignmentSpec, GeneratorSpec,
+    ProtocolSpec, Scenario, ThreadedIngest,
 };
 use std::time::Instant;
 
 /// File name of the smoke snapshot written by `experiments smoke`.
-pub const SMOKE_SNAPSHOT: &str = "BENCH_pr4.json";
+pub const SMOKE_SNAPSHOT: &str = "BENCH_pr5.json";
 
 /// One timed smoke cell.
 #[derive(Debug, Clone)]
@@ -127,6 +134,101 @@ pub fn threaded_scenarios() -> Vec<Scenario> {
         .iter()
         .map(|&p| smoke_scenario(p, THREADED_N))
         .collect()
+}
+
+/// Site counts of the PR 5 scale cells: around a typical core count,
+/// well past it, and far past it.
+pub const SCALE_KS: [u32; 3] = [4, 64, 256];
+
+/// Stream length of the scale cells.
+pub const SCALE_N: u64 = 200_000;
+
+/// The protocol axis of the scale cells: the O(1) quiet-stretch counter
+/// (channel-hop bound) and the sketch-store heavy hitters (site-compute
+/// bound) — the two extremes of per-item site work.
+const SCALE_PROTOCOLS: [ProtocolSpec; 2] = [ProtocolSpec::Counter, ProtocolSpec::HhSketched];
+
+/// Scale-cell prefixes per backend: (threaded, sharded). Shared by the
+/// cell builder, [`sharded_scale_speedup_k256`]'s pairing, and the
+/// structural tests, so a rename cannot silently empty the metric.
+const SCALE_PAIR: (&str, &str) = ("scale-threaded:", "scale-sharded:");
+
+fn scale_scenario(protocol: ProtocolSpec, k: u32, n: u64) -> Scenario {
+    Scenario::new(
+        GeneratorSpec::Zipf {
+            universe: 1 << 20,
+            s: 1.2,
+        },
+        AssignmentSpec::RoundRobin,
+        k,
+        0.1,
+        n,
+        1,
+        protocol,
+    )
+}
+
+/// The site-scale cells: free-running batched ingest at every k in
+/// [`SCALE_KS`], on the one-thread-per-site threaded backend and on the
+/// work-stealing sharded pool (machine-default worker count). Best-of-2
+/// like the facade/direct pairs: `sharded_scale_speedup_k256` is an
+/// *enforced* ratio, so one unlucky scheduling in either twin must not
+/// decide it. `n` is [`SCALE_N`] in the real run; tests pass a small n
+/// to exercise the actual cell builder cheaply.
+fn scale_cells_at(n: u64) -> Vec<SmokeResult> {
+    let mut out = Vec::new();
+    for &k in &SCALE_KS {
+        for protocol in SCALE_PROTOCOLS {
+            let scenario = scale_scenario(protocol, k, n);
+            for (prefix, backend) in [
+                (SCALE_PAIR.0, BackendKind::Threaded),
+                (SCALE_PAIR.1, BackendKind::Sharded { workers: None }),
+            ] {
+                out.push(timed_cell(format!("{prefix}{scenario}"), n, || {
+                    let outcome = measure_on_backend(&scenario, ThreadedIngest::Batched, backend)
+                        .expect("scale cell failed");
+                    (
+                        outcome.report.words,
+                        outcome.report.messages,
+                        outcome.ingest_ms,
+                    )
+                }));
+            }
+        }
+    }
+    out
+}
+
+/// Geometric-mean throughput ratio of the `scale-sharded:` cells over
+/// their `scale-threaded:` twins at k = 256 (1.0 when no pairs are
+/// present). This is the acceptance number for the work-stealing pool:
+/// when sites vastly outnumber cores, multiplexing must beat
+/// one-thread-per-site.
+pub fn sharded_scale_speedup_k256(results: &[SmokeResult]) -> f64 {
+    let threaded_of = |suffix: &str| {
+        results
+            .iter()
+            .find(|r| r.scenario.strip_prefix(SCALE_PAIR.0) == Some(suffix))
+            .map(|r| r.items_per_sec)
+    };
+    let mut log_sum = 0.0;
+    let mut pairs = 0usize;
+    for r in results {
+        if let Some(name) = r.scenario.strip_prefix(SCALE_PAIR.1) {
+            if !name.contains("/k256/") {
+                continue;
+            }
+            if let Some(base) = threaded_of(name) {
+                log_sum += (r.items_per_sec.max(1.0) / base.max(1.0)).ln();
+                pairs += 1;
+            }
+        }
+    }
+    if pairs == 0 {
+        1.0
+    } else {
+        (log_sum / pairs as f64).exp()
+    }
 }
 
 fn mode_label(ingest: ThreadedIngest) -> &'static str {
@@ -371,6 +473,7 @@ pub fn run_smoke() -> Vec<SmokeResult> {
         }
     }
     results.extend(facade_direct_cells_at(THREADED_N));
+    results.extend(scale_cells_at(SCALE_N));
     results
 }
 
@@ -448,11 +551,12 @@ fn json_escape(s: &str) -> String {
 
 /// Render smoke results as a stable, human-diffable JSON document.
 pub fn smoke_json(results: &[SmokeResult]) -> String {
-    let mut out = String::from("{\n  \"schema\": \"dtrack-bench-smoke/v3\",\n");
+    let mut out = String::from("{\n  \"schema\": \"dtrack-bench-smoke/v4\",\n");
     out.push_str(&format!(
-        "  \"threaded_batched_speedup\": {:.2},\n  \"facade_overhead_geomean\": {:.3},\n  \"cells\": [\n",
+        "  \"threaded_batched_speedup\": {:.2},\n  \"facade_overhead_geomean\": {:.3},\n  \"sharded_scale_speedup_k256\": {:.2},\n  \"cells\": [\n",
         threaded_batched_speedup(results),
-        facade_overhead_geomean(results)
+        facade_overhead_geomean(results),
+        sharded_scale_speedup_k256(results)
     ));
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(
@@ -600,6 +704,40 @@ mod tests {
     }
 
     #[test]
+    fn scale_cells_pair_up_and_feed_the_speedup_metric() {
+        // Run the *real* cell builder at a small n: a threaded and a
+        // sharded cell per (k, protocol), with every k=256 pair visible
+        // to the speedup extractor.
+        let cells = scale_cells_at(2_000);
+        assert_eq!(cells.len(), 2 * SCALE_KS.len() * SCALE_PROTOCOLS.len());
+        for prefix in [SCALE_PAIR.0, SCALE_PAIR.1] {
+            for k in SCALE_KS {
+                assert_eq!(
+                    cells
+                        .iter()
+                        .filter(|c| c.scenario.starts_with(prefix)
+                            && c.scenario.contains(&format!("/k{k}/")))
+                        .count(),
+                    SCALE_PROTOCOLS.len(),
+                    "{prefix} cells missing at k={k}"
+                );
+            }
+        }
+        // Every k=256 sharded cell found its threaded twin: perturbing
+        // one pair must move the geomean.
+        let base = sharded_scale_speedup_k256(&cells);
+        assert!(base > 0.0);
+        let mut perturbed = cells.clone();
+        let c = perturbed
+            .iter_mut()
+            .find(|c| c.scenario.starts_with(SCALE_PAIR.1) && c.scenario.contains("/k256/"))
+            .expect("sharded k256 cell");
+        c.items_per_sec *= 10.0;
+        assert!(sharded_scale_speedup_k256(&perturbed) > base);
+        assert_eq!(sharded_scale_speedup_k256(&[]), 1.0);
+    }
+
+    #[test]
     fn smoke_json_is_valid_enough() {
         let results = vec![SmokeResult {
             scenario: "hh-exact/zipf/round-robin/k4/eps0.1/n20000/seed1".to_owned(),
@@ -609,9 +747,10 @@ mod tests {
             items_per_sec: 2_352_941.0,
         }];
         let j = smoke_json(&results);
-        assert!(j.contains("\"schema\": \"dtrack-bench-smoke/v3\""));
+        assert!(j.contains("\"schema\": \"dtrack-bench-smoke/v4\""));
         assert!(j.contains("\"threaded_batched_speedup\""));
         assert!(j.contains("\"facade_overhead_geomean\""));
+        assert!(j.contains("\"sharded_scale_speedup_k256\""));
         assert!(j.contains("\"words\": 1234"));
         assert!(j.ends_with("]\n}\n"));
         // Balanced braces/brackets, no trailing comma before the close.

@@ -56,8 +56,8 @@ pub fn surface() -> String {
     line("trait dtrack_sim::tracker::Protocol { label sites_hint build query answers }");
     line("trait dtrack_sim::tracker::ErasedProtocol { label feed feed_batch ingest settle query answers cost finish }");
     line("impl Tracker { builder protocol_label backend_kind num_sites feed feed_batch ingest settle query answers cost finish }");
-    line("impl TrackerBuilder { sites backend protocol build }");
-    line("enum BackendKind { Deterministic Threaded }");
+    line("impl TrackerBuilder { sites backend site_queue_cap protocol build }");
+    line("enum BackendKind { Deterministic Threaded Sharded{workers} }");
     line("enum Query { Count HeavyHitters TrackedQuantile Quantile RankLt Frequency }");
     line("enum Answer { Count StreamLength LengthEstimate Total HeavyHitters Quantile QuantileAt RankLt Frequency }");
     line("impl Answer { as_count as_quantile as_items }");
@@ -73,7 +73,13 @@ pub fn surface() -> String {
         "type {}",
         base_name::<crate::ThreadedBackend<probe::PSite, probe::PCoord>>()
     ));
+    line(&format!(
+        "type {}",
+        base_name::<crate::ShardedBackend<probe::PSite, probe::PCoord>>()
+    ));
     line("trait dtrack_sim::backend::Backend { feed feed_batch ingest settle with_coordinator cost finish }");
+    line("fn dtrack_sim::backend::ThreadedBackend::spawn_with_cap(sites, coordinator, queue_cap)");
+    line("fn dtrack_sim::backend::ShardedBackend::spawn_with(sites, coordinator, config)");
     line("");
 
     line("## model substrate");
@@ -84,6 +90,8 @@ pub fn surface() -> String {
     }
     ty2!(crate::Cluster<probe::PSite, probe::PCoord>);
     ty2!(crate::threaded::ThreadedCluster<probe::PSite, probe::PCoord>);
+    ty2!(crate::sharded::ShardedCluster<probe::PSite, probe::PCoord>);
+    ty2!(crate::sharded::ShardedConfig);
     ty2!(crate::threaded::RunTicket);
     ty2!(crate::SiteId);
     ty2!(crate::Outbox<probe::PDown>);
@@ -96,6 +104,8 @@ pub fn surface() -> String {
     line("trait dtrack_sim::proto::Coordinator { on_message }");
     line("trait dtrack_sim::proto::MessageSize { size_words kind }");
     line("fn dtrack_sim::threaded::RunTicket::wait -> Result<(), SimError>");
+    line("const dtrack_sim::threaded::SITE_QUEUE_CAP: usize");
+    line("fn dtrack_sim::sharded::default_workers -> usize");
     out
 }
 
@@ -155,8 +165,13 @@ fn assert_api_compiles(mut tracker: crate::Tracker) -> Result<(), Box<dyn std::e
     let _ = Tracker::builder;
     let builder = Tracker::builder()
         .sites(2)
-        .backend(BackendKind::Deterministic);
+        .backend(BackendKind::Sharded { workers: None })
+        .site_queue_cap(crate::threaded::SITE_QUEUE_CAP);
     let _ = builder;
+    let _ = crate::ThreadedBackend::<probe::PSite, probe::PCoord>::spawn_with_cap;
+    let _ = crate::ShardedBackend::<probe::PSite, probe::PCoord>::spawn_with;
+    let _: crate::ShardedConfig = crate::ShardedConfig::default();
+    let _: usize = crate::sharded::default_workers();
     let _: &'static str = tracker.protocol_label();
     let _: BackendKind = tracker.backend_kind();
     let _: u32 = tracker.num_sites();

@@ -1,4 +1,4 @@
-//! Runtime-agnostic driving surface: the [`Backend`] trait and its two
+//! Runtime-agnostic driving surface: the [`Backend`] trait and its
 //! implementations.
 //!
 //! A backend owns `k` [`Site`] state machines plus one [`Coordinator`]
@@ -8,7 +8,7 @@
 //! executor, work-stealing shards, a sharded coordinator — means one new
 //! impl here and zero changes anywhere above.
 //!
-//! Two implementations exist today:
+//! Three implementations exist today:
 //!
 //! * [`DeterministicBackend`] wraps [`Cluster`]: single-threaded, every
 //!   arrival drained to quiescence, the transcript the paper's theorems
@@ -20,6 +20,10 @@
 //!   uses free-running per-site runs with a one-run completion window per
 //!   site (the ticket discipline that keeps feedback-starved sites from
 //!   over-communicating lives *here*, so every caller gets it for free).
+//! * [`ShardedBackend`] wraps [`crate::sharded::ShardedCluster`]: many
+//!   logical sites multiplexed onto a fixed work-stealing worker pool, so
+//!   the site count can scale far past the core count. Same batch
+//!   schedule, same ticket window for free-running ingest.
 
 #![deny(missing_docs)]
 
@@ -27,7 +31,8 @@ use crate::cluster::Cluster;
 use crate::error::SimError;
 use crate::meter::MessageMeter;
 use crate::proto::{Coordinator, Site, SiteId};
-use crate::threaded::{RunTicket, ThreadedCluster};
+use crate::sharded::{ShardedCluster, ShardedConfig};
+use crate::threaded::{RunTicket, ThreadedCluster, SITE_QUEUE_CAP};
 
 /// A runtime that can drive one protocol instance: deliver items, reach
 /// quiescence, answer coordinator queries, meter communication, and tear
@@ -158,6 +163,48 @@ where
     }
 }
 
+/// One outstanding free-run ticket per site: before a site's next run is
+/// enqueued, its previous run must have been consumed. Both parallel
+/// backends enforce this window on [`Backend::ingest`] — unbounded run
+/// queueing lets sites race ahead of coordinator feedback and flood
+/// stale-threshold deltas (see
+/// [`ThreadedCluster::ingest_run`]) — and sharing the logic here keeps a
+/// future fix from silently missing one of them.
+struct TicketWindow {
+    tickets: Vec<Option<RunTicket>>,
+}
+
+impl TicketWindow {
+    fn new(k: usize) -> Self {
+        TicketWindow {
+            tickets: (0..k).map(|_| None).collect(),
+        }
+    }
+
+    /// Wait out the site's previous run, then enqueue the next one via
+    /// `enqueue` and hold its ticket.
+    fn ingest(
+        &mut self,
+        site: SiteId,
+        enqueue: impl FnOnce() -> Result<RunTicket, SimError>,
+    ) -> Result<(), SimError> {
+        if let Some(slot) = self.tickets.get_mut(site.index()) {
+            if let Some(ticket) = slot.take() {
+                ticket.wait()?;
+            }
+        }
+        let ticket = enqueue()?;
+        if let Some(slot) = self.tickets.get_mut(site.index()) {
+            *slot = Some(ticket);
+        }
+        Ok(())
+    }
+
+    fn clear(&mut self) {
+        self.tickets.clear();
+    }
+}
+
 /// The OS-thread backend (wraps [`ThreadedCluster`]).
 pub struct ThreadedBackend<S, C>
 where
@@ -168,11 +215,7 @@ where
     S::Down: Send + Sync,
 {
     cluster: ThreadedCluster<S, C>,
-    /// One outstanding free-run ticket per site: before enqueueing a
-    /// site's next run, its previous run must have been consumed. See
-    /// [`ThreadedCluster::ingest_run`] for why unbounded queueing of runs
-    /// floods the channel with stale-threshold deltas.
-    tickets: Vec<Option<RunTicket>>,
+    window: TicketWindow,
 }
 
 impl<S, C> ThreadedBackend<S, C>
@@ -183,12 +226,23 @@ where
     S::Up: Send,
     S::Down: Send + Sync,
 {
-    /// Spawn the worker threads from pre-constructed protocol state.
+    /// Spawn the worker threads from pre-constructed protocol state,
+    /// with the default site-queue capacity.
     pub fn spawn(sites: Vec<S>, coordinator: C) -> Result<Self, SimError> {
+        Self::spawn_with_cap(sites, coordinator, SITE_QUEUE_CAP)
+    }
+
+    /// [`ThreadedBackend::spawn`] with an explicit per-site queue
+    /// capacity (see [`ThreadedCluster::spawn_with_cap`]).
+    pub fn spawn_with_cap(
+        sites: Vec<S>,
+        coordinator: C,
+        queue_cap: usize,
+    ) -> Result<Self, SimError> {
         let k = sites.len();
         Ok(ThreadedBackend {
-            cluster: ThreadedCluster::spawn(sites, coordinator)?,
-            tickets: (0..k).map(|_| None).collect(),
+            cluster: ThreadedCluster::spawn_with_cap(sites, coordinator, queue_cap)?,
+            window: TicketWindow::new(k),
         })
     }
 }
@@ -210,16 +264,9 @@ where
     }
 
     fn ingest(&mut self, site: SiteId, items: Vec<S::Item>) -> Result<(), SimError> {
-        if let Some(slot) = self.tickets.get_mut(site.index()) {
-            if let Some(ticket) = slot.take() {
-                ticket.wait()?;
-            }
-        }
-        let ticket = self.cluster.ingest_run(site, items)?;
-        if let Some(slot) = self.tickets.get_mut(site.index()) {
-            *slot = Some(ticket);
-        }
-        Ok(())
+        let cluster = &self.cluster;
+        self.window
+            .ingest(site, move || cluster.ingest_run(site, items))
     }
 
     fn settle(&mut self) {
@@ -242,7 +289,95 @@ where
     }
 
     fn finish(mut self) -> Result<(C, Vec<S>, MessageMeter), SimError> {
-        self.tickets.clear();
+        self.window.clear();
+        self.cluster.shutdown()
+    }
+}
+
+/// The work-stealing pool backend (wraps [`ShardedCluster`]): a fixed
+/// worker count serving any number of logical sites.
+pub struct ShardedBackend<S, C>
+where
+    S: Site + Send + 'static,
+    C: Coordinator<Up = S::Up, Down = S::Down> + Send + 'static,
+    S::Item: Send + Clone,
+    S::Up: Send,
+    S::Down: Send + Sync,
+{
+    cluster: ShardedCluster<S, C>,
+    window: TicketWindow,
+}
+
+impl<S, C> ShardedBackend<S, C>
+where
+    S: Site + Send + 'static,
+    C: Coordinator<Up = S::Up, Down = S::Down> + Send + 'static,
+    S::Item: Send + Clone,
+    S::Up: Send,
+    S::Down: Send + Sync,
+{
+    /// Spawn the default pool (one worker per core) from pre-constructed
+    /// protocol state.
+    pub fn spawn(sites: Vec<S>, coordinator: C) -> Result<Self, SimError> {
+        Self::spawn_with(sites, coordinator, ShardedConfig::default())
+    }
+
+    /// Spawn with an explicit worker count and queue capacity.
+    pub fn spawn_with(
+        sites: Vec<S>,
+        coordinator: C,
+        config: ShardedConfig,
+    ) -> Result<Self, SimError> {
+        let k = sites.len();
+        Ok(ShardedBackend {
+            cluster: ShardedCluster::spawn_with(sites, coordinator, config)?,
+            window: TicketWindow::new(k),
+        })
+    }
+}
+
+impl<S, C> Backend<S, C> for ShardedBackend<S, C>
+where
+    S: Site + Send + 'static,
+    C: Coordinator<Up = S::Up, Down = S::Down> + Send + 'static,
+    S::Item: Send + Clone,
+    S::Up: Send,
+    S::Down: Send + Sync,
+{
+    fn feed(&mut self, site: SiteId, item: S::Item) -> Result<(), SimError> {
+        self.cluster.feed(site, item)
+    }
+
+    fn feed_batch(&mut self, batch: &[(SiteId, S::Item)]) -> Result<(), SimError> {
+        self.cluster.feed_batch(batch)
+    }
+
+    fn ingest(&mut self, site: SiteId, items: Vec<S::Item>) -> Result<(), SimError> {
+        let cluster = &self.cluster;
+        self.window
+            .ingest(site, move || cluster.ingest_run(site, items))
+    }
+
+    fn settle(&mut self) {
+        // As on the threaded backend, the pending counter covers queued
+        // runs, so settling also waits out every outstanding ticket.
+        self.cluster.settle();
+    }
+
+    fn with_coordinator<R, F>(&mut self, f: F) -> Result<R, SimError>
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut C) -> R + Send + 'static,
+    {
+        self.cluster.with_coordinator(f)
+    }
+
+    fn cost(&mut self) -> MessageMeter {
+        self.cluster.cost()
+    }
+
+    fn finish(mut self) -> Result<(C, Vec<S>, MessageMeter), SimError> {
+        self.window.clear();
         self.cluster.shutdown()
     }
 }
@@ -327,8 +462,23 @@ mod tests {
     }
 
     #[test]
+    fn sharded_backend_drives_the_protocol() {
+        // Fewer workers than sites and more workers than sites both
+        // satisfy the backend contract.
+        for workers in [1usize, 4] {
+            let sites = (0..2).map(|_| EchoSite).collect();
+            let config = ShardedConfig {
+                workers: Some(workers),
+                ..ShardedConfig::default()
+            };
+            run_backend(ShardedBackend::spawn_with(sites, SumCoord::default(), config).unwrap());
+        }
+    }
+
+    #[test]
     fn backends_reject_small_clusters() {
         assert!(DeterministicBackend::new(vec![EchoSite], SumCoord::default()).is_err());
         assert!(ThreadedBackend::spawn(vec![EchoSite], SumCoord::default()).is_err());
+        assert!(ShardedBackend::spawn(vec![EchoSite], SumCoord::default()).is_err());
     }
 }

@@ -22,6 +22,11 @@
 //!   transcript-identical site-at-a-time batch schedule and a free-running
 //!   parallel ingest path. It demonstrates that the protocol
 //!   implementations are genuinely message-driven and share no state.
+//! * [`sharded::ShardedCluster`] — the scale-out runtime: many logical
+//!   sites multiplexed onto a fixed work-stealing worker pool (idle
+//!   workers steal whole *site-runs*, never individual items, so per-site
+//!   FIFO order is preserved by construction). One process can host
+//!   thousands of logical sites without one OS thread each.
 //!
 //! Protocols are written against the [`Site`] and [`Coordinator`] traits and
 //! are agnostic to which runtime carries their messages.
@@ -39,13 +44,15 @@ pub mod error;
 pub mod meter;
 pub mod proto;
 pub mod query;
+pub mod sharded;
 pub mod threaded;
 pub mod tracker;
 
-pub use backend::{Backend, DeterministicBackend, ThreadedBackend};
+pub use backend::{Backend, DeterministicBackend, ShardedBackend, ThreadedBackend};
 pub use cluster::Cluster;
 pub use error::SimError;
 pub use meter::{CostReport, KindCost, MessageMeter};
 pub use proto::{Coordinator, Down, MessageSize, Outbox, Site, SiteId};
 pub use query::{Answer, Query, QueryError, HH_PROBE_PHIS, PROBE_PHIS};
+pub use sharded::{ShardedCluster, ShardedConfig};
 pub use tracker::{BackendKind, ErasedProtocol, Protocol, Tracker, TrackerBuilder, TrackerError};

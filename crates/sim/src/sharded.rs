@@ -1,0 +1,1428 @@
+//! Work-stealing sharded runtime: many logical sites multiplexed onto a
+//! fixed worker pool.
+//!
+//! The threaded runtime ([`crate::threaded::ThreadedCluster`]) spawns one
+//! OS thread per site, which stops scaling around k ≈ cores: past that,
+//! threads mostly context-switch instead of ingesting. This runtime keeps
+//! the *same* `Site`/`Coordinator` state machines and the *same* metered
+//! transcript, but runs them on `W` worker threads (default: the number
+//! of cores), so one process can host thousands of logical sites.
+//!
+//! ## Design
+//!
+//! * **Per-site run queues.** Every logical site owns a bounded FIFO
+//!   queue of commands (items, batches, runs, coordinator downs). All of
+//!   a site's work flows through its own queue, so per-site arrival
+//!   order — which the quiescence protocol and the transcript-identical
+//!   batch schedule depend on — is a property of the data structure, not
+//!   of scheduling luck.
+//! * **Home shards + run-granularity stealing.** Each site is pinned to
+//!   a home shard (`site % workers`). A shard is a deque of *ready
+//!   sites*: a site is enqueued when its (previously empty) queue gains
+//!   a command, and dequeued by exactly one worker, which then serves one
+//!   *site-run*: the site's queue in FIFO order up to a fairness quantum
+//!   (one whole batched run, or a burst of light commands), after which
+//!   a still-busy site goes to the back of its home shard and the worker
+//!   claims the next ready site. Idle workers steal whole site-runs from
+//!   the back of other shards' deques; they never split one site's queue
+//!   across workers. A `scheduled` flag, flipped only under the site's
+//!   queue lock, guarantees a site is in at most one shard deque and
+//!   served by at most one worker at a time — so per-site FIFO order
+//!   survives any interleaving of steals and requeues.
+//! * **Same quiescence accounting.** Every command carries a
+//!   `PendingToken` from the threaded runtime: created at enqueue time,
+//!   released on drop — after the handler finished and its outputs
+//!   (carrying their own tokens) were enqueued, or when a dead site's
+//!   queue is drained, or when a handler panics. [`ShardedCluster::settle`]
+//!   parks on the same counter, so it can never hang on a stalled or
+//!   dead worker.
+//! * **Per-site meters.** Upstream hops are metered at the sending site,
+//!   downstream hops at the receiving site, each into that site's own
+//!   [`MessageMeter`] (touched only by the worker currently serving the
+//!   site — no contended lock on the per-hop path). [`ShardedCluster::cost`]
+//!   and [`ShardedCluster::shutdown`] merge them on demand, exactly like
+//!   the threaded runtime's per-thread meters.
+//! * **Death containment.** A panicking site handler poisons only that
+//!   site: the worker catches the unwind, discards the site's state,
+//!   marks its queue dead (draining it releases the queued tokens and
+//!   resolves its `RunTicket`s as [`SimError::WorkerGone`]), and keeps
+//!   serving other sites. The pool never loses a worker to one bad site.
+//!
+//! ## Why stealing whole site-runs keeps transcripts bit-identical
+//!
+//! The equivalence suites drive [`ShardedCluster::feed_batch`], which
+//! ships one site's run at a time and settles the triggered cascade
+//! between quiescent steps — under that schedule at most one site-run is
+//! in flight, and it is served by exactly one worker in FIFO order, so
+//! which worker (home or thief) serves it is unobservable: answers and
+//! metered words match the deterministic runner bit-for-bit. Stealing
+//! individual *items* instead would interleave one site's arrivals
+//! across workers and break the per-site order the protocols assume.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::error::SimError;
+use crate::meter::MessageMeter;
+use crate::proto::{Coordinator, Down, MessageSize, Outbox, Site, SiteId};
+use crate::threaded::{Pending, PendingToken, RunTicket, SITE_QUEUE_CAP};
+
+/// Configuration of the sharded worker pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardedConfig {
+    /// Worker threads serving all sites; `None` means one per available
+    /// core (`std::thread::available_parallelism`). Clamped to ≥ 1.
+    pub workers: Option<usize>,
+    /// Per-site command-queue capacity (see
+    /// [`crate::threaded::SITE_QUEUE_CAP`], the shared default). Clamped
+    /// to ≥ 1.
+    pub site_queue_cap: usize,
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        ShardedConfig {
+            workers: None,
+            site_queue_cap: SITE_QUEUE_CAP,
+        }
+    }
+}
+
+impl ShardedConfig {
+    /// The worker count this config resolves to on this machine.
+    pub fn resolved_workers(&self) -> usize {
+        self.workers.unwrap_or_else(default_workers).max(1)
+    }
+}
+
+/// The default worker count: one per available core (1 when the platform
+/// cannot report parallelism).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// One queued unit of site work. Mirrors the threaded runtime's command
+/// set; meter snapshots and teardown are handled out-of-band (the pool
+/// owns the site state, so no `Meter`/`Stop` commands are needed).
+enum ShardCmd<S: Site> {
+    /// One item; the per-item slow path.
+    Item(S::Item, PendingToken),
+    /// A same-site run consumed through [`Site::on_items`] one quiescent
+    /// step at a time (see [`ShardedCluster::feed_batch`]).
+    Batch {
+        items: Vec<S::Item>,
+        progress: Sender<usize>,
+        token: PendingToken,
+    },
+    /// Continue the in-progress batch with the next quiescent step.
+    Resume(PendingToken),
+    /// A same-site run consumed to completion without global
+    /// synchronization (free-running parallel ingest).
+    Run(Vec<S::Item>, Sender<()>, PendingToken),
+    /// A downstream protocol message from the coordinator.
+    Down(Arc<S::Down>, PendingToken),
+}
+
+/// A site's command queue plus its scheduling state. `scheduled` flips
+/// only under the queue lock, which is what makes "in at most one shard
+/// deque, served by at most one worker" an invariant rather than a race.
+struct QueueInner<S: Site> {
+    cmds: VecDeque<ShardCmd<S>>,
+    scheduled: bool,
+    dead: bool,
+}
+
+/// State of a batch being consumed one quiescent step at a time.
+struct BatchState<S: Site> {
+    items: Vec<S::Item>,
+    off: usize,
+    progress: Sender<usize>,
+}
+
+/// The part of a site only its current server touches: the protocol
+/// state machine, its meter, the in-progress batch, and scratch buffers.
+/// Behind its own mutex so `cost()` and `shutdown()` can snapshot meters
+/// between claims (the lock is held for at most one serve quantum, and
+/// is uncontended on the serving path — one server per site).
+struct SiteExec<S: Site> {
+    /// `None` once the site died (its state is discarded, as a dead
+    /// thread's would be) or after `shutdown` collected it.
+    site: Option<S>,
+    meter: MessageMeter,
+    batch: Option<BatchState<S>>,
+    /// Reused upstream-message buffer.
+    out: Vec<S::Up>,
+}
+
+struct SiteSlot<S: Site> {
+    queue: Mutex<QueueInner<S>>,
+    /// Producers blocked on a full queue park here.
+    space_cv: Condvar,
+    exec: Mutex<SiteExec<S>>,
+    home: usize,
+}
+
+/// One shard's ready-site deques. The urgent lane holds sites whose
+/// next queued command is coordinator feedback (a `Down`): workers
+/// drain it first across all shards, because a site sitting on
+/// unapplied feedback while other sites consume items is exactly the
+/// staleness that makes protocols over-communicate. The one-thread-per-
+/// site runtime gets this ordering from the OS for free (a polled idle
+/// site is a blocked thread that wakes and replies immediately); the
+/// pool has to schedule it deliberately. Per-site FIFO is untouched --
+/// the lane only decides *which site* is claimed next, never reorders
+/// one site's queue.
+#[derive(Default)]
+struct ShardQueues {
+    urgent: VecDeque<usize>,
+    normal: VecDeque<usize>,
+}
+
+/// Everything the workers, the coordinator thread, and the handle share.
+struct Pool<S: Site> {
+    sites: Vec<SiteSlot<S>>,
+    /// Per-shard deques of ready site indices.
+    shards: Vec<Mutex<ShardQueues>>,
+    /// Ready sites across all shards (parking heuristic; exact counts
+    /// are in the shard deques).
+    ready: AtomicUsize,
+    sched_lock: Mutex<()>,
+    sched_cv: Condvar,
+    /// Graceful stop: workers exit when no work is available.
+    stop: AtomicBool,
+    /// Hard stop (abandon path): workers exit between commands and
+    /// producers stop blocking on full queues.
+    abort: AtomicBool,
+    /// Any site died (its panic was contained but the run is tainted).
+    failed: AtomicBool,
+    pending: Arc<Pending>,
+    queue_cap: usize,
+}
+
+impl<S: Site> Pool<S> {
+    fn lock_queue(&self, idx: usize) -> MutexGuard<'_, QueueInner<S>> {
+        self.sites[idx]
+            .queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn lock_exec(&self, idx: usize) -> MutexGuard<'_, SiteExec<S>> {
+        self.sites[idx]
+            .exec
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Enqueue a command on a site's queue, blocking while the queue is
+    /// full (backpressure). Fails — handing the command back so its
+    /// token releases with it — when the site is dead.
+    fn push_cmd(&self, idx: usize, cmd: ShardCmd<S>) -> Result<(), ShardCmd<S>> {
+        let slot = &self.sites[idx];
+        let mut q = self.lock_queue(idx);
+        while !q.dead && !self.abort.load(Ordering::SeqCst) && q.cmds.len() >= self.queue_cap {
+            q = slot.space_cv.wait(q).unwrap_or_else(|e| e.into_inner());
+        }
+        if q.dead || self.abort.load(Ordering::SeqCst) {
+            return Err(cmd);
+        }
+        // A site whose next command is feedback goes to the urgent lane;
+        // the pushed command is the front exactly when the queue was
+        // empty (i.e. the site is newly ready).
+        let urgent = q.cmds.is_empty() && matches!(&cmd, ShardCmd::Down(..));
+        q.cmds.push_back(cmd);
+        let newly_ready = !q.scheduled;
+        if newly_ready {
+            q.scheduled = true;
+        }
+        drop(q);
+        if newly_ready {
+            self.enqueue_site(idx, urgent);
+        }
+        Ok(())
+    }
+
+    /// Put a newly ready site on its home shard and wake one worker. The
+    /// notify is taken under `sched_lock`, after the ready increment, so
+    /// a worker that checked the counter but has not parked yet cannot
+    /// miss the wakeup.
+    fn enqueue_site(&self, idx: usize, urgent: bool) {
+        let home = self.sites[idx].home;
+        // Count before publishing: a worker can pop the entry the moment
+        // it lands in the deque, and its decrement must never see the
+        // counter still at the pre-increment value (underflow would wrap
+        // and leave the park check spinning on a huge count).
+        self.ready.fetch_add(1, Ordering::SeqCst);
+        {
+            let mut shard = self.shards[home].lock().unwrap_or_else(|e| e.into_inner());
+            if urgent {
+                shard.urgent.push_back(idx);
+            } else {
+                shard.normal.push_back(idx);
+            }
+        }
+        let _guard = self.sched_lock.lock().unwrap_or_else(|e| e.into_inner());
+        self.sched_cv.notify_one();
+    }
+
+    /// Claim the next ready site for worker `w`: pending feedback
+    /// (urgent lane) across all shards first, then item work — own shard
+    /// from the front, steals from the *back* of another shard (the
+    /// site least recently made ready there — classic steal order, and
+    /// the whole site-run moves, never part of one site's queue).
+    fn next_site(&self, w: usize) -> Option<usize> {
+        let shards = self.shards.len();
+        for lane in 0..2 {
+            for i in 0..shards {
+                let shard = &self.shards[(w + i) % shards];
+                let mut queues = shard.lock().unwrap_or_else(|e| e.into_inner());
+                let deque = if lane == 0 {
+                    &mut queues.urgent
+                } else {
+                    &mut queues.normal
+                };
+                let idx = if i == 0 {
+                    deque.pop_front()
+                } else {
+                    deque.pop_back()
+                };
+                if let Some(idx) = idx {
+                    self.ready.fetch_sub(1, Ordering::SeqCst);
+                    return Some(idx);
+                }
+            }
+        }
+        None
+    }
+
+    /// Wake every parked worker (stop flags changed).
+    fn wake_all(&self) {
+        let _guard = self.sched_lock.lock().unwrap_or_else(|e| e.into_inner());
+        self.sched_cv.notify_all();
+    }
+
+    /// Contain a dead site: discard its state machine and in-progress
+    /// batch (dropping the batch's progress sender unblocks a waiting
+    /// feeder with an error), drain its queue (releasing every queued
+    /// token and resolving queued `RunTicket`s as worker-gone), and wake
+    /// blocked producers so they observe the death.
+    fn kill_site(&self, idx: usize, exec: &mut SiteExec<S>) {
+        self.failed.store(true, Ordering::SeqCst);
+        exec.site = None;
+        exec.batch = None;
+        exec.out.clear();
+        let dropped: Vec<ShardCmd<S>> = {
+            let mut q = self.lock_queue(idx);
+            q.dead = true;
+            q.cmds.drain(..).collect()
+        };
+        self.sites[idx].space_cv.notify_all();
+        // Tokens (and Run `done` senders) release outside the lock.
+        drop(dropped);
+    }
+}
+
+/// Coordinator-thread commands (same shape as the threaded runtime's).
+enum CoordCmd<C: Coordinator> {
+    Up(SiteId, C::Up, PendingToken),
+    With(Box<dyn FnOnce(&mut C) + Send>),
+    Stop(Sender<C>),
+}
+
+/// A cluster multiplexing many logical sites onto a fixed work-stealing
+/// worker pool plus one coordinator thread. Public surface mirrors
+/// [`crate::threaded::ThreadedCluster`].
+pub struct ShardedCluster<S, C>
+where
+    S: Site + Send + 'static,
+    C: Coordinator<Up = S::Up, Down = S::Down> + Send + 'static,
+    S::Item: Send + Clone,
+    S::Up: Send,
+    S::Down: Send + Sync,
+{
+    pool: Arc<Pool<S>>,
+    coord_tx: Option<Sender<CoordCmd<C>>>,
+    worker_handles: Vec<JoinHandle<()>>,
+    coord_handle: Option<JoinHandle<()>>,
+}
+
+impl<S, C> ShardedCluster<S, C>
+where
+    S: Site + Send + 'static,
+    C: Coordinator<Up = S::Up, Down = S::Down> + Send + 'static,
+    S::Item: Send + Clone,
+    S::Up: Send,
+    S::Down: Send + Sync,
+{
+    /// Spawn the default pool: one worker per core, default queue cap.
+    pub fn spawn(sites: Vec<S>, coordinator: C) -> Result<Self, SimError> {
+        Self::spawn_with(sites, coordinator, ShardedConfig::default())
+    }
+
+    /// Spawn with an explicit worker count and queue capacity.
+    pub fn spawn_with(
+        sites: Vec<S>,
+        coordinator: C,
+        config: ShardedConfig,
+    ) -> Result<Self, SimError> {
+        if sites.len() < 2 {
+            return Err(SimError::TooFewSites {
+                sites: sites.len() as u32,
+            });
+        }
+        let workers = config.resolved_workers();
+        let slots: Vec<SiteSlot<S>> = sites
+            .into_iter()
+            .enumerate()
+            .map(|(i, site)| SiteSlot {
+                queue: Mutex::new(QueueInner {
+                    cmds: VecDeque::new(),
+                    scheduled: false,
+                    dead: false,
+                }),
+                space_cv: Condvar::new(),
+                exec: Mutex::new(SiteExec {
+                    site: Some(site),
+                    meter: MessageMeter::new(),
+                    batch: None,
+                    out: Vec::new(),
+                }),
+                home: i % workers,
+            })
+            .collect();
+        let pool = Arc::new(Pool {
+            sites: slots,
+            shards: (0..workers)
+                .map(|_| Mutex::new(ShardQueues::default()))
+                .collect(),
+            ready: AtomicUsize::new(0),
+            sched_lock: Mutex::new(()),
+            sched_cv: Condvar::new(),
+            stop: AtomicBool::new(false),
+            abort: AtomicBool::new(false),
+            failed: AtomicBool::new(false),
+            pending: Arc::new(Pending::default()),
+            queue_cap: config.site_queue_cap.max(1),
+        });
+        let (coord_tx, coord_rx): (Sender<CoordCmd<C>>, Receiver<CoordCmd<C>>) = unbounded();
+        let worker_handles = (0..workers)
+            .map(|w| {
+                let pool = Arc::clone(&pool);
+                let coord_tx = coord_tx.clone();
+                std::thread::spawn(move || run_worker::<S, C>(w, &pool, &coord_tx))
+            })
+            .collect();
+        let coord_pool = Arc::clone(&pool);
+        let coord_handle =
+            std::thread::spawn(move || run_coordinator::<S, C>(coordinator, coord_rx, &coord_pool));
+        Ok(ShardedCluster {
+            pool,
+            coord_tx: Some(coord_tx),
+            worker_handles,
+            coord_handle: Some(coord_handle),
+        })
+    }
+
+    /// Number of logical sites k.
+    pub fn num_sites(&self) -> u32 {
+        self.pool.sites.len() as u32
+    }
+
+    /// Number of worker threads serving those sites.
+    pub fn num_workers(&self) -> usize {
+        self.pool.shards.len()
+    }
+
+    fn check_site(&self, site: SiteId) -> Result<usize, SimError> {
+        if site.index() < self.pool.sites.len() {
+            Ok(site.index())
+        } else {
+            Err(SimError::NoSuchSite {
+                site: site.0,
+                sites: self.pool.sites.len() as u32,
+            })
+        }
+    }
+
+    fn push(&self, idx: usize, cmd: ShardCmd<S>) -> Result<(), SimError> {
+        self.pool
+            .push_cmd(idx, cmd)
+            .map_err(|_| SimError::WorkerGone { who: "site" })
+    }
+
+    /// Deliver an item to a site (asynchronously). Blocks only when the
+    /// site's queue is full — backpressure, not unbounded buffering.
+    pub fn feed(&self, site: SiteId, item: S::Item) -> Result<(), SimError> {
+        let idx = self.check_site(site)?;
+        let token = PendingToken::new(&self.pool.pending);
+        self.push(idx, ShardCmd::Item(item, token))
+    }
+
+    /// Deliver a pre-assigned batch on the transcript-identical
+    /// site-at-a-time schedule: consecutive same-site runs go to
+    /// [`Site::on_items`] one quiescent step at a time, with the feeder
+    /// settling the triggered cascade between steps — answers *and*
+    /// metered words are bit-identical to the deterministic runner (see
+    /// [`crate::threaded::ThreadedCluster::feed_batch`], which this
+    /// mirrors exactly).
+    pub fn feed_batch(&self, batch: &[(SiteId, S::Item)]) -> Result<(), SimError> {
+        let mut i = 0;
+        while i < batch.len() {
+            let site = batch[i].0;
+            let mut j = i + 1;
+            while j < batch.len() && batch[j].0 == site {
+                j += 1;
+            }
+            let idx = self.check_site(site)?;
+            let items: Vec<S::Item> = batch[i..j].iter().map(|(_, it)| it.clone()).collect();
+            let total = items.len();
+            let (ptx, prx) = unbounded();
+            self.push(
+                idx,
+                ShardCmd::Batch {
+                    items,
+                    progress: ptx,
+                    token: PendingToken::new(&self.pool.pending),
+                },
+            )?;
+            let mut consumed_total = 0;
+            loop {
+                let consumed = prx
+                    .recv()
+                    .map_err(|_| SimError::WorkerGone { who: "site" })?;
+                consumed_total += consumed;
+                // The step's ups were enqueued before the progress
+                // report, so the counter covers the whole cascade here.
+                self.settle();
+                if consumed_total >= total {
+                    break;
+                }
+                self.push(idx, ShardCmd::Resume(PendingToken::new(&self.pool.pending)))?;
+            }
+            i = j;
+        }
+        Ok(())
+    }
+
+    /// Enqueue a whole same-site run for free-running consumption (the
+    /// parallel throughput path; transcript not pinned). Returns a
+    /// [`RunTicket`] resolving when the run has been fully consumed —
+    /// keep a small window of unresolved tickets per site, exactly as
+    /// with [`crate::threaded::ThreadedCluster::ingest_run`].
+    pub fn ingest_run(&self, site: SiteId, items: Vec<S::Item>) -> Result<RunTicket, SimError> {
+        let idx = self.check_site(site)?;
+        let (dtx, drx) = unbounded();
+        if items.is_empty() {
+            let _ = dtx.send(());
+            return Ok(RunTicket(drx));
+        }
+        let token = PendingToken::new(&self.pool.pending);
+        self.push(idx, ShardCmd::Run(items, dtx, token))?;
+        Ok(RunTicket(drx))
+    }
+
+    /// Block until no message is queued or being processed anywhere.
+    /// Parks on the shared pending counter — a dead site's drained queue
+    /// releases its counts, so this cannot hang on worker death.
+    pub fn settle(&self) {
+        self.pool.pending.wait_idle();
+    }
+
+    /// Run a closure against the coordinator state on its own thread and
+    /// return the result. Call [`Self::settle`] first if the query must
+    /// observe a quiescent state.
+    pub fn with_coordinator<R, F>(&self, f: F) -> Result<R, SimError>
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut C) -> R + Send + 'static,
+    {
+        let coord_tx = self
+            .coord_tx
+            .as_ref()
+            .ok_or(SimError::WorkerGone { who: "coordinator" })?;
+        let (tx, rx) = unbounded();
+        coord_tx
+            .send(CoordCmd::With(Box::new(move |c: &mut C| {
+                let _ = tx.send(f(c));
+            })))
+            .map_err(|_| SimError::WorkerGone { who: "coordinator" })?;
+        rx.recv()
+            .map_err(|_| SimError::WorkerGone { who: "coordinator" })
+    }
+
+    /// Merge the per-site communication meters into one snapshot. Call
+    /// after [`Self::settle`] for a consistent picture.
+    pub fn cost(&self) -> MessageMeter {
+        let mut total = MessageMeter::new();
+        for idx in 0..self.pool.sites.len() {
+            total.merge(&self.pool.lock_exec(idx).meter);
+        }
+        total
+    }
+
+    /// Stop the pool and return the final coordinator, sites, and merged
+    /// meter. All workers are joined even when some site already died —
+    /// the first failure is reported *after* teardown completes.
+    pub fn shutdown(mut self) -> Result<(C, Vec<S>, MessageMeter), SimError> {
+        self.settle();
+        self.pool.stop.store(true, Ordering::SeqCst);
+        self.pool.wake_all();
+        for h in self.worker_handles.drain(..) {
+            let _ = h.join();
+        }
+        let coordinator = match self.coord_tx.take() {
+            Some(ctx) => {
+                let (stx, srx) = unbounded();
+                let sent = ctx.send(CoordCmd::Stop(stx)).is_ok();
+                drop(ctx);
+                sent.then(|| srx.recv().ok()).flatten()
+            }
+            None => None,
+        };
+        if let Some(h) = self.coord_handle.take() {
+            let _ = h.join();
+        }
+        let mut first_err: Option<SimError> = None;
+        let mut sites = Vec::with_capacity(self.pool.sites.len());
+        let mut meter = MessageMeter::new();
+        for idx in 0..self.pool.sites.len() {
+            let mut exec = self.pool.lock_exec(idx);
+            meter.merge(&exec.meter);
+            match exec.site.take() {
+                Some(site) => sites.push(site),
+                None => {
+                    first_err.get_or_insert(SimError::WorkerGone { who: "site" });
+                }
+            }
+        }
+        if self.pool.failed.load(Ordering::SeqCst) {
+            first_err.get_or_insert(SimError::WorkerGone { who: "site" });
+        }
+        match (coordinator, first_err) {
+            (Some(c), None) => Ok((c, sites, meter)),
+            (_, Some(e)) => Err(e),
+            (None, None) => Err(SimError::WorkerGone { who: "coordinator" }),
+        }
+    }
+}
+
+impl<S, C> Drop for ShardedCluster<S, C>
+where
+    S: Site + Send + 'static,
+    C: Coordinator<Up = S::Up, Down = S::Down> + Send + 'static,
+    S::Item: Send + Clone,
+    S::Up: Send,
+    S::Down: Send + Sync,
+{
+    /// Abandon-path teardown: tell workers to bail between commands,
+    /// unblock any producer parked on a full queue, and join everything,
+    /// so a cluster that never reached [`ShardedCluster::shutdown`]
+    /// cannot leak threads. After a successful `shutdown` the handle
+    /// vectors are empty and this is a no-op.
+    fn drop(&mut self) {
+        self.pool.abort.store(true, Ordering::SeqCst);
+        self.pool.stop.store(true, Ordering::SeqCst);
+        self.pool.wake_all();
+        for slot in &self.pool.sites {
+            slot.space_cv.notify_all();
+        }
+        for h in self.worker_handles.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(ctx) = self.coord_tx.take() {
+            let (stx, _srx) = unbounded();
+            let _ = ctx.send(CoordCmd::Stop(stx));
+        }
+        if let Some(h) = self.coord_handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Worker main loop: claim ready sites (own shard first, then steal) and
+/// serve each to exhaustion; park on the scheduler condvar when no shard
+/// has work.
+fn run_worker<S, C>(w: usize, pool: &Arc<Pool<S>>, coord_tx: &Sender<CoordCmd<C>>)
+where
+    S: Site + Send + 'static,
+    S::Item: Clone,
+    C: Coordinator<Up = S::Up, Down = S::Down> + Send + 'static,
+{
+    loop {
+        if pool.abort.load(Ordering::SeqCst) {
+            return;
+        }
+        if let Some(idx) = pool.next_site(w) {
+            serve_site(pool, idx, coord_tx);
+            continue;
+        }
+        let guard = pool.sched_lock.lock().unwrap_or_else(|e| e.into_inner());
+        if pool.ready.load(Ordering::SeqCst) > 0 {
+            continue;
+        }
+        if pool.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        // Re-checked at the top of the loop after every wakeup; the
+        // notify under `sched_lock` makes the check-then-wait safe.
+        let _unused = pool.sched_cv.wait(guard);
+    }
+}
+
+/// Light commands a worker may process per site claim before yielding to
+/// the next ready site. Heavy commands (a whole batched run) always end
+/// the claim on their own: serving one site's deep backlog to exhaustion
+/// would hold every other ready site's coordinator feedback (threshold
+/// updates, poll replies) hostage behind it, and feedback-starved sites
+/// over-communicate — the fairness quantum keeps service round-robin at
+/// run granularity, which is exactly the interleaving the one-thread-
+/// per-site runtime gets from the OS scheduler for free.
+const LIGHT_QUANTUM: usize = 256;
+
+/// Serve one site-run: pop the site's queue in FIFO order up to the
+/// fairness quantum, handling each command; a still-busy site is
+/// requeued at the back of its home shard. A panic in any handler kills
+/// *the site*, not the worker.
+fn serve_site<S, C>(pool: &Arc<Pool<S>>, idx: usize, coord_tx: &Sender<CoordCmd<C>>)
+where
+    S: Site,
+    S::Item: Clone,
+    C: Coordinator<Up = S::Up, Down = S::Down>,
+{
+    let mut exec = pool.lock_exec(idx);
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        serve_commands(pool, idx, &mut exec, coord_tx)
+    }));
+    match outcome {
+        Ok(Serve::Done) => {}
+        Ok(Serve::Requeue { urgent }) => {
+            drop(exec);
+            pool.enqueue_site(idx, urgent);
+        }
+        Err(_) => pool.kill_site(idx, &mut exec),
+    }
+}
+
+/// How one site claim ended.
+enum Serve {
+    /// Queue drained (site descheduled) or the pool is stopping.
+    Done,
+    /// Quantum exhausted with commands left: the site stays `scheduled`
+    /// and the caller puts it back on its home shard — in the urgent
+    /// lane when the next command is coordinator feedback.
+    Requeue { urgent: bool },
+}
+
+fn serve_commands<S, C>(
+    pool: &Pool<S>,
+    idx: usize,
+    exec: &mut SiteExec<S>,
+    coord_tx: &Sender<CoordCmd<C>>,
+) -> Serve
+where
+    S: Site,
+    S::Item: Clone,
+    C: Coordinator<Up = S::Up, Down = S::Down>,
+{
+    let slot = &pool.sites[idx];
+    let mut light = 0usize;
+    loop {
+        if pool.abort.load(Ordering::SeqCst) {
+            return Serve::Done;
+        }
+        let cmd = {
+            let mut q = pool.lock_queue(idx);
+            match q.cmds.pop_front() {
+                Some(cmd) => {
+                    slot.space_cv.notify_one();
+                    cmd
+                }
+                None => {
+                    // Descheduling under the queue lock closes the race
+                    // with a concurrent producer: either it pushed before
+                    // we got the lock (we'd have popped it), or it will
+                    // see `scheduled == false` and re-enqueue the site.
+                    q.scheduled = false;
+                    return Serve::Done;
+                }
+            }
+        };
+        let heavy = matches!(cmd, ShardCmd::Run(..) | ShardCmd::Batch { .. });
+        handle_cmd(pool, idx, exec, cmd, coord_tx);
+        light += 1;
+        if heavy || light >= LIGHT_QUANTUM {
+            let q = pool.lock_queue(idx);
+            match q.cmds.front() {
+                None => {
+                    // Nothing left; fall through to the normal
+                    // deschedule on the next pop (cheaper than
+                    // duplicating it here).
+                    drop(q);
+                    light = 0;
+                    continue;
+                }
+                // Still busy: stay `scheduled` (producers must not
+                // enqueue a second deque entry) and let the caller
+                // requeue us behind the other ready sites — ahead of
+                // item work when feedback is waiting.
+                Some(next) => {
+                    return Serve::Requeue {
+                        urgent: matches!(next, ShardCmd::Down(..)),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Meter and forward one step's upstream messages. Each message carries
+/// its own pending token, created before the input command's token is
+/// released, so the counter cannot dip to zero mid-cascade. A dead
+/// coordinator just drops the ups (their tokens release with the failed
+/// send); `shutdown` reports it.
+fn flush_ups<S, C>(
+    pool: &Pool<S>,
+    id: SiteId,
+    out: &mut Vec<S::Up>,
+    meter: &mut MessageMeter,
+    coord_tx: &Sender<CoordCmd<C>>,
+) where
+    S: Site,
+    C: Coordinator<Up = S::Up, Down = S::Down>,
+{
+    for up in out.drain(..) {
+        meter.record_up(up.kind(), up.size_words());
+        let token = PendingToken::new(&pool.pending);
+        let _ = coord_tx.send(CoordCmd::Up(id, up, token));
+    }
+}
+
+/// Run one `on_items` step of the in-progress batch: consume a quiescent
+/// prefix, forward any triggered ups, then report progress (after the
+/// ups, so the feeder's settle observes the whole cascade).
+fn batch_step<S, C>(
+    pool: &Pool<S>,
+    idx: usize,
+    exec: &mut SiteExec<S>,
+    coord_tx: &Sender<CoordCmd<C>>,
+) where
+    S: Site,
+    S::Item: Clone,
+    C: Coordinator<Up = S::Up, Down = S::Down>,
+{
+    let SiteExec {
+        site,
+        meter,
+        batch,
+        out,
+        ..
+    } = exec;
+    let (Some(site), Some(cur)) = (site.as_mut(), batch.as_mut()) else {
+        debug_assert!(false, "Resume without a live site and batch in progress");
+        return;
+    };
+    debug_assert!(out.is_empty());
+    let consumed = site.on_items(&cur.items[cur.off..], out);
+    debug_assert!(consumed > 0, "on_items must make progress");
+    cur.off += consumed.max(1);
+    flush_ups::<S, C>(pool, SiteId(idx as u32), out, meter, coord_tx);
+    let finished = cur.off >= cur.items.len();
+    // A dropped feeder (it errored out mid-batch) is not this worker's
+    // problem; keep serving the queue.
+    let _ = cur.progress.send(consumed);
+    if finished {
+        *batch = None;
+    }
+}
+
+fn handle_cmd<S, C>(
+    pool: &Pool<S>,
+    idx: usize,
+    exec: &mut SiteExec<S>,
+    cmd: ShardCmd<S>,
+    coord_tx: &Sender<CoordCmd<C>>,
+) where
+    S: Site,
+    S::Item: Clone,
+    C: Coordinator<Up = S::Up, Down = S::Down>,
+{
+    let id = SiteId(idx as u32);
+    // Each tracked command's token lives to the end of the match arm:
+    // outputs are enqueued (and counted) before the input is released.
+    match cmd {
+        ShardCmd::Item(item, token) => {
+            let SiteExec {
+                site, meter, out, ..
+            } = exec;
+            let Some(site) = site.as_mut() else { return };
+            site.on_item(item, out);
+            flush_ups::<S, C>(pool, id, out, meter, coord_tx);
+            drop(token);
+        }
+        ShardCmd::Batch {
+            items,
+            progress,
+            token,
+        } => {
+            debug_assert!(exec.batch.is_none(), "overlapping batches on one site");
+            exec.batch = Some(BatchState {
+                items,
+                off: 0,
+                progress,
+            });
+            batch_step(pool, idx, exec, coord_tx);
+            drop(token);
+        }
+        ShardCmd::Resume(token) => {
+            batch_step(pool, idx, exec, coord_tx);
+            drop(token);
+        }
+        ShardCmd::Run(items, done, token) => {
+            run_step(pool, idx, exec, &items, coord_tx);
+            // A feeder that dropped its ticket is not waiting; ignore.
+            let _ = done.send(());
+            drop(token);
+        }
+        ShardCmd::Down(msg, token) => {
+            let SiteExec {
+                site, meter, out, ..
+            } = exec;
+            let Some(site) = site.as_mut() else { return };
+            meter.record_down(msg.kind(), msg.size_words());
+            site.on_message(&msg, out);
+            flush_ups::<S, C>(pool, id, out, meter, coord_tx);
+            drop(token);
+        }
+    }
+}
+
+/// Consume one free-running run to completion, applying coordinator
+/// feedback that has already arrived between `on_items` steps (exactly
+/// as the threaded runtime does mid-`Run`): Downs from the front of the
+/// site's queue are processed immediately, other commands are deferred
+/// in order and put back at the front afterwards.
+fn run_step<S, C>(
+    pool: &Pool<S>,
+    idx: usize,
+    exec: &mut SiteExec<S>,
+    items: &[S::Item],
+    coord_tx: &Sender<CoordCmd<C>>,
+) where
+    S: Site,
+    S::Item: Clone,
+    C: Coordinator<Up = S::Up, Down = S::Down>,
+{
+    let id = SiteId(idx as u32);
+    let mut deferred: VecDeque<ShardCmd<S>> = VecDeque::new();
+    {
+        let SiteExec {
+            site, meter, out, ..
+        } = exec;
+        let Some(site) = site.as_mut() else { return };
+        let mut off = 0;
+        while off < items.len() {
+            debug_assert!(out.is_empty());
+            let consumed = site.on_items(&items[off..], out);
+            debug_assert!(consumed > 0, "on_items must make progress");
+            off += consumed.max(1);
+            flush_ups::<S, C>(pool, id, out, meter, coord_tx);
+            // Apply already-arrived feedback before consuming further
+            // items, as it would land under per-item delivery — without
+            // this, feedback-driven protocols run the whole batch
+            // against stale thresholds and flood the channel.
+            loop {
+                let next = {
+                    let mut q = pool.lock_queue(idx);
+                    match q.cmds.pop_front() {
+                        Some(cmd) => {
+                            pool.sites[idx].space_cv.notify_one();
+                            cmd
+                        }
+                        None => break,
+                    }
+                };
+                if let ShardCmd::Down(msg, down_token) = next {
+                    meter.record_down(msg.kind(), msg.size_words());
+                    site.on_message(&msg, out);
+                    flush_ups::<S, C>(pool, id, out, meter, coord_tx);
+                    drop(down_token);
+                } else {
+                    deferred.push_back(next);
+                }
+            }
+        }
+    }
+    if !deferred.is_empty() {
+        // Replay deferred commands ahead of anything enqueued since; the
+        // transient overshoot past `queue_cap` mirrors the threaded
+        // runtime's deferred buffer living outside its bounded channel.
+        let mut q = pool.lock_queue(idx);
+        while let Some(cmd) = deferred.pop_back() {
+            q.cmds.push_front(cmd);
+        }
+    }
+}
+
+/// Coordinator thread: the single consumer of upstream traffic, pushing
+/// triggered downstream messages back into site queues (each carrying
+/// its own pending token).
+fn run_coordinator<S, C>(mut coordinator: C, rx: Receiver<CoordCmd<C>>, pool: &Arc<Pool<S>>)
+where
+    S: Site + Send + 'static,
+    C: Coordinator<Up = S::Up, Down = S::Down> + Send + 'static,
+    S::Down: Send + Sync,
+{
+    let mut outbox: Outbox<S::Down> = Outbox::new();
+    // Staging buffer so the borrow on `outbox` ends before sends (which
+    // may block on site-queue backpressure) begin.
+    let mut downs: Vec<(Down, S::Down)> = Vec::new();
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            CoordCmd::Up(from, up, token) => {
+                debug_assert!(outbox.is_empty());
+                coordinator.on_message(from, up, &mut outbox);
+                downs.extend(outbox.drain());
+                for (dest, msg) in downs.drain(..) {
+                    let msg = Arc::new(msg);
+                    match dest {
+                        Down::Unicast(dst) => push_down(pool, dst, &msg),
+                        Down::Broadcast => {
+                            for i in 0..pool.sites.len() {
+                                push_down(pool, SiteId(i as u32), &msg);
+                            }
+                        }
+                    }
+                }
+                drop(token);
+            }
+            CoordCmd::With(f) => f(&mut coordinator),
+            CoordCmd::Stop(reply) => {
+                let _ = reply.send(coordinator);
+                return;
+            }
+        }
+    }
+}
+
+/// Enqueue one downstream message; a dead site only drops that site's
+/// copy (its token releases the pending count with the rejected command).
+fn push_down<S>(pool: &Pool<S>, dst: SiteId, msg: &Arc<S::Down>)
+where
+    S: Site,
+{
+    if dst.index() >= pool.sites.len() {
+        return;
+    }
+    let token = PendingToken::new(&pool.pending);
+    let _ = pool.push_cmd(dst.index(), ShardCmd::Down(Arc::clone(msg), token));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::MessageSize;
+
+    fn cfg(workers: usize) -> ShardedConfig {
+        ShardedConfig {
+            workers: Some(workers),
+            ..ShardedConfig::default()
+        }
+    }
+
+    /// A site that records every item it consumed, in order.
+    #[derive(Debug, Default)]
+    struct LogSite {
+        seen: Vec<u64>,
+        /// Park this many microseconds per item (a "slow" site).
+        stall_us: u64,
+    }
+    #[derive(Debug)]
+    struct Inc(u64);
+    #[derive(Debug)]
+    struct Nudge;
+
+    impl MessageSize for Inc {
+        fn size_words(&self) -> u64 {
+            1
+        }
+        fn kind(&self) -> &'static str {
+            "sh/inc"
+        }
+    }
+    impl MessageSize for Nudge {
+        fn size_words(&self) -> u64 {
+            1
+        }
+        fn kind(&self) -> &'static str {
+            "sh/nudge"
+        }
+    }
+
+    impl Site for LogSite {
+        type Item = u64;
+        type Up = Inc;
+        type Down = Nudge;
+        fn on_item(&mut self, item: u64, out: &mut Vec<Inc>) {
+            if self.stall_us > 0 {
+                std::thread::sleep(std::time::Duration::from_micros(self.stall_us));
+            }
+            self.seen.push(item);
+            out.push(Inc(item));
+        }
+        fn on_message(&mut self, _msg: &Nudge, _out: &mut Vec<Inc>) {}
+    }
+
+    #[derive(Debug, Default)]
+    struct SumCoord {
+        sum: u64,
+        ups: u64,
+    }
+    impl Coordinator for SumCoord {
+        type Up = Inc;
+        type Down = Nudge;
+        fn on_message(&mut self, _from: SiteId, msg: Inc, out: &mut Outbox<Nudge>) {
+            self.sum += msg.0;
+            self.ups += 1;
+            if self.ups.is_multiple_of(5) {
+                out.broadcast(Nudge);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_roundtrip_sums_and_meters() {
+        let sites = (0..4).map(|_| LogSite::default()).collect();
+        let cluster = ShardedCluster::spawn_with(sites, SumCoord::default(), cfg(2)).unwrap();
+        assert_eq!(cluster.num_sites(), 4);
+        assert_eq!(cluster.num_workers(), 2);
+        let mut expect = 0u64;
+        for i in 1..=20u64 {
+            expect += i;
+            cluster.feed(SiteId((i % 4) as u32), i).unwrap();
+        }
+        cluster.settle();
+        let sum = cluster.with_coordinator(|c| c.sum).unwrap();
+        assert_eq!(sum, expect);
+        let meter = cluster.cost();
+        assert_eq!(meter.kind("sh/inc").messages, 20);
+        // 4 broadcasts (after ups 5, 10, 15, 20) x 4 sites.
+        assert_eq!(meter.kind("sh/nudge").messages, 16);
+        let (coord, sites, meter2) = cluster.shutdown().unwrap();
+        assert_eq!(coord.sum, expect);
+        assert_eq!(
+            sites
+                .iter()
+                .map(|s| s.seen.iter().sum::<u64>())
+                .sum::<u64>(),
+            expect
+        );
+        assert_eq!(meter2.total_messages(), 36);
+    }
+
+    /// The core shard-pool invariant: per-site FIFO order holds when
+    /// sites vastly outnumber workers and runs migrate between workers
+    /// through stealing.
+    #[test]
+    fn per_site_fifo_holds_under_stealing() {
+        for workers in [1usize, 2, 3] {
+            let k = 16u64;
+            let per_site = 200u64;
+            let sites = (0..k).map(|_| LogSite::default()).collect();
+            let cluster =
+                ShardedCluster::spawn_with(sites, SumCoord::default(), cfg(workers)).unwrap();
+            // Interleave runs and single items across all sites so shard
+            // deques stay populated and steals actually happen.
+            let mut tickets = Vec::new();
+            for round in 0..(per_site / 10) {
+                for s in 0..k {
+                    let base = s * per_site + round * 10;
+                    tickets.push(
+                        cluster
+                            .ingest_run(SiteId(s as u32), (base..base + 9).collect())
+                            .unwrap(),
+                    );
+                    cluster.feed(SiteId(s as u32), base + 9).unwrap();
+                }
+            }
+            for t in tickets {
+                t.wait().unwrap();
+            }
+            cluster.settle();
+            let (_, sites, _) = cluster.shutdown().unwrap();
+            for (s, site) in sites.iter().enumerate() {
+                let expect: Vec<u64> = (s as u64 * per_site..(s as u64 + 1) * per_site).collect();
+                assert_eq!(
+                    site.seen, expect,
+                    "site {s} order broken with {workers} workers"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn feed_batch_matches_per_item_transcript() {
+        let stream: Vec<(SiteId, u64)> = (0..500u64)
+            .map(|i| (SiteId(((i / 7) % 3) as u32), i))
+            .collect();
+
+        let sites = (0..3).map(|_| LogSite::default()).collect();
+        let per_item = ShardedCluster::spawn_with(sites, SumCoord::default(), cfg(2)).unwrap();
+        for &(site, item) in &stream {
+            per_item.feed(site, item).unwrap();
+            per_item.settle();
+        }
+        let (pc, ps, pm) = per_item.shutdown().unwrap();
+
+        let sites = (0..3).map(|_| LogSite::default()).collect();
+        let batched = ShardedCluster::spawn_with(sites, SumCoord::default(), cfg(2)).unwrap();
+        batched.feed_batch(&stream).unwrap();
+        let (bc, bs, bm) = batched.shutdown().unwrap();
+
+        assert_eq!(pc.sum, bc.sum);
+        assert_eq!(pc.ups, bc.ups);
+        assert_eq!(
+            ps.iter().map(|s| s.seen.clone()).collect::<Vec<_>>(),
+            bs.iter().map(|s| s.seen.clone()).collect::<Vec<_>>()
+        );
+        assert_eq!(pm.report(), bm.report());
+    }
+
+    /// `settle` terminates while workers are stalled mid-run on slow
+    /// sites and the remaining work is being stolen around them.
+    #[test]
+    fn settle_terminates_with_workers_stalled_on_slow_sites() {
+        let mut sites: Vec<LogSite> = (0..8).map(|_| LogSite::default()).collect();
+        // One slow straggler site, the rest fast.
+        sites[0].stall_us = 200;
+        let cluster = ShardedCluster::spawn_with(sites, SumCoord::default(), cfg(2)).unwrap();
+        for s in 0..8u32 {
+            let ticket = cluster.ingest_run(SiteId(s), (0..50).collect()).unwrap();
+            drop(ticket);
+        }
+        cluster.settle();
+        let total = cluster.with_coordinator(|c| c.ups).unwrap();
+        assert_eq!(total, 8 * 50);
+        cluster.shutdown().unwrap();
+    }
+
+    /// More sites than the queue cap can absorb at once: feeds block on
+    /// backpressure instead of failing, and everything still lands.
+    #[test]
+    fn bounded_queues_backpressure_instead_of_dropping() {
+        let sites = (0..2).map(|_| LogSite::default()).collect();
+        let config = ShardedConfig {
+            workers: Some(1),
+            site_queue_cap: 4,
+        };
+        let cluster = ShardedCluster::spawn_with(sites, SumCoord::default(), config).unwrap();
+        for i in 0..200u64 {
+            cluster.feed(SiteId((i % 2) as u32), 1).unwrap();
+        }
+        cluster.settle();
+        assert_eq!(cluster.with_coordinator(|c| c.sum).unwrap(), 200);
+        cluster.shutdown().unwrap();
+    }
+
+    #[test]
+    fn spawn_requires_two_sites() {
+        let err = ShardedCluster::spawn(vec![LogSite::default()], SumCoord::default())
+            .err()
+            .unwrap();
+        assert_eq!(err, SimError::TooFewSites { sites: 1 });
+    }
+
+    #[test]
+    fn feed_unknown_site_errors() {
+        let sites = (0..2).map(|_| LogSite::default()).collect();
+        let cluster = ShardedCluster::spawn_with(sites, SumCoord::default(), cfg(2)).unwrap();
+        let err = cluster.feed(SiteId(5), 1).unwrap_err();
+        assert_eq!(err, SimError::NoSuchSite { site: 5, sites: 2 });
+        cluster.shutdown().unwrap();
+    }
+
+    #[test]
+    fn drop_without_shutdown_joins_workers() {
+        let sites = (0..16).map(|_| LogSite::default()).collect();
+        let cluster = ShardedCluster::spawn_with(sites, SumCoord::default(), cfg(3)).unwrap();
+        for i in 0..200u64 {
+            cluster.feed(SiteId((i % 16) as u32), i).unwrap();
+        }
+        drop(cluster);
+    }
+
+    /// A site that panics on a poison value — the stand-in for a site
+    /// dying mid-run.
+    #[derive(Debug, Default)]
+    struct PoisonSite;
+    const POISON: u64 = u64::MAX;
+
+    impl Site for PoisonSite {
+        type Item = u64;
+        type Up = Inc;
+        type Down = Nudge;
+        fn on_item(&mut self, item: u64, out: &mut Vec<Inc>) {
+            assert!(item != POISON, "poisoned (intentional test panic)");
+            out.push(Inc(item));
+        }
+        fn on_message(&mut self, _msg: &Nudge, _out: &mut Vec<Inc>) {}
+    }
+
+    /// Worker death surfaces as a `RunTicket::wait` error, `settle`
+    /// still terminates, the pool keeps serving *other* sites, and
+    /// `shutdown` reports the failure.
+    #[test]
+    fn site_death_surfaces_without_killing_the_pool() {
+        let sites = (0..4).map(|_| PoisonSite).collect();
+        let cluster = ShardedCluster::spawn_with(sites, SumCoord::default(), cfg(2)).unwrap();
+        let ticket = cluster
+            .ingest_run(SiteId(0), vec![1, 2, POISON, 3])
+            .unwrap();
+        assert_eq!(
+            ticket.wait().unwrap_err(),
+            SimError::WorkerGone { who: "site" }
+        );
+        // The dead site rejects further work...
+        cluster.settle();
+        let mut saw_error = false;
+        for i in 0..10_000u64 {
+            if cluster.feed(SiteId(0), i).is_err() {
+                saw_error = true;
+                break;
+            }
+            std::thread::yield_now();
+        }
+        assert!(saw_error, "dead site never surfaced as a feed error");
+        // ...while the surviving sites keep ingesting on the same pool.
+        cluster
+            .ingest_run(SiteId(1), (0..100).collect())
+            .unwrap()
+            .wait()
+            .unwrap();
+        cluster.feed(SiteId(2), 7).unwrap();
+        cluster.settle();
+        assert!(cluster.with_coordinator(|c| c.ups).unwrap() >= 103);
+        let err = cluster.shutdown().unwrap_err();
+        assert_eq!(err, SimError::WorkerGone { who: "site" });
+    }
+
+    /// Queued-but-unconsumed runs on a site that dies release their
+    /// pending counts and resolve their tickets as errors — `settle`
+    /// cannot hang on a dead site's backlog.
+    #[test]
+    fn queued_runs_behind_a_death_release_and_error() {
+        let sites = (0..2).map(|_| PoisonSite).collect();
+        let config = ShardedConfig {
+            workers: Some(1),
+            site_queue_cap: 64,
+        };
+        let cluster = ShardedCluster::spawn_with(sites, SumCoord::default(), config).unwrap();
+        let poison = cluster.ingest_run(SiteId(0), vec![1, POISON]).unwrap();
+        let mut behind = Vec::new();
+        for _ in 0..8 {
+            behind.push(cluster.ingest_run(SiteId(0), vec![2, 3]).unwrap());
+        }
+        assert!(poison.wait().is_err());
+        // Runs queued behind the poison either got in before the death
+        // (possible when the feeder raced ahead) or error; none hang.
+        for t in behind {
+            let _ = t.wait();
+        }
+        cluster.settle();
+        assert_eq!(
+            cluster.shutdown().unwrap_err(),
+            SimError::WorkerGone { who: "site" }
+        );
+    }
+
+    #[test]
+    fn ingest_run_ticket_resolves_for_empty() {
+        let sites = (0..2).map(|_| LogSite::default()).collect();
+        let cluster = ShardedCluster::spawn_with(sites, SumCoord::default(), cfg(1)).unwrap();
+        cluster
+            .ingest_run(SiteId(0), Vec::new())
+            .unwrap()
+            .wait()
+            .unwrap();
+        cluster.shutdown().unwrap();
+    }
+
+    #[test]
+    fn more_workers_than_sites_is_fine() {
+        let sites = (0..2).map(|_| LogSite::default()).collect();
+        let cluster = ShardedCluster::spawn_with(sites, SumCoord::default(), cfg(8)).unwrap();
+        for i in 0..100u64 {
+            cluster.feed(SiteId((i % 2) as u32), i).unwrap();
+        }
+        cluster.settle();
+        assert_eq!(cluster.with_coordinator(|c| c.ups).unwrap(), 100);
+        cluster.shutdown().unwrap();
+    }
+
+    #[test]
+    fn config_resolves_workers() {
+        assert_eq!(cfg(3).resolved_workers(), 3);
+        assert!(ShardedConfig::default().resolved_workers() >= 1);
+        assert_eq!(
+            ShardedConfig {
+                workers: Some(0),
+                ..ShardedConfig::default()
+            }
+            .resolved_workers(),
+            1
+        );
+    }
+
+    /// Seeded pseudo-random stress: random interleavings of items, runs,
+    /// and settles across many sites on a small pool; per-site order and
+    /// coordinator totals must come out exact.
+    #[test]
+    fn randomized_stress_keeps_order_and_totals() {
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let k = 12u64;
+        let sites = (0..k).map(|_| LogSite::default()).collect();
+        let cluster = ShardedCluster::spawn_with(sites, SumCoord::default(), cfg(3)).unwrap();
+        let mut cursors = vec![0u64; k as usize];
+        let mut fed = 0u64;
+        for _ in 0..400 {
+            let s = (next() % k) as usize;
+            let base = cursors[s];
+            match next() % 3 {
+                0 => {
+                    cluster.feed(SiteId(s as u32), base).unwrap();
+                    cursors[s] += 1;
+                    fed += 1;
+                }
+                1 => {
+                    let len = 1 + next() % 16;
+                    let ticket = cluster
+                        .ingest_run(SiteId(s as u32), (base..base + len).collect())
+                        .unwrap();
+                    drop(ticket);
+                    cursors[s] += len;
+                    fed += len;
+                }
+                _ => cluster.settle(),
+            }
+        }
+        cluster.settle();
+        let (coord, sites, _) = cluster.shutdown().unwrap();
+        assert_eq!(coord.ups, fed);
+        for (s, site) in sites.iter().enumerate() {
+            let expect: Vec<u64> = (0..cursors[s]).collect();
+            assert_eq!(site.seen, expect, "site {s} out of order");
+        }
+    }
+}

@@ -64,17 +64,21 @@ use crate::error::SimError;
 use crate::meter::MessageMeter;
 use crate::proto::{Coordinator, Down, MessageSize, Outbox, Site, SiteId};
 
-/// Capacity of each site's command queue. Deep enough that the feeder and
-/// the coordinator rarely contend on a healthy run, shallow enough that a
-/// stalled site exerts backpressure (a blocked `feed`) instead of
-/// accumulating unbounded memory.
+/// Default capacity of each site's command queue. Deep enough that the
+/// feeder and the coordinator rarely contend on a healthy run, shallow
+/// enough that a stalled site exerts backpressure (a blocked `feed`)
+/// instead of accumulating unbounded memory. Both parallel backends
+/// (threaded and sharded) share this default; override it per cluster
+/// with [`ThreadedCluster::spawn_with_cap`], the sharded runtime's
+/// config, or `TrackerBuilder::site_queue_cap`.
 pub const SITE_QUEUE_CAP: usize = 1024;
 
 /// Shared bookkeeping for quiescence detection: the number of messages
 /// that are queued or currently being processed, plus the condvar
-/// [`ThreadedCluster::settle`] parks on.
+/// [`ThreadedCluster::settle`] parks on. Shared with the sharded runtime
+/// (`crate::sharded`), which reuses the same token accounting.
 #[derive(Debug, Default)]
-struct Pending {
+pub(crate) struct Pending {
     count: AtomicU64,
     idle_lock: Mutex<()>,
     idle_cv: Condvar,
@@ -101,7 +105,7 @@ impl Pending {
         }
     }
 
-    fn wait_idle(&self) {
+    pub(crate) fn wait_idle(&self) {
         if self.count.load(Ordering::SeqCst) == 0 {
             return;
         }
@@ -117,10 +121,10 @@ impl Pending {
 /// the success path after the handler finishes, but equally when a send
 /// fails and returns the command, when a disconnected queue destroys its
 /// backlog, or when a handler panics and unwinds.
-struct PendingToken(Arc<Pending>);
+pub(crate) struct PendingToken(Arc<Pending>);
 
 impl PendingToken {
-    fn new(pending: &Arc<Pending>) -> Self {
+    pub(crate) fn new(pending: &Arc<Pending>) -> Self {
         pending.inc();
         PendingToken(Arc::clone(pending))
     }
@@ -166,7 +170,7 @@ enum CoordCmd<C: Coordinator> {
 
 /// Completion handle for a free-running [`ThreadedCluster::ingest_run`].
 #[must_use = "hold the ticket and wait on it to bound in-flight items per site"]
-pub struct RunTicket(Receiver<()>);
+pub struct RunTicket(pub(crate) Receiver<()>);
 
 impl RunTicket {
     /// Block until the run has been fully consumed.
@@ -208,20 +212,35 @@ where
     S::Up: Send,
     S::Down: Send + Sync,
 {
-    /// Spawn one thread per site plus a coordinator thread.
+    /// Spawn one thread per site plus a coordinator thread, with the
+    /// default site-queue capacity ([`SITE_QUEUE_CAP`]).
     pub fn spawn(sites: Vec<S>, coordinator: C) -> Result<Self, SimError> {
+        Self::spawn_with_cap(sites, coordinator, SITE_QUEUE_CAP)
+    }
+
+    /// [`ThreadedCluster::spawn`] with an explicit per-site queue
+    /// capacity. Deeper queues absorb burstier feeders before `feed`
+    /// blocks; shallower queues bound memory and feedback staleness more
+    /// tightly. A capacity of 0 is clamped to 1 (a rendezvous queue would
+    /// deadlock `feed_batch`'s step protocol).
+    pub fn spawn_with_cap(
+        sites: Vec<S>,
+        coordinator: C,
+        queue_cap: usize,
+    ) -> Result<Self, SimError> {
         if sites.len() < 2 {
             return Err(SimError::TooFewSites {
                 sites: sites.len() as u32,
             });
         }
+        let queue_cap = queue_cap.max(1);
         let pending = Arc::new(Pending::default());
         let (coord_tx, coord_rx): (Sender<CoordCmd<C>>, Receiver<CoordCmd<C>>) = unbounded();
 
         let mut site_txs = Vec::with_capacity(sites.len());
         let mut site_handles = Vec::with_capacity(sites.len());
         for (i, site) in sites.into_iter().enumerate() {
-            let (tx, rx) = bounded::<SiteCmd<S>>(SITE_QUEUE_CAP);
+            let (tx, rx) = bounded::<SiteCmd<S>>(queue_cap);
             site_txs.push(tx);
             let coord_tx = coord_tx.clone();
             let pending = Arc::clone(&pending);

@@ -43,11 +43,13 @@
 
 use std::fmt;
 
-use crate::backend::{Backend, DeterministicBackend, ThreadedBackend};
+use crate::backend::{Backend, DeterministicBackend, ShardedBackend, ThreadedBackend};
 use crate::error::SimError;
 use crate::meter::MessageMeter;
 use crate::proto::{Coordinator, MessageSize, Site, SiteId};
 use crate::query::{Answer, Query, QueryError};
+use crate::sharded::ShardedConfig;
+use crate::threaded::SITE_QUEUE_CAP;
 
 /// A typed description of one tracking protocol: construction plus the
 /// query surface over its coordinator.
@@ -108,6 +110,13 @@ pub enum BackendKind {
     /// One OS thread per site plus a coordinator thread (wraps
     /// [`crate::threaded::ThreadedCluster`]).
     Threaded,
+    /// A fixed work-stealing worker pool multiplexing any number of
+    /// logical sites (wraps [`crate::sharded::ShardedCluster`]) — the
+    /// runtime for site counts far past the core count.
+    Sharded {
+        /// Worker threads; `None` means one per available core.
+        workers: Option<usize>,
+    },
 }
 
 impl fmt::Display for BackendKind {
@@ -115,6 +124,10 @@ impl fmt::Display for BackendKind {
         match self {
             BackendKind::Deterministic => write!(f, "deterministic"),
             BackendKind::Threaded => write!(f, "threaded"),
+            BackendKind::Sharded { workers: None } => write!(f, "sharded"),
+            BackendKind::Sharded {
+                workers: Some(workers),
+            } => write!(f, "sharded({workers})"),
         }
     }
 }
@@ -258,6 +271,7 @@ where
 pub struct TrackerBuilder<P = ()> {
     sites: Option<u32>,
     backend: BackendKind,
+    queue_cap: Option<usize>,
     protocol: P,
 }
 
@@ -275,6 +289,16 @@ impl<P> TrackerBuilder<P> {
         self.backend = backend;
         self
     }
+
+    /// Per-site command-queue capacity for the parallel backends
+    /// (threaded and sharded; the deterministic backend has no queues).
+    /// Default: [`crate::threaded::SITE_QUEUE_CAP`]. Deeper queues absorb
+    /// burstier feeders before `feed` blocks; shallower queues bound
+    /// memory and feedback staleness more tightly.
+    pub fn site_queue_cap(mut self, cap: usize) -> Self {
+        self.queue_cap = Some(cap);
+        self
+    }
 }
 
 impl TrackerBuilder<()> {
@@ -283,6 +307,7 @@ impl TrackerBuilder<()> {
         TrackerBuilder {
             sites: self.sites,
             backend: self.backend,
+            queue_cap: self.queue_cap,
             protocol,
         }
     }
@@ -302,13 +327,25 @@ impl<P: Protocol> TrackerBuilder<P> {
             (None, None) => return Err(TrackerError::MissingSiteCount),
         };
         let (sites, coordinator) = self.protocol.build(k).map_err(TrackerError::Protocol)?;
+        let queue_cap = self.queue_cap.unwrap_or(SITE_QUEUE_CAP);
         let inner: Box<dyn ErasedProtocol> = match self.backend {
             BackendKind::Deterministic => Box::new(Bound {
                 backend: DeterministicBackend::new(sites, coordinator)?,
                 protocol: self.protocol,
             }),
             BackendKind::Threaded => Box::new(Bound {
-                backend: ThreadedBackend::spawn(sites, coordinator)?,
+                backend: ThreadedBackend::spawn_with_cap(sites, coordinator, queue_cap)?,
+                protocol: self.protocol,
+            }),
+            BackendKind::Sharded { workers } => Box::new(Bound {
+                backend: ShardedBackend::spawn_with(
+                    sites,
+                    coordinator,
+                    ShardedConfig {
+                        workers,
+                        site_queue_cap: queue_cap,
+                    },
+                )?,
                 protocol: self.protocol,
             }),
         };
@@ -502,10 +539,15 @@ mod tests {
 
     #[test]
     fn tracker_feeds_queries_and_finishes() {
-        for backend in [BackendKind::Deterministic, BackendKind::Threaded] {
+        for backend in [
+            BackendKind::Deterministic,
+            BackendKind::Threaded,
+            BackendKind::Sharded { workers: Some(2) },
+        ] {
             let mut t = Tracker::builder()
                 .sites(3)
                 .backend(backend)
+                .site_queue_cap(64)
                 .protocol(CountProtocol)
                 .build()
                 .unwrap();

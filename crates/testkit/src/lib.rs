@@ -38,6 +38,7 @@
 //! ```
 
 pub mod bound;
+pub mod golden;
 pub mod matrix;
 pub mod registry;
 pub mod report;
@@ -54,8 +55,8 @@ pub use runner::{
 };
 pub use scenario::{AssignmentSpec, GeneratorSpec, ProtocolSpec, Scenario, Tuning};
 pub use threaded::{
-    measure_threaded, run_scenario_reference, run_scenario_threaded, ThreadedIngest,
-    ThreadedOutcome,
+    measure_on_backend, measure_threaded, run_scenario_on_backend, run_scenario_reference,
+    run_scenario_threaded, ThreadedIngest, ThreadedOutcome,
 };
 
 // The facade types scenario drivers hand out, re-exported so harness

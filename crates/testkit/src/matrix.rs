@@ -93,9 +93,17 @@ pub fn matrix(
     out
 }
 
+/// The concurrency-shaped assignment appended as a fifth slice: one
+/// straggler site receiving long runs while the rest stay fast. Kept out
+/// of [`ASSIGNMENTS`] so the rotation (and therefore the first 40
+/// scenarios' parameters and golden costs) stays bit-identical.
+pub const STRAGGLER: AssignmentSpec = AssignmentSpec::Straggler { slow_run: 97 };
+
 /// The default matrix: every protocol × 4 rotated slices of the
-/// generator/assignment/k/ε axes — 40 scenarios, each a distinct
-/// (generator, assignment, k, ε, protocol) combination.
+/// generator/assignment/k/ε axes (40 scenarios, each a distinct
+/// combination), plus one straggler-assignment scenario per protocol —
+/// the concurrency axis the parallel backends are equivalence-tested on
+/// (10 more scenarios, 50 total).
 pub fn default_matrix() -> Vec<Scenario> {
     let mut out = Vec::new();
     for (pi, &protocol) in PROTOCOLS.iter().enumerate() {
@@ -117,6 +125,18 @@ pub fn default_matrix() -> Vec<Scenario> {
                 tuning: Default::default(),
             });
         }
+    }
+    for (pi, &protocol) in PROTOCOLS.iter().enumerate() {
+        out.push(Scenario {
+            generator: GENERATORS[pi % GENERATORS.len()],
+            assignment: STRAGGLER,
+            k: KS[pi % KS.len()],
+            epsilon: EPSILONS[pi % EPSILONS.len()],
+            n: 6_000,
+            seed: 500 + pi as u64,
+            protocol,
+            tuning: Default::default(),
+        });
     }
     out
 }
@@ -156,6 +176,15 @@ mod tests {
         }
         for a in ASSIGNMENTS {
             assert!(scenarios.iter().any(|s| s.assignment == a), "missing {a:?}");
+        }
+        // The concurrency axis: every protocol meets the straggler shape.
+        for p in PROTOCOLS {
+            assert!(
+                scenarios
+                    .iter()
+                    .any(|s| s.assignment == STRAGGLER && s.protocol == p),
+                "missing straggler scenario for {p:?}"
+            );
         }
         for p in PROTOCOLS {
             assert!(scenarios.iter().any(|s| s.protocol == p), "missing {p:?}");

@@ -8,8 +8,8 @@
 
 use dtrack_sim::SiteId;
 use dtrack_workload::{
-    Assignment, Bursts, Generator, RoundRobin, ShiftingZipf, SkewedSites, SortedRamp, Stream,
-    TwoPhaseDrift, Uniform, UniformSites, Zipf,
+    Assignment, Bursts, Generator, RoundRobin, ShiftingZipf, SkewedSites, SortedRamp, Straggler,
+    Stream, TwoPhaseDrift, Uniform, UniformSites, Zipf,
 };
 use std::fmt;
 
@@ -136,6 +136,13 @@ pub enum AssignmentSpec {
         /// Items per burst.
         burst_len: u64,
     },
+    /// One straggler site, rest fast: site 0 gets `slow_run` consecutive
+    /// items, then sites 1..k one each, repeating — the concurrency-shaped
+    /// axis (skewed site speeds) for the parallel backends.
+    Straggler {
+        /// Consecutive items per site-0 run.
+        slow_run: u64,
+    },
 }
 
 impl AssignmentSpec {
@@ -152,6 +159,9 @@ impl AssignmentSpec {
             AssignmentSpec::Bursts { burst_len } => {
                 BuiltAssignment::Bursts(Bursts::new(k, burst_len, seed))
             }
+            AssignmentSpec::Straggler { slow_run } => {
+                BuiltAssignment::Straggler(Straggler::new(k, slow_run))
+            }
         }
     }
 
@@ -162,6 +172,7 @@ impl AssignmentSpec {
             AssignmentSpec::UniformSites => "uniform-sites",
             AssignmentSpec::SkewedSites { .. } => "skewed-sites",
             AssignmentSpec::Bursts { .. } => "bursts",
+            AssignmentSpec::Straggler { .. } => "straggler",
         }
     }
 }
@@ -177,6 +188,8 @@ pub enum BuiltAssignment {
     SkewedSites(SkewedSites),
     /// See [`AssignmentSpec::Bursts`].
     Bursts(Bursts),
+    /// See [`AssignmentSpec::Straggler`].
+    Straggler(Straggler),
 }
 
 impl Assignment for BuiltAssignment {
@@ -186,6 +199,7 @@ impl Assignment for BuiltAssignment {
             BuiltAssignment::UniformSites(a) => a.next_site(),
             BuiltAssignment::SkewedSites(a) => a.next_site(),
             BuiltAssignment::Bursts(a) => a.next_site(),
+            BuiltAssignment::Straggler(a) => a.next_site(),
         }
     }
 }

@@ -2,23 +2,25 @@
 //! [`Tracker`] facade as [`crate::runner`], so there is no per-protocol
 //! code here at all.
 //!
-//! Three entry points share one generic driver:
+//! Two generic entry points serve every parallel backend (threaded and
+//! sharded — anything behind a [`BackendKind`]):
 //!
-//! * [`run_scenario_threaded`] — site-at-a-time schedule through the
-//!   threaded backend's `feed_batch`: the transcript (final answers *and*
-//!   metered words) must be bit-identical to the deterministic runner on
-//!   the same stream, and `testkit`'s equivalence tests assert exactly
-//!   that against the golden fixture.
-//! * [`run_scenario_reference`] — the deterministic twin: the same
-//!   construction and the same chunked schedule on the deterministic
-//!   backend, reporting the same answers, so the two runtimes can be
-//!   compared outcome-for-outcome.
-//! * [`measure_threaded`] — free-running parallel ingest for throughput
-//!   benchmarks: items flow to all site threads concurrently (per item or
-//!   as per-site runs through [`Tracker::ingest`]) with a single settle
-//!   at the end. Wall-clock is the interesting output; the metered words
-//!   are *not* transcript-pinned here because arrivals interleave with
-//!   in-flight communication.
+//! * [`run_scenario_on_backend`] — site-at-a-time schedule through the
+//!   backend's `feed_batch`: the transcript (final answers *and* metered
+//!   words) must be bit-identical to the deterministic runner on the
+//!   same stream, and `testkit`'s equivalence tests assert exactly that
+//!   against the golden fixture for each parallel backend.
+//! * [`measure_on_backend`] — free-running parallel ingest for
+//!   throughput benchmarks: items flow to all sites concurrently (per
+//!   item or as per-site runs through [`Tracker::ingest`]) with a single
+//!   settle at the end. Wall-clock is the interesting output; the
+//!   metered words are *not* transcript-pinned here because arrivals
+//!   interleave with in-flight communication.
+//!
+//! The named wrappers [`run_scenario_threaded`] (threaded backend),
+//! [`run_scenario_reference`] (the deterministic twin: same
+//! construction, same chunked schedule, same answer extraction), and
+//! [`measure_threaded`] pin the common cases.
 //!
 //! Answers are typed [`Answer`]s whose `Display` reproduces the legacy
 //! canonical strings (sorted where the underlying query has no inherent
@@ -68,41 +70,78 @@ pub struct ThreadedOutcome {
 /// the same run length as the headline threaded cells.
 pub const FREE_RUN: usize = 128;
 
-enum Exec {
-    /// Deterministic backend, chunked `feed_batch` schedule.
-    Deterministic,
-    /// Threaded backend, same chunked site-at-a-time schedule.
-    ThreadedSiteAtATime,
-    /// Threaded backend, free-running ingest.
-    ThreadedFree(ThreadedIngest),
+/// Target for the *total* items in flight across all sites during
+/// free-running batched ingest. With a one-run window per site, k sites
+/// at [`FREE_RUN`] items each would put `k·128` items in flight — at
+/// k = 256 that is 16% of a 200k stream racing ahead of coordinator
+/// feedback, the stale-threshold flood the threaded runtime's run
+/// window exists to prevent. [`free_run_len`] shortens per-site runs as
+/// k grows so the aggregate stays near this target.
+pub const FREE_RUN_INFLIGHT: usize = 4096;
+
+/// Per-site run length for free-running batched ingest at k sites:
+/// [`FREE_RUN`] while the aggregate window fits [`FREE_RUN_INFLIGHT`],
+/// shrinking (never below 16) as sites multiply. At the k = 4 of the
+/// headline threaded cells this is exactly [`FREE_RUN`].
+pub fn free_run_len(k: u32) -> usize {
+    (FREE_RUN_INFLIGHT / (k.max(1) as usize)).clamp(16, FREE_RUN)
 }
 
-/// Run the scenario through the threaded backend on a site-at-a-time
-/// schedule; answers and metered words are transcript-identical to
+enum Exec {
+    /// Chunked site-at-a-time `feed_batch` schedule (transcript-pinned
+    /// on every backend).
+    SiteAtATime,
+    /// Free-running ingest (parallel backends; transcript not pinned).
+    Free(ThreadedIngest),
+}
+
+/// Run the scenario through any backend on a site-at-a-time schedule;
+/// answers and metered words are transcript-identical to
 /// [`run_scenario_reference`] (and therefore to `measure_cost` and the
-/// golden fixture).
+/// golden fixture) for every backend.
+pub fn run_scenario_on_backend(
+    scenario: &Scenario,
+    backend: BackendKind,
+) -> Result<ThreadedOutcome, ScenarioFailure> {
+    dispatch(scenario, Exec::SiteAtATime, backend)
+}
+
+/// Feed the scenario's stream through a parallel backend free-running
+/// (no per-cascade synchronization) and report the final cost and
+/// answers. This is the throughput path the bench harness times.
+pub fn measure_on_backend(
+    scenario: &Scenario,
+    ingest: ThreadedIngest,
+    backend: BackendKind,
+) -> Result<ThreadedOutcome, ScenarioFailure> {
+    dispatch(scenario, Exec::Free(ingest), backend)
+}
+
+/// [`run_scenario_on_backend`] on the threaded backend.
 pub fn run_scenario_threaded(scenario: &Scenario) -> Result<ThreadedOutcome, ScenarioFailure> {
-    dispatch(scenario, Exec::ThreadedSiteAtATime)
+    run_scenario_on_backend(scenario, BackendKind::Threaded)
 }
 
 /// The deterministic twin of [`run_scenario_threaded`]: same
 /// construction, same chunked schedule, same answer extraction, driven
 /// through the deterministic backend.
 pub fn run_scenario_reference(scenario: &Scenario) -> Result<ThreadedOutcome, ScenarioFailure> {
-    dispatch(scenario, Exec::Deterministic)
+    run_scenario_on_backend(scenario, BackendKind::Deterministic)
 }
 
-/// Feed the scenario's stream through the threaded runtime free-running
-/// (no per-cascade synchronization) and report the final cost and
-/// answers. This is the throughput path the bench harness times.
+/// [`measure_on_backend`] on the threaded backend.
 pub fn measure_threaded(
     scenario: &Scenario,
     ingest: ThreadedIngest,
 ) -> Result<ThreadedOutcome, ScenarioFailure> {
-    dispatch(scenario, Exec::ThreadedFree(ingest))
+    measure_on_backend(scenario, ingest, BackendKind::Threaded)
 }
 
-fn dispatch(scenario: &Scenario, exec: Exec) -> Result<ThreadedOutcome, ScenarioFailure> {
+fn dispatch(
+    scenario: &Scenario,
+    exec: Exec,
+    backend: BackendKind,
+) -> Result<ThreadedOutcome, ScenarioFailure> {
     let fail = |detail: String| ScenarioFailure {
         scenario: scenario.to_string(),
         detail,
@@ -110,10 +149,6 @@ fn dispatch(scenario: &Scenario, exec: Exec) -> Result<ThreadedOutcome, Scenario
     if scenario.k < 2 {
         return Err(fail("scenarios need k >= 2".to_owned()));
     }
-    let backend = match exec {
-        Exec::Deterministic => BackendKind::Deterministic,
-        Exec::ThreadedSiteAtATime | Exec::ThreadedFree(_) => BackendKind::Threaded,
-    };
     // Throughput/equivalence runs keep the protocol-default warm-up so
     // cost numbers reflect the paper's configuration.
     let (mut tracker, warmup): (Tracker, u64) =
@@ -123,24 +158,26 @@ fn dispatch(scenario: &Scenario, exec: Exec) -> Result<ThreadedOutcome, Scenario
 
     let start = Instant::now();
     match exec {
-        Exec::Deterministic | Exec::ThreadedSiteAtATime => {
+        Exec::SiteAtATime => {
             for part in stream.chunks(chunk) {
                 tracker.feed_batch(part).map_err(|e| fail(e.to_string()))?;
             }
         }
-        Exec::ThreadedFree(ThreadedIngest::PerItem) => {
+        Exec::Free(ThreadedIngest::PerItem) => {
             for &(site, item) in &stream {
                 tracker.feed(site, item).map_err(|e| fail(e.to_string()))?;
             }
         }
-        Exec::ThreadedFree(ThreadedIngest::Batched) => {
-            // Per chunk, hand every site its run at once so all k threads
-            // chew in parallel; the backend's one-run window per site
-            // bounds feedback staleness to ~FREE_RUN items while the
-            // pipeline keeps every thread busy.
+        Exec::Free(ThreadedIngest::Batched) => {
+            // Per chunk, hand every site its run at once so all k
+            // workers chew in parallel; the backend's one-run window per
+            // site plus the k-aware run length bound total in-flight
+            // items, keeping feedback staleness (and the word flood it
+            // causes) independent of the site count.
             let k = scenario.k as usize;
+            let run = free_run_len(scenario.k);
             let mut per_site: Vec<Vec<u64>> = vec![Vec::new(); k];
-            for part in stream.chunks(FREE_RUN * k) {
+            for part in stream.chunks(run * k) {
                 for &(site, item) in part {
                     per_site[site.index()].push(item);
                 }
@@ -207,6 +244,34 @@ mod tests {
         assert_eq!(thr.answers, det.answers);
         assert_eq!(thr.report.words, det.report.words);
         assert_eq!(thr.report.messages, det.report.messages);
+    }
+
+    #[test]
+    fn sharded_matches_reference_through_the_generic_driver() {
+        let s = base(ProtocolSpec::HhExact);
+        let det = run_scenario_reference(&s).unwrap();
+        // Multiplexed (workers < k) and over-provisioned (workers > k)
+        // pools must both be transcript-identical.
+        for workers in [2usize, 16] {
+            let backend = BackendKind::Sharded {
+                workers: Some(workers),
+            };
+            let sh = run_scenario_on_backend(&s, backend).unwrap();
+            assert_eq!(sh.answers, det.answers, "workers={workers}");
+            assert_eq!(sh.report.words, det.report.words, "workers={workers}");
+            assert_eq!(sh.report.messages, det.report.messages, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn sharded_free_running_ingest_completes_and_answers() {
+        let s = base(ProtocolSpec::Counter);
+        let backend = BackendKind::Sharded { workers: Some(2) };
+        for ingest in [ThreadedIngest::PerItem, ThreadedIngest::Batched] {
+            let out = measure_on_backend(&s, ingest, backend).unwrap();
+            assert_eq!(out.answers.len(), 1);
+            assert!(out.report.words > 0, "{ingest:?} metered nothing");
+        }
     }
 
     #[test]

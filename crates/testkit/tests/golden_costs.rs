@@ -13,42 +13,13 @@
 //!     > crates/testkit/tests/golden_matrix_costs.txt
 //! ```
 
-use dtrack_testkit::{default_matrix, measure_cost, run_scenario};
+use dtrack_testkit::{default_matrix, golden, measure_cost, run_scenario};
 
 const GOLDEN: &str = include_str!("golden_matrix_costs.txt");
 
-#[derive(Debug, PartialEq, Eq)]
-struct GoldenLine {
-    scenario: String,
-    check_words: u64,
-    check_messages: u64,
-    meter_words: u64,
-    meter_messages: u64,
-}
-
-fn parse_golden() -> Vec<GoldenLine> {
-    GOLDEN
-        .lines()
-        .filter(|l| !l.trim().is_empty())
-        .map(|l| {
-            let parts: Vec<&str> = l.split_whitespace().collect();
-            assert_eq!(parts.len(), 7, "malformed golden line: {l}");
-            assert_eq!(parts[1], "check");
-            assert_eq!(parts[4], "meter");
-            GoldenLine {
-                scenario: parts[0].to_owned(),
-                check_words: parts[2].parse().unwrap(),
-                check_messages: parts[3].parse().unwrap(),
-                meter_words: parts[5].parse().unwrap(),
-                meter_messages: parts[6].parse().unwrap(),
-            }
-        })
-        .collect()
-}
-
 #[test]
 fn default_matrix_costs_are_bit_identical_to_golden() {
-    let golden = parse_golden();
+    let golden = golden::parse(GOLDEN);
     let scenarios = default_matrix();
     assert_eq!(
         golden.len(),

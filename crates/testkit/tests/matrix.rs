@@ -53,7 +53,7 @@ fn matrix_spans_all_five_axes() {
     let ks: BTreeSet<_> = scenarios.iter().map(|s| s.k).collect();
     let epsilons: BTreeSet<_> = scenarios.iter().map(|s| s.epsilon.to_bits()).collect();
     assert_eq!(generators.len(), 5);
-    assert_eq!(assignments.len(), 4);
+    assert_eq!(assignments.len(), 5);
     assert_eq!(protocols.len(), 10);
     assert!(ks.len() >= 3);
     assert!(epsilons.len() >= 3);

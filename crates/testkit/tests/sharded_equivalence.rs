@@ -1,0 +1,67 @@
+//! Sharded-vs-deterministic equivalence across the full default matrix.
+//!
+//! The work-stealing pool multiplexes every scenario's sites onto fewer
+//! workers than sites (workers = 2, k ∈ {3, 5, 8}), so site-runs really
+//! migrate between workers — and each scenario must still produce the
+//! *identical* final answers and the *identical* metered words/messages
+//! as the deterministic runner, matching the golden fixture
+//! (`golden_matrix_costs.txt`) bit-for-bit. This is the acceptance gate
+//! the `Backend` trait was built for: a new execution engine drops in
+//! behind `Tracker` and is held to the same transcript.
+
+use dtrack_testkit::{
+    default_matrix, golden, run_scenario_on_backend, run_scenario_reference, BackendKind,
+};
+
+const GOLDEN: &str = include_str!("golden_matrix_costs.txt");
+
+#[test]
+fn sharded_matches_deterministic_on_full_default_matrix() {
+    let golden = golden::meter_costs(GOLDEN);
+    let scenarios = default_matrix();
+    assert_eq!(scenarios.len(), 50);
+    // Two workers for k ∈ {3, 5, 8}: every scenario multiplexes more
+    // sites than workers, so the suite exercises real site-run handoff.
+    let backend = BackendKind::Sharded { workers: Some(2) };
+    for scenario in &scenarios {
+        let name = scenario.to_string();
+        let sharded = run_scenario_on_backend(scenario, backend).unwrap_or_else(|f| panic!("{f}"));
+        let reference = run_scenario_reference(scenario).unwrap_or_else(|f| panic!("{f}"));
+        assert_eq!(
+            sharded.answers, reference.answers,
+            "[{name}] answers diverge between runtimes"
+        );
+        assert_eq!(
+            (sharded.report.words, sharded.report.messages),
+            (reference.report.words, reference.report.messages),
+            "[{name}] metered cost diverges between runtimes"
+        );
+        let &(golden_words, golden_messages) = golden
+            .get(&name)
+            .unwrap_or_else(|| panic!("[{name}] missing from golden fixture"));
+        assert_eq!(
+            (sharded.report.words, sharded.report.messages),
+            (golden_words, golden_messages),
+            "[{name}] sharded cost drifted from the golden fixture"
+        );
+    }
+}
+
+#[test]
+fn worker_count_does_not_change_the_transcript() {
+    // The same scenario across pool sizes (including workers > k and the
+    // machine default) must give one transcript — worker count is an
+    // execution detail, not a protocol parameter.
+    let scenario = &default_matrix()[41]; // an hh straggler scenario
+    let reference = run_scenario_reference(scenario).unwrap_or_else(|f| panic!("{f}"));
+    for workers in [Some(1), Some(3), Some(16), None] {
+        let outcome = run_scenario_on_backend(scenario, BackendKind::Sharded { workers })
+            .unwrap_or_else(|f| panic!("{f}"));
+        assert_eq!(outcome.answers, reference.answers, "workers={workers:?}");
+        assert_eq!(
+            (outcome.report.words, outcome.report.messages),
+            (reference.report.words, reference.report.messages),
+            "workers={workers:?}"
+        );
+    }
+}

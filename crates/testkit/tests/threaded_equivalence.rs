@@ -8,35 +8,15 @@
 //! deterministic transcript, so the threaded runtime is locked to the same
 //! bit-for-bit communication behavior the perf work is held to.
 
-use std::collections::BTreeMap;
-
-use dtrack_testkit::{default_matrix, run_scenario_reference, run_scenario_threaded};
+use dtrack_testkit::{default_matrix, golden, run_scenario_reference, run_scenario_threaded};
 
 const GOLDEN: &str = include_str!("golden_matrix_costs.txt");
 
-/// scenario name -> (meter-mode words, meter-mode messages) from the
-/// golden fixture (columns 5 and 6; see `golden_costs.rs`).
-fn golden_meter_costs() -> BTreeMap<String, (u64, u64)> {
-    GOLDEN
-        .lines()
-        .filter(|l| !l.trim().is_empty())
-        .map(|l| {
-            let parts: Vec<&str> = l.split_whitespace().collect();
-            assert_eq!(parts.len(), 7, "malformed golden line: {l}");
-            assert_eq!(parts[4], "meter");
-            (
-                parts[0].to_owned(),
-                (parts[5].parse().unwrap(), parts[6].parse().unwrap()),
-            )
-        })
-        .collect()
-}
-
 #[test]
 fn threaded_matches_deterministic_on_full_default_matrix() {
-    let golden = golden_meter_costs();
+    let golden = golden::meter_costs(GOLDEN);
     let scenarios = default_matrix();
-    assert_eq!(scenarios.len(), 40);
+    assert_eq!(scenarios.len(), 50);
     for scenario in &scenarios {
         let name = scenario.to_string();
         let threaded = run_scenario_threaded(scenario).unwrap_or_else(|f| panic!("{f}"));

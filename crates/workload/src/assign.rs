@@ -147,6 +147,49 @@ impl Assignment for Bursts {
     }
 }
 
+/// One straggler site, the rest fast: site 0 receives a long run of
+/// `slow_run` consecutive items, then sites 1..k get one item each, and
+/// the pattern repeats. Site 0 therefore carries `slow_run / (slow_run +
+/// k - 1)` of the stream in contiguous stretches — the "one slow site"
+/// shape for parallel runtimes, where every other site finishes its share
+/// quickly and the straggler's backlog dominates. Fully deterministic
+/// (no seed).
+#[derive(Debug, Clone)]
+pub struct Straggler {
+    k: u32,
+    slow_run: u64,
+    pos: u64,
+}
+
+impl Straggler {
+    /// Straggler assignment over `k` sites with runs of `slow_run` items
+    /// on site 0 (clamped to ≥ 1).
+    ///
+    /// # Panics
+    /// Panics if `k` is zero.
+    pub fn new(k: u32, slow_run: u64) -> Self {
+        assert!(k > 0, "need at least one site");
+        Straggler {
+            k,
+            slow_run: slow_run.max(1),
+            pos: 0,
+        }
+    }
+}
+
+impl Assignment for Straggler {
+    fn next_site(&mut self) -> SiteId {
+        let period = self.slow_run + (self.k as u64 - 1);
+        let at = self.pos % period;
+        self.pos += 1;
+        if at < self.slow_run {
+            SiteId(0)
+        } else {
+            SiteId((at - self.slow_run + 1) as u32)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,6 +237,27 @@ mod tests {
                 "burst broken: {chunk:?}"
             );
         }
+    }
+
+    #[test]
+    fn straggler_gives_site_zero_long_runs() {
+        let mut a = Straggler::new(4, 5);
+        let sites: Vec<u32> = (0..16).map(|_| a.next_site().0).collect();
+        assert_eq!(sites, vec![0, 0, 0, 0, 0, 1, 2, 3, 0, 0, 0, 0, 0, 1, 2, 3]);
+        // Site 0 carries slow_run/(slow_run+k-1) of a long stream.
+        let mut a = Straggler::new(4, 5);
+        let h = histogram(&mut a, 8000);
+        assert_eq!(h[&0], 5000);
+        for s in 1..4 {
+            assert_eq!(h[&s], 1000);
+        }
+    }
+
+    #[test]
+    fn straggler_with_two_sites_still_rotates() {
+        let mut a = Straggler::new(2, 3);
+        let sites: Vec<u32> = (0..8).map(|_| a.next_site().0).collect();
+        assert_eq!(sites, vec![0, 0, 0, 1, 0, 0, 0, 1]);
     }
 
     #[test]

@@ -15,7 +15,7 @@ pub mod assign;
 pub mod gen;
 pub mod sample;
 
-pub use assign::{Assignment, Bursts, RoundRobin, SkewedSites, UniformSites};
+pub use assign::{Assignment, Bursts, RoundRobin, SkewedSites, Straggler, UniformSites};
 pub use gen::{Generator, ShiftingZipf, SortedRamp, TwoPhaseDrift, Uniform, Zipf};
 pub use sample::{AliasTable, IndexedCdf};
 

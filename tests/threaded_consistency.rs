@@ -282,6 +282,96 @@ fn threaded_parallel_ingest_still_correct() {
     threaded.shutdown().unwrap();
 }
 
+/// The sharded work-stealing pool at the integration level: far more
+/// logical sites than workers, driven through the bare cluster with
+/// `feed_batch` — answers and metered cost must match the deterministic
+/// runner bit-for-bit, because site-runs are served whole and in FIFO
+/// order no matter which worker picks them up.
+#[test]
+fn sharded_feed_batch_matches_deterministic_at_high_k() {
+    use dtrack::sim::sharded::{ShardedCluster, ShardedConfig};
+    let k = 24;
+    let epsilon = 0.1;
+    let config = HhConfig::new(k, epsilon).unwrap();
+    let stream: Vec<(SiteId, u64)> =
+        Stream::new(Zipf::new(1 << 14, 1.4, 7), RoundRobin::new(k), 30_000).collect();
+
+    let mut det = dtrack::core::hh::exact_cluster(config).unwrap();
+    det.feed_batch(&stream).unwrap();
+
+    let sites: Vec<_> = (0..k).map(|_| HhSite::exact(config)).collect();
+    let sharded = ShardedCluster::spawn_with(
+        sites,
+        HhCoordinator::new(config),
+        ShardedConfig {
+            workers: Some(3),
+            ..ShardedConfig::default()
+        },
+    )
+    .unwrap();
+    sharded.feed_batch(&stream).unwrap();
+    sharded.settle();
+    let (coord, _, meter) = sharded.shutdown().unwrap();
+
+    assert_eq!(
+        det.coordinator().heavy_hitters(0.1).unwrap(),
+        coord.heavy_hitters(0.1).unwrap(),
+        "answers diverge"
+    );
+    assert_eq!(
+        det.coordinator().global_count(),
+        coord.global_count(),
+        "tracked counts diverge"
+    );
+    assert_eq!(det.meter().total_words(), meter.total_words());
+    assert_eq!(det.meter().total_messages(), meter.total_messages());
+}
+
+/// Free-running parallel ingest on the sharded pool (k ≫ workers): the
+/// ε-guarantee must hold at quiescence with the same 2ε slack as the
+/// threaded concurrent tests — through the `Tracker` facade, which owns
+/// the one-run-per-site ticket window.
+#[test]
+fn sharded_parallel_ingest_still_correct_at_high_k() {
+    let k = 32u32;
+    let epsilon = 0.1;
+    let phi = 0.2;
+    let config = HhConfig::new(k, epsilon).unwrap();
+    let mut tracker = Tracker::builder()
+        .backend(BackendKind::Sharded { workers: Some(4) })
+        .protocol(HhExactProtocol::new(config))
+        .build()
+        .unwrap();
+    assert_eq!(tracker.num_sites(), k);
+
+    let stream: Vec<(SiteId, u64)> =
+        Stream::new(Zipf::new(1 << 14, 1.5, 9), RoundRobin::new(k), 40_000).collect();
+    let mut oracle = ExactOracle::new();
+    let mut per_site: Vec<Vec<u64>> = vec![Vec::new(); k as usize];
+    for part in stream.chunks(128 * k as usize) {
+        for &(site, item) in part {
+            oracle.observe(item);
+            per_site[site.index()].push(item);
+        }
+        for (i, items) in per_site.iter_mut().enumerate() {
+            if !items.is_empty() {
+                tracker
+                    .ingest(SiteId(i as u32), std::mem::take(items))
+                    .unwrap();
+            }
+        }
+    }
+    tracker.settle();
+    let reported = match tracker.query(Query::HeavyHitters { phi }).unwrap() {
+        Answer::HeavyHitters { items, .. } => items,
+        other => panic!("unexpected answer {other}"),
+    };
+    if let Some(v) = oracle.check_heavy_hitters(&reported, phi, 2.0 * epsilon) {
+        panic!("sharded parallel ingest violated the guarantee: {v}");
+    }
+    tracker.finish().unwrap();
+}
+
 #[test]
 fn threaded_concurrent_feeding_still_correct() {
     // Without per-item settling, arrivals interleave with in-flight
