@@ -34,6 +34,40 @@ use crate::proto::{Coordinator, Site, SiteId};
 use crate::sharded::{ShardedCluster, ShardedConfig};
 use crate::threaded::{RunTicket, ThreadedCluster, SITE_QUEUE_CAP};
 
+/// One injectable fault, applied through [`Backend::inject_fault`] so
+/// every runtime honors the same hostile-scenario vocabulary.
+///
+/// The semantics are deliberately *administrative* — faults perturb the
+/// environment (membership, timing), never the protocol state machines —
+/// so a fault schedule is replayable and its effect on the metered
+/// transcript is well-defined on every backend:
+///
+/// * [`FaultEvent::KillSite`] partitions one site away for good: feeds to
+///   it return [`SimError::SiteDown`], coordinator downs addressed to it
+///   are dropped *unmetered* (downs are metered at the receiving side,
+///   and nothing is received), and its state is frozen. The runtime stays
+///   healthy and teardown is clean.
+/// * [`FaultEvent::StallSite`] holds the site (its thread, or the pool
+///   worker serving it) for a duration: a pure timing fault. On the
+///   deterministic backend — which has no timing — it is a no-op; on the
+///   parallel backends it keeps the system non-quiescent for the
+///   duration, so `settle()` provably terminates under slow consumers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// Administratively kill a site (permanent partition).
+    KillSite {
+        /// The site to kill.
+        site: SiteId,
+    },
+    /// Hold a site's execution for `micros` microseconds (slow consumer).
+    StallSite {
+        /// The site to stall.
+        site: SiteId,
+        /// Stall duration in microseconds.
+        micros: u64,
+    },
+}
+
 /// A runtime that can drive one protocol instance: deliver items, reach
 /// quiescence, answer coordinator queries, meter communication, and tear
 /// down.
@@ -80,6 +114,12 @@ where
     where
         R: Send + 'static,
         F: FnOnce(&mut C) -> R + Send + 'static;
+
+    /// Apply one fault (see [`FaultEvent`] for the cross-backend
+    /// semantics). Inject at quiescent points — after [`Backend::settle`]
+    /// or between `feed_batch` chunks — so the fault's position in the
+    /// transcript is deterministic.
+    fn inject_fault(&mut self, fault: FaultEvent) -> Result<(), SimError>;
 
     /// Snapshot the communication meter (merged across threads where
     /// applicable). Call after [`Backend::settle`] for a consistent
@@ -144,6 +184,15 @@ where
 
     fn settle(&mut self) {
         // Always quiescent between calls.
+    }
+
+    fn inject_fault(&mut self, fault: FaultEvent) -> Result<(), SimError> {
+        match fault {
+            FaultEvent::KillSite { site } => self.cluster.kill_site(site),
+            // No clocks on the deterministic backend: a stall is a pure
+            // timing fault and timing does not exist here.
+            FaultEvent::StallSite { .. } => Ok(()),
+        }
     }
 
     fn with_coordinator<R, F>(&mut self, f: F) -> Result<R, SimError>
@@ -276,6 +325,13 @@ where
         self.cluster.settle();
     }
 
+    fn inject_fault(&mut self, fault: FaultEvent) -> Result<(), SimError> {
+        match fault {
+            FaultEvent::KillSite { site } => self.cluster.kill_site(site),
+            FaultEvent::StallSite { site, micros } => self.cluster.stall_site(site, micros),
+        }
+    }
+
     fn with_coordinator<R, F>(&mut self, f: F) -> Result<R, SimError>
     where
         R: Send + 'static,
@@ -362,6 +418,13 @@ where
         // As on the threaded backend, the pending counter covers queued
         // runs, so settling also waits out every outstanding ticket.
         self.cluster.settle();
+    }
+
+    fn inject_fault(&mut self, fault: FaultEvent) -> Result<(), SimError> {
+        match fault {
+            FaultEvent::KillSite { site } => self.cluster.kill_site(site),
+            FaultEvent::StallSite { site, micros } => self.cluster.stall_site(site, micros),
+        }
     }
 
     fn with_coordinator<R, F>(&mut self, f: F) -> Result<R, SimError>
@@ -473,6 +536,60 @@ mod tests {
             };
             run_backend(ShardedBackend::spawn_with(sites, SumCoord::default(), config).unwrap());
         }
+    }
+
+    /// Identical fault semantics on every backend: a killed site rejects
+    /// feeds with `SiteDown`, the rest of the cluster keeps working, a
+    /// stall never wedges `settle`, and teardown stays clean.
+    fn run_faulted_backend<B: Backend<EchoSite, SumCoord>>(mut b: B) {
+        b.feed(SiteId(0), 1).unwrap();
+        b.feed(SiteId(1), 2).unwrap();
+        b.inject_fault(FaultEvent::KillSite { site: SiteId(1) })
+            .unwrap();
+        assert_eq!(b.feed(SiteId(1), 99), Err(SimError::SiteDown { site: 1 }));
+        assert_eq!(
+            b.feed_batch(&[(SiteId(1), 98), (SiteId(0), 97)]),
+            Err(SimError::SiteDown { site: 1 })
+        );
+        b.inject_fault(FaultEvent::StallSite {
+            site: SiteId(0),
+            micros: 500,
+        })
+        .unwrap();
+        b.feed(SiteId(0), 3).unwrap();
+        b.settle();
+        let sum = b.with_coordinator(|c| c.sum).unwrap();
+        assert_eq!(sum, 6);
+        assert_eq!(
+            b.inject_fault(FaultEvent::KillSite { site: SiteId(9) }),
+            Err(SimError::NoSuchSite { site: 9, sites: 2 })
+        );
+        let (coord, _, _) = b.finish().unwrap();
+        assert_eq!(coord.sum, 6);
+    }
+
+    #[test]
+    fn deterministic_backend_honors_fault_injection() {
+        let sites = (0..2).map(|_| EchoSite).collect();
+        run_faulted_backend(DeterministicBackend::new(sites, SumCoord::default()).unwrap());
+    }
+
+    #[test]
+    fn threaded_backend_honors_fault_injection() {
+        let sites = (0..2).map(|_| EchoSite).collect();
+        run_faulted_backend(ThreadedBackend::spawn(sites, SumCoord::default()).unwrap());
+    }
+
+    #[test]
+    fn sharded_backend_honors_fault_injection() {
+        let sites = (0..2).map(|_| EchoSite).collect();
+        let config = ShardedConfig {
+            workers: Some(2),
+            ..ShardedConfig::default()
+        };
+        run_faulted_backend(
+            ShardedBackend::spawn_with(sites, SumCoord::default(), config).unwrap(),
+        );
     }
 
     #[test]

@@ -30,6 +30,11 @@ where
     meter: MessageMeter,
     fuse: u64,
     items_fed: u64,
+    /// Administrative fault-injection mask: a `true` entry marks a site
+    /// killed by [`Cluster::kill_site`]. Feeds to it error, downstream
+    /// messages to it are dropped unmetered (the coordinator "sends" into
+    /// the partition and nothing arrives), its state is frozen.
+    dead: Vec<bool>,
     // Reused buffers to keep the hot path allocation-free.
     up_queue: VecDeque<(SiteId, S::Up)>,
     outbox: Outbox<S::Down>,
@@ -54,12 +59,14 @@ where
                 sites: sites.len() as u32,
             });
         }
+        let dead = vec![false; sites.len()];
         Ok(Cluster {
             sites,
             coordinator,
             meter: MessageMeter::new(),
             fuse: DEFAULT_FUSE,
             items_fed: 0,
+            dead,
             up_queue: VecDeque::new(),
             outbox: Outbox::new(),
             site_buf: Vec::new(),
@@ -117,10 +124,32 @@ where
         &self.sites
     }
 
+    /// Administratively kill a site (fault injection): from now on feeds
+    /// to it return [`SimError::SiteDown`], downstream messages addressed
+    /// to it vanish into the partition (unmetered — nothing is received),
+    /// and its state is frozen as of the kill. The rest of the cluster
+    /// keeps running; [`Cluster::into_parts`] still returns the dead
+    /// site's final state.
+    pub fn kill_site(&mut self, site: SiteId) -> Result<(), SimError> {
+        let k = self.sites.len() as u32;
+        let slot = self
+            .dead
+            .get_mut(site.index())
+            .ok_or(SimError::NoSuchSite {
+                site: site.0,
+                sites: k,
+            })?;
+        *slot = true;
+        Ok(())
+    }
+
     /// Deliver `item` to site `site` and run all triggered communication to
     /// quiescence.
     pub fn feed(&mut self, site: SiteId, item: S::Item) -> Result<(), SimError> {
         let k = self.sites.len();
+        if self.dead.get(site.index()).copied().unwrap_or(false) {
+            return Err(SimError::SiteDown { site: site.0 });
+        }
         let s = self
             .sites
             .get_mut(site.index())
@@ -176,6 +205,9 @@ where
                     site: site.0,
                     sites: k,
                 });
+            }
+            if self.dead[site.index()] {
+                return Err(SimError::SiteDown { site: site.0 });
             }
             // Stage the same-site run in a reusable buffer so the site
             // sees a plain item slice.
@@ -237,6 +269,12 @@ where
     }
 
     fn deliver_down(&mut self, dst: SiteId, msg: &S::Down) -> Result<(), SimError> {
+        // A dead site receives nothing: the hop is dropped *before*
+        // metering (downs are metered at the receiving side, and nothing
+        // is received), matching the parallel runtimes' skip-on-send.
+        if self.dead.get(dst.index()).copied().unwrap_or(false) {
+            return Ok(());
+        }
         self.meter.record_down(msg.kind(), msg.size_words());
         let k = self.sites.len() as u32;
         let s = self
@@ -439,6 +477,38 @@ mod tests {
         let mut c = Cluster::new(sites, LoopCoord).unwrap().with_fuse(1000);
         let err = c.feed(SiteId(0), 1).unwrap_err();
         assert_eq!(err, SimError::Livelock { fuse: 1000 });
+    }
+
+    #[test]
+    fn killed_site_rejects_feeds_and_receives_nothing() {
+        let mut c = cluster(4);
+        for i in 0..2u64 {
+            c.feed(SiteId(i as u32), i).unwrap();
+        }
+        c.kill_site(SiteId(1)).unwrap();
+        // Feeds to the dead site error without touching its state.
+        assert_eq!(
+            c.feed(SiteId(1), 5).unwrap_err(),
+            SimError::SiteDown { site: 1 }
+        );
+        assert_eq!(
+            c.feed_batch(&[(SiteId(1), 7), (SiteId(0), 6)]).unwrap_err(),
+            SimError::SiteDown { site: 1 }
+        );
+        // Broadcast acks (after the 3rd upstream message) skip the dead
+        // site: the receiving-side meter counts k-1 acks, and the dead
+        // site's ack count stays frozen.
+        c.feed(SiteId(2), 8).unwrap();
+        assert_eq!(c.meter().kind("fwd/ack").messages, 3);
+        assert_eq!(c.sites()[1].acks, 0);
+        for alive in [0usize, 2, 3] {
+            assert_eq!(c.sites()[alive].acks, 1);
+        }
+        // Killing an unknown site is an error, not a silent no-op.
+        assert_eq!(
+            c.kill_site(SiteId(9)).unwrap_err(),
+            SimError::NoSuchSite { site: 9, sites: 4 }
+        );
     }
 
     #[test]

@@ -30,6 +30,14 @@ pub enum SimError {
         /// Description of the worker.
         who: &'static str,
     },
+    /// An item was fed to a site that has been administratively killed by
+    /// fault injection ([`crate::backend::FaultEvent::KillSite`]). Unlike
+    /// [`SimError::WorkerGone`], the runtime itself is healthy — only this
+    /// site is partitioned away, and feeds to other sites still succeed.
+    SiteDown {
+        /// The dead site's index.
+        site: u32,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -46,6 +54,9 @@ impl fmt::Display for SimError {
                 write!(f, "cluster needs at least 2 sites, got {sites}")
             }
             SimError::WorkerGone { who } => write!(f, "worker thread '{who}' disconnected"),
+            SimError::SiteDown { site } => {
+                write!(f, "site {site} is down (killed by fault injection)")
+            }
         }
     }
 }
@@ -67,6 +78,8 @@ mod tests {
         assert!(e.to_string().contains("at least 2"));
         let e = SimError::WorkerGone { who: "site-3" };
         assert!(e.to_string().contains("site-3"));
+        let e = SimError::SiteDown { site: 2 };
+        assert!(e.to_string().contains("site 2"));
     }
 
     #[test]

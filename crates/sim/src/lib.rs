@@ -48,7 +48,7 @@ pub mod sharded;
 pub mod threaded;
 pub mod tracker;
 
-pub use backend::{Backend, DeterministicBackend, ShardedBackend, ThreadedBackend};
+pub use backend::{Backend, DeterministicBackend, FaultEvent, ShardedBackend, ThreadedBackend};
 pub use cluster::Cluster;
 pub use error::SimError;
 pub use meter::{CostReport, KindCost, MessageMeter};

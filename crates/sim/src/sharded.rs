@@ -128,6 +128,11 @@ enum ShardCmd<S: Site> {
     Run(Vec<S::Item>, Sender<()>, PendingToken),
     /// A downstream protocol message from the coordinator.
     Down(Arc<S::Down>, PendingToken),
+    /// Fault injection: hold this site's worker for the given number of
+    /// microseconds (a slow consumer). The token keeps the system
+    /// non-quiescent for the duration, so `settle()` observes the stall —
+    /// and proves it terminates anyway.
+    Stall(u64, PendingToken),
 }
 
 /// A site's command queue plus its scheduling state. `scheduled` flips
@@ -167,6 +172,13 @@ struct SiteSlot<S: Site> {
     space_cv: Condvar,
     exec: Mutex<SiteExec<S>>,
     home: usize,
+    /// Administrative fault-injection flag ([`ShardedCluster::kill_site`]):
+    /// feeds to this site error with [`SimError::SiteDown`] and
+    /// coordinator downs are dropped unmetered. Distinct from
+    /// `QueueInner::dead`, the panic path — an administratively killed
+    /// site's state is frozen and returned intact by `shutdown`, and the
+    /// run is *not* tainted.
+    down: AtomicBool,
 }
 
 /// One shard's ready-site deques. The urgent lane holds sites whose
@@ -395,6 +407,7 @@ where
                     out: Vec::new(),
                 }),
                 home: i % workers,
+                down: AtomicBool::new(false),
             })
             .collect();
         let pool = Arc::new(Pool {
@@ -441,14 +454,48 @@ where
     }
 
     fn check_site(&self, site: SiteId) -> Result<usize, SimError> {
-        if site.index() < self.pool.sites.len() {
-            Ok(site.index())
-        } else {
-            Err(SimError::NoSuchSite {
+        if site.index() >= self.pool.sites.len() {
+            return Err(SimError::NoSuchSite {
                 site: site.0,
                 sites: self.pool.sites.len() as u32,
-            })
+            });
         }
+        if self.pool.sites[site.index()].down.load(Ordering::SeqCst) {
+            return Err(SimError::SiteDown { site: site.0 });
+        }
+        Ok(site.index())
+    }
+
+    /// Administratively kill a site (fault injection): from now on feeds
+    /// to it return [`SimError::SiteDown`] and coordinator down-sends
+    /// skip it (dropped unmetered, exactly as [`crate::Cluster::kill_site`]
+    /// drops them). Its state is frozen and still returned by
+    /// [`ShardedCluster::shutdown`] — an administrative partition, not
+    /// the panic path (`QueueInner::dead`), which discards state and
+    /// taints the run.
+    pub fn kill_site(&self, site: SiteId) -> Result<(), SimError> {
+        if site.index() >= self.pool.sites.len() {
+            return Err(SimError::NoSuchSite {
+                site: site.0,
+                sites: self.pool.sites.len() as u32,
+            });
+        }
+        self.pool.sites[site.index()]
+            .down
+            .store(true, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Fault injection: hold `site`'s next serving worker for `micros`
+    /// microseconds (a slow consumer). Asynchronous — the stall queues
+    /// behind whatever the site already has; its pending token keeps
+    /// `settle()` waiting until the stall has elapsed, which is the
+    /// point: quiescence must terminate even with a deliberately slow
+    /// site hogging a pool worker.
+    pub fn stall_site(&self, site: SiteId, micros: u64) -> Result<(), SimError> {
+        let idx = self.check_site(site)?;
+        let token = PendingToken::new(&self.pool.pending);
+        self.push(idx, ShardCmd::Stall(micros, token))
     }
 
     fn push(&self, idx: usize, cmd: ShardCmd<S>) -> Result<(), SimError> {
@@ -900,6 +947,10 @@ fn handle_cmd<S, C>(
             flush_ups::<S, C>(pool, id, out, meter, coord_tx);
             drop(token);
         }
+        ShardCmd::Stall(micros, token) => {
+            std::thread::sleep(std::time::Duration::from_micros(micros));
+            drop(token);
+        }
     }
 }
 
@@ -1013,11 +1064,17 @@ where
 
 /// Enqueue one downstream message; a dead site only drops that site's
 /// copy (its token releases the pending count with the rejected command).
+/// An administratively killed site is skipped before the push: downs are
+/// metered at the receiving site, so the dropped hop is unmetered,
+/// matching the deterministic cluster's dead-site drop bit for bit.
 fn push_down<S>(pool: &Pool<S>, dst: SiteId, msg: &Arc<S::Down>)
 where
     S: Site,
 {
     if dst.index() >= pool.sites.len() {
+        return;
+    }
+    if pool.sites[dst.index()].down.load(Ordering::SeqCst) {
         return;
     }
     let token = PendingToken::new(&pool.pending);
@@ -1040,8 +1097,6 @@ mod tests {
     #[derive(Debug, Default)]
     struct LogSite {
         seen: Vec<u64>,
-        /// Park this many microseconds per item (a "slow" site).
-        stall_us: u64,
     }
     #[derive(Debug)]
     struct Inc(u64);
@@ -1070,9 +1125,6 @@ mod tests {
         type Up = Inc;
         type Down = Nudge;
         fn on_item(&mut self, item: u64, out: &mut Vec<Inc>) {
-            if self.stall_us > 0 {
-                std::thread::sleep(std::time::Duration::from_micros(self.stall_us));
-            }
             self.seen.push(item);
             out.push(Inc(item));
         }
@@ -1194,40 +1246,62 @@ mod tests {
         assert_eq!(pm.report(), bm.report());
     }
 
-    /// `settle` terminates while workers are stalled mid-run on slow
-    /// sites and the remaining work is being stolen around them.
+    // The stalled-slow-site and backpressure-at-cap-4 unit tests that
+    // lived here were promoted to matrix scenarios: the stall and
+    // queue-cap fault axes in `dtrack-testkit`'s `default_matrix()`
+    // (driven by `crates/testkit/tests/fault_axes.rs`) are now the single
+    // source of truth for those behaviors, with accuracy and word-budget
+    // invariants on top. The panic-death containment tests below stay:
+    // panic containment is a property of this pool, not a scenario axis.
+
+    /// Administrative kill: feeds error with `SiteDown`, coordinator
+    /// downs skip the site unmetered, and shutdown stays clean (state
+    /// frozen, run untainted) — unlike the panic path below.
     #[test]
-    fn settle_terminates_with_workers_stalled_on_slow_sites() {
-        let mut sites: Vec<LogSite> = (0..8).map(|_| LogSite::default()).collect();
-        // One slow straggler site, the rest fast.
-        sites[0].stall_us = 200;
+    fn admin_killed_site_rejects_feeds_and_shutdown_stays_clean() {
+        let sites = (0..4).map(|_| LogSite::default()).collect();
         let cluster = ShardedCluster::spawn_with(sites, SumCoord::default(), cfg(2)).unwrap();
-        for s in 0..8u32 {
-            let ticket = cluster.ingest_run(SiteId(s), (0..50).collect()).unwrap();
-            drop(ticket);
+        for i in 1..=4u64 {
+            cluster.feed(SiteId((i % 4) as u32), i).unwrap();
         }
         cluster.settle();
-        let total = cluster.with_coordinator(|c| c.ups).unwrap();
-        assert_eq!(total, 8 * 50);
-        cluster.shutdown().unwrap();
+        cluster.kill_site(SiteId(1)).unwrap();
+        assert_eq!(
+            cluster.feed(SiteId(1), 9).unwrap_err(),
+            SimError::SiteDown { site: 1 }
+        );
+        assert_eq!(
+            cluster.stall_site(SiteId(1), 10).unwrap_err(),
+            SimError::SiteDown { site: 1 }
+        );
+        assert_eq!(
+            cluster.kill_site(SiteId(9)).unwrap_err(),
+            SimError::NoSuchSite { site: 9, sites: 4 }
+        );
+        // The 5th up triggers a broadcast; the dead site's copy is
+        // dropped unmetered, so only k-1 = 3 nudges are received.
+        cluster.feed(SiteId(0), 5).unwrap();
+        cluster.settle();
+        assert_eq!(cluster.cost().kind("sh/nudge").messages, 3);
+        let (coord, sites, _) = cluster.shutdown().unwrap();
+        assert_eq!(coord.sum, 1 + 2 + 3 + 4 + 5);
+        assert_eq!(sites.len(), 4);
     }
 
-    /// More sites than the queue cap can absorb at once: feeds block on
-    /// backpressure instead of failing, and everything still lands.
+    /// An injected stall holds the pending count (settle waits it out and
+    /// terminates) without perturbing answers.
     #[test]
-    fn bounded_queues_backpressure_instead_of_dropping() {
+    fn stall_holds_quiescence_but_settle_terminates() {
         let sites = (0..2).map(|_| LogSite::default()).collect();
-        let config = ShardedConfig {
-            workers: Some(1),
-            site_queue_cap: 4,
-        };
-        let cluster = ShardedCluster::spawn_with(sites, SumCoord::default(), config).unwrap();
-        for i in 0..200u64 {
-            cluster.feed(SiteId((i % 2) as u32), 1).unwrap();
-        }
+        let cluster = ShardedCluster::spawn_with(sites, SumCoord::default(), cfg(1)).unwrap();
+        cluster.stall_site(SiteId(0), 20_000).unwrap();
+        let t0 = std::time::Instant::now();
         cluster.settle();
-        assert_eq!(cluster.with_coordinator(|c| c.sum).unwrap(), 200);
-        cluster.shutdown().unwrap();
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(5));
+        cluster.feed(SiteId(0), 1).unwrap();
+        cluster.settle();
+        let (coord, _, _) = cluster.shutdown().unwrap();
+        assert_eq!(coord.sum, 1);
     }
 
     #[test]

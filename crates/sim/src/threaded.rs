@@ -54,7 +54,7 @@
 //!   free-running variant for parallel throughput: whole runs are consumed
 //!   without global synchronization, keeping every site thread busy.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
@@ -156,6 +156,11 @@ enum SiteCmd<S: Site> {
     Run(Vec<S::Item>, Sender<()>, PendingToken),
     /// A downstream protocol message from the coordinator.
     Down(Arc<S::Down>, PendingToken),
+    /// Fault injection: hold this site's thread for the given number of
+    /// microseconds (a slow consumer). The token keeps the system
+    /// non-quiescent for the duration, so `settle()` observes the stall —
+    /// and proves it terminates anyway.
+    Stall(u64, PendingToken),
     /// Snapshot this site thread's meter.
     Meter(Sender<MessageMeter>),
     /// Hand back the site state machine and meter, then exit.
@@ -202,6 +207,14 @@ where
     site_handles: Vec<JoinHandle<()>>,
     coord_handle: Option<JoinHandle<()>>,
     pending: Arc<Pending>,
+    /// Administrative fault-injection mask, shared with the coordinator
+    /// thread: a `true` entry marks a site killed by
+    /// [`ThreadedCluster::kill_site`] — feeds to it error with
+    /// [`SimError::SiteDown`] and the coordinator's down-sends skip it
+    /// (unmetered: downs are metered at the receiving site, and nothing
+    /// is received). The thread itself stays alive with frozen state so
+    /// shutdown remains clean.
+    dead: Arc<Vec<AtomicBool>>,
 }
 
 impl<S, C> ThreadedCluster<S, C>
@@ -250,10 +263,17 @@ where
             }));
         }
 
+        let dead: Arc<Vec<AtomicBool>> = Arc::new(
+            (0..site_txs.len())
+                .map(|_| AtomicBool::new(false))
+                .collect(),
+        );
         let coord_pending = Arc::clone(&pending);
+        let coord_dead = Arc::clone(&dead);
         let txs = site_txs.clone();
-        let coord_handle =
-            std::thread::spawn(move || run_coordinator(coordinator, coord_rx, txs, coord_pending));
+        let coord_handle = std::thread::spawn(move || {
+            run_coordinator(coordinator, coord_rx, txs, coord_pending, coord_dead)
+        });
 
         Ok(ThreadedCluster {
             site_txs,
@@ -261,6 +281,7 @@ where
             site_handles,
             coord_handle: Some(coord_handle),
             pending,
+            dead,
         })
     }
 
@@ -270,10 +291,45 @@ where
     }
 
     fn site_tx(&self, site: SiteId) -> Result<&Sender<SiteCmd<S>>, SimError> {
+        if self
+            .dead
+            .get(site.index())
+            .is_some_and(|d| d.load(Ordering::SeqCst))
+        {
+            return Err(SimError::SiteDown { site: site.0 });
+        }
         self.site_txs.get(site.index()).ok_or(SimError::NoSuchSite {
             site: site.0,
             sites: self.site_txs.len() as u32,
         })
+    }
+
+    /// Administratively kill a site (fault injection): from now on feeds
+    /// to it return [`SimError::SiteDown`] and coordinator down-sends skip
+    /// it (dropped unmetered, exactly as [`crate::Cluster::kill_site`]
+    /// drops them). The site's thread stays alive with frozen state, so
+    /// [`ThreadedCluster::shutdown`] still joins it cleanly and returns
+    /// its state — an administrative partition, not a crash.
+    pub fn kill_site(&self, site: SiteId) -> Result<(), SimError> {
+        let k = self.site_txs.len() as u32;
+        let slot = self.dead.get(site.index()).ok_or(SimError::NoSuchSite {
+            site: site.0,
+            sites: k,
+        })?;
+        slot.store(true, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Fault injection: hold `site`'s thread for `micros` microseconds (a
+    /// slow consumer). Asynchronous — the stall queues behind whatever the
+    /// site is already doing; its pending token keeps `settle()` waiting
+    /// until the stall has elapsed, which is the point: quiescence must
+    /// terminate even with a deliberately slow site.
+    pub fn stall_site(&self, site: SiteId, micros: u64) -> Result<(), SimError> {
+        let tx = self.site_tx(site)?;
+        let token = PendingToken::new(&self.pending);
+        tx.send(SiteCmd::Stall(micros, token))
+            .map_err(|_| SimError::WorkerGone { who: "site" })
     }
 
     /// Deliver an item to a site (asynchronously). Blocks only when the
@@ -690,6 +746,10 @@ fn run_site<S, C>(
                 }
                 drop(token);
             }
+            SiteCmd::Stall(micros, token) => {
+                std::thread::sleep(std::time::Duration::from_micros(micros));
+                drop(token);
+            }
             SiteCmd::Meter(reply) => {
                 let _ = reply.send(meter.clone());
             }
@@ -702,15 +762,25 @@ fn run_site<S, C>(
 }
 
 /// Send one downstream message; a dead site only drops that site's copy
-/// (its token releases the pending count with the error).
+/// (its token releases the pending count with the error). A site killed
+/// administratively (fault injection) is skipped before the send: downs
+/// are metered at the receiving site, so the dropped hop is unmetered,
+/// matching the deterministic cluster's dead-site drop bit for bit.
 fn send_down<S>(
     site_txs: &[Sender<SiteCmd<S>>],
     dst: SiteId,
     msg: &Arc<S::Down>,
     pending: &Arc<Pending>,
+    dead: &[AtomicBool],
 ) where
     S: Site,
 {
+    if dead
+        .get(dst.index())
+        .is_some_and(|d| d.load(Ordering::SeqCst))
+    {
+        return;
+    }
     if let Some(tx) = site_txs.get(dst.index()) {
         let token = PendingToken::new(pending);
         let _ = tx.send(SiteCmd::Down(Arc::clone(msg), token));
@@ -722,6 +792,7 @@ fn run_coordinator<S, C>(
     rx: Receiver<CoordCmd<C>>,
     site_txs: Vec<Sender<SiteCmd<S>>>,
     pending: Arc<Pending>,
+    dead: Arc<Vec<AtomicBool>>,
 ) where
     S: Site + Send + 'static,
     C: Coordinator<Up = S::Up, Down = S::Down> + Send + 'static,
@@ -740,10 +811,10 @@ fn run_coordinator<S, C>(
                 for (dest, msg) in downs.drain(..) {
                     let msg = Arc::new(msg);
                     match dest {
-                        Down::Unicast(dst) => send_down(&site_txs, dst, &msg, &pending),
+                        Down::Unicast(dst) => send_down(&site_txs, dst, &msg, &pending, &dead),
                         Down::Broadcast => {
                             for i in 0..site_txs.len() {
-                                send_down(&site_txs, SiteId(i as u32), &msg, &pending);
+                                send_down(&site_txs, SiteId(i as u32), &msg, &pending, &dead);
                             }
                         }
                     }
@@ -1015,6 +1086,65 @@ mod tests {
         assert_eq!(err, SimError::WorkerGone { who: "site" });
         // Reaching this line means shutdown joined the three survivors
         // and the coordinator instead of early-returning.
+    }
+
+    #[test]
+    fn killed_site_rejects_feeds_and_shutdown_stays_clean() {
+        let sites = (0..4).map(|_| CountSite::default()).collect();
+        let cluster = ThreadedCluster::spawn(sites, SumCoord::default()).unwrap();
+        for i in 1..=4u64 {
+            cluster.feed(SiteId((i % 4) as u32), i).unwrap();
+        }
+        cluster.settle();
+        cluster.kill_site(SiteId(1)).unwrap();
+        assert_eq!(
+            cluster.feed(SiteId(1), 9).unwrap_err(),
+            SimError::SiteDown { site: 1 }
+        );
+        assert_eq!(
+            cluster.stall_site(SiteId(1), 10).unwrap_err(),
+            SimError::SiteDown { site: 1 }
+        );
+        // The 5th up triggers a broadcast; the dead site's copy is dropped
+        // unmetered, so only k-1 = 3 nudges are received.
+        cluster.feed(SiteId(0), 5).unwrap();
+        cluster.settle();
+        assert_eq!(cluster.cost().kind("t/nudge").messages, 3);
+        // An administrative kill is not a crash: shutdown succeeds and
+        // returns the dead site's frozen state.
+        let (coord, sites, _) = cluster.shutdown().unwrap();
+        assert_eq!(coord.sum, 1 + 2 + 3 + 4 + 5);
+        assert_eq!(sites.len(), 4);
+        assert_eq!(
+            cluster_err_helper(),
+            SimError::NoSuchSite { site: 7, sites: 2 }
+        );
+    }
+
+    /// Killing an out-of-range site errors instead of silently no-oping.
+    fn cluster_err_helper() -> SimError {
+        let sites = (0..2).map(|_| CountSite::default()).collect();
+        let cluster: ThreadedCluster<CountSite, SumCoord> =
+            ThreadedCluster::spawn(sites, SumCoord::default()).unwrap();
+        let err = cluster.kill_site(SiteId(7)).unwrap_err();
+        cluster.shutdown().unwrap();
+        err
+    }
+
+    #[test]
+    fn stall_holds_quiescence_but_settle_terminates() {
+        let sites = (0..2).map(|_| CountSite::default()).collect();
+        let cluster = ThreadedCluster::spawn(sites, SumCoord::default()).unwrap();
+        cluster.stall_site(SiteId(0), 20_000).unwrap();
+        let t0 = std::time::Instant::now();
+        cluster.settle();
+        // settle must have waited out the stall (the token holds the
+        // pending count for the duration) and still returned.
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(5));
+        cluster.feed(SiteId(0), 1).unwrap();
+        cluster.settle();
+        let (coord, _, _) = cluster.shutdown().unwrap();
+        assert_eq!(coord.sum, 1);
     }
 
     #[test]

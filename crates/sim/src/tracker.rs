@@ -43,7 +43,7 @@
 
 use std::fmt;
 
-use crate::backend::{Backend, DeterministicBackend, ShardedBackend, ThreadedBackend};
+use crate::backend::{Backend, DeterministicBackend, FaultEvent, ShardedBackend, ThreadedBackend};
 use crate::error::SimError;
 use crate::meter::MessageMeter;
 use crate::proto::{Coordinator, MessageSize, Site, SiteId};
@@ -199,6 +199,8 @@ pub trait ErasedProtocol: Send {
     fn ingest(&mut self, site: SiteId, items: Vec<u64>) -> Result<(), SimError>;
     /// See [`Backend::settle`].
     fn settle(&mut self);
+    /// See [`Backend::inject_fault`].
+    fn inject_fault(&mut self, fault: FaultEvent) -> Result<(), SimError>;
     /// Settle, then answer one typed query.
     fn query(&mut self, query: Query) -> Result<Answer, QueryError>;
     /// Settle, then produce the canonical final-answer set.
@@ -238,6 +240,10 @@ where
 
     fn settle(&mut self) {
         self.backend.settle();
+    }
+
+    fn inject_fault(&mut self, fault: FaultEvent) -> Result<(), SimError> {
+        self.backend.inject_fault(fault)
     }
 
     fn query(&mut self, query: Query) -> Result<Answer, QueryError> {
@@ -420,6 +426,13 @@ impl Tracker {
         self.inner.settle();
     }
 
+    /// Apply one fault (see [`FaultEvent`]). Inject at quiescent points —
+    /// after [`Tracker::settle`] or between batches — so the fault's
+    /// position in the transcript is deterministic across backends.
+    pub fn inject_fault(&mut self, fault: FaultEvent) -> Result<(), SimError> {
+        self.inner.inject_fault(fault)
+    }
+
     /// Answer a typed query against the quiescent coordinator state.
     /// Settles first, so a mid-stream query on the threaded backend
     /// observes a consistent snapshot; costs zero communication (queries
@@ -568,6 +581,39 @@ mod tests {
             assert_eq!(t.cost().kind("t/up").messages, 6);
             let meter = t.finish().unwrap();
             assert_eq!(meter.total_messages(), 6);
+        }
+    }
+
+    #[test]
+    fn tracker_routes_faults_to_every_backend() {
+        for backend in [
+            BackendKind::Deterministic,
+            BackendKind::Threaded,
+            BackendKind::Sharded { workers: Some(2) },
+        ] {
+            let mut t = Tracker::builder()
+                .sites(3)
+                .backend(backend)
+                .protocol(CountProtocol)
+                .build()
+                .unwrap();
+            t.feed(SiteId(2), 1).unwrap();
+            t.settle();
+            t.inject_fault(FaultEvent::KillSite { site: SiteId(2) })
+                .unwrap();
+            assert_eq!(
+                t.feed(SiteId(2), 2),
+                Err(SimError::SiteDown { site: 2 }),
+                "{backend}"
+            );
+            t.inject_fault(FaultEvent::StallSite {
+                site: SiteId(0),
+                micros: 200,
+            })
+            .unwrap();
+            t.feed(SiteId(0), 3).unwrap();
+            assert_eq!(t.query(Query::Count).unwrap(), Answer::Count(2));
+            t.finish().unwrap();
         }
     }
 

@@ -65,11 +65,31 @@ impl BudgetShape {
 /// factor so that benign-case regressions stay tightly bounded while the
 /// worst case is still held to the same O(·) shape.
 fn adversarial_factor(scenario: &Scenario) -> f64 {
+    // Diurnal band-cycling and sliding key churn drag order statistics
+    // exactly like the ramp and the band jump do (flash crowds churn
+    // *frequencies*, not value order, so they stay on the benign budget).
     let order_adversarial = matches!(
         scenario.generator,
-        GeneratorSpec::SortedRamp { .. } | GeneratorSpec::TwoPhaseDrift { .. }
+        GeneratorSpec::SortedRamp { .. }
+            | GeneratorSpec::TwoPhaseDrift { .. }
+            | GeneratorSpec::Diurnal { .. }
+            | GeneratorSpec::KeyChurn { .. }
     );
     if order_adversarial && registry::profile(scenario.protocol).order_sensitive {
+        2.0
+    } else {
+        1.0
+    }
+}
+
+/// Killing a site mid-stream reroutes its share of the stream onto a
+/// neighbour (concentrating one site's load) and strands the victim's
+/// un-synced residual, both of which cost extra rounds; the O(·) shape
+/// is unchanged, so the budget doubles rather than loosens. Stalls and
+/// queue caps are timing/backpressure faults — the transcript is
+/// identical, so they get no headroom at all.
+fn fault_headroom(scenario: &Scenario) -> f64 {
+    if scenario.faults.has_kill() {
         2.0
     } else {
         1.0
@@ -90,7 +110,8 @@ pub fn word_budget(scenario: &Scenario, warmup: u64) -> u64 {
     let tracked = registry::profile(scenario.protocol)
         .budget
         .tracked_words(k, eps, n);
-    (warmup_cost + adversarial_factor(scenario) * tracked + FLOOR).ceil() as u64
+    let base = warmup_cost + adversarial_factor(scenario) * tracked + FLOOR;
+    (fault_headroom(scenario) * base).ceil() as u64
 }
 
 #[cfg(test)]
@@ -108,6 +129,7 @@ mod tests {
             seed: 1,
             protocol,
             tuning: Default::default(),
+            faults: Default::default(),
         }
     }
 
@@ -166,5 +188,50 @@ mod tests {
             ..hh_benign
         };
         assert_eq!(word_budget(&hh_ramp, 0), word_budget(&hh_benign, 0));
+        // The new order-adversarial generators widen the same way; flash
+        // crowds (frequency churn, not order churn) do not.
+        let diurnal = Scenario {
+            generator: GeneratorSpec::Diurnal {
+                band: 1 << 18,
+                phases: 4,
+                phase_len: 750,
+            },
+            ..benign
+        };
+        assert!(word_budget(&diurnal, 0) > word_budget(&benign, 0));
+        let flash = Scenario {
+            generator: GeneratorSpec::FlashCrowd {
+                universe: 1 << 20,
+                s: 1.2,
+                period: 750,
+                flash_len: 150,
+            },
+            ..benign
+        };
+        assert_eq!(word_budget(&flash, 0), word_budget(&benign, 0));
+    }
+
+    #[test]
+    fn kill_faults_double_the_budget_and_other_faults_do_not() {
+        use crate::faults::{FaultPlan, KillFault, StallFault};
+        let benign = scenario(ProtocolSpec::Counter, 4, 0.1, 6_000);
+        let killed = benign.with_faults(FaultPlan {
+            kill: Some(KillFault { site: 1, at: 3_000 }),
+            ..FaultPlan::default()
+        });
+        let b = word_budget(&benign, 0);
+        let k = word_budget(&killed, 0);
+        // ×2 headroom, modulo the final ceil().
+        assert!(k >= 2 * b - 2 && k <= 2 * b, "benign {b}, killed {k}");
+        let stalled = benign.with_faults(FaultPlan {
+            stall: Some(StallFault {
+                site: 0,
+                at: 3_000,
+                micros: 2_000,
+            }),
+            queue_cap: Some(4),
+            ..FaultPlan::default()
+        });
+        assert_eq!(word_budget(&stalled, 0), word_budget(&benign, 0));
     }
 }

@@ -1,0 +1,339 @@
+//! Seeded fault schedules for hostile-scenario testing.
+//!
+//! A [`FaultPlan`] is part of a [`crate::Scenario`]: a `Copy` description
+//! of *when* the environment turns hostile — a site dying mid-stream, a
+//! slow consumer stalling, a tight queue cap — that is fully determined
+//! by the scenario itself. The runner injects each event at a quiescent
+//! chunk boundary (after exactly `at` items have been fed and settled),
+//! so the fault's position in the protocol transcript is identical on
+//! every backend and the run stays replayable bit-for-bit.
+//!
+//! The plan also owns the *static rerouting rule* for kills: every item
+//! at stream index `>= at` whose assigned site is the dead one is
+//! redirected to the next live site (`(dead + 1) % k`). Because the rule
+//! depends only on the plan — not on runtime state — all three backends
+//! derive the same rerouted stream, which is what makes post-kill
+//! equivalence checking possible at all.
+
+use dtrack_sim::{FaultEvent, SiteId};
+use std::fmt;
+
+/// Kill one site after `at` items (administrative partition — see
+/// [`FaultEvent::KillSite`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KillFault {
+    /// The site to kill.
+    pub site: u32,
+    /// Stream index at which the kill is injected (items fed so far).
+    pub at: u64,
+}
+
+/// Stall one site for `micros` microseconds after `at` items (slow
+/// consumer — see [`FaultEvent::StallSite`]; a no-op on the
+/// deterministic backend, which has no timing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StallFault {
+    /// The site to stall.
+    pub site: u32,
+    /// Stream index at which the stall is injected.
+    pub at: u64,
+    /// Stall duration in microseconds.
+    pub micros: u64,
+}
+
+/// The complete (possibly empty) fault schedule of one scenario.
+///
+/// `Default` is the benign plan — no faults, default queue depth — and
+/// renders as the empty string, so fault-free scenario names (including
+/// every golden-fixture row) are unchanged by this type's existence.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Kill one site mid-stream.
+    pub kill: Option<KillFault>,
+    /// Stall one site mid-stream.
+    pub stall: Option<StallFault>,
+    /// Cap the per-site command queue (parallel backends) at this depth,
+    /// forcing backpressure; `None` means the default capacity.
+    pub queue_cap: Option<u32>,
+}
+
+impl FaultPlan {
+    /// True when this plan perturbs nothing (the default).
+    pub fn is_benign(&self) -> bool {
+        self.kill.is_none() && self.stall.is_none() && self.queue_cap.is_none()
+    }
+
+    /// True when the plan kills a site — the one fault class that loses
+    /// state, so accuracy checks after it run with relaxed ε.
+    pub fn has_kill(&self) -> bool {
+        self.kill.is_some()
+    }
+
+    /// The injection schedule, sorted by stream index: each entry is
+    /// (items-fed-before-injection, event). Stall sorts before kill at
+    /// equal indices so a same-instant schedule still stalls a live site.
+    pub fn schedule(&self) -> Vec<(u64, FaultEvent)> {
+        let mut events = Vec::new();
+        if let Some(stall) = self.stall {
+            events.push((
+                stall.at,
+                FaultEvent::StallSite {
+                    site: SiteId(stall.site),
+                    micros: stall.micros,
+                },
+            ));
+        }
+        if let Some(kill) = self.kill {
+            events.push((
+                kill.at,
+                FaultEvent::KillSite {
+                    site: SiteId(kill.site),
+                },
+            ));
+        }
+        events.sort_by_key(|(at, _)| *at);
+        events
+    }
+
+    /// The static rerouting rule: where the item at stream index `idx`,
+    /// assigned to `site`, is actually delivered. Items at or past the
+    /// kill point addressed to the dead site go to the next live site;
+    /// everything else is unchanged.
+    pub fn route(&self, idx: u64, site: SiteId, k: u32) -> SiteId {
+        match self.kill {
+            Some(kill) if idx >= kill.at && site.0 == kill.site => SiteId((kill.site + 1) % k),
+            _ => site,
+        }
+    }
+
+    /// Check the plan is injectable into a (k, n) scenario: sites in
+    /// range, indices within the stream, a kill never orphans the
+    /// reroute target, durations/caps nonzero.
+    pub fn validate(&self, k: u32, n: u64) -> Result<(), String> {
+        if let Some(kill) = self.kill {
+            if kill.site >= k {
+                return Err(format!("kill site {} out of range (k={k})", kill.site));
+            }
+            if kill.at == 0 || kill.at >= n {
+                return Err(format!("kill at {} outside (0, n={n})", kill.at));
+            }
+            if k < 2 {
+                return Err("kill needs k >= 2 (no reroute target)".into());
+            }
+        }
+        if let Some(stall) = self.stall {
+            if stall.site >= k {
+                return Err(format!("stall site {} out of range (k={k})", stall.site));
+            }
+            if stall.at >= n {
+                return Err(format!("stall at {} outside [0, n={n})", stall.at));
+            }
+            if stall.micros == 0 {
+                return Err("stall duration must be nonzero".into());
+            }
+            if let Some(kill) = self.kill {
+                if stall.site == kill.site && stall.at >= kill.at {
+                    return Err("cannot stall a site at or after its own kill".into());
+                }
+            }
+        }
+        if self.queue_cap == Some(0) {
+            return Err("queue cap must be nonzero".into());
+        }
+        Ok(())
+    }
+
+    /// A deterministic, always-valid plan derived from `seed` for a
+    /// (k, n) scenario — the property-test surface: same seed, same
+    /// plan, bit for bit. Low seed bits select which fault classes are
+    /// present, so the space covers benign through fully hostile.
+    pub fn seeded(seed: u64, k: u32, n: u64) -> FaultPlan {
+        fn mix(mut z: u64) -> u64 {
+            z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+        if k < 2 || n < 4 {
+            return FaultPlan::default();
+        }
+        let kill = (seed & 1 != 0).then(|| KillFault {
+            site: (mix(seed) % u64::from(k)) as u32,
+            at: 1 + mix(seed ^ 0xdead) % (n - 1),
+        });
+        let mut plan = FaultPlan {
+            kill,
+            stall: None,
+            queue_cap: (seed & 4 != 0).then(|| 2 + (mix(seed ^ 0xca9) % 31) as u32),
+        };
+        if seed & 2 != 0 {
+            // Pick a (site, at) that validate() accepts alongside the kill.
+            let site = (mix(seed ^ 0x57a11) % u64::from(k)) as u32;
+            let at = mix(seed ^ 0x0057_a112) % n;
+            let conflicts = plan.kill.is_some_and(|kf| kf.site == site && at >= kf.at);
+            if !conflicts {
+                plan.stall = Some(StallFault {
+                    site,
+                    at,
+                    micros: 1 + mix(seed ^ 0x0057_a113) % 500,
+                });
+            }
+        }
+        debug_assert!(plan.validate(k, n).is_ok());
+        plan
+    }
+}
+
+/// Renders the scenario-name suffix: empty for the benign plan, else
+/// `/kill{site}@{at}`, `/stall{site}@{at}x{micros}`, `/cap{cap}` in that
+/// fixed order — appended to [`crate::Scenario`]'s `Display`, keeping
+/// fault-free names (and the golden fixture) byte-identical.
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(kill) = self.kill {
+            write!(f, "/kill{}@{}", kill.site, kill.at)?;
+        }
+        if let Some(stall) = self.stall {
+            write!(f, "/stall{}@{}x{}", stall.site, stall.at, stall.micros)?;
+        }
+        if let Some(cap) = self.queue_cap {
+            write!(f, "/cap{cap}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benign_plan_is_invisible() {
+        let plan = FaultPlan::default();
+        assert!(plan.is_benign());
+        assert!(!plan.has_kill());
+        assert_eq!(plan.to_string(), "");
+        assert!(plan.schedule().is_empty());
+        assert!(plan.validate(4, 100).is_ok());
+    }
+
+    #[test]
+    fn display_suffix_is_stable() {
+        let plan = FaultPlan {
+            kill: Some(KillFault { site: 1, at: 3000 }),
+            stall: Some(StallFault {
+                site: 0,
+                at: 1000,
+                micros: 2000,
+            }),
+            queue_cap: Some(4),
+        };
+        assert_eq!(plan.to_string(), "/kill1@3000/stall0@1000x2000/cap4");
+    }
+
+    #[test]
+    fn schedule_sorts_by_stream_index() {
+        let plan = FaultPlan {
+            kill: Some(KillFault { site: 1, at: 100 }),
+            stall: Some(StallFault {
+                site: 0,
+                at: 400,
+                micros: 10,
+            }),
+            queue_cap: None,
+        };
+        let schedule = plan.schedule();
+        assert_eq!(schedule.len(), 2);
+        assert_eq!(schedule[0].0, 100);
+        assert!(matches!(schedule[0].1, FaultEvent::KillSite { site } if site == SiteId(1)));
+        assert_eq!(schedule[1].0, 400);
+    }
+
+    #[test]
+    fn route_redirects_only_the_dead_site_after_the_kill() {
+        let plan = FaultPlan {
+            kill: Some(KillFault { site: 2, at: 50 }),
+            ..FaultPlan::default()
+        };
+        // Before the kill: untouched.
+        assert_eq!(plan.route(49, SiteId(2), 4), SiteId(2));
+        // After: dead site's items go to the next live site.
+        assert_eq!(plan.route(50, SiteId(2), 4), SiteId(3));
+        assert_eq!(plan.route(99, SiteId(2), 4), SiteId(3));
+        // Other sites are never touched.
+        assert_eq!(plan.route(99, SiteId(0), 4), SiteId(0));
+        // Wraparound when the last site dies.
+        let plan = FaultPlan {
+            kill: Some(KillFault { site: 3, at: 50 }),
+            ..FaultPlan::default()
+        };
+        assert_eq!(plan.route(60, SiteId(3), 4), SiteId(0));
+    }
+
+    #[test]
+    fn validate_rejects_malformed_plans() {
+        let ok = |plan: FaultPlan| plan.validate(4, 1000);
+        assert!(ok(FaultPlan {
+            kill: Some(KillFault { site: 4, at: 10 }),
+            ..FaultPlan::default()
+        })
+        .is_err());
+        assert!(ok(FaultPlan {
+            kill: Some(KillFault { site: 0, at: 0 }),
+            ..FaultPlan::default()
+        })
+        .is_err());
+        assert!(ok(FaultPlan {
+            kill: Some(KillFault { site: 0, at: 1000 }),
+            ..FaultPlan::default()
+        })
+        .is_err());
+        assert!(ok(FaultPlan {
+            stall: Some(StallFault {
+                site: 0,
+                at: 10,
+                micros: 0,
+            }),
+            ..FaultPlan::default()
+        })
+        .is_err());
+        // Stalling a site after its own death is meaningless.
+        assert!(ok(FaultPlan {
+            kill: Some(KillFault { site: 1, at: 100 }),
+            stall: Some(StallFault {
+                site: 1,
+                at: 200,
+                micros: 5,
+            }),
+            ..FaultPlan::default()
+        })
+        .is_err());
+        assert!(ok(FaultPlan {
+            queue_cap: Some(0),
+            ..FaultPlan::default()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_valid() {
+        for seed in 0..200u64 {
+            let a = FaultPlan::seeded(seed, 5, 2000);
+            let b = FaultPlan::seeded(seed, 5, 2000);
+            assert_eq!(a, b);
+            assert!(a.validate(5, 2000).is_ok(), "seed {seed}: {a:?}");
+        }
+        // The space includes all fault classes.
+        let plans: Vec<_> = (0..64).map(|s| FaultPlan::seeded(s, 5, 2000)).collect();
+        assert!(plans.iter().any(|p| p.is_benign()));
+        assert!(plans.iter().any(|p| p.kill.is_some()));
+        assert!(plans.iter().any(|p| p.stall.is_some()));
+        assert!(plans.iter().any(|p| p.queue_cap.is_some()));
+    }
+
+    #[test]
+    fn tiny_scenarios_get_benign_plans() {
+        assert!(FaultPlan::seeded(7, 1, 2000).is_benign());
+        assert!(FaultPlan::seeded(7, 5, 3).is_benign());
+    }
+}

@@ -38,6 +38,7 @@
 //! ```
 
 pub mod bound;
+pub mod faults;
 pub mod golden;
 pub mod matrix;
 pub mod registry;
@@ -46,7 +47,8 @@ pub mod runner;
 pub mod scenario;
 pub mod threaded;
 
-pub use matrix::{default_matrix, matrix};
+pub use faults::{FaultPlan, KillFault, StallFault};
+pub use matrix::{default_matrix, hostile_matrix, matrix, BASE_MATRIX_LEN};
 pub use registry::{ProtocolProfile, WarmupPolicy};
 pub use report::{ScenarioFailure, ScenarioReport};
 pub use runner::{
@@ -61,4 +63,39 @@ pub use threaded::{
 
 // The facade types scenario drivers hand out, re-exported so harness
 // consumers don't need a direct dtrack-sim dependency.
-pub use dtrack_sim::{Answer, BackendKind, Query, QueryError, Tracker, PROBE_PHIS};
+pub use dtrack_sim::{Answer, BackendKind, FaultEvent, Query, QueryError, Tracker, PROBE_PHIS};
+
+/// Environment variable read by [`apply_matrix_filter`]: a
+/// comma-separated list of substrings matched against each scenario's
+/// stable name (its `Display` string, e.g.
+/// `counter/zipf/round-robin/k4/eps0.1/n6000/seed618/kill1@3000`). A
+/// scenario is kept when any fragment matches; unset or empty keeps
+/// everything. Lets CI shard the matrix suites and lets a developer
+/// replay one quoted failure by name.
+pub const MATRIX_FILTER_ENV: &str = "DTRACK_MATRIX_FILTER";
+
+/// Filter `scenarios` by the `DTRACK_MATRIX_FILTER` environment variable
+/// (see [`MATRIX_FILTER_ENV`]); the full list passes through when the
+/// variable is unset or empty. Suites assert the *unfiltered* matrix
+/// shape first, then apply this, so a typo'd filter fails loudly (zero
+/// scenarios) instead of silently passing an empty suite — callers
+/// should assert the returned list is non-empty.
+pub fn apply_matrix_filter(scenarios: Vec<Scenario>) -> Vec<Scenario> {
+    match std::env::var(MATRIX_FILTER_ENV) {
+        Ok(raw) if !raw.trim().is_empty() => {
+            let fragments: Vec<&str> = raw
+                .split(',')
+                .map(str::trim)
+                .filter(|f| !f.is_empty())
+                .collect();
+            scenarios
+                .into_iter()
+                .filter(|s| {
+                    let name = s.to_string();
+                    fragments.iter().any(|f| name.contains(f))
+                })
+                .collect()
+        }
+        _ => scenarios,
+    }
+}

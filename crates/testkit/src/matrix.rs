@@ -8,6 +8,7 @@
 //! `cargo test`. Use [`matrix`] directly for a custom (e.g. nightly-sized)
 //! product.
 
+use crate::faults::{FaultPlan, KillFault, StallFault};
 use crate::scenario::{AssignmentSpec, GeneratorSpec, ProtocolSpec, Scenario};
 
 /// The generator axis used by the default matrix.
@@ -84,6 +85,7 @@ pub fn matrix(
                                 + pi as u64,
                             protocol,
                             tuning: Default::default(),
+                            faults: Default::default(),
                         });
                     }
                 }
@@ -103,7 +105,10 @@ pub const STRAGGLER: AssignmentSpec = AssignmentSpec::Straggler { slow_run: 97 }
 /// generator/assignment/k/ε axes (40 scenarios, each a distinct
 /// combination), plus one straggler-assignment scenario per protocol —
 /// the concurrency axis the parallel backends are equivalence-tested on
-/// (10 more scenarios, 50 total).
+/// (10 more, [`BASE_MATRIX_LEN`] = 50 so far) — plus the appended
+/// hostile-traffic extension ([`hostile_matrix`], 21 more, 71 total).
+/// The first [`BASE_MATRIX_LEN`] rows are frozen: extensions are
+/// append-only so golden costs and quoted scenario names never move.
 pub fn default_matrix() -> Vec<Scenario> {
     let mut out = Vec::new();
     for (pi, &protocol) in PROTOCOLS.iter().enumerate() {
@@ -123,6 +128,7 @@ pub fn default_matrix() -> Vec<Scenario> {
                 seed: (pi as u64) * 41 + slice as u64 + 1,
                 protocol,
                 tuning: Default::default(),
+                faults: Default::default(),
             });
         }
     }
@@ -136,9 +142,174 @@ pub fn default_matrix() -> Vec<Scenario> {
             seed: 500 + pi as u64,
             protocol,
             tuning: Default::default(),
+            faults: Default::default(),
         });
     }
+    debug_assert_eq!(out.len(), BASE_MATRIX_LEN);
+    out.extend(hostile_matrix());
     out
+}
+
+/// Number of scenarios before the hostile-traffic extension — the prefix
+/// whose parameters and golden costs are frozen bit-for-bit.
+pub const BASE_MATRIX_LEN: usize = 50;
+
+/// The hostile-traffic extension rows (appended after the frozen
+/// [`BASE_MATRIX_LEN`] prefix, seeds 601+): flash crowds, diurnal drift,
+/// key churn and site-membership churn across the protocol spread, plus
+/// seeded fault rows — queue-cap pressure, slow-consumer stalls, and
+/// mid-stream site death (the latter only for protocols that tolerate
+/// losing one site's frozen residual state; the checked bound there is
+/// 2ε, see `FaultPlan`).
+pub fn hostile_matrix() -> Vec<Scenario> {
+    let flash = GeneratorSpec::FlashCrowd {
+        universe: 1 << 20,
+        s: 1.2,
+        period: 750,
+        flash_len: 150,
+    };
+    let diurnal = GeneratorSpec::Diurnal {
+        band: 1 << 18,
+        phases: 4,
+        phase_len: 750,
+    };
+    let key_churn = GeneratorSpec::KeyChurn {
+        window: 1 << 16,
+        s: 1.2,
+        churn_every: 500,
+        step: 1 << 12,
+    };
+    let zipf = GENERATORS[0];
+    let uniform = GENERATORS[1];
+    let ramp = GENERATORS[2];
+    let drift = GENERATORS[4];
+    let churn_small = AssignmentSpec::SiteChurn {
+        active: 2,
+        epoch: 64,
+    };
+    let churn_wide = AssignmentSpec::SiteChurn {
+        active: 3,
+        epoch: 128,
+    };
+    let cap4 = FaultPlan {
+        queue_cap: Some(4),
+        ..FaultPlan::default()
+    };
+    let stall0 = FaultPlan {
+        stall: Some(StallFault {
+            site: 0,
+            at: 3_000,
+            micros: 2_000,
+        }),
+        ..FaultPlan::default()
+    };
+    let kill1 = FaultPlan {
+        kill: Some(KillFault { site: 1, at: 3_000 }),
+        ..FaultPlan::default()
+    };
+    let row = |gen, assign, k, eps, seed, protocol| {
+        Scenario::new(gen, assign, k, eps, 6_000, seed, protocol)
+    };
+    vec![
+        // Hostile traffic, benign environment (601–610).
+        row(flash, ASSIGNMENTS[0], 4, 0.1, 601, ProtocolSpec::HhExact),
+        row(flash, ASSIGNMENTS[1], 5, 0.1, 602, ProtocolSpec::HhSketched),
+        row(flash, ASSIGNMENTS[2], 4, 0.2, 603, ProtocolSpec::Counter),
+        row(
+            diurnal,
+            ASSIGNMENTS[0],
+            4,
+            0.1,
+            604,
+            ProtocolSpec::QuantileExact { phi: 0.5 },
+        ),
+        row(
+            diurnal,
+            ASSIGNMENTS[3],
+            5,
+            0.1,
+            605,
+            ProtocolSpec::QuantileSketched { phi: 0.5 },
+        ),
+        row(
+            diurnal,
+            ASSIGNMENTS[1],
+            4,
+            0.2,
+            606,
+            ProtocolSpec::AllQExact,
+        ),
+        row(
+            key_churn,
+            ASSIGNMENTS[0],
+            4,
+            0.1,
+            607,
+            ProtocolSpec::HhExact,
+        ),
+        row(
+            key_churn,
+            ASSIGNMENTS[1],
+            5,
+            0.2,
+            608,
+            ProtocolSpec::QuantileExact { phi: 0.25 },
+        ),
+        row(zipf, churn_small, 4, 0.1, 609, ProtocolSpec::HhExact),
+        // Diurnal, not flash, for the summary-reshipping baseline: a
+        // flash atom worth ~30% of a short prefix puts more rank error
+        // into CGMR's merged summaries than its ε-band tolerates at the
+        // first checkpoint (a baseline limitation, not a harness bug).
+        row(diurnal, churn_wide, 5, 0.1, 610, ProtocolSpec::Cgmr),
+        // Queue-cap pressure: depth-4 site queues force backpressure on
+        // the parallel backends (611–614).
+        row(zipf, ASSIGNMENTS[0], 4, 0.1, 611, ProtocolSpec::Counter).with_faults(cap4),
+        row(zipf, ASSIGNMENTS[3], 4, 0.1, 612, ProtocolSpec::HhExact).with_faults(cap4),
+        row(
+            ramp,
+            ASSIGNMENTS[0],
+            4,
+            0.1,
+            613,
+            ProtocolSpec::QuantileExact { phi: 0.5 },
+        )
+        .with_faults(cap4),
+        row(
+            uniform,
+            ASSIGNMENTS[1],
+            5,
+            0.1,
+            614,
+            ProtocolSpec::ForwardAll,
+        )
+        .with_faults(cap4),
+        // Slow-consumer stalls: site 0 sleeps 2ms mid-stream (615–617).
+        row(zipf, ASSIGNMENTS[0], 4, 0.1, 615, ProtocolSpec::HhExact).with_faults(stall0),
+        row(
+            drift,
+            ASSIGNMENTS[0],
+            4,
+            0.1,
+            616,
+            ProtocolSpec::QuantileExact { phi: 0.5 },
+        )
+        .with_faults(stall0),
+        row(zipf, ASSIGNMENTS[2], 5, 0.1, 617, ProtocolSpec::Counter).with_faults(stall0),
+        // Site death: site 1 is partitioned away mid-stream and its items
+        // rerouted; only death-tolerant protocols (618–621).
+        row(zipf, ASSIGNMENTS[0], 4, 0.1, 618, ProtocolSpec::Counter).with_faults(kill1),
+        row(
+            uniform,
+            ASSIGNMENTS[0],
+            4,
+            0.1,
+            619,
+            ProtocolSpec::ForwardAll,
+        )
+        .with_faults(kill1),
+        row(zipf, ASSIGNMENTS[1], 5, 0.1, 620, ProtocolSpec::Cgmr).with_faults(kill1),
+        row(zipf, ASSIGNMENTS[0], 4, 0.1, 621, ProtocolSpec::Polling).with_faults(kill1),
+    ]
 }
 
 #[cfg(test)]
@@ -146,13 +317,14 @@ mod tests {
     use super::*;
     use std::collections::BTreeSet;
 
-    fn combo_key(s: &Scenario) -> (String, String, u32, u64, String) {
+    fn combo_key(s: &Scenario) -> (String, String, u32, u64, String, String) {
         (
             s.generator.label().to_owned(),
             s.assignment.label().to_owned(),
             s.k,
             s.epsilon.to_bits(),
             s.protocol.label().to_owned(),
+            s.faults.to_string(),
         )
     }
 
@@ -194,6 +366,36 @@ mod tests {
         }
         for e in EPSILONS {
             assert!(scenarios.iter().any(|s| s.epsilon == e), "missing eps={e}");
+        }
+    }
+
+    #[test]
+    fn hostile_rows_are_append_only_and_valid() {
+        let scenarios = default_matrix();
+        assert_eq!(scenarios.len(), BASE_MATRIX_LEN + 21);
+        // The frozen prefix is fault-free — its names (and golden costs)
+        // are untouched by the extension.
+        for s in &scenarios[..BASE_MATRIX_LEN] {
+            assert!(s.faults.is_benign(), "{s}: frozen row gained a fault");
+        }
+        // Every extension row carries an injectable plan and a fresh seed
+        // band, and every hostile axis is represented.
+        let hostile = &scenarios[BASE_MATRIX_LEN..];
+        for s in hostile {
+            assert!(s.faults.validate(s.k, s.n).is_ok(), "{s}");
+            assert!((601..=621).contains(&s.seed), "{s}");
+        }
+        for label in ["flash-crowd", "diurnal", "key-churn"] {
+            assert!(hostile.iter().any(|s| s.generator.label() == label));
+        }
+        assert!(hostile.iter().any(|s| s.assignment.label() == "site-churn"));
+        assert!(hostile.iter().any(|s| s.faults.queue_cap.is_some()));
+        assert!(hostile.iter().any(|s| s.faults.stall.is_some()));
+        assert!(hostile.iter().any(|s| s.faults.has_kill()));
+        // Kill rows reroute to the next site, so they need it live: no
+        // same-row stall on the reroute target, and k >= 3 or site 2 up.
+        for s in hostile.iter().filter(|s| s.faults.has_kill()) {
+            assert!(s.k >= 3, "{s}");
         }
     }
 

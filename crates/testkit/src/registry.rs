@@ -226,12 +226,13 @@ fn finish_build<P: dtrack_sim::Protocol>(
     backend: BackendKind,
     protocol: P,
 ) -> Result<Tracker, String> {
-    Tracker::builder()
-        .sites(scenario.k)
-        .backend(backend)
-        .protocol(protocol)
-        .build()
-        .map_err(err_str)
+    let mut builder = Tracker::builder().sites(scenario.k).backend(backend);
+    if let Some(cap) = scenario.faults.queue_cap {
+        // Queue-cap fault axis: shallow site queues force backpressure on
+        // the parallel backends (the deterministic one has no queues).
+        builder = builder.site_queue_cap(cap as usize);
+    }
+    builder.protocol(protocol).build().map_err(err_str)
 }
 
 fn hh_config(scenario: &Scenario, warmup: u64) -> Result<HhConfig, String> {

@@ -166,11 +166,52 @@ fn drive(
     let check_every = scenario.check_every();
     let mut checks = 0u64;
     let mut stream = scenario.stream();
+    // The seeded fault schedule: each event fires after exactly `at`
+    // items, at a quiescent boundary, on every backend and feed mode
+    // alike — so faulted transcripts stay replayable and comparable.
+    // After a kill, accuracy checks run against a 2ε twin (one site's
+    // un-synced residual is gone for good; the relaxation is exactly one
+    // extra site-threshold of slack), and the dead site's later items
+    // are statically rerouted by `FaultPlan::route`.
+    scenario
+        .faults
+        .validate(scenario.k, scenario.n)
+        .map_err(|e| format!("invalid fault plan: {e}"))?;
+    let schedule = scenario.faults.schedule();
+    let mut next_event = 0usize;
+    let relaxed = Scenario {
+        epsilon: scenario.epsilon * 2.0,
+        ..*scenario
+    };
+    let mut kill_seen = false;
+    // Inject every event scheduled at exactly `fed` items (the runner
+    // settles first, so the fault lands on a quiescent transcript).
+    let inject_due = |fed: u64,
+                      next_event: &mut usize,
+                      kill_seen: &mut bool,
+                      tracker: &mut Tracker|
+     -> Result<(), String> {
+        while let Some(&(at, event)) = schedule.get(*next_event) {
+            if at != fed {
+                break;
+            }
+            tracker.settle();
+            tracker
+                .inject_fault(event)
+                .map_err(|e| format!("fault injection at item {fed}: {e}"))?;
+            if matches!(event, dtrack_sim::FaultEvent::KillSite { .. }) {
+                *kill_seen = true;
+            }
+            *next_event += 1;
+        }
+        Ok(())
+    };
     match feed {
         FeedMode::Batched => {
             let mut batch: Vec<(SiteId, u64)> =
                 Vec::with_capacity(FEED_CHUNK.min(scenario.n) as usize);
             let mut fed = 0u64;
+            inject_due(0, &mut next_event, &mut kill_seen, &mut tracker)?;
             while fed < scenario.n {
                 let mut stop = scenario.n.min(fed + FEED_CHUNK);
                 if mode == Mode::Check {
@@ -178,47 +219,60 @@ fn drive(
                     let next_check = (fed / check_every + 1) * check_every;
                     stop = stop.min(next_check);
                 }
+                if let Some(&(at, _)) = schedule.get(next_event) {
+                    // Cut at the next fault boundary (both modes: faults
+                    // perturb the metered transcript, not just checks).
+                    stop = stop.min(at);
+                }
                 batch.clear();
-                for _ in fed..stop {
+                for idx in fed..stop {
                     let (site, item) = stream
                         .next()
                         .ok_or_else(|| format!("stream ended early at item {fed}"))?;
                     if mode == Mode::Check {
                         oracle.observe(item);
                     }
-                    batch.push((site, item));
+                    batch.push((scenario.faults.route(idx, site, scenario.k), item));
                 }
                 tracker
                     .feed_batch(&batch)
                     .map_err(|e| format!("feed_batch failed in items {fed}..{stop}: {e}"))?;
                 fed = stop;
                 if mode == Mode::Check && fed.is_multiple_of(check_every) {
-                    checks += check(&mut tracker, &oracle, scenario)
+                    // Checkpoint *before* any same-index fault: the check
+                    // observes the last healthy prefix at full strictness.
+                    let s = if kill_seen { &relaxed } else { scenario };
+                    checks += check(&mut tracker, &oracle, s)
                         .map_err(|e| format!("checkpoint at item {fed}: {e}"))?;
                 }
+                inject_due(fed, &mut next_event, &mut kill_seen, &mut tracker)?;
             }
         }
         FeedMode::PerItem => {
+            inject_due(0, &mut next_event, &mut kill_seen, &mut tracker)?;
             for (i, (site, item)) in stream.enumerate() {
                 if mode == Mode::Check {
                     oracle.observe(item);
                 }
+                let site = scenario.faults.route(i as u64, site, scenario.k);
                 tracker
                     .feed(site, item)
                     .map_err(|e| format!("feed failed at item {i}: {e}"))?;
                 let fed = (i + 1) as u64;
                 if mode == Mode::Check && fed.is_multiple_of(check_every) {
-                    checks += check(&mut tracker, &oracle, scenario)
+                    let s = if kill_seen { &relaxed } else { scenario };
+                    checks += check(&mut tracker, &oracle, s)
                         .map_err(|e| format!("checkpoint at item {fed}: {e}"))?;
                 }
+                inject_due(fed, &mut next_event, &mut kill_seen, &mut tracker)?;
             }
         }
     }
     if mode == Mode::Check && !scenario.n.is_multiple_of(check_every) {
         // The loop already checkpointed at fed == n when check_every
         // divides n; only the ragged tail needs a final pass.
-        checks +=
-            check(&mut tracker, &oracle, scenario).map_err(|e| format!("final check: {e}"))?;
+        let s = if kill_seen { &relaxed } else { scenario };
+        checks += check(&mut tracker, &oracle, s).map_err(|e| format!("final check: {e}"))?;
     }
 
     // Tear down through finish() so threaded worker death surfaces as an

@@ -6,10 +6,12 @@
 //! protocol transcript, and the same metered cost, so failures quoted by
 //! name are replayable bit-for-bit.
 
+use crate::faults::FaultPlan;
 use dtrack_sim::SiteId;
 use dtrack_workload::{
-    Assignment, Bursts, Generator, RoundRobin, ShiftingZipf, SkewedSites, SortedRamp, Straggler,
-    Stream, TwoPhaseDrift, Uniform, UniformSites, Zipf,
+    Assignment, Bursts, Diurnal, FlashCrowd, Generator, KeyChurn, RoundRobin, ShiftingZipf,
+    SiteChurn, SkewedSites, SortedRamp, Straggler, Stream, TwoPhaseDrift, Uniform, UniformSites,
+    Zipf,
 };
 use std::fmt;
 
@@ -53,6 +55,41 @@ pub enum GeneratorSpec {
         /// Item index at which the band jumps.
         switch_at: u64,
     },
+    /// Zipf background with a rotating flash-crowd key that dominates a
+    /// window at the start of every period — the heavy-hitter set churns
+    /// violently and repeatedly.
+    FlashCrowd {
+        /// Value universe size (background Zipf).
+        universe: u64,
+        /// Background skew parameter.
+        s: f64,
+        /// Flash period in items.
+        period: u64,
+        /// Flash window length (≤ period).
+        flash_len: u64,
+    },
+    /// Uniform bands cycled through phases — diurnal rate/value drift
+    /// that sweeps every quantile back and forth forever.
+    Diurnal {
+        /// Width of each band.
+        band: u64,
+        /// Number of distinct bands in one cycle.
+        phases: u64,
+        /// Items per phase.
+        phase_len: u64,
+    },
+    /// Zipf over a window whose base slides every `churn_every` items —
+    /// continuous key churn with no stable hot set.
+    KeyChurn {
+        /// Active key-window size.
+        window: u64,
+        /// Skew parameter within the window.
+        s: f64,
+        /// Slide the window every this many items.
+        churn_every: u64,
+        /// How far the base slides per churn step.
+        step: u64,
+    },
 }
 
 impl GeneratorSpec {
@@ -76,6 +113,23 @@ impl GeneratorSpec {
             GeneratorSpec::TwoPhaseDrift { band, switch_at } => {
                 BuiltGenerator::TwoPhaseDrift(TwoPhaseDrift::new(band, switch_at, seed))
             }
+            GeneratorSpec::FlashCrowd {
+                universe,
+                s,
+                period,
+                flash_len,
+            } => BuiltGenerator::FlashCrowd(FlashCrowd::new(universe, s, period, flash_len, seed)),
+            GeneratorSpec::Diurnal {
+                band,
+                phases,
+                phase_len,
+            } => BuiltGenerator::Diurnal(Diurnal::new(band, phases, phase_len, seed)),
+            GeneratorSpec::KeyChurn {
+                window,
+                s,
+                churn_every,
+                step,
+            } => BuiltGenerator::KeyChurn(KeyChurn::new(window, s, churn_every, step, seed)),
         }
     }
 
@@ -87,6 +141,9 @@ impl GeneratorSpec {
             GeneratorSpec::SortedRamp { .. } => "ramp",
             GeneratorSpec::ShiftingZipf { .. } => "shifting-zipf",
             GeneratorSpec::TwoPhaseDrift { .. } => "drift",
+            GeneratorSpec::FlashCrowd { .. } => "flash-crowd",
+            GeneratorSpec::Diurnal { .. } => "diurnal",
+            GeneratorSpec::KeyChurn { .. } => "key-churn",
         }
     }
 }
@@ -105,6 +162,12 @@ pub enum BuiltGenerator {
     ShiftingZipf(ShiftingZipf),
     /// See [`GeneratorSpec::TwoPhaseDrift`].
     TwoPhaseDrift(TwoPhaseDrift),
+    /// See [`GeneratorSpec::FlashCrowd`].
+    FlashCrowd(FlashCrowd),
+    /// See [`GeneratorSpec::Diurnal`].
+    Diurnal(Diurnal),
+    /// See [`GeneratorSpec::KeyChurn`].
+    KeyChurn(KeyChurn),
 }
 
 impl Generator for BuiltGenerator {
@@ -115,6 +178,9 @@ impl Generator for BuiltGenerator {
             BuiltGenerator::SortedRamp(g) => g.next_item(),
             BuiltGenerator::ShiftingZipf(g) => g.next_item(),
             BuiltGenerator::TwoPhaseDrift(g) => g.next_item(),
+            BuiltGenerator::FlashCrowd(g) => g.next_item(),
+            BuiltGenerator::Diurnal(g) => g.next_item(),
+            BuiltGenerator::KeyChurn(g) => g.next_item(),
         }
     }
 }
@@ -143,6 +209,15 @@ pub enum AssignmentSpec {
         /// Consecutive items per site-0 run.
         slow_run: u64,
     },
+    /// A rotating active window of sites: only `active` consecutive
+    /// sites receive items during each epoch, and the window advances
+    /// one site per epoch — deterministic join/leave membership churn.
+    SiteChurn {
+        /// Sites simultaneously active.
+        active: u32,
+        /// Items per epoch (window position advances between epochs).
+        epoch: u64,
+    },
 }
 
 impl AssignmentSpec {
@@ -162,6 +237,9 @@ impl AssignmentSpec {
             AssignmentSpec::Straggler { slow_run } => {
                 BuiltAssignment::Straggler(Straggler::new(k, slow_run))
             }
+            AssignmentSpec::SiteChurn { active, epoch } => {
+                BuiltAssignment::SiteChurn(SiteChurn::new(k, active, epoch))
+            }
         }
     }
 
@@ -173,6 +251,7 @@ impl AssignmentSpec {
             AssignmentSpec::SkewedSites { .. } => "skewed-sites",
             AssignmentSpec::Bursts { .. } => "bursts",
             AssignmentSpec::Straggler { .. } => "straggler",
+            AssignmentSpec::SiteChurn { .. } => "site-churn",
         }
     }
 }
@@ -190,6 +269,8 @@ pub enum BuiltAssignment {
     Bursts(Bursts),
     /// See [`AssignmentSpec::Straggler`].
     Straggler(Straggler),
+    /// See [`AssignmentSpec::SiteChurn`].
+    SiteChurn(SiteChurn),
 }
 
 impl Assignment for BuiltAssignment {
@@ -200,6 +281,7 @@ impl Assignment for BuiltAssignment {
             BuiltAssignment::SkewedSites(a) => a.next_site(),
             BuiltAssignment::Bursts(a) => a.next_site(),
             BuiltAssignment::Straggler(a) => a.next_site(),
+            BuiltAssignment::SiteChurn(a) => a.next_site(),
         }
     }
 }
@@ -274,6 +356,8 @@ pub struct Scenario {
     pub protocol: ProtocolSpec,
     /// Protocol-internal overrides (ablations); default is the paper's.
     pub tuning: Tuning,
+    /// Seeded fault schedule; default is the benign (fault-free) plan.
+    pub faults: FaultPlan,
 }
 
 impl Scenario {
@@ -297,7 +381,19 @@ impl Scenario {
             seed,
             protocol,
             tuning: Tuning::default(),
+            faults: FaultPlan::default(),
         }
+    }
+
+    /// Attach a fault schedule (hostile-traffic scenarios).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        debug_assert!(
+            faults.validate(self.k, self.n).is_ok(),
+            "invalid fault plan for this scenario: {:?}",
+            faults.validate(self.k, self.n)
+        );
+        self.faults = faults;
+        self
     }
 
     /// Override the warm-up length.
@@ -339,7 +435,7 @@ impl fmt::Display for Scenario {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}/{}/{}/k{}/eps{}/n{}/seed{}",
+            "{}/{}/{}/k{}/eps{}/n{}/seed{}{}",
             self.protocol.label(),
             self.generator.label(),
             self.assignment.label(),
@@ -347,6 +443,7 @@ impl fmt::Display for Scenario {
             self.epsilon,
             self.n,
             self.seed,
+            self.faults,
         )
     }
 }
@@ -408,5 +505,44 @@ mod tests {
             s.to_string(),
             "allq-exact/ramp/bursts/k6/eps0.05/n1000/seed42"
         );
+    }
+
+    #[test]
+    fn fault_plans_extend_the_name_without_touching_benign_ids() {
+        use crate::faults::{FaultPlan, KillFault};
+        let base = Scenario::new(
+            GeneratorSpec::FlashCrowd {
+                universe: 1 << 16,
+                s: 1.2,
+                period: 500,
+                flash_len: 100,
+            },
+            AssignmentSpec::SiteChurn {
+                active: 2,
+                epoch: 64,
+            },
+            4,
+            0.1,
+            6000,
+            601,
+            ProtocolSpec::Counter,
+        );
+        assert_eq!(
+            base.to_string(),
+            "counter/flash-crowd/site-churn/k4/eps0.1/n6000/seed601"
+        );
+        let faulted = base.with_faults(FaultPlan {
+            kill: Some(KillFault { site: 1, at: 3000 }),
+            ..FaultPlan::default()
+        });
+        assert_eq!(
+            faulted.to_string(),
+            "counter/flash-crowd/site-churn/k4/eps0.1/n6000/seed601/kill1@3000"
+        );
+        // Faulted scenarios replay the same stream as their benign twin:
+        // the plan perturbs delivery, never generation.
+        let a: Vec<_> = base.stream().collect();
+        let b: Vec<_> = faulted.stream().collect();
+        assert_eq!(a, b);
     }
 }

@@ -153,39 +153,69 @@ fn dispatch(
     // cost numbers reflect the paper's configuration.
     let (mut tracker, warmup): (Tracker, u64) =
         registry::build_tracker(scenario, WarmupPolicy::ProtocolDefault, backend).map_err(&fail)?;
-    let stream: Vec<(SiteId, u64)> = scenario.stream().collect();
+    scenario
+        .faults
+        .validate(scenario.k, scenario.n)
+        .map_err(|e| fail(format!("invalid fault plan: {e}")))?;
+    // Rerouting is static (a pure function of the fault plan), so the
+    // whole delivered stream — including post-kill redirections — is
+    // identical on every backend and in every exec mode.
+    let stream: Vec<(SiteId, u64)> = scenario
+        .stream()
+        .enumerate()
+        .map(|(i, (site, item))| (scenario.faults.route(i as u64, site, scenario.k), item))
+        .collect();
     let chunk = FEED_CHUNK as usize;
+    // Segment the stream at fault boundaries: each event fires after
+    // exactly `at` items on a settled (quiescent) system, matching the
+    // differential runner's injection points, so faulted transcripts
+    // stay comparable across drivers.
+    let schedule = scenario.faults.schedule();
+    let mut boundaries: Vec<usize> = vec![0, stream.len()];
+    boundaries.extend(schedule.iter().map(|&(at, _)| at as usize));
+    boundaries.sort_unstable();
+    boundaries.dedup();
 
     let start = Instant::now();
-    match exec {
-        Exec::SiteAtATime => {
-            for part in stream.chunks(chunk) {
-                tracker.feed_batch(part).map_err(|e| fail(e.to_string()))?;
-            }
+    for window in boundaries.windows(2) {
+        let (seg_start, seg_end) = (window[0], window[1]);
+        for &(at, event) in schedule.iter().filter(|&&(at, _)| at as usize == seg_start) {
+            tracker.settle();
+            tracker
+                .inject_fault(event)
+                .map_err(|e| fail(format!("fault injection at item {at}: {e}")))?;
         }
-        Exec::Free(ThreadedIngest::PerItem) => {
-            for &(site, item) in &stream {
-                tracker.feed(site, item).map_err(|e| fail(e.to_string()))?;
-            }
-        }
-        Exec::Free(ThreadedIngest::Batched) => {
-            // Per chunk, hand every site its run at once so all k
-            // workers chew in parallel; the backend's one-run window per
-            // site plus the k-aware run length bound total in-flight
-            // items, keeping feedback staleness (and the word flood it
-            // causes) independent of the site count.
-            let k = scenario.k as usize;
-            let run = free_run_len(scenario.k);
-            let mut per_site: Vec<Vec<u64>> = vec![Vec::new(); k];
-            for part in stream.chunks(run * k) {
-                for &(site, item) in part {
-                    per_site[site.index()].push(item);
+        let segment = &stream[seg_start..seg_end];
+        match exec {
+            Exec::SiteAtATime => {
+                for part in segment.chunks(chunk) {
+                    tracker.feed_batch(part).map_err(|e| fail(e.to_string()))?;
                 }
-                for (i, items) in per_site.iter_mut().enumerate() {
-                    if !items.is_empty() {
-                        tracker
-                            .ingest(SiteId(i as u32), std::mem::take(items))
-                            .map_err(|e| fail(e.to_string()))?;
+            }
+            Exec::Free(ThreadedIngest::PerItem) => {
+                for &(site, item) in segment {
+                    tracker.feed(site, item).map_err(|e| fail(e.to_string()))?;
+                }
+            }
+            Exec::Free(ThreadedIngest::Batched) => {
+                // Per chunk, hand every site its run at once so all k
+                // workers chew in parallel; the backend's one-run window per
+                // site plus the k-aware run length bound total in-flight
+                // items, keeping feedback staleness (and the word flood it
+                // causes) independent of the site count.
+                let k = scenario.k as usize;
+                let run = free_run_len(scenario.k);
+                let mut per_site: Vec<Vec<u64>> = vec![Vec::new(); k];
+                for part in segment.chunks(run * k) {
+                    for &(site, item) in part {
+                        per_site[site.index()].push(item);
+                    }
+                    for (i, items) in per_site.iter_mut().enumerate() {
+                        if !items.is_empty() {
+                            tracker
+                                .ingest(SiteId(i as u32), std::mem::take(items))
+                                .map_err(|e| fail(e.to_string()))?;
+                        }
                     }
                 }
             }

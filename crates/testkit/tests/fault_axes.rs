@@ -1,0 +1,214 @@
+//! Hostile-traffic fault axes: the 21 appended matrix rows (flash
+//! crowds, diurnal drift, key churn, site churn, queue-cap pressure,
+//! stalls, site death) run in equivalence mode on all three backends.
+//!
+//! Every row must produce the *identical* final answers and the
+//! *identical* metered words/messages on the Deterministic, Threaded,
+//! and Sharded backends, matching the golden fixture bit-for-bit —
+//! faults included. A kill is an administrative partition injected at a
+//! quiescent stream position and rerouted by the static
+//! `FaultPlan::route` map, a stall is pure timing, and a queue cap is a
+//! builder knob, so none of them may perturb the transcript.
+//!
+//! This suite also hosts the promoted runtime-fault unit tests that
+//! used to live inside `dtrack-sim` (worker death, backpressure at a
+//! cap of 4, stalled slow sites): each is now a thin wrapper selecting
+//! the matching fault axis out of the matrix instead of a hand-rolled
+//! cluster.
+
+use dtrack_testkit::{
+    apply_matrix_filter, default_matrix, golden, hostile_matrix, run_scenario_on,
+    run_scenario_on_backend, run_scenario_reference, BackendKind, Scenario, BASE_MATRIX_LEN,
+    MATRIX_FILTER_ENV,
+};
+use std::time::{Duration, Instant};
+
+const GOLDEN: &str = include_str!("golden_matrix_costs.txt");
+
+/// Per-suite wall-clock budget for the release-mode CI run. Generous
+/// (the whole suite runs in a few seconds on a laptop) but finite: a
+/// fault that wedges `settle()` or a stall that turns into a livelock
+/// shows up as a budget blowout, not a silent 6-hour CI hang.
+const RELEASE_BUDGET: Duration = Duration::from_secs(120);
+
+fn assert_release_budget(start: Instant) {
+    let elapsed = start.elapsed();
+    if cfg!(not(debug_assertions)) {
+        assert!(
+            elapsed < RELEASE_BUDGET,
+            "fault-axes suite blew its wall-clock budget: {elapsed:?} >= {RELEASE_BUDGET:?}"
+        );
+    }
+}
+
+fn hostile_rows() -> Vec<Scenario> {
+    let scenarios = default_matrix();
+    assert_eq!(scenarios.len(), BASE_MATRIX_LEN + 21);
+    scenarios[BASE_MATRIX_LEN..].to_vec()
+}
+
+#[test]
+fn hostile_rows_are_exactly_the_matrix_extension() {
+    // The suite's slice and `hostile_matrix()` must be the same rows, so
+    // "every new row runs here" can't drift as the matrix grows.
+    assert_eq!(hostile_rows(), hostile_matrix());
+}
+
+#[test]
+fn matrix_filter_passes_the_extension_through_when_unset() {
+    if std::env::var(MATRIX_FILTER_ENV).is_ok_and(|v| !v.trim().is_empty()) {
+        return; // externally sharded run; passthrough shape not expected
+    }
+    assert_eq!(apply_matrix_filter(hostile_rows()).len(), 21);
+}
+
+#[test]
+fn hostile_rows_are_equivalent_on_all_three_backends() {
+    let start = Instant::now();
+    let golden = golden::meter_costs(GOLDEN);
+    let rows = apply_matrix_filter(hostile_rows());
+    assert!(!rows.is_empty(), "matrix filter matched nothing");
+    // Two workers for k ∈ {4, 5}: the sharded pool really multiplexes,
+    // so kill/stall handling is exercised across site-run migration.
+    let backends = [
+        BackendKind::Threaded,
+        BackendKind::Sharded { workers: Some(2) },
+    ];
+    for scenario in &rows {
+        let name = scenario.to_string();
+        let reference = run_scenario_reference(scenario).unwrap_or_else(|f| panic!("{f}"));
+        let &(golden_words, golden_messages) = golden
+            .get(&name)
+            .unwrap_or_else(|| panic!("[{name}] missing from golden fixture"));
+        assert_eq!(
+            (reference.report.words, reference.report.messages),
+            (golden_words, golden_messages),
+            "[{name}] deterministic cost drifted from the golden fixture"
+        );
+        for backend in backends {
+            let outcome =
+                run_scenario_on_backend(scenario, backend).unwrap_or_else(|f| panic!("{f}"));
+            assert_eq!(
+                outcome.answers, reference.answers,
+                "[{name}] answers diverge on {backend:?}"
+            );
+            assert_eq!(
+                (outcome.report.words, outcome.report.messages),
+                (reference.report.words, reference.report.messages),
+                "[{name}] metered cost diverges on {backend:?}"
+            );
+        }
+    }
+    assert_release_budget(start);
+}
+
+#[test]
+fn hostile_rows_pass_differential_checks_on_parallel_backends() {
+    // The deterministic Check-mode pass over these rows lives in
+    // `matrix.rs` (they are part of `default_matrix()`); here the same
+    // oracle checkpoints — post-kill accuracy within 2ε, terminating
+    // settle, word budget with fault headroom — run on the parallel
+    // runtimes.
+    let start = Instant::now();
+    let rows = apply_matrix_filter(hostile_rows());
+    assert!(!rows.is_empty(), "matrix filter matched nothing");
+    for scenario in &rows {
+        for backend in [
+            BackendKind::Threaded,
+            BackendKind::Sharded { workers: Some(2) },
+        ] {
+            let report = run_scenario_on(scenario, backend).unwrap_or_else(|f| panic!("{f}"));
+            assert!(
+                report.checks > 0,
+                "[{}] ran zero oracle comparisons on {backend:?}",
+                report.scenario
+            );
+            assert!(
+                report.words <= report.budget_words,
+                "[{}] blew the word budget on {backend:?}",
+                report.scenario
+            );
+        }
+    }
+    assert_release_budget(start);
+}
+
+// ---------------------------------------------------------------------
+// Promoted runtime-fault tests (formerly hand-rolled in dtrack-sim).
+// ---------------------------------------------------------------------
+
+/// Promoted worker-death coverage: the kill rows are the site-death
+/// scenario at matrix scale. A single-worker sharded pool loses a site
+/// mid-stream and must still finish the rerouted stream with a
+/// transcript identical to the deterministic reference.
+#[test]
+fn promoted_site_death_axis_survives_a_single_worker_pool() {
+    let rows = hostile_rows();
+    let kills: Vec<_> = rows.iter().filter(|s| s.faults.has_kill()).collect();
+    assert_eq!(kills.len(), 4, "kill axis shrank");
+    for scenario in kills {
+        let name = scenario.to_string();
+        let reference = run_scenario_reference(scenario).unwrap_or_else(|f| panic!("{f}"));
+        let sharded = run_scenario_on_backend(scenario, BackendKind::Sharded { workers: Some(1) })
+            .unwrap_or_else(|f| panic!("{f}"));
+        assert_eq!(sharded.answers, reference.answers, "[{name}]");
+        assert_eq!(
+            (sharded.report.words, sharded.report.messages),
+            (reference.report.words, reference.report.messages),
+            "[{name}]"
+        );
+    }
+}
+
+/// Promoted backpressure coverage: the queue-cap rows run every site
+/// through a capacity-4 queue. On a single-worker pool that is the old
+/// "bounded queues backpressure instead of dropping" test — deep
+/// multiplexing with tiny queues — and the transcript must not notice.
+#[test]
+fn promoted_backpressure_axis_holds_at_cap_4() {
+    let rows = hostile_rows();
+    let capped: Vec<_> = rows
+        .iter()
+        .filter(|s| s.faults.queue_cap.is_some())
+        .collect();
+    assert_eq!(capped.len(), 4, "queue-cap axis shrank");
+    for scenario in capped {
+        assert_eq!(scenario.faults.queue_cap, Some(4));
+        let name = scenario.to_string();
+        let reference = run_scenario_reference(scenario).unwrap_or_else(|f| panic!("{f}"));
+        let sharded = run_scenario_on_backend(scenario, BackendKind::Sharded { workers: Some(1) })
+            .unwrap_or_else(|f| panic!("{f}"));
+        assert_eq!(sharded.answers, reference.answers, "[{name}]");
+        assert_eq!(
+            (sharded.report.words, sharded.report.messages),
+            (reference.report.words, reference.report.messages),
+            "[{name}]"
+        );
+    }
+}
+
+/// Promoted stalled-slow-site coverage: the stall rows sleep one site's
+/// consumer mid-stream. `settle()` must still terminate and the final
+/// answers must be timing-independent — a stall is pure latency, never
+/// a transcript edit.
+#[test]
+fn promoted_stall_axis_settles_and_keeps_the_transcript() {
+    let rows = hostile_rows();
+    let stalled: Vec<_> = rows
+        .iter()
+        .filter(|s| s.faults.stall.is_some() && !s.faults.has_kill())
+        .collect();
+    assert_eq!(stalled.len(), 3, "stall axis shrank");
+    for scenario in stalled {
+        let name = scenario.to_string();
+        let reference = run_scenario_reference(scenario).unwrap_or_else(|f| panic!("{f}"));
+        let threaded = run_scenario_on_backend(scenario, BackendKind::Threaded)
+            .unwrap_or_else(|f| panic!("{f}"));
+        assert_eq!(threaded.answers, reference.answers, "[{name}]");
+        assert_eq!(
+            (threaded.report.words, threaded.report.messages),
+            (reference.report.words, reference.report.messages),
+            "[{name}]"
+        );
+    }
+}

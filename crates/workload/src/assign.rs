@@ -190,6 +190,49 @@ impl Assignment for Straggler {
     }
 }
 
+/// Site membership churn: only `active` of the k sites receive traffic at
+/// a time, cycling round-robin among themselves, and every `epoch` items
+/// the active window rotates by one — sites continually "join" (start
+/// receiving) and "leave" (go idle with state intact). This is the
+/// join/leave schedule for membership-churn scenarios: a site that leaves
+/// keeps its counts, so the coordinator's merged view must stay coherent
+/// across the handoff. Fully deterministic (no seed).
+#[derive(Debug, Clone)]
+pub struct SiteChurn {
+    k: u32,
+    active: u32,
+    epoch: u64,
+    pos: u64,
+}
+
+impl SiteChurn {
+    /// Churning assignment over `k` sites with `active` concurrently live
+    /// sites (clamped to `1..=k`), rotating the live window every `epoch`
+    /// items (clamped to ≥ 1).
+    ///
+    /// # Panics
+    /// Panics if `k` is zero.
+    pub fn new(k: u32, active: u32, epoch: u64) -> Self {
+        assert!(k > 0, "need at least one site");
+        SiteChurn {
+            k,
+            active: active.clamp(1, k),
+            epoch: epoch.max(1),
+            pos: 0,
+        }
+    }
+}
+
+impl Assignment for SiteChurn {
+    fn next_site(&mut self) -> SiteId {
+        let epoch_idx = self.pos / self.epoch;
+        let start = (epoch_idx % self.k as u64) as u32;
+        let lane = (self.pos % self.active as u64) as u32;
+        self.pos += 1;
+        SiteId((start + lane) % self.k)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,6 +301,32 @@ mod tests {
         let mut a = Straggler::new(2, 3);
         let sites: Vec<u32> = (0..8).map(|_| a.next_site().0).collect();
         assert_eq!(sites, vec![0, 0, 0, 1, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn site_churn_rotates_the_active_window() {
+        // k=4, 2 active, epoch of 4 items: epoch 0 serves {0,1}, epoch 1
+        // serves {1,2}, epoch 2 serves {2,3}, epoch 3 wraps to {3,0}.
+        let mut a = SiteChurn::new(4, 2, 4);
+        let sites: Vec<u32> = (0..16).map(|_| a.next_site().0).collect();
+        assert_eq!(sites, vec![0, 1, 0, 1, 1, 2, 1, 2, 2, 3, 2, 3, 3, 0, 3, 0]);
+    }
+
+    #[test]
+    fn site_churn_touches_every_site_over_a_full_cycle() {
+        let mut a = SiteChurn::new(5, 2, 100);
+        let h = histogram(&mut a, 5 * 100);
+        for s in 0..5 {
+            assert!(h.contains_key(&s), "site {s} never served: {h:?}");
+        }
+    }
+
+    #[test]
+    fn site_churn_clamps_active_to_k() {
+        let mut a = SiteChurn::new(3, 9, 2);
+        for _ in 0..20 {
+            assert!(a.next_site().0 < 3);
+        }
     }
 
     #[test]

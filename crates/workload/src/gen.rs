@@ -246,6 +246,151 @@ impl Generator for TwoPhaseDrift {
     }
 }
 
+/// A flash crowd layered on steady Zipf background traffic: for the first
+/// `flash_len` items of every `period`, three quarters of the arrivals are
+/// one crowd key that rotates each period (a different viral item every
+/// window), while the remaining quarter — and the whole off-window tail —
+/// keep the background hot set alive. Heavy-hitter trackers must admit the
+/// crowd key fast and retire it just as fast without losing the persistent
+/// hitters underneath.
+#[derive(Debug, Clone)]
+pub struct FlashCrowd {
+    inner: Zipf,
+    period: u64,
+    flash_len: u64,
+    produced: u64,
+    universe: u64,
+}
+
+impl FlashCrowd {
+    /// Flash crowds over `universe` values: Zipf(`s`) background, with the
+    /// first `flash_len` items of every `period` dominated by one rotating
+    /// crowd key.
+    ///
+    /// # Panics
+    /// Panics if `universe` is zero, `s` is not positive and finite, or
+    /// `flash_len` exceeds `period`.
+    pub fn new(universe: u64, s: f64, period: u64, flash_len: u64, seed: u64) -> Self {
+        let period = period.max(1);
+        assert!(
+            flash_len <= period,
+            "flash window must fit inside the period"
+        );
+        FlashCrowd {
+            inner: Zipf::new(universe, s, seed),
+            period,
+            flash_len,
+            produced: 0,
+            universe,
+        }
+    }
+
+    /// The crowd key for window `w` (splitmix finalizer, as in the Zipf
+    /// rank scramble, so successive windows land far apart).
+    fn crowd_key(&self, window: u64) -> u64 {
+        let mut z = window.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z % self.universe
+    }
+}
+
+impl Generator for FlashCrowd {
+    fn next_item(&mut self) -> u64 {
+        let pos = self.produced % self.period;
+        let window = self.produced / self.period;
+        self.produced += 1;
+        // The background generator advances on every item — flash or not —
+        // so the Zipf byte stream is independent of the crowd schedule.
+        let background = self.inner.next_item();
+        if pos < self.flash_len && !pos.is_multiple_of(4) {
+            self.crowd_key(window)
+        } else {
+            background
+        }
+    }
+}
+
+/// Diurnal drift: the value band sweeps cyclically through `phases`
+/// disjoint segments of the universe, `phase_len` items per phase — the
+/// day/night traffic-mix cycle. Every quantile crosses the universe once
+/// per cycle, and unlike [`TwoPhaseDrift`] it keeps coming back, so
+/// recentering protocols must re-earn their state every phase.
+#[derive(Debug, Clone)]
+pub struct Diurnal {
+    offset_rng: Uniform,
+    band: u64,
+    phases: u64,
+    phase_len: u64,
+    produced: u64,
+}
+
+impl Diurnal {
+    /// Cyclic drift over `phases` bands of width `band`, dwelling
+    /// `phase_len` items in each.
+    ///
+    /// # Panics
+    /// Panics if `band` is zero (via [`Uniform::new`]).
+    pub fn new(band: u64, phases: u64, phase_len: u64, seed: u64) -> Self {
+        Diurnal {
+            offset_rng: Uniform::new(band, seed),
+            band,
+            phases: phases.max(1),
+            phase_len: phase_len.max(1),
+            produced: 0,
+        }
+    }
+}
+
+impl Generator for Diurnal {
+    fn next_item(&mut self) -> u64 {
+        let phase = (self.produced / self.phase_len) % self.phases;
+        self.produced += 1;
+        phase * self.band + self.offset_rng.next_item()
+    }
+}
+
+/// Key churn: a Zipf distribution over a sliding window of active keys.
+/// Every `churn_every` items the whole window slides up by `step`, so old
+/// keys die and new keys are born continuously — unlike [`ShiftingZipf`]'s
+/// teleporting offset, the active set drifts steadily, which is the
+/// session-key / connection-ID shape of real deployments.
+#[derive(Debug, Clone)]
+pub struct KeyChurn {
+    inner: Zipf,
+    churn_every: u64,
+    step: u64,
+    produced: u64,
+    base: u64,
+}
+
+impl KeyChurn {
+    /// Zipf(`s`) over a window of `window` active keys starting at 0,
+    /// sliding up by `step` every `churn_every` items.
+    ///
+    /// # Panics
+    /// Panics if `window` is zero or `s` is not positive and finite (via
+    /// [`Zipf::new`]).
+    pub fn new(window: u64, s: f64, churn_every: u64, step: u64, seed: u64) -> Self {
+        KeyChurn {
+            inner: Zipf::new(window, s, seed),
+            churn_every: churn_every.max(1),
+            step: step.max(1),
+            produced: 0,
+            base: 0,
+        }
+    }
+}
+
+impl Generator for KeyChurn {
+    fn next_item(&mut self) -> u64 {
+        self.produced += 1;
+        if self.produced.is_multiple_of(self.churn_every) {
+            self.base = self.base.wrapping_add(self.step);
+        }
+        self.base.wrapping_add(self.inner.next_item())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -328,6 +473,78 @@ mod tests {
         for _ in 0..100 {
             assert!(g.next_item() >= 1000);
         }
+    }
+
+    #[test]
+    fn flash_crowd_rotates_a_dominant_key_per_window() {
+        let mut g = FlashCrowd::new(1 << 30, 1.2, 1000, 400, 11);
+        let window1: Vec<u64> = (0..1000).map(|_| g.next_item()).collect();
+        let window2: Vec<u64> = (0..1000).map(|_| g.next_item()).collect();
+        let top = |v: &[u64]| {
+            let mut f: HashMap<u64, u64> = HashMap::new();
+            for &x in v {
+                *f.entry(x).or_insert(0) += 1;
+            }
+            f.into_iter().max_by_key(|&(_, c)| c).unwrap()
+        };
+        let (k1, c1) = top(&window1);
+        let (k2, c2) = top(&window2);
+        // 3/4 of the 400-item flash window is the crowd key.
+        assert!(c1 >= 250, "crowd key too light in window 1: {c1}");
+        assert!(c2 >= 250, "crowd key too light in window 2: {c2}");
+        assert_ne!(k1, k2, "crowd key should rotate between windows");
+    }
+
+    #[test]
+    fn flash_crowd_keeps_background_traffic_alive() {
+        let mut g = FlashCrowd::new(1 << 30, 1.2, 1000, 400, 11);
+        let mut distinct = std::collections::HashSet::new();
+        for _ in 0..4000 {
+            distinct.insert(g.next_item());
+        }
+        // Off-window (and 1/4 of in-window) items come from background
+        // Zipf — far more distinct values than 4 crowd keys.
+        assert!(distinct.len() > 100, "background lost: {}", distinct.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "flash window must fit")]
+    fn flash_crowd_rejects_oversized_window() {
+        FlashCrowd::new(1000, 1.2, 100, 101, 1);
+    }
+
+    #[test]
+    fn diurnal_sweeps_bands_cyclically() {
+        let band = 1000u64;
+        let mut g = Diurnal::new(band, 4, 50, 3);
+        for _cycle in 0..2 {
+            for phase in 0..4u64 {
+                for _ in 0..50 {
+                    let v = g.next_item();
+                    assert!(
+                        (phase * band..(phase + 1) * band).contains(&v),
+                        "phase {phase}: {v} out of band"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn key_churn_slides_the_active_window() {
+        let mut g = KeyChurn::new(1 << 10, 1.3, 500, 1 << 10, 9);
+        let early: Vec<u64> = (0..500).map(|_| g.next_item()).collect();
+        // Skip far ahead so the window has fully moved past the start.
+        for _ in 0..4000 {
+            g.next_item();
+        }
+        let late: Vec<u64> = (0..500).map(|_| g.next_item()).collect();
+        let early_max = *early.iter().max().unwrap();
+        let late_min = *late.iter().min().unwrap();
+        assert!(
+            late_min > early_max,
+            "window did not slide: early max {early_max}, late min {late_min}"
+        );
     }
 
     #[test]

@@ -15,8 +15,11 @@ pub mod assign;
 pub mod gen;
 pub mod sample;
 
-pub use assign::{Assignment, Bursts, RoundRobin, SkewedSites, Straggler, UniformSites};
-pub use gen::{Generator, ShiftingZipf, SortedRamp, TwoPhaseDrift, Uniform, Zipf};
+pub use assign::{Assignment, Bursts, RoundRobin, SiteChurn, SkewedSites, Straggler, UniformSites};
+pub use gen::{
+    Diurnal, FlashCrowd, Generator, KeyChurn, ShiftingZipf, SortedRamp, TwoPhaseDrift, Uniform,
+    Zipf,
+};
 pub use sample::{AliasTable, IndexedCdf};
 
 #[doc(inline)]

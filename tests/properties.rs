@@ -219,3 +219,74 @@ proptest! {
         prop_assert_eq!(first, second);
     }
 }
+
+// Satellite of the fault-injection axes: hostile workloads and fault
+// plans are replayable *values*. Every matrix failure quotes a scenario
+// name that must rebuild the identical run, so the new generators,
+// the churning assignment, and seeded fault plans are pinned here to
+// bit-identical replay for arbitrary seeds — not just the 21 rows the
+// matrix happens to use.
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 32,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn hostile_streams_replay_bit_identically(
+        seed in 0u64..u64::MAX,
+        pick in 0usize..4,
+        churn in 0usize..2,
+    ) {
+        use dtrack_testkit::scenario::{AssignmentSpec, GeneratorSpec, ProtocolSpec, Scenario};
+        let generator = match pick {
+            0 => GeneratorSpec::FlashCrowd {
+                universe: 1 << 20, s: 1.2, period: 750, flash_len: 150,
+            },
+            1 => GeneratorSpec::Diurnal { band: 1 << 18, phases: 4, phase_len: 750 },
+            2 => GeneratorSpec::KeyChurn {
+                window: 1 << 16, s: 1.2, churn_every: 500, step: 1 << 12,
+            },
+            _ => GeneratorSpec::Zipf { universe: 1 << 20, s: 1.2 },
+        };
+        let assignment = if churn == 0 {
+            AssignmentSpec::SiteChurn { active: 2, epoch: 64 }
+        } else {
+            AssignmentSpec::RoundRobin
+        };
+        let scenario = Scenario::new(
+            generator, assignment, 4, 0.1, 1_000, seed, ProtocolSpec::Counter,
+        );
+        let a: Vec<(SiteId, u64)> = scenario.stream().collect();
+        let b: Vec<(SiteId, u64)> = scenario.stream().collect();
+        prop_assert_eq!(a.len(), 1_000);
+        prop_assert!(a.iter().all(|&(site, _)| site.0 < 4), "out-of-range site");
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seeded_fault_plans_replay_bit_identically(
+        seed in 0u64..u64::MAX,
+        k in 2u32..9,
+        n in 4u64..10_000,
+    ) {
+        use dtrack_testkit::FaultPlan;
+        let a = FaultPlan::seeded(seed, k, n);
+        let b = FaultPlan::seeded(seed, k, n);
+        prop_assert_eq!(a, b);
+        prop_assert!(a.validate(k, n).is_ok(), "{:?}", a.validate(k, n));
+        // The schedule, the stable-name suffix, and the rerouting map are
+        // all pure functions of the plan.
+        prop_assert_eq!(a.schedule(), b.schedule());
+        prop_assert_eq!(a.to_string(), b.to_string());
+        for idx in [0, n / 2, n - 1] {
+            for site in 0..k {
+                let routed = a.route(idx, SiteId(site), k);
+                prop_assert!(routed.0 < k, "routed to dead-air site {}", routed.0);
+                if a.kill.is_none_or(|kill| idx < kill.at) {
+                    prop_assert_eq!(routed, SiteId(site), "rerouted before the kill");
+                }
+            }
+        }
+    }
+}
