@@ -82,6 +82,27 @@ fn main() {
             eprintln!("FAIL: sharded k=256 speedup {scale:.2}x does not beat the threaded backend");
             std::process::exit(1);
         }
+        let adaptive = dtrack_bench::smoke::adaptive_vs_fixed_throughput(&results);
+        println!("adaptive/fixed free-running ingest throughput (geomean): {adaptive:.2}x");
+        // The AIMD controller's no-regression gate, enforced: on a
+        // healthy cluster adaptation must not ingest slower than the
+        // old fixed window did.
+        if adaptive < 1.0 {
+            eprintln!("FAIL: adaptive flow control {adaptive:.2}x is slower than the fixed window");
+            std::process::exit(1);
+        }
+        let drift = dtrack_bench::smoke::free_run_words_factor(&results);
+        println!("worst free-running words factor over deterministic: {drift:.3}x");
+        // The controller's drift contract, enforced: every free-running
+        // cell's metered words stay within the testkit's budget headroom
+        // of its pinned deterministic twin.
+        if drift > dtrack_bench::smoke::FREE_WORDS_CEILING {
+            eprintln!(
+                "FAIL: free-running words drift {drift:.3}x exceeds the {:.1}x ceiling",
+                dtrack_bench::smoke::FREE_WORDS_CEILING
+            );
+            std::process::exit(1);
+        }
         let json = dtrack_bench::smoke::smoke_json(&results);
         let snapshot = dtrack_bench::smoke::SMOKE_SNAPSHOT;
         let path = match &explicit_out {

@@ -5,13 +5,13 @@
 //! cargo run --release -p dtrack-bench --bin experiments -- smoke
 //! ```
 //!
-//! writes `BENCH_pr5.json` — the current point of the repo's performance
-//! trajectory (`BENCH_seed.json` through `BENCH_pr4.json` are the frozen
+//! writes `BENCH_pr7.json` — the current point of the repo's performance
+//! trajectory (`BENCH_seed.json` through `BENCH_pr5.json` are the frozen
 //! earlier baselines). For the deterministic cells the metered
 //! words/messages are bit-for-bit deterministic (regressions there are
 //! protocol changes, not noise); wall-clock throughput is indicative.
 //!
-//! Five cell groups:
+//! Six cell groups:
 //!
 //! * n = 20 000 deterministic cells — match the seed snapshot one-to-one
 //!   for before/after comparisons;
@@ -40,12 +40,27 @@
 //!   `sharded_scale_speedup_k256` (geomean of sharded/threaded
 //!   throughput over the k = 256 pairs) is the acceptance number and
 //!   must exceed 1.0.
+//! * **flow-control** cells (PR 7) — free-running batched ingest at
+//!   k ∈ {64, 256} through the `Tracker` facade, three ways per
+//!   (k, protocol) point: a pinned deterministic twin (the words
+//!   reference), the pre-PR-7 fixed window
+//!   (`FlowControlConfig::fixed`), and the adaptive AIMD controller
+//!   with a `cost_hint` installed. Two enforced numbers come out:
+//!   `adaptive_vs_fixed_throughput` (geomean of adaptive/fixed
+//!   throughput, must be ≥ 1.0 — adaptation must not tax the happy
+//!   path) and `free_run_words_factor` (worst metered-words ratio of
+//!   any *adaptive* cell over its deterministic twin, must stay ≤ 1.5
+//!   — the controller's drift contract, the same factor
+//!   `FREE_RUN_HEADROOM` the testkit budgets free runs with; the fixed
+//!   baseline is exempt, since it exists to exhibit the unregulated
+//!   drift).
 
 use dtrack_core::counter::CounterProtocol;
 use dtrack_core::hh::{HhConfig, HhExactProtocol, HhSketchedProtocol};
 use dtrack_core::quantile::{QuantileConfig, QuantileSketchedProtocol};
 use dtrack_sim::threaded::{RunTicket, ThreadedCluster};
-use dtrack_sim::{BackendKind, Cluster, Protocol, SiteId, Tracker};
+use dtrack_sim::{BackendKind, Cluster, FlowControlConfig, Protocol, SiteId, Tracker};
+use dtrack_testkit::threaded::free_run_len;
 use dtrack_testkit::{
     measure_cost, measure_on_backend, measure_threaded, AssignmentSpec, GeneratorSpec,
     ProtocolSpec, Scenario, ThreadedIngest,
@@ -53,7 +68,7 @@ use dtrack_testkit::{
 use std::time::Instant;
 
 /// File name of the smoke snapshot written by `experiments smoke`.
-pub const SMOKE_SNAPSHOT: &str = "BENCH_pr5.json";
+pub const SMOKE_SNAPSHOT: &str = "BENCH_pr7.json";
 
 /// One timed smoke cell.
 #[derive(Debug, Clone)]
@@ -229,6 +244,214 @@ pub fn sharded_scale_speedup_k256(results: &[SmokeResult]) -> f64 {
     } else {
         (log_sum / pairs as f64).exp()
     }
+}
+
+/// Site counts of the PR 7 flow-control cells: the same past-the-cores
+/// points the scale cells stress, where backpressure actually bites.
+pub const FREE_KS: [u32; 2] = [64, 256];
+
+/// The protocol axis of the flow-control cells — the same two extremes
+/// of per-item site work as [`SCALE_PROTOCOLS`].
+const FREE_PROTOCOLS: [ProtocolSpec; 2] = [ProtocolSpec::Counter, ProtocolSpec::HhSketched];
+
+/// Flow-control cell prefixes: (deterministic twin, fixed window,
+/// adaptive AIMD). Shared by the cell builder, both metric extractors,
+/// and the structural tests, so a rename cannot silently empty them.
+const FREE_TRIPLE: (&str, &str, &str) = ("free-det:", "free-fixed:", "free-adaptive:");
+
+/// The drift ceiling enforced on every free-running cell — kept equal to
+/// the testkit's [`dtrack_testkit::bound::FREE_RUN_HEADROOM`] budget
+/// factor by the structural tests.
+pub const FREE_WORDS_CEILING: f64 = dtrack_testkit::bound::FREE_RUN_HEADROOM;
+
+/// Build the three flow-control cells for one (protocol, k) point: the
+/// deterministic twin (pinned words, the drift reference), free-running
+/// ingest behind the *fixed* pre-PR-7 window, and free-running ingest
+/// behind the adaptive AIMD controller with the protocol's reference
+/// rate installed via `cost_hint`.
+fn push_free_cells<P: Protocol>(
+    out: &mut Vec<SmokeResult>,
+    p: &P,
+    spec: ProtocolSpec,
+    k: u32,
+    n: u64,
+) {
+    let scenario = scale_scenario(spec, k, n);
+    let stream: Vec<(SiteId, u64)> = scenario.stream().collect();
+    let run_len = free_run_len(k);
+    out.push(timed_cell(
+        format!("{}{scenario}", FREE_TRIPLE.0),
+        n,
+        || {
+            let mut tracker = Tracker::builder()
+                .sites(k)
+                .backend(BackendKind::Deterministic)
+                .protocol(p.clone())
+                .build()
+                .expect("tracker");
+            let start = Instant::now();
+            for part in stream.chunks(PAIR_CHUNK) {
+                tracker.feed_batch(part).expect("feed_batch");
+            }
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            let meter = tracker.cost();
+            (meter.total_words(), meter.total_messages(), wall_ms)
+        },
+    ));
+    let fixed = FlowControlConfig::fixed(run_len as u32);
+    // Tuned for the k ≫ cores cells: a 64-item floor keeps backoffs from
+    // collapsing into the fixed baseline's tiny-run regime (per-run
+    // enqueue overhead dominates below ~64 items/run at k = 256), and the
+    // 1024 cap bounds how far one site's burst can run ahead of feedback.
+    let adaptive = FlowControlConfig {
+        win_min: 64,
+        win_max: 1024,
+        initial: (run_len as u32).max(128),
+        increase: 32,
+        ..FlowControlConfig::default()
+    };
+    // The reference words-per-item rate the controller holds free runs
+    // to: the deterministic twin's *actual* rate — the golden transcript
+    // this snapshot's words factor is judged against. (The testkit
+    // drivers, which have no pinned twin at hand, install the scenario's
+    // word *budget* rate instead — a looser bound for the same signal.)
+    let det_words = out.last().expect("det twin just pushed").words;
+    let ref_rate = det_words.max(1) as f64 / n.max(1) as f64;
+    for (prefix, flow) in [(FREE_TRIPLE.1, fixed), (FREE_TRIPLE.2, adaptive)] {
+        let hinted = prefix == FREE_TRIPLE.2;
+        out.push(timed_cell(format!("{prefix}{scenario}"), n, || {
+            let mut tracker = Tracker::builder()
+                .sites(k)
+                .backend(BackendKind::Sharded { workers: None })
+                .flow_control(flow)
+                .protocol(p.clone())
+                .build()
+                .expect("tracker");
+            if hinted {
+                tracker.cost_hint(ref_rate);
+            }
+            let mut per_site: Vec<Vec<u64>> = vec![Vec::new(); k as usize];
+            let start = Instant::now();
+            for part in stream.chunks(run_len * k as usize) {
+                for &(site, item) in part {
+                    per_site[site.index()].push(item);
+                }
+                for (i, items) in per_site.iter_mut().enumerate() {
+                    if !items.is_empty() {
+                        tracker
+                            .ingest(SiteId(i as u32), std::mem::take(items))
+                            .expect("ingest");
+                    }
+                }
+            }
+            tracker.settle();
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            if hinted && std::env::var_os("DTRACK_FLOW_DEBUG").is_some() {
+                if let Ok(dtrack_sim::Answer::FlowControl(stats)) =
+                    tracker.query(dtrack_sim::Query::FlowControl)
+                {
+                    eprintln!("    [{scenario} k={k}] {stats}");
+                }
+                for (kind, cost) in tracker.cost().report().by_kind {
+                    eprintln!("      {kind}: {} msgs {} words", cost.messages, cost.words);
+                }
+            }
+            let meter = tracker.cost();
+            (meter.total_words(), meter.total_messages(), wall_ms)
+        }));
+    }
+}
+
+/// The flow-control cells: [`FREE_PROTOCOLS`] × [`FREE_KS`], three cells
+/// per point. `n` is [`SCALE_N`] in the real run; tests pass a small n
+/// to exercise the actual cell builder cheaply.
+fn free_flow_cells_at(n: u64) -> Vec<SmokeResult> {
+    let mut out = Vec::new();
+    for &k in &FREE_KS {
+        let s = scale_scenario(ProtocolSpec::Counter, k, n);
+        push_free_cells(
+            &mut out,
+            &CounterProtocol::new(s.epsilon).expect("epsilon"),
+            ProtocolSpec::Counter,
+            k,
+            n,
+        );
+        let config = HhConfig::new(k, s.epsilon).expect("config");
+        push_free_cells(
+            &mut out,
+            &HhSketchedProtocol::new(config),
+            ProtocolSpec::HhSketched,
+            k,
+            n,
+        );
+    }
+    // The hardcoded blocks above cannot iterate FREE_PROTOCOLS (each
+    // adapter is a different type), so pin the coverage instead.
+    for spec in FREE_PROTOCOLS {
+        let label = spec.label();
+        assert!(
+            out.iter()
+                .any(|c| c.scenario.contains(&format!(":{label}/"))),
+            "flow-control cells missing for {label}"
+        );
+    }
+    out
+}
+
+/// Geometric-mean throughput ratio of the `free-adaptive:` cells over
+/// their `free-fixed:` twins (1.0 when no pairs are present). This is
+/// the flow controller's no-regression acceptance number: on a healthy
+/// cluster the AIMD window must ingest at least as fast as the old
+/// fixed window.
+pub fn adaptive_vs_fixed_throughput(results: &[SmokeResult]) -> f64 {
+    let fixed_of = |suffix: &str| {
+        results
+            .iter()
+            .find(|r| r.scenario.strip_prefix(FREE_TRIPLE.1) == Some(suffix))
+            .map(|r| r.items_per_sec)
+    };
+    let mut log_sum = 0.0;
+    let mut pairs = 0usize;
+    for r in results {
+        if let Some(name) = r.scenario.strip_prefix(FREE_TRIPLE.2) {
+            if let Some(base) = fixed_of(name) {
+                log_sum += (r.items_per_sec.max(1.0) / base.max(1.0)).ln();
+                pairs += 1;
+            }
+        }
+    }
+    if pairs == 0 {
+        1.0
+    } else {
+        (log_sum / pairs as f64).exp()
+    }
+}
+
+/// Worst metered-words ratio of any `free-adaptive:` cell over its
+/// pinned `free-det:` twin (1.0 when no cells are present). Free-running
+/// ingest legitimately spends more words than the pinned schedule —
+/// sites act on slightly stale thresholds — and the controller's
+/// contract caps that drift at [`FREE_WORDS_CEILING`]. The `free-fixed:`
+/// baseline cells are deliberately exempt: they exist to *exhibit* the
+/// unregulated drift the controller eliminates (they routinely sit 4×
+/// and worse over the pinned transcript), so gating them would just
+/// forbid the comparison.
+pub fn free_run_words_factor(results: &[SmokeResult]) -> f64 {
+    let det_of = |suffix: &str| {
+        results
+            .iter()
+            .find(|r| r.scenario.strip_prefix(FREE_TRIPLE.0) == Some(suffix))
+            .map(|r| r.words)
+    };
+    let mut worst = 1.0f64;
+    for r in results {
+        if let Some(name) = r.scenario.strip_prefix(FREE_TRIPLE.2) {
+            if let Some(det) = det_of(name) {
+                worst = worst.max(r.words as f64 / det.max(1) as f64);
+            }
+        }
+    }
+    worst
 }
 
 fn mode_label(ingest: ThreadedIngest) -> &'static str {
@@ -474,6 +697,7 @@ pub fn run_smoke() -> Vec<SmokeResult> {
     }
     results.extend(facade_direct_cells_at(THREADED_N));
     results.extend(scale_cells_at(SCALE_N));
+    results.extend(free_flow_cells_at(SCALE_N));
     results
 }
 
@@ -551,12 +775,14 @@ fn json_escape(s: &str) -> String {
 
 /// Render smoke results as a stable, human-diffable JSON document.
 pub fn smoke_json(results: &[SmokeResult]) -> String {
-    let mut out = String::from("{\n  \"schema\": \"dtrack-bench-smoke/v4\",\n");
+    let mut out = String::from("{\n  \"schema\": \"dtrack-bench-smoke/v5\",\n");
     out.push_str(&format!(
-        "  \"threaded_batched_speedup\": {:.2},\n  \"facade_overhead_geomean\": {:.3},\n  \"sharded_scale_speedup_k256\": {:.2},\n  \"cells\": [\n",
+        "  \"threaded_batched_speedup\": {:.2},\n  \"facade_overhead_geomean\": {:.3},\n  \"sharded_scale_speedup_k256\": {:.2},\n  \"adaptive_vs_fixed_throughput\": {:.2},\n  \"free_run_words_factor\": {:.3},\n  \"cells\": [\n",
         threaded_batched_speedup(results),
         facade_overhead_geomean(results),
-        sharded_scale_speedup_k256(results)
+        sharded_scale_speedup_k256(results),
+        adaptive_vs_fixed_throughput(results),
+        free_run_words_factor(results)
     ));
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(
@@ -738,6 +964,75 @@ mod tests {
     }
 
     #[test]
+    #[ignore = "full-scale flow-control probe; run with --ignored --nocapture to tune"]
+    fn free_flow_scale_probe() {
+        let cells = free_flow_cells_at(SCALE_N);
+        for c in &cells {
+            println!(
+                "{:<70} {:>9} words {:>9.1} ms",
+                c.scenario, c.words, c.wall_ms
+            );
+        }
+        println!(
+            "throughput {:.2}x  words_factor {:.3}",
+            adaptive_vs_fixed_throughput(&cells),
+            free_run_words_factor(&cells)
+        );
+    }
+
+    #[test]
+    fn free_flow_cells_triple_up_and_feed_both_metrics() {
+        // Run the *real* cell builder at a small n: a deterministic, a
+        // fixed-window, and an adaptive cell per (k, protocol) point,
+        // every pair visible to both extractors (so a renamed prefix
+        // can't silently turn either gate into its no-pairs default).
+        let cells = free_flow_cells_at(2_000);
+        assert_eq!(cells.len(), 3 * FREE_KS.len() * FREE_PROTOCOLS.len());
+        for prefix in [FREE_TRIPLE.0, FREE_TRIPLE.1, FREE_TRIPLE.2] {
+            for k in FREE_KS {
+                assert_eq!(
+                    cells
+                        .iter()
+                        .filter(|c| c.scenario.starts_with(prefix)
+                            && c.scenario.contains(&format!("/k{k}/")))
+                        .count(),
+                    FREE_PROTOCOLS.len(),
+                    "{prefix} cells missing at k={k}"
+                );
+            }
+        }
+        // Every adaptive cell found its fixed twin: perturbing one
+        // adaptive throughput must move the geomean.
+        let base = adaptive_vs_fixed_throughput(&cells);
+        assert!(base > 0.0);
+        let mut perturbed = cells.clone();
+        let c = perturbed
+            .iter_mut()
+            .find(|c| c.scenario.starts_with(FREE_TRIPLE.2))
+            .expect("adaptive cell");
+        c.items_per_sec *= 10.0;
+        assert!(adaptive_vs_fixed_throughput(&perturbed) > base);
+        assert_eq!(adaptive_vs_fixed_throughput(&[]), 1.0);
+        // Every free-running cell found its deterministic twin. (The
+        // ≤ [`FREE_WORDS_CEILING`] contract is enforced by `experiments
+        // smoke` at the real [`SCALE_N`]; at this tiny n the per-run
+        // sync overhead dominates and the ratio is legitimately larger.)
+        let factor = free_run_words_factor(&cells);
+        assert!(factor >= 1.0, "words factor {factor} below 1.0");
+        let mut inflated = cells.clone();
+        let c = inflated
+            .iter_mut()
+            .find(|c| c.scenario.starts_with(FREE_TRIPLE.2))
+            .expect("adaptive cell");
+        c.words *= 100;
+        assert!(free_run_words_factor(&inflated) > factor);
+        assert_eq!(free_run_words_factor(&[]), 1.0);
+        // The ceiling is the testkit's budget headroom, not a drifting
+        // local copy.
+        assert_eq!(FREE_WORDS_CEILING, dtrack_testkit::bound::FREE_RUN_HEADROOM);
+    }
+
+    #[test]
     fn smoke_json_is_valid_enough() {
         let results = vec![SmokeResult {
             scenario: "hh-exact/zipf/round-robin/k4/eps0.1/n20000/seed1".to_owned(),
@@ -747,10 +1042,12 @@ mod tests {
             items_per_sec: 2_352_941.0,
         }];
         let j = smoke_json(&results);
-        assert!(j.contains("\"schema\": \"dtrack-bench-smoke/v4\""));
+        assert!(j.contains("\"schema\": \"dtrack-bench-smoke/v5\""));
         assert!(j.contains("\"threaded_batched_speedup\""));
         assert!(j.contains("\"facade_overhead_geomean\""));
         assert!(j.contains("\"sharded_scale_speedup_k256\""));
+        assert!(j.contains("\"adaptive_vs_fixed_throughput\""));
+        assert!(j.contains("\"free_run_words_factor\""));
         assert!(j.contains("\"words\": 1234"));
         assert!(j.ends_with("]\n}\n"));
         // Balanced braces/brackets, no trailing comma before the close.

@@ -379,10 +379,16 @@ impl Coordinator for HhCoordinator {
                 // Under the threaded runtime a Raw can arrive just after
                 // warm-up ended (sent before the site received Start).
                 // Counting it exactly is correct in either phase: the site
-                // marked it reported, so it appears nowhere else.
+                // marked it reported, so it appears nowhere else. Only the
+                // warm-up→tracking *transition* broadcasts Start — the one
+                // broadcast already reaches every site, including any
+                // whose Raws are still in flight, so re-broadcasting per
+                // late Raw would amplify each straggler into k metered
+                // messages (free-running ingest can have a whole window
+                // per site in flight at the transition).
                 self.m += 1;
                 *self.counts.entry(item).or_insert(0) += 1;
-                if self.m >= self.config.warmup_target {
+                if self.phase == Phase::Warmup && self.m >= self.config.warmup_target {
                     self.phase = Phase::Tracking;
                     out.broadcast(HhDown::Start { m: self.m });
                 }

@@ -48,19 +48,27 @@ pub fn surface() -> String {
     ty!(crate::Query);
     ty!(crate::Answer);
     ty!(crate::QueryError);
+    ty!(crate::FlowControlConfig);
+    ty!(crate::FlowControlStats);
+    ty!(crate::AimdController);
     for l in &ty_lines {
         line(l);
     }
     line("const dtrack_sim::PROBE_PHIS: [f64; 5]");
     line("const dtrack_sim::HH_PROBE_PHIS: [f64; 5]");
+    line("const dtrack_sim::flow::WIN_MIN: u32");
+    line("const dtrack_sim::flow::WIN_MAX: u32");
     line("trait dtrack_sim::tracker::Protocol { label sites_hint build query answers }");
-    line("trait dtrack_sim::tracker::ErasedProtocol { label feed feed_batch ingest settle query answers cost finish }");
-    line("impl Tracker { builder protocol_label backend_kind num_sites feed feed_batch ingest settle query answers cost finish }");
-    line("impl TrackerBuilder { sites backend site_queue_cap protocol build }");
+    line("trait dtrack_sim::tracker::ErasedProtocol { label feed feed_batch ingest settle settle_deadline cost_hint query answers cost finish }");
+    line("impl Tracker { builder protocol_label backend_kind num_sites feed feed_batch ingest settle settle_deadline cost_hint query answers cost finish }");
+    line("impl TrackerBuilder { sites backend site_queue_cap flow_control settle_deadline protocol build }");
     line("enum BackendKind { Deterministic Threaded Sharded{workers} }");
-    line("enum Query { Count HeavyHitters TrackedQuantile Quantile RankLt Frequency }");
-    line("enum Answer { Count StreamLength LengthEstimate Total HeavyHitters Quantile QuantileAt RankLt Frequency }");
+    line("enum TrackerError { Protocol MissingSiteCount SiteCountMismatch InvalidConfig{knob,detail} Sim }");
+    line("enum Query { Count HeavyHitters TrackedQuantile Quantile RankLt Frequency FlowControl }");
+    line("enum Answer { Count StreamLength LengthEstimate Total HeavyHitters Quantile QuantileAt RankLt Frequency FlowControl }");
     line("impl Answer { as_count as_quantile as_items }");
+    line("impl FlowControlConfig { fixed validate }");
+    line("impl AimdController { new config window clean_run drift_site drift_all stats }");
     line("");
 
     line("## backends");
@@ -77,9 +85,11 @@ pub fn surface() -> String {
         "type {}",
         base_name::<crate::ShardedBackend<probe::PSite, probe::PCoord>>()
     ));
-    line("trait dtrack_sim::backend::Backend { feed feed_batch ingest settle with_coordinator cost finish }");
+    line("trait dtrack_sim::backend::Backend { feed feed_batch ingest settle settle_deadline cost_hint flow_control with_coordinator cost finish }");
     line("fn dtrack_sim::backend::ThreadedBackend::spawn_with_cap(sites, coordinator, queue_cap)");
     line("fn dtrack_sim::backend::ShardedBackend::spawn_with(sites, coordinator, config)");
+    line("fn dtrack_sim::backend::ThreadedBackend::set_flow_control(config)");
+    line("fn dtrack_sim::backend::ShardedBackend::set_flow_control(config)");
     line("");
 
     line("## model substrate");
@@ -104,6 +114,11 @@ pub fn surface() -> String {
     line("trait dtrack_sim::proto::Coordinator { on_message }");
     line("trait dtrack_sim::proto::MessageSize { size_words kind }");
     line("fn dtrack_sim::threaded::RunTicket::wait -> Result<(), SimError>");
+    line("fn dtrack_sim::threaded::RunTicket::wait_timeout(deadline) -> Result<(), SimError>");
+    line("fn dtrack_sim::threaded::ThreadedCluster::words_hint -> u64");
+    line("fn dtrack_sim::sharded::ShardedCluster::words_hint -> u64");
+    line("fn dtrack_sim::threaded::ThreadedCluster::backlog_hint -> u64");
+    line("fn dtrack_sim::sharded::ShardedCluster::backlog_hint -> u64");
     line("const dtrack_sim::threaded::SITE_QUEUE_CAP: usize");
     line("fn dtrack_sim::sharded::default_workers -> usize");
     out
@@ -166,12 +181,26 @@ fn assert_api_compiles(mut tracker: crate::Tracker) -> Result<(), Box<dyn std::e
     let builder = Tracker::builder()
         .sites(2)
         .backend(BackendKind::Sharded { workers: None })
-        .site_queue_cap(crate::threaded::SITE_QUEUE_CAP);
+        .site_queue_cap(crate::threaded::SITE_QUEUE_CAP)
+        .flow_control(crate::FlowControlConfig::default())
+        .settle_deadline(std::time::Duration::from_secs(30));
     let _ = builder;
     let _ = crate::ThreadedBackend::<probe::PSite, probe::PCoord>::spawn_with_cap;
     let _ = crate::ShardedBackend::<probe::PSite, probe::PCoord>::spawn_with;
+    let _ = crate::ThreadedBackend::<probe::PSite, probe::PCoord>::set_flow_control;
+    let _ = crate::ShardedBackend::<probe::PSite, probe::PCoord>::set_flow_control;
+    let _ = crate::threaded::RunTicket::wait_timeout;
     let _: crate::ShardedConfig = crate::ShardedConfig::default();
     let _: usize = crate::sharded::default_workers();
+    let _: Result<(), String> = crate::FlowControlConfig::fixed(crate::flow::WIN_MIN).validate();
+    let mut controller = crate::AimdController::new(2, crate::FlowControlConfig::default());
+    let _ = controller.config();
+    let _ = controller.window(0);
+    controller.clean_run(0);
+    controller.drift_site(0);
+    controller.drift_all();
+    let _: crate::FlowControlStats = controller.stats();
+    let _: u32 = crate::flow::WIN_MAX;
     let _: &'static str = tracker.protocol_label();
     let _: BackendKind = tracker.backend_kind();
     let _: u32 = tracker.num_sites();
@@ -179,6 +208,8 @@ fn assert_api_compiles(mut tracker: crate::Tracker) -> Result<(), Box<dyn std::e
     tracker.feed_batch(&[(SiteId(0), 1)])?;
     tracker.ingest(SiteId(0), vec![1])?;
     tracker.settle();
+    tracker.settle_deadline(std::time::Duration::from_secs(30))?;
+    tracker.cost_hint(1.0);
     let answer = tracker.query(Query::Count)?;
     let _ = answer.as_count();
     let _ = answer.as_quantile();

@@ -17,18 +17,24 @@
 //! * [`ThreadedBackend`] wraps [`crate::threaded::ThreadedCluster`]: one
 //!   OS thread per site plus a coordinator thread. `feed_batch` uses the
 //!   transcript-identical site-at-a-time schedule; [`Backend::ingest`]
-//!   uses free-running per-site runs with a one-run completion window per
-//!   site (the ticket discipline that keeps feedback-starved sites from
-//!   over-communicating lives *here*, so every caller gets it for free).
+//!   uses free-running per-site runs paced by the shared [`AimdWindow`]
+//!   (the adaptive flow-control discipline that keeps feedback-starved
+//!   sites from over-communicating lives *here*, so every caller gets it
+//!   for free — see [`crate::flow`]).
 //! * [`ShardedBackend`] wraps [`crate::sharded::ShardedCluster`]: many
 //!   logical sites multiplexed onto a fixed work-stealing worker pool, so
 //!   the site count can scale far past the core count. Same batch
-//!   schedule, same ticket window for free-running ingest.
+//!   schedule, same AIMD window for free-running ingest.
 
 #![deny(missing_docs)]
 
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::RecvTimeoutError;
+
 use crate::cluster::Cluster;
 use crate::error::SimError;
+use crate::flow::{AimdController, FlowControlConfig, FlowControlStats};
 use crate::meter::MessageMeter;
 use crate::proto::{Coordinator, Site, SiteId};
 use crate::sharded::{ShardedCluster, ShardedConfig};
@@ -99,13 +105,40 @@ where
     /// maximum-throughput path. Arrivals may interleave with in-flight
     /// communication, so the transcript is *not* pinned; the ε-guarantee
     /// still holds at quiescence. Implementations bound how far a site
-    /// may run ahead of coordinator feedback (the threaded backend keeps
-    /// a one-run window per site).
+    /// may run ahead of coordinator feedback (the parallel backends keep
+    /// an adaptive AIMD run-length window per site; items may be buffered
+    /// until the next `ingest`, `settle`, or `finish`).
     fn ingest(&mut self, site: SiteId, items: Vec<S::Item>) -> Result<(), SimError>;
 
     /// Block until no message is queued or in flight anywhere. Queries
     /// are meaningful (and meters consistent) only at quiescence.
     fn settle(&mut self);
+
+    /// Deadline-aware [`Backend::settle`]: wait for quiescence at most
+    /// `deadline`, then degrade to [`SimError::Timeout`] instead of an
+    /// unbounded park — the graceful-degradation path for stalled or
+    /// wedged sites. The runtime stays usable after a timeout. The
+    /// deterministic backend is always quiescent, so the default simply
+    /// settles and succeeds.
+    fn settle_deadline(&mut self, _deadline: Duration) -> Result<(), SimError> {
+        self.settle();
+        Ok(())
+    }
+
+    /// Install the flow controller's reference communication rate
+    /// (expected metered words per fed item, e.g. the protocol's word
+    /// budget divided by the stream length). Free-running ingest compares
+    /// observed words-per-item against this rate to detect drift; without
+    /// a hint, only the backpressure signal adapts windows. No-op on
+    /// backends without a flow controller.
+    fn cost_hint(&mut self, _words_per_item: f64) {}
+
+    /// Snapshot the free-running flow controller's observable state, or
+    /// `None` on backends without one (the deterministic backend needs no
+    /// flow control — it is always quiescent).
+    fn flow_control(&self) -> Option<FlowControlStats> {
+        None
+    }
 
     /// Run a closure against the coordinator state and return its result.
     /// Call [`Backend::settle`] first if the query must observe a
@@ -212,41 +245,219 @@ where
     }
 }
 
-/// One outstanding free-run ticket per site: before a site's next run is
-/// enqueued, its previous run must have been consumed. Both parallel
-/// backends enforce this window on [`Backend::ingest`] — unbounded run
-/// queueing lets sites race ahead of coordinator feedback and flood
-/// stale-threshold deltas (see
-/// [`ThreadedCluster::ingest_run`]) — and sharing the logic here keeps a
-/// future fix from silently missing one of them.
-struct TicketWindow {
+/// The shared per-site AIMD flow-control window behind
+/// [`Backend::ingest`] on both parallel backends (the successor of the
+/// fixed one-run-per-site ticket window).
+///
+/// Each site keeps at most one outstanding run plus a small buffer of
+/// not-yet-enqueued items. Run length follows the site's
+/// [`AimdController`] window: completed runs grow it additively, the
+/// drift signal halves it. Unbounded run queueing would let sites race
+/// ahead of coordinator feedback and flood stale-threshold deltas (see
+/// [`ThreadedCluster::ingest_run`]); sharing the controller here keeps a
+/// future fix from silently missing one backend.
+///
+/// Buffered items become visible at the next flush point — any further
+/// `ingest` for the site, or `settle`/`finish`/`inject_fault`, all of
+/// which flush. The settled `feed_batch` path never touches this type,
+/// so golden transcripts are unaffected.
+struct AimdWindow<I> {
+    controller: AimdController,
     tickets: Vec<Option<RunTicket>>,
+    buffers: Vec<Vec<I>>,
+    /// Reference words-per-item installed via [`Backend::cost_hint`];
+    /// `None` disables the rate-drift signal.
+    ref_rate: Option<f64>,
+    /// Items handed to the cluster so far (probe pacing).
+    flushed_items: u64,
+    last_probe_items: u64,
+    last_probe_words: u64,
 }
 
-impl TicketWindow {
-    fn new(k: usize) -> Self {
-        TicketWindow {
+impl<I> AimdWindow<I> {
+    fn new(k: usize, config: FlowControlConfig) -> Self {
+        AimdWindow {
+            controller: AimdController::new(k, config),
             tickets: (0..k).map(|_| None).collect(),
+            buffers: (0..k).map(|_| Vec::new()).collect(),
+            ref_rate: None,
+            flushed_items: 0,
+            last_probe_items: 0,
+            last_probe_words: 0,
         }
     }
 
-    /// Wait out the site's previous run, then enqueue the next one via
-    /// `enqueue` and hold its ticket.
+    /// Swap in a new configuration (resets windows to the new initial;
+    /// call before ingesting).
+    fn set_config(&mut self, config: FlowControlConfig) {
+        self.controller = AimdController::new(self.buffers.len(), config);
+    }
+
+    fn set_ref_rate(&mut self, words_per_item: f64) {
+        self.ref_rate = Some(words_per_item);
+    }
+
+    fn stats(&self) -> FlowControlStats {
+        self.controller.stats()
+    }
+
+    /// Buffer `items` for `site` and pump the window: enqueue
+    /// window-sized runs whenever the site's previous run has resolved,
+    /// blocking (with the backpressure drift signal) only when the buffer
+    /// has a full window waiting.
     fn ingest(
         &mut self,
         site: SiteId,
-        enqueue: impl FnOnce() -> Result<RunTicket, SimError>,
+        mut items: Vec<I>,
+        mut enqueue: impl FnMut(Vec<I>) -> Result<RunTicket, SimError>,
+        mut probe_words: impl FnMut() -> u64,
+        mut probe_backlog: impl FnMut() -> u64,
     ) -> Result<(), SimError> {
-        if let Some(slot) = self.tickets.get_mut(site.index()) {
-            if let Some(ticket) = slot.take() {
-                ticket.wait()?;
-            }
+        let idx = site.index();
+        if idx >= self.buffers.len() {
+            // Out of range: let the cluster produce its canonical error.
+            return enqueue(items).map(|_| ());
         }
-        let ticket = enqueue()?;
-        if let Some(slot) = self.tickets.get_mut(site.index()) {
-            *slot = Some(ticket);
+        if self.buffers[idx].is_empty() {
+            self.buffers[idx] = items;
+        } else {
+            self.buffers[idx].append(&mut items);
+        }
+        self.stall_for_backlog(idx, &mut probe_backlog);
+        self.pump(idx, &mut enqueue)?;
+        self.maybe_probe(&mut probe_words);
+        Ok(())
+    }
+
+    /// Source-side congestion stall: while the cluster-wide backlog
+    /// (in-flight commands plus undelivered protocol messages) exceeds
+    /// the configured in-flight budget, hold off enqueuing more work so
+    /// coordinator feedback can drain. Per-site windows bound one site's
+    /// lead; this bounds the *sum* — the quantity that actually backs up
+    /// the shared coordinator when sites outnumber cores. A sustained
+    /// stall fires the per-site drift signal once, and the wait is
+    /// bounded (50 × `backpressure_wait`) so a wedged cluster degrades
+    /// into the queues' own backpressure instead of hanging here.
+    fn stall_for_backlog(&mut self, idx: usize, probe_backlog: &mut impl FnMut() -> u64) {
+        let config = *self.controller.config();
+        if config.inflight_cap == 0 || probe_backlog() <= u64::from(config.inflight_cap) {
+            return;
+        }
+        let started = Instant::now();
+        let mut drifted = false;
+        loop {
+            std::thread::yield_now();
+            if probe_backlog() <= u64::from(config.inflight_cap) {
+                return;
+            }
+            let waited = started.elapsed();
+            if !drifted && waited >= config.backpressure_wait {
+                self.controller.drift_site(idx);
+                drifted = true;
+            }
+            if waited >= config.backpressure_wait * 50 {
+                return;
+            }
+            std::thread::sleep(Duration::from_micros(100));
+        }
+    }
+
+    /// Drain `site`'s buffer into window-sized runs while the one-run
+    /// window allows. Exits with less than one window buffered (or an
+    /// empty buffer), so per-site in-flight items stay within ~2 windows.
+    fn pump(
+        &mut self,
+        idx: usize,
+        enqueue: &mut impl FnMut(Vec<I>) -> Result<RunTicket, SimError>,
+    ) -> Result<(), SimError> {
+        loop {
+            let win = self.controller.window(idx) as usize;
+            if let Some(ticket) = self.tickets[idx].take() {
+                if ticket.0.try_recv().is_some() {
+                    self.controller.clean_run(idx);
+                } else if self.buffers[idx].len() < win {
+                    // Pipelined: run in flight, buffer not yet full —
+                    // come back on the next ingest or flush.
+                    self.tickets[idx] = Some(ticket);
+                    break;
+                } else {
+                    // A full window is waiting on a slow consumer. Wait
+                    // out the run, treating a long wait as backpressure
+                    // (the per-site drift signal).
+                    let wait = self.controller.config().backpressure_wait;
+                    match ticket.0.recv_timeout(wait) {
+                        Ok(()) => self.controller.clean_run(idx),
+                        Err(RecvTimeoutError::Timeout) => {
+                            self.controller.drift_site(idx);
+                            ticket
+                                .0
+                                .recv()
+                                .map_err(|_| SimError::WorkerGone { who: "site" })?;
+                        }
+                        Err(RecvTimeoutError::Disconnected) => {
+                            return Err(SimError::WorkerGone { who: "site" });
+                        }
+                    }
+                }
+            }
+            if self.buffers[idx].is_empty() {
+                break;
+            }
+            let win = self.controller.window(idx) as usize;
+            let buf = &mut self.buffers[idx];
+            let run: Vec<I> = if buf.len() <= win {
+                std::mem::take(buf)
+            } else {
+                buf.drain(..win).collect()
+            };
+            self.flushed_items += run.len() as u64;
+            self.tickets[idx] = Some(enqueue(run)?);
         }
         Ok(())
+    }
+
+    /// Every `sample_items` flushed items, compare the observed metered
+    /// words-per-item against the reference rate; sustained excess fires
+    /// the global drift signal (the meter is cluster-wide, so every
+    /// window halves).
+    fn maybe_probe(&mut self, probe_words: &mut impl FnMut() -> u64) {
+        let Some(ref_rate) = self.ref_rate else {
+            return;
+        };
+        let config = *self.controller.config();
+        if config.increase == 0 && config.win_min == config.win_max {
+            return; // fixed window: nothing to adapt, skip the probe cost
+        }
+        let delta_items = self.flushed_items - self.last_probe_items;
+        if delta_items < config.sample_items {
+            return;
+        }
+        let words = probe_words();
+        let delta_words = words.saturating_sub(self.last_probe_words);
+        self.last_probe_items = self.flushed_items;
+        self.last_probe_words = words;
+        let observed = delta_words as f64 / delta_items as f64;
+        if observed > ref_rate * config.drift_factor {
+            self.controller.drift_all();
+        }
+    }
+
+    /// Enqueue every buffered run (tail flush before a quiescence wait,
+    /// fault injection, or teardown). Does not wait for tickets — the
+    /// caller is about to wait for quiescence, which covers queued runs.
+    /// A site that rejects its run (killed, or its worker died) drops the
+    /// buffered items with the error, exactly as a failed `feed` would.
+    fn flush(&mut self, mut enqueue: impl FnMut(SiteId, Vec<I>) -> Result<RunTicket, SimError>) {
+        for idx in 0..self.buffers.len() {
+            if self.buffers[idx].is_empty() {
+                continue;
+            }
+            let items = std::mem::take(&mut self.buffers[idx]);
+            self.flushed_items += items.len() as u64;
+            if let Ok(ticket) = enqueue(SiteId(idx as u32), items) {
+                self.tickets[idx] = Some(ticket);
+            }
+        }
     }
 
     fn clear(&mut self) {
@@ -264,7 +475,7 @@ where
     S::Down: Send + Sync,
 {
     cluster: ThreadedCluster<S, C>,
-    window: TicketWindow,
+    window: AimdWindow<S::Item>,
 }
 
 impl<S, C> ThreadedBackend<S, C>
@@ -291,8 +502,15 @@ where
         let k = sites.len();
         Ok(ThreadedBackend {
             cluster: ThreadedCluster::spawn_with_cap(sites, coordinator, queue_cap)?,
-            window: TicketWindow::new(k),
+            window: AimdWindow::new(k, FlowControlConfig::default()),
         })
+    }
+
+    /// Replace the free-running flow-control configuration (resets every
+    /// window to the configuration's initial value; call before
+    /// ingesting).
+    pub fn set_flow_control(&mut self, config: FlowControlConfig) {
+        self.window.set_config(config);
     }
 }
 
@@ -305,27 +523,59 @@ where
     S::Down: Send + Sync,
 {
     fn feed(&mut self, site: SiteId, item: S::Item) -> Result<(), SimError> {
+        // Flush buffered free-running runs first so items stay ordered
+        // per site even when callers mix ingest and feed.
+        let cluster = &self.cluster;
+        self.window.flush(|s, run| cluster.ingest_run(s, run));
         self.cluster.feed(site, item)
     }
 
     fn feed_batch(&mut self, batch: &[(SiteId, S::Item)]) -> Result<(), SimError> {
+        let cluster = &self.cluster;
+        self.window.flush(|s, run| cluster.ingest_run(s, run));
         self.cluster.feed_batch(batch)
     }
 
     fn ingest(&mut self, site: SiteId, items: Vec<S::Item>) -> Result<(), SimError> {
         let cluster = &self.cluster;
-        self.window
-            .ingest(site, move || cluster.ingest_run(site, items))
+        self.window.ingest(
+            site,
+            items,
+            |run| cluster.ingest_run(site, run),
+            || cluster.words_hint(),
+            || cluster.backlog_hint(),
+        )
     }
 
     fn settle(&mut self) {
-        // The pending counter covers queued runs (each `Run` command
-        // holds a token until fully consumed), so waiting for quiescence
-        // also waits out every outstanding ticket.
+        // Tail-flush buffered runs, then wait: the pending counter covers
+        // queued runs (each `Run` command holds a token until fully
+        // consumed), so waiting for quiescence also waits out every
+        // outstanding ticket.
+        let cluster = &self.cluster;
+        self.window.flush(|s, run| cluster.ingest_run(s, run));
         self.cluster.settle();
     }
 
+    fn settle_deadline(&mut self, deadline: Duration) -> Result<(), SimError> {
+        let cluster = &self.cluster;
+        self.window.flush(|s, run| cluster.ingest_run(s, run));
+        self.cluster.settle_deadline(deadline)
+    }
+
+    fn cost_hint(&mut self, words_per_item: f64) {
+        self.window.set_ref_rate(words_per_item);
+    }
+
+    fn flow_control(&self) -> Option<FlowControlStats> {
+        Some(self.window.stats())
+    }
+
     fn inject_fault(&mut self, fault: FaultEvent) -> Result<(), SimError> {
+        // Flush so the fault's position relative to already-ingested
+        // items is deterministic.
+        let cluster = &self.cluster;
+        self.window.flush(|s, run| cluster.ingest_run(s, run));
         match fault {
             FaultEvent::KillSite { site } => self.cluster.kill_site(site),
             FaultEvent::StallSite { site, micros } => self.cluster.stall_site(site, micros),
@@ -345,6 +595,8 @@ where
     }
 
     fn finish(mut self) -> Result<(C, Vec<S>, MessageMeter), SimError> {
+        let cluster = &self.cluster;
+        self.window.flush(|s, run| cluster.ingest_run(s, run));
         self.window.clear();
         self.cluster.shutdown()
     }
@@ -361,7 +613,7 @@ where
     S::Down: Send + Sync,
 {
     cluster: ShardedCluster<S, C>,
-    window: TicketWindow,
+    window: AimdWindow<S::Item>,
 }
 
 impl<S, C> ShardedBackend<S, C>
@@ -387,8 +639,15 @@ where
         let k = sites.len();
         Ok(ShardedBackend {
             cluster: ShardedCluster::spawn_with(sites, coordinator, config)?,
-            window: TicketWindow::new(k),
+            window: AimdWindow::new(k, FlowControlConfig::default()),
         })
+    }
+
+    /// Replace the free-running flow-control configuration (resets every
+    /// window to the configuration's initial value; call before
+    /// ingesting).
+    pub fn set_flow_control(&mut self, config: FlowControlConfig) {
+        self.window.set_config(config);
     }
 }
 
@@ -401,26 +660,53 @@ where
     S::Down: Send + Sync,
 {
     fn feed(&mut self, site: SiteId, item: S::Item) -> Result<(), SimError> {
+        let cluster = &self.cluster;
+        self.window.flush(|s, run| cluster.ingest_run(s, run));
         self.cluster.feed(site, item)
     }
 
     fn feed_batch(&mut self, batch: &[(SiteId, S::Item)]) -> Result<(), SimError> {
+        let cluster = &self.cluster;
+        self.window.flush(|s, run| cluster.ingest_run(s, run));
         self.cluster.feed_batch(batch)
     }
 
     fn ingest(&mut self, site: SiteId, items: Vec<S::Item>) -> Result<(), SimError> {
         let cluster = &self.cluster;
-        self.window
-            .ingest(site, move || cluster.ingest_run(site, items))
+        self.window.ingest(
+            site,
+            items,
+            |run| cluster.ingest_run(site, run),
+            || cluster.words_hint(),
+            || cluster.backlog_hint(),
+        )
     }
 
     fn settle(&mut self) {
         // As on the threaded backend, the pending counter covers queued
         // runs, so settling also waits out every outstanding ticket.
+        let cluster = &self.cluster;
+        self.window.flush(|s, run| cluster.ingest_run(s, run));
         self.cluster.settle();
     }
 
+    fn settle_deadline(&mut self, deadline: Duration) -> Result<(), SimError> {
+        let cluster = &self.cluster;
+        self.window.flush(|s, run| cluster.ingest_run(s, run));
+        self.cluster.settle_deadline(deadline)
+    }
+
+    fn cost_hint(&mut self, words_per_item: f64) {
+        self.window.set_ref_rate(words_per_item);
+    }
+
+    fn flow_control(&self) -> Option<FlowControlStats> {
+        Some(self.window.stats())
+    }
+
     fn inject_fault(&mut self, fault: FaultEvent) -> Result<(), SimError> {
+        let cluster = &self.cluster;
+        self.window.flush(|s, run| cluster.ingest_run(s, run));
         match fault {
             FaultEvent::KillSite { site } => self.cluster.kill_site(site),
             FaultEvent::StallSite { site, micros } => self.cluster.stall_site(site, micros),
@@ -440,6 +726,8 @@ where
     }
 
     fn finish(mut self) -> Result<(C, Vec<S>, MessageMeter), SimError> {
+        let cluster = &self.cluster;
+        self.window.flush(|s, run| cluster.ingest_run(s, run));
         self.window.clear();
         self.cluster.shutdown()
     }
@@ -597,5 +885,107 @@ mod tests {
         assert!(DeterministicBackend::new(vec![EchoSite], SumCoord::default()).is_err());
         assert!(ThreadedBackend::spawn(vec![EchoSite], SumCoord::default()).is_err());
         assert!(ShardedBackend::spawn(vec![EchoSite], SumCoord::default()).is_err());
+    }
+
+    /// A stalled site must degrade `settle_deadline` to `Timeout` instead
+    /// of parking unboundedly, and the runtime must stay usable after.
+    fn run_stalled_deadline<B: Backend<EchoSite, SumCoord>>(mut b: B) {
+        b.inject_fault(FaultEvent::StallSite {
+            site: SiteId(0),
+            micros: 300_000,
+        })
+        .unwrap();
+        b.feed(SiteId(0), 1).unwrap();
+        let err = b.settle_deadline(Duration::from_millis(20)).unwrap_err();
+        assert!(matches!(err, SimError::Timeout { waited_ms: 20 }));
+        // Usable after the timeout: a full settle waits out the stall.
+        b.settle();
+        assert_eq!(b.with_coordinator(|c| c.sum).unwrap(), 1);
+        b.finish().unwrap();
+    }
+
+    #[test]
+    fn threaded_settle_deadline_times_out_under_stall() {
+        let sites = (0..2).map(|_| EchoSite).collect();
+        run_stalled_deadline(ThreadedBackend::spawn(sites, SumCoord::default()).unwrap());
+    }
+
+    #[test]
+    fn sharded_settle_deadline_times_out_under_stall() {
+        let sites = (0..2).map(|_| EchoSite).collect();
+        let config = ShardedConfig {
+            workers: Some(2),
+            ..ShardedConfig::default()
+        };
+        run_stalled_deadline(
+            ShardedBackend::spawn_with(sites, SumCoord::default(), config).unwrap(),
+        );
+    }
+
+    #[test]
+    fn deterministic_settle_deadline_always_succeeds() {
+        let sites = (0..2).map(|_| EchoSite).collect();
+        let mut b = DeterministicBackend::new(sites, SumCoord::default()).unwrap();
+        b.feed(SiteId(0), 1).unwrap();
+        assert_eq!(b.settle_deadline(Duration::from_millis(1)), Ok(()));
+        assert!(b.flow_control().is_none(), "no controller to observe");
+    }
+
+    #[test]
+    fn clean_runs_grow_the_window_between_settles() {
+        let sites = (0..2).map(|_| EchoSite).collect();
+        let mut b = ThreadedBackend::spawn(sites, SumCoord::default()).unwrap();
+        b.set_flow_control(FlowControlConfig {
+            win_min: 1,
+            win_max: 64,
+            initial: 1,
+            increase: 1,
+            ..FlowControlConfig::default()
+        });
+        for round in 0..4u64 {
+            b.ingest(SiteId(0), vec![round]).unwrap();
+            // Settling consumes the run, so the next pump observes a
+            // clean completion and grows the window deterministically.
+            b.settle();
+        }
+        let stats = b.flow_control().expect("parallel backends expose stats");
+        assert!(
+            stats.windows[0] > 1,
+            "window should have grown past the initial, got {}",
+            stats.windows[0]
+        );
+        assert_eq!(stats.windows[1], 1, "idle site's window untouched");
+        b.finish().unwrap();
+    }
+
+    #[test]
+    fn backpressure_on_a_stalled_site_halves_its_window() {
+        let sites = (0..2).map(|_| EchoSite).collect();
+        let mut b = ThreadedBackend::spawn(sites, SumCoord::default()).unwrap();
+        b.set_flow_control(FlowControlConfig {
+            win_min: 1,
+            win_max: 64,
+            initial: 4,
+            increase: 1,
+            backpressure_wait: Duration::from_millis(1),
+            ..FlowControlConfig::default()
+        });
+        b.inject_fault(FaultEvent::StallSite {
+            site: SiteId(0),
+            micros: 50_000,
+        })
+        .unwrap();
+        // First run queues behind the stall; the second finds a full
+        // window buffered behind an unconsumed ticket -> drift signal.
+        b.ingest(SiteId(0), vec![1, 2, 3, 4]).unwrap();
+        b.ingest(SiteId(0), vec![5, 6, 7, 8]).unwrap();
+        let stats = b.flow_control().unwrap();
+        assert!(
+            stats.drift_events >= 1,
+            "backpressure should fire the drift signal, got {stats}"
+        );
+        b.settle();
+        assert_eq!(b.with_coordinator(|c| c.sum).unwrap(), 36);
+        b.finish().unwrap();
     }
 }

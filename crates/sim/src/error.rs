@@ -38,6 +38,14 @@ pub enum SimError {
         /// The dead site's index.
         site: u32,
     },
+    /// A deadline-aware wait (`settle_deadline`, `RunTicket::wait_timeout`)
+    /// expired before the system went quiescent. The runtime is still
+    /// usable — a stalled site may drain later — but the caller asked to
+    /// degrade to an error instead of parking unboundedly.
+    Timeout {
+        /// How long the caller waited, in milliseconds.
+        waited_ms: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -56,6 +64,12 @@ impl fmt::Display for SimError {
             SimError::WorkerGone { who } => write!(f, "worker thread '{who}' disconnected"),
             SimError::SiteDown { site } => {
                 write!(f, "site {site} is down (killed by fault injection)")
+            }
+            SimError::Timeout { waited_ms } => {
+                write!(
+                    f,
+                    "deadline expired after {waited_ms}ms; system not quiescent"
+                )
             }
         }
     }
@@ -80,6 +94,8 @@ mod tests {
         assert!(e.to_string().contains("site-3"));
         let e = SimError::SiteDown { site: 2 };
         assert!(e.to_string().contains("site 2"));
+        let e = SimError::Timeout { waited_ms: 250 };
+        assert!(e.to_string().contains("250ms"));
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub mod api;
 pub mod backend;
 pub mod cluster;
 pub mod error;
+pub mod flow;
 pub mod meter;
 pub mod proto;
 pub mod query;
@@ -51,6 +52,7 @@ pub mod tracker;
 pub use backend::{Backend, DeterministicBackend, FaultEvent, ShardedBackend, ThreadedBackend};
 pub use cluster::Cluster;
 pub use error::SimError;
+pub use flow::{AimdController, FlowControlConfig, FlowControlStats, WIN_MAX, WIN_MIN};
 pub use meter::{CostReport, KindCost, MessageMeter};
 pub use proto::{Coordinator, Down, MessageSize, Outbox, Site, SiteId};
 pub use query::{Answer, Query, QueryError, HH_PROBE_PHIS, PROBE_PHIS};

@@ -21,6 +21,7 @@
 use std::fmt;
 
 use crate::error::SimError;
+use crate::flow::FlowControlStats;
 
 /// The quantile fractions probed when a protocol answers rank/quantile
 /// queries for every φ simultaneously (the canonical probe grid used by
@@ -66,6 +67,11 @@ pub enum Query {
         /// The item.
         x: u64,
     },
+    /// The free-running flow controller's observable state (per-site
+    /// windows, drift events, backoff count). Answered by the parallel
+    /// backends; protocol-independent. The deterministic backend has no
+    /// controller and reports the query unsupported.
+    FlowControl,
 }
 
 impl fmt::Display for Query {
@@ -77,6 +83,7 @@ impl fmt::Display for Query {
             Query::Quantile { phi } => write!(f, "quantile(phi={phi})"),
             Query::RankLt { x } => write!(f, "rank-lt({x})"),
             Query::Frequency { x } => write!(f, "frequency({x})"),
+            Query::FlowControl => write!(f, "flow-control"),
         }
     }
 }
@@ -129,6 +136,11 @@ pub enum Answer {
         /// Its tracked frequency.
         count: u64,
     },
+    /// Flow-controller snapshot. Renders via [`FlowControlStats`]'s own
+    /// `Display` (`flow(win=…, drift=…, backoff=…)`). Never part of the
+    /// canonical per-protocol answer sets — it describes the runtime, not
+    /// the protocol.
+    FlowControl(FlowControlStats),
 }
 
 /// Render an optional value the way the canonical answer strings always
@@ -152,6 +164,7 @@ impl fmt::Display for Answer {
             Answer::QuantileAt { phi, value } => write!(f, "q({phi})={}", fmt_opt(*value)),
             Answer::RankLt { x, rank } => write!(f, "rank_lt({x})={rank}"),
             Answer::Frequency { x, count } => write!(f, "freq({x})={count}"),
+            Answer::FlowControl(stats) => write!(f, "{stats}"),
         }
     }
 }
@@ -271,6 +284,16 @@ mod tests {
         assert_eq!(
             Answer::Frequency { x: 8, count: 2 }.to_string(),
             "freq(8)=2"
+        );
+        assert_eq!(Query::FlowControl.to_string(), "flow-control");
+        assert_eq!(
+            Answer::FlowControl(FlowControlStats {
+                windows: vec![16, 64],
+                drift_events: 2,
+                backoffs: 1,
+            })
+            .to_string(),
+            "flow(win=16..64, drift=2, backoff=1)"
         );
     }
 

@@ -61,7 +61,7 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
@@ -161,6 +161,8 @@ struct SiteExec<S: Site> {
     /// thread's would be) or after `shutdown` collected it.
     site: Option<S>,
     meter: MessageMeter,
+    /// Words already published to the pool-wide hint counter.
+    words_reported: u64,
     batch: Option<BatchState<S>>,
     /// Reused upstream-message buffer.
     out: Vec<S::Up>,
@@ -216,6 +218,11 @@ struct Pool<S: Site> {
     failed: AtomicBool,
     pending: Arc<Pending>,
     queue_cap: usize,
+    /// Relaxed running total of metered words, published by workers after
+    /// every serve quantum. Read by [`ShardedCluster::words_hint`] so
+    /// flow-control probes never contend for the per-site exec locks the
+    /// way a full `cost()` snapshot does.
+    words_shared: AtomicU64,
 }
 
 impl<S: Site> Pool<S> {
@@ -403,6 +410,7 @@ where
                 exec: Mutex::new(SiteExec {
                     site: Some(site),
                     meter: MessageMeter::new(),
+                    words_reported: 0,
                     batch: None,
                     out: Vec::new(),
                 }),
@@ -423,6 +431,7 @@ where
             failed: AtomicBool::new(false),
             pending: Arc::new(Pending::default()),
             queue_cap: config.site_queue_cap.max(1),
+            words_shared: AtomicU64::new(0),
         });
         let (coord_tx, coord_rx): (Sender<CoordCmd<C>>, Receiver<CoordCmd<C>>) = unbounded();
         let worker_handles = (0..workers)
@@ -582,6 +591,20 @@ where
         self.pool.pending.wait_idle();
     }
 
+    /// Deadline-aware [`Self::settle`]: waits for quiescence at most
+    /// `deadline`, then degrades to [`SimError::Timeout`] instead of an
+    /// unbounded park. The pool remains fully usable — a stalled site may
+    /// still drain later, and shutdown waits it out as usual.
+    pub fn settle_deadline(&self, deadline: std::time::Duration) -> Result<(), SimError> {
+        if self.pool.pending.wait_idle_deadline(deadline) {
+            Ok(())
+        } else {
+            Err(SimError::Timeout {
+                waited_ms: deadline.as_millis() as u64,
+            })
+        }
+    }
+
     /// Run a closure against the coordinator state on its own thread and
     /// return the result. Call [`Self::settle`] first if the query must
     /// observe a quiescent state.
@@ -612,6 +635,24 @@ where
             total.merge(&self.pool.lock_exec(idx).meter);
         }
         total
+    }
+
+    /// Cheap, slightly-stale total-words estimate: a relaxed atomic the
+    /// workers bump after every serve quantum. Unlike
+    /// [`ShardedCluster::cost`] (which takes every per-site exec lock in
+    /// turn), this never blocks — it is the flow controller's drift-probe
+    /// source, safe to call mid-ingest.
+    pub fn words_hint(&self) -> u64 {
+        self.pool.words_shared.load(Ordering::Relaxed)
+    }
+
+    /// Current cluster-wide backlog: in-flight commands plus undelivered
+    /// protocol messages (the quiescence counter `settle` waits on).
+    /// The flow controller stalls free-running ingest while this exceeds
+    /// its in-flight budget, bounding how stale coordinator feedback can
+    /// get when sites outnumber cores.
+    pub fn backlog_hint(&self) -> u64 {
+        self.pool.pending.count()
     }
 
     /// Stop the pool and return the final coordinator, sites, and merged
@@ -747,6 +788,11 @@ where
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         serve_commands(pool, idx, &mut exec, coord_tx)
     }));
+    let delta = exec.meter.total_words() - exec.words_reported;
+    if delta > 0 {
+        exec.words_reported += delta;
+        pool.words_shared.fetch_add(delta, Ordering::Relaxed);
+    }
     match outcome {
         Ok(Serve::Done) => {}
         Ok(Serve::Requeue { urgent }) => {

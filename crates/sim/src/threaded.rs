@@ -57,8 +57,9 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 
 use crate::error::SimError;
 use crate::meter::MessageMeter;
@@ -105,6 +106,12 @@ impl Pending {
         }
     }
 
+    /// Current in-flight count (commands plus undelivered protocol
+    /// messages) — the free-running flow controller's backlog signal.
+    pub(crate) fn count(&self) -> u64 {
+        self.count.load(Ordering::SeqCst)
+    }
+
     pub(crate) fn wait_idle(&self) {
         if self.count.load(Ordering::SeqCst) == 0 {
             return;
@@ -113,6 +120,29 @@ impl Pending {
         while self.count.load(Ordering::SeqCst) != 0 {
             guard = self.idle_cv.wait(guard).unwrap_or_else(|e| e.into_inner());
         }
+    }
+
+    /// Deadline-aware [`Pending::wait_idle`]: `true` when the system went
+    /// quiescent, `false` when the deadline expired first (the count may
+    /// still drain later — nothing is cancelled).
+    pub(crate) fn wait_idle_deadline(&self, deadline: Duration) -> bool {
+        if self.count.load(Ordering::SeqCst) == 0 {
+            return true;
+        }
+        let start = Instant::now();
+        let mut guard = self.idle_lock.lock().unwrap_or_else(|e| e.into_inner());
+        while self.count.load(Ordering::SeqCst) != 0 {
+            let elapsed = start.elapsed();
+            if elapsed >= deadline {
+                return false;
+            }
+            let (g, _) = self
+                .idle_cv
+                .wait_timeout(guard, deadline - elapsed)
+                .unwrap_or_else(|e| e.into_inner());
+            guard = g;
+        }
+        true
     }
 }
 
@@ -191,6 +221,19 @@ impl RunTicket {
             .recv()
             .map_err(|_| SimError::WorkerGone { who: "site" })
     }
+
+    /// Deadline-aware [`RunTicket::wait`]: a run still unconsumed after
+    /// `deadline` (a stalled or wedged site) returns
+    /// [`SimError::Timeout`] instead of parking forever. The ticket is
+    /// consumed either way; the run itself is not cancelled.
+    pub fn wait_timeout(self, deadline: Duration) -> Result<(), SimError> {
+        self.0.recv_timeout(deadline).map_err(|e| match e {
+            RecvTimeoutError::Timeout => SimError::Timeout {
+                waited_ms: deadline.as_millis() as u64,
+            },
+            RecvTimeoutError::Disconnected => SimError::WorkerGone { who: "site" },
+        })
+    }
 }
 
 /// A cluster running on OS threads: one per site plus a coordinator.
@@ -215,6 +258,11 @@ where
     /// is received). The thread itself stays alive with frozen state so
     /// shutdown remains clean.
     dead: Arc<Vec<AtomicBool>>,
+    /// Relaxed running total of metered words, bumped by each site thread
+    /// after every command it serves. Read by [`ThreadedCluster::words_hint`]
+    /// so flow-control probes never queue behind in-flight runs the way a
+    /// full [`ThreadedCluster::cost`] snapshot does.
+    words_shared: Arc<AtomicU64>,
 }
 
 impl<S, C> ThreadedCluster<S, C>
@@ -250,6 +298,7 @@ where
         let pending = Arc::new(Pending::default());
         let (coord_tx, coord_rx): (Sender<CoordCmd<C>>, Receiver<CoordCmd<C>>) = unbounded();
 
+        let words_shared = Arc::new(AtomicU64::new(0));
         let mut site_txs = Vec::with_capacity(sites.len());
         let mut site_handles = Vec::with_capacity(sites.len());
         for (i, site) in sites.into_iter().enumerate() {
@@ -257,9 +306,10 @@ where
             site_txs.push(tx);
             let coord_tx = coord_tx.clone();
             let pending = Arc::clone(&pending);
+            let words_shared = Arc::clone(&words_shared);
             let id = SiteId(i as u32);
             site_handles.push(std::thread::spawn(move || {
-                run_site(site, id, rx, coord_tx, pending)
+                run_site(site, id, rx, coord_tx, pending, words_shared)
             }));
         }
 
@@ -282,6 +332,7 @@ where
             coord_handle: Some(coord_handle),
             pending,
             dead,
+            words_shared,
         })
     }
 
@@ -424,6 +475,21 @@ where
         self.pending.wait_idle();
     }
 
+    /// Deadline-aware [`Self::settle`]: waits for quiescence at most
+    /// `deadline`, then degrades to [`SimError::Timeout`] instead of an
+    /// unbounded park. A stalled site may still drain afterwards — the
+    /// cluster remains fully usable (and a later plain `settle` or
+    /// shutdown still waits it out).
+    pub fn settle_deadline(&self, deadline: Duration) -> Result<(), SimError> {
+        if self.pending.wait_idle_deadline(deadline) {
+            Ok(())
+        } else {
+            Err(SimError::Timeout {
+                waited_ms: deadline.as_millis() as u64,
+            })
+        }
+    }
+
     /// Run a closure against the coordinator state on its own thread and
     /// return the result. Call [`Self::settle`] first if the query must
     /// observe a quiescent state.
@@ -462,6 +528,24 @@ where
             }
         }
         total
+    }
+
+    /// Cheap, slightly-stale total-words estimate: a relaxed atomic each
+    /// site thread bumps after every command it serves. Unlike
+    /// [`ThreadedCluster::cost`] (whose `Meter` round-trip queues behind
+    /// every in-flight run on every site), this never blocks — it is the
+    /// flow controller's drift-probe source, safe to call mid-ingest.
+    pub fn words_hint(&self) -> u64 {
+        self.words_shared.load(Ordering::Relaxed)
+    }
+
+    /// Current cluster-wide backlog: in-flight commands plus undelivered
+    /// protocol messages (the quiescence counter `settle` waits on).
+    /// The flow controller stalls free-running ingest while this exceeds
+    /// its in-flight budget, bounding how stale coordinator feedback can
+    /// get when sites outnumber cores.
+    pub fn backlog_hint(&self) -> u64 {
+        self.pending.count()
     }
 
     /// Stop all threads and return the final coordinator, sites, and
@@ -643,6 +727,7 @@ fn run_site<S, C>(
     rx: Receiver<SiteCmd<S>>,
     coord_tx: Sender<CoordCmd<C>>,
     pending: Arc<Pending>,
+    words_shared: Arc<AtomicU64>,
 ) where
     S: Site + Send + 'static,
     S::Item: Clone,
@@ -651,10 +736,17 @@ fn run_site<S, C>(
     let mut meter = MessageMeter::new();
     let mut out: Vec<S::Up> = Vec::new();
     let mut cur: Option<BatchState<S>> = None;
+    // Words already published to the cluster-wide hint counter.
+    let mut words_reported = 0u64;
     // Commands pulled while scanning for coordinator feedback mid-`Run`;
     // replayed in order before the next queue read.
     let mut deferred: std::collections::VecDeque<SiteCmd<S>> = std::collections::VecDeque::new();
     loop {
+        let delta = meter.total_words() - words_reported;
+        if delta > 0 {
+            words_reported += delta;
+            words_shared.fetch_add(delta, Ordering::Relaxed);
+        }
         let cmd = match deferred.pop_front() {
             Some(cmd) => cmd,
             None => match rx.recv() {

@@ -42,9 +42,11 @@
 #![deny(missing_docs)]
 
 use std::fmt;
+use std::time::Duration;
 
 use crate::backend::{Backend, DeterministicBackend, FaultEvent, ShardedBackend, ThreadedBackend};
 use crate::error::SimError;
+use crate::flow::FlowControlConfig;
 use crate::meter::MessageMeter;
 use crate::proto::{Coordinator, MessageSize, Site, SiteId};
 use crate::query::{Answer, Query, QueryError};
@@ -148,6 +150,16 @@ pub enum TrackerError {
         /// k embedded in the protocol configuration.
         embedded: u32,
     },
+    /// A builder knob was set to a value that cannot work (zero workers,
+    /// zero queue capacity, a zero deadline, malformed flow-control
+    /// bounds). Caught at [`TrackerBuilder::build`] as a typed error
+    /// instead of panicking (or wedging) inside backend spawn.
+    InvalidConfig {
+        /// The offending builder knob.
+        knob: &'static str,
+        /// What was wrong with it.
+        detail: String,
+    },
     /// The runtime failed to start.
     Sim(SimError),
 }
@@ -169,6 +181,9 @@ impl fmt::Display for TrackerError {
                 f,
                 "builder asked for {requested} sites but the protocol config embeds {embedded}"
             ),
+            TrackerError::InvalidConfig { knob, detail } => {
+                write!(f, "invalid tracker configuration ({knob}): {detail}")
+            }
             TrackerError::Sim(e) => write!(f, "runtime failed to start: {e}"),
         }
     }
@@ -199,6 +214,10 @@ pub trait ErasedProtocol: Send {
     fn ingest(&mut self, site: SiteId, items: Vec<u64>) -> Result<(), SimError>;
     /// See [`Backend::settle`].
     fn settle(&mut self);
+    /// See [`Backend::settle_deadline`].
+    fn settle_deadline(&mut self, deadline: Duration) -> Result<(), SimError>;
+    /// See [`Backend::cost_hint`].
+    fn cost_hint(&mut self, words_per_item: f64);
     /// See [`Backend::inject_fault`].
     fn inject_fault(&mut self, fault: FaultEvent) -> Result<(), SimError>;
     /// Settle, then answer one typed query.
@@ -215,6 +234,28 @@ pub trait ErasedProtocol: Send {
 struct Bound<P, B> {
     protocol: P,
     backend: B,
+    /// Quiescence deadline for queries/answers (from
+    /// [`TrackerBuilder::settle_deadline`]); `None` waits unboundedly.
+    deadline: Option<Duration>,
+}
+
+impl<P, B> Bound<P, B>
+where
+    P: Protocol,
+    B: Backend<P::Site, P::Coordinator> + Send,
+{
+    /// Reach quiescence before a query: bounded by the configured
+    /// deadline when one is set, so a stalled site degrades the query to
+    /// an error instead of parking the caller forever.
+    fn quiesce(&mut self) -> Result<(), SimError> {
+        match self.deadline {
+            Some(deadline) => self.backend.settle_deadline(deadline),
+            None => {
+                self.backend.settle();
+                Ok(())
+            }
+        }
+    }
 }
 
 impl<P, B> ErasedProtocol for Bound<P, B>
@@ -242,12 +283,31 @@ where
         self.backend.settle();
     }
 
+    fn settle_deadline(&mut self, deadline: Duration) -> Result<(), SimError> {
+        self.backend.settle_deadline(deadline)
+    }
+
+    fn cost_hint(&mut self, words_per_item: f64) {
+        self.backend.cost_hint(words_per_item);
+    }
+
     fn inject_fault(&mut self, fault: FaultEvent) -> Result<(), SimError> {
         self.backend.inject_fault(fault)
     }
 
     fn query(&mut self, query: Query) -> Result<Answer, QueryError> {
-        self.backend.settle();
+        self.quiesce().map_err(QueryError::Runtime)?;
+        // Flow control describes the runtime, not the protocol: answer it
+        // here, before protocol dispatch.
+        if matches!(query, Query::FlowControl) {
+            return match self.backend.flow_control() {
+                Some(stats) => Ok(Answer::FlowControl(stats)),
+                None => Err(QueryError::Unsupported {
+                    protocol: self.protocol.label(),
+                    query,
+                }),
+            };
+        }
         let protocol = self.protocol.clone();
         self.backend
             .with_coordinator(move |c| protocol.query(c, query))
@@ -255,7 +315,7 @@ where
     }
 
     fn answers(&mut self) -> Result<Vec<Answer>, QueryError> {
-        self.backend.settle();
+        self.quiesce().map_err(QueryError::Runtime)?;
         let protocol = self.protocol.clone();
         self.backend
             .with_coordinator(move |c| protocol.answers(c))
@@ -278,6 +338,8 @@ pub struct TrackerBuilder<P = ()> {
     sites: Option<u32>,
     backend: BackendKind,
     queue_cap: Option<usize>,
+    flow: Option<FlowControlConfig>,
+    deadline: Option<Duration>,
     protocol: P,
 }
 
@@ -305,6 +367,25 @@ impl<P> TrackerBuilder<P> {
         self.queue_cap = Some(cap);
         self
     }
+
+    /// Free-running flow-control configuration for the parallel backends
+    /// (see [`FlowControlConfig`]; default: the adaptive default config).
+    /// The deterministic backend needs no flow control and ignores this.
+    /// Validated at [`TrackerBuilder::build`].
+    pub fn flow_control(mut self, config: FlowControlConfig) -> Self {
+        self.flow = Some(config);
+        self
+    }
+
+    /// Quiescence deadline for [`Tracker::query`]/[`Tracker::answers`]
+    /// (and [`Tracker::settle_deadline`]'s default): a stalled or dead
+    /// site makes the wait return [`SimError::Timeout`] instead of
+    /// parking unboundedly. Default: no deadline (unbounded waits, the
+    /// historical behavior). Must be nonzero.
+    pub fn settle_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
 }
 
 impl TrackerBuilder<()> {
@@ -314,14 +395,48 @@ impl TrackerBuilder<()> {
             sites: self.sites,
             backend: self.backend,
             queue_cap: self.queue_cap,
+            flow: self.flow,
+            deadline: self.deadline,
             protocol,
         }
     }
 }
 
 impl<P: Protocol> TrackerBuilder<P> {
+    /// Check every knob that would otherwise panic (or wedge) deep inside
+    /// backend spawn, so misconfiguration surfaces as a typed error.
+    fn validate(&self) -> Result<(), TrackerError> {
+        if let BackendKind::Sharded { workers: Some(0) } = self.backend {
+            return Err(TrackerError::InvalidConfig {
+                knob: "backend",
+                detail: "sharded pool needs at least 1 worker".to_owned(),
+            });
+        }
+        if self.queue_cap == Some(0) {
+            return Err(TrackerError::InvalidConfig {
+                knob: "site_queue_cap",
+                detail: "queue capacity must be >= 1".to_owned(),
+            });
+        }
+        if self.deadline == Some(Duration::ZERO) {
+            return Err(TrackerError::InvalidConfig {
+                knob: "settle_deadline",
+                detail: "deadline must be nonzero".to_owned(),
+            });
+        }
+        if let Some(flow) = &self.flow {
+            flow.validate()
+                .map_err(|detail| TrackerError::InvalidConfig {
+                    knob: "flow_control",
+                    detail,
+                })?;
+        }
+        Ok(())
+    }
+
     /// Construct the protocol state and start the chosen backend.
     pub fn build(self) -> Result<Tracker, TrackerError> {
+        self.validate()?;
         let k = match (self.sites, self.protocol.sites_hint()) {
             (Some(requested), Some(embedded)) if requested != embedded => {
                 return Err(TrackerError::SiteCountMismatch {
@@ -334,26 +449,42 @@ impl<P: Protocol> TrackerBuilder<P> {
         };
         let (sites, coordinator) = self.protocol.build(k).map_err(TrackerError::Protocol)?;
         let queue_cap = self.queue_cap.unwrap_or(SITE_QUEUE_CAP);
+        let deadline = self.deadline;
         let inner: Box<dyn ErasedProtocol> = match self.backend {
             BackendKind::Deterministic => Box::new(Bound {
                 backend: DeterministicBackend::new(sites, coordinator)?,
                 protocol: self.protocol,
+                deadline,
             }),
-            BackendKind::Threaded => Box::new(Bound {
-                backend: ThreadedBackend::spawn_with_cap(sites, coordinator, queue_cap)?,
-                protocol: self.protocol,
-            }),
-            BackendKind::Sharded { workers } => Box::new(Bound {
-                backend: ShardedBackend::spawn_with(
+            BackendKind::Threaded => {
+                let mut backend = ThreadedBackend::spawn_with_cap(sites, coordinator, queue_cap)?;
+                if let Some(flow) = self.flow {
+                    backend.set_flow_control(flow);
+                }
+                Box::new(Bound {
+                    backend,
+                    protocol: self.protocol,
+                    deadline,
+                })
+            }
+            BackendKind::Sharded { workers } => {
+                let mut backend = ShardedBackend::spawn_with(
                     sites,
                     coordinator,
                     ShardedConfig {
                         workers,
                         site_queue_cap: queue_cap,
                     },
-                )?,
-                protocol: self.protocol,
-            }),
+                )?;
+                if let Some(flow) = self.flow {
+                    backend.set_flow_control(flow);
+                }
+                Box::new(Bound {
+                    backend,
+                    protocol: self.protocol,
+                    deadline,
+                })
+            }
         };
         Ok(Tracker {
             inner,
@@ -424,6 +555,22 @@ impl Tracker {
     /// backend).
     pub fn settle(&mut self) {
         self.inner.settle();
+    }
+
+    /// Deadline-aware [`Tracker::settle`]: wait at most `deadline` for
+    /// quiescence, then degrade to [`SimError::Timeout`] — the
+    /// graceful-degradation path when a site may be stalled or dead. The
+    /// tracker stays usable after a timeout.
+    pub fn settle_deadline(&mut self, deadline: Duration) -> Result<(), SimError> {
+        self.inner.settle_deadline(deadline)
+    }
+
+    /// Install the flow controller's reference communication rate
+    /// (expected metered words per fed item; see [`Backend::cost_hint`]).
+    /// Free-running ingest compares observed words-per-item against this
+    /// to detect budget drift. No-op on the deterministic backend.
+    pub fn cost_hint(&mut self, words_per_item: f64) {
+        self.inner.cost_hint(words_per_item);
     }
 
     /// Apply one fault (see [`FaultEvent`]). Inject at quiescent points —
@@ -615,6 +762,167 @@ mod tests {
             assert_eq!(t.query(Query::Count).unwrap(), Answer::Count(2));
             t.finish().unwrap();
         }
+    }
+
+    #[test]
+    fn builder_rejects_invalid_configs_with_typed_errors() {
+        let zero_workers = Tracker::builder()
+            .sites(2)
+            .backend(BackendKind::Sharded { workers: Some(0) })
+            .protocol(CountProtocol)
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(
+                zero_workers,
+                TrackerError::InvalidConfig {
+                    knob: "backend",
+                    ..
+                }
+            ),
+            "{zero_workers}"
+        );
+        let zero_cap = Tracker::builder()
+            .sites(2)
+            .backend(BackendKind::Threaded)
+            .site_queue_cap(0)
+            .protocol(CountProtocol)
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(
+                zero_cap,
+                TrackerError::InvalidConfig {
+                    knob: "site_queue_cap",
+                    ..
+                }
+            ),
+            "{zero_cap}"
+        );
+        let zero_deadline = Tracker::builder()
+            .sites(2)
+            .settle_deadline(Duration::ZERO)
+            .protocol(CountProtocol)
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(
+                zero_deadline,
+                TrackerError::InvalidConfig {
+                    knob: "settle_deadline",
+                    ..
+                }
+            ),
+            "{zero_deadline}"
+        );
+        let bad_flow = Tracker::builder()
+            .sites(2)
+            .backend(BackendKind::Threaded)
+            .flow_control(crate::flow::FlowControlConfig {
+                win_min: 64,
+                win_max: 16,
+                ..Default::default()
+            })
+            .protocol(CountProtocol)
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(
+                bad_flow,
+                TrackerError::InvalidConfig {
+                    knob: "flow_control",
+                    ..
+                }
+            ),
+            "{bad_flow}"
+        );
+        let msg = bad_flow.to_string();
+        assert!(msg.contains("flow_control"), "{msg}");
+    }
+
+    #[test]
+    fn flow_control_query_reports_runtime_state_on_parallel_backends() {
+        for backend in [
+            BackendKind::Threaded,
+            BackendKind::Sharded { workers: Some(2) },
+        ] {
+            let mut t = Tracker::builder()
+                .sites(3)
+                .backend(backend)
+                .flow_control(crate::flow::FlowControlConfig::fixed(32))
+                .protocol(CountProtocol)
+                .build()
+                .unwrap();
+            t.ingest(SiteId(0), vec![1, 2, 3]).unwrap();
+            match t.query(Query::FlowControl).unwrap() {
+                Answer::FlowControl(stats) => {
+                    assert_eq!(stats.windows, vec![32, 32, 32], "{backend}");
+                }
+                other => panic!("expected flow-control stats, got {other}"),
+            }
+            t.finish().unwrap();
+        }
+        // The deterministic backend has no controller to observe.
+        let mut t = Tracker::builder()
+            .sites(3)
+            .protocol(CountProtocol)
+            .build()
+            .unwrap();
+        let err = t.query(Query::FlowControl).unwrap_err();
+        assert!(matches!(err, QueryError::Unsupported { .. }), "{err}");
+        t.finish().unwrap();
+    }
+
+    #[test]
+    fn settle_deadline_flows_through_the_facade() {
+        for backend in [
+            BackendKind::Deterministic,
+            BackendKind::Threaded,
+            BackendKind::Sharded { workers: Some(2) },
+        ] {
+            let mut t = Tracker::builder()
+                .sites(2)
+                .backend(backend)
+                .settle_deadline(Duration::from_secs(30))
+                .protocol(CountProtocol)
+                .build()
+                .unwrap();
+            t.feed(SiteId(0), 1).unwrap();
+            t.cost_hint(1.0);
+            t.settle_deadline(Duration::from_secs(30)).unwrap();
+            assert_eq!(
+                t.query(Query::Count).unwrap(),
+                Answer::Count(1),
+                "{backend}"
+            );
+            t.finish().unwrap();
+        }
+    }
+
+    #[test]
+    fn deadline_query_times_out_on_a_stalled_site() {
+        let mut t = Tracker::builder()
+            .sites(2)
+            .backend(BackendKind::Threaded)
+            .settle_deadline(Duration::from_millis(20))
+            .protocol(CountProtocol)
+            .build()
+            .unwrap();
+        t.inject_fault(FaultEvent::StallSite {
+            site: SiteId(0),
+            micros: 300_000,
+        })
+        .unwrap();
+        t.feed(SiteId(0), 1).unwrap();
+        let err = t.query(Query::Count).unwrap_err();
+        assert!(
+            matches!(err, QueryError::Runtime(SimError::Timeout { .. })),
+            "{err}"
+        );
+        // Still usable once the stall drains.
+        t.settle();
+        assert_eq!(t.query(Query::Count).unwrap(), Answer::Count(1));
+        t.finish().unwrap();
     }
 
     #[test]

@@ -114,6 +114,24 @@ pub fn word_budget(scenario: &Scenario, warmup: u64) -> u64 {
     (fault_headroom(scenario) * base).ceil() as u64
 }
 
+/// Words-drift headroom for free-running ingest over the settled budget.
+///
+/// Free-running arrivals interleave with in-flight communication, so
+/// sites act on slightly stale thresholds and spend more words than the
+/// transcript-pinned schedule; the AIMD flow controller exists precisely
+/// to bound that drift. 1.5× is the contract the controller is held to —
+/// the bench gate (`free_run_words_factor`) enforces the same factor
+/// against the golden deterministic words.
+pub const FREE_RUN_HEADROOM: f64 = 1.5;
+
+/// Word budget for a *free-running* run of `scenario`:
+/// [`word_budget`] with [`FREE_RUN_HEADROOM`] on top. Settled
+/// (site-at-a-time) rows must not use this — their transcript is pinned
+/// and gets no drift allowance at all.
+pub fn free_run_word_budget(scenario: &Scenario, warmup: u64) -> u64 {
+    (FREE_RUN_HEADROOM * word_budget(scenario, warmup) as f64).ceil() as u64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,6 +227,15 @@ mod tests {
             ..benign
         };
         assert_eq!(word_budget(&flash, 0), word_budget(&benign, 0));
+    }
+
+    #[test]
+    fn free_run_budget_is_exactly_the_headroom_factor() {
+        let s = scenario(ProtocolSpec::HhExact, 4, 0.1, 10_000);
+        let settled = word_budget(&s, 100);
+        let free = free_run_word_budget(&s, 100);
+        assert!(free > settled);
+        assert!((free as f64 - FREE_RUN_HEADROOM * settled as f64).abs() <= 1.0);
     }
 
     #[test]

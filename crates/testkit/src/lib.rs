@@ -48,7 +48,7 @@ pub mod scenario;
 pub mod threaded;
 
 pub use faults::{FaultPlan, KillFault, StallFault};
-pub use matrix::{default_matrix, hostile_matrix, matrix, BASE_MATRIX_LEN};
+pub use matrix::{default_matrix, hostile_matrix, matrix, pressure_matrix, BASE_MATRIX_LEN};
 pub use registry::{ProtocolProfile, WarmupPolicy};
 pub use report::{ScenarioFailure, ScenarioReport};
 pub use runner::{

@@ -106,7 +106,8 @@ pub const STRAGGLER: AssignmentSpec = AssignmentSpec::Straggler { slow_run: 97 }
 /// combination), plus one straggler-assignment scenario per protocol —
 /// the concurrency axis the parallel backends are equivalence-tested on
 /// (10 more, [`BASE_MATRIX_LEN`] = 50 so far) — plus the appended
-/// hostile-traffic extension ([`hostile_matrix`], 21 more, 71 total).
+/// hostile-traffic extension ([`hostile_matrix`], 21 more, 71) and the
+/// compound-pressure extension ([`pressure_matrix`], 6 more, 77 total).
 /// The first [`BASE_MATRIX_LEN`] rows are frozen: extensions are
 /// append-only so golden costs and quoted scenario names never move.
 pub fn default_matrix() -> Vec<Scenario> {
@@ -147,6 +148,7 @@ pub fn default_matrix() -> Vec<Scenario> {
     }
     debug_assert_eq!(out.len(), BASE_MATRIX_LEN);
     out.extend(hostile_matrix());
+    out.extend(pressure_matrix());
     out
 }
 
@@ -312,6 +314,77 @@ pub fn hostile_matrix() -> Vec<Scenario> {
     ]
 }
 
+/// The compound-pressure extension rows (appended after the hostile
+/// rows, seeds 701+): slow-consumer backpressure and mid-run site death
+/// promoted to first-class axes by *combining* faults — every row pairs
+/// a stall or a kill with depth-4 queue caps (or a second fault), so the
+/// AIMD flow controller and the deadline-aware settle are exercised
+/// under compound stress, not one fault at a time. The invariants the
+/// suites hold these rows to are the usual ones: settle terminates
+/// within the harness deadline, accuracy stays within the checked band
+/// (2ε for kill rows), and the per-phase word budget holds.
+pub fn pressure_matrix() -> Vec<Scenario> {
+    let zipf = GENERATORS[0];
+    let uniform = GENERATORS[1];
+    let drift = GENERATORS[4];
+    // A stalled site whose queue is only 4 commands deep: the feeder hits
+    // backpressure almost immediately, the controller's drift signal
+    // fires, and settle still has to terminate.
+    let stall_cap = FaultPlan {
+        stall: Some(StallFault {
+            site: 0,
+            at: 3_000,
+            micros: 2_000,
+        }),
+        queue_cap: Some(4),
+        ..FaultPlan::default()
+    };
+    // A site dying mid-run while every queue is shallow: rerouted items
+    // land on already-backpressured neighbours.
+    let kill_cap = FaultPlan {
+        kill: Some(KillFault { site: 1, at: 3_000 }),
+        queue_cap: Some(4),
+        ..FaultPlan::default()
+    };
+    let kill2_cap = FaultPlan {
+        kill: Some(KillFault { site: 2, at: 2_000 }),
+        queue_cap: Some(4),
+        ..FaultPlan::default()
+    };
+    // A stall early and a death late, on different sites.
+    let kill_stall = FaultPlan {
+        kill: Some(KillFault { site: 1, at: 4_000 }),
+        stall: Some(StallFault {
+            site: 0,
+            at: 1_000,
+            micros: 1_000,
+        }),
+        ..FaultPlan::default()
+    };
+    let row = |gen, assign, k, eps, seed, protocol| {
+        Scenario::new(gen, assign, k, eps, 6_000, seed, protocol)
+    };
+    vec![
+        // Slow-consumer backpressure under shallow queues (701–703).
+        row(zipf, ASSIGNMENTS[0], 4, 0.1, 701, ProtocolSpec::Counter).with_faults(stall_cap),
+        row(zipf, ASSIGNMENTS[3], 4, 0.1, 702, ProtocolSpec::HhExact).with_faults(stall_cap),
+        row(
+            drift,
+            ASSIGNMENTS[0],
+            4,
+            0.1,
+            703,
+            ProtocolSpec::QuantileSketched { phi: 0.5 },
+        )
+        .with_faults(stall_cap),
+        // Mid-run site death under pressure; death-tolerant protocols
+        // only, as in the hostile rows (704–706).
+        row(zipf, ASSIGNMENTS[0], 4, 0.1, 704, ProtocolSpec::Counter).with_faults(kill_cap),
+        row(zipf, ASSIGNMENTS[1], 5, 0.1, 705, ProtocolSpec::Polling).with_faults(kill2_cap),
+        row(uniform, ASSIGNMENTS[0], 4, 0.1, 706, ProtocolSpec::Cgmr).with_faults(kill_stall),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -372,7 +445,7 @@ mod tests {
     #[test]
     fn hostile_rows_are_append_only_and_valid() {
         let scenarios = default_matrix();
-        assert_eq!(scenarios.len(), BASE_MATRIX_LEN + 21);
+        assert_eq!(scenarios.len(), BASE_MATRIX_LEN + 21 + 6);
         // The frozen prefix is fault-free — its names (and golden costs)
         // are untouched by the extension.
         for s in &scenarios[..BASE_MATRIX_LEN] {
@@ -383,7 +456,10 @@ mod tests {
         let hostile = &scenarios[BASE_MATRIX_LEN..];
         for s in hostile {
             assert!(s.faults.validate(s.k, s.n).is_ok(), "{s}");
-            assert!((601..=621).contains(&s.seed), "{s}");
+            assert!(
+                (601..=621).contains(&s.seed) || (701..=706).contains(&s.seed),
+                "{s}"
+            );
         }
         for label in ["flash-crowd", "diurnal", "key-churn"] {
             assert!(hostile.iter().any(|s| s.generator.label() == label));
@@ -397,6 +473,30 @@ mod tests {
         for s in hostile.iter().filter(|s| s.faults.has_kill()) {
             assert!(s.k >= 3, "{s}");
         }
+    }
+
+    #[test]
+    fn pressure_rows_combine_faults_in_a_fresh_seed_band() {
+        let rows = pressure_matrix();
+        assert_eq!(rows.len(), 6);
+        for s in &rows {
+            assert!(s.faults.validate(s.k, s.n).is_ok(), "{s}");
+            assert!((701..=706).contains(&s.seed), "{s}");
+            // The whole point of the band: every row carries at least two
+            // fault dimensions at once.
+            let dims = usize::from(s.faults.has_kill())
+                + usize::from(s.faults.stall.is_some())
+                + usize::from(s.faults.queue_cap.is_some());
+            assert!(dims >= 2, "{s}: only {dims} fault dimension(s)");
+        }
+        // Both promoted axes appear: backpressured stalls and kills.
+        assert!(rows
+            .iter()
+            .any(|s| s.faults.stall.is_some() && s.faults.queue_cap.is_some()));
+        assert!(rows.iter().any(|s| s.faults.has_kill()));
+        // The extension is exactly what default_matrix appends last.
+        let all = default_matrix();
+        assert_eq!(&all[BASE_MATRIX_LEN + 21..], &rows[..]);
     }
 
     #[test]

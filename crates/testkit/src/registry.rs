@@ -25,7 +25,15 @@ use dtrack_core::counter::CounterProtocol;
 use dtrack_core::hh::{HhConfig, HhExactProtocol, HhSketchedProtocol};
 use dtrack_core::quantile::{QuantileConfig, QuantileExactProtocol, QuantileSketchedProtocol};
 use dtrack_core::ExactOracle;
-use dtrack_sim::{Answer, BackendKind, Query, Tracker, PROBE_PHIS};
+use dtrack_sim::{Answer, BackendKind, FlowControlConfig, Query, Tracker, PROBE_PHIS};
+use std::time::Duration;
+
+/// Default quiescence deadline every harness-built tracker carries: far
+/// above any healthy settle (the release suites finish whole scenarios in
+/// seconds) yet finite, so a stalled or dead site degrades a run to a
+/// typed [`dtrack_sim::SimError::Timeout`] failure instead of hanging the
+/// suite forever.
+pub const DEFAULT_SETTLE_DEADLINE: Duration = Duration::from_secs(30);
 
 /// Build a ready-to-feed [`Tracker`] for a scenario, with the given
 /// warm-up target baked into the protocol config.
@@ -226,7 +234,17 @@ fn finish_build<P: dtrack_sim::Protocol>(
     backend: BackendKind,
     protocol: P,
 ) -> Result<Tracker, String> {
-    let mut builder = Tracker::builder().sites(scenario.k).backend(backend);
+    let mut builder = Tracker::builder()
+        .sites(scenario.k)
+        .backend(backend)
+        .settle_deadline(DEFAULT_SETTLE_DEADLINE)
+        // Adaptive free-running flow control, starting at the k-aware run
+        // length the driver feeds with so the first runs are neither
+        // split nor buffered.
+        .flow_control(FlowControlConfig {
+            initial: crate::threaded::free_run_len(scenario.k) as u32,
+            ..FlowControlConfig::default()
+        });
     if let Some(cap) = scenario.faults.queue_cap {
         // Queue-cap fault axis: shallow site queues force backpressure on
         // the parallel backends (the deterministic one has no queues).

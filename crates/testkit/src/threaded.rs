@@ -27,7 +27,7 @@
 //! order), so "identical answers" is plain `Vec<Answer>` equality —
 //! meaningful across runtimes and cheap to diff in a failure message.
 
-use crate::bound::word_budget;
+use crate::bound::{free_run_word_budget, word_budget};
 use crate::registry::{self, WarmupPolicy};
 use crate::report::{ScenarioFailure, ScenarioReport};
 use crate::runner::FEED_CHUNK;
@@ -42,7 +42,7 @@ pub enum ThreadedIngest {
     PerItem,
     /// Per-site runs through [`Tracker::ingest`], keeping all site
     /// threads busy with `Site::on_items` fast-path consumption (the
-    /// backend enforces the one-run completion window per site).
+    /// backend's AIMD flow controller paces run lengths per site).
     Batched,
 }
 
@@ -153,6 +153,15 @@ fn dispatch(
     // cost numbers reflect the paper's configuration.
     let (mut tracker, warmup): (Tracker, u64) =
         registry::build_tracker(scenario, WarmupPolicy::ProtocolDefault, backend).map_err(&fail)?;
+    let free_running = matches!(exec, Exec::Free(_));
+    if free_running {
+        // Arm the AIMD controller's rate-drift signal: the reference
+        // words-per-item is the settled budget spread over the stream, so
+        // a free-running site that starts flooding stale-threshold deltas
+        // pushes the observed rate past reference × drift_factor and gets
+        // its window halved.
+        tracker.cost_hint(word_budget(scenario, warmup) as f64 / scenario.n.max(1) as f64);
+    }
     scenario
         .faults
         .validate(scenario.k, scenario.n)
@@ -199,10 +208,10 @@ fn dispatch(
             }
             Exec::Free(ThreadedIngest::Batched) => {
                 // Per chunk, hand every site its run at once so all k
-                // workers chew in parallel; the backend's one-run window per
-                // site plus the k-aware run length bound total in-flight
-                // items, keeping feedback staleness (and the word flood it
-                // causes) independent of the site count.
+                // workers chew in parallel; the backend's AIMD window
+                // (seeded at this same k-aware run length) bounds total
+                // in-flight items, keeping feedback staleness (and the
+                // word flood it causes) independent of the site count.
                 let k = scenario.k as usize;
                 let run = free_run_len(scenario.k);
                 let mut per_site: Vec<Vec<u64>> = vec![Vec::new(); k];
@@ -238,7 +247,13 @@ fn dispatch(
             n: scenario.n,
             words: meter.total_words(),
             messages: meter.total_messages(),
-            budget_words: word_budget(scenario, warmup),
+            // Free-running rows get the drift-headroom budget; settled
+            // rows stay on the transcript-pinned budget.
+            budget_words: if free_running {
+                free_run_word_budget(scenario, warmup)
+            } else {
+                word_budget(scenario, warmup)
+            },
             checks: 0,
         },
         answers,
@@ -323,6 +338,30 @@ mod tests {
             let out = measure_threaded(&s, ingest).unwrap();
             assert_eq!(out.answers.len(), 1);
             assert!(out.report.words > 0, "{ingest:?} metered nothing");
+        }
+    }
+
+    #[test]
+    fn free_running_words_stay_within_the_drift_headroom_budget() {
+        // The contract the AIMD controller is held to: free-running rows
+        // report the 1.5x drift-headroom budget and stay inside it.
+        for protocol in [ProtocolSpec::Counter, ProtocolSpec::HhExact] {
+            let s = base(protocol);
+            let out = measure_threaded(&s, ThreadedIngest::Batched).unwrap();
+            let settled = run_scenario_reference(&s).unwrap();
+            assert!(
+                out.report.budget_words > settled.report.budget_words,
+                "free-running rows must carry the headroom budget, got {} vs settled {}",
+                out.report.budget_words,
+                settled.report.budget_words,
+            );
+            assert!(
+                out.report.words <= out.report.budget_words,
+                "{protocol:?}: free-running words {} blew the headroom budget {} (settled words {})",
+                out.report.words,
+                out.report.budget_words,
+                settled.report.words,
+            );
         }
     }
 

@@ -1,6 +1,7 @@
-//! Hostile-traffic fault axes: the 21 appended matrix rows (flash
+//! Hostile-traffic fault axes: the 27 appended matrix rows (flash
 //! crowds, diurnal drift, key churn, site churn, queue-cap pressure,
-//! stalls, site death) run in equivalence mode on all three backends.
+//! stalls, site death, and the combined-pressure band that stacks two
+//! faults per row) run in equivalence mode on all three backends.
 //!
 //! Every row must produce the *identical* final answers and the
 //! *identical* metered words/messages on the Deterministic, Threaded,
@@ -16,10 +17,11 @@
 //! the matching fault axis out of the matrix instead of a hand-rolled
 //! cluster.
 
+use dtrack_sim::{SimError, SiteId};
 use dtrack_testkit::{
-    apply_matrix_filter, default_matrix, golden, hostile_matrix, run_scenario_on,
-    run_scenario_on_backend, run_scenario_reference, BackendKind, Scenario, BASE_MATRIX_LEN,
-    MATRIX_FILTER_ENV,
+    apply_matrix_filter, default_matrix, golden, hostile_matrix, pressure_matrix,
+    registry::build_tracker, run_scenario_on, run_scenario_on_backend, run_scenario_reference,
+    BackendKind, FaultEvent, Scenario, WarmupPolicy, BASE_MATRIX_LEN, MATRIX_FILTER_ENV,
 };
 use std::time::{Duration, Instant};
 
@@ -43,15 +45,17 @@ fn assert_release_budget(start: Instant) {
 
 fn hostile_rows() -> Vec<Scenario> {
     let scenarios = default_matrix();
-    assert_eq!(scenarios.len(), BASE_MATRIX_LEN + 21);
+    assert_eq!(scenarios.len(), BASE_MATRIX_LEN + 27);
     scenarios[BASE_MATRIX_LEN..].to_vec()
 }
 
 #[test]
 fn hostile_rows_are_exactly_the_matrix_extension() {
-    // The suite's slice and `hostile_matrix()` must be the same rows, so
-    // "every new row runs here" can't drift as the matrix grows.
-    assert_eq!(hostile_rows(), hostile_matrix());
+    // The suite's slice and the two extension bands must be the same
+    // rows, so "every new row runs here" can't drift as the matrix grows.
+    let mut expected = hostile_matrix();
+    expected.extend(pressure_matrix());
+    assert_eq!(hostile_rows(), expected);
 }
 
 #[test]
@@ -59,7 +63,7 @@ fn matrix_filter_passes_the_extension_through_when_unset() {
     if std::env::var(MATRIX_FILTER_ENV).is_ok_and(|v| !v.trim().is_empty()) {
         return; // externally sharded run; passthrough shape not expected
     }
-    assert_eq!(apply_matrix_filter(hostile_rows()).len(), 21);
+    assert_eq!(apply_matrix_filter(hostile_rows()).len(), 27);
 }
 
 #[test]
@@ -145,7 +149,7 @@ fn hostile_rows_pass_differential_checks_on_parallel_backends() {
 fn promoted_site_death_axis_survives_a_single_worker_pool() {
     let rows = hostile_rows();
     let kills: Vec<_> = rows.iter().filter(|s| s.faults.has_kill()).collect();
-    assert_eq!(kills.len(), 4, "kill axis shrank");
+    assert_eq!(kills.len(), 7, "kill axis shrank");
     for scenario in kills {
         let name = scenario.to_string();
         let reference = run_scenario_reference(scenario).unwrap_or_else(|f| panic!("{f}"));
@@ -171,7 +175,7 @@ fn promoted_backpressure_axis_holds_at_cap_4() {
         .iter()
         .filter(|s| s.faults.queue_cap.is_some())
         .collect();
-    assert_eq!(capped.len(), 4, "queue-cap axis shrank");
+    assert_eq!(capped.len(), 9, "queue-cap axis shrank");
     for scenario in capped {
         assert_eq!(scenario.faults.queue_cap, Some(4));
         let name = scenario.to_string();
@@ -198,7 +202,7 @@ fn promoted_stall_axis_settles_and_keeps_the_transcript() {
         .iter()
         .filter(|s| s.faults.stall.is_some() && !s.faults.has_kill())
         .collect();
-    assert_eq!(stalled.len(), 3, "stall axis shrank");
+    assert_eq!(stalled.len(), 6, "stall axis shrank");
     for scenario in stalled {
         let name = scenario.to_string();
         let reference = run_scenario_reference(scenario).unwrap_or_else(|f| panic!("{f}"));
@@ -211,4 +215,44 @@ fn promoted_stall_axis_settles_and_keeps_the_transcript() {
             "[{name}]"
         );
     }
+}
+
+/// The stall axis with the deadline contract: a stall much longer than
+/// the settle deadline must surface as `SimError::Timeout`, not a hang —
+/// and once the stall drains, the same tracker settles and finishes
+/// cleanly. This is the matrix-level version of the backend unit tests:
+/// it goes through a registry-built tracker for a real pressure row.
+#[test]
+fn stall_axis_deadline_times_out_instead_of_hanging() {
+    let rows = pressure_matrix();
+    let scenario = rows
+        .iter()
+        .find(|s| s.faults.stall.is_some() && !s.faults.has_kill())
+        .expect("pressure band lost its stall rows");
+    let (mut tracker, _warmup) = build_tracker(
+        scenario,
+        WarmupPolicy::ProtocolDefault,
+        BackendKind::Threaded,
+    )
+    .unwrap_or_else(|e| panic!("{e}"));
+    // A stall two orders of magnitude past the deadline, then one item so
+    // the stalled site has pending work to wait on.
+    tracker
+        .inject_fault(FaultEvent::StallSite {
+            site: SiteId(0),
+            micros: 300_000,
+        })
+        .unwrap();
+    tracker.feed(SiteId(0), 7).unwrap();
+    let err = tracker
+        .settle_deadline(Duration::from_millis(20))
+        .expect_err("a 300ms stall must blow a 20ms deadline");
+    assert!(
+        matches!(err, SimError::Timeout { waited_ms: 20 }),
+        "unexpected error: {err}"
+    );
+    // The timeout is observational, not destructive: settle() still
+    // drains and the tracker finishes with its transcript intact.
+    tracker.settle();
+    tracker.finish().unwrap_or_else(|e| panic!("{e}"));
 }

@@ -20,7 +20,7 @@ const GOLDEN: &str = include_str!("golden_matrix_costs.txt");
 fn sharded_matches_deterministic_on_full_default_matrix() {
     let golden = golden::meter_costs(GOLDEN);
     let scenarios = default_matrix();
-    assert_eq!(scenarios.len(), BASE_MATRIX_LEN + 21);
+    assert_eq!(scenarios.len(), BASE_MATRIX_LEN + 21 + 6);
     // This suite owns the frozen base rows; the hostile extension rows
     // run three-backend equivalence in `fault_axes.rs`.
     let scenarios = apply_matrix_filter(scenarios[..BASE_MATRIX_LEN].to_vec());
