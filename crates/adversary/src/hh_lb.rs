@@ -162,9 +162,9 @@ impl HhLowerBound {
     /// ratio crosses from at-or-below `φ − ε` to at-or-above `φ` — the
     /// changes any correct tracker must signal.
     pub fn count_changes(&self) -> u64 {
-        use std::collections::HashMap;
-        let mut freq: HashMap<u64, u64> = HashMap::new();
-        let mut low: HashMap<u64, bool> = HashMap::new();
+        use dtrack_hash::FxHashMap;
+        let mut freq: FxHashMap<u64, u64> = FxHashMap::default();
+        let mut low: FxHashMap<u64, bool> = FxHashMap::default();
         let mut n = 0u64;
         let mut changes = 0u64;
         for x in self.flatten() {

@@ -205,7 +205,7 @@ impl SamplingCoordinator {
         if self.sample.is_empty() {
             return Ok(Vec::new());
         }
-        let mut counts = std::collections::HashMap::new();
+        let mut counts = dtrack_hash::FxHashMap::default();
         for &x in &self.sample {
             *counts.entry(x).or_insert(0u64) += 1;
         }

@@ -1,0 +1,155 @@
+//! dtrack-lint: the workspace static-analysis pass that mechanizes the
+//! DESIGN.md invariants (rules D1–D6).
+//!
+//! ## Why parse with `syn` directly (and why `syn` here is a stub)
+//!
+//! The obvious implementations — a rustc lint plugin, a dylint library,
+//! or a clippy fork — all need rustc's unstable internals and a network
+//! fetch of matching toolchain components. This workspace builds fully
+//! offline against vendored stubs (`stubs/README.md`), so the linter
+//! instead parses source files *textually*: `stubs/syn` exposes a
+//! `syn::parse_file` that lexes real Rust (comments, raw strings,
+//! lifetimes-vs-chars, nested delimiters) into balanced token trees, and
+//! the rules run over a flattened token stream with item contexts
+//! recovered (`source.rs`). No type information, no name resolution —
+//! but none of the rules need it: each invariant was deliberately stated
+//! in DESIGN.md in terms a lexical pass can check exactly (literal
+//! `std::collections::HashMap` paths, `Instant::now` calls,
+//! `Ordering::Relaxed` tokens, channel-constructor names, guard-binding
+//! shapes). What a lexical pass cannot see (exotic re-imports, macro
+//! expansion) is covered by the conventions the same lint enforces plus
+//! the ui fixture suite that pins every rule's behaviour.
+//!
+//! ## Deny-by-default
+//!
+//! Every hit is a violation unless `lint.toml` carries a matching
+//! `[[allow]]`/`[[channel]]` entry with a written reason. Entries match
+//! by enclosing item name, not line number, and an entry that matches
+//! nothing fails the run loudly — exemptions cannot outlive the code
+//! they excused.
+
+pub mod config;
+pub mod graph;
+pub mod report;
+pub mod rules;
+pub mod source;
+
+use std::fs;
+use std::path::Path;
+
+use config::Config;
+use report::Report;
+use rules::Usage;
+use source::{collect_files, is_test_path, Unit};
+
+/// Run the full pass over the workspace rooted at `root`, using
+/// `root/lint.toml` when present (workspace defaults otherwise).
+pub fn run(root: &Path) -> Report {
+    let cfg_path = root.join("lint.toml");
+    let cfg = if cfg_path.is_file() {
+        match fs::read_to_string(&cfg_path) {
+            Ok(text) => match Config::parse(&text) {
+                Ok(cfg) => cfg,
+                Err(e) => {
+                    return Report {
+                        errors: vec![e],
+                        ..Report::default()
+                    }
+                }
+            },
+            Err(e) => {
+                return Report {
+                    errors: vec![format!("read {}: {}", cfg_path.display(), e)],
+                    ..Report::default()
+                }
+            }
+        }
+    } else {
+        Config::with_default_paths()
+    };
+    run_with_config(root, &cfg)
+}
+
+/// Run the pass with an explicit configuration (ui fixtures use this to
+/// supply mini-root configs).
+pub fn run_with_config(root: &Path, cfg: &Config) -> Report {
+    let mut report = Report::default();
+    let mut usage = Usage::for_config(cfg);
+
+    let files = match collect_files(root) {
+        Ok(f) => f,
+        Err(e) => {
+            report.errors.push(e);
+            return report;
+        }
+    };
+
+    for (rel, abs) in &files {
+        // Only parse files some rule will actually scan.
+        if !config::Rule::ALL.iter().any(|r| cfg.in_scope(*r, rel)) {
+            continue;
+        }
+        let src = match fs::read_to_string(abs) {
+            Ok(s) => s,
+            Err(e) => {
+                report.errors.push(format!("read {}: {}", rel, e));
+                continue;
+            }
+        };
+        report.files += 1;
+        let unit = match Unit::parse(rel.clone(), &src, is_test_path(rel)) {
+            Ok(u) => u,
+            Err(e) => {
+                report.errors.push(e);
+                continue;
+            }
+        };
+        rules::run_rules(&unit, cfg, &mut usage, &mut report.violations);
+    }
+
+    // The wait-for graph over the channel registry (D3's liveness half).
+    graph::check(&cfg.channels, &mut report.violations);
+
+    // Stale-entry check: every exemption must still excuse something.
+    for (i, used) in usage.allow_used.iter().enumerate() {
+        if !used {
+            let a = &cfg.allows[i];
+            report.errors.push(format!(
+                "stale [[allow]] entry: {} {} [{}] matches nothing — the code it excused is \
+                 gone or renamed; delete the entry (reason was: {})",
+                a.rule, a.path, a.item, a.reason
+            ));
+        }
+    }
+    for (i, used) in usage.channel_used.iter().enumerate() {
+        if !used {
+            let c = &cfg.channels[i];
+            report.errors.push(format!(
+                "stale [[channel]] entry: `{}` at {} [{}] matches no construction site — \
+                 delete it or fix path/fns/construct",
+                c.name,
+                c.path,
+                c.fns.join(", ")
+            ));
+        }
+    }
+
+    report.sort();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The crate's own sources are in no rule's scope (crates/lint is
+    /// not protocol code), so a run rooted here scans nothing and is
+    /// clean under defaults.
+    #[test]
+    fn empty_scope_is_clean() {
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("src");
+        let report = run_with_config(&dir, &Config::with_default_paths());
+        assert!(report.is_clean(), "{}", report.render());
+        assert_eq!(report.files, 0);
+    }
+}

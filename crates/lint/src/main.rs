@@ -1,0 +1,62 @@
+//! `cargo run -p dtrack-lint` — lint the workspace against DESIGN.md's
+//! mechanized invariants (rules D1–D6).
+//!
+//! Exit codes: 0 clean, 1 violations or stale/invalid `lint.toml`
+//! entries, 2 usage or I/O failure. The same engine also runs as a
+//! workspace test (`crates/lint/tests/workspace.rs`), so `cargo test`
+//! gates on it too; the binary exists for fast local iteration and the
+//! dedicated CI lint job.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("dtrack-lint: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "dtrack-lint: check DESIGN.md invariants (D1-D6) over the workspace\n\
+                     \n\
+                     usage: dtrack-lint [--root <dir>]\n\
+                     \n\
+                     Reads <root>/lint.toml for scopes, the allow-list, and the channel\n\
+                     registry; workspace defaults apply when absent. Exit 0 = clean,\n\
+                     1 = violations or stale config entries, 2 = usage/I/O error."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("dtrack-lint: unknown argument `{}` (try --help)", other);
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // Default root: the workspace containing this crate.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..")
+    });
+    if !root.is_dir() {
+        eprintln!("dtrack-lint: root {} is not a directory", root.display());
+        return ExitCode::from(2);
+    }
+
+    let report = dtrack_lint::run(&root);
+    print!("{}", report.render());
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,83 @@
+//! Lint findings and the text report.
+
+use crate::config::Rule;
+use std::fmt;
+
+/// One finding.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Workspace-relative file (or `lint.toml` for registry findings).
+    pub path: String,
+    /// 1-based line, 0 when the finding is not tied to a line.
+    pub line: u32,
+    /// Enclosing item name.
+    pub item: String,
+    /// What went wrong and what to do instead.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(
+                f,
+                "{} {}:{} [{}] {}",
+                self.rule, self.path, self.line, self.item, self.message
+            )
+        } else {
+            write!(
+                f,
+                "{} {} [{}] {}",
+                self.rule, self.path, self.item, self.message
+            )
+        }
+    }
+}
+
+/// The outcome of a lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Rule findings, sorted by (path, line).
+    pub violations: Vec<Violation>,
+    /// Config-level failures: stale allow/channel entries, parse errors.
+    pub errors: Vec<String>,
+    /// Number of files scanned.
+    pub files: usize,
+}
+
+impl Report {
+    /// No findings and no config errors.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.errors.is_empty()
+    }
+
+    /// Render the full report (one line per finding plus a summary).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            out.push_str(&v.to_string());
+            out.push('\n');
+        }
+        for e in &self.errors {
+            out.push_str("config: ");
+            out.push_str(e);
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "dtrack-lint: {} file(s) scanned, {} violation(s), {} config error(s)\n",
+            self.files,
+            self.violations.len(),
+            self.errors.len()
+        ));
+        out
+    }
+
+    /// Stable ordering for deterministic output.
+    pub fn sort(&mut self) {
+        self.violations.sort_by(|a, b| {
+            (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule))
+        });
+    }
+}

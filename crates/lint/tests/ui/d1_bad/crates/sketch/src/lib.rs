@@ -1,0 +1,19 @@
+// D1 bad: std hash collections in protocol code, both as an import and
+// as a fully-qualified type.
+use std::collections::HashMap;
+
+pub fn count(xs: &[u64]) -> HashMap<u64, u64> {
+    let mut m = HashMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m
+}
+
+pub fn distinct(xs: &[u64]) -> usize {
+    let mut s = std::collections::HashSet::new();
+    for &x in xs {
+        s.insert(x);
+    }
+    s.len()
+}

@@ -1,0 +1,23 @@
+// D1 ok: deterministic FxHashMap in production code; std maps are fine
+// inside test-only code.
+use dtrack_hash::FxHashMap;
+
+pub fn count(xs: &[u64]) -> FxHashMap<u64, u64> {
+    let mut m = FxHashMap::default();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn scratch_map_is_fine_in_tests() {
+        let mut m = HashMap::new();
+        m.insert(1u64, 1u64);
+        assert_eq!(m.len(), 1);
+    }
+}

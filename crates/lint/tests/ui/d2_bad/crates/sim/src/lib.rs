@@ -1,0 +1,10 @@
+// D2 bad: wall clock and ambient randomness in protocol code.
+use std::time::Instant;
+
+pub fn tick() -> u128 {
+    Instant::now().elapsed().as_nanos()
+}
+
+pub fn roll() -> u64 {
+    rand::random::<u64>()
+}

@@ -1,0 +1,7 @@
+// D2 ok: the clock read lives in an allow-listed timing function (see
+// this fixture's lint.toml).
+use std::time::Instant;
+
+pub fn deadline_poll() -> u128 {
+    Instant::now().elapsed().as_nanos()
+}

@@ -1,0 +1,8 @@
+// D3 bad: channel construction with no [[channel]] registry entry.
+use crossbeam::channel::unbounded;
+
+pub fn spawn() -> usize {
+    let (tx, rx) = unbounded();
+    tx.send(1u64).ok();
+    rx.len()
+}

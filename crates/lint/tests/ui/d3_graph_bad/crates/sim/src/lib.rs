@@ -1,0 +1,11 @@
+// D3 graph bad: both constructions are registered, but the registry's
+// bounded edges form a wait-for cycle (see this fixture's lint.toml).
+use crossbeam::channel::bounded;
+
+pub fn spawn() -> usize {
+    let (atx, arx) = bounded::<u64>(1);
+    let (btx, brx) = bounded::<u64>(1);
+    atx.send(1).ok();
+    btx.send(1).ok();
+    arx.len() + brx.len()
+}

@@ -1,0 +1,8 @@
+// D3 ok: the same construction, declared in this fixture's lint.toml.
+use crossbeam::channel::unbounded;
+
+pub fn spawn() -> usize {
+    let (tx, rx) = unbounded();
+    tx.send(1u64).ok();
+    rx.len()
+}

@@ -1,0 +1,7 @@
+// D4 bad: a lock guard held across a blocking `.send(`.
+use std::sync::Mutex;
+
+pub fn forward(m: &Mutex<u64>, tx: &crossbeam::channel::Sender<u64>) {
+    let g = m.lock().unwrap_or_else(|e| e.into_inner());
+    tx.send(*g).ok();
+}

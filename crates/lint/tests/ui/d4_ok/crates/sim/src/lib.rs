@@ -1,0 +1,20 @@
+// D4 ok: copy out under the lock and send outside; condvar `wait(g)`
+// hand-off and explicit `drop(g)` both end guard liveness.
+use std::sync::{Condvar, Mutex};
+
+pub fn forward(m: &Mutex<u64>, tx: &crossbeam::channel::Sender<u64>) {
+    let v = {
+        let g = m.lock().unwrap_or_else(|e| e.into_inner());
+        *g
+    };
+    tx.send(v).ok();
+}
+
+pub fn wait_drain(m: &Mutex<u64>, cv: &Condvar, tx: &crossbeam::channel::Sender<u64>) {
+    let mut g = m.lock().unwrap_or_else(|e| e.into_inner());
+    while *g > 0 {
+        g = cv.wait(g).unwrap_or_else(|e| e.into_inner());
+    }
+    drop(g);
+    tx.send(0).ok();
+}

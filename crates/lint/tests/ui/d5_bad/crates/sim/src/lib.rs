@@ -1,0 +1,6 @@
+// D5 bad: Ordering::Relaxed with no registered hint-counter entry.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+}

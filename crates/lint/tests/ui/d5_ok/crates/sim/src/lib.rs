@@ -1,0 +1,7 @@
+// D5 ok: the same relaxed access, registered as a hint counter in this
+// fixture's lint.toml.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn words_hint(c: &AtomicU64) -> u64 {
+    c.load(Ordering::Relaxed)
+}

@@ -1,0 +1,5 @@
+// D6 bad: unwrap/expect in runtime code, where a panic masquerades as
+// per-site death containment.
+pub fn read(x: Option<u64>, y: Option<u64>) -> u64 {
+    x.unwrap() + y.expect("y must be set")
+}

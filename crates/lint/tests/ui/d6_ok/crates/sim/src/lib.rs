@@ -1,0 +1,13 @@
+// D6 ok: runtime code degrades instead of panicking; unwrap is fine in
+// test-only code.
+pub fn read(x: Option<u64>, y: Option<u64>) -> u64 {
+    x.unwrap_or(0) + y.unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_here() {
+        assert_eq!(Some(3u64).unwrap(), 3);
+    }
+}

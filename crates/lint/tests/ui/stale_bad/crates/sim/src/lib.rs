@@ -1,0 +1,6 @@
+// Clean code — the failure in this fixture comes from lint.toml: an
+// [[allow]] entry and a [[channel]] entry that match nothing are stale
+// and must fail the run loudly.
+pub fn quiet() -> u64 {
+    7
+}

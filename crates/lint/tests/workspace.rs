@@ -1,0 +1,24 @@
+//! The workspace gate: `cargo test` fails if any DESIGN.md invariant
+//! (rules D1–D6) regresses anywhere in the workspace, or if `lint.toml`
+//! carries a stale exemption. Same engine and config as
+//! `cargo run -p dtrack-lint`; this test just wires it into tier-1.
+
+use std::path::PathBuf;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let report = dtrack_lint::run(&root);
+    assert!(
+        report.files > 0,
+        "lint walked no files — workspace root misdetected at {}",
+        root.display()
+    );
+    assert!(
+        report.is_clean(),
+        "dtrack-lint found violations; fix them or add a justified lint.toml entry:\n{}",
+        report.render()
+    );
+}

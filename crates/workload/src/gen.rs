@@ -1,7 +1,8 @@
 //! Item-value generators.
 
-use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
+
+use dtrack_hash::FxHashMap;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -94,14 +95,14 @@ pub fn zipf_cdf(distinct: u64, s: f64) -> Vec<f64> {
 }
 
 /// Cache key: (distinct rank count, skew bits).
-type ZipfTableCache = Mutex<HashMap<(u64, u64), Arc<IndexedCdf>>>;
+type ZipfTableCache = Mutex<FxHashMap<(u64, u64), Arc<IndexedCdf>>>;
 
 /// Process-wide cache of finished Zipf tables, keyed by
 /// `(distinct, s.to_bits())`. A handful of distributions exist per
 /// process; entries are never evicted.
 fn zipf_table(distinct: u64, s: f64) -> Arc<IndexedCdf> {
     static CACHE: OnceLock<ZipfTableCache> = OnceLock::new();
-    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let cache = CACHE.get_or_init(|| Mutex::new(FxHashMap::default()));
     if let Some(t) = cache
         .lock()
         .expect("zipf cache")

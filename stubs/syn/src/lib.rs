@@ -1,0 +1,628 @@
+//! Offline stand-in for the token-level slice of the `syn` /
+//! `proc-macro2` parsing stack.
+//!
+//! The build container has no route to a crates registry, so `dtrack-lint`
+//! cannot depend on the real `syn`. It also does not need the full typed
+//! AST: every invariant it checks (see `crates/lint`) is a property of
+//! *token sequences in context* — paths like `std::collections::HashMap`,
+//! method calls like `.unwrap()`, a `let` guard binding followed by a
+//! `.send(` inside the same brace group. This stub therefore provides the
+//! part of the stack those checks actually consume:
+//!
+//! - [`parse_file`] — full lexical analysis of a Rust source file
+//!   (line comments, nested block comments, string/char/byte/raw-string
+//!   literals, lifetimes vs. char literals, raw identifiers) into a
+//!   balanced [`TokenStream`] of [`TokenTree`]s, the same token model
+//!   `proc-macro2` exposes and real `syn` is built on.
+//! - Line/column [`Span`]s on every token, so lint findings are
+//!   reportable as `file:line`.
+//!
+//! What it deliberately does not provide: the typed `syn::Item`/`Expr`
+//! AST, parse traits, or macro expansion. Lint rules that want structure
+//! (enclosing `fn`, `#[cfg(test)]` modules, brace scopes) recover it from
+//! the token trees — see `crates/lint/src/source.rs`. Swapping in the
+//! real crates later is a port from `syn::parse_file(..).to_token_stream()`
+//! / `proc_macro2::TokenStream`, which exposes this exact tree shape.
+//!
+//! Like every stub in `stubs/`, this is a subset, never a fork: nothing
+//! here accepts input the real lexer would reject in a way the lint
+//! rules depend on. Unbalanced delimiters and unterminated literals are
+//! hard errors, so a garbled source file fails the lint run loudly
+//! instead of silently scanning as empty.
+
+use std::fmt;
+
+/// A lexical error with the 1-based line it was detected on.
+#[derive(Debug, Clone)]
+pub struct Error {
+    /// 1-based line number of the offending character.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Source location of a token (1-based line, 0-based column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: u32,
+    /// 0-based column (in chars).
+    pub column: u32,
+}
+
+/// The three bracket kinds that form [`Group`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delimiter {
+    /// `( ... )`
+    Parenthesis,
+    /// `{ ... }`
+    Brace,
+    /// `[ ... ]`
+    Bracket,
+}
+
+/// A delimited, recursively tokenized region.
+#[derive(Debug, Clone)]
+pub struct Group {
+    /// Which bracket pair delimits the group.
+    pub delimiter: Delimiter,
+    /// The tokens between the delimiters.
+    pub stream: TokenStream,
+    /// Location of the opening delimiter.
+    pub span: Span,
+}
+
+/// An identifier or keyword (including raw identifiers, stored without
+/// the `r#` prefix).
+#[derive(Debug, Clone)]
+pub struct Ident {
+    /// The identifier text.
+    pub text: String,
+    /// Location of the first character.
+    pub span: Span,
+}
+
+/// A single punctuation character (`.`, `:`, `#`, `'` of a lifetime, …).
+#[derive(Debug, Clone)]
+pub struct Punct {
+    /// The character.
+    pub ch: char,
+    /// Location of the character.
+    pub span: Span,
+}
+
+/// A literal token: string, raw string, byte string, char, or number.
+/// The text is the raw source slice including quotes/prefixes.
+#[derive(Debug, Clone)]
+pub struct Literal {
+    /// Raw source text of the literal.
+    pub text: String,
+    /// Location of the first character.
+    pub span: Span,
+}
+
+/// One node of the token tree.
+#[derive(Debug, Clone)]
+pub enum TokenTree {
+    /// A delimited subtree.
+    Group(Group),
+    /// An identifier or keyword.
+    Ident(Ident),
+    /// A punctuation character.
+    Punct(Punct),
+    /// A literal.
+    Literal(Literal),
+}
+
+impl TokenTree {
+    /// The token's source location.
+    pub fn span(&self) -> Span {
+        match self {
+            TokenTree::Group(g) => g.span,
+            TokenTree::Ident(i) => i.span,
+            TokenTree::Punct(p) => p.span,
+            TokenTree::Literal(l) => l.span,
+        }
+    }
+}
+
+/// A sequence of sibling token trees.
+#[derive(Debug, Clone, Default)]
+pub struct TokenStream {
+    /// The trees, in source order.
+    pub trees: Vec<TokenTree>,
+}
+
+/// A fully tokenized source file.
+#[derive(Debug, Clone)]
+pub struct File {
+    /// The file's top-level token stream.
+    pub tokens: TokenStream,
+}
+
+/// Tokenize a complete Rust source file into balanced token trees.
+///
+/// Comments (line, doc, and nested block) are skipped; string, raw
+/// string, byte string, char, and numeric literals become single
+/// [`Literal`] tokens so their contents can never be mistaken for code;
+/// `'lifetime` lexes as `Punct('\'')` + `Ident`; `r#ident` lexes as the
+/// bare [`Ident`]. Unbalanced delimiters or an unterminated literal or
+/// comment are an [`Error`].
+pub fn parse_file(src: &str) -> Result<File, Error> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut lexer = Lexer {
+        chars,
+        pos: 0,
+        line: 1,
+        col: 0,
+    };
+    let mut stack: Vec<(Delimiter, Span, Vec<TokenTree>)> = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    while let Some(raw) = lexer.next_raw()? {
+        match raw {
+            Raw::Open(delim, span) => {
+                stack.push((delim, span, std::mem::take(&mut current)));
+            }
+            Raw::Close(delim, span) => {
+                let (open_delim, open_span, parent) = stack.pop().ok_or_else(|| Error {
+                    line: span.line,
+                    message: format!("unmatched closing {:?}", delim),
+                })?;
+                if open_delim != delim {
+                    return Err(Error {
+                        line: span.line,
+                        message: format!(
+                            "mismatched delimiters: {:?} opened on line {} closed as {:?}",
+                            open_delim, open_span.line, delim
+                        ),
+                    });
+                }
+                let group = TokenTree::Group(Group {
+                    delimiter: delim,
+                    stream: TokenStream {
+                        trees: std::mem::replace(&mut current, parent),
+                    },
+                    span: open_span,
+                });
+                current.push(group);
+            }
+            Raw::Tree(t) => current.push(t),
+        }
+    }
+    if let Some((delim, span, _)) = stack.pop() {
+        return Err(Error {
+            line: span.line,
+            message: format!("unclosed {:?} opened here", delim),
+        });
+    }
+    Ok(File {
+        tokens: TokenStream { trees: current },
+    })
+}
+
+/// Lexer output before tree assembly.
+enum Raw {
+    Open(Delimiter, Span),
+    Close(Delimiter, Span),
+    Tree(TokenTree),
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 0;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn span(&self) -> Span {
+        Span {
+            line: self.line,
+            column: self.col,
+        }
+    }
+
+    fn err(&self, message: &str) -> Error {
+        Error {
+            line: self.line,
+            message: message.to_string(),
+        }
+    }
+
+    fn next_raw(&mut self) -> Result<Option<Raw>, Error> {
+        loop {
+            let c = match self.peek(0) {
+                Some(c) => c,
+                None => return Ok(None),
+            };
+            // Whitespace.
+            if c.is_whitespace() {
+                self.bump();
+                continue;
+            }
+            // Comments.
+            if c == '/' && self.peek(1) == Some('/') {
+                while let Some(c) = self.peek(0) {
+                    if c == '\n' {
+                        break;
+                    }
+                    self.bump();
+                }
+                continue;
+            }
+            if c == '/' && self.peek(1) == Some('*') {
+                let start_line = self.line;
+                self.bump();
+                self.bump();
+                let mut depth = 1usize;
+                loop {
+                    match (self.peek(0), self.peek(1)) {
+                        (Some('/'), Some('*')) => {
+                            self.bump();
+                            self.bump();
+                            depth += 1;
+                        }
+                        (Some('*'), Some('/')) => {
+                            self.bump();
+                            self.bump();
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        (Some(_), _) => {
+                            self.bump();
+                        }
+                        (None, _) => {
+                            return Err(Error {
+                                line: start_line,
+                                message: "unterminated block comment".into(),
+                            })
+                        }
+                    }
+                }
+                continue;
+            }
+            let span = self.span();
+            // Delimiters.
+            match c {
+                '(' => {
+                    self.bump();
+                    return Ok(Some(Raw::Open(Delimiter::Parenthesis, span)));
+                }
+                ')' => {
+                    self.bump();
+                    return Ok(Some(Raw::Close(Delimiter::Parenthesis, span)));
+                }
+                '{' => {
+                    self.bump();
+                    return Ok(Some(Raw::Open(Delimiter::Brace, span)));
+                }
+                '}' => {
+                    self.bump();
+                    return Ok(Some(Raw::Close(Delimiter::Brace, span)));
+                }
+                '[' => {
+                    self.bump();
+                    return Ok(Some(Raw::Open(Delimiter::Bracket, span)));
+                }
+                ']' => {
+                    self.bump();
+                    return Ok(Some(Raw::Close(Delimiter::Bracket, span)));
+                }
+                _ => {}
+            }
+            // String-ish literals and raw identifiers, which all begin
+            // with a letter prefix or a quote.
+            if c == '"' {
+                return Ok(Some(Raw::Tree(self.string_literal(span)?)));
+            }
+            if c == 'r' || c == 'b' {
+                // r"..", r#".."#, br"..", b"..", b'..', r#ident
+                if let Some(tok) = self.prefixed_literal(span)? {
+                    return Ok(Some(Raw::Tree(tok)));
+                }
+                // Fall through: ordinary identifier starting with r/b.
+            }
+            if c == '\'' {
+                return Ok(Some(Raw::Tree(self.quote(span)?)));
+            }
+            if c.is_ascii_digit() {
+                return Ok(Some(Raw::Tree(self.number(span))));
+            }
+            if c.is_alphabetic() || c == '_' {
+                return Ok(Some(Raw::Tree(self.ident(span))));
+            }
+            // Everything else: single punctuation char.
+            self.bump();
+            return Ok(Some(Raw::Tree(TokenTree::Punct(Punct { ch: c, span }))));
+        }
+    }
+
+    fn ident(&mut self, span: Span) -> TokenTree {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        TokenTree::Ident(Ident { text, span })
+    }
+
+    fn number(&mut self, span: Span) -> TokenTree {
+        let mut text = String::new();
+        // Integer / prefix part (also swallows hex/oct/bin and suffixes:
+        // alphanumerics and underscores).
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // Fractional part: only when the dot is followed by a digit
+        // (leaves `1..n` ranges and `x.method()` intact).
+        if self.peek(0) == Some('.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            text.push('.');
+            self.bump();
+            while let Some(c) = self.peek(0) {
+                if c.is_alphanumeric() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        TokenTree::Literal(Literal { text, span })
+    }
+
+    /// `'` — either a char literal or a lifetime.
+    fn quote(&mut self, span: Span) -> Result<TokenTree, Error> {
+        // Lifetime: 'ident not followed by a closing quote.
+        let is_lifetime = matches!(
+            (self.peek(1), self.peek(2)),
+            (Some(c1), next) if (c1.is_alphabetic() || c1 == '_') && next != Some('\'')
+        );
+        if is_lifetime {
+            self.bump(); // consume the quote; the ident lexes next.
+            return Ok(TokenTree::Punct(Punct { ch: '\'', span }));
+        }
+        // Char literal.
+        let mut text = String::new();
+        text.push(self.bump().expect("quote present")); // opening '
+        match self.peek(0) {
+            Some('\\') => {
+                text.push(self.bump().expect("escape lead"));
+                // Escape body up to the closing quote.
+                while let Some(c) = self.peek(0) {
+                    text.push(self.bump().expect("peeked"));
+                    if c == '\'' {
+                        return Ok(TokenTree::Literal(Literal { text, span }));
+                    }
+                }
+                Err(self.err("unterminated char literal"))
+            }
+            Some(_) => {
+                text.push(self.bump().expect("char body"));
+                match self.bump() {
+                    Some('\'') => {
+                        text.push('\'');
+                        Ok(TokenTree::Literal(Literal { text, span }))
+                    }
+                    _ => Err(self.err("unterminated char literal")),
+                }
+            }
+            None => Err(self.err("unterminated char literal")),
+        }
+    }
+
+    fn string_literal(&mut self, span: Span) -> Result<TokenTree, Error> {
+        let mut text = String::new();
+        text.push(self.bump().expect("opening quote")); // "
+        loop {
+            match self.bump() {
+                Some('\\') => {
+                    text.push('\\');
+                    if let Some(c) = self.bump() {
+                        text.push(c);
+                    } else {
+                        return Err(self.err("unterminated string literal"));
+                    }
+                }
+                Some('"') => {
+                    text.push('"');
+                    return Ok(TokenTree::Literal(Literal { text, span }));
+                }
+                Some(c) => text.push(c),
+                None => return Err(self.err("unterminated string literal")),
+            }
+        }
+    }
+
+    /// Handle `r`/`b`-prefixed forms. Returns `None` when the prefix is
+    /// just the start of an ordinary identifier (`radius`, `bounded`, …).
+    fn prefixed_literal(&mut self, span: Span) -> Result<Option<TokenTree>, Error> {
+        let c0 = self.peek(0).expect("prefix present");
+        // b'x' byte char.
+        if c0 == 'b' && self.peek(1) == Some('\'') {
+            self.bump(); // b
+            let tok = self.quote(span)?;
+            return Ok(Some(tok));
+        }
+        // b"..." byte string.
+        if c0 == 'b' && self.peek(1) == Some('"') {
+            self.bump();
+            return Ok(Some(self.string_literal(span)?));
+        }
+        // r"...", r#"..."#, br"...", br#"..."#, r#ident.
+        let (raw_at, after_b) = if c0 == 'b' && self.peek(1) == Some('r') {
+            (1usize, true)
+        } else if c0 == 'r' {
+            (0usize, false)
+        } else {
+            return Ok(None);
+        };
+        // Count hashes after the r.
+        let mut hashes = 0usize;
+        while self.peek(raw_at + 1 + hashes) == Some('#') {
+            hashes += 1;
+        }
+        match self.peek(raw_at + 1 + hashes) {
+            Some('"') => {
+                // Raw (byte) string: consume prefix, hashes, quote, then
+                // scan for `"` followed by `hashes` hashes.
+                let mut text = String::new();
+                if after_b {
+                    text.push(self.bump().expect("b"));
+                }
+                text.push(self.bump().expect("r"));
+                for _ in 0..hashes {
+                    text.push(self.bump().expect("#"));
+                }
+                text.push(self.bump().expect("opening quote"));
+                loop {
+                    match self.bump() {
+                        Some('"') => {
+                            text.push('"');
+                            let mut matched = 0;
+                            while matched < hashes && self.peek(0) == Some('#') {
+                                text.push(self.bump().expect("#"));
+                                matched += 1;
+                            }
+                            if matched == hashes {
+                                return Ok(Some(TokenTree::Literal(Literal { text, span })));
+                            }
+                        }
+                        Some(c) => text.push(c),
+                        None => return Err(self.err("unterminated raw string literal")),
+                    }
+                }
+            }
+            Some(c) if hashes == 1 && !after_b && (c.is_alphabetic() || c == '_') => {
+                // Raw identifier r#ident: store without the prefix.
+                self.bump(); // r
+                self.bump(); // #
+                Ok(Some(self.ident(span)))
+            }
+            _ => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(stream: &TokenStream) -> Vec<String> {
+        let mut out = Vec::new();
+        fn walk(trees: &[TokenTree], out: &mut Vec<String>) {
+            for t in trees {
+                match t {
+                    TokenTree::Ident(i) => out.push(i.text.clone()),
+                    TokenTree::Group(g) => walk(&g.stream.trees, out),
+                    _ => {}
+                }
+            }
+        }
+        walk(&stream.trees, &mut out);
+        out
+    }
+
+    #[test]
+    fn basic_structure_and_spans() {
+        let f = parse_file("fn main() {\n    let x = 1;\n}\n").unwrap();
+        assert_eq!(f.tokens.trees.len(), 4); // fn, main, (), {}
+        match &f.tokens.trees[3] {
+            TokenTree::Group(g) => {
+                assert_eq!(g.delimiter, Delimiter::Brace);
+                assert_eq!(g.span.line, 1);
+                match &g.stream.trees[1] {
+                    TokenTree::Ident(i) => {
+                        assert_eq!(i.text, "x");
+                        assert_eq!(i.span.line, 2);
+                    }
+                    other => panic!("expected ident, got {:?}", other),
+                }
+            }
+            other => panic!("expected brace group, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn comments_and_strings_hide_code() {
+        let src = r##"
+            // let a = HashMap::new();
+            /* nested /* HashSet */ still comment */
+            let s = "std::collections::HashMap { } ) ";
+            let r = r#"unbalanced " and } here"#;
+        "##;
+        let f = parse_file(src).unwrap();
+        let ids = idents(&f.tokens);
+        assert!(ids.contains(&"let".to_string()));
+        assert!(!ids.iter().any(|i| i.contains("HashMap")));
+        assert!(!ids.iter().any(|i| i.contains("HashSet")));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let f = parse_file("fn f<'a>(x: &'a str) { let c = 'x'; let e = '\\n'; }").unwrap();
+        let ids = idents(&f.tokens);
+        assert_eq!(ids.iter().filter(|i| i.as_str() == "a").count(), 2);
+        // 'x' and '\n' became literals, not lifetime puncts + idents.
+        let literals = format!("{:?}", f.tokens).matches("Literal").count();
+        assert!(literals >= 2);
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let f = parse_file("let r#fn = 1; let radius = r0;").unwrap();
+        let ids = idents(&f.tokens);
+        assert!(ids.contains(&"fn".to_string()));
+        assert!(ids.contains(&"radius".to_string()));
+        assert!(ids.contains(&"r0".to_string()));
+    }
+
+    #[test]
+    fn unbalanced_is_an_error() {
+        assert!(parse_file("fn main() {").is_err());
+        assert!(parse_file("fn main() }").is_err());
+        assert!(parse_file("let s = \"oops;").is_err());
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let f = parse_file("let a = 1..2; let b = 1.5; let c = x.0; call(3.max(4));").unwrap();
+        // The `..` survives as two puncts; `max` survives as an ident.
+        let ids = idents(&f.tokens);
+        assert!(ids.contains(&"max".to_string()));
+    }
+}
