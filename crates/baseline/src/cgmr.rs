@@ -21,6 +21,7 @@ use dtrack_sim::{
     Answer, Coordinator, MessageSize, Outbox, Protocol, Query, QueryError, Site, SiteId, PROBE_PHIS,
 };
 use dtrack_sketch::{EquiDepthSummary, ExactOrdered, MergedSummary, OrderStore};
+use dtrack_wire::{DecodeError, WireMessage, WireReader};
 
 /// Parameters of the CGMR baseline.
 #[derive(Debug, Clone, Copy)]
@@ -67,6 +68,27 @@ impl MessageSize for CgmrDown {
     }
     fn kind(&self) -> &'static str {
         match *self {}
+    }
+}
+
+impl WireMessage for CgmrUp {
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        self.0.wire_encode(out);
+    }
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, DecodeError> {
+        Ok(CgmrUp(EquiDepthSummary::wire_decode(r)?))
+    }
+}
+
+impl WireMessage for CgmrDown {
+    fn wire_encode(&self, _out: &mut Vec<u8>) {
+        match *self {}
+    }
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, DecodeError> {
+        Err(DecodeError::Uninhabited {
+            kind: "cgmr/no-down",
+            offset: r.offset(),
+        })
     }
 }
 

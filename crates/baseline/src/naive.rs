@@ -4,6 +4,7 @@ use dtrack_sim::{
     Answer, Coordinator, MessageSize, Outbox, Protocol, Query, QueryError, Site, SiteId, PROBE_PHIS,
 };
 use dtrack_sketch::{EquiDepthSummary, ExactOrdered, MergedSummary, OrderStore};
+use dtrack_wire::{put_u64, put_u8, DecodeError, WireMessage, WireReader};
 
 // ---------------------------------------------------------------------
 // Forward-all
@@ -32,6 +33,27 @@ impl MessageSize for FwdDown {
     }
     fn kind(&self) -> &'static str {
         match *self {}
+    }
+}
+
+impl WireMessage for FwdItem {
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.0);
+    }
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, DecodeError> {
+        Ok(FwdItem(r.u64()?))
+    }
+}
+
+impl WireMessage for FwdDown {
+    fn wire_encode(&self, _out: &mut Vec<u8>) {
+        match *self {}
+    }
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, DecodeError> {
+        Err(DecodeError::Uninhabited {
+            kind: "fwd/no-down",
+            offset: r.offset(),
+        })
     }
 }
 
@@ -222,6 +244,41 @@ impl MessageSize for PollRequest {
     }
     fn kind(&self) -> &'static str {
         "poll/request"
+    }
+}
+
+impl WireMessage for PollUp {
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        match self {
+            PollUp::CountDelta(delta) => {
+                put_u8(out, 0);
+                put_u64(out, *delta);
+            }
+            PollUp::Summary(s) => {
+                put_u8(out, 1);
+                s.wire_encode(out);
+            }
+        }
+    }
+
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, DecodeError> {
+        let (tag, offset) = r.tag("PollUp")?;
+        match tag {
+            0 => Ok(PollUp::CountDelta(r.u64()?)),
+            1 => Ok(PollUp::Summary(EquiDepthSummary::wire_decode(r)?)),
+            tag => Err(DecodeError::BadTag {
+                context: "PollUp",
+                tag,
+                offset,
+            }),
+        }
+    }
+}
+
+impl WireMessage for PollRequest {
+    fn wire_encode(&self, _out: &mut Vec<u8>) {}
+    fn wire_decode(_r: &mut WireReader<'_>) -> Result<Self, DecodeError> {
+        Ok(PollRequest)
     }
 }
 

@@ -103,6 +103,11 @@ fn main() {
             );
             std::process::exit(1);
         }
+        let tasks = dtrack_bench::smoke::async_vs_sharded_k4096(&results);
+        // Recorded, not enforced: prices the async executor against the
+        // work-stealing pool at k = 4096 on this hardware; the async
+        // backend's acceptance gate is the equivalence matrix.
+        println!("async/sharded ingest throughput at k=4096 (geomean): {tasks:.2}x");
         let json = dtrack_bench::smoke::smoke_json(&results);
         let snapshot = dtrack_bench::smoke::SMOKE_SNAPSHOT;
         let path = match &explicit_out {

@@ -5,13 +5,13 @@
 //! cargo run --release -p dtrack-bench --bin experiments -- smoke
 //! ```
 //!
-//! writes `BENCH_pr7.json` — the current point of the repo's performance
-//! trajectory (`BENCH_seed.json` through `BENCH_pr5.json` are the frozen
+//! writes `BENCH_pr9.json` — the current point of the repo's performance
+//! trajectory (`BENCH_seed.json` through `BENCH_pr7.json` are the frozen
 //! earlier baselines). For the deterministic cells the metered
 //! words/messages are bit-for-bit deterministic (regressions there are
 //! protocol changes, not noise); wall-clock throughput is indicative.
 //!
-//! Six cell groups:
+//! Seven cell groups:
 //!
 //! * n = 20 000 deterministic cells — match the seed snapshot one-to-one
 //!   for before/after comparisons;
@@ -54,6 +54,16 @@
 //!   `FREE_RUN_HEADROOM` the testkit budgets free runs with; the fixed
 //!   baseline is exempt, since it exists to exhibit the unregulated
 //!   drift).
+//! * **async-scale** cells (PR 9) — free-running batched ingest at
+//!   k ∈ {256, 4096} on the work-stealing `Sharded` pool vs the
+//!   task-multiplexed `Async` executor (codec off; the wire mode is a
+//!   correctness axis, pinned by the equivalence suite, not a perf
+//!   cell). `async_vs_sharded_k4096` (geomean of async/sharded
+//!   throughput over the k = 4096 pairs) is *recorded*, not enforced:
+//!   it prices generic waker machinery against the hand-rolled steal
+//!   loop at extreme k — which regime wins is hardware-dependent, and
+//!   the async backend's acceptance story is the 77-row equivalence
+//!   matrix, not a throughput gate.
 
 use dtrack_core::counter::CounterProtocol;
 use dtrack_core::hh::{HhConfig, HhExactProtocol, HhSketchedProtocol};
@@ -68,7 +78,7 @@ use dtrack_testkit::{
 use std::time::Instant;
 
 /// File name of the smoke snapshot written by `experiments smoke`.
-pub const SMOKE_SNAPSHOT: &str = "BENCH_pr7.json";
+pub const SMOKE_SNAPSHOT: &str = "BENCH_pr9.json";
 
 /// One timed smoke cell.
 #[derive(Debug, Clone)]
@@ -234,6 +244,87 @@ pub fn sharded_scale_speedup_k256(results: &[SmokeResult]) -> f64 {
                 continue;
             }
             if let Some(base) = threaded_of(name) {
+                log_sum += (r.items_per_sec.max(1.0) / base.max(1.0)).ln();
+                pairs += 1;
+            }
+        }
+    }
+    if pairs == 0 {
+        1.0
+    } else {
+        (log_sum / pairs as f64).exp()
+    }
+}
+
+/// Site counts of the PR 9 async cells: past the core count (where the
+/// sharded pool already won its PR 5 gate) and far past any
+/// thread-per-site design — 4096 cooperative tasks on a fixed pool.
+pub const ASYNC_KS: [u32; 2] = [256, 4096];
+
+/// The protocol axis of the async cells — the same two extremes of
+/// per-item site work as [`SCALE_PROTOCOLS`].
+const ASYNC_PROTOCOLS: [ProtocolSpec; 2] = [ProtocolSpec::Counter, ProtocolSpec::HhSketched];
+
+/// Async-cell prefixes per backend: (sharded baseline, async executor).
+/// Shared by the cell builder, [`async_vs_sharded_k4096`]'s pairing, and
+/// the structural tests, so a rename cannot silently empty the metric.
+const ASYNC_PAIR: (&str, &str) = ("async-scale-sharded:", "async-scale:");
+
+/// The async-scale cells: free-running batched ingest at every k in
+/// [`ASYNC_KS`] on the work-stealing sharded pool (the PR 5 incumbent at
+/// extreme k) and on the async executor (machine-default worker count
+/// for both, codec off). Best-of-2 like the other paired cells so one
+/// unlucky scheduling cannot decide the recorded ratio.
+fn async_cells_at(n: u64) -> Vec<SmokeResult> {
+    let mut out = Vec::new();
+    for &k in &ASYNC_KS {
+        for protocol in ASYNC_PROTOCOLS {
+            let scenario = scale_scenario(protocol, k, n);
+            for (prefix, backend) in [
+                (ASYNC_PAIR.0, BackendKind::Sharded { workers: None }),
+                (
+                    ASYNC_PAIR.1,
+                    BackendKind::Async {
+                        workers: None,
+                        wire: false,
+                    },
+                ),
+            ] {
+                out.push(timed_cell(format!("{prefix}{scenario}"), n, || {
+                    let outcome = measure_on_backend(&scenario, ThreadedIngest::Batched, backend)
+                        .expect("async-scale cell failed");
+                    (
+                        outcome.report.words,
+                        outcome.report.messages,
+                        outcome.ingest_ms,
+                    )
+                }));
+            }
+        }
+    }
+    out
+}
+
+/// Geometric-mean throughput ratio of the `async-scale:` cells over
+/// their `async-scale-sharded:` twins at k = 4096 (1.0 when no pairs
+/// are present). Recorded in the snapshot, not enforced: it prices task
+/// multiplexing against work-stealing threads when sites outnumber
+/// cores by three orders of magnitude on this hardware.
+pub fn async_vs_sharded_k4096(results: &[SmokeResult]) -> f64 {
+    let sharded_of = |suffix: &str| {
+        results
+            .iter()
+            .find(|r| r.scenario.strip_prefix(ASYNC_PAIR.0) == Some(suffix))
+            .map(|r| r.items_per_sec)
+    };
+    let mut log_sum = 0.0;
+    let mut pairs = 0usize;
+    for r in results {
+        if let Some(name) = r.scenario.strip_prefix(ASYNC_PAIR.1) {
+            if !name.contains("/k4096/") {
+                continue;
+            }
+            if let Some(base) = sharded_of(name) {
                 log_sum += (r.items_per_sec.max(1.0) / base.max(1.0)).ln();
                 pairs += 1;
             }
@@ -698,6 +789,7 @@ pub fn run_smoke() -> Vec<SmokeResult> {
     results.extend(facade_direct_cells_at(THREADED_N));
     results.extend(scale_cells_at(SCALE_N));
     results.extend(free_flow_cells_at(SCALE_N));
+    results.extend(async_cells_at(SCALE_N));
     results
 }
 
@@ -775,14 +867,15 @@ fn json_escape(s: &str) -> String {
 
 /// Render smoke results as a stable, human-diffable JSON document.
 pub fn smoke_json(results: &[SmokeResult]) -> String {
-    let mut out = String::from("{\n  \"schema\": \"dtrack-bench-smoke/v5\",\n");
+    let mut out = String::from("{\n  \"schema\": \"dtrack-bench-smoke/v6\",\n");
     out.push_str(&format!(
-        "  \"threaded_batched_speedup\": {:.2},\n  \"facade_overhead_geomean\": {:.3},\n  \"sharded_scale_speedup_k256\": {:.2},\n  \"adaptive_vs_fixed_throughput\": {:.2},\n  \"free_run_words_factor\": {:.3},\n  \"cells\": [\n",
+        "  \"threaded_batched_speedup\": {:.2},\n  \"facade_overhead_geomean\": {:.3},\n  \"sharded_scale_speedup_k256\": {:.2},\n  \"adaptive_vs_fixed_throughput\": {:.2},\n  \"free_run_words_factor\": {:.3},\n  \"async_vs_sharded_k4096\": {:.2},\n  \"cells\": [\n",
         threaded_batched_speedup(results),
         facade_overhead_geomean(results),
         sharded_scale_speedup_k256(results),
         adaptive_vs_fixed_throughput(results),
-        free_run_words_factor(results)
+        free_run_words_factor(results),
+        async_vs_sharded_k4096(results)
     ));
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(
@@ -964,6 +1057,52 @@ mod tests {
     }
 
     #[test]
+    fn async_cells_pair_up_and_feed_the_recorded_ratio() {
+        // Run the *real* cell builder at a small n: a sharded and an
+        // async cell per (k, protocol), with every k=4096 pair visible
+        // to the ratio extractor. Small k-independent n keeps the
+        // k=4096 spawn/teardown the dominant cost, which is exactly the
+        // path this test needs to exercise.
+        let cells = async_cells_at(1_000);
+        assert_eq!(cells.len(), 2 * ASYNC_KS.len() * ASYNC_PROTOCOLS.len());
+        for prefix in [ASYNC_PAIR.0, ASYNC_PAIR.1] {
+            for k in ASYNC_KS {
+                assert_eq!(
+                    cells
+                        .iter()
+                        .filter(|c| c.scenario.starts_with(prefix)
+                            && c.scenario.contains(&format!("/k{k}/")))
+                        .count(),
+                    ASYNC_PROTOCOLS.len(),
+                    "{prefix} cells missing at k={k}"
+                );
+            }
+        }
+        // The two prefixes must not shadow each other: an async cell
+        // name never parses as a sharded one and vice versa.
+        for c in &cells {
+            assert_ne!(
+                c.scenario.starts_with(ASYNC_PAIR.0),
+                c.scenario.strip_prefix(ASYNC_PAIR.1).is_some(),
+                "ambiguous cell name {}",
+                c.scenario
+            );
+        }
+        // Every k=4096 async cell found its sharded twin: perturbing
+        // one pair must move the geomean.
+        let base = async_vs_sharded_k4096(&cells);
+        assert!(base > 0.0);
+        let mut perturbed = cells.clone();
+        let c = perturbed
+            .iter_mut()
+            .find(|c| c.scenario.starts_with(ASYNC_PAIR.1) && c.scenario.contains("/k4096/"))
+            .expect("async k4096 cell");
+        c.items_per_sec *= 10.0;
+        assert!(async_vs_sharded_k4096(&perturbed) > base);
+        assert_eq!(async_vs_sharded_k4096(&[]), 1.0);
+    }
+
+    #[test]
     #[ignore = "full-scale flow-control probe; run with --ignored --nocapture to tune"]
     fn free_flow_scale_probe() {
         let cells = free_flow_cells_at(SCALE_N);
@@ -1042,12 +1181,13 @@ mod tests {
             items_per_sec: 2_352_941.0,
         }];
         let j = smoke_json(&results);
-        assert!(j.contains("\"schema\": \"dtrack-bench-smoke/v5\""));
+        assert!(j.contains("\"schema\": \"dtrack-bench-smoke/v6\""));
         assert!(j.contains("\"threaded_batched_speedup\""));
         assert!(j.contains("\"facade_overhead_geomean\""));
         assert!(j.contains("\"sharded_scale_speedup_k256\""));
         assert!(j.contains("\"adaptive_vs_fixed_throughput\""));
         assert!(j.contains("\"free_run_words_factor\""));
+        assert!(j.contains("\"async_vs_sharded_k4096\""));
         assert!(j.contains("\"words\": 1234"));
         assert!(j.ends_with("]\n}\n"));
         // Balanced braces/brackets, no trailing comma before the close.

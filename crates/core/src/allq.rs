@@ -38,6 +38,9 @@ use dtrack_sim::{
     Answer, Coordinator, MessageSize, Outbox, Protocol, Query, QueryError, Site, SiteId, PROBE_PHIS,
 };
 use dtrack_sketch::{EquiDepthSummary, ExactOrdered, GreenwaldKhanna, MergedSummary, OrderStore};
+use dtrack_wire::{
+    put_bool, put_u32, put_u64, put_u8, put_vec_u64, DecodeError, WireMessage, WireReader,
+};
 
 use crate::common::{check_epsilon, check_phi, check_sites, CoreError, KCollector, ValueRange};
 
@@ -271,6 +274,59 @@ impl Tree {
     }
 }
 
+impl WireMessage for TreeNode {
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        self.range.wire_encode(out);
+        put_bool(out, self.split.is_some());
+        if let Some(split) = self.split {
+            put_u64(out, split);
+        }
+        put_u32(out, self.left);
+        put_u32(out, self.right);
+        put_bool(out, self.parent.is_some());
+        if let Some(parent) = self.parent {
+            put_u32(out, parent);
+        }
+    }
+
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, DecodeError> {
+        let range = ValueRange::wire_decode(r)?;
+        let split = if r.bool()? { Some(r.u64()?) } else { None };
+        let left = r.u32()?;
+        let right = r.u32()?;
+        let parent = if r.bool()? { Some(r.u32()?) } else { None };
+        Ok(TreeNode {
+            range,
+            split,
+            left,
+            right,
+            parent,
+        })
+    }
+}
+
+impl WireMessage for Tree {
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        put_u32(out, self.nodes.len() as u32);
+        for n in &self.nodes {
+            n.wire_encode(out);
+        }
+        put_u32(out, self.root);
+    }
+
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, DecodeError> {
+        // Minimum node footprint: 9 bytes of range + 1 split tag + 8 of
+        // child indices + 1 parent tag.
+        let len = r.vec_len(19)?;
+        let mut nodes = Vec::with_capacity(len);
+        for _ in 0..len {
+            nodes.push(TreeNode::wire_decode(r)?);
+        }
+        let root = r.u32()?;
+        Ok(Tree { nodes, root })
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn build_rec(
     merged: &MergedSummary,
@@ -424,6 +480,107 @@ impl MessageSize for AqDown {
             AqDown::InstallTree { .. } => "aq/install-tree",
             AqDown::RangeSummaryPoll { .. } => "aq/range-summary-poll",
             AqDown::ReplaceSubtree { .. } => "aq/replace-subtree",
+        }
+    }
+}
+
+impl WireMessage for AqUp {
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        match self {
+            AqUp::Raw { item } => {
+                put_u8(out, 0);
+                put_u64(out, *item);
+            }
+            AqUp::NodeDelta { round, node, delta } => {
+                put_u8(out, 1);
+                put_u32(out, *round);
+                put_u32(out, *node);
+                put_u64(out, *delta);
+            }
+            AqUp::FullSummary(s) => {
+                put_u8(out, 2);
+                s.wire_encode(out);
+            }
+            AqUp::NodeCounts(v) => {
+                put_u8(out, 3);
+                put_vec_u64(out, v);
+            }
+            AqUp::RangeSummary(s) => {
+                put_u8(out, 4);
+                s.wire_encode(out);
+            }
+            AqUp::SubtreeCounts(v) => {
+                put_u8(out, 5);
+                put_vec_u64(out, v);
+            }
+        }
+    }
+
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, DecodeError> {
+        let (tag, offset) = r.tag("AqUp")?;
+        match tag {
+            0 => Ok(AqUp::Raw { item: r.u64()? }),
+            1 => Ok(AqUp::NodeDelta {
+                round: r.u32()?,
+                node: r.u32()?,
+                delta: r.u64()?,
+            }),
+            2 => Ok(AqUp::FullSummary(EquiDepthSummary::wire_decode(r)?)),
+            3 => Ok(AqUp::NodeCounts(r.vec_u64()?)),
+            4 => Ok(AqUp::RangeSummary(EquiDepthSummary::wire_decode(r)?)),
+            5 => Ok(AqUp::SubtreeCounts(r.vec_u64()?)),
+            tag => Err(DecodeError::BadTag {
+                context: "AqUp",
+                tag,
+                offset,
+            }),
+        }
+    }
+}
+
+impl WireMessage for AqDown {
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        match self {
+            AqDown::SummaryPoll => put_u8(out, 0),
+            AqDown::InstallTree { round, tree, m } => {
+                put_u8(out, 1);
+                put_u32(out, *round);
+                tree.wire_encode(out);
+                put_u64(out, *m);
+            }
+            AqDown::RangeSummaryPoll { range } => {
+                put_u8(out, 2);
+                range.wire_encode(out);
+            }
+            AqDown::ReplaceSubtree { at, sub } => {
+                put_u8(out, 3);
+                put_u32(out, *at);
+                sub.wire_encode(out);
+            }
+        }
+    }
+
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, DecodeError> {
+        let (tag, offset) = r.tag("AqDown")?;
+        match tag {
+            0 => Ok(AqDown::SummaryPoll),
+            1 => Ok(AqDown::InstallTree {
+                round: r.u32()?,
+                tree: Tree::wire_decode(r)?,
+                m: r.u64()?,
+            }),
+            2 => Ok(AqDown::RangeSummaryPoll {
+                range: ValueRange::wire_decode(r)?,
+            }),
+            3 => Ok(AqDown::ReplaceSubtree {
+                at: r.u32()?,
+                sub: Tree::wire_decode(r)?,
+            }),
+            tag => Err(DecodeError::BadTag {
+                context: "AqDown",
+                tag,
+                offset,
+            }),
         }
     }
 }

@@ -3,6 +3,8 @@
 
 use std::fmt;
 
+use dtrack_wire::{put_bool, put_u64, DecodeError, WireMessage, WireReader};
+
 /// Errors from protocol construction.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CoreError {
@@ -85,6 +87,22 @@ impl ValueRange {
     /// Wire size in words (lo and an encoded hi).
     pub fn words(&self) -> u64 {
         2
+    }
+}
+
+impl WireMessage for ValueRange {
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.lo);
+        put_bool(out, self.hi.is_some());
+        if let Some(hi) = self.hi {
+            put_u64(out, hi);
+        }
+    }
+
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, DecodeError> {
+        let lo = r.u64()?;
+        let hi = if r.bool()? { Some(r.u64()?) } else { None };
+        Ok(ValueRange { lo, hi })
     }
 }
 

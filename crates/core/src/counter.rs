@@ -20,6 +20,8 @@ use dtrack_sim::{
     Answer, Coordinator, MessageSize, Outbox, Protocol, Query, QueryError, Site, SiteId,
 };
 
+use dtrack_wire::{put_u64, DecodeError, WireMessage, WireReader};
+
 use crate::common::{check_epsilon, CoreError};
 
 /// Upstream message: the increment since the site's last report.
@@ -46,6 +48,27 @@ impl MessageSize for NoDown {
     }
     fn kind(&self) -> &'static str {
         match *self {}
+    }
+}
+
+impl WireMessage for CountDelta {
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.0);
+    }
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, DecodeError> {
+        Ok(CountDelta(r.u64()?))
+    }
+}
+
+impl WireMessage for NoDown {
+    fn wire_encode(&self, _out: &mut Vec<u8>) {
+        match *self {}
+    }
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, DecodeError> {
+        Err(DecodeError::Uninhabited {
+            kind: "count/no-down",
+            offset: r.offset(),
+        })
     }
 }
 

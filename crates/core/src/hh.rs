@@ -47,6 +47,7 @@ use dtrack_sim::{
 };
 use dtrack_sketch::store::{ExactFreqStore, SketchFreqStore};
 use dtrack_sketch::FreqStore;
+use dtrack_wire::{put_u64, put_u8, DecodeError, WireMessage, WireReader};
 
 use crate::common::{check_epsilon, check_phi, check_sites, CoreError, KCollector};
 
@@ -148,6 +149,78 @@ impl MessageSize for HhDown {
             HhDown::Start { .. } => "hh/start",
             HhDown::SyncPoll => "hh/sync-poll",
             HhDown::NewCount { .. } => "hh/new-count",
+        }
+    }
+}
+
+impl WireMessage for HhUp {
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        match self {
+            HhUp::Raw { item } => {
+                put_u8(out, 0);
+                put_u64(out, *item);
+            }
+            HhUp::AllSignal { delta } => {
+                put_u8(out, 1);
+                put_u64(out, *delta);
+            }
+            HhUp::ItemSignal { item, delta } => {
+                put_u8(out, 2);
+                put_u64(out, *item);
+                put_u64(out, *delta);
+            }
+            HhUp::CountReply { local } => {
+                put_u8(out, 3);
+                put_u64(out, *local);
+            }
+        }
+    }
+
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, DecodeError> {
+        let (tag, offset) = r.tag("HhUp")?;
+        match tag {
+            0 => Ok(HhUp::Raw { item: r.u64()? }),
+            1 => Ok(HhUp::AllSignal { delta: r.u64()? }),
+            2 => Ok(HhUp::ItemSignal {
+                item: r.u64()?,
+                delta: r.u64()?,
+            }),
+            3 => Ok(HhUp::CountReply { local: r.u64()? }),
+            tag => Err(DecodeError::BadTag {
+                context: "HhUp",
+                tag,
+                offset,
+            }),
+        }
+    }
+}
+
+impl WireMessage for HhDown {
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        match self {
+            HhDown::Start { m } => {
+                put_u8(out, 0);
+                put_u64(out, *m);
+            }
+            HhDown::SyncPoll => put_u8(out, 1),
+            HhDown::NewCount { m } => {
+                put_u8(out, 2);
+                put_u64(out, *m);
+            }
+        }
+    }
+
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, DecodeError> {
+        let (tag, offset) = r.tag("HhDown")?;
+        match tag {
+            0 => Ok(HhDown::Start { m: r.u64()? }),
+            1 => Ok(HhDown::SyncPoll),
+            2 => Ok(HhDown::NewCount { m: r.u64()? }),
+            tag => Err(DecodeError::BadTag {
+                context: "HhDown",
+                tag,
+                offset,
+            }),
         }
     }
 }

@@ -42,6 +42,10 @@ use dtrack_sim::{
     Answer, Coordinator, MessageSize, Outbox, Protocol, Query, QueryError, Site, SiteId,
 };
 use dtrack_sketch::{EquiDepthSummary, ExactOrdered, GreenwaldKhanna, MergedSummary, OrderStore};
+use dtrack_wire::{
+    put_bool, put_u32, put_u64, put_u8, put_vec_u32, put_vec_u64, DecodeError, WireMessage,
+    WireReader,
+};
 
 use crate::common::{check_epsilon, check_phi, check_sites, CoreError, KCollector, ValueRange};
 
@@ -246,6 +250,168 @@ impl MessageSize for QDown {
             QDown::SetPivot { .. } => "q/set-pivot",
             QDown::RangeSummaryPoll { .. } => "q/range-summary-poll",
             QDown::SplitInstall { .. } => "q/split-install",
+        }
+    }
+}
+
+impl WireMessage for QUp {
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        match self {
+            QUp::Raw { item } => {
+                put_u8(out, 0);
+                put_u64(out, *item);
+            }
+            QUp::IntervalDelta { id, delta } => {
+                put_u8(out, 1);
+                put_u32(out, *id);
+                put_u64(out, *delta);
+            }
+            QUp::SideDelta { epoch, left, delta } => {
+                put_u8(out, 2);
+                put_u32(out, *epoch);
+                put_bool(out, *left);
+                put_u64(out, *delta);
+            }
+            QUp::FullSummary(s) => {
+                put_u8(out, 3);
+                s.wire_encode(out);
+            }
+            QUp::IntervalCounts(v) => {
+                put_u8(out, 4);
+                put_vec_u64(out, v);
+            }
+            QUp::SideCounts { left, right } => {
+                put_u8(out, 5);
+                put_u64(out, *left);
+                put_u64(out, *right);
+            }
+            QUp::RangeCount { count } => {
+                put_u8(out, 6);
+                put_u64(out, *count);
+            }
+            QUp::RangeSummary(s) => {
+                put_u8(out, 7);
+                s.wire_encode(out);
+            }
+            QUp::SplitCounts { left, right } => {
+                put_u8(out, 8);
+                put_u64(out, *left);
+                put_u64(out, *right);
+            }
+        }
+    }
+
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, DecodeError> {
+        let (tag, offset) = r.tag("QUp")?;
+        match tag {
+            0 => Ok(QUp::Raw { item: r.u64()? }),
+            1 => Ok(QUp::IntervalDelta {
+                id: r.u32()?,
+                delta: r.u64()?,
+            }),
+            2 => Ok(QUp::SideDelta {
+                epoch: r.u32()?,
+                left: r.bool()?,
+                delta: r.u64()?,
+            }),
+            3 => Ok(QUp::FullSummary(EquiDepthSummary::wire_decode(r)?)),
+            4 => Ok(QUp::IntervalCounts(r.vec_u64()?)),
+            5 => Ok(QUp::SideCounts {
+                left: r.u64()?,
+                right: r.u64()?,
+            }),
+            6 => Ok(QUp::RangeCount { count: r.u64()? }),
+            7 => Ok(QUp::RangeSummary(EquiDepthSummary::wire_decode(r)?)),
+            8 => Ok(QUp::SplitCounts {
+                left: r.u64()?,
+                right: r.u64()?,
+            }),
+            tag => Err(DecodeError::BadTag {
+                context: "QUp",
+                tag,
+                offset,
+            }),
+        }
+    }
+}
+
+impl WireMessage for QDown {
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        match self {
+            QDown::SummaryPoll => put_u8(out, 0),
+            QDown::Install {
+                epoch,
+                seps,
+                ids,
+                pivot,
+                m,
+            } => {
+                put_u8(out, 1);
+                put_u32(out, *epoch);
+                put_vec_u64(out, seps);
+                put_vec_u32(out, ids);
+                put_u64(out, *pivot);
+                put_u64(out, *m);
+            }
+            QDown::SidePoll => put_u8(out, 2),
+            QDown::RangePoll { range } => {
+                put_u8(out, 3);
+                range.wire_encode(out);
+            }
+            QDown::SetPivot { epoch, pivot } => {
+                put_u8(out, 4);
+                put_u32(out, *epoch);
+                put_u64(out, *pivot);
+            }
+            QDown::RangeSummaryPoll { range } => {
+                put_u8(out, 5);
+                range.wire_encode(out);
+            }
+            QDown::SplitInstall {
+                sep,
+                left_id,
+                right_id,
+            } => {
+                put_u8(out, 6);
+                put_u64(out, *sep);
+                put_u32(out, *left_id);
+                put_u32(out, *right_id);
+            }
+        }
+    }
+
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, DecodeError> {
+        let (tag, offset) = r.tag("QDown")?;
+        match tag {
+            0 => Ok(QDown::SummaryPoll),
+            1 => Ok(QDown::Install {
+                epoch: r.u32()?,
+                seps: r.vec_u64()?,
+                ids: r.vec_u32()?,
+                pivot: r.u64()?,
+                m: r.u64()?,
+            }),
+            2 => Ok(QDown::SidePoll),
+            3 => Ok(QDown::RangePoll {
+                range: ValueRange::wire_decode(r)?,
+            }),
+            4 => Ok(QDown::SetPivot {
+                epoch: r.u32()?,
+                pivot: r.u64()?,
+            }),
+            5 => Ok(QDown::RangeSummaryPoll {
+                range: ValueRange::wire_decode(r)?,
+            }),
+            6 => Ok(QDown::SplitInstall {
+                sep: r.u64()?,
+                left_id: r.u32()?,
+                right_id: r.u32()?,
+            }),
+            tag => Err(DecodeError::BadTag {
+                context: "QDown",
+                tag,
+                offset,
+            }),
         }
     }
 }

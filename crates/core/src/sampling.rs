@@ -33,6 +33,8 @@ use dtrack_sim::{
     Answer, Coordinator, MessageSize, Outbox, Protocol, Query, QueryError, Site, SiteId, PROBE_PHIS,
 };
 
+use dtrack_wire::{put_u32, put_u64, DecodeError, WireMessage, WireReader};
+
 use crate::common::{check_epsilon, check_phi, check_sites, CoreError};
 
 /// Parameters of the sampling tracker.
@@ -99,6 +101,28 @@ impl MessageSize for SetLevel {
     }
     fn kind(&self) -> &'static str {
         "samp/set-level"
+    }
+}
+
+impl WireMessage for Sampled {
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.item);
+        put_u32(out, self.level);
+    }
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, DecodeError> {
+        Ok(Sampled {
+            item: r.u64()?,
+            level: r.u32()?,
+        })
+    }
+}
+
+impl WireMessage for SetLevel {
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        put_u32(out, self.0);
+    }
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, DecodeError> {
+        Ok(SetLevel(r.u32()?))
     }
 }
 

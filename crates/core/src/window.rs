@@ -33,6 +33,8 @@ use dtrack_sim::{
     Answer, Coordinator, MessageSize, Outbox, Protocol, Query, QueryError, Site, SiteId, PROBE_PHIS,
 };
 
+use dtrack_wire::{put_u64, put_u8, DecodeError, WireMessage, WireReader};
+
 use crate::common::{check_epsilon, check_phi, check_sites, CoreError};
 
 /// Parameters of the sliding-window heavy-hitter tracker.
@@ -111,6 +113,49 @@ impl MessageSize for NewEpoch {
     }
     fn kind(&self) -> &'static str {
         "whh/new-epoch"
+    }
+}
+
+impl WireMessage for WUp {
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        match self {
+            WUp::CountDelta { delta } => {
+                put_u8(out, 0);
+                put_u64(out, *delta);
+            }
+            WUp::ItemDelta { epoch, item, delta } => {
+                put_u8(out, 1);
+                put_u64(out, *epoch);
+                put_u64(out, *item);
+                put_u64(out, *delta);
+            }
+        }
+    }
+
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, DecodeError> {
+        let (tag, offset) = r.tag("WUp")?;
+        match tag {
+            0 => Ok(WUp::CountDelta { delta: r.u64()? }),
+            1 => Ok(WUp::ItemDelta {
+                epoch: r.u64()?,
+                item: r.u64()?,
+                delta: r.u64()?,
+            }),
+            tag => Err(DecodeError::BadTag {
+                context: "WUp",
+                tag,
+                offset,
+            }),
+        }
+    }
+}
+
+impl WireMessage for NewEpoch {
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.0);
+    }
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, DecodeError> {
+        Ok(NewEpoch(r.u64()?))
     }
 }
 
@@ -490,6 +535,38 @@ impl MessageSize for WqUp {
         match self {
             WqUp::CountDelta { .. } => "wq/count",
             WqUp::EpochSummary { .. } => "wq/epoch-summary",
+        }
+    }
+}
+
+impl WireMessage for WqUp {
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        match self {
+            WqUp::CountDelta { delta } => {
+                put_u8(out, 0);
+                put_u64(out, *delta);
+            }
+            WqUp::EpochSummary { epoch, summary } => {
+                put_u8(out, 1);
+                put_u64(out, *epoch);
+                summary.wire_encode(out);
+            }
+        }
+    }
+
+    fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, DecodeError> {
+        let (tag, offset) = r.tag("WqUp")?;
+        match tag {
+            0 => Ok(WqUp::CountDelta { delta: r.u64()? }),
+            1 => Ok(WqUp::EpochSummary {
+                epoch: r.u64()?,
+                summary: EquiDepthSummary::wire_decode(r)?,
+            }),
+            tag => Err(DecodeError::BadTag {
+                context: "WqUp",
+                tag,
+                offset,
+            }),
         }
     }
 }

@@ -178,7 +178,13 @@ fn d2_clocks_randomness(unit: &Unit, cfg: &Config, usage: &mut Usage, out: &mut 
     }
 }
 
-const CHANNEL_CTORS: [&str; 4] = ["unbounded", "bounded", "channel", "sync_channel"];
+const CHANNEL_CTORS: [&str; 5] = [
+    "unbounded",
+    "bounded",
+    "channel",
+    "sync_channel",
+    "unbounded_channel",
+];
 
 /// Index just past an optional turbofish (`::<...>`) following the ident
 /// at `i` — i.e. where a call's `(` would sit. Returns `i + 1` when no
@@ -243,6 +249,18 @@ fn d3_channel_registry(unit: &Unit, cfg: &Config, usage: &mut Usage, out: &mut V
         {
             Some(match id {
                 "bounded" | "sync_channel" => "bounded",
+                // `channel` is overloaded across ecosystems: std's
+                // `channel()` takes no arguments and is unbounded, while
+                // the tokio-style `channel(cap)` takes a capacity and is
+                // bounded. Call-site arity decides.
+                "channel" => {
+                    let open = past_turbofish(unit, i);
+                    if unit.matched[open] > open + 1 {
+                        "bounded"
+                    } else {
+                        "unbounded"
+                    }
+                }
                 _ => "unbounded",
             })
         } else if deque_ctor(unit, i) {
@@ -546,6 +564,42 @@ mod tests {
         );
         assert_eq!(v.iter().filter(|v| v.rule == Rule::D3).count(), 1);
         assert!(v[0].message.contains("bounded channel"));
+    }
+
+    #[test]
+    fn d3_disambiguates_channel_by_arity() {
+        // tokio-style `channel(cap)` is bounded…
+        let v = check(
+            "crates/sim/src/x.rs",
+            "fn f(cap: usize) { let (tx, rx) = mpsc::channel::<Cmd>(cap); }\n",
+        );
+        assert_eq!(v.iter().filter(|v| v.rule == Rule::D3).count(), 1);
+        assert!(v[0].message.contains("bounded channel"), "{}", v[0].message);
+        // …std-style `channel()` is unbounded.
+        let v = check(
+            "crates/sim/src/x.rs",
+            "fn f() { let (tx, rx) = std::sync::mpsc::channel(); }\n",
+        );
+        assert_eq!(v.iter().filter(|v| v.rule == Rule::D3).count(), 1);
+        assert!(
+            v[0].message.contains("unbounded channel"),
+            "{}",
+            v[0].message
+        );
+    }
+
+    #[test]
+    fn d3_recognizes_tokio_unbounded_channel() {
+        let v = check(
+            "crates/sim/src/x.rs",
+            "fn f() { let (tx, rx) = mpsc::unbounded_channel::<Cmd>(); }\n",
+        );
+        assert_eq!(v.iter().filter(|v| v.rule == Rule::D3).count(), 1);
+        assert!(
+            v[0].message.contains("unbounded channel"),
+            "{}",
+            v[0].message
+        );
     }
 
     #[test]

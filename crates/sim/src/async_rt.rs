@@ -1,0 +1,1273 @@
+//! Async runtime: any number of sites as lightweight tasks over a fixed
+//! worker pool, with an optional framed wire codec on every hop.
+//!
+//! [`AsyncCluster`] is the third parallel backend, behind the same
+//! surface as [`crate::threaded::ThreadedCluster`] and the sharded
+//! runtime: the exact same `Site` and `Coordinator` state machines, the
+//! same site-at-a-time `feed_batch` transcript, the same metering
+//! discipline (ups at the sending site, downs at the receiving site).
+//! The differences are mechanical, not semantic:
+//!
+//! * **Tasks, not threads.** Each site is a spawned task on a
+//!   `tokio`-style executor (the offline stub in `stubs/tokio`); k can
+//!   exceed the core count by orders of magnitude without k stacks. The
+//!   coordinator is one more task.
+//! * **Async channels.** Site command queues are bounded `tokio` mpsc
+//!   channels: the driver uses `blocking_send` (backpressure parks the
+//!   feeding OS thread), the coordinator's down-sends use `send().await`
+//!   (backpressure suspends the coordinator *task*, freeing its worker).
+//!   The coordinator inbox stays unbounded — the same cycle-breaking
+//!   edge as the threaded runtime, so sites never suspend sending up and
+//!   always drain their own queues: deadlock-free by the same argument.
+//! * **Notified-watermark quiescence.** The pending count is the same
+//!   token-tracked atomic as the threaded runtime, but
+//!   [`AsyncCluster::settle`] awaits it as a watermark on a
+//!   [`tokio::sync::Notify`] instead of parking on a condvar: create the
+//!   `notified()` future first, then check the counter, then await. The
+//!   stub (like upstream) guarantees a `Notified` future observes every
+//!   `notify_waiters` after its creation, so the check-then-await
+//!   sequence cannot miss the final decrement.
+//! * **Optional wire codec.** With [`AsyncConfig::wire`] set, every
+//!   up-hop and every down-hop round-trips through the length-prefixed
+//!   frame codec (`dtrack-wire`) on an in-memory loopback: encode, then
+//!   decode, then deliver the decoded value. The codec is an exact
+//!   inverse, so serialization changes no delivered value and perturbs
+//!   no metered word; a decode failure (impossible unless the codec or
+//!   a frame is corrupt) is recorded in a shared poison slot and
+//!   surfaced as [`SimError::Decode`] by the driver-facing methods,
+//!   never as a panic.
+//!
+//! Transcript determinism is unchanged from the threaded runtime because
+//! scheduling is at *run granularity*: `feed_batch` quiesces the whole
+//! system between same-site steps, so which worker polls which task (the
+//! only thing the executor chooses) can reorder nothing observable.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Sender as CbSender};
+use dtrack_wire::{Dest, Loopback, WireMessage, WireStats};
+use tokio::sync::mpsc;
+use tokio::sync::Notify;
+
+use crate::error::SimError;
+use crate::meter::MessageMeter;
+use crate::proto::{Coordinator, Down, MessageSize, Outbox, Site, SiteId};
+use crate::threaded::{RunTicket, SITE_QUEUE_CAP};
+
+/// Configuration for [`AsyncCluster::spawn_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct AsyncConfig {
+    /// Worker threads in the executor pool; `None` means one per
+    /// available core.
+    pub workers: Option<usize>,
+    /// Per-site command-queue capacity (see
+    /// [`crate::threaded::SITE_QUEUE_CAP`]).
+    pub site_queue_cap: usize,
+    /// Route every site↔coordinator hop through the `dtrack-wire` frame
+    /// codec on an in-memory loopback.
+    pub wire: bool,
+}
+
+impl Default for AsyncConfig {
+    fn default() -> Self {
+        AsyncConfig {
+            workers: None,
+            site_queue_cap: SITE_QUEUE_CAP,
+            wire: false,
+        }
+    }
+}
+
+impl AsyncConfig {
+    /// This configuration with the wire codec switched on or off.
+    pub fn with_wire(mut self, wire: bool) -> Self {
+        self.wire = wire;
+        self
+    }
+}
+
+/// Quiescence bookkeeping for the async runtime: the same token-tracked
+/// in-flight counter as the threaded runtime's `Pending`, but signalled
+/// through a [`Notify`] watermark instead of a condvar so the waiter can
+/// be a future.
+#[derive(Default)]
+struct AsyncPending {
+    count: AtomicU64,
+    idle: Notify,
+}
+
+impl AsyncPending {
+    fn inc(&self) {
+        self.count.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn dec(&self) {
+        let prev = self.count.fetch_sub(1, Ordering::SeqCst);
+        assert!(
+            prev != 0,
+            "Pending::dec without a matching inc — quiescence counter underflow"
+        );
+        if prev == 1 {
+            // Every waiter created its Notified future *before* loading
+            // the counter, so this generation bump reaches all of them
+            // (the stub's documented watermark guarantee).
+            self.idle.notify_waiters();
+        }
+    }
+
+    fn count(&self) -> u64 {
+        self.count.load(Ordering::SeqCst)
+    }
+
+    /// Await quiescence: register interest first, then check, then await
+    /// — the notified-watermark idiom that cannot miss the last
+    /// decrement between the check and the await.
+    async fn wait_idle(&self) {
+        loop {
+            let notified = self.idle.notified();
+            if self.count.load(Ordering::SeqCst) == 0 {
+                return;
+            }
+            notified.await;
+        }
+    }
+}
+
+/// One unit of the pending count (see the threaded runtime's
+/// `PendingToken`): created at send time, released on drop — on success,
+/// on a failed send (the command comes back inside the error), in a
+/// disconnected queue's backlog, and when a task panics and its queue is
+/// destroyed.
+struct AToken(Arc<AsyncPending>);
+
+impl AToken {
+    fn new(pending: &Arc<AsyncPending>) -> Self {
+        pending.inc();
+        AToken(Arc::clone(pending))
+    }
+}
+
+impl Drop for AToken {
+    fn drop(&mut self) {
+        self.0.dec();
+    }
+}
+
+/// The loopback wire link shared by every task when the codec is on:
+/// frame counters plus the sticky poison slot a decode failure lands in.
+struct WireLink {
+    loopback: Loopback,
+    poison: Mutex<Option<SimError>>,
+}
+
+impl WireLink {
+    fn new() -> Self {
+        WireLink {
+            loopback: Loopback::new(),
+            poison: Mutex::new(None),
+        }
+    }
+
+    fn poison_with(&self, err: SimError) {
+        let mut slot = self.poison.lock().unwrap_or_else(|e| e.into_inner());
+        slot.get_or_insert(err);
+    }
+
+    fn check(&self) -> Result<(), SimError> {
+        match &*self.poison.lock().unwrap_or_else(|e| e.into_inner()) {
+            Some(err) => Err(err.clone()),
+            None => Ok(()),
+        }
+    }
+
+    /// Round-trip one upstream hop through the codec. The decoded value
+    /// is byte-identical to the original, so forwarding it changes
+    /// nothing metered; a decode failure poisons the link and falls back
+    /// to the original so the cluster stays live for teardown.
+    fn up_hop<U: WireMessage>(&self, origin: SiteId, up: U) -> (SiteId, U) {
+        match self.loopback.roundtrip_up(origin.0, &up) {
+            Ok((from, decoded)) => (SiteId(from), decoded),
+            Err(error) => {
+                self.poison_with(SimError::Decode { frame: "up", error });
+                (origin, up)
+            }
+        }
+    }
+
+    /// Round-trip one downstream routing decision (pre-broadcast
+    /// expansion: a broadcast is one frame, expanded to k sends after
+    /// decoding, exactly as the unframed path expands it).
+    fn down_hop<D: WireMessage>(&self, dest: Down, msg: D) -> (Down, D) {
+        let wire_dest = match dest {
+            Down::Unicast(site) => Dest::Site(site.0),
+            Down::Broadcast => Dest::Broadcast,
+        };
+        match self.loopback.roundtrip_down(wire_dest, &msg) {
+            Ok((decoded_dest, decoded)) => {
+                let dest = match decoded_dest {
+                    Dest::Site(site) => Down::Unicast(SiteId(site)),
+                    Dest::Broadcast => Down::Broadcast,
+                };
+                (dest, decoded)
+            }
+            Err(error) => {
+                self.poison_with(SimError::Decode {
+                    frame: "down",
+                    error,
+                });
+                (dest, msg)
+            }
+        }
+    }
+}
+
+enum SiteCmd<S: Site> {
+    /// One item; the per-item slow path.
+    Item(S::Item, AToken),
+    /// A same-site run consumed one quiescent step at a time (see the
+    /// threaded runtime's batch protocol — identical here).
+    Batch {
+        items: Vec<S::Item>,
+        progress: CbSender<usize>,
+        token: AToken,
+    },
+    /// Continue the in-progress batch with the next quiescent step.
+    Resume(AToken),
+    /// A same-site run consumed to completion without global
+    /// synchronization (free-running parallel ingest).
+    Run(Vec<S::Item>, CbSender<()>, AToken),
+    /// A downstream protocol message from the coordinator.
+    Down(Arc<S::Down>, AToken),
+    /// Fault injection: hold this site's current worker for the given
+    /// number of microseconds (a slow consumer).
+    Stall(u64, AToken),
+    /// Snapshot this site task's meter.
+    Meter(CbSender<MessageMeter>),
+    /// Hand back the site state machine and meter, then finish the task.
+    Stop(CbSender<(S, MessageMeter)>),
+}
+
+enum CoordCmd<C: Coordinator> {
+    Up(SiteId, C::Up, AToken),
+    With(Box<dyn FnOnce(&mut C) + Send>),
+    Stop(CbSender<C>),
+}
+
+/// A cluster running as tasks on a fixed worker pool: k site tasks plus a
+/// coordinator task, multiplexed over [`AsyncConfig::workers`] threads.
+pub struct AsyncCluster<S, C>
+where
+    S: Site + Send + 'static,
+    C: Coordinator<Up = S::Up, Down = S::Down> + Send + 'static,
+    S::Item: Send + Clone,
+    S::Up: Send + WireMessage,
+    S::Down: Send + Sync + WireMessage,
+{
+    /// Owns the worker pool; dropped last, after every task has been
+    /// stopped, so worker joins cannot wedge on live tasks.
+    rt: tokio::runtime::Runtime,
+    site_txs: Vec<mpsc::Sender<SiteCmd<S>>>,
+    coord_tx: Option<mpsc::UnboundedSender<CoordCmd<C>>>,
+    pending: Arc<AsyncPending>,
+    /// Administrative fault-injection mask (see the threaded runtime):
+    /// feeds to a killed site error, down-sends skip it unmetered.
+    dead: Arc<Vec<AtomicBool>>,
+    /// Relaxed running total of metered words for non-blocking
+    /// flow-control probes.
+    words_shared: Arc<AtomicU64>,
+    /// Present when the wire codec is on.
+    wire: Option<Arc<WireLink>>,
+}
+
+impl<S, C> AsyncCluster<S, C>
+where
+    S: Site + Send + 'static,
+    C: Coordinator<Up = S::Up, Down = S::Down> + Send + 'static,
+    S::Item: Send + Clone,
+    S::Up: Send + WireMessage,
+    S::Down: Send + Sync + WireMessage,
+{
+    /// Spawn with defaults: one worker per core, the default queue
+    /// capacity, wire codec off.
+    pub fn spawn(sites: Vec<S>, coordinator: C) -> Result<Self, SimError> {
+        Self::spawn_with(sites, coordinator, AsyncConfig::default())
+    }
+
+    /// Spawn one task per site plus a coordinator task on a fresh worker
+    /// pool.
+    pub fn spawn_with(
+        sites: Vec<S>,
+        coordinator: C,
+        config: AsyncConfig,
+    ) -> Result<Self, SimError> {
+        if sites.len() < 2 {
+            return Err(SimError::TooFewSites {
+                sites: sites.len() as u32,
+            });
+        }
+        let queue_cap = config.site_queue_cap.max(1);
+        let mut builder = tokio::runtime::Builder::new_multi_thread();
+        if let Some(workers) = config.workers {
+            builder.worker_threads(workers.max(1));
+        }
+        let rt = builder
+            .enable_all()
+            .build()
+            .map_err(|_| SimError::Transport {
+                detail: "executor failed to start",
+            })?;
+
+        let pending = Arc::new(AsyncPending::default());
+        let words_shared = Arc::new(AtomicU64::new(0));
+        let wire = config.wire.then(|| Arc::new(WireLink::new()));
+        let (coord_tx, coord_rx) = mpsc::unbounded_channel::<CoordCmd<C>>();
+
+        let mut site_txs = Vec::with_capacity(sites.len());
+        for (i, site) in sites.into_iter().enumerate() {
+            let (tx, rx) = mpsc::channel::<SiteCmd<S>>(queue_cap);
+            site_txs.push(tx);
+            let coord_tx = coord_tx.clone();
+            let pending = Arc::clone(&pending);
+            let words_shared = Arc::clone(&words_shared);
+            let wire = wire.clone();
+            let id = SiteId(i as u32);
+            rt.spawn(run_site(
+                site,
+                id,
+                rx,
+                coord_tx,
+                pending,
+                words_shared,
+                wire,
+            ));
+        }
+
+        let dead: Arc<Vec<AtomicBool>> = Arc::new(
+            (0..site_txs.len())
+                .map(|_| AtomicBool::new(false))
+                .collect(),
+        );
+        rt.spawn(run_coordinator(
+            coordinator,
+            coord_rx,
+            site_txs.clone(),
+            Arc::clone(&pending),
+            Arc::clone(&dead),
+            wire.clone(),
+        ));
+
+        Ok(AsyncCluster {
+            rt,
+            site_txs,
+            coord_tx: Some(coord_tx),
+            pending,
+            dead,
+            words_shared,
+            wire,
+        })
+    }
+
+    /// Number of sites k.
+    pub fn num_sites(&self) -> u32 {
+        self.site_txs.len() as u32
+    }
+
+    /// Worker threads in the executor pool.
+    pub fn num_workers(&self) -> usize {
+        self.rt.metrics_num_workers()
+    }
+
+    /// Wire-codec frame counters, when the codec is on.
+    pub fn wire_stats(&self) -> Option<WireStats> {
+        self.wire.as_ref().map(|link| link.loopback.stats())
+    }
+
+    /// Surface a sticky wire decode failure (set by any task, observed by
+    /// the driver); `Ok` when the codec is off or healthy.
+    fn wire_check(&self) -> Result<(), SimError> {
+        match &self.wire {
+            Some(link) => link.check(),
+            None => Ok(()),
+        }
+    }
+
+    fn site_tx(&self, site: SiteId) -> Result<&mpsc::Sender<SiteCmd<S>>, SimError> {
+        if self
+            .dead
+            .get(site.index())
+            .is_some_and(|d| d.load(Ordering::SeqCst))
+        {
+            return Err(SimError::SiteDown { site: site.0 });
+        }
+        self.site_txs.get(site.index()).ok_or(SimError::NoSuchSite {
+            site: site.0,
+            sites: self.site_txs.len() as u32,
+        })
+    }
+
+    /// Administratively kill a site (fault injection); semantics match
+    /// the threaded runtime's `kill_site` bit for bit.
+    pub fn kill_site(&self, site: SiteId) -> Result<(), SimError> {
+        let k = self.site_txs.len() as u32;
+        let slot = self.dead.get(site.index()).ok_or(SimError::NoSuchSite {
+            site: site.0,
+            sites: k,
+        })?;
+        slot.store(true, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Fault injection: hold `site`'s task (and its current worker) for
+    /// `micros` microseconds.
+    pub fn stall_site(&self, site: SiteId, micros: u64) -> Result<(), SimError> {
+        let tx = self.site_tx(site)?;
+        let token = AToken::new(&self.pending);
+        tx.blocking_send(SiteCmd::Stall(micros, token))
+            .map_err(|_| SimError::WorkerGone { who: "site" })
+    }
+
+    /// Deliver an item to a site (asynchronously). Blocks the calling
+    /// thread only when the site's queue is full — backpressure, not
+    /// unbounded buffering.
+    pub fn feed(&self, site: SiteId, item: S::Item) -> Result<(), SimError> {
+        self.wire_check()?;
+        let tx = self.site_tx(site)?;
+        let token = AToken::new(&self.pending);
+        tx.blocking_send(SiteCmd::Item(item, token))
+            .map_err(|_| SimError::WorkerGone { who: "site" })
+    }
+
+    /// Deliver a pre-assigned batch on the site-at-a-time schedule with
+    /// the transcript of [`crate::Cluster::feed_batch`] — the same step
+    /// protocol as the threaded runtime, so answers *and* metered words
+    /// are bit-identical across all four backends.
+    pub fn feed_batch(&self, batch: &[(SiteId, S::Item)]) -> Result<(), SimError> {
+        self.wire_check()?;
+        let mut i = 0;
+        while i < batch.len() {
+            let site = batch[i].0;
+            let mut j = i + 1;
+            while j < batch.len() && batch[j].0 == site {
+                j += 1;
+            }
+            let tx = self.site_tx(site)?;
+            let items: Vec<S::Item> = batch[i..j].iter().map(|(_, it)| it.clone()).collect();
+            let total = items.len();
+            let (ptx, prx) = unbounded();
+            tx.blocking_send(SiteCmd::Batch {
+                items,
+                progress: ptx,
+                token: AToken::new(&self.pending),
+            })
+            .map_err(|_| SimError::WorkerGone { who: "site" })?;
+            let mut consumed_total = 0;
+            loop {
+                let consumed = prx
+                    .recv()
+                    .map_err(|_| SimError::WorkerGone { who: "site" })?;
+                consumed_total += consumed;
+                self.settle();
+                if consumed_total >= total {
+                    break;
+                }
+                tx.blocking_send(SiteCmd::Resume(AToken::new(&self.pending)))
+                    .map_err(|_| SimError::WorkerGone { who: "site" })?;
+            }
+            i = j;
+        }
+        self.wire_check()
+    }
+
+    /// Enqueue a whole same-site run for free-running consumption (see
+    /// the threaded runtime's `ingest_run` — identical contract, same
+    /// [`RunTicket`]).
+    pub fn ingest_run(&self, site: SiteId, items: Vec<S::Item>) -> Result<RunTicket, SimError> {
+        self.wire_check()?;
+        let tx = self.site_tx(site)?;
+        let (dtx, drx) = unbounded();
+        if items.is_empty() {
+            let _ = dtx.send(());
+            return Ok(RunTicket(drx));
+        }
+        let token = AToken::new(&self.pending);
+        tx.blocking_send(SiteCmd::Run(items, dtx, token))
+            .map_err(|_| SimError::WorkerGone { who: "site" })?;
+        Ok(RunTicket(drx))
+    }
+
+    /// Block until no message is queued or being processed anywhere:
+    /// awaits the pending counter as a notified watermark (interest
+    /// registered before the zero-check, so the final decrement cannot
+    /// slip between check and park).
+    pub fn settle(&self) {
+        self.rt.block_on(self.pending.wait_idle());
+    }
+
+    /// Deadline-aware [`Self::settle`] via the executor's timer: waits at
+    /// most `deadline`, then degrades to [`SimError::Timeout`]. The
+    /// cluster remains fully usable after a timeout.
+    pub fn settle_deadline(&self, deadline: Duration) -> Result<(), SimError> {
+        self.rt
+            .block_on(tokio::time::timeout(deadline, self.pending.wait_idle()))
+            .map_err(|_| SimError::Timeout {
+                waited_ms: deadline.as_millis() as u64,
+            })
+    }
+
+    /// Run a closure against the coordinator state on its task and return
+    /// the result (settle first for a quiescent snapshot).
+    pub fn with_coordinator<R, F>(&self, f: F) -> Result<R, SimError>
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut C) -> R + Send + 'static,
+    {
+        let coord_tx = self
+            .coord_tx
+            .as_ref()
+            .ok_or(SimError::WorkerGone { who: "coordinator" })?;
+        let (tx, rx) = unbounded();
+        coord_tx
+            .send(CoordCmd::With(Box::new(move |c: &mut C| {
+                let _ = tx.send(f(c));
+            })))
+            .map_err(|_| SimError::WorkerGone { who: "coordinator" })?;
+        rx.recv()
+            .map_err(|_| SimError::WorkerGone { who: "coordinator" })
+    }
+
+    /// Aggregate the per-task communication meters into one snapshot
+    /// (settle first for a consistent picture). Dead site tasks
+    /// contribute nothing.
+    pub fn cost(&self) -> MessageMeter {
+        let mut total = MessageMeter::new();
+        for tx in &self.site_txs {
+            let (mtx, mrx) = unbounded();
+            if tx.blocking_send(SiteCmd::Meter(mtx)).is_ok() {
+                if let Ok(m) = mrx.recv() {
+                    total.merge(&m);
+                }
+            }
+        }
+        total
+    }
+
+    /// Cheap, slightly-stale total-words estimate (see the threaded
+    /// runtime's `words_hint`) — the flow controller's drift-probe
+    /// source, safe to call mid-ingest.
+    pub fn words_hint(&self) -> u64 {
+        self.words_shared.load(Ordering::Relaxed)
+    }
+
+    /// Current cluster-wide backlog: the quiescence counter `settle`
+    /// waits on.
+    pub fn backlog_hint(&self) -> u64 {
+        self.pending.count()
+    }
+
+    /// Stop every task and return the final coordinator, sites, and
+    /// merged meter. Every task is stopped even when some already died;
+    /// the first failure is reported after teardown completes.
+    pub fn shutdown(mut self) -> Result<(C, Vec<S>, MessageMeter), SimError> {
+        self.settle();
+        let mut first_err: Option<SimError> = self.wire_check().err();
+        let site_txs = std::mem::take(&mut self.site_txs);
+        let mut replies = Vec::with_capacity(site_txs.len());
+        for tx in &site_txs {
+            let (stx, srx) = unbounded();
+            match tx.blocking_send(SiteCmd::Stop(stx)) {
+                Ok(()) => replies.push(Some(srx)),
+                Err(_) => {
+                    first_err.get_or_insert(SimError::WorkerGone { who: "site" });
+                    replies.push(None);
+                }
+            }
+        }
+        drop(site_txs);
+        let mut sites = Vec::with_capacity(replies.len());
+        let mut meter = MessageMeter::new();
+        for srx in replies {
+            match srx.map(|rx| rx.recv()) {
+                Some(Ok((site, m))) => {
+                    meter.merge(&m);
+                    sites.push(site);
+                }
+                Some(Err(_)) | None => {
+                    first_err.get_or_insert(SimError::WorkerGone { who: "site" });
+                }
+            }
+        }
+        let coordinator = match self.coord_tx.take() {
+            Some(ctx) => {
+                let (stx, srx) = unbounded();
+                let sent = ctx.send(CoordCmd::Stop(stx)).is_ok();
+                drop(ctx);
+                match sent.then(|| srx.recv().ok()).flatten() {
+                    Some(c) => Some(c),
+                    None => {
+                        first_err.get_or_insert(SimError::WorkerGone { who: "coordinator" });
+                        None
+                    }
+                }
+            }
+            None => None,
+        };
+        // `self` drops here: its Drop sees the emptied sender lists and
+        // only tears down the (now task-free) worker pool.
+        match (coordinator, first_err) {
+            (Some(c), None) => Ok((c, sites, meter)),
+            (_, Some(e)) => Err(e),
+            (None, None) => Err(SimError::WorkerGone { who: "coordinator" }),
+        }
+    }
+}
+
+impl<S, C> Drop for AsyncCluster<S, C>
+where
+    S: Site + Send + 'static,
+    C: Coordinator<Up = S::Up, Down = S::Down> + Send + 'static,
+    S::Item: Send + Clone,
+    S::Up: Send + WireMessage,
+    S::Down: Send + Sync + WireMessage,
+{
+    /// Stop every task before the runtime (and its worker pool) is torn
+    /// down, so an abandoned cluster cannot leak suspended tasks. After a
+    /// successful [`AsyncCluster::shutdown`] the sender lists are already
+    /// empty and only the pool teardown remains.
+    fn drop(&mut self) {
+        let site_txs = std::mem::take(&mut self.site_txs);
+        for tx in &site_txs {
+            let (stx, _srx) = unbounded();
+            let _ = tx.blocking_send(SiteCmd::Stop(stx));
+        }
+        drop(site_txs);
+        if let Some(ctx) = self.coord_tx.take() {
+            let (stx, _srx) = unbounded();
+            let _ = ctx.send(CoordCmd::Stop(stx));
+        }
+        // `rt` drops with `self`: workers drain the queued Stop wakeups
+        // (the queue is emptied before the shutdown flag is honored) and
+        // then join.
+    }
+}
+
+/// Meter and forward one step's upstream messages, optionally through the
+/// wire codec. Each message carries its own pending token, created before
+/// the input token is released. Errors mean the coordinator is gone.
+fn flush_ups<S, C>(
+    id: SiteId,
+    out: &mut Vec<S::Up>,
+    meter: &mut MessageMeter,
+    coord_tx: &mpsc::UnboundedSender<CoordCmd<C>>,
+    pending: &Arc<AsyncPending>,
+    wire: Option<&WireLink>,
+) -> Result<(), ()>
+where
+    S: Site,
+    S::Up: WireMessage,
+    C: Coordinator<Up = S::Up, Down = S::Down>,
+{
+    for up in out.drain(..) {
+        let (from, up) = match wire {
+            Some(link) => link.up_hop(id, up),
+            None => (id, up),
+        };
+        meter.record_up(up.kind(), up.size_words());
+        let token = AToken::new(pending);
+        if coord_tx.send(CoordCmd::Up(from, up, token)).is_err() {
+            return Err(());
+        }
+    }
+    Ok(())
+}
+
+/// State of a batch being consumed one quiescent step at a time.
+struct BatchState<S: Site> {
+    items: Vec<S::Item>,
+    off: usize,
+    progress: CbSender<usize>,
+}
+
+/// Run one `on_items` step of the in-progress batch (see the threaded
+/// runtime's `batch_step` — identical protocol).
+#[allow(clippy::too_many_arguments)] // the site task's loop state, threaded by ref
+fn batch_step<S, C>(
+    site: &mut S,
+    cur: &mut Option<BatchState<S>>,
+    id: SiteId,
+    out: &mut Vec<S::Up>,
+    meter: &mut MessageMeter,
+    coord_tx: &mpsc::UnboundedSender<CoordCmd<C>>,
+    pending: &Arc<AsyncPending>,
+    wire: Option<&WireLink>,
+) -> Result<(), ()>
+where
+    S: Site,
+    S::Item: Clone,
+    S::Up: WireMessage,
+    C: Coordinator<Up = S::Up, Down = S::Down>,
+{
+    let Some(batch) = cur.as_mut() else {
+        debug_assert!(false, "Resume without a batch in progress");
+        return Ok(());
+    };
+    debug_assert!(out.is_empty());
+    let consumed = site.on_items(&batch.items[batch.off..], out);
+    debug_assert!(consumed > 0, "on_items must make progress");
+    batch.off += consumed.max(1);
+    flush_ups::<S, C>(id, out, meter, coord_tx, pending, wire)?;
+    let finished = batch.off >= batch.items.len();
+    let _ = batch.progress.send(consumed);
+    if finished {
+        *cur = None;
+    }
+    Ok(())
+}
+
+async fn run_site<S, C>(
+    mut site: S,
+    id: SiteId,
+    mut rx: mpsc::Receiver<SiteCmd<S>>,
+    coord_tx: mpsc::UnboundedSender<CoordCmd<C>>,
+    pending: Arc<AsyncPending>,
+    words_shared: Arc<AtomicU64>,
+    wire: Option<Arc<WireLink>>,
+) where
+    S: Site + Send + 'static,
+    S::Item: Clone,
+    S::Up: WireMessage,
+    C: Coordinator<Up = S::Up, Down = S::Down> + Send + 'static,
+{
+    let wire = wire.as_deref();
+    let mut meter = MessageMeter::new();
+    let mut out: Vec<S::Up> = Vec::new();
+    let mut cur: Option<BatchState<S>> = None;
+    let mut words_reported = 0u64;
+    // Commands pulled while scanning for coordinator feedback mid-`Run`;
+    // replayed in order before the next queue read.
+    let mut deferred: std::collections::VecDeque<SiteCmd<S>> = std::collections::VecDeque::new();
+    loop {
+        let delta = meter.total_words() - words_reported;
+        if delta > 0 {
+            words_reported += delta;
+            words_shared.fetch_add(delta, Ordering::Relaxed);
+        }
+        let cmd = match deferred.pop_front() {
+            Some(cmd) => cmd,
+            None => match rx.recv().await {
+                Some(cmd) => cmd,
+                None => return,
+            },
+        };
+        match cmd {
+            SiteCmd::Item(item, token) => {
+                site.on_item(item, &mut out);
+                if flush_ups::<S, C>(id, &mut out, &mut meter, &coord_tx, &pending, wire).is_err() {
+                    return;
+                }
+                drop(token);
+            }
+            SiteCmd::Batch {
+                items,
+                progress,
+                token,
+            } => {
+                debug_assert!(cur.is_none(), "overlapping batches on one site");
+                cur = Some(BatchState {
+                    items,
+                    off: 0,
+                    progress,
+                });
+                if batch_step(
+                    &mut site, &mut cur, id, &mut out, &mut meter, &coord_tx, &pending, wire,
+                )
+                .is_err()
+                {
+                    return;
+                }
+                drop(token);
+            }
+            SiteCmd::Resume(token) => {
+                if batch_step(
+                    &mut site, &mut cur, id, &mut out, &mut meter, &coord_tx, &pending, wire,
+                )
+                .is_err()
+                {
+                    return;
+                }
+                drop(token);
+            }
+            SiteCmd::Run(items, done, token) => {
+                let mut off = 0;
+                while off < items.len() {
+                    debug_assert!(out.is_empty());
+                    let consumed = site.on_items(&items[off..], &mut out);
+                    debug_assert!(consumed > 0, "on_items must make progress");
+                    off += consumed.max(1);
+                    if flush_ups::<S, C>(id, &mut out, &mut meter, &coord_tx, &pending, wire)
+                        .is_err()
+                    {
+                        return;
+                    }
+                    // Apply coordinator feedback that has already arrived
+                    // before consuming further items (see the threaded
+                    // runtime); other commands are deferred in order.
+                    while let Ok(next) = rx.try_recv() {
+                        if let SiteCmd::Down(msg, down_token) = next {
+                            meter.record_down(msg.kind(), msg.size_words());
+                            site.on_message(&msg, &mut out);
+                            if flush_ups::<S, C>(
+                                id, &mut out, &mut meter, &coord_tx, &pending, wire,
+                            )
+                            .is_err()
+                            {
+                                return;
+                            }
+                            drop(down_token);
+                        } else {
+                            deferred.push_back(next);
+                        }
+                    }
+                }
+                let _ = done.send(());
+                drop(token);
+            }
+            SiteCmd::Down(msg, token) => {
+                meter.record_down(msg.kind(), msg.size_words());
+                site.on_message(&msg, &mut out);
+                if flush_ups::<S, C>(id, &mut out, &mut meter, &coord_tx, &pending, wire).is_err() {
+                    return;
+                }
+                drop(token);
+            }
+            SiteCmd::Stall(micros, token) => {
+                // Deliberately blocks this worker thread, not just the
+                // task: a stalled site consumes real pool capacity, the
+                // same resource model as a stalled thread in the
+                // threaded runtime.
+                std::thread::sleep(Duration::from_micros(micros));
+                drop(token);
+            }
+            SiteCmd::Meter(reply) => {
+                let _ = reply.send(meter.clone());
+            }
+            SiteCmd::Stop(reply) => {
+                let _ = reply.send((site, meter));
+                return;
+            }
+        }
+    }
+}
+
+/// Send one downstream message to one site: dead sites are skipped before
+/// the send (unmetered, matching every other backend), backpressure
+/// suspends the coordinator task.
+async fn send_down<S>(
+    site_txs: &[mpsc::Sender<SiteCmd<S>>],
+    dst: SiteId,
+    msg: &Arc<S::Down>,
+    pending: &Arc<AsyncPending>,
+    dead: &[AtomicBool],
+) where
+    S: Site,
+{
+    if dead
+        .get(dst.index())
+        .is_some_and(|d| d.load(Ordering::SeqCst))
+    {
+        return;
+    }
+    if let Some(tx) = site_txs.get(dst.index()) {
+        let token = AToken::new(pending);
+        let _ = tx.send(SiteCmd::Down(Arc::clone(msg), token)).await;
+    }
+}
+
+async fn run_coordinator<S, C>(
+    mut coordinator: C,
+    mut rx: mpsc::UnboundedReceiver<CoordCmd<C>>,
+    site_txs: Vec<mpsc::Sender<SiteCmd<S>>>,
+    pending: Arc<AsyncPending>,
+    dead: Arc<Vec<AtomicBool>>,
+    wire: Option<Arc<WireLink>>,
+) where
+    S: Site + Send + 'static,
+    C: Coordinator<Up = S::Up, Down = S::Down> + Send + 'static,
+    S::Down: Send + Sync + WireMessage,
+{
+    let wire = wire.as_deref();
+    let mut outbox: Outbox<S::Down> = Outbox::new();
+    let mut downs: Vec<(Down, S::Down)> = Vec::new();
+    while let Some(cmd) = rx.recv().await {
+        match cmd {
+            CoordCmd::Up(from, up, token) => {
+                debug_assert!(outbox.is_empty());
+                coordinator.on_message(from, up, &mut outbox);
+                downs.extend(outbox.drain());
+                for (dest, msg) in downs.drain(..) {
+                    let (dest, msg) = match wire {
+                        Some(link) => link.down_hop(dest, msg),
+                        None => (dest, msg),
+                    };
+                    let msg = Arc::new(msg);
+                    match dest {
+                        Down::Unicast(dst) => {
+                            send_down(&site_txs, dst, &msg, &pending, &dead).await
+                        }
+                        Down::Broadcast => {
+                            for i in 0..site_txs.len() {
+                                send_down(&site_txs, SiteId(i as u32), &msg, &pending, &dead).await;
+                            }
+                        }
+                    }
+                }
+                drop(token);
+            }
+            CoordCmd::With(f) => f(&mut coordinator),
+            CoordCmd::Stop(reply) => {
+                let _ = reply.send(coordinator);
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtrack_wire::{put_u64, DecodeError, WireReader};
+
+    #[derive(Debug, Default)]
+    struct CountSite {
+        local: u64,
+    }
+    #[derive(Debug)]
+    struct Inc(u64);
+    #[derive(Debug)]
+    struct Nudge;
+
+    impl MessageSize for Inc {
+        fn size_words(&self) -> u64 {
+            1
+        }
+        fn kind(&self) -> &'static str {
+            "t/inc"
+        }
+    }
+    impl MessageSize for Nudge {
+        fn size_words(&self) -> u64 {
+            1
+        }
+        fn kind(&self) -> &'static str {
+            "t/nudge"
+        }
+    }
+    impl WireMessage for Inc {
+        fn wire_encode(&self, out: &mut Vec<u8>) {
+            put_u64(out, self.0);
+        }
+        fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, DecodeError> {
+            Ok(Inc(r.u64()?))
+        }
+    }
+    impl WireMessage for Nudge {
+        fn wire_encode(&self, _out: &mut Vec<u8>) {}
+        fn wire_decode(_r: &mut WireReader<'_>) -> Result<Self, DecodeError> {
+            Ok(Nudge)
+        }
+    }
+
+    impl Site for CountSite {
+        type Item = u64;
+        type Up = Inc;
+        type Down = Nudge;
+        fn on_item(&mut self, item: u64, out: &mut Vec<Inc>) {
+            self.local += item;
+            out.push(Inc(item));
+        }
+        fn on_message(&mut self, _msg: &Nudge, _out: &mut Vec<Inc>) {}
+    }
+
+    #[derive(Debug, Default)]
+    struct SumCoord {
+        sum: u64,
+        ups: u64,
+    }
+    impl Coordinator for SumCoord {
+        type Up = Inc;
+        type Down = Nudge;
+        fn on_message(&mut self, _from: SiteId, msg: Inc, out: &mut Outbox<Nudge>) {
+            self.sum += msg.0;
+            self.ups += 1;
+            if self.ups.is_multiple_of(5) {
+                out.broadcast(Nudge);
+            }
+        }
+    }
+
+    fn two_workers() -> AsyncConfig {
+        AsyncConfig {
+            workers: Some(2),
+            ..AsyncConfig::default()
+        }
+    }
+
+    #[test]
+    fn async_roundtrip_sums_and_meters() {
+        let sites = (0..4).map(|_| CountSite::default()).collect();
+        let cluster = AsyncCluster::spawn_with(sites, SumCoord::default(), two_workers()).unwrap();
+        assert_eq!(cluster.num_workers(), 2);
+        let mut expect = 0u64;
+        for i in 1..=20u64 {
+            expect += i;
+            cluster.feed(SiteId((i % 4) as u32), i).unwrap();
+        }
+        cluster.settle();
+        let sum = cluster.with_coordinator(|c| c.sum).unwrap();
+        assert_eq!(sum, expect);
+        let meter = cluster.cost();
+        assert_eq!(meter.kind("t/inc").messages, 20);
+        assert_eq!(meter.kind("t/nudge").messages, 16);
+        let (coord, sites, meter2) = cluster.shutdown().unwrap();
+        assert_eq!(coord.sum, expect);
+        assert_eq!(sites.iter().map(|s| s.local).sum::<u64>(), expect);
+        assert_eq!(meter2.total_messages(), 36);
+    }
+
+    #[test]
+    fn feed_batch_matches_per_item_transcript() {
+        let stream: Vec<(SiteId, u64)> = (0..500u64)
+            .map(|i| (SiteId(((i / 7) % 3) as u32), i))
+            .collect();
+
+        let sites = (0..3).map(|_| CountSite::default()).collect();
+        let per_item = AsyncCluster::spawn_with(sites, SumCoord::default(), two_workers()).unwrap();
+        for &(site, item) in &stream {
+            per_item.feed(site, item).unwrap();
+            per_item.settle();
+        }
+        let (pc, ps, pm) = per_item.shutdown().unwrap();
+
+        let sites = (0..3).map(|_| CountSite::default()).collect();
+        let batched = AsyncCluster::spawn_with(sites, SumCoord::default(), two_workers()).unwrap();
+        batched.feed_batch(&stream).unwrap();
+        let (bc, bs, bm) = batched.shutdown().unwrap();
+
+        assert_eq!(pc.sum, bc.sum);
+        assert_eq!(pc.ups, bc.ups);
+        assert_eq!(
+            ps.iter().map(|s| s.local).collect::<Vec<_>>(),
+            bs.iter().map(|s| s.local).collect::<Vec<_>>()
+        );
+        assert_eq!(pm.report(), bm.report());
+    }
+
+    #[test]
+    fn wire_codec_does_not_perturb_the_transcript() {
+        let stream: Vec<(SiteId, u64)> = (0..400u64)
+            .map(|i| (SiteId(((i / 5) % 3) as u32), i))
+            .collect();
+        let run = |wire: bool| {
+            let sites = (0..3).map(|_| CountSite::default()).collect();
+            let cluster =
+                AsyncCluster::spawn_with(sites, SumCoord::default(), two_workers().with_wire(wire))
+                    .unwrap();
+            cluster.feed_batch(&stream).unwrap();
+            let stats = cluster.wire_stats();
+            let (coord, _, meter) = cluster.shutdown().unwrap();
+            (coord.sum, coord.ups, meter.report(), stats)
+        };
+        let (plain_sum, plain_ups, plain_report, plain_stats) = run(false);
+        let (wire_sum, wire_ups, wire_report, wire_stats) = run(true);
+        assert_eq!(plain_sum, wire_sum);
+        assert_eq!(plain_ups, wire_ups);
+        // Serialization must not perturb a single metered word.
+        assert_eq!(plain_report, wire_report);
+        assert!(plain_stats.is_none());
+        let stats = wire_stats.expect("wire stats present when the codec is on");
+        assert_eq!(stats.frames_up, 400);
+        assert!(stats.frames_down > 0);
+        assert!(stats.bytes_up > 0);
+    }
+
+    #[test]
+    fn ingest_run_reaches_the_same_totals() {
+        let sites = (0..2).map(|_| CountSite::default()).collect();
+        let cluster = AsyncCluster::spawn_with(sites, SumCoord::default(), two_workers()).unwrap();
+        let t0 = cluster.ingest_run(SiteId(0), (1..=100).collect()).unwrap();
+        let t1 = cluster
+            .ingest_run(SiteId(1), (101..=200).collect())
+            .unwrap();
+        t0.wait().unwrap();
+        t1.wait().unwrap();
+        cluster.settle();
+        let (coord, _, meter) = cluster.shutdown().unwrap();
+        assert_eq!(coord.sum, (1..=200u64).sum::<u64>());
+        assert_eq!(meter.kind("t/inc").messages, 200);
+    }
+
+    #[test]
+    fn many_sites_multiplex_over_a_small_pool() {
+        // Far more sites than workers: tasks are multiplexed, not pinned.
+        let k = 64u32;
+        let sites = (0..k).map(|_| CountSite::default()).collect();
+        let cluster = AsyncCluster::spawn_with(sites, SumCoord::default(), two_workers()).unwrap();
+        for i in 0..256u64 {
+            cluster.feed(SiteId((i % k as u64) as u32), 1).unwrap();
+        }
+        cluster.settle();
+        let (coord, _, meter) = cluster.shutdown().unwrap();
+        assert_eq!(coord.sum, 256);
+        assert_eq!(meter.kind("t/inc").messages, 256);
+    }
+
+    #[test]
+    fn spawn_requires_two_sites() {
+        let err = AsyncCluster::spawn(vec![CountSite::default()], SumCoord::default())
+            .err()
+            .unwrap();
+        assert_eq!(err, SimError::TooFewSites { sites: 1 });
+    }
+
+    #[test]
+    fn feed_unknown_site_errors() {
+        let sites = (0..2).map(|_| CountSite::default()).collect();
+        let cluster = AsyncCluster::spawn_with(sites, SumCoord::default(), two_workers()).unwrap();
+        let err = cluster.feed(SiteId(5), 1).unwrap_err();
+        assert_eq!(err, SimError::NoSuchSite { site: 5, sites: 2 });
+        cluster.shutdown().unwrap();
+    }
+
+    #[test]
+    fn killed_site_rejects_feeds_and_shutdown_stays_clean() {
+        let sites = (0..4).map(|_| CountSite::default()).collect();
+        let cluster = AsyncCluster::spawn_with(sites, SumCoord::default(), two_workers()).unwrap();
+        for i in 1..=4u64 {
+            cluster.feed(SiteId((i % 4) as u32), i).unwrap();
+        }
+        cluster.settle();
+        cluster.kill_site(SiteId(1)).unwrap();
+        assert_eq!(
+            cluster.feed(SiteId(1), 9).unwrap_err(),
+            SimError::SiteDown { site: 1 }
+        );
+        // The 5th up triggers a broadcast; the dead site's copy is
+        // dropped unmetered, so only k-1 = 3 nudges are received.
+        cluster.feed(SiteId(0), 5).unwrap();
+        cluster.settle();
+        assert_eq!(cluster.cost().kind("t/nudge").messages, 3);
+        let (coord, sites, _) = cluster.shutdown().unwrap();
+        assert_eq!(coord.sum, 1 + 2 + 3 + 4 + 5);
+        assert_eq!(sites.len(), 4);
+    }
+
+    #[test]
+    fn stall_holds_quiescence_but_settle_terminates() {
+        let sites = (0..2).map(|_| CountSite::default()).collect();
+        let cluster = AsyncCluster::spawn_with(sites, SumCoord::default(), two_workers()).unwrap();
+        cluster.stall_site(SiteId(0), 20_000).unwrap();
+        let t0 = std::time::Instant::now();
+        cluster.settle();
+        assert!(t0.elapsed() >= Duration::from_millis(5));
+        cluster.feed(SiteId(0), 1).unwrap();
+        cluster.settle();
+        let (coord, _, _) = cluster.shutdown().unwrap();
+        assert_eq!(coord.sum, 1);
+    }
+
+    #[test]
+    fn settle_deadline_times_out_on_a_stalled_site_and_recovers() {
+        let sites = (0..2).map(|_| CountSite::default()).collect();
+        let cluster = AsyncCluster::spawn_with(sites, SumCoord::default(), two_workers()).unwrap();
+        cluster.stall_site(SiteId(0), 300_000).unwrap();
+        let err = cluster
+            .settle_deadline(Duration::from_millis(20))
+            .unwrap_err();
+        assert!(matches!(err, SimError::Timeout { .. }), "{err}");
+        // Still usable once the stall drains.
+        cluster.settle();
+        cluster.feed(SiteId(0), 2).unwrap();
+        cluster.settle();
+        let (coord, _, _) = cluster.shutdown().unwrap();
+        assert_eq!(coord.sum, 2);
+    }
+
+    /// A site that panics on the poison value — the stand-in for a task
+    /// dying mid-run. The stub executor contains the panic (worker
+    /// survives, task dropped), so its queue disconnects.
+    #[derive(Debug, Default)]
+    struct PoisonSite;
+    const POISON: u64 = u64::MAX;
+
+    impl Site for PoisonSite {
+        type Item = u64;
+        type Up = Inc;
+        type Down = Nudge;
+        fn on_item(&mut self, item: u64, out: &mut Vec<Inc>) {
+            assert!(item != POISON, "poisoned (intentional test panic)");
+            out.push(Inc(item));
+        }
+        fn on_message(&mut self, _msg: &Nudge, _out: &mut Vec<Inc>) {}
+    }
+
+    #[test]
+    fn settle_cannot_hang_after_task_death() {
+        let sites = (0..2).map(|_| PoisonSite).collect();
+        let cluster = AsyncCluster::spawn_with(sites, SumCoord::default(), two_workers()).unwrap();
+        cluster.feed(SiteId(0), 1).unwrap();
+        cluster.settle();
+        cluster.feed(SiteId(0), POISON).unwrap();
+        let mut saw_error = false;
+        for i in 0..10_000u64 {
+            if cluster.feed(SiteId(0), i).is_err() {
+                saw_error = true;
+                break;
+            }
+            std::thread::yield_now();
+        }
+        assert!(saw_error, "dead task never surfaced as a feed error");
+        cluster.settle();
+        let err = cluster.shutdown().unwrap_err();
+        assert_eq!(err, SimError::WorkerGone { who: "site" });
+    }
+
+    #[test]
+    fn ingest_run_ticket_resolves_for_empty_and_dead() {
+        let sites = (0..2).map(|_| CountSite::default()).collect();
+        let cluster = AsyncCluster::spawn_with(sites, SumCoord::default(), two_workers()).unwrap();
+        cluster
+            .ingest_run(SiteId(0), Vec::new())
+            .unwrap()
+            .wait()
+            .unwrap();
+        cluster.shutdown().unwrap();
+
+        let sites = (0..2).map(|_| PoisonSite).collect();
+        let cluster = AsyncCluster::spawn_with(sites, SumCoord::default(), two_workers()).unwrap();
+        let ticket = cluster
+            .ingest_run(SiteId(0), vec![1, 2, POISON, 3])
+            .unwrap();
+        assert_eq!(
+            ticket.wait().unwrap_err(),
+            SimError::WorkerGone { who: "site" }
+        );
+        cluster.settle();
+        assert_eq!(
+            cluster.shutdown().unwrap_err(),
+            SimError::WorkerGone { who: "site" }
+        );
+    }
+
+    #[test]
+    fn drop_without_shutdown_tears_down() {
+        // Terminating is the assertion: a Drop that failed to stop the
+        // tasks would leave the worker pool joining forever.
+        let sites = (0..3).map(|_| CountSite::default()).collect();
+        let cluster = AsyncCluster::spawn_with(sites, SumCoord::default(), two_workers()).unwrap();
+        for i in 0..50u64 {
+            cluster.feed(SiteId((i % 3) as u32), i).unwrap();
+        }
+        drop(cluster);
+    }
+}

@@ -25,13 +25,19 @@
 //!   logical sites multiplexed onto a fixed work-stealing worker pool, so
 //!   the site count can scale far past the core count. Same batch
 //!   schedule, same AIMD window for free-running ingest.
+//! * [`AsyncBackend`] wraps [`crate::async_rt::AsyncCluster`]: sites as
+//!   lightweight tasks on a `tokio`-style executor over a fixed worker
+//!   pool, with an optional length-prefixed wire codec on every hop.
+//!   Same batch schedule, same AIMD window.
 
 #![deny(missing_docs)]
 
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::RecvTimeoutError;
+use dtrack_wire::WireMessage;
 
+use crate::async_rt::{AsyncCluster, AsyncConfig};
 use crate::cluster::Cluster;
 use crate::error::SimError;
 use crate::flow::{AimdController, FlowControlConfig, FlowControlStats};
@@ -733,10 +739,145 @@ where
     }
 }
 
+/// The async-task backend (wraps [`AsyncCluster`]): any number of sites
+/// as tasks on a fixed worker pool, with an optional wire codec on every
+/// hop ([`AsyncConfig::wire`]).
+pub struct AsyncBackend<S, C>
+where
+    S: Site + Send + 'static,
+    C: Coordinator<Up = S::Up, Down = S::Down> + Send + 'static,
+    S::Item: Send + Clone,
+    S::Up: Send + WireMessage,
+    S::Down: Send + Sync + WireMessage,
+{
+    cluster: AsyncCluster<S, C>,
+    window: AimdWindow<S::Item>,
+}
+
+impl<S, C> AsyncBackend<S, C>
+where
+    S: Site + Send + 'static,
+    C: Coordinator<Up = S::Up, Down = S::Down> + Send + 'static,
+    S::Item: Send + Clone,
+    S::Up: Send + WireMessage,
+    S::Down: Send + Sync + WireMessage,
+{
+    /// Spawn the default pool (one worker per core, wire codec off) from
+    /// pre-constructed protocol state.
+    pub fn spawn(sites: Vec<S>, coordinator: C) -> Result<Self, SimError> {
+        Self::spawn_with(sites, coordinator, AsyncConfig::default())
+    }
+
+    /// Spawn with an explicit worker count, queue capacity, and wire
+    /// setting.
+    pub fn spawn_with(
+        sites: Vec<S>,
+        coordinator: C,
+        config: AsyncConfig,
+    ) -> Result<Self, SimError> {
+        let k = sites.len();
+        Ok(AsyncBackend {
+            cluster: AsyncCluster::spawn_with(sites, coordinator, config)?,
+            window: AimdWindow::new(k, FlowControlConfig::default()),
+        })
+    }
+
+    /// Replace the free-running flow-control configuration (resets every
+    /// window to the configuration's initial value; call before
+    /// ingesting).
+    pub fn set_flow_control(&mut self, config: FlowControlConfig) {
+        self.window.set_config(config);
+    }
+}
+
+impl<S, C> Backend<S, C> for AsyncBackend<S, C>
+where
+    S: Site + Send + 'static,
+    C: Coordinator<Up = S::Up, Down = S::Down> + Send + 'static,
+    S::Item: Send + Clone,
+    S::Up: Send + WireMessage,
+    S::Down: Send + Sync + WireMessage,
+{
+    fn feed(&mut self, site: SiteId, item: S::Item) -> Result<(), SimError> {
+        let cluster = &self.cluster;
+        self.window.flush(|s, run| cluster.ingest_run(s, run));
+        self.cluster.feed(site, item)
+    }
+
+    fn feed_batch(&mut self, batch: &[(SiteId, S::Item)]) -> Result<(), SimError> {
+        let cluster = &self.cluster;
+        self.window.flush(|s, run| cluster.ingest_run(s, run));
+        self.cluster.feed_batch(batch)
+    }
+
+    fn ingest(&mut self, site: SiteId, items: Vec<S::Item>) -> Result<(), SimError> {
+        let cluster = &self.cluster;
+        self.window.ingest(
+            site,
+            items,
+            |run| cluster.ingest_run(site, run),
+            || cluster.words_hint(),
+            || cluster.backlog_hint(),
+        )
+    }
+
+    fn settle(&mut self) {
+        // As on the other parallel backends, the pending counter covers
+        // queued runs, so settling also waits out every outstanding
+        // ticket.
+        let cluster = &self.cluster;
+        self.window.flush(|s, run| cluster.ingest_run(s, run));
+        self.cluster.settle();
+    }
+
+    fn settle_deadline(&mut self, deadline: Duration) -> Result<(), SimError> {
+        let cluster = &self.cluster;
+        self.window.flush(|s, run| cluster.ingest_run(s, run));
+        self.cluster.settle_deadline(deadline)
+    }
+
+    fn cost_hint(&mut self, words_per_item: f64) {
+        self.window.set_ref_rate(words_per_item);
+    }
+
+    fn flow_control(&self) -> Option<FlowControlStats> {
+        Some(self.window.stats())
+    }
+
+    fn inject_fault(&mut self, fault: FaultEvent) -> Result<(), SimError> {
+        let cluster = &self.cluster;
+        self.window.flush(|s, run| cluster.ingest_run(s, run));
+        match fault {
+            FaultEvent::KillSite { site } => self.cluster.kill_site(site),
+            FaultEvent::StallSite { site, micros } => self.cluster.stall_site(site, micros),
+        }
+    }
+
+    fn with_coordinator<R, F>(&mut self, f: F) -> Result<R, SimError>
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut C) -> R + Send + 'static,
+    {
+        self.cluster.with_coordinator(f)
+    }
+
+    fn cost(&mut self) -> MessageMeter {
+        self.cluster.cost()
+    }
+
+    fn finish(mut self) -> Result<(C, Vec<S>, MessageMeter), SimError> {
+        let cluster = &self.cluster;
+        self.window.flush(|s, run| cluster.ingest_run(s, run));
+        self.window.clear();
+        self.cluster.shutdown()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::proto::{MessageSize, Outbox};
+    use dtrack_wire::{put_u64, DecodeError, WireReader};
 
     #[derive(Debug, Default)]
     struct EchoSite;
@@ -759,6 +900,21 @@ mod tests {
         }
         fn kind(&self) -> &'static str {
             "b/down"
+        }
+    }
+
+    impl WireMessage for Up {
+        fn wire_encode(&self, out: &mut Vec<u8>) {
+            put_u64(out, self.0);
+        }
+        fn wire_decode(r: &mut WireReader<'_>) -> Result<Self, DecodeError> {
+            Ok(Up(r.u64()?))
+        }
+    }
+    impl WireMessage for NoDown {
+        fn wire_encode(&self, _out: &mut Vec<u8>) {}
+        fn wire_decode(_r: &mut WireReader<'_>) -> Result<Self, DecodeError> {
+            Ok(NoDown)
         }
     }
 
@@ -826,6 +982,21 @@ mod tests {
         }
     }
 
+    #[test]
+    fn async_backend_drives_the_protocol() {
+        // Wire codec off and on must satisfy the same contract with the
+        // same metered totals.
+        for wire in [false, true] {
+            let sites = (0..2).map(|_| EchoSite).collect();
+            let config = AsyncConfig {
+                workers: Some(2),
+                ..AsyncConfig::default()
+            }
+            .with_wire(wire);
+            run_backend(AsyncBackend::spawn_with(sites, SumCoord::default(), config).unwrap());
+        }
+    }
+
     /// Identical fault semantics on every backend: a killed site rejects
     /// feeds with `SiteDown`, the rest of the cluster keeps working, a
     /// stall never wedges `settle`, and teardown stays clean.
@@ -881,10 +1052,21 @@ mod tests {
     }
 
     #[test]
+    fn async_backend_honors_fault_injection() {
+        let sites = (0..2).map(|_| EchoSite).collect();
+        let config = AsyncConfig {
+            workers: Some(2),
+            ..AsyncConfig::default()
+        };
+        run_faulted_backend(AsyncBackend::spawn_with(sites, SumCoord::default(), config).unwrap());
+    }
+
+    #[test]
     fn backends_reject_small_clusters() {
         assert!(DeterministicBackend::new(vec![EchoSite], SumCoord::default()).is_err());
         assert!(ThreadedBackend::spawn(vec![EchoSite], SumCoord::default()).is_err());
         assert!(ShardedBackend::spawn(vec![EchoSite], SumCoord::default()).is_err());
+        assert!(AsyncBackend::spawn(vec![EchoSite], SumCoord::default()).is_err());
     }
 
     /// A stalled site must degrade `settle_deadline` to `Timeout` instead

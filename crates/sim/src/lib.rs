@@ -27,6 +27,11 @@
 //!   workers steal whole *site-runs*, never individual items, so per-site
 //!   FIFO order is preserved by construction). One process can host
 //!   thousands of logical sites without one OS thread each.
+//! * [`async_rt::AsyncCluster`] — the async runtime: sites as lightweight
+//!   tasks on a `tokio`-style executor over a fixed worker pool, with
+//!   quiescence awaited as a notified watermark and an optional
+//!   length-prefixed wire codec (`dtrack-wire`) on every
+//!   site↔coordinator hop.
 //!
 //! Protocols are written against the [`Site`] and [`Coordinator`] traits and
 //! are agnostic to which runtime carries their messages.
@@ -38,6 +43,7 @@
 //! concrete cluster type, and new backends are drop-in [`Backend`] impls.
 
 pub mod api;
+pub mod async_rt;
 pub mod backend;
 pub mod cluster;
 pub mod error;
@@ -49,7 +55,10 @@ pub mod sharded;
 pub mod threaded;
 pub mod tracker;
 
-pub use backend::{Backend, DeterministicBackend, FaultEvent, ShardedBackend, ThreadedBackend};
+pub use async_rt::{AsyncCluster, AsyncConfig};
+pub use backend::{
+    AsyncBackend, Backend, DeterministicBackend, FaultEvent, ShardedBackend, ThreadedBackend,
+};
 pub use cluster::Cluster;
 pub use error::SimError;
 pub use flow::{AimdController, FlowControlConfig, FlowControlStats, WIN_MAX, WIN_MIN};

@@ -44,7 +44,10 @@
 use std::fmt;
 use std::time::Duration;
 
-use crate::backend::{Backend, DeterministicBackend, FaultEvent, ShardedBackend, ThreadedBackend};
+use crate::async_rt::AsyncConfig;
+use crate::backend::{
+    AsyncBackend, Backend, DeterministicBackend, FaultEvent, ShardedBackend, ThreadedBackend,
+};
 use crate::error::SimError;
 use crate::flow::FlowControlConfig;
 use crate::meter::MessageMeter;
@@ -58,16 +61,18 @@ use crate::threaded::SITE_QUEUE_CAP;
 ///
 /// The bounds make every protocol runnable on every backend (the
 /// threaded runtime needs `Send` state machines and `Send + Sync`
-/// downstream messages); `Clone` lets the facade carry the description
-/// into backend threads for queries.
+/// downstream messages; the async backend additionally requires both
+/// message types to carry a [`dtrack_wire::WireMessage`] codec so a
+/// tracker can opt into the framed wire path); `Clone` lets the facade
+/// carry the description into backend threads for queries.
 pub trait Protocol: Clone + Send + Sync + 'static {
     /// Site state machine (items are pinned to `u64`, the paper's
     /// word-sized universe).
     type Site: Site<Item = u64, Up = Self::Up, Down = Self::Down> + Send + 'static;
     /// Upstream message type.
-    type Up: MessageSize + Send + 'static;
+    type Up: MessageSize + dtrack_wire::WireMessage + Send + 'static;
     /// Downstream message type.
-    type Down: MessageSize + Send + Sync + 'static;
+    type Down: MessageSize + dtrack_wire::WireMessage + Send + Sync + 'static;
     /// Coordinator state machine.
     type Coordinator: Coordinator<Up = Self::Up, Down = Self::Down> + Send + 'static;
 
@@ -119,6 +124,19 @@ pub enum BackendKind {
         /// Worker threads; `None` means one per available core.
         workers: Option<usize>,
     },
+    /// Sites as lightweight async tasks on a fixed-size executor (wraps
+    /// [`crate::async_rt::AsyncCluster`]), optionally running every
+    /// site↔coordinator hop through the `dtrack-wire` framed codec.
+    Async {
+        /// Executor worker threads; `None` means one per available core.
+        workers: Option<usize>,
+        /// Route every message through the length-prefixed wire codec
+        /// (encode → frame → decode on each hop). The decoded message is
+        /// bit-identical to the original, so the metered transcript is
+        /// unchanged; only [`crate::async_rt::AsyncCluster::wire_stats`]
+        /// observes the difference.
+        wire: bool,
+    },
 }
 
 impl fmt::Display for BackendKind {
@@ -130,6 +148,16 @@ impl fmt::Display for BackendKind {
             BackendKind::Sharded {
                 workers: Some(workers),
             } => write!(f, "sharded({workers})"),
+            BackendKind::Async { workers, wire } => {
+                match workers {
+                    Some(workers) => write!(f, "async({workers})")?,
+                    None => write!(f, "async")?,
+                }
+                if *wire {
+                    write!(f, "+wire")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -412,6 +440,15 @@ impl<P: Protocol> TrackerBuilder<P> {
                 detail: "sharded pool needs at least 1 worker".to_owned(),
             });
         }
+        if let BackendKind::Async {
+            workers: Some(0), ..
+        } = self.backend
+        {
+            return Err(TrackerError::InvalidConfig {
+                knob: "backend",
+                detail: "async executor needs at least 1 worker".to_owned(),
+            });
+        }
         if self.queue_cap == Some(0) {
             return Err(TrackerError::InvalidConfig {
                 knob: "site_queue_cap",
@@ -474,6 +511,25 @@ impl<P: Protocol> TrackerBuilder<P> {
                     ShardedConfig {
                         workers,
                         site_queue_cap: queue_cap,
+                    },
+                )?;
+                if let Some(flow) = self.flow {
+                    backend.set_flow_control(flow);
+                }
+                Box::new(Bound {
+                    backend,
+                    protocol: self.protocol,
+                    deadline,
+                })
+            }
+            BackendKind::Async { workers, wire } => {
+                let mut backend = AsyncBackend::spawn_with(
+                    sites,
+                    coordinator,
+                    AsyncConfig {
+                        workers,
+                        site_queue_cap: queue_cap,
+                        wire,
                     },
                 )?;
                 if let Some(flow) = self.flow {
@@ -643,6 +699,23 @@ mod tests {
         }
     }
 
+    impl dtrack_wire::WireMessage for UpMsg {
+        fn wire_encode(&self, _out: &mut Vec<u8>) {}
+        fn wire_decode(
+            _r: &mut dtrack_wire::WireReader<'_>,
+        ) -> Result<Self, dtrack_wire::DecodeError> {
+            Ok(UpMsg)
+        }
+    }
+    impl dtrack_wire::WireMessage for NoDown {
+        fn wire_encode(&self, _out: &mut Vec<u8>) {}
+        fn wire_decode(
+            _r: &mut dtrack_wire::WireReader<'_>,
+        ) -> Result<Self, dtrack_wire::DecodeError> {
+            Ok(NoDown)
+        }
+    }
+
     impl Site for FwdSite {
         type Item = u64;
         type Up = UpMsg;
@@ -703,6 +776,14 @@ mod tests {
             BackendKind::Deterministic,
             BackendKind::Threaded,
             BackendKind::Sharded { workers: Some(2) },
+            BackendKind::Async {
+                workers: Some(2),
+                wire: false,
+            },
+            BackendKind::Async {
+                workers: Some(2),
+                wire: true,
+            },
         ] {
             let mut t = Tracker::builder()
                 .sites(3)
@@ -737,6 +818,10 @@ mod tests {
             BackendKind::Deterministic,
             BackendKind::Threaded,
             BackendKind::Sharded { workers: Some(2) },
+            BackendKind::Async {
+                workers: Some(2),
+                wire: true,
+            },
         ] {
             let mut t = Tracker::builder()
                 .sites(3)
@@ -781,6 +866,25 @@ mod tests {
                 }
             ),
             "{zero_workers}"
+        );
+        let zero_async_workers = Tracker::builder()
+            .sites(2)
+            .backend(BackendKind::Async {
+                workers: Some(0),
+                wire: false,
+            })
+            .protocol(CountProtocol)
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(
+                zero_async_workers,
+                TrackerError::InvalidConfig {
+                    knob: "backend",
+                    ..
+                }
+            ),
+            "{zero_async_workers}"
         );
         let zero_cap = Tracker::builder()
             .sites(2)
@@ -845,6 +949,10 @@ mod tests {
         for backend in [
             BackendKind::Threaded,
             BackendKind::Sharded { workers: Some(2) },
+            BackendKind::Async {
+                workers: Some(2),
+                wire: false,
+            },
         ] {
             let mut t = Tracker::builder()
                 .sites(3)
@@ -879,6 +987,10 @@ mod tests {
             BackendKind::Deterministic,
             BackendKind::Threaded,
             BackendKind::Sharded { workers: Some(2) },
+            BackendKind::Async {
+                workers: Some(2),
+                wire: true,
+            },
         ] {
             let mut t = Tracker::builder()
                 .sites(2)

@@ -123,6 +123,24 @@ impl EquiDepthSummary {
     }
 }
 
+impl dtrack_wire::WireMessage for EquiDepthSummary {
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        dtrack_wire::put_vec_u64(out, &self.separators);
+        dtrack_wire::put_u64(out, self.total);
+        dtrack_wire::put_u64(out, self.step);
+        dtrack_wire::put_u64(out, self.sep_error);
+    }
+
+    fn wire_decode(r: &mut dtrack_wire::WireReader<'_>) -> Result<Self, dtrack_wire::DecodeError> {
+        Ok(EquiDepthSummary {
+            separators: r.vec_u64()?,
+            total: r.u64()?,
+            step: r.u64()?,
+            sep_error: r.u64()?,
+        })
+    }
+}
+
 /// A set of per-site summaries merged by the coordinator.
 ///
 /// Rank estimates are sums of per-site estimates; the error bound is the

@@ -1,0 +1,93 @@
+//! Async-vs-deterministic equivalence across the full default matrix,
+//! wire codec off AND on.
+//!
+//! The async runtime multiplexes every scenario's sites as lightweight
+//! tasks on a two-worker executor (workers = 2, k up to 8), so tasks
+//! really interleave on shared workers — and each scenario must still
+//! produce the *identical* final answers and the *identical* metered
+//! words/messages as the deterministic runner, matching the golden
+//! fixture (`golden_matrix_costs.txt`) bit-for-bit. The suite then
+//! repeats every row with `wire: true`, routing every site↔coordinator
+//! hop through the `dtrack-wire` length-prefixed codec: encode → frame
+//! → decode is an exact inverse, so serialization must not perturb a
+//! single metered word. Both the frozen base rows and the hostile/
+//! pressure extension rows (faults included) run here — the async
+//! backend is held to the whole 77-row transcript.
+
+use dtrack_testkit::{
+    apply_matrix_filter, default_matrix, golden, run_scenario_on_backend, run_scenario_reference,
+    BackendKind, BASE_MATRIX_LEN,
+};
+
+const GOLDEN: &str = include_str!("golden_matrix_costs.txt");
+
+#[test]
+fn async_matches_deterministic_on_full_matrix_wire_off_and_on() {
+    let golden = golden::meter_costs(GOLDEN);
+    let scenarios = default_matrix();
+    assert_eq!(scenarios.len(), BASE_MATRIX_LEN + 27);
+    let scenarios = apply_matrix_filter(scenarios);
+    assert!(!scenarios.is_empty(), "matrix filter matched nothing");
+    for scenario in &scenarios {
+        let name = scenario.to_string();
+        let reference = run_scenario_reference(scenario).unwrap_or_else(|f| panic!("{f}"));
+        let &(golden_words, golden_messages) = golden
+            .get(&name)
+            .unwrap_or_else(|| panic!("[{name}] missing from golden fixture"));
+        for wire in [false, true] {
+            let backend = BackendKind::Async {
+                workers: Some(2),
+                wire,
+            };
+            let outcome =
+                run_scenario_on_backend(scenario, backend).unwrap_or_else(|f| panic!("{f}"));
+            assert_eq!(
+                outcome.answers, reference.answers,
+                "[{name}] wire={wire}: answers diverge between runtimes"
+            );
+            assert_eq!(
+                (outcome.report.words, outcome.report.messages),
+                (reference.report.words, reference.report.messages),
+                "[{name}] wire={wire}: metered cost diverges between runtimes"
+            );
+            assert_eq!(
+                (outcome.report.words, outcome.report.messages),
+                (golden_words, golden_messages),
+                "[{name}] wire={wire}: async cost drifted from the golden fixture"
+            );
+        }
+    }
+}
+
+#[test]
+fn worker_count_does_not_change_the_async_transcript() {
+    // Pool size (including workers > k and the machine default) is an
+    // execution detail, not a protocol parameter: one transcript across
+    // all of them, with the wire codec on to stack both perturbation
+    // sources at once. Selected by stable identity, not position.
+    let scenarios = default_matrix();
+    let scenario = scenarios
+        .iter()
+        .find(|s| {
+            s.assignment == dtrack_testkit::matrix::STRAGGLER
+                && s.protocol == dtrack_testkit::ProtocolSpec::HhExact
+        })
+        .expect("hh-exact straggler row");
+    let reference = run_scenario_reference(scenario).unwrap_or_else(|f| panic!("{f}"));
+    for workers in [Some(1), Some(3), Some(16), None] {
+        let outcome = run_scenario_on_backend(
+            scenario,
+            BackendKind::Async {
+                workers,
+                wire: true,
+            },
+        )
+        .unwrap_or_else(|f| panic!("{f}"));
+        assert_eq!(outcome.answers, reference.answers, "workers={workers:?}");
+        assert_eq!(
+            (outcome.report.words, outcome.report.messages),
+            (reference.report.words, reference.report.messages),
+            "workers={workers:?}"
+        );
+    }
+}

@@ -2,8 +2,9 @@
 //!
 //! Implements the subset this workspace uses: the `proptest!` macro with an
 //! optional `#![proptest_config(...)]` header, `prop_assert!` /
-//! `prop_assert_eq!` / `prop_assert_ne!`, range and tuple strategies, and
-//! `prop::collection::vec`. Generation is seeded and deterministic per test
+//! `prop_assert_eq!` / `prop_assert_ne!`, range and tuple strategies,
+//! `any`, `prop_map`, `prop_oneof!`, `prop::collection::vec`, and
+//! `prop::option::of`. Generation is seeded and deterministic per test
 //! (override the base seed with `PROPTEST_SEED`). There is no shrinking: a
 //! failing case panics with its case index and seed so it can be replayed
 //! deterministically.
@@ -59,6 +60,137 @@ pub trait Strategy {
     type Value;
     /// Produce one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with a pure function (upstream's
+    /// `prop_map`; no shrinking here, so it is literally `map`).
+    fn prop_map<T, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { source: self, map }
+    }
+}
+
+/// The `Strategy::prop_map` combinator.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S, T, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.map)(self.source.generate(rng))
+    }
+}
+
+/// Types with a canonical full-domain strategy (`any::<T>()`).
+pub trait Arbitrary {
+    /// Draw one unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.gen()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary!(u8, u16, u32, u64, usize, bool, f64);
+
+/// The `any::<T>()` strategy.
+#[derive(Debug, Clone)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Full-domain strategy for `T` (upstream's `proptest::arbitrary::any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Uniform choice between boxed strategies of one value type; the
+/// expansion target of [`prop_oneof!`].
+pub struct Union<V> {
+    arms: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    /// A union over `arms`; panics on an empty arm list.
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let idx = rng.gen_range(0..self.arms.len());
+        self.arms[idx].generate(rng)
+    }
+}
+
+/// Boxing helper for [`prop_oneof!`]; lets inference unify the arm value
+/// types without `as` casts in the macro expansion.
+#[doc(hidden)]
+pub fn boxed_strategy<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(s)
+}
+
+/// Uniform (unweighted) strategy choice. Upstream also accepts
+/// `weight => strategy` arms; this offline subset does not.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::boxed_strategy($strat)),+])
+    };
+}
+
+/// `Option` strategies (`proptest::option::of`).
+pub mod option {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy yielding `None` or a generated `Some`.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    /// `Option<T>` strategy: `None` one case in four, `Some` otherwise
+    /// (upstream defaults to a 1:9 weighting; any fixed mix serves the
+    /// offline runner, and a fatter `None` arm hits the edge more).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.gen_range(0..4u32) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
 }
 
 macro_rules! impl_range_strategy {
@@ -91,6 +223,8 @@ impl_tuple_strategy!(A);
 impl_tuple_strategy!(A, B);
 impl_tuple_strategy!(A, B, C);
 impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
 
 /// Constant strategy, always yielding clones of one value.
 #[derive(Debug, Clone)]
@@ -156,6 +290,7 @@ pub mod collection {
 /// The `prop::` paths used in `proptest!` bodies.
 pub mod prop {
     pub use crate::collection;
+    pub use crate::option;
 }
 
 /// Macro/runner plumbing; not part of the public proptest API surface.
@@ -289,8 +424,8 @@ macro_rules! prop_assert_ne {
 /// The glob import every proptest file starts with.
 pub mod prelude {
     pub use crate::{
-        prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig,
-        Strategy, TestCaseError,
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Any,
+        Arbitrary, Just, ProptestConfig, Strategy, TestCaseError,
     };
 }
 

@@ -69,6 +69,24 @@ impl Standard for u32 {
     }
 }
 
+impl Standard for u16 {
+    fn sample<R: RngCore>(rng: &mut R) -> u16 {
+        (rng.next_u64() >> 48) as u16
+    }
+}
+
+impl Standard for u8 {
+    fn sample<R: RngCore>(rng: &mut R) -> u8 {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl Standard for usize {
+    fn sample<R: RngCore>(rng: &mut R) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
 impl Standard for bool {
     fn sample<R: RngCore>(rng: &mut R) -> bool {
         rng.next_u64() & 1 == 1

@@ -1,0 +1,1147 @@
+//! Offline stand-in for the `tokio` crate.
+//!
+//! Implements the subset this workspace uses, with upstream signatures so
+//! swapping in the real crate is a manifest-only change:
+//!
+//! * `runtime::Builder::new_multi_thread().worker_threads(n).build()` — a
+//!   multi-worker executor over a shared injector queue: plain OS threads,
+//!   cooperative polling, wakers that re-enqueue their task. No IO or
+//!   timer *driver*; see `time` below.
+//! * `Runtime::{spawn, block_on}` — `spawn` schedules a task and returns a
+//!   `JoinHandle` future; `block_on` drives a future on the calling thread
+//!   with a park/unpark waker.
+//! * `sync::mpsc::{channel, unbounded_channel}` — async MPSC channels with
+//!   `send`/`recv` futures plus the `blocking_send`/`blocking_recv`/
+//!   `try_send`/`try_recv` bridge methods sync drivers use.
+//! * `sync::Notify` — `notified()`/`notify_one`/`notify_waiters`. Stub
+//!   guarantee (matching upstream's documented semantics): a `Notified`
+//!   future observes every `notify_waiters` call made *after the future
+//!   was created*, even if it is polled for the first time later. This is
+//!   what makes the check-then-await watermark idiom race-free:
+//!   `let n = notify.notified(); if count() == 0 { return } n.await`.
+//! * `time::timeout` — wraps a future with a wall-clock deadline, served
+//!   by a lazily-spawned timer thread (no runtime handle needed, like
+//!   upstream's default-enabled time driver).
+//!
+//! Behavioural caveats (recorded in stubs/README.md): the scheduler is a
+//! single shared FIFO injector, not upstream's work-stealing deques — task
+//! ordering differs but any task that is runnable eventually runs on some
+//! worker; a task body that panics is contained (the task is dropped, the
+//! worker survives), mirroring upstream's `JoinError`-not-worker-death
+//! behaviour.
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::task::{Context, Poll, RawWaker, RawWakerVTable, Waker};
+
+pub mod runtime {
+    use super::*;
+
+    /// Builder for a [`Runtime`], mirroring upstream's
+    /// `runtime::Builder::new_multi_thread()`.
+    pub struct Builder {
+        worker_threads: usize,
+    }
+
+    impl Builder {
+        /// A multi-thread scheduler builder.
+        pub fn new_multi_thread() -> Builder {
+            Builder {
+                worker_threads: std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(4),
+            }
+        }
+
+        /// Number of worker threads the runtime will spawn.
+        pub fn worker_threads(&mut self, n: usize) -> &mut Builder {
+            self.worker_threads = n.max(1);
+            self
+        }
+
+        /// Upstream's builder has `enable_all` to switch on IO/time
+        /// drivers; the stub's timer is always available, so this is a
+        /// no-op kept for signature compatibility.
+        pub fn enable_all(&mut self) -> &mut Builder {
+            self
+        }
+
+        /// Build the runtime, spawning its worker threads.
+        pub fn build(&mut self) -> std::io::Result<Runtime> {
+            Ok(Runtime::with_workers(self.worker_threads))
+        }
+    }
+
+    /// Task lifecycle states (see `Task::state`).
+    const IDLE: u8 = 0;
+    const QUEUED: u8 = 1;
+    const RUNNING: u8 = 2;
+    /// Woken while running: the worker re-enqueues after the poll.
+    const NOTIFIED: u8 = 3;
+    const DONE: u8 = 4;
+
+    struct Task {
+        future: Mutex<Option<Pin<Box<dyn Future<Output = ()> + Send>>>>,
+        state: AtomicU8,
+        exec: Weak<Exec>,
+    }
+
+    impl Task {
+        /// Schedule the task: from IDLE enqueue it, from RUNNING leave a
+        /// re-poll note, from QUEUED/NOTIFIED/DONE do nothing.
+        fn wake_task(self: &Arc<Task>) {
+            loop {
+                let state = self.state.load(Ordering::SeqCst);
+                let (next, enqueue) = match state {
+                    IDLE => (QUEUED, true),
+                    RUNNING => (NOTIFIED, false),
+                    _ => return,
+                };
+                if self
+                    .state
+                    .compare_exchange(state, next, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+                {
+                    if enqueue {
+                        if let Some(exec) = self.exec.upgrade() {
+                            exec.enqueue(self.clone());
+                        }
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    // A hand-rolled `Arc<Task>` waker (no external `futures` crate).
+    fn task_waker(task: Arc<Task>) -> Waker {
+        unsafe fn clone(data: *const ()) -> RawWaker {
+            let task = unsafe { Arc::from_raw(data as *const Task) };
+            let cloned = task.clone();
+            std::mem::forget(task);
+            RawWaker::new(Arc::into_raw(cloned) as *const (), &VTABLE)
+        }
+        unsafe fn wake(data: *const ()) {
+            let task = unsafe { Arc::from_raw(data as *const Task) };
+            task.wake_task();
+        }
+        unsafe fn wake_by_ref(data: *const ()) {
+            let task = unsafe { Arc::from_raw(data as *const Task) };
+            task.wake_task();
+            std::mem::forget(task);
+        }
+        unsafe fn drop_waker(data: *const ()) {
+            drop(unsafe { Arc::from_raw(data as *const Task) });
+        }
+        static VTABLE: RawWakerVTable = RawWakerVTable::new(clone, wake, wake_by_ref, drop_waker);
+        let raw = RawWaker::new(Arc::into_raw(task) as *const (), &VTABLE);
+        unsafe { Waker::from_raw(raw) }
+    }
+
+    struct Exec {
+        queue: Mutex<VecDeque<Arc<Task>>>,
+        cv: Condvar,
+        shutdown: Mutex<bool>,
+    }
+
+    impl Exec {
+        fn enqueue(&self, task: Arc<Task>) {
+            let mut q = self.queue.lock().unwrap();
+            q.push_back(task);
+            drop(q);
+            self.cv.notify_one();
+        }
+
+        fn worker_loop(&self) {
+            loop {
+                let task = {
+                    let mut q = self.queue.lock().unwrap();
+                    loop {
+                        if let Some(t) = q.pop_front() {
+                            break t;
+                        }
+                        if *self.shutdown.lock().unwrap() {
+                            return;
+                        }
+                        q = self.cv.wait(q).unwrap();
+                    }
+                };
+                self.run_one(&task);
+            }
+        }
+
+        fn run_one(&self, task: &Arc<Task>) {
+            task.state.store(RUNNING, Ordering::SeqCst);
+            let waker = task_waker(task.clone());
+            let mut cx = Context::from_waker(&waker);
+            let mut slot = task.future.lock().unwrap();
+            let Some(fut) = slot.as_mut() else {
+                task.state.store(DONE, Ordering::SeqCst);
+                return;
+            };
+            // Contain task panics: drop the future (its channel endpoints
+            // close, surfacing as disconnects to its peers) and keep the
+            // worker alive — upstream parks the panic in a JoinError.
+            let polled = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                fut.as_mut().poll(&mut cx)
+            }));
+            match polled {
+                Ok(Poll::Ready(())) | Err(_) => {
+                    *slot = None;
+                    task.state.store(DONE, Ordering::SeqCst);
+                }
+                Ok(Poll::Pending) => {
+                    drop(slot);
+                    // Woken mid-poll? Re-enqueue, else go idle. A wake can
+                    // land RUNNING→NOTIFIED at any instant between these
+                    // two exchanges, so loop until one of them wins.
+                    // Giving up after a failed NOTIFIED exchange would do
+                    // worse than lose the wakeup: that waker's task Arc
+                    // was consumed without an enqueue, so an unresolved
+                    // NOTIFIED can be the task's *last* reference — it
+                    // would be freed mid-flight and its channel endpoints
+                    // would silently disconnect.
+                    loop {
+                        if task
+                            .state
+                            .compare_exchange(NOTIFIED, QUEUED, Ordering::SeqCst, Ordering::SeqCst)
+                            .is_ok()
+                        {
+                            self.enqueue(task.clone());
+                            break;
+                        }
+                        if task
+                            .state
+                            .compare_exchange(RUNNING, IDLE, Ordering::SeqCst, Ordering::SeqCst)
+                            .is_ok()
+                        {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// A multi-worker task executor.
+    pub struct Runtime {
+        exec: Arc<Exec>,
+        workers: Vec<std::thread::JoinHandle<()>>,
+    }
+
+    impl Runtime {
+        fn with_workers(n: usize) -> Runtime {
+            let exec = Arc::new(Exec {
+                queue: Mutex::new(VecDeque::new()),
+                cv: Condvar::new(),
+                shutdown: Mutex::new(false),
+            });
+            let workers = (0..n)
+                .map(|i| {
+                    let exec = exec.clone();
+                    std::thread::Builder::new()
+                        .name(format!("tokio-stub-worker-{i}"))
+                        .spawn(move || exec.worker_loop())
+                        .expect("spawn runtime worker")
+                })
+                .collect();
+            Runtime { exec, workers }
+        }
+
+        /// Number of worker threads serving this runtime.
+        pub fn metrics_num_workers(&self) -> usize {
+            self.workers.len()
+        }
+
+        /// Schedule `future` onto the worker pool.
+        pub fn spawn<F>(&self, future: F) -> JoinHandle<F::Output>
+        where
+            F: Future + Send + 'static,
+            F::Output: Send + 'static,
+        {
+            let shared = Arc::new(Mutex::new(JoinState {
+                result: None,
+                waker: None,
+                done: false,
+            }));
+            let slot = shared.clone();
+            let task = Arc::new(Task {
+                future: Mutex::new(None),
+                state: AtomicU8::new(QUEUED),
+                exec: Arc::downgrade(&self.exec),
+            });
+            let wrapped = Box::pin(async move {
+                let out = future.await;
+                let mut s = slot.lock().unwrap();
+                s.result = Some(out);
+                s.done = true;
+                if let Some(w) = s.waker.take() {
+                    w.wake();
+                }
+            });
+            *task.future.lock().unwrap() = Some(wrapped);
+            self.exec.enqueue(task);
+            JoinHandle { shared }
+        }
+
+        /// Drive `future` to completion on the calling thread.
+        pub fn block_on<F: Future>(&self, future: F) -> F::Output {
+            let parker = Arc::new(ThreadParker {
+                state: Mutex::new(false),
+                cv: Condvar::new(),
+            });
+            let waker = parker_waker(parker.clone());
+            let mut cx = Context::from_waker(&waker);
+            let mut future = std::pin::pin!(future);
+            loop {
+                match future.as_mut().poll(&mut cx) {
+                    Poll::Ready(out) => return out,
+                    Poll::Pending => parker.park(),
+                }
+            }
+        }
+    }
+
+    impl Drop for Runtime {
+        fn drop(&mut self) {
+            *self.exec.shutdown.lock().unwrap() = true;
+            self.exec.cv.notify_all();
+            for w in self.workers.drain(..) {
+                let _ = w.join();
+            }
+            // Unfinished tasks are dropped with the queue (their channel
+            // endpoints disconnect), matching upstream's shutdown.
+            self.exec.queue.lock().unwrap().clear();
+        }
+    }
+
+    struct ThreadParker {
+        state: Mutex<bool>,
+        cv: Condvar,
+    }
+
+    impl ThreadParker {
+        fn park(&self) {
+            let mut woken = self.state.lock().unwrap();
+            while !*woken {
+                woken = self.cv.wait(woken).unwrap();
+            }
+            *woken = false;
+        }
+
+        fn unpark(&self) {
+            *self.state.lock().unwrap() = true;
+            self.cv.notify_one();
+        }
+    }
+
+    fn parker_waker(parker: Arc<ThreadParker>) -> Waker {
+        unsafe fn clone(data: *const ()) -> RawWaker {
+            let p = unsafe { Arc::from_raw(data as *const ThreadParker) };
+            let cloned = p.clone();
+            std::mem::forget(p);
+            RawWaker::new(Arc::into_raw(cloned) as *const (), &VTABLE)
+        }
+        unsafe fn wake(data: *const ()) {
+            let p = unsafe { Arc::from_raw(data as *const ThreadParker) };
+            p.unpark();
+        }
+        unsafe fn wake_by_ref(data: *const ()) {
+            let p = unsafe { Arc::from_raw(data as *const ThreadParker) };
+            p.unpark();
+            std::mem::forget(p);
+        }
+        unsafe fn drop_waker(data: *const ()) {
+            drop(unsafe { Arc::from_raw(data as *const ThreadParker) });
+        }
+        static VTABLE: RawWakerVTable = RawWakerVTable::new(clone, wake, wake_by_ref, drop_waker);
+        let raw = RawWaker::new(Arc::into_raw(parker) as *const (), &VTABLE);
+        unsafe { Waker::from_raw(raw) }
+    }
+
+    struct JoinState<T> {
+        result: Option<T>,
+        waker: Option<Waker>,
+        done: bool,
+    }
+
+    /// Handle to a spawned task; a future resolving to the task's output.
+    /// The stub cannot observe panics through the handle (upstream's
+    /// `JoinError`), so the output type is `T` directly — a panicked
+    /// task's handle never resolves, and the workspace never joins
+    /// handles of fallible tasks.
+    pub struct JoinHandle<T> {
+        shared: Arc<Mutex<JoinState<T>>>,
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Has the task run to completion?
+        pub fn is_finished(&self) -> bool {
+            self.shared.lock().unwrap().done
+        }
+    }
+
+    impl<T> Future for JoinHandle<T> {
+        type Output = T;
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+            let mut s = self.shared.lock().unwrap();
+            if let Some(out) = s.result.take() {
+                return Poll::Ready(out);
+            }
+            s.waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+pub mod sync {
+    use super::*;
+
+    pub mod mpsc {
+        use super::*;
+
+        /// Error returned when the receiving half has been dropped; hands
+        /// the unsent message back.
+        #[derive(Debug, PartialEq, Eq)]
+        pub struct SendError<T>(pub T);
+
+        /// Error returned by [`Sender::try_send`].
+        #[derive(Debug, PartialEq, Eq)]
+        pub enum TrySendError<T> {
+            /// The bounded queue is at capacity.
+            Full(T),
+            /// The receiver is gone.
+            Closed(T),
+        }
+
+        /// Error returned by `try_recv`.
+        #[derive(Debug, PartialEq, Eq)]
+        pub enum TryRecvError {
+            /// No message is currently queued.
+            Empty,
+            /// Every sender is gone and the queue is drained.
+            Disconnected,
+        }
+
+        struct ChanInner<T> {
+            queue: VecDeque<T>,
+            cap: Option<usize>,
+            senders: usize,
+            rx_alive: bool,
+            recv_waker: Option<Waker>,
+            send_wakers: Vec<Waker>,
+        }
+
+        struct Chan<T> {
+            inner: Mutex<ChanInner<T>>,
+            cv: Condvar,
+        }
+
+        impl<T> Chan<T> {
+            fn wake_receiver(inner: &mut ChanInner<T>) {
+                if let Some(w) = inner.recv_waker.take() {
+                    w.wake();
+                }
+            }
+
+            fn wake_senders(&self, inner: &mut ChanInner<T>) {
+                for w in inner.send_wakers.drain(..) {
+                    w.wake();
+                }
+                self.cv.notify_all();
+            }
+        }
+
+        /// Create a bounded channel with space for `cap` messages.
+        pub fn channel<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+            assert!(cap > 0, "mpsc::channel capacity must be > 0");
+            let chan = Arc::new(Chan {
+                inner: Mutex::new(ChanInner {
+                    queue: VecDeque::new(),
+                    cap: Some(cap),
+                    senders: 1,
+                    rx_alive: true,
+                    recv_waker: None,
+                    send_wakers: Vec::new(),
+                }),
+                cv: Condvar::new(),
+            });
+            (Sender { chan: chan.clone() }, Receiver { chan })
+        }
+
+        /// Create an unbounded channel: sends never block or suspend.
+        pub fn unbounded_channel<T>() -> (UnboundedSender<T>, UnboundedReceiver<T>) {
+            let chan = Arc::new(Chan {
+                inner: Mutex::new(ChanInner {
+                    queue: VecDeque::new(),
+                    cap: None,
+                    senders: 1,
+                    rx_alive: true,
+                    recv_waker: None,
+                    send_wakers: Vec::new(),
+                }),
+                cv: Condvar::new(),
+            });
+            (
+                UnboundedSender { chan: chan.clone() },
+                UnboundedReceiver { chan },
+            )
+        }
+
+        /// Sending half of a bounded channel.
+        pub struct Sender<T> {
+            chan: Arc<Chan<T>>,
+        }
+
+        impl<T> Clone for Sender<T> {
+            fn clone(&self) -> Self {
+                self.chan.inner.lock().unwrap().senders += 1;
+                Sender {
+                    chan: self.chan.clone(),
+                }
+            }
+        }
+
+        impl<T> Drop for Sender<T> {
+            fn drop(&mut self) {
+                let mut inner = self.chan.inner.lock().unwrap();
+                inner.senders -= 1;
+                if inner.senders == 0 {
+                    Chan::wake_receiver(&mut inner);
+                    self.chan.cv.notify_all();
+                }
+            }
+        }
+
+        impl<T> Sender<T> {
+            /// Async send: suspends the task while the queue is full.
+            pub fn send(&self, value: T) -> SendFuture<'_, T> {
+                SendFuture {
+                    chan: &self.chan,
+                    value: Some(value),
+                }
+            }
+
+            /// Non-suspending send attempt.
+            pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+                let mut inner = self.chan.inner.lock().unwrap();
+                if !inner.rx_alive {
+                    return Err(TrySendError::Closed(value));
+                }
+                if inner.cap.is_some_and(|c| inner.queue.len() >= c) {
+                    return Err(TrySendError::Full(value));
+                }
+                inner.queue.push_back(value);
+                Chan::wake_receiver(&mut inner);
+                Ok(())
+            }
+
+            /// Blocking send from a synchronous (non-worker) thread; parks
+            /// the OS thread while the queue is full — this is the
+            /// backpressure edge sync drivers feel.
+            pub fn blocking_send(&self, value: T) -> Result<(), SendError<T>> {
+                let mut inner = self.chan.inner.lock().unwrap();
+                loop {
+                    if !inner.rx_alive {
+                        return Err(SendError(value));
+                    }
+                    if inner.cap.is_none_or(|c| inner.queue.len() < c) {
+                        inner.queue.push_back(value);
+                        Chan::wake_receiver(&mut inner);
+                        return Ok(());
+                    }
+                    inner = self.chan.cv.wait(inner).unwrap();
+                }
+            }
+        }
+
+        /// Future returned by [`Sender::send`].
+        pub struct SendFuture<'a, T> {
+            chan: &'a Chan<T>,
+            value: Option<T>,
+        }
+
+        impl<T> Future for SendFuture<'_, T> {
+            type Output = Result<(), SendError<T>>;
+            fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+                let this = unsafe { self.get_unchecked_mut() };
+                let mut inner = this.chan.inner.lock().unwrap();
+                let value = this.value.take().expect("polled after completion");
+                if !inner.rx_alive {
+                    return Poll::Ready(Err(SendError(value)));
+                }
+                if inner.cap.is_some_and(|c| inner.queue.len() >= c) {
+                    this.value = Some(value);
+                    inner.send_wakers.push(cx.waker().clone());
+                    return Poll::Pending;
+                }
+                inner.queue.push_back(value);
+                Chan::wake_receiver(&mut inner);
+                Poll::Ready(Ok(()))
+            }
+        }
+
+        /// Receiving half of a bounded channel (single consumer).
+        pub struct Receiver<T> {
+            chan: Arc<Chan<T>>,
+        }
+
+        impl<T> Drop for Receiver<T> {
+            fn drop(&mut self) {
+                // Match upstream: closing the receiver destroys buffered
+                // values. The drain is moved outside the lock so a value
+                // whose own Drop touches channel state cannot deadlock.
+                let orphaned;
+                {
+                    let mut inner = self.chan.inner.lock().unwrap();
+                    inner.rx_alive = false;
+                    orphaned = std::mem::take(&mut inner.queue);
+                    let chan = &self.chan;
+                    chan.wake_senders(&mut inner);
+                }
+                drop(orphaned);
+            }
+        }
+
+        impl<T> Receiver<T> {
+            /// Async receive: resolves `None` once every sender is gone
+            /// and the queue is drained.
+            pub fn recv(&mut self) -> RecvFuture<'_, T> {
+                RecvFuture { chan: &self.chan }
+            }
+
+            /// Non-suspending receive attempt.
+            pub fn try_recv(&mut self) -> Result<T, TryRecvError> {
+                let mut inner = self.chan.inner.lock().unwrap();
+                if let Some(v) = inner.queue.pop_front() {
+                    self.chan.wake_senders(&mut inner);
+                    return Ok(v);
+                }
+                if inner.senders == 0 {
+                    Err(TryRecvError::Disconnected)
+                } else {
+                    Err(TryRecvError::Empty)
+                }
+            }
+
+            /// Blocking receive from a synchronous thread.
+            pub fn blocking_recv(&mut self) -> Option<T> {
+                let mut inner = self.chan.inner.lock().unwrap();
+                loop {
+                    if let Some(v) = inner.queue.pop_front() {
+                        self.chan.wake_senders(&mut inner);
+                        return Some(v);
+                    }
+                    if inner.senders == 0 {
+                        return None;
+                    }
+                    inner = self.chan.cv.wait(inner).unwrap();
+                }
+            }
+        }
+
+        /// Future returned by [`Receiver::recv`].
+        pub struct RecvFuture<'a, T> {
+            chan: &'a Chan<T>,
+        }
+
+        impl<T> Future for RecvFuture<'_, T> {
+            type Output = Option<T>;
+            fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+                let mut inner = self.chan.inner.lock().unwrap();
+                if let Some(v) = inner.queue.pop_front() {
+                    self.chan.wake_senders(&mut inner);
+                    return Poll::Ready(Some(v));
+                }
+                if inner.senders == 0 {
+                    return Poll::Ready(None);
+                }
+                inner.recv_waker = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+
+        /// Sending half of an unbounded channel; sends are synchronous.
+        pub struct UnboundedSender<T> {
+            chan: Arc<Chan<T>>,
+        }
+
+        impl<T> Clone for UnboundedSender<T> {
+            fn clone(&self) -> Self {
+                self.chan.inner.lock().unwrap().senders += 1;
+                UnboundedSender {
+                    chan: self.chan.clone(),
+                }
+            }
+        }
+
+        impl<T> Drop for UnboundedSender<T> {
+            fn drop(&mut self) {
+                let mut inner = self.chan.inner.lock().unwrap();
+                inner.senders -= 1;
+                if inner.senders == 0 {
+                    Chan::wake_receiver(&mut inner);
+                    self.chan.cv.notify_all();
+                }
+            }
+        }
+
+        impl<T> UnboundedSender<T> {
+            /// Enqueue without blocking or suspending — the property the
+            /// cycle-breaking inbox edges rely on.
+            pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+                let mut inner = self.chan.inner.lock().unwrap();
+                if !inner.rx_alive {
+                    return Err(SendError(value));
+                }
+                inner.queue.push_back(value);
+                Chan::wake_receiver(&mut inner);
+                self.chan.cv.notify_all();
+                Ok(())
+            }
+        }
+
+        /// Receiving half of an unbounded channel (single consumer).
+        pub struct UnboundedReceiver<T> {
+            chan: Arc<Chan<T>>,
+        }
+
+        impl<T> Drop for UnboundedReceiver<T> {
+            fn drop(&mut self) {
+                // See `Receiver::drop`: buffered values die with the
+                // receiver, outside the lock.
+                let orphaned;
+                {
+                    let mut inner = self.chan.inner.lock().unwrap();
+                    inner.rx_alive = false;
+                    orphaned = std::mem::take(&mut inner.queue);
+                    let chan = &self.chan;
+                    chan.wake_senders(&mut inner);
+                }
+                drop(orphaned);
+            }
+        }
+
+        impl<T> UnboundedReceiver<T> {
+            /// Async receive; see [`Receiver::recv`].
+            pub fn recv(&mut self) -> RecvFuture<'_, T> {
+                RecvFuture { chan: &self.chan }
+            }
+
+            /// Non-suspending receive attempt.
+            pub fn try_recv(&mut self) -> Result<T, TryRecvError> {
+                let mut inner = self.chan.inner.lock().unwrap();
+                if let Some(v) = inner.queue.pop_front() {
+                    return Ok(v);
+                }
+                if inner.senders == 0 {
+                    Err(TryRecvError::Disconnected)
+                } else {
+                    Err(TryRecvError::Empty)
+                }
+            }
+
+            /// Blocking receive from a synchronous thread.
+            pub fn blocking_recv(&mut self) -> Option<T> {
+                let mut inner = self.chan.inner.lock().unwrap();
+                loop {
+                    if let Some(v) = inner.queue.pop_front() {
+                        return Some(v);
+                    }
+                    if inner.senders == 0 {
+                        return None;
+                    }
+                    inner = self.chan.cv.wait(inner).unwrap();
+                }
+            }
+        }
+    }
+
+    /// Notify a task (or many) that an event occurred.
+    ///
+    /// Stub guarantee: a [`Notified`] future snapshots the notification
+    /// generation **at creation**, and completes once either a stored
+    /// `notify_one` permit is consumed or `notify_waiters` has been called
+    /// after that snapshot — even when the future's first poll happens
+    /// later. The check-then-await watermark idiom is therefore race-free.
+    pub struct Notify {
+        state: Mutex<NotifyState>,
+    }
+
+    struct NotifyState {
+        generation: u64,
+        permits: usize,
+        waiters: Vec<Waker>,
+    }
+
+    impl Default for Notify {
+        fn default() -> Self {
+            Notify::new()
+        }
+    }
+
+    impl Notify {
+        /// A new notifier with no stored permit.
+        pub fn new() -> Notify {
+            Notify {
+                state: Mutex::new(NotifyState {
+                    generation: 0,
+                    permits: 0,
+                    waiters: Vec::new(),
+                }),
+            }
+        }
+
+        /// A future that completes on the next notification.
+        pub fn notified(&self) -> Notified<'_> {
+            let state = self.state.lock().unwrap();
+            Notified {
+                notify: self,
+                snapshot: state.generation,
+            }
+        }
+
+        /// Wake one waiter, or store a permit for the next one.
+        pub fn notify_one(&self) {
+            let mut state = self.state.lock().unwrap();
+            state.generation += 1;
+            state.permits = state.permits.saturating_add(1);
+            if let Some(w) = state.waiters.pop() {
+                w.wake();
+            }
+        }
+
+        /// Wake every current waiter; stores no permit.
+        pub fn notify_waiters(&self) {
+            let mut state = self.state.lock().unwrap();
+            state.generation += 1;
+            for w in state.waiters.drain(..) {
+                w.wake();
+            }
+        }
+    }
+
+    /// Future returned by [`Notify::notified`].
+    pub struct Notified<'a> {
+        notify: &'a Notify,
+        snapshot: u64,
+    }
+
+    impl Future for Notified<'_> {
+        type Output = ();
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+            let mut state = self.notify.state.lock().unwrap();
+            if state.permits > 0 {
+                state.permits -= 1;
+                return Poll::Ready(());
+            }
+            if state.generation > self.snapshot {
+                return Poll::Ready(());
+            }
+            state.waiters.push(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+pub mod time {
+    use super::*;
+    use std::sync::OnceLock;
+    use std::time::{Duration, Instant};
+
+    /// Error returned by [`timeout`] when the deadline passes first.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Elapsed(());
+
+    impl std::fmt::Display for Elapsed {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("deadline has elapsed")
+        }
+    }
+
+    impl std::error::Error for Elapsed {}
+
+    struct TimerEntry {
+        fired: Mutex<bool>,
+        waker: Mutex<Option<Waker>>,
+    }
+
+    struct Timer {
+        entries: Mutex<Vec<(Instant, Arc<TimerEntry>)>>,
+        cv: Condvar,
+    }
+
+    impl Timer {
+        fn register(&self, deadline: Instant, entry: Arc<TimerEntry>) {
+            self.entries.lock().unwrap().push((deadline, entry));
+            self.cv.notify_one();
+        }
+
+        fn run(&self) {
+            let mut entries = self.entries.lock().unwrap();
+            loop {
+                let now = Instant::now();
+                let mut due = Vec::new();
+                entries.retain(|(deadline, entry)| {
+                    if *deadline <= now {
+                        due.push(entry.clone());
+                        false
+                    } else {
+                        true
+                    }
+                });
+                if !due.is_empty() {
+                    drop(entries);
+                    for entry in due {
+                        *entry.fired.lock().unwrap() = true;
+                        if let Some(w) = entry.waker.lock().unwrap().take() {
+                            w.wake();
+                        }
+                    }
+                    entries = self.entries.lock().unwrap();
+                    continue;
+                }
+                match entries.iter().map(|(d, _)| *d).min() {
+                    Some(next) => {
+                        let wait = next.saturating_duration_since(now);
+                        entries = self.cv.wait_timeout(entries, wait).unwrap().0;
+                    }
+                    None => entries = self.cv.wait(entries).unwrap(),
+                }
+            }
+        }
+    }
+
+    fn timer() -> &'static Timer {
+        static TIMER: OnceLock<&'static Timer> = OnceLock::new();
+        TIMER.get_or_init(|| {
+            let timer: &'static Timer = Box::leak(Box::new(Timer {
+                entries: Mutex::new(Vec::new()),
+                cv: Condvar::new(),
+            }));
+            std::thread::Builder::new()
+                .name("tokio-stub-timer".to_owned())
+                .spawn(move || timer.run())
+                .expect("spawn timer thread");
+            timer
+        })
+    }
+
+    /// Require `future` to complete within `duration`.
+    pub fn timeout<F: Future>(duration: Duration, future: F) -> Timeout<F> {
+        Timeout {
+            future,
+            duration,
+            entry: None,
+        }
+    }
+
+    /// Future returned by [`timeout`].
+    pub struct Timeout<F> {
+        future: F,
+        duration: Duration,
+        entry: Option<Arc<TimerEntry>>,
+    }
+
+    impl<F: Future> Future for Timeout<F> {
+        type Output = Result<F::Output, Elapsed>;
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let this = unsafe { self.get_unchecked_mut() };
+            let inner = unsafe { Pin::new_unchecked(&mut this.future) };
+            if let Poll::Ready(out) = inner.poll(cx) {
+                return Poll::Ready(Ok(out));
+            }
+            match &this.entry {
+                None => {
+                    let entry = Arc::new(TimerEntry {
+                        fired: Mutex::new(false),
+                        waker: Mutex::new(Some(cx.waker().clone())),
+                    });
+                    timer().register(Instant::now() + this.duration, entry.clone());
+                    this.entry = Some(entry);
+                }
+                Some(entry) => {
+                    if *entry.fired.lock().unwrap() {
+                        return Poll::Ready(Err(Elapsed(())));
+                    }
+                    *entry.waker.lock().unwrap() = Some(cx.waker().clone());
+                }
+            }
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::runtime::Builder;
+    use super::sync::{mpsc, Notify};
+    use super::time;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn rt(workers: usize) -> super::runtime::Runtime {
+        Builder::new_multi_thread()
+            .worker_threads(workers)
+            .enable_all()
+            .build()
+            .expect("runtime")
+    }
+
+    #[test]
+    fn spawned_tasks_run_on_the_pool_and_join() {
+        let rt = rt(3);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..64)
+            .map(|_| {
+                let c = counter.clone();
+                rt.spawn(async move {
+                    c.fetch_add(1, Ordering::SeqCst);
+                    7u64
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(rt.block_on(h), 7);
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+        assert_eq!(rt.metrics_num_workers(), 3);
+    }
+
+    #[test]
+    fn bounded_channel_backpressures_and_delivers_in_order() {
+        let rt = rt(2);
+        let (tx, mut rx) = mpsc::channel::<u32>(2);
+        // Async producer pushing past capacity: must suspend, not lose.
+        let producer = rt.spawn(async move {
+            for i in 0..100 {
+                tx.send(i).await.expect("receiver alive");
+            }
+        });
+        let drained = rt.spawn(async move {
+            let mut got = Vec::new();
+            while let Some(v) = rx.recv().await {
+                got.push(v);
+            }
+            got
+        });
+        rt.block_on(producer);
+        let got = rt.block_on(drained);
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn blocking_send_parks_until_the_pool_drains() {
+        let rt = rt(1);
+        let (tx, mut rx) = mpsc::channel::<u32>(1);
+        let consumer = rt.spawn(async move {
+            let mut sum = 0u64;
+            while let Some(v) = rx.recv().await {
+                sum += v as u64;
+            }
+            sum
+        });
+        for i in 0..50 {
+            tx.blocking_send(i).expect("receiver alive");
+        }
+        drop(tx);
+        assert_eq!(rt.block_on(consumer), (0..50).sum::<u64>());
+    }
+
+    #[test]
+    fn try_send_reports_full_and_closed() {
+        let (tx, mut rx) = mpsc::channel::<u8>(1);
+        tx.try_send(1).unwrap();
+        assert!(matches!(tx.try_send(2), Err(mpsc::TrySendError::Full(2))));
+        assert_eq!(rx.try_recv(), Ok(1));
+        drop(rx);
+        assert!(matches!(tx.try_send(3), Err(mpsc::TrySendError::Closed(3))));
+    }
+
+    #[test]
+    fn receiver_drop_destroys_buffered_values() {
+        // Quiescence tokens ride inside queued commands; a dead task's
+        // queue must release them, so receiver drop drains the buffer.
+        #[derive(Debug)]
+        struct Token(Arc<std::sync::atomic::AtomicUsize>);
+        impl Drop for Token {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+
+        let (tx, rx) = mpsc::channel::<Token>(8);
+        tx.try_send(Token(drops.clone())).unwrap();
+        tx.try_send(Token(drops.clone())).unwrap();
+        drop(rx);
+        assert_eq!(drops.load(std::sync::atomic::Ordering::SeqCst), 2);
+
+        let (utx, urx) = mpsc::unbounded_channel::<Token>();
+        utx.send(Token(drops.clone())).unwrap();
+        drop(urx);
+        assert_eq!(drops.load(std::sync::atomic::Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn unbounded_send_never_suspends() {
+        let rt = rt(2);
+        let (tx, mut rx) = mpsc::unbounded_channel::<u32>();
+        for i in 0..10_000 {
+            tx.send(i).expect("receiver alive");
+        }
+        drop(tx);
+        let got = rt.block_on(async move {
+            let mut n = 0u32;
+            while rx.recv().await.is_some() {
+                n += 1;
+            }
+            n
+        });
+        assert_eq!(got, 10_000);
+    }
+
+    #[test]
+    fn notified_watermark_is_race_free() {
+        // The documented stub guarantee: a Notified created before
+        // notify_waiters completes even if first polled afterwards.
+        let rt = rt(2);
+        let notify = Arc::new(Notify::new());
+        let fut = notify.notified();
+        notify.notify_waiters();
+        rt.block_on(fut);
+        // And notify_one stores a permit for a future created later.
+        let notify2 = Arc::new(Notify::new());
+        notify2.notify_one();
+        rt.block_on(notify2.notified());
+    }
+
+    #[test]
+    fn timeout_expires_and_passes_through() {
+        let rt = rt(1);
+        let notify = Arc::new(Notify::new());
+        let expired = rt.block_on(time::timeout(Duration::from_millis(20), notify.notified()));
+        assert!(expired.is_err());
+        let ok = rt.block_on(time::timeout(Duration::from_secs(5), async { 42 }));
+        assert_eq!(ok, Ok(42));
+    }
+
+    #[test]
+    fn task_panic_is_contained() {
+        let rt = rt(1);
+        let (tx, mut rx) = mpsc::unbounded_channel::<u8>();
+        rt.spawn(async move {
+            let _hold = tx;
+            panic!("task dies, worker survives");
+        });
+        // The panicked task's sender is dropped, so recv sees disconnect
+        // instead of the whole pool wedging.
+        assert_eq!(rt.block_on(async move { rx.recv().await }), None);
+        // The lone worker is still alive to serve new tasks.
+        assert_eq!(rt.block_on(rt.spawn(async { 5u8 })), 5);
+    }
+}
