@@ -103,6 +103,16 @@ fn main() {
             );
             std::process::exit(1);
         }
+        let trace = dtrack_bench::smoke::trace_overhead_geomean(&results);
+        println!("traced-off/pre-trace wall-clock overhead (geomean): {trace:.3}x");
+        // The trace layer's hot-path contract, enforced: disabled
+        // instrumentation (one relaxed load and a never-taken branch per
+        // event site) must cost <= 2% over the bare pre-trace ingest
+        // loop (geomean over best-of-2 deterministic pairs).
+        if trace > 1.02 {
+            eprintln!("FAIL: disabled-trace overhead {trace:.3}x exceeds the 1.02x ceiling");
+            std::process::exit(1);
+        }
         let tasks = dtrack_bench::smoke::async_vs_sharded_k4096(&results);
         // Recorded, not enforced: prices the async executor against the
         // work-stealing pool at k = 4096 on this hardware; the async

@@ -5,13 +5,13 @@
 //! cargo run --release -p dtrack-bench --bin experiments -- smoke
 //! ```
 //!
-//! writes `BENCH_pr9.json` — the current point of the repo's performance
-//! trajectory (`BENCH_seed.json` through `BENCH_pr7.json` are the frozen
+//! writes `BENCH_pr10.json` — the current point of the repo's performance
+//! trajectory (`BENCH_seed.json` through `BENCH_pr9.json` are the frozen
 //! earlier baselines). For the deterministic cells the metered
 //! words/messages are bit-for-bit deterministic (regressions there are
 //! protocol changes, not noise); wall-clock throughput is indicative.
 //!
-//! Seven cell groups:
+//! Eight cell groups:
 //!
 //! * n = 20 000 deterministic cells — match the seed snapshot one-to-one
 //!   for before/after comparisons;
@@ -64,12 +64,24 @@
 //!   loop at extreme k — which regime wins is hardware-dependent, and
 //!   the async backend's acceptance story is the 77-row equivalence
 //!   matrix, not a throughput gate.
+//! * **trace-overhead** cells (PR 10) — the deterministic ingest (the
+//!   tightest per-item loop, where a hot-path branch would show first)
+//!   driven once against the bare `Cluster` exactly as pre-trace callers
+//!   ran it, and once through the `Tracker` facade with tracing
+//!   *explicitly disabled* (`TraceConfig::off()`), per pair protocol.
+//!   The trace layer's contract is that the disabled instrumentation is
+//!   one relaxed load and a never-taken branch per event site, so
+//!   `trace_overhead_geomean` must be noise (acceptance ≤ 1.02, same
+//!   ceiling as the facade gate); each cell is best-of-2. Tracing *on*
+//!   is deliberately not a perf cell: its acceptance story is the
+//!   transparency suite (answers and metered words byte-identical), not
+//!   a throughput number.
 
 use dtrack_core::counter::CounterProtocol;
 use dtrack_core::hh::{HhConfig, HhExactProtocol, HhSketchedProtocol};
 use dtrack_core::quantile::{QuantileConfig, QuantileSketchedProtocol};
 use dtrack_sim::threaded::{RunTicket, ThreadedCluster};
-use dtrack_sim::{BackendKind, Cluster, FlowControlConfig, Protocol, SiteId, Tracker};
+use dtrack_sim::{BackendKind, Cluster, FlowControlConfig, Protocol, SiteId, TraceConfig, Tracker};
 use dtrack_testkit::threaded::free_run_len;
 use dtrack_testkit::{
     measure_cost, measure_on_backend, measure_threaded, AssignmentSpec, GeneratorSpec,
@@ -78,7 +90,7 @@ use dtrack_testkit::{
 use std::time::Instant;
 
 /// File name of the smoke snapshot written by `experiments smoke`.
-pub const SMOKE_SNAPSHOT: &str = "BENCH_pr9.json";
+pub const SMOKE_SNAPSHOT: &str = "BENCH_pr10.json";
 
 /// One timed smoke cell.
 #[derive(Debug, Clone)]
@@ -560,6 +572,12 @@ const DET_PAIR: (&str, &str) = ("facade-det:", "direct-det:");
 /// Threaded twin of [`DET_PAIR`].
 const THR_PAIR: (&str, &str) = ("facade-thr:", "direct-thr:");
 
+/// Trace-overhead cell-name prefixes: (traced-off facade, pre-trace
+/// bare-cluster baseline). Shared by the cell builder,
+/// [`trace_overhead_geomean`]'s pairing, and the structural tests, so a
+/// rename cannot silently empty the overhead metric.
+const TRACE_PAIR: (&str, &str) = ("traced-off:", "trace-base:");
+
 /// Items per deterministic `feed_batch` call in the facade/direct cells
 /// — the testkit's chunking, so the pair cells mirror the drivers.
 const PAIR_CHUNK: usize = dtrack_testkit::runner::FEED_CHUNK as usize;
@@ -587,10 +605,13 @@ fn timed_cell(name: String, n: u64, mut run_once: impl FnMut() -> (u64, u64, f64
     }
 }
 
-/// Deterministic ingest against the bare [`Cluster`] — no facade.
-fn direct_deterministic<P: Protocol>(p: &P, scenario: &Scenario) -> SmokeResult {
+/// Deterministic ingest against the bare [`Cluster`] — no facade. Used
+/// with [`DET_PAIR`]'s direct prefix and, under [`TRACE_PAIR`]'s
+/// baseline prefix, as the pre-trace hot path the trace-overhead gate
+/// compares against.
+fn bare_deterministic<P: Protocol>(prefix: &str, p: &P, scenario: &Scenario) -> SmokeResult {
     let stream: Vec<(SiteId, u64)> = scenario.stream().collect();
-    timed_cell(format!("{}{scenario}", DET_PAIR.1), scenario.n, || {
+    timed_cell(format!("{prefix}{scenario}"), scenario.n, || {
         let (sites, coordinator) = p.build(scenario.k).expect("protocol build");
         let mut cluster = Cluster::new(sites, coordinator).expect("cluster");
         let start = Instant::now();
@@ -601,6 +622,10 @@ fn direct_deterministic<P: Protocol>(p: &P, scenario: &Scenario) -> SmokeResult 
         let meter = cluster.meter();
         (meter.total_words(), meter.total_messages(), wall_ms)
     })
+}
+
+fn direct_deterministic<P: Protocol>(p: &P, scenario: &Scenario) -> SmokeResult {
+    bare_deterministic(DET_PAIR.1, p, scenario)
 }
 
 /// The same deterministic ingest through the [`Tracker`] facade.
@@ -739,6 +764,71 @@ fn facade_direct_cells_at(n: u64) -> Vec<SmokeResult> {
     out
 }
 
+/// Deterministic ingest through the [`Tracker`] facade with tracing
+/// *explicitly disabled* — the post-PR-10 hot path the trace-overhead
+/// gate prices. `set_trace(TraceConfig::off())` exercises the full
+/// install path (the per-site tracer handles are really distributed),
+/// so the cell measures the disabled instrumentation, not its absence.
+fn traced_off_deterministic<P: Protocol>(p: &P, scenario: &Scenario) -> SmokeResult {
+    let stream: Vec<(SiteId, u64)> = scenario.stream().collect();
+    timed_cell(format!("{}{scenario}", TRACE_PAIR.0), scenario.n, || {
+        let mut tracker = Tracker::builder()
+            .sites(scenario.k)
+            .backend(BackendKind::Deterministic)
+            .protocol(p.clone())
+            .build()
+            .expect("tracker");
+        tracker.set_trace(TraceConfig::off());
+        let start = Instant::now();
+        for part in stream.chunks(PAIR_CHUNK) {
+            tracker.feed_batch(part).expect("feed_batch");
+        }
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let meter = tracker.cost();
+        (meter.total_words(), meter.total_messages(), wall_ms)
+    })
+}
+
+fn push_trace_cells<P: Protocol>(out: &mut Vec<SmokeResult>, p: &P, scenario: &Scenario) {
+    out.push(bare_deterministic(TRACE_PAIR.1, p, scenario));
+    out.push(traced_off_deterministic(p, scenario));
+}
+
+/// The trace-overhead cells: the [`THREADED_PROTOCOLS`] spread through
+/// the deterministic backend, once bare (the pre-trace hot path) and
+/// once through the facade with tracing explicitly off. `n` is
+/// [`THREADED_N`] in the real run; tests pass a small n to exercise the
+/// actual cell builder cheaply.
+fn trace_cells_at(n: u64) -> Vec<SmokeResult> {
+    let mut out = Vec::new();
+    let s = smoke_scenario(ProtocolSpec::Counter, n);
+    push_trace_cells(
+        &mut out,
+        &CounterProtocol::new(s.epsilon).expect("epsilon"),
+        &s,
+    );
+    let s = smoke_scenario(ProtocolSpec::HhExact, n);
+    let config = HhConfig::new(s.k, s.epsilon).expect("config");
+    push_trace_cells(&mut out, &HhExactProtocol::new(config), &s);
+    let s = smoke_scenario(ProtocolSpec::HhSketched, n);
+    let config = HhConfig::new(s.k, s.epsilon).expect("config");
+    push_trace_cells(&mut out, &HhSketchedProtocol::new(config), &s);
+    let s = smoke_scenario(ProtocolSpec::QuantileSketched { phi: 0.5 }, n);
+    let config = QuantileConfig::new(s.k, s.epsilon, 0.5).expect("config");
+    push_trace_cells(&mut out, &QuantileSketchedProtocol::new(config), &s);
+    // Pin the coverage the same way the facade/direct builder does:
+    // every pair protocol must have trace cells.
+    for spec in THREADED_PROTOCOLS {
+        let label = spec.label();
+        assert!(
+            out.iter()
+                .any(|c| c.scenario.contains(&format!(":{label}/"))),
+            "trace-overhead pair cells missing for {label}"
+        );
+    }
+    out
+}
+
 /// Run the smoke matrix (deterministic + threaded cells), timing each
 /// scenario.
 ///
@@ -790,6 +880,7 @@ pub fn run_smoke() -> Vec<SmokeResult> {
     results.extend(scale_cells_at(SCALE_N));
     results.extend(free_flow_cells_at(SCALE_N));
     results.extend(async_cells_at(SCALE_N));
+    results.extend(trace_cells_at(THREADED_N));
     results
 }
 
@@ -861,21 +952,51 @@ pub fn facade_overhead_geomean(results: &[SmokeResult]) -> f64 {
     }
 }
 
+/// Geometric-mean wall-clock ratio of the `traced-off:` cells over
+/// their `trace-base:` twins (1.0 when no pairs are present). 1.00
+/// means the disabled trace instrumentation costs nothing over the
+/// pre-trace hot path; the acceptance ceiling is 1.02 (≤ 2% overhead),
+/// the same ceiling the facade gate uses.
+pub fn trace_overhead_geomean(results: &[SmokeResult]) -> f64 {
+    let base_of = |suffix: &str| {
+        results
+            .iter()
+            .find(|r| r.scenario.strip_prefix(TRACE_PAIR.1) == Some(suffix))
+            .map(|r| r.wall_ms)
+    };
+    let mut log_sum = 0.0;
+    let mut pairs = 0usize;
+    for r in results {
+        if let Some(name) = r.scenario.strip_prefix(TRACE_PAIR.0) {
+            if let Some(base) = base_of(name) {
+                log_sum += (r.wall_ms.max(1e-6) / base.max(1e-6)).ln();
+                pairs += 1;
+            }
+        }
+    }
+    if pairs == 0 {
+        1.0
+    } else {
+        (log_sum / pairs as f64).exp()
+    }
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 /// Render smoke results as a stable, human-diffable JSON document.
 pub fn smoke_json(results: &[SmokeResult]) -> String {
-    let mut out = String::from("{\n  \"schema\": \"dtrack-bench-smoke/v6\",\n");
+    let mut out = String::from("{\n  \"schema\": \"dtrack-bench-smoke/v7\",\n");
     out.push_str(&format!(
-        "  \"threaded_batched_speedup\": {:.2},\n  \"facade_overhead_geomean\": {:.3},\n  \"sharded_scale_speedup_k256\": {:.2},\n  \"adaptive_vs_fixed_throughput\": {:.2},\n  \"free_run_words_factor\": {:.3},\n  \"async_vs_sharded_k4096\": {:.2},\n  \"cells\": [\n",
+        "  \"threaded_batched_speedup\": {:.2},\n  \"facade_overhead_geomean\": {:.3},\n  \"sharded_scale_speedup_k256\": {:.2},\n  \"adaptive_vs_fixed_throughput\": {:.2},\n  \"free_run_words_factor\": {:.3},\n  \"async_vs_sharded_k4096\": {:.2},\n  \"trace_overhead_geomean\": {:.3},\n  \"cells\": [\n",
         threaded_batched_speedup(results),
         facade_overhead_geomean(results),
         sharded_scale_speedup_k256(results),
         adaptive_vs_fixed_throughput(results),
         free_run_words_factor(results),
-        async_vs_sharded_k4096(results)
+        async_vs_sharded_k4096(results),
+        trace_overhead_geomean(results)
     ));
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(
@@ -1018,6 +1139,79 @@ mod tests {
                     .find(|d| d.scenario.strip_prefix(DET_PAIR.1) == Some(name))
                     .expect("direct twin");
                 assert_eq!(c.words, twin.words, "facade changed the transcript");
+            }
+        }
+    }
+
+    #[test]
+    fn trace_overhead_pairs_traced_off_with_base_cells() {
+        let mk = |name: &str, wall_ms: f64| SmokeResult {
+            scenario: name.to_owned(),
+            words: 1,
+            messages: 1,
+            wall_ms,
+            items_per_sec: 1.0,
+        };
+        let results = vec![
+            mk("trace-base:counter/x", 10.0),
+            mk("traced-off:counter/x", 10.2),
+            mk("trace-base:hh-exact/y", 20.0),
+            mk("traced-off:hh-exact/y", 19.0),
+            mk("facade-det:counter/x", 5.0),
+        ];
+        // geomean(1.02, 0.95) = sqrt(0.969)
+        let o = trace_overhead_geomean(&results);
+        assert!((o - (1.02f64 * 0.95).sqrt()).abs() < 1e-9, "got {o}");
+        assert_eq!(trace_overhead_geomean(&[]), 1.0);
+    }
+
+    #[test]
+    fn trace_cells_pair_up_and_feed_the_overhead_metric() {
+        // Run the *real* cell builder at a small n so the test exercises
+        // exactly what `experiments smoke` ships: a traced-off and a
+        // bare-baseline cell for every pair protocol, each pair visible
+        // to the overhead extractor (so a renamed prefix or a dropped
+        // protocol block can't silently turn the gate into its no-pairs
+        // default of 1.0).
+        let cells = trace_cells_at(4_000);
+        assert_eq!(cells.len(), 2 * THREADED_PROTOCOLS.len());
+        for prefix in [TRACE_PAIR.0, TRACE_PAIR.1] {
+            assert_eq!(
+                cells
+                    .iter()
+                    .filter(|c| c.scenario.starts_with(prefix))
+                    .count(),
+                THREADED_PROTOCOLS.len(),
+                "{prefix} cells missing"
+            );
+        }
+        // Every traced-off cell found its baseline twin: perturbing one
+        // pair's traced-off wall-clock must move the geomean.
+        let base = trace_overhead_geomean(&cells);
+        assert!(base > 0.0);
+        let mut perturbed = cells.clone();
+        let c = perturbed
+            .iter_mut()
+            .find(|c| c.scenario.starts_with(TRACE_PAIR.0))
+            .expect("traced-off cell");
+        c.wall_ms *= 10.0;
+        assert!(trace_overhead_geomean(&perturbed) > base);
+        // Disabling tracing is transparent down to the metered words —
+        // the pair twins replay the identical deterministic transcript.
+        for c in &cells {
+            if let Some(name) = c.scenario.strip_prefix(TRACE_PAIR.0) {
+                let twin = cells
+                    .iter()
+                    .find(|d| d.scenario.strip_prefix(TRACE_PAIR.1) == Some(name))
+                    .expect("baseline twin");
+                assert_eq!(
+                    c.words, twin.words,
+                    "disabled tracing changed the transcript"
+                );
+                assert_eq!(
+                    c.messages, twin.messages,
+                    "disabled tracing changed the transcript"
+                );
             }
         }
     }
@@ -1181,13 +1375,14 @@ mod tests {
             items_per_sec: 2_352_941.0,
         }];
         let j = smoke_json(&results);
-        assert!(j.contains("\"schema\": \"dtrack-bench-smoke/v6\""));
+        assert!(j.contains("\"schema\": \"dtrack-bench-smoke/v7\""));
         assert!(j.contains("\"threaded_batched_speedup\""));
         assert!(j.contains("\"facade_overhead_geomean\""));
         assert!(j.contains("\"sharded_scale_speedup_k256\""));
         assert!(j.contains("\"adaptive_vs_fixed_throughput\""));
         assert!(j.contains("\"free_run_words_factor\""));
         assert!(j.contains("\"async_vs_sharded_k4096\""));
+        assert!(j.contains("\"trace_overhead_geomean\""));
         assert!(j.contains("\"words\": 1234"));
         assert!(j.ends_with("]\n}\n"));
         // Balanced braces/brackets, no trailing comma before the close.

@@ -86,6 +86,14 @@ fn d5_relaxed_fixtures() {
     assert_twin(Rule::D5, "d5_bad", "d5_ok");
 }
 
+/// The trace-crate variant: D5's scope is widened to `crates/trace` (as
+/// in the workspace lint.toml), so an unregistered event-ring cursor
+/// trips, and registering it with a reason clears it.
+#[test]
+fn d5_trace_cursor_fixtures() {
+    assert_twin(Rule::D5, "d5_trace_bad", "d5_trace_ok");
+}
+
 #[test]
 fn d6_unwrap_fixtures() {
     assert_twin(Rule::D6, "d6_bad", "d6_ok");
@@ -126,6 +134,7 @@ fn binary_exit_codes() {
         "d3_graph_bad",
         "d4_bad",
         "d5_bad",
+        "d5_trace_bad",
         "d6_bad",
         "stale_bad",
     ] {
@@ -142,7 +151,15 @@ fn binary_exit_codes() {
             String::from_utf8_lossy(&out.stdout)
         );
     }
-    for ok in ["d1_ok", "d2_ok", "d3_ok", "d4_ok", "d5_ok", "d6_ok"] {
+    for ok in [
+        "d1_ok",
+        "d2_ok",
+        "d3_ok",
+        "d4_ok",
+        "d5_ok",
+        "d5_trace_ok",
+        "d6_ok",
+    ] {
         let out = Command::new(bin)
             .arg("--root")
             .arg(fixture_root(ok))

@@ -1,0 +1,12 @@
+// D5 bad: a trace ring's relaxed write cursor with no registered entry.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Ring {
+    cursor: AtomicU64,
+}
+
+impl Ring {
+    pub fn record(&self) -> u64 {
+        self.cursor.fetch_add(1, Ordering::Relaxed)
+    }
+}

@@ -1,0 +1,13 @@
+// D5 ok: the same relaxed ring cursor, registered in this fixture's
+// lint.toml.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Ring {
+    cursor: AtomicU64,
+}
+
+impl Ring {
+    pub fn record(&self) -> u64 {
+        self.cursor.fetch_add(1, Ordering::Relaxed)
+    }
+}

@@ -58,14 +58,15 @@ pub fn surface() -> String {
     line("const dtrack_sim::HH_PROBE_PHIS: [f64; 5]");
     line("const dtrack_sim::flow::WIN_MIN: u32");
     line("const dtrack_sim::flow::WIN_MAX: u32");
+    line("const dtrack_sim::tracker::TRACE_ENV: &str");
     line("trait dtrack_sim::tracker::Protocol { label sites_hint build query answers }");
-    line("trait dtrack_sim::tracker::ErasedProtocol { label feed feed_batch ingest settle settle_deadline cost_hint query answers cost finish }");
-    line("impl Tracker { builder protocol_label backend_kind num_sites feed feed_batch ingest settle settle_deadline cost_hint query answers cost finish }");
-    line("impl TrackerBuilder { sites backend site_queue_cap flow_control settle_deadline protocol build }");
+    line("trait dtrack_sim::tracker::ErasedProtocol { label feed feed_batch ingest settle settle_deadline cost_hint query answers set_trace trace_events trace_dropped cost finish }");
+    line("impl Tracker { builder protocol_label backend_kind num_sites feed feed_batch ingest settle settle_deadline cost_hint query answers cost set_trace trace_events trace_dropped trace_summary export_trace finish }");
+    line("impl TrackerBuilder { sites backend site_queue_cap flow_control settle_deadline trace protocol build }");
     line("enum BackendKind { Deterministic Threaded Sharded{workers} Async{workers,wire} }");
     line("enum TrackerError { Protocol MissingSiteCount SiteCountMismatch InvalidConfig{knob,detail} Sim }");
-    line("enum Query { Count HeavyHitters TrackedQuantile Quantile RankLt Frequency FlowControl }");
-    line("enum Answer { Count StreamLength LengthEstimate Total HeavyHitters Quantile QuantileAt RankLt Frequency FlowControl }");
+    line("enum Query { Count HeavyHitters TrackedQuantile Quantile RankLt Frequency FlowControl Trace }");
+    line("enum Answer { Count StreamLength LengthEstimate Total HeavyHitters Quantile QuantileAt RankLt Frequency FlowControl Trace }");
     line("impl Answer { as_count as_quantile as_items }");
     line("impl FlowControlConfig { fixed validate }");
     line("impl AimdController { new config window clean_run drift_site drift_all stats }");
@@ -89,7 +90,7 @@ pub fn surface() -> String {
         "type {}",
         base_name::<crate::AsyncBackend<probe::PSite, probe::PCoord>>()
     ));
-    line("trait dtrack_sim::backend::Backend { feed feed_batch ingest settle settle_deadline cost_hint flow_control with_coordinator cost finish }");
+    line("trait dtrack_sim::backend::Backend { feed feed_batch ingest settle settle_deadline cost_hint flow_control with_coordinator inject_fault set_trace trace_events trace_dropped cost finish }");
     line("fn dtrack_sim::backend::ThreadedBackend::spawn_with_cap(sites, coordinator, queue_cap)");
     line("fn dtrack_sim::backend::ShardedBackend::spawn_with(sites, coordinator, config)");
     line("fn dtrack_sim::backend::AsyncBackend::spawn_with(sites, coordinator, config)");
@@ -134,6 +135,29 @@ pub fn surface() -> String {
     line("const dtrack_sim::threaded::SITE_QUEUE_CAP: usize");
     line("fn dtrack_sim::sharded::default_workers -> usize");
     line("enum dtrack_sim::error::SimError { Livelock NoSuchSite TooFewSites WorkerGone SiteDown Timeout Transport{detail} Decode{frame,error} }");
+    line("");
+
+    line("## tracing (re-exported from dtrack-trace)");
+    macro_rules! ty3 {
+        ($t:ty) => {
+            line(&format!("type {}", base_name::<$t>()))
+        };
+    }
+    ty3!(crate::TraceConfig);
+    ty3!(crate::TraceEvent);
+    ty3!(crate::TraceEventKind);
+    ty3!(crate::TraceLane);
+    ty3!(crate::TraceSummary);
+    ty3!(crate::PhaseStats);
+    line("impl TraceConfig { off on with_ring_capacity }");
+    line("impl TraceSummary { from_events count }");
+    line("fn dtrack_sim::canonical_kind_order(a, b) -> Ordering");
+    line("fn dtrack_sim::merge_snapshots(lanes) -> Vec<TraceEvent>");
+    line("fn dtrack_sim::export_chrome(events, writer) -> io::Result<()>");
+    line("fn dtrack_sim::write_chrome_file(events, path) -> io::Result<()>");
+    line("fn dtrack_sim::threaded::ThreadedCluster::{set_trace trace_events trace_dropped}");
+    line("fn dtrack_sim::sharded::ShardedCluster::{set_trace trace_events trace_dropped}");
+    line("fn dtrack_sim::async_rt::AsyncCluster::{set_trace trace_events trace_dropped}");
     out
 }
 
@@ -249,6 +273,27 @@ fn assert_api_compiles(mut tracker: crate::Tracker) -> Result<(), Box<dyn std::e
     let _ = answer.as_items();
     let _ = tracker.answers()?;
     let _: crate::MessageMeter = tracker.cost();
+    tracker.set_trace(crate::TraceConfig::on().with_ring_capacity(1024));
+    let events: Vec<crate::TraceEvent> = tracker.trace_events();
+    let _: u64 = tracker.trace_dropped();
+    let summary: crate::TraceSummary = tracker.trace_summary();
+    let _: u64 = summary.count("up-hop");
+    let _ = crate::TraceSummary::from_events(&events, 0);
+    let _ = crate::merge_snapshots(vec![events.clone()]);
+    let _ = crate::canonical_kind_order("a", "b");
+    crate::export_chrome(&events, Vec::new())?;
+    let _ = crate::write_chrome_file::<&str>;
+    let _ = crate::Tracker::export_trace::<&str>;
+    let _: &str = crate::TRACE_ENV;
+    let _ = crate::threaded::ThreadedCluster::<probe::PSite, probe::PCoord>::set_trace;
+    let _ = crate::threaded::ThreadedCluster::<probe::PSite, probe::PCoord>::trace_events;
+    let _ = crate::threaded::ThreadedCluster::<probe::PSite, probe::PCoord>::trace_dropped;
+    let _ = crate::sharded::ShardedCluster::<probe::PSite, probe::PCoord>::set_trace;
+    let _ = crate::sharded::ShardedCluster::<probe::PSite, probe::PCoord>::trace_events;
+    let _ = crate::sharded::ShardedCluster::<probe::PSite, probe::PCoord>::trace_dropped;
+    let _ = crate::async_rt::AsyncCluster::<probe::PSite, probe::PCoord>::set_trace;
+    let _ = crate::async_rt::AsyncCluster::<probe::PSite, probe::PCoord>::trace_events;
+    let _ = crate::async_rt::AsyncCluster::<probe::PSite, probe::PCoord>::trace_dropped;
     let _: crate::MessageMeter = tracker.finish()?;
     Ok(())
 }

@@ -47,6 +47,9 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Sender as CbSender};
+use dtrack_trace::{
+    merge_snapshots, SiteTracer, TraceConfig, TraceEvent, TraceEventKind, TraceLane, TraceShared,
+};
 use dtrack_wire::{Dest, Loopback, WireMessage, WireStats};
 use tokio::sync::mpsc;
 use tokio::sync::Notify;
@@ -182,42 +185,44 @@ impl WireLink {
         }
     }
 
-    /// Round-trip one upstream hop through the codec. The decoded value
-    /// is byte-identical to the original, so forwarding it changes
-    /// nothing metered; a decode failure poisons the link and falls back
-    /// to the original so the cluster stays live for teardown.
-    fn up_hop<U: WireMessage>(&self, origin: SiteId, up: U) -> (SiteId, U) {
-        match self.loopback.roundtrip_up(origin.0, &up) {
-            Ok((from, decoded)) => (SiteId(from), decoded),
+    /// Round-trip one upstream hop through the codec, returning the frame
+    /// byte length alongside. The decoded value is byte-identical to the
+    /// original, so forwarding it changes nothing metered; a decode
+    /// failure poisons the link and falls back to the original (with a
+    /// zero frame length) so the cluster stays live for teardown.
+    fn up_hop<U: WireMessage>(&self, origin: SiteId, up: U) -> (SiteId, U, u64) {
+        match self.loopback.roundtrip_up_sized(origin.0, &up) {
+            Ok((from, decoded, bytes)) => (SiteId(from), decoded, bytes),
             Err(error) => {
                 self.poison_with(SimError::Decode { frame: "up", error });
-                (origin, up)
+                (origin, up, 0)
             }
         }
     }
 
     /// Round-trip one downstream routing decision (pre-broadcast
     /// expansion: a broadcast is one frame, expanded to k sends after
-    /// decoding, exactly as the unframed path expands it).
-    fn down_hop<D: WireMessage>(&self, dest: Down, msg: D) -> (Down, D) {
+    /// decoding, exactly as the unframed path expands it), returning the
+    /// frame byte length alongside.
+    fn down_hop<D: WireMessage>(&self, dest: Down, msg: D) -> (Down, D, u64) {
         let wire_dest = match dest {
             Down::Unicast(site) => Dest::Site(site.0),
             Down::Broadcast => Dest::Broadcast,
         };
-        match self.loopback.roundtrip_down(wire_dest, &msg) {
-            Ok((decoded_dest, decoded)) => {
+        match self.loopback.roundtrip_down_sized(wire_dest, &msg) {
+            Ok((decoded_dest, decoded, bytes)) => {
                 let dest = match decoded_dest {
                     Dest::Site(site) => Down::Unicast(SiteId(site)),
                     Dest::Broadcast => Down::Broadcast,
                 };
-                (dest, decoded)
+                (dest, decoded, bytes)
             }
             Err(error) => {
                 self.poison_with(SimError::Decode {
                     frame: "down",
                     error,
                 });
-                (dest, msg)
+                (dest, msg, 0)
             }
         }
     }
@@ -245,6 +250,8 @@ enum SiteCmd<S: Site> {
     Stall(u64, AToken),
     /// Snapshot this site task's meter.
     Meter(CbSender<MessageMeter>),
+    /// Snapshot this site task's trace ring (events + overflow count).
+    TraceSnap(CbSender<(Vec<TraceEvent>, u64)>),
     /// Hand back the site state machine and meter, then finish the task.
     Stop(CbSender<(S, MessageMeter)>),
 }
@@ -252,6 +259,8 @@ enum SiteCmd<S: Site> {
 enum CoordCmd<C: Coordinator> {
     Up(SiteId, C::Up, AToken),
     With(Box<dyn FnOnce(&mut C) + Send>),
+    /// Snapshot the coordinator task's trace ring (wire-frame events).
+    TraceSnap(CbSender<(Vec<TraceEvent>, u64)>),
     Stop(CbSender<C>),
 }
 
@@ -279,6 +288,8 @@ where
     words_shared: Arc<AtomicU64>,
     /// Present when the wire codec is on.
     wire: Option<Arc<WireLink>>,
+    /// Shared tracing switch + logical clock; every task holds a clone.
+    trace_shared: Arc<TraceShared>,
 }
 
 impl<S, C> AsyncCluster<S, C>
@@ -322,6 +333,7 @@ where
         let pending = Arc::new(AsyncPending::default());
         let words_shared = Arc::new(AtomicU64::new(0));
         let wire = config.wire.then(|| Arc::new(WireLink::new()));
+        let trace_shared = Arc::new(TraceShared::new());
         let (coord_tx, coord_rx) = mpsc::unbounded_channel::<CoordCmd<C>>();
 
         let mut site_txs = Vec::with_capacity(sites.len());
@@ -333,6 +345,7 @@ where
             let words_shared = Arc::clone(&words_shared);
             let wire = wire.clone();
             let id = SiteId(i as u32);
+            let tracer = SiteTracer::new(Arc::clone(&trace_shared), TraceLane::Site(i as u32));
             rt.spawn(run_site(
                 site,
                 id,
@@ -341,6 +354,7 @@ where
                 pending,
                 words_shared,
                 wire,
+                tracer,
             ));
         }
 
@@ -356,6 +370,7 @@ where
             Arc::clone(&pending),
             Arc::clone(&dead),
             wire.clone(),
+            SiteTracer::new(Arc::clone(&trace_shared), TraceLane::Coordinator),
         ));
 
         Ok(AsyncCluster {
@@ -366,6 +381,7 @@ where
             dead,
             words_shared,
             wire,
+            trace_shared,
         })
     }
 
@@ -553,6 +569,65 @@ where
         total
     }
 
+    /// Reconfigure tracing for every task. Safe at any time; for a
+    /// complete stream, configure before the first feed (the SeqCst store
+    /// happens-before every later command send).
+    pub fn set_trace(&self, config: TraceConfig) {
+        self.trace_shared.configure(config);
+    }
+
+    /// The shared trace switch, for driver-side tracers on the same
+    /// logical clock.
+    pub(crate) fn trace_shared(&self) -> &Arc<TraceShared> {
+        &self.trace_shared
+    }
+
+    /// Snapshot every task's trace ring, merged into one clock-ordered
+    /// stream (settle first for a complete picture). Tasks that already
+    /// died contribute nothing.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        let mut lanes = Vec::with_capacity(self.site_txs.len() + 1);
+        for tx in &self.site_txs {
+            let (ttx, trx) = unbounded();
+            if tx.blocking_send(SiteCmd::TraceSnap(ttx)).is_ok() {
+                if let Ok((events, _)) = trx.recv() {
+                    lanes.push(events);
+                }
+            }
+        }
+        if let Some(ctx) = &self.coord_tx {
+            let (ttx, trx) = unbounded();
+            if ctx.send(CoordCmd::TraceSnap(ttx)).is_ok() {
+                if let Ok((events, _)) = trx.recv() {
+                    lanes.push(events);
+                }
+            }
+        }
+        merge_snapshots(lanes)
+    }
+
+    /// Total trace events lost to ring overflow across every task.
+    pub fn trace_dropped(&self) -> u64 {
+        let mut dropped = 0;
+        for tx in &self.site_txs {
+            let (ttx, trx) = unbounded();
+            if tx.blocking_send(SiteCmd::TraceSnap(ttx)).is_ok() {
+                if let Ok((_, d)) = trx.recv() {
+                    dropped += d;
+                }
+            }
+        }
+        if let Some(ctx) = &self.coord_tx {
+            let (ttx, trx) = unbounded();
+            if ctx.send(CoordCmd::TraceSnap(ttx)).is_ok() {
+                if let Ok((_, d)) = trx.recv() {
+                    dropped += d;
+                }
+            }
+        }
+        dropped
+    }
+
     /// Cheap, slightly-stale total-words estimate (see the threaded
     /// runtime's `words_hint`) — the flow controller's drift-probe
     /// source, safe to call mid-ingest.
@@ -655,6 +730,7 @@ where
 /// Meter and forward one step's upstream messages, optionally through the
 /// wire codec. Each message carries its own pending token, created before
 /// the input token is released. Errors mean the coordinator is gone.
+#[allow(clippy::too_many_arguments)] // the site task's loop state, threaded by ref
 fn flush_ups<S, C>(
     id: SiteId,
     out: &mut Vec<S::Up>,
@@ -662,6 +738,7 @@ fn flush_ups<S, C>(
     coord_tx: &mpsc::UnboundedSender<CoordCmd<C>>,
     pending: &Arc<AsyncPending>,
     wire: Option<&WireLink>,
+    tracer: &mut SiteTracer,
 ) -> Result<(), ()>
 where
     S: Site,
@@ -670,10 +747,18 @@ where
 {
     for up in out.drain(..) {
         let (from, up) = match wire {
-            Some(link) => link.up_hop(id, up),
+            Some(link) => {
+                let (from, up, bytes) = link.up_hop(id, up);
+                tracer.record(TraceEventKind::WireFrame { bytes });
+                (from, up)
+            }
             None => (id, up),
         };
         meter.record_up(up.kind(), up.size_words());
+        tracer.record(TraceEventKind::UpHop {
+            kind: up.kind(),
+            words: up.size_words(),
+        });
         let token = AToken::new(pending);
         if coord_tx.send(CoordCmd::Up(from, up, token)).is_err() {
             return Err(());
@@ -701,6 +786,7 @@ fn batch_step<S, C>(
     coord_tx: &mpsc::UnboundedSender<CoordCmd<C>>,
     pending: &Arc<AsyncPending>,
     wire: Option<&WireLink>,
+    tracer: &mut SiteTracer,
 ) -> Result<(), ()>
 where
     S: Site,
@@ -716,7 +802,10 @@ where
     let consumed = site.on_items(&batch.items[batch.off..], out);
     debug_assert!(consumed > 0, "on_items must make progress");
     batch.off += consumed.max(1);
-    flush_ups::<S, C>(id, out, meter, coord_tx, pending, wire)?;
+    tracer.record(TraceEventKind::ItemRun {
+        items: consumed.max(1) as u64,
+    });
+    flush_ups::<S, C>(id, out, meter, coord_tx, pending, wire, tracer)?;
     let finished = batch.off >= batch.items.len();
     let _ = batch.progress.send(consumed);
     if finished {
@@ -725,6 +814,7 @@ where
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)] // the site task's loop state, moved in at spawn
 async fn run_site<S, C>(
     mut site: S,
     id: SiteId,
@@ -733,6 +823,7 @@ async fn run_site<S, C>(
     pending: Arc<AsyncPending>,
     words_shared: Arc<AtomicU64>,
     wire: Option<Arc<WireLink>>,
+    mut tracer: SiteTracer,
 ) where
     S: Site + Send + 'static,
     S::Item: Clone,
@@ -763,7 +854,18 @@ async fn run_site<S, C>(
         match cmd {
             SiteCmd::Item(item, token) => {
                 site.on_item(item, &mut out);
-                if flush_ups::<S, C>(id, &mut out, &mut meter, &coord_tx, &pending, wire).is_err() {
+                tracer.record(TraceEventKind::ItemRun { items: 1 });
+                if flush_ups::<S, C>(
+                    id,
+                    &mut out,
+                    &mut meter,
+                    &coord_tx,
+                    &pending,
+                    wire,
+                    &mut tracer,
+                )
+                .is_err()
+                {
                     return;
                 }
                 drop(token);
@@ -780,7 +882,15 @@ async fn run_site<S, C>(
                     progress,
                 });
                 if batch_step(
-                    &mut site, &mut cur, id, &mut out, &mut meter, &coord_tx, &pending, wire,
+                    &mut site,
+                    &mut cur,
+                    id,
+                    &mut out,
+                    &mut meter,
+                    &coord_tx,
+                    &pending,
+                    wire,
+                    &mut tracer,
                 )
                 .is_err()
                 {
@@ -790,7 +900,15 @@ async fn run_site<S, C>(
             }
             SiteCmd::Resume(token) => {
                 if batch_step(
-                    &mut site, &mut cur, id, &mut out, &mut meter, &coord_tx, &pending, wire,
+                    &mut site,
+                    &mut cur,
+                    id,
+                    &mut out,
+                    &mut meter,
+                    &coord_tx,
+                    &pending,
+                    wire,
+                    &mut tracer,
                 )
                 .is_err()
                 {
@@ -805,8 +923,19 @@ async fn run_site<S, C>(
                     let consumed = site.on_items(&items[off..], &mut out);
                     debug_assert!(consumed > 0, "on_items must make progress");
                     off += consumed.max(1);
-                    if flush_ups::<S, C>(id, &mut out, &mut meter, &coord_tx, &pending, wire)
-                        .is_err()
+                    tracer.record(TraceEventKind::ItemRun {
+                        items: consumed.max(1) as u64,
+                    });
+                    if flush_ups::<S, C>(
+                        id,
+                        &mut out,
+                        &mut meter,
+                        &coord_tx,
+                        &pending,
+                        wire,
+                        &mut tracer,
+                    )
+                    .is_err()
                     {
                         return;
                     }
@@ -816,9 +945,19 @@ async fn run_site<S, C>(
                     while let Ok(next) = rx.try_recv() {
                         if let SiteCmd::Down(msg, down_token) = next {
                             meter.record_down(msg.kind(), msg.size_words());
+                            tracer.record(TraceEventKind::DownHop {
+                                kind: msg.kind(),
+                                words: msg.size_words(),
+                            });
                             site.on_message(&msg, &mut out);
                             if flush_ups::<S, C>(
-                                id, &mut out, &mut meter, &coord_tx, &pending, wire,
+                                id,
+                                &mut out,
+                                &mut meter,
+                                &coord_tx,
+                                &pending,
+                                wire,
+                                &mut tracer,
                             )
                             .is_err()
                             {
@@ -835,8 +974,22 @@ async fn run_site<S, C>(
             }
             SiteCmd::Down(msg, token) => {
                 meter.record_down(msg.kind(), msg.size_words());
+                tracer.record(TraceEventKind::DownHop {
+                    kind: msg.kind(),
+                    words: msg.size_words(),
+                });
                 site.on_message(&msg, &mut out);
-                if flush_ups::<S, C>(id, &mut out, &mut meter, &coord_tx, &pending, wire).is_err() {
+                if flush_ups::<S, C>(
+                    id,
+                    &mut out,
+                    &mut meter,
+                    &coord_tx,
+                    &pending,
+                    wire,
+                    &mut tracer,
+                )
+                .is_err()
+                {
                     return;
                 }
                 drop(token);
@@ -851,6 +1004,9 @@ async fn run_site<S, C>(
             }
             SiteCmd::Meter(reply) => {
                 let _ = reply.send(meter.clone());
+            }
+            SiteCmd::TraceSnap(reply) => {
+                let _ = reply.send((tracer.snapshot(), tracer.dropped()));
             }
             SiteCmd::Stop(reply) => {
                 let _ = reply.send((site, meter));
@@ -891,6 +1047,7 @@ async fn run_coordinator<S, C>(
     pending: Arc<AsyncPending>,
     dead: Arc<Vec<AtomicBool>>,
     wire: Option<Arc<WireLink>>,
+    mut tracer: SiteTracer,
 ) where
     S: Site + Send + 'static,
     C: Coordinator<Up = S::Up, Down = S::Down> + Send + 'static,
@@ -907,7 +1064,13 @@ async fn run_coordinator<S, C>(
                 downs.extend(outbox.drain());
                 for (dest, msg) in downs.drain(..) {
                     let (dest, msg) = match wire {
-                        Some(link) => link.down_hop(dest, msg),
+                        Some(link) => {
+                            // One frame per routing decision: a broadcast
+                            // is framed once, pre-expansion.
+                            let (dest, msg, bytes) = link.down_hop(dest, msg);
+                            tracer.record(TraceEventKind::WireFrame { bytes });
+                            (dest, msg)
+                        }
                         None => (dest, msg),
                     };
                     let msg = Arc::new(msg);
@@ -925,6 +1088,9 @@ async fn run_coordinator<S, C>(
                 drop(token);
             }
             CoordCmd::With(f) => f(&mut coordinator),
+            CoordCmd::TraceSnap(reply) => {
+                let _ = reply.send((tracer.snapshot(), tracer.dropped()));
+            }
             CoordCmd::Stop(reply) => {
                 let _ = reply.send(coordinator);
                 return;
@@ -1089,6 +1255,40 @@ mod tests {
         assert_eq!(stats.frames_up, 400);
         assert!(stats.frames_down > 0);
         assert!(stats.bytes_up > 0);
+    }
+
+    #[test]
+    fn trace_captures_wire_frames_when_the_codec_is_on() {
+        let sites = (0..2).map(|_| CountSite::default()).collect();
+        let cluster =
+            AsyncCluster::spawn_with(sites, SumCoord::default(), two_workers().with_wire(true))
+                .unwrap();
+        cluster.set_trace(TraceConfig::on());
+        for i in 1..=10u64 {
+            cluster.feed(SiteId((i % 2) as u32), i).unwrap();
+        }
+        cluster.settle();
+        let events = cluster.trace_events();
+        // 10 up frames at the sites plus 2 broadcast down frames at the
+        // coordinator (framed once, pre-expansion).
+        let frames = events
+            .iter()
+            .filter(|e| matches!(e.kind, TraceEventKind::WireFrame { .. }))
+            .count();
+        assert_eq!(frames, 12);
+        let down_hops = events
+            .iter()
+            .filter(|e| matches!(e.kind, TraceEventKind::DownHop { .. }))
+            .count();
+        assert_eq!(down_hops, 4);
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e.lane, TraceLane::Coordinator)),
+            "coordinator lane carries the down-frame events"
+        );
+        assert_eq!(cluster.trace_dropped(), 0);
+        cluster.shutdown().unwrap();
     }
 
     #[test]

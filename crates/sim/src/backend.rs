@@ -32,9 +32,13 @@
 
 #![deny(missing_docs)]
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::RecvTimeoutError;
+use dtrack_trace::{
+    merge_snapshots, SiteTracer, TraceConfig, TraceEvent, TraceEventKind, TraceLane,
+};
 use dtrack_wire::WireMessage;
 
 use crate::async_rt::{AsyncCluster, AsyncConfig};
@@ -160,6 +164,26 @@ where
     /// transcript is deterministic.
     fn inject_fault(&mut self, fault: FaultEvent) -> Result<(), SimError>;
 
+    /// Apply a trace configuration (see [`TraceConfig`]). Takes effect
+    /// for events recorded after the call; enabling before the first
+    /// feed yields a complete stream (the configuration store
+    /// happens-before the workers' next command receive). The default is
+    /// a no-op for backends without tracing.
+    fn set_trace(&mut self, _config: TraceConfig) {}
+
+    /// Merged, clock-ordered snapshot of every recorded trace event.
+    /// Non-destructive; call after [`Backend::settle`] for a consistent
+    /// stream. Empty when tracing was never enabled.
+    fn trace_events(&mut self) -> Vec<TraceEvent> {
+        Vec::new()
+    }
+
+    /// Trace events lost to ring-buffer overwrite so far (the rings keep
+    /// the newest events; see `dtrack-trace`'s overflow policy).
+    fn trace_dropped(&mut self) -> u64 {
+        0
+    }
+
     /// Snapshot the communication meter (merged across threads where
     /// applicable). Call after [`Backend::settle`] for a consistent
     /// picture.
@@ -178,6 +202,8 @@ where
     cluster: Cluster<S, C>,
     /// Scratch for [`Backend::ingest`]'s (site, item) pairing.
     run_buf: Vec<(SiteId, S::Item)>,
+    /// Driver-lane tracer: settle boundaries and fault events.
+    tracer: SiteTracer,
 }
 
 impl<S, C> DeterministicBackend<S, C>
@@ -187,9 +213,12 @@ where
 {
     /// Build the backend from pre-constructed protocol state.
     pub fn new(sites: Vec<S>, coordinator: C) -> Result<Self, SimError> {
+        let cluster = Cluster::new(sites, coordinator)?;
+        let tracer = SiteTracer::new(Arc::clone(cluster.trace_shared()), TraceLane::Driver);
         Ok(DeterministicBackend {
-            cluster: Cluster::new(sites, coordinator)?,
+            cluster,
             run_buf: Vec::new(),
+            tracer,
         })
     }
 
@@ -222,15 +251,32 @@ where
     }
 
     fn settle(&mut self) {
-        // Always quiescent between calls.
+        // Always quiescent between calls. The settle markers keep the
+        // driver-lane vocabulary uniform across backends, with logical
+        // (zero) durations so the stream stays bit-identical per seed.
+        self.tracer.record(TraceEventKind::SettleBegin);
+        self.tracer.record(TraceEventKind::SettleEnd { micros: 0 });
     }
 
     fn inject_fault(&mut self, fault: FaultEvent) -> Result<(), SimError> {
         match fault {
-            FaultEvent::KillSite { site } => self.cluster.kill_site(site),
+            FaultEvent::KillSite { site } => {
+                self.cluster.kill_site(site)?;
+                self.tracer
+                    .record(TraceEventKind::SiteKilled { site: site.0 });
+                Ok(())
+            }
             // No clocks on the deterministic backend: a stall is a pure
-            // timing fault and timing does not exist here.
-            FaultEvent::StallSite { .. } => Ok(()),
+            // timing fault and timing does not exist here. Still traced —
+            // the fault schedule's position in the stream is part of the
+            // transcript.
+            FaultEvent::StallSite { site, micros } => {
+                self.tracer.record(TraceEventKind::SiteStalled {
+                    site: site.0,
+                    micros,
+                });
+                Ok(())
+            }
         }
     }
 
@@ -240,6 +286,18 @@ where
         F: FnOnce(&mut C) -> R + Send + 'static,
     {
         Ok(f(self.cluster.coordinator_mut()))
+    }
+
+    fn set_trace(&mut self, config: TraceConfig) {
+        self.cluster.set_trace(config);
+    }
+
+    fn trace_events(&mut self) -> Vec<TraceEvent> {
+        merge_snapshots(vec![self.cluster.trace_events(), self.tracer.snapshot()])
+    }
+
+    fn trace_dropped(&mut self) -> u64 {
+        self.cluster.trace_dropped() + self.tracer.dropped()
     }
 
     fn cost(&mut self) -> MessageMeter {
@@ -271,6 +329,9 @@ struct AimdWindow<I> {
     controller: AimdController,
     tickets: Vec<Option<RunTicket>>,
     buffers: Vec<Vec<I>>,
+    /// Driver-lane tracer for window changes and backpressure waits
+    /// (`None` until the owning backend wires its cluster's trace hub).
+    tracer: Option<SiteTracer>,
     /// Reference words-per-item installed via [`Backend::cost_hint`];
     /// `None` disables the rate-drift signal.
     ref_rate: Option<f64>,
@@ -286,11 +347,46 @@ impl<I> AimdWindow<I> {
             controller: AimdController::new(k, config),
             tickets: (0..k).map(|_| None).collect(),
             buffers: (0..k).map(|_| Vec::new()).collect(),
+            tracer: None,
             ref_rate: None,
             flushed_items: 0,
             last_probe_items: 0,
             last_probe_words: 0,
         }
+    }
+
+    /// Wire the cluster's trace hub (driver lane) so window adjustments
+    /// and backpressure waits appear in the event stream.
+    fn set_tracer(&mut self, tracer: SiteTracer) {
+        self.tracer = Some(tracer);
+    }
+
+    fn trace(&mut self, kind: TraceEventKind) {
+        if let Some(tracer) = self.tracer.as_mut() {
+            tracer.record(kind);
+        }
+    }
+
+    /// Record a [`TraceEventKind::WindowChange`] if `idx`'s window moved
+    /// across an adjustment (captured as the before-value by the caller).
+    fn trace_window_change(&mut self, idx: usize, before: u32) {
+        let after = self.controller.window(idx);
+        if after != before {
+            self.trace(TraceEventKind::WindowChange {
+                site: idx as u32,
+                window: after,
+            });
+        }
+    }
+
+    fn tracer_snapshot(&self) -> Vec<TraceEvent> {
+        self.tracer
+            .as_ref()
+            .map_or_else(Vec::new, SiteTracer::snapshot)
+    }
+
+    fn tracer_dropped(&self) -> u64 {
+        self.tracer.as_ref().map_or(0, SiteTracer::dropped)
     }
 
     /// Swap in a new configuration (resets windows to the new initial;
@@ -358,7 +454,10 @@ impl<I> AimdWindow<I> {
             }
             let waited = started.elapsed();
             if !drifted && waited >= config.backpressure_wait {
+                let before = self.controller.window(idx);
                 self.controller.drift_site(idx);
+                self.trace(TraceEventKind::BackpressureWait { site: idx as u32 });
+                self.trace_window_change(idx, before);
                 drifted = true;
             }
             if waited >= config.backpressure_wait * 50 {
@@ -380,7 +479,9 @@ impl<I> AimdWindow<I> {
             let win = self.controller.window(idx) as usize;
             if let Some(ticket) = self.tickets[idx].take() {
                 if ticket.0.try_recv().is_some() {
+                    let before = self.controller.window(idx);
                     self.controller.clean_run(idx);
+                    self.trace_window_change(idx, before);
                 } else if self.buffers[idx].len() < win {
                     // Pipelined: run in flight, buffer not yet full —
                     // come back on the next ingest or flush.
@@ -392,9 +493,16 @@ impl<I> AimdWindow<I> {
                     // (the per-site drift signal).
                     let wait = self.controller.config().backpressure_wait;
                     match ticket.0.recv_timeout(wait) {
-                        Ok(()) => self.controller.clean_run(idx),
+                        Ok(()) => {
+                            let before = self.controller.window(idx);
+                            self.controller.clean_run(idx);
+                            self.trace_window_change(idx, before);
+                        }
                         Err(RecvTimeoutError::Timeout) => {
+                            let before = self.controller.window(idx);
                             self.controller.drift_site(idx);
+                            self.trace(TraceEventKind::BackpressureWait { site: idx as u32 });
+                            self.trace_window_change(idx, before);
                             ticket
                                 .0
                                 .recv()
@@ -445,6 +553,17 @@ impl<I> AimdWindow<I> {
         let observed = delta_words as f64 / delta_items as f64;
         if observed > ref_rate * config.drift_factor {
             self.controller.drift_all();
+            // One event stands in for the cluster-wide halving; site
+            // `u32::MAX` is the documented "all sites" sentinel and the
+            // window value is the post-halving minimum across sites.
+            let window = (0..self.buffers.len())
+                .map(|i| self.controller.window(i))
+                .min()
+                .unwrap_or(0);
+            self.trace(TraceEventKind::WindowChange {
+                site: u32::MAX,
+                window,
+            });
         }
     }
 
@@ -471,6 +590,32 @@ impl<I> AimdWindow<I> {
     }
 }
 
+/// Driver-side settle instrumentation for the timed backends: record the
+/// backlog high-water mark plus [`TraceEventKind::SettleBegin`] and
+/// return the wall timer the matching [`settle_end`] consumes. `None`
+/// (and no events) when tracing is off, so the untraced settle path
+/// never reads a clock.
+fn settle_begin(tracer: &mut SiteTracer, backlog: u64) -> Option<Instant> {
+    if !tracer.is_on() {
+        return None;
+    }
+    if backlog > 0 {
+        tracer.record(TraceEventKind::QueueDepth { depth: backlog });
+    }
+    tracer.record(TraceEventKind::SettleBegin);
+    Some(Instant::now())
+}
+
+/// Close the settle phase opened by [`settle_begin`] with its wall-clock
+/// duration (the timed backends' per-phase histogram input).
+fn settle_end(tracer: &mut SiteTracer, started: Option<Instant>) {
+    if let Some(t0) = started {
+        tracer.record(TraceEventKind::SettleEnd {
+            micros: t0.elapsed().as_micros() as u64,
+        });
+    }
+}
+
 /// The OS-thread backend (wraps [`ThreadedCluster`]).
 pub struct ThreadedBackend<S, C>
 where
@@ -482,6 +627,8 @@ where
 {
     cluster: ThreadedCluster<S, C>,
     window: AimdWindow<S::Item>,
+    /// Driver-lane tracer: settle phases and fault events.
+    tracer: SiteTracer,
 }
 
 impl<S, C> ThreadedBackend<S, C>
@@ -506,9 +653,17 @@ where
         queue_cap: usize,
     ) -> Result<Self, SimError> {
         let k = sites.len();
+        let cluster = ThreadedCluster::spawn_with_cap(sites, coordinator, queue_cap)?;
+        let mut window = AimdWindow::new(k, FlowControlConfig::default());
+        window.set_tracer(SiteTracer::new(
+            Arc::clone(cluster.trace_shared()),
+            TraceLane::Driver,
+        ));
+        let tracer = SiteTracer::new(Arc::clone(cluster.trace_shared()), TraceLane::Driver);
         Ok(ThreadedBackend {
-            cluster: ThreadedCluster::spawn_with_cap(sites, coordinator, queue_cap)?,
-            window: AimdWindow::new(k, FlowControlConfig::default()),
+            cluster,
+            window,
+            tracer,
         })
     }
 
@@ -560,13 +715,18 @@ where
         // outstanding ticket.
         let cluster = &self.cluster;
         self.window.flush(|s, run| cluster.ingest_run(s, run));
+        let started = settle_begin(&mut self.tracer, self.cluster.backlog_hint());
         self.cluster.settle();
+        settle_end(&mut self.tracer, started);
     }
 
     fn settle_deadline(&mut self, deadline: Duration) -> Result<(), SimError> {
         let cluster = &self.cluster;
         self.window.flush(|s, run| cluster.ingest_run(s, run));
-        self.cluster.settle_deadline(deadline)
+        let started = settle_begin(&mut self.tracer, self.cluster.backlog_hint());
+        let result = self.cluster.settle_deadline(deadline);
+        settle_end(&mut self.tracer, started);
+        result
     }
 
     fn cost_hint(&mut self, words_per_item: f64) {
@@ -583,8 +743,20 @@ where
         let cluster = &self.cluster;
         self.window.flush(|s, run| cluster.ingest_run(s, run));
         match fault {
-            FaultEvent::KillSite { site } => self.cluster.kill_site(site),
-            FaultEvent::StallSite { site, micros } => self.cluster.stall_site(site, micros),
+            FaultEvent::KillSite { site } => {
+                self.cluster.kill_site(site)?;
+                self.tracer
+                    .record(TraceEventKind::SiteKilled { site: site.0 });
+                Ok(())
+            }
+            FaultEvent::StallSite { site, micros } => {
+                self.cluster.stall_site(site, micros)?;
+                self.tracer.record(TraceEventKind::SiteStalled {
+                    site: site.0,
+                    micros,
+                });
+                Ok(())
+            }
         }
     }
 
@@ -594,6 +766,22 @@ where
         F: FnOnce(&mut C) -> R + Send + 'static,
     {
         self.cluster.with_coordinator(f)
+    }
+
+    fn set_trace(&mut self, config: TraceConfig) {
+        self.cluster.set_trace(config);
+    }
+
+    fn trace_events(&mut self) -> Vec<TraceEvent> {
+        merge_snapshots(vec![
+            self.cluster.trace_events(),
+            self.tracer.snapshot(),
+            self.window.tracer_snapshot(),
+        ])
+    }
+
+    fn trace_dropped(&mut self) -> u64 {
+        self.cluster.trace_dropped() + self.tracer.dropped() + self.window.tracer_dropped()
     }
 
     fn cost(&mut self) -> MessageMeter {
@@ -620,6 +808,8 @@ where
 {
     cluster: ShardedCluster<S, C>,
     window: AimdWindow<S::Item>,
+    /// Driver-lane tracer: settle phases and fault events.
+    tracer: SiteTracer,
 }
 
 impl<S, C> ShardedBackend<S, C>
@@ -643,9 +833,17 @@ where
         config: ShardedConfig,
     ) -> Result<Self, SimError> {
         let k = sites.len();
+        let cluster = ShardedCluster::spawn_with(sites, coordinator, config)?;
+        let mut window = AimdWindow::new(k, FlowControlConfig::default());
+        window.set_tracer(SiteTracer::new(
+            Arc::clone(cluster.trace_shared()),
+            TraceLane::Driver,
+        ));
+        let tracer = SiteTracer::new(Arc::clone(cluster.trace_shared()), TraceLane::Driver);
         Ok(ShardedBackend {
-            cluster: ShardedCluster::spawn_with(sites, coordinator, config)?,
-            window: AimdWindow::new(k, FlowControlConfig::default()),
+            cluster,
+            window,
+            tracer,
         })
     }
 
@@ -693,13 +891,18 @@ where
         // runs, so settling also waits out every outstanding ticket.
         let cluster = &self.cluster;
         self.window.flush(|s, run| cluster.ingest_run(s, run));
+        let started = settle_begin(&mut self.tracer, self.cluster.backlog_hint());
         self.cluster.settle();
+        settle_end(&mut self.tracer, started);
     }
 
     fn settle_deadline(&mut self, deadline: Duration) -> Result<(), SimError> {
         let cluster = &self.cluster;
         self.window.flush(|s, run| cluster.ingest_run(s, run));
-        self.cluster.settle_deadline(deadline)
+        let started = settle_begin(&mut self.tracer, self.cluster.backlog_hint());
+        let result = self.cluster.settle_deadline(deadline);
+        settle_end(&mut self.tracer, started);
+        result
     }
 
     fn cost_hint(&mut self, words_per_item: f64) {
@@ -714,8 +917,20 @@ where
         let cluster = &self.cluster;
         self.window.flush(|s, run| cluster.ingest_run(s, run));
         match fault {
-            FaultEvent::KillSite { site } => self.cluster.kill_site(site),
-            FaultEvent::StallSite { site, micros } => self.cluster.stall_site(site, micros),
+            FaultEvent::KillSite { site } => {
+                self.cluster.kill_site(site)?;
+                self.tracer
+                    .record(TraceEventKind::SiteKilled { site: site.0 });
+                Ok(())
+            }
+            FaultEvent::StallSite { site, micros } => {
+                self.cluster.stall_site(site, micros)?;
+                self.tracer.record(TraceEventKind::SiteStalled {
+                    site: site.0,
+                    micros,
+                });
+                Ok(())
+            }
         }
     }
 
@@ -725,6 +940,22 @@ where
         F: FnOnce(&mut C) -> R + Send + 'static,
     {
         self.cluster.with_coordinator(f)
+    }
+
+    fn set_trace(&mut self, config: TraceConfig) {
+        self.cluster.set_trace(config);
+    }
+
+    fn trace_events(&mut self) -> Vec<TraceEvent> {
+        merge_snapshots(vec![
+            self.cluster.trace_events(),
+            self.tracer.snapshot(),
+            self.window.tracer_snapshot(),
+        ])
+    }
+
+    fn trace_dropped(&mut self) -> u64 {
+        self.cluster.trace_dropped() + self.tracer.dropped() + self.window.tracer_dropped()
     }
 
     fn cost(&mut self) -> MessageMeter {
@@ -752,6 +983,8 @@ where
 {
     cluster: AsyncCluster<S, C>,
     window: AimdWindow<S::Item>,
+    /// Driver-lane tracer: settle phases and fault events.
+    tracer: SiteTracer,
 }
 
 impl<S, C> AsyncBackend<S, C>
@@ -776,9 +1009,17 @@ where
         config: AsyncConfig,
     ) -> Result<Self, SimError> {
         let k = sites.len();
+        let cluster = AsyncCluster::spawn_with(sites, coordinator, config)?;
+        let mut window = AimdWindow::new(k, FlowControlConfig::default());
+        window.set_tracer(SiteTracer::new(
+            Arc::clone(cluster.trace_shared()),
+            TraceLane::Driver,
+        ));
+        let tracer = SiteTracer::new(Arc::clone(cluster.trace_shared()), TraceLane::Driver);
         Ok(AsyncBackend {
-            cluster: AsyncCluster::spawn_with(sites, coordinator, config)?,
-            window: AimdWindow::new(k, FlowControlConfig::default()),
+            cluster,
+            window,
+            tracer,
         })
     }
 
@@ -827,13 +1068,18 @@ where
         // ticket.
         let cluster = &self.cluster;
         self.window.flush(|s, run| cluster.ingest_run(s, run));
+        let started = settle_begin(&mut self.tracer, self.cluster.backlog_hint());
         self.cluster.settle();
+        settle_end(&mut self.tracer, started);
     }
 
     fn settle_deadline(&mut self, deadline: Duration) -> Result<(), SimError> {
         let cluster = &self.cluster;
         self.window.flush(|s, run| cluster.ingest_run(s, run));
-        self.cluster.settle_deadline(deadline)
+        let started = settle_begin(&mut self.tracer, self.cluster.backlog_hint());
+        let result = self.cluster.settle_deadline(deadline);
+        settle_end(&mut self.tracer, started);
+        result
     }
 
     fn cost_hint(&mut self, words_per_item: f64) {
@@ -848,8 +1094,20 @@ where
         let cluster = &self.cluster;
         self.window.flush(|s, run| cluster.ingest_run(s, run));
         match fault {
-            FaultEvent::KillSite { site } => self.cluster.kill_site(site),
-            FaultEvent::StallSite { site, micros } => self.cluster.stall_site(site, micros),
+            FaultEvent::KillSite { site } => {
+                self.cluster.kill_site(site)?;
+                self.tracer
+                    .record(TraceEventKind::SiteKilled { site: site.0 });
+                Ok(())
+            }
+            FaultEvent::StallSite { site, micros } => {
+                self.cluster.stall_site(site, micros)?;
+                self.tracer.record(TraceEventKind::SiteStalled {
+                    site: site.0,
+                    micros,
+                });
+                Ok(())
+            }
         }
     }
 
@@ -859,6 +1117,22 @@ where
         F: FnOnce(&mut C) -> R + Send + 'static,
     {
         self.cluster.with_coordinator(f)
+    }
+
+    fn set_trace(&mut self, config: TraceConfig) {
+        self.cluster.set_trace(config);
+    }
+
+    fn trace_events(&mut self) -> Vec<TraceEvent> {
+        merge_snapshots(vec![
+            self.cluster.trace_events(),
+            self.tracer.snapshot(),
+            self.window.tracer_snapshot(),
+        ])
+    }
+
+    fn trace_dropped(&mut self) -> u64 {
+        self.cluster.trace_dropped() + self.tracer.dropped() + self.window.tracer_dropped()
     }
 
     fn cost(&mut self) -> MessageMeter {
@@ -994,6 +1268,71 @@ mod tests {
             }
             .with_wire(wire);
             run_backend(AsyncBackend::spawn_with(sites, SumCoord::default(), config).unwrap());
+        }
+    }
+
+    /// Identical trace semantics on every backend: untraced runs record
+    /// nothing, traced runs carry the hop vocabulary with nondecreasing
+    /// merged clocks, and tracing never perturbs the protocol outcome.
+    fn run_traced_backend<B: Backend<EchoSite, SumCoord>>(mut b: B) {
+        assert!(
+            b.trace_events().is_empty(),
+            "untraced backends record nothing"
+        );
+        b.set_trace(TraceConfig::on());
+        b.feed(SiteId(0), 1).unwrap();
+        b.feed_batch(&[(SiteId(1), 2), (SiteId(1), 3)]).unwrap();
+        b.ingest(SiteId(0), vec![4, 5, 6]).unwrap();
+        b.settle();
+        assert_eq!(b.with_coordinator(|c| c.sum).unwrap(), 21);
+        let events = b.trace_events();
+        let count = |label: &str| events.iter().filter(|e| e.kind.label() == label).count();
+        assert_eq!(count("up-hop"), 6, "one up per item: {events:#?}");
+        assert!(count("item-run") >= 3, "feed + batch + ingest all traced");
+        assert!(count("settle-begin") >= 1);
+        assert_eq!(count("settle-begin"), count("settle-end"));
+        assert_eq!(b.trace_dropped(), 0);
+        assert!(
+            events.windows(2).all(|w| w[0].clock <= w[1].clock),
+            "merged stream is clock-ordered"
+        );
+        b.finish().unwrap();
+    }
+
+    #[test]
+    fn deterministic_backend_traces_the_hop_vocabulary() {
+        let sites = (0..2).map(|_| EchoSite).collect();
+        run_traced_backend(DeterministicBackend::new(sites, SumCoord::default()).unwrap());
+    }
+
+    #[test]
+    fn threaded_backend_traces_the_hop_vocabulary() {
+        let sites = (0..2).map(|_| EchoSite).collect();
+        run_traced_backend(ThreadedBackend::spawn(sites, SumCoord::default()).unwrap());
+    }
+
+    #[test]
+    fn sharded_backend_traces_the_hop_vocabulary() {
+        let sites = (0..2).map(|_| EchoSite).collect();
+        let config = ShardedConfig {
+            workers: Some(2),
+            ..ShardedConfig::default()
+        };
+        run_traced_backend(ShardedBackend::spawn_with(sites, SumCoord::default(), config).unwrap());
+    }
+
+    #[test]
+    fn async_backend_traces_the_hop_vocabulary() {
+        for wire in [false, true] {
+            let sites = (0..2).map(|_| EchoSite).collect();
+            let config = AsyncConfig {
+                workers: Some(2),
+                ..AsyncConfig::default()
+            }
+            .with_wire(wire);
+            run_traced_backend(
+                AsyncBackend::spawn_with(sites, SumCoord::default(), config).unwrap(),
+            );
         }
     }
 

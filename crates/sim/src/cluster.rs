@@ -8,10 +8,14 @@
 //! next item arrives.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use crate::error::SimError;
 use crate::meter::MessageMeter;
 use crate::proto::{Coordinator, Down, MessageSize, Outbox, Site, SiteId};
+use dtrack_trace::{
+    merge_snapshots, SiteTracer, TraceConfig, TraceEvent, TraceEventKind, TraceLane, TraceShared,
+};
 
 /// Default per-arrival message fuse. A healthy protocol exchanges O(k + 1/ε)
 /// messages per arrival in the worst case; hitting the fuse indicates a
@@ -35,6 +39,12 @@ where
     /// messages to it are dropped unmetered (the coordinator "sends" into
     /// the partition and nothing arrives), its state is frozen.
     dead: Vec<bool>,
+    /// Shared trace state (enable flag, capacity, logical clock) plus one
+    /// per-site tracer and one coordinator-lane tracer. Tracing is off by
+    /// default: each would-be event then costs one relaxed load + branch.
+    trace_shared: Arc<TraceShared>,
+    tracers: Vec<SiteTracer>,
+    coord_tracer: SiteTracer,
     // Reused buffers to keep the hot path allocation-free.
     up_queue: VecDeque<(SiteId, S::Up)>,
     outbox: Outbox<S::Down>,
@@ -60,6 +70,11 @@ where
             });
         }
         let dead = vec![false; sites.len()];
+        let trace_shared = Arc::new(TraceShared::new());
+        let tracers = (0..sites.len())
+            .map(|i| SiteTracer::new(Arc::clone(&trace_shared), TraceLane::Site(i as u32)))
+            .collect();
+        let coord_tracer = SiteTracer::new(Arc::clone(&trace_shared), TraceLane::Coordinator);
         Ok(Cluster {
             sites,
             coordinator,
@@ -67,6 +82,9 @@ where
             fuse: DEFAULT_FUSE,
             items_fed: 0,
             dead,
+            trace_shared,
+            tracers,
+            coord_tracer,
             up_queue: VecDeque::new(),
             outbox: Outbox::new(),
             site_buf: Vec::new(),
@@ -100,6 +118,32 @@ where
     /// Mutable access to the meter (e.g. to reset after a warm-up phase).
     pub fn meter_mut(&mut self) -> &mut MessageMeter {
         &mut self.meter
+    }
+
+    /// Apply a trace config. Takes effect on the next recorded event — the
+    /// deterministic runtime is single-threaded, so there is no handshake
+    /// to wait for.
+    pub fn set_trace(&mut self, config: TraceConfig) {
+        self.trace_shared.configure(config);
+    }
+
+    /// The shared trace state (the backend wrapper hangs its driver-lane
+    /// tracer off this).
+    pub(crate) fn trace_shared(&self) -> &Arc<TraceShared> {
+        &self.trace_shared
+    }
+
+    /// Merged snapshot of every lane's ring, in logical-clock order.
+    /// Non-destructive.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        let mut lanes: Vec<Vec<TraceEvent>> = self.tracers.iter().map(|t| t.snapshot()).collect();
+        lanes.push(self.coord_tracer.snapshot());
+        merge_snapshots(lanes)
+    }
+
+    /// Events lost to ring overflow across all lanes.
+    pub fn trace_dropped(&self) -> u64 {
+        self.tracers.iter().map(|t| t.dropped()).sum::<u64>() + self.coord_tracer.dropped()
     }
 
     /// Immutable access to the coordinator, for queries.
@@ -160,8 +204,13 @@ where
         self.items_fed += 1;
         debug_assert!(self.site_buf.is_empty());
         s.on_item(item, &mut self.site_buf);
+        self.tracers[site.index()].record(TraceEventKind::ItemRun { items: 1 });
         for up in self.site_buf.drain(..) {
             self.meter.record_up(up.kind(), up.size_words());
+            self.tracers[site.index()].record(TraceEventKind::UpHop {
+                kind: up.kind(),
+                words: up.size_words(),
+            });
             self.up_queue.push_back((site, up));
         }
         self.drain()
@@ -222,9 +271,16 @@ where
                 debug_assert!(consumed > 0, "on_items must make progress");
                 off += consumed.max(1);
                 self.items_fed += consumed as u64;
+                self.tracers[site.index()].record(TraceEventKind::ItemRun {
+                    items: consumed as u64,
+                });
                 if !self.site_buf.is_empty() {
                     for up in self.site_buf.drain(..) {
                         self.meter.record_up(up.kind(), up.size_words());
+                        self.tracers[site.index()].record(TraceEventKind::UpHop {
+                            kind: up.kind(),
+                            words: up.size_words(),
+                        });
                         self.up_queue.push_back((site, up));
                     }
                     self.drain()?;
@@ -254,8 +310,17 @@ where
             for (dest, msg) in downs.drain(..) {
                 result = match dest {
                     Down::Unicast(dst) => self.deliver_down(dst, &msg),
-                    Down::Broadcast => (0..self.sites.len())
-                        .try_for_each(|i| self.deliver_down(SiteId(i as u32), &msg)),
+                    Down::Broadcast => {
+                        // Only the deterministic runtime sees a broadcast
+                        // pre-expansion, so this lane is where broadcast
+                        // bursts are first-class in a trace.
+                        self.coord_tracer.record(TraceEventKind::Broadcast {
+                            kind: msg.kind(),
+                            fanout: self.dead.iter().filter(|d| !**d).count() as u32,
+                        });
+                        (0..self.sites.len())
+                            .try_for_each(|i| self.deliver_down(SiteId(i as u32), &msg))
+                    }
                 };
                 if result.is_err() {
                     break;
@@ -286,8 +351,16 @@ where
             })?;
         debug_assert!(self.site_buf.is_empty());
         s.on_message(msg, &mut self.site_buf);
+        self.tracers[dst.index()].record(TraceEventKind::DownHop {
+            kind: msg.kind(),
+            words: msg.size_words(),
+        });
         for up in self.site_buf.drain(..) {
             self.meter.record_up(up.kind(), up.size_words());
+            self.tracers[dst.index()].record(TraceEventKind::UpHop {
+                kind: up.kind(),
+                words: up.size_words(),
+            });
             self.up_queue.push_back((dst, up));
         }
         Ok(())
@@ -509,6 +582,57 @@ mod tests {
             c.kill_site(SiteId(9)).unwrap_err(),
             SimError::NoSuchSite { site: 9, sites: 4 }
         );
+    }
+
+    #[test]
+    fn tracing_captures_hops_without_touching_the_meter() {
+        let mut traced = cluster(4);
+        traced.set_trace(TraceConfig::on());
+        let mut plain = cluster(4);
+        for i in 0..6u64 {
+            traced.feed(SiteId((i % 4) as u32), i * 10).unwrap();
+            plain.feed(SiteId((i % 4) as u32), i * 10).unwrap();
+        }
+        // Transparency: tracing never changes the metered transcript.
+        assert_eq!(traced.meter().report(), plain.meter().report());
+        assert!(plain.trace_events().is_empty());
+        let events = traced.trace_events();
+        let summary = dtrack_trace::TraceSummary::from_events(&events, traced.trace_dropped());
+        // 6 item runs + 6 up hops; 2 broadcasts expanding to 4 downs each.
+        assert_eq!(summary.count("item-run"), 6);
+        assert_eq!(summary.count("up-hop"), 6);
+        assert_eq!(summary.count("broadcast"), 2);
+        assert_eq!(summary.count("down-hop"), 8);
+        assert_eq!(summary.up_words, traced.meter().up().words);
+        assert_eq!(summary.down_words, traced.meter().down().words);
+        // Single-threaded: clocks are the dense sequence 0..n.
+        for (i, ev) in events.iter().enumerate() {
+            assert_eq!(ev.clock, i as u64);
+        }
+    }
+
+    #[test]
+    fn traced_broadcast_fanout_excludes_dead_sites() {
+        let mut c = cluster(4);
+        c.set_trace(TraceConfig::on());
+        c.kill_site(SiteId(1)).unwrap();
+        for i in 0..3u64 {
+            c.feed(SiteId(if i % 4 == 1 { 0 } else { i as u32 % 4 }), i)
+                .unwrap();
+        }
+        let events = c.trace_events();
+        let bcast = events
+            .iter()
+            .find_map(|e| match e.kind {
+                TraceEventKind::Broadcast { fanout, .. } => Some(fanout),
+                _ => None,
+            })
+            .expect("one broadcast after 3 upstream messages");
+        assert_eq!(bcast, 3);
+        // The dead site received no down hop.
+        assert!(!events.iter().any(|e| {
+            matches!(e.kind, TraceEventKind::DownHop { .. }) && e.lane == TraceLane::Site(1)
+        }));
     }
 
     #[test]

@@ -41,6 +41,13 @@
 //! that feeds items, settles, answers typed [`Query`]s, and meters cost —
 //! so application code (and the testkit's scenario drivers) never name a
 //! concrete cluster type, and new backends are drop-in [`Backend`] impls.
+//!
+//! Every backend also carries the `dtrack-trace` structured-event layer:
+//! item runs, hops, broadcasts, faults, flow-control moves, and settle
+//! phases recorded into per-lane bounded rings (one relaxed-load branch
+//! per event when off). Enable it with [`TraceConfig`] (or the
+//! [`TRACE_ENV`] environment variable), query it via [`Query::Trace`],
+//! and export Chrome `trace_event` JSON with [`Tracker::export_trace`].
 
 pub mod api;
 pub mod async_rt;
@@ -66,4 +73,13 @@ pub use meter::{CostReport, KindCost, MessageMeter};
 pub use proto::{Coordinator, Down, MessageSize, Outbox, Site, SiteId};
 pub use query::{Answer, Query, QueryError, HH_PROBE_PHIS, PROBE_PHIS};
 pub use sharded::{ShardedCluster, ShardedConfig};
-pub use tracker::{BackendKind, ErasedProtocol, Protocol, Tracker, TrackerBuilder, TrackerError};
+pub use tracker::{
+    BackendKind, ErasedProtocol, Protocol, Tracker, TrackerBuilder, TrackerError, TRACE_ENV,
+};
+
+// The structured-event tracing vocabulary, re-exported so drivers and the
+// testkit can consume trace streams without naming the trace crate.
+pub use dtrack_trace::{
+    canonical_kind_order, export_chrome, merge_snapshots, write_chrome_file, PhaseStats,
+    TraceConfig, TraceEvent, TraceEventKind, TraceLane, TraceSummary,
+};

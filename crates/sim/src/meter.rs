@@ -163,7 +163,10 @@ impl MessageMeter {
     ///
     /// The registry stores kinds in first-seen order, which depends on the
     /// message schedule; sorting here keeps the report (and everything
-    /// diffed against it) independent of interning order.
+    /// diffed against it) independent of interning order. The ordering is
+    /// [`dtrack_trace::canonical_kind_order`] — the same one
+    /// `TraceSummary` sorts with, so meter and trace breakdowns can never
+    /// disagree on label order.
     pub fn report(&self) -> CostReport {
         let mut by_kind: Vec<(String, KindCost)> = self
             .kinds
@@ -171,7 +174,7 @@ impl MessageMeter {
             .zip(&self.by_kind)
             .map(|(k, v)| ((*k).to_owned(), *v))
             .collect();
-        by_kind.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        by_kind.sort_unstable_by(|a, b| dtrack_trace::canonical_kind_order(&a.0, &b.0));
         CostReport {
             up: self.up,
             down: self.down,

@@ -22,6 +22,7 @@ use std::fmt;
 
 use crate::error::SimError;
 use crate::flow::FlowControlStats;
+use dtrack_trace::TraceSummary;
 
 /// The quantile fractions probed when a protocol answers rank/quantile
 /// queries for every φ simultaneously (the canonical probe grid used by
@@ -72,6 +73,11 @@ pub enum Query {
     /// backends; protocol-independent. The deterministic backend has no
     /// controller and reports the query unsupported.
     FlowControl,
+    /// The trace summary (per-kind event counts, drop accounting, settle
+    /// wall stats). Answered by every backend; protocol-independent.
+    /// Meaningful only after `Tracker::set_trace` (or `DTRACK_TRACE`)
+    /// enabled tracing — otherwise the summary is empty.
+    Trace,
 }
 
 impl fmt::Display for Query {
@@ -84,6 +90,7 @@ impl fmt::Display for Query {
             Query::RankLt { x } => write!(f, "rank-lt({x})"),
             Query::Frequency { x } => write!(f, "frequency({x})"),
             Query::FlowControl => write!(f, "flow-control"),
+            Query::Trace => write!(f, "trace"),
         }
     }
 }
@@ -141,6 +148,10 @@ pub enum Answer {
     /// canonical per-protocol answer sets — it describes the runtime, not
     /// the protocol.
     FlowControl(FlowControlStats),
+    /// Trace summary snapshot. Renders via [`TraceSummary`]'s own
+    /// `Display` (`trace(events=…, …)`). Like `FlowControl`, never part
+    /// of the canonical answer sets — it describes the runtime.
+    Trace(TraceSummary),
 }
 
 /// Render an optional value the way the canonical answer strings always
@@ -165,6 +176,7 @@ impl fmt::Display for Answer {
             Answer::RankLt { x, rank } => write!(f, "rank_lt({x})={rank}"),
             Answer::Frequency { x, count } => write!(f, "freq({x})={count}"),
             Answer::FlowControl(stats) => write!(f, "{stats}"),
+            Answer::Trace(summary) => write!(f, "{summary}"),
         }
     }
 }
@@ -294,6 +306,11 @@ mod tests {
             })
             .to_string(),
             "flow(win=16..64, drift=2, backoff=1)"
+        );
+        assert_eq!(Query::Trace.to_string(), "trace");
+        assert_eq!(
+            Answer::Trace(TraceSummary::default()).to_string(),
+            "trace(events=0, dropped=0)"
         );
     }
 

@@ -66,6 +66,9 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use dtrack_trace::{
+    merge_snapshots, SiteTracer, TraceConfig, TraceEvent, TraceEventKind, TraceLane, TraceShared,
+};
 
 use crate::error::SimError;
 use crate::meter::MessageMeter;
@@ -166,6 +169,10 @@ struct SiteExec<S: Site> {
     batch: Option<BatchState<S>>,
     /// Reused upstream-message buffer.
     out: Vec<S::Up>,
+    /// This site's trace ring (touched only by the worker currently
+    /// serving the site, exactly like the meter; snapshotted under the
+    /// exec lock by `trace_events`).
+    tracer: SiteTracer,
 }
 
 struct SiteSlot<S: Site> {
@@ -223,6 +230,10 @@ struct Pool<S: Site> {
     /// flow-control probes never contend for the per-site exec locks the
     /// way a full `cost()` snapshot does.
     words_shared: AtomicU64,
+    /// Shared trace configuration every site's [`SiteTracer`] reads; off
+    /// by default so the untraced hot path pays one relaxed load and
+    /// branch per event site.
+    trace_shared: Arc<TraceShared>,
 }
 
 impl<S: Site> Pool<S> {
@@ -397,6 +408,7 @@ where
             });
         }
         let workers = config.resolved_workers();
+        let trace_shared = Arc::new(TraceShared::new());
         let slots: Vec<SiteSlot<S>> = sites
             .into_iter()
             .enumerate()
@@ -413,6 +425,7 @@ where
                     words_reported: 0,
                     batch: None,
                     out: Vec::new(),
+                    tracer: SiteTracer::new(Arc::clone(&trace_shared), TraceLane::Site(i as u32)),
                 }),
                 home: i % workers,
                 down: AtomicBool::new(false),
@@ -432,6 +445,7 @@ where
             pending: Arc::new(Pending::default()),
             queue_cap: config.site_queue_cap.max(1),
             words_shared: AtomicU64::new(0),
+            trace_shared,
         });
         let (coord_tx, coord_rx): (Sender<CoordCmd<C>>, Receiver<CoordCmd<C>>) = unbounded();
         let worker_handles = (0..workers)
@@ -635,6 +649,36 @@ where
             total.merge(&self.pool.lock_exec(idx).meter);
         }
         total
+    }
+
+    /// Apply a trace configuration. Enabling before the first feed yields
+    /// a complete stream: the configuration store happens-before every
+    /// worker's next site claim.
+    pub fn set_trace(&self, config: TraceConfig) {
+        self.pool.trace_shared.configure(config);
+    }
+
+    /// The shared trace hub (for driver-lane tracers layered on top).
+    pub(crate) fn trace_shared(&self) -> &Arc<TraceShared> {
+        &self.pool.trace_shared
+    }
+
+    /// Merged, clock-ordered snapshot of every site's trace ring. Taken
+    /// under the per-site exec locks like [`ShardedCluster::cost`] — call
+    /// after [`ShardedCluster::settle`] for a consistent stream.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        let mut lanes = Vec::with_capacity(self.pool.sites.len());
+        for idx in 0..self.pool.sites.len() {
+            lanes.push(self.pool.lock_exec(idx).tracer.snapshot());
+        }
+        merge_snapshots(lanes)
+    }
+
+    /// Total trace events lost to ring overwrite across all sites.
+    pub fn trace_dropped(&self) -> u64 {
+        (0..self.pool.sites.len())
+            .map(|idx| self.pool.lock_exec(idx).tracer.dropped())
+            .sum()
     }
 
     /// Cheap, slightly-stale total-words estimate: a relaxed atomic the
@@ -886,12 +930,17 @@ fn flush_ups<S, C>(
     out: &mut Vec<S::Up>,
     meter: &mut MessageMeter,
     coord_tx: &Sender<CoordCmd<C>>,
+    tracer: &mut SiteTracer,
 ) where
     S: Site,
     C: Coordinator<Up = S::Up, Down = S::Down>,
 {
     for up in out.drain(..) {
         meter.record_up(up.kind(), up.size_words());
+        tracer.record(TraceEventKind::UpHop {
+            kind: up.kind(),
+            words: up.size_words(),
+        });
         let token = PendingToken::new(&pool.pending);
         let _ = coord_tx.send(CoordCmd::Up(id, up, token));
     }
@@ -915,6 +964,7 @@ fn batch_step<S, C>(
         meter,
         batch,
         out,
+        tracer,
         ..
     } = exec;
     let (Some(site), Some(cur)) = (site.as_mut(), batch.as_mut()) else {
@@ -925,7 +975,10 @@ fn batch_step<S, C>(
     let consumed = site.on_items(&cur.items[cur.off..], out);
     debug_assert!(consumed > 0, "on_items must make progress");
     cur.off += consumed.max(1);
-    flush_ups::<S, C>(pool, SiteId(idx as u32), out, meter, coord_tx);
+    tracer.record(TraceEventKind::ItemRun {
+        items: consumed.max(1) as u64,
+    });
+    flush_ups::<S, C>(pool, SiteId(idx as u32), out, meter, coord_tx, tracer);
     let finished = cur.off >= cur.items.len();
     // A dropped feeder (it errored out mid-batch) is not this worker's
     // problem; keep serving the queue.
@@ -952,11 +1005,16 @@ fn handle_cmd<S, C>(
     match cmd {
         ShardCmd::Item(item, token) => {
             let SiteExec {
-                site, meter, out, ..
+                site,
+                meter,
+                out,
+                tracer,
+                ..
             } = exec;
             let Some(site) = site.as_mut() else { return };
             site.on_item(item, out);
-            flush_ups::<S, C>(pool, id, out, meter, coord_tx);
+            tracer.record(TraceEventKind::ItemRun { items: 1 });
+            flush_ups::<S, C>(pool, id, out, meter, coord_tx, tracer);
             drop(token);
         }
         ShardCmd::Batch {
@@ -985,12 +1043,20 @@ fn handle_cmd<S, C>(
         }
         ShardCmd::Down(msg, token) => {
             let SiteExec {
-                site, meter, out, ..
+                site,
+                meter,
+                out,
+                tracer,
+                ..
             } = exec;
             let Some(site) = site.as_mut() else { return };
             meter.record_down(msg.kind(), msg.size_words());
+            tracer.record(TraceEventKind::DownHop {
+                kind: msg.kind(),
+                words: msg.size_words(),
+            });
             site.on_message(&msg, out);
-            flush_ups::<S, C>(pool, id, out, meter, coord_tx);
+            flush_ups::<S, C>(pool, id, out, meter, coord_tx, tracer);
             drop(token);
         }
         ShardCmd::Stall(micros, token) => {
@@ -1020,7 +1086,11 @@ fn run_step<S, C>(
     let mut deferred: VecDeque<ShardCmd<S>> = VecDeque::new();
     {
         let SiteExec {
-            site, meter, out, ..
+            site,
+            meter,
+            out,
+            tracer,
+            ..
         } = exec;
         let Some(site) = site.as_mut() else { return };
         let mut off = 0;
@@ -1029,7 +1099,10 @@ fn run_step<S, C>(
             let consumed = site.on_items(&items[off..], out);
             debug_assert!(consumed > 0, "on_items must make progress");
             off += consumed.max(1);
-            flush_ups::<S, C>(pool, id, out, meter, coord_tx);
+            tracer.record(TraceEventKind::ItemRun {
+                items: consumed.max(1) as u64,
+            });
+            flush_ups::<S, C>(pool, id, out, meter, coord_tx, tracer);
             // Apply already-arrived feedback before consuming further
             // items, as it would land under per-item delivery — without
             // this, feedback-driven protocols run the whole batch
@@ -1047,8 +1120,12 @@ fn run_step<S, C>(
                 };
                 if let ShardCmd::Down(msg, down_token) = next {
                     meter.record_down(msg.kind(), msg.size_words());
+                    tracer.record(TraceEventKind::DownHop {
+                        kind: msg.kind(),
+                        words: msg.size_words(),
+                    });
                     site.on_message(&msg, out);
-                    flush_ups::<S, C>(pool, id, out, meter, coord_tx);
+                    flush_ups::<S, C>(pool, id, out, meter, coord_tx, tracer);
                     drop(down_token);
                 } else {
                     deferred.push_back(next);

@@ -60,6 +60,9 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use dtrack_trace::{
+    merge_snapshots, SiteTracer, TraceConfig, TraceEvent, TraceEventKind, TraceLane, TraceShared,
+};
 
 use crate::error::SimError;
 use crate::meter::MessageMeter;
@@ -193,6 +196,8 @@ enum SiteCmd<S: Site> {
     Stall(u64, PendingToken),
     /// Snapshot this site thread's meter.
     Meter(Sender<MessageMeter>),
+    /// Snapshot this site thread's trace ring (events, dropped count).
+    TraceSnap(Sender<(Vec<TraceEvent>, u64)>),
     /// Hand back the site state machine and meter, then exit.
     Stop(Sender<(S, MessageMeter)>),
 }
@@ -263,6 +268,10 @@ where
     /// so flow-control probes never queue behind in-flight runs the way a
     /// full [`ThreadedCluster::cost`] snapshot does.
     words_shared: Arc<AtomicU64>,
+    /// Shared trace configuration (enabled flag, ring capacity, logical
+    /// clock) every worker's [`SiteTracer`] reads; off by default so the
+    /// untraced hot path pays one relaxed load and branch per event site.
+    trace_shared: Arc<TraceShared>,
 }
 
 impl<S, C> ThreadedCluster<S, C>
@@ -299,6 +308,7 @@ where
         let (coord_tx, coord_rx): (Sender<CoordCmd<C>>, Receiver<CoordCmd<C>>) = unbounded();
 
         let words_shared = Arc::new(AtomicU64::new(0));
+        let trace_shared = Arc::new(TraceShared::new());
         let mut site_txs = Vec::with_capacity(sites.len());
         let mut site_handles = Vec::with_capacity(sites.len());
         for (i, site) in sites.into_iter().enumerate() {
@@ -308,8 +318,9 @@ where
             let pending = Arc::clone(&pending);
             let words_shared = Arc::clone(&words_shared);
             let id = SiteId(i as u32);
+            let tracer = SiteTracer::new(Arc::clone(&trace_shared), TraceLane::Site(i as u32));
             site_handles.push(std::thread::spawn(move || {
-                run_site(site, id, rx, coord_tx, pending, words_shared)
+                run_site(site, id, rx, coord_tx, pending, words_shared, tracer)
             }));
         }
 
@@ -333,6 +344,7 @@ where
             pending,
             dead,
             words_shared,
+            trace_shared,
         })
     }
 
@@ -530,6 +542,49 @@ where
         total
     }
 
+    /// Apply a trace configuration. Enabling before the first feed yields
+    /// a complete stream: the configuration store happens-before every
+    /// worker's next command receive.
+    pub fn set_trace(&self, config: TraceConfig) {
+        self.trace_shared.configure(config);
+    }
+
+    /// The shared trace hub (for driver-lane tracers layered on top).
+    pub(crate) fn trace_shared(&self) -> &Arc<TraceShared> {
+        &self.trace_shared
+    }
+
+    /// Merged, clock-ordered snapshot of every site thread's trace ring.
+    /// Like [`ThreadedCluster::cost`], the round-trip queues behind
+    /// in-flight work — call after [`ThreadedCluster::settle`] for a
+    /// consistent stream. Dead site threads contribute nothing.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        let mut lanes = Vec::with_capacity(self.site_txs.len());
+        for tx in &self.site_txs {
+            let (ttx, trx) = unbounded();
+            if tx.send(SiteCmd::TraceSnap(ttx)).is_ok() {
+                if let Ok((events, _)) = trx.recv() {
+                    lanes.push(events);
+                }
+            }
+        }
+        merge_snapshots(lanes)
+    }
+
+    /// Total trace events lost to ring overwrite across all site threads.
+    pub fn trace_dropped(&self) -> u64 {
+        let mut dropped = 0;
+        for tx in &self.site_txs {
+            let (ttx, trx) = unbounded();
+            if tx.send(SiteCmd::TraceSnap(ttx)).is_ok() {
+                if let Ok((_, d)) = trx.recv() {
+                    dropped += d;
+                }
+            }
+        }
+        dropped
+    }
+
     /// Cheap, slightly-stale total-words estimate: a relaxed atomic each
     /// site thread bumps after every command it serves. Unlike
     /// [`ThreadedCluster::cost`] (whose `Meter` round-trip queues behind
@@ -661,6 +716,7 @@ fn flush_ups<S, C>(
     meter: &mut MessageMeter,
     coord_tx: &Sender<CoordCmd<C>>,
     pending: &Arc<Pending>,
+    tracer: &mut SiteTracer,
 ) -> Result<(), ()>
 where
     S: Site,
@@ -668,6 +724,10 @@ where
 {
     for up in out.drain(..) {
         meter.record_up(up.kind(), up.size_words());
+        tracer.record(TraceEventKind::UpHop {
+            kind: up.kind(),
+            words: up.size_words(),
+        });
         let token = PendingToken::new(pending);
         if coord_tx.send(CoordCmd::Up(id, up, token)).is_err() {
             // The token inside the returned command has already been
@@ -688,6 +748,7 @@ struct BatchState<S: Site> {
 /// Run one `on_items` step of the in-progress batch: consume a quiescent
 /// prefix, forward any triggered ups, then report progress (after the
 /// ups, so the feeder's settle observes the whole cascade).
+#[allow(clippy::too_many_arguments)] // the site thread's loop state, threaded by ref
 fn batch_step<S, C>(
     site: &mut S,
     cur: &mut Option<BatchState<S>>,
@@ -696,6 +757,7 @@ fn batch_step<S, C>(
     meter: &mut MessageMeter,
     coord_tx: &Sender<CoordCmd<C>>,
     pending: &Arc<Pending>,
+    tracer: &mut SiteTracer,
 ) -> Result<(), ()>
 where
     S: Site,
@@ -710,7 +772,10 @@ where
     let consumed = site.on_items(&batch.items[batch.off..], out);
     debug_assert!(consumed > 0, "on_items must make progress");
     batch.off += consumed.max(1);
-    flush_ups::<S, C>(id, out, meter, coord_tx, pending)?;
+    tracer.record(TraceEventKind::ItemRun {
+        items: consumed.max(1) as u64,
+    });
+    flush_ups::<S, C>(id, out, meter, coord_tx, pending, tracer)?;
     let finished = batch.off >= batch.items.len();
     // A dropped feeder (it errored out mid-batch) is not this thread's
     // problem; keep serving the queue.
@@ -728,6 +793,7 @@ fn run_site<S, C>(
     coord_tx: Sender<CoordCmd<C>>,
     pending: Arc<Pending>,
     words_shared: Arc<AtomicU64>,
+    mut tracer: SiteTracer,
 ) where
     S: Site + Send + 'static,
     S::Item: Clone,
@@ -759,7 +825,10 @@ fn run_site<S, C>(
         match cmd {
             SiteCmd::Item(item, token) => {
                 site.on_item(item, &mut out);
-                if flush_ups::<S, C>(id, &mut out, &mut meter, &coord_tx, &pending).is_err() {
+                tracer.record(TraceEventKind::ItemRun { items: 1 });
+                if flush_ups::<S, C>(id, &mut out, &mut meter, &coord_tx, &pending, &mut tracer)
+                    .is_err()
+                {
                     return;
                 }
                 drop(token);
@@ -776,7 +845,14 @@ fn run_site<S, C>(
                     progress,
                 });
                 if batch_step(
-                    &mut site, &mut cur, id, &mut out, &mut meter, &coord_tx, &pending,
+                    &mut site,
+                    &mut cur,
+                    id,
+                    &mut out,
+                    &mut meter,
+                    &coord_tx,
+                    &pending,
+                    &mut tracer,
                 )
                 .is_err()
                 {
@@ -786,7 +862,14 @@ fn run_site<S, C>(
             }
             SiteCmd::Resume(token) => {
                 if batch_step(
-                    &mut site, &mut cur, id, &mut out, &mut meter, &coord_tx, &pending,
+                    &mut site,
+                    &mut cur,
+                    id,
+                    &mut out,
+                    &mut meter,
+                    &coord_tx,
+                    &pending,
+                    &mut tracer,
                 )
                 .is_err()
                 {
@@ -801,7 +884,12 @@ fn run_site<S, C>(
                     let consumed = site.on_items(&items[off..], &mut out);
                     debug_assert!(consumed > 0, "on_items must make progress");
                     off += consumed.max(1);
-                    if flush_ups::<S, C>(id, &mut out, &mut meter, &coord_tx, &pending).is_err() {
+                    tracer.record(TraceEventKind::ItemRun {
+                        items: consumed.max(1) as u64,
+                    });
+                    if flush_ups::<S, C>(id, &mut out, &mut meter, &coord_tx, &pending, &mut tracer)
+                        .is_err()
+                    {
                         return;
                     }
                     // Apply any coordinator feedback that has already
@@ -814,9 +902,20 @@ fn run_site<S, C>(
                     while let Some(next) = rx.try_recv() {
                         if let SiteCmd::Down(msg, down_token) = next {
                             meter.record_down(msg.kind(), msg.size_words());
+                            tracer.record(TraceEventKind::DownHop {
+                                kind: msg.kind(),
+                                words: msg.size_words(),
+                            });
                             site.on_message(&msg, &mut out);
-                            if flush_ups::<S, C>(id, &mut out, &mut meter, &coord_tx, &pending)
-                                .is_err()
+                            if flush_ups::<S, C>(
+                                id,
+                                &mut out,
+                                &mut meter,
+                                &coord_tx,
+                                &pending,
+                                &mut tracer,
+                            )
+                            .is_err()
                             {
                                 return;
                             }
@@ -832,8 +931,14 @@ fn run_site<S, C>(
             }
             SiteCmd::Down(msg, token) => {
                 meter.record_down(msg.kind(), msg.size_words());
+                tracer.record(TraceEventKind::DownHop {
+                    kind: msg.kind(),
+                    words: msg.size_words(),
+                });
                 site.on_message(&msg, &mut out);
-                if flush_ups::<S, C>(id, &mut out, &mut meter, &coord_tx, &pending).is_err() {
+                if flush_ups::<S, C>(id, &mut out, &mut meter, &coord_tx, &pending, &mut tracer)
+                    .is_err()
+                {
                     return;
                 }
                 drop(token);
@@ -844,6 +949,9 @@ fn run_site<S, C>(
             }
             SiteCmd::Meter(reply) => {
                 let _ = reply.send(meter.clone());
+            }
+            SiteCmd::TraceSnap(reply) => {
+                let _ = reply.send((tracer.snapshot(), tracer.dropped()));
             }
             SiteCmd::Stop(reply) => {
                 let _ = reply.send((site, meter));

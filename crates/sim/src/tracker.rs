@@ -42,7 +42,10 @@
 #![deny(missing_docs)]
 
 use std::fmt;
+use std::path::{Path, PathBuf};
 use std::time::Duration;
+
+use dtrack_trace::{write_chrome_file, TraceConfig, TraceEvent, TraceSummary};
 
 use crate::async_rt::AsyncConfig;
 use crate::backend::{
@@ -252,6 +255,13 @@ pub trait ErasedProtocol: Send {
     fn query(&mut self, query: Query) -> Result<Answer, QueryError>;
     /// Settle, then produce the canonical final-answer set.
     fn answers(&mut self) -> Result<Vec<Answer>, QueryError>;
+    /// See [`Backend::set_trace`].
+    fn set_trace(&mut self, config: TraceConfig);
+    /// Settle, then snapshot the merged clock-ordered trace stream (see
+    /// [`Backend::trace_events`]).
+    fn trace_events(&mut self) -> Vec<TraceEvent>;
+    /// See [`Backend::trace_dropped`].
+    fn trace_dropped(&mut self) -> u64;
     /// See [`Backend::cost`].
     fn cost(&mut self) -> MessageMeter;
     /// Tear down, returning the final merged meter.
@@ -336,6 +346,14 @@ where
                 }),
             };
         }
+        // So does tracing: the summary reads the runtime's event rings,
+        // never the coordinator. Answerable on every backend; with
+        // tracing off it is simply empty.
+        if matches!(query, Query::Trace) {
+            let events = self.backend.trace_events();
+            let dropped = self.backend.trace_dropped();
+            return Ok(Answer::Trace(TraceSummary::from_events(&events, dropped)));
+        }
         let protocol = self.protocol.clone();
         self.backend
             .with_coordinator(move |c| protocol.query(c, query))
@@ -350,6 +368,22 @@ where
             .map_err(QueryError::Runtime)?
     }
 
+    fn set_trace(&mut self, config: TraceConfig) {
+        self.backend.set_trace(config);
+    }
+
+    fn trace_events(&mut self) -> Vec<TraceEvent> {
+        // Quiesce best-effort so the snapshot is complete; a timeout
+        // still yields whatever the rings hold (tracing is diagnostic,
+        // not transactional).
+        let _ = self.quiesce();
+        self.backend.trace_events()
+    }
+
+    fn trace_dropped(&mut self) -> u64 {
+        self.backend.trace_dropped()
+    }
+
     fn cost(&mut self) -> MessageMeter {
         self.backend.cost()
     }
@@ -357,6 +391,31 @@ where
     fn finish(self: Box<Self>) -> Result<MessageMeter, SimError> {
         let (_coordinator, _sites, meter) = self.backend.finish()?;
         Ok(meter)
+    }
+}
+
+/// Environment variable steering tracing without a code change:
+/// `DTRACK_TRACE=on` enables in-memory tracing, `DTRACK_TRACE=off` (or
+/// empty/`0`) forces it off, and `DTRACK_TRACE=chrome:<path>` enables it
+/// *and* exports a Chrome `trace_event` JSON file at [`Tracker::finish`].
+/// An explicit [`TrackerBuilder::trace`] call wins over the environment.
+pub const TRACE_ENV: &str = "DTRACK_TRACE";
+
+/// Parse [`TRACE_ENV`]: the config it implies (if set at all) and the
+/// Chrome export path (if one was requested).
+fn trace_from_env() -> (Option<TraceConfig>, Option<PathBuf>) {
+    match std::env::var(TRACE_ENV) {
+        Ok(value) => {
+            let value = value.trim();
+            if value.is_empty() || value == "0" || value.eq_ignore_ascii_case("off") {
+                (Some(TraceConfig::off()), None)
+            } else if let Some(path) = value.strip_prefix("chrome:") {
+                (Some(TraceConfig::on()), Some(PathBuf::from(path)))
+            } else {
+                (Some(TraceConfig::on()), None)
+            }
+        }
+        Err(_) => (None, None),
     }
 }
 
@@ -368,6 +427,7 @@ pub struct TrackerBuilder<P = ()> {
     queue_cap: Option<usize>,
     flow: Option<FlowControlConfig>,
     deadline: Option<Duration>,
+    trace: Option<TraceConfig>,
     protocol: P,
 }
 
@@ -414,6 +474,16 @@ impl<P> TrackerBuilder<P> {
         self.deadline = Some(deadline);
         self
     }
+
+    /// Structured-event tracing configuration (default: off — one
+    /// relaxed-load branch per would-be event, nothing recorded). Can
+    /// also be toggled later via [`Tracker::set_trace`] or externally via
+    /// the [`TRACE_ENV`] environment variable; an explicit call here
+    /// overrides the environment.
+    pub fn trace(mut self, config: TraceConfig) -> Self {
+        self.trace = Some(config);
+        self
+    }
 }
 
 impl TrackerBuilder<()> {
@@ -425,6 +495,7 @@ impl TrackerBuilder<()> {
             queue_cap: self.queue_cap,
             flow: self.flow,
             deadline: self.deadline,
+            trace: self.trace,
             protocol,
         }
     }
@@ -487,7 +558,9 @@ impl<P: Protocol> TrackerBuilder<P> {
         let (sites, coordinator) = self.protocol.build(k).map_err(TrackerError::Protocol)?;
         let queue_cap = self.queue_cap.unwrap_or(SITE_QUEUE_CAP);
         let deadline = self.deadline;
-        let inner: Box<dyn ErasedProtocol> = match self.backend {
+        let (env_trace, trace_export) = trace_from_env();
+        let trace = self.trace.or(env_trace);
+        let mut inner: Box<dyn ErasedProtocol> = match self.backend {
             BackendKind::Deterministic => Box::new(Bound {
                 backend: DeterministicBackend::new(sites, coordinator)?,
                 protocol: self.protocol,
@@ -542,10 +615,14 @@ impl<P: Protocol> TrackerBuilder<P> {
                 })
             }
         };
+        if let Some(config) = trace {
+            inner.set_trace(config);
+        }
         Ok(Tracker {
             inner,
             backend: self.backend,
             k,
+            trace_export,
         })
     }
 }
@@ -557,6 +634,9 @@ pub struct Tracker {
     inner: Box<dyn ErasedProtocol>,
     backend: BackendKind,
     k: u32,
+    /// Chrome trace destination requested via [`TRACE_ENV`]; written
+    /// best-effort at [`Tracker::finish`].
+    trace_export: Option<PathBuf>,
 }
 
 impl fmt::Debug for Tracker {
@@ -658,9 +738,47 @@ impl Tracker {
         self.inner.cost()
     }
 
+    /// Switch structured-event tracing on or off at any point in the
+    /// run. Events recorded before enablement are simply absent; the
+    /// metered transcript and every answer are byte-identical either way.
+    pub fn set_trace(&mut self, config: TraceConfig) {
+        self.inner.set_trace(config);
+    }
+
+    /// Snapshot the merged, logical-clock-ordered trace event stream
+    /// (settles first for a complete picture). Empty when tracing is off.
+    pub fn trace_events(&mut self) -> Vec<TraceEvent> {
+        self.inner.trace_events()
+    }
+
+    /// Total trace events lost to ring overflow (raise
+    /// [`TraceConfig::with_ring_capacity`] if nonzero).
+    pub fn trace_dropped(&mut self) -> u64 {
+        self.inner.trace_dropped()
+    }
+
+    /// The per-kind/per-phase summary of the current trace stream — the
+    /// same value [`Query::Trace`] answers with.
+    pub fn trace_summary(&mut self) -> TraceSummary {
+        let events = self.inner.trace_events();
+        let dropped = self.inner.trace_dropped();
+        TraceSummary::from_events(&events, dropped)
+    }
+
+    /// Export the current trace stream as a Chrome `trace_event` JSON
+    /// file (open in `chrome://tracing` or Perfetto). Settles first.
+    pub fn export_trace<P: AsRef<Path>>(&mut self, path: P) -> std::io::Result<()> {
+        let events = self.inner.trace_events();
+        write_chrome_file(&events, path)
+    }
+
     /// Tear down the backend and return the final merged meter. Worker
-    /// death on the threaded backend surfaces here.
-    pub fn finish(self) -> Result<MessageMeter, SimError> {
+    /// death on the threaded backend surfaces here. When [`TRACE_ENV`]
+    /// requested a Chrome export, it is written (best-effort) first.
+    pub fn finish(mut self) -> Result<MessageMeter, SimError> {
+        if let Some(path) = self.trace_export.take() {
+            let _ = self.export_trace(&path);
+        }
         self.inner.finish()
     }
 }
@@ -979,6 +1097,52 @@ mod tests {
         let err = t.query(Query::FlowControl).unwrap_err();
         assert!(matches!(err, QueryError::Unsupported { .. }), "{err}");
         t.finish().unwrap();
+    }
+
+    #[test]
+    fn trace_query_and_export_work_on_every_backend() {
+        for backend in [
+            BackendKind::Deterministic,
+            BackendKind::Threaded,
+            BackendKind::Sharded { workers: Some(2) },
+            BackendKind::Async {
+                workers: Some(2),
+                wire: true,
+            },
+        ] {
+            let mut t = Tracker::builder()
+                .sites(3)
+                .backend(backend)
+                .protocol(CountProtocol)
+                .build()
+                .unwrap();
+            // Off by default: the query answers, with an empty summary.
+            match t.query(Query::Trace).unwrap() {
+                Answer::Trace(summary) => assert_eq!(summary.events, 0, "{backend}"),
+                other => panic!("expected a trace summary, got {other}"),
+            }
+            t.set_trace(TraceConfig::on());
+            t.feed(SiteId(0), 9).unwrap();
+            t.feed_batch(&[(SiteId(1), 1), (SiteId(2), 2)]).unwrap();
+            match t.query(Query::Trace).unwrap() {
+                Answer::Trace(summary) => {
+                    assert!(summary.count("up-hop") >= 3, "{backend}: {summary}");
+                    assert_eq!(summary.dropped, 0, "{backend}");
+                }
+                other => panic!("expected a trace summary, got {other}"),
+            }
+            let events = t.trace_events();
+            assert!(!events.is_empty(), "{backend}");
+            let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../../target/tmp")
+                .join(format!("tracker-trace-{backend}.json"));
+            t.export_trace(&path).unwrap();
+            let json = std::fs::read_to_string(&path).unwrap();
+            assert!(json.contains("traceEvents"), "{backend}");
+            assert!(json.contains("up-hop"), "{backend}");
+            let _ = std::fs::remove_file(&path);
+            t.finish().unwrap();
+        }
     }
 
     #[test]

@@ -38,6 +38,7 @@
 //! ```
 
 pub mod bound;
+pub mod diff;
 pub mod faults;
 pub mod golden;
 pub mod matrix;
@@ -47,6 +48,10 @@ pub mod runner;
 pub mod scenario;
 pub mod threaded;
 
+pub use diff::{
+    assert_matches_golden, assert_outcomes_match, cost_delta_table, trace_artifact_dir, trace_diff,
+    TRACE_DIR_ENV,
+};
 pub use faults::{FaultPlan, KillFault, StallFault};
 pub use matrix::{default_matrix, hostile_matrix, matrix, pressure_matrix, BASE_MATRIX_LEN};
 pub use registry::{ProtocolProfile, WarmupPolicy};
@@ -58,12 +63,15 @@ pub use runner::{
 pub use scenario::{AssignmentSpec, GeneratorSpec, ProtocolSpec, Scenario, Tuning};
 pub use threaded::{
     measure_on_backend, measure_threaded, run_scenario_on_backend, run_scenario_reference,
-    run_scenario_threaded, ThreadedIngest, ThreadedOutcome,
+    run_scenario_threaded, run_scenario_traced, ThreadedIngest, ThreadedOutcome,
 };
 
 // The facade types scenario drivers hand out, re-exported so harness
 // consumers don't need a direct dtrack-sim dependency.
-pub use dtrack_sim::{Answer, BackendKind, FaultEvent, Query, QueryError, Tracker, PROBE_PHIS};
+pub use dtrack_sim::{
+    Answer, BackendKind, FaultEvent, Query, QueryError, TraceConfig, TraceEvent, TraceEventKind,
+    TraceLane, TraceSummary, Tracker, PROBE_PHIS,
+};
 
 /// Environment variable read by [`apply_matrix_filter`]: a
 /// comma-separated list of substrings matched against each scenario's

@@ -23,6 +23,10 @@ pub struct ScenarioReport {
     pub budget_words: u64,
     /// Number of oracle comparisons that passed.
     pub checks: u64,
+    /// Per-kind `(label, words, messages)` breakdown of the metered
+    /// transcript, sorted by `canonical_kind_order` — the rows the
+    /// equivalence suites print as a delta table when totals drift.
+    pub by_kind: Vec<(String, u64, u64)>,
 }
 
 impl ScenarioReport {
@@ -78,6 +82,7 @@ mod tests {
             messages: 100,
             budget_words: 1000,
             checks: 17,
+            by_kind: vec![("sync".to_owned(), 250, 100)],
         };
         assert!((r.budget_used() - 0.25).abs() < 1e-12);
         let s = r.to_string();

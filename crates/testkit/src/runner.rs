@@ -283,6 +283,7 @@ fn drive(
         .map_err(|e| format!("teardown failed: {e}"))?;
     let words = meter.total_words();
     let messages = meter.total_messages();
+    let by_kind = kind_rows(&meter);
     let budget = word_budget(scenario, warmup);
     if mode == Mode::Check && words > budget {
         return Err(format!(
@@ -301,7 +302,19 @@ fn drive(
         messages,
         budget_words: budget,
         checks,
+        by_kind,
     })
+}
+
+/// Flatten a meter's sorted per-kind breakdown into the
+/// `(label, words, messages)` rows [`ScenarioReport`] carries.
+pub(crate) fn kind_rows(meter: &dtrack_sim::MessageMeter) -> Vec<(String, u64, u64)> {
+    meter
+        .report()
+        .by_kind
+        .into_iter()
+        .map(|(kind, cost)| (kind, cost.words, cost.messages))
+        .collect()
 }
 
 #[cfg(test)]

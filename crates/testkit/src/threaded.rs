@@ -30,9 +30,9 @@
 use crate::bound::{free_run_word_budget, word_budget};
 use crate::registry::{self, WarmupPolicy};
 use crate::report::{ScenarioFailure, ScenarioReport};
-use crate::runner::FEED_CHUNK;
+use crate::runner::{kind_rows, FEED_CHUNK};
 use crate::scenario::Scenario;
-use dtrack_sim::{Answer, BackendKind, SiteId, Tracker};
+use dtrack_sim::{Answer, BackendKind, SiteId, TraceConfig, TraceEvent, Tracker};
 use std::time::Instant;
 
 /// How [`measure_threaded`] delivers items to the threaded backend.
@@ -61,6 +61,9 @@ pub struct ThreadedOutcome {
     /// stream generation, tracker construction, and teardown excluded, so
     /// throughput comparisons measure ingest, not setup.
     pub ingest_ms: f64,
+    /// Merged structured-event stream when the run was traced (see
+    /// [`run_scenario_traced`]); empty on untraced runs.
+    pub trace: Vec<TraceEvent>,
 }
 
 /// Target per-site run length for free-running batched ingest: long
@@ -103,7 +106,20 @@ pub fn run_scenario_on_backend(
     scenario: &Scenario,
     backend: BackendKind,
 ) -> Result<ThreadedOutcome, ScenarioFailure> {
-    dispatch(scenario, Exec::SiteAtATime, backend)
+    dispatch(scenario, Exec::SiteAtATime, backend, None)
+}
+
+/// [`run_scenario_on_backend`] with tracing enabled for the whole run:
+/// the outcome's `trace` field carries the merged event stream. The ring
+/// is sized generously (2²⁰ events per lane) so matrix-scale replays keep
+/// their full prefix — `trace_diff` needs the *first* divergence, which
+/// the default overwrite-oldest ring would discard on long streams.
+pub fn run_scenario_traced(
+    scenario: &Scenario,
+    backend: BackendKind,
+) -> Result<ThreadedOutcome, ScenarioFailure> {
+    let config = TraceConfig::on().with_ring_capacity(1 << 20);
+    dispatch(scenario, Exec::SiteAtATime, backend, Some(config))
 }
 
 /// Feed the scenario's stream through a parallel backend free-running
@@ -114,7 +130,7 @@ pub fn measure_on_backend(
     ingest: ThreadedIngest,
     backend: BackendKind,
 ) -> Result<ThreadedOutcome, ScenarioFailure> {
-    dispatch(scenario, Exec::Free(ingest), backend)
+    dispatch(scenario, Exec::Free(ingest), backend, None)
 }
 
 /// [`run_scenario_on_backend`] on the threaded backend.
@@ -141,6 +157,7 @@ fn dispatch(
     scenario: &Scenario,
     exec: Exec,
     backend: BackendKind,
+    trace: Option<TraceConfig>,
 ) -> Result<ThreadedOutcome, ScenarioFailure> {
     let fail = |detail: String| ScenarioFailure {
         scenario: scenario.to_string(),
@@ -153,6 +170,9 @@ fn dispatch(
     // cost numbers reflect the paper's configuration.
     let (mut tracker, warmup): (Tracker, u64) =
         registry::build_tracker(scenario, WarmupPolicy::ProtocolDefault, backend).map_err(&fail)?;
+    if let Some(config) = trace {
+        tracker.set_trace(config);
+    }
     let free_running = matches!(exec, Exec::Free(_));
     if free_running {
         // Arm the AIMD controller's rate-drift signal: the reference
@@ -234,6 +254,13 @@ fn dispatch(
     let ingest_ms = start.elapsed().as_secs_f64() * 1e3;
 
     let answers = tracker.answers().map_err(|e| fail(e.to_string()))?;
+    // Snapshot the event rings before teardown; the settle above already
+    // quiesced, so the stream is complete.
+    let trace_events = if trace.is_some() {
+        tracker.trace_events()
+    } else {
+        Vec::new()
+    };
     // finish() both merges the final meter and surfaces worker death —
     // a site thread that died after its queue drained must fail the run,
     // not return partial answers as a success.
@@ -247,6 +274,7 @@ fn dispatch(
             n: scenario.n,
             words: meter.total_words(),
             messages: meter.total_messages(),
+            by_kind: kind_rows(&meter),
             // Free-running rows get the drift-headroom budget; settled
             // rows stay on the transcript-pinned budget.
             budget_words: if free_running {
@@ -258,6 +286,7 @@ fn dispatch(
         },
         answers,
         ingest_ms,
+        trace: trace_events,
     })
 }
 

@@ -15,8 +15,8 @@
 //! backend is held to the whole 77-row transcript.
 
 use dtrack_testkit::{
-    apply_matrix_filter, default_matrix, golden, run_scenario_on_backend, run_scenario_reference,
-    BackendKind, BASE_MATRIX_LEN,
+    apply_matrix_filter, assert_matches_golden, assert_outcomes_match, default_matrix, golden,
+    run_scenario_on_backend, run_scenario_reference, BackendKind, BASE_MATRIX_LEN,
 };
 
 const GOLDEN: &str = include_str!("golden_matrix_costs.txt");
@@ -41,19 +41,18 @@ fn async_matches_deterministic_on_full_matrix_wire_off_and_on() {
             };
             let outcome =
                 run_scenario_on_backend(scenario, backend).unwrap_or_else(|f| panic!("{f}"));
-            assert_eq!(
-                outcome.answers, reference.answers,
-                "[{name}] wire={wire}: answers diverge between runtimes"
-            );
-            assert_eq!(
+            let context = format!("wire={wire}");
+            // On mismatch these print a per-kind cost delta table and
+            // replay the scenario traced, quoting the first diverging
+            // hop window.
+            assert_outcomes_match(scenario, &context, backend, &outcome, &reference);
+            assert_matches_golden(
+                scenario,
+                &context,
+                "async",
                 (outcome.report.words, outcome.report.messages),
-                (reference.report.words, reference.report.messages),
-                "[{name}] wire={wire}: metered cost diverges between runtimes"
-            );
-            assert_eq!(
-                (outcome.report.words, outcome.report.messages),
+                &outcome.report.by_kind,
                 (golden_words, golden_messages),
-                "[{name}] wire={wire}: async cost drifted from the golden fixture"
             );
         }
     }
@@ -75,19 +74,17 @@ fn worker_count_does_not_change_the_async_transcript() {
         .expect("hh-exact straggler row");
     let reference = run_scenario_reference(scenario).unwrap_or_else(|f| panic!("{f}"));
     for workers in [Some(1), Some(3), Some(16), None] {
-        let outcome = run_scenario_on_backend(
+        let backend = BackendKind::Async {
+            workers,
+            wire: true,
+        };
+        let outcome = run_scenario_on_backend(scenario, backend).unwrap_or_else(|f| panic!("{f}"));
+        assert_outcomes_match(
             scenario,
-            BackendKind::Async {
-                workers,
-                wire: true,
-            },
-        )
-        .unwrap_or_else(|f| panic!("{f}"));
-        assert_eq!(outcome.answers, reference.answers, "workers={workers:?}");
-        assert_eq!(
-            (outcome.report.words, outcome.report.messages),
-            (reference.report.words, reference.report.messages),
-            "workers={workers:?}"
+            &format!("workers={workers:?}"),
+            backend,
+            &outcome,
+            &reference,
         );
     }
 }

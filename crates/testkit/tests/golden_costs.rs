@@ -13,7 +13,7 @@
 //!     > crates/testkit/tests/golden_matrix_costs.txt
 //! ```
 
-use dtrack_testkit::{default_matrix, golden, measure_cost, run_scenario};
+use dtrack_testkit::{assert_matches_golden, default_matrix, golden, measure_cost, run_scenario};
 
 const GOLDEN: &str = include_str!("golden_matrix_costs.txt");
 
@@ -32,17 +32,25 @@ fn default_matrix_costs_are_bit_identical_to_golden() {
             expect.scenario,
             "matrix order changed — regenerate the fixture"
         );
+        // On drift these print the actual per-kind breakdown next to the
+        // golden totals instead of two bare integers.
         let checked = run_scenario(scenario).unwrap_or_else(|f| panic!("{f}"));
-        assert_eq!(
+        assert_matches_golden(
+            scenario,
+            "",
+            "differential-mode",
             (checked.words, checked.messages),
+            &checked.by_kind,
             (expect.check_words, expect.check_messages),
-            "differential-mode cost drifted for {scenario}"
         );
         let metered = measure_cost(scenario).unwrap_or_else(|f| panic!("{f}"));
-        assert_eq!(
+        assert_matches_golden(
+            scenario,
+            "",
+            "meter-mode",
             (metered.words, metered.messages),
+            &metered.by_kind,
             (expect.meter_words, expect.meter_messages),
-            "meter-mode cost drifted for {scenario}"
         );
     }
 }

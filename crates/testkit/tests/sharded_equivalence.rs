@@ -10,8 +10,8 @@
 //! behind `Tracker` and is held to the same transcript.
 
 use dtrack_testkit::{
-    apply_matrix_filter, default_matrix, golden, run_scenario_on_backend, run_scenario_reference,
-    BackendKind, BASE_MATRIX_LEN,
+    apply_matrix_filter, assert_matches_golden, assert_outcomes_match, default_matrix, golden,
+    run_scenario_on_backend, run_scenario_reference, BackendKind, BASE_MATRIX_LEN,
 };
 
 const GOLDEN: &str = include_str!("golden_matrix_costs.txt");
@@ -32,22 +32,19 @@ fn sharded_matches_deterministic_on_full_default_matrix() {
         let name = scenario.to_string();
         let sharded = run_scenario_on_backend(scenario, backend).unwrap_or_else(|f| panic!("{f}"));
         let reference = run_scenario_reference(scenario).unwrap_or_else(|f| panic!("{f}"));
-        assert_eq!(
-            sharded.answers, reference.answers,
-            "[{name}] answers diverge between runtimes"
-        );
-        assert_eq!(
-            (sharded.report.words, sharded.report.messages),
-            (reference.report.words, reference.report.messages),
-            "[{name}] metered cost diverges between runtimes"
-        );
+        // On mismatch these print a per-kind cost delta table and replay
+        // the scenario traced, quoting the first diverging hop window.
+        assert_outcomes_match(scenario, "", backend, &sharded, &reference);
         let &(golden_words, golden_messages) = golden
             .get(&name)
             .unwrap_or_else(|| panic!("[{name}] missing from golden fixture"));
-        assert_eq!(
+        assert_matches_golden(
+            scenario,
+            "",
+            "sharded",
             (sharded.report.words, sharded.report.messages),
+            &sharded.report.by_kind,
             (golden_words, golden_messages),
-            "[{name}] sharded cost drifted from the golden fixture"
         );
     }
 }
@@ -69,13 +66,14 @@ fn worker_count_does_not_change_the_transcript() {
         .expect("hh-exact straggler row");
     let reference = run_scenario_reference(scenario).unwrap_or_else(|f| panic!("{f}"));
     for workers in [Some(1), Some(3), Some(16), None] {
-        let outcome = run_scenario_on_backend(scenario, BackendKind::Sharded { workers })
-            .unwrap_or_else(|f| panic!("{f}"));
-        assert_eq!(outcome.answers, reference.answers, "workers={workers:?}");
-        assert_eq!(
-            (outcome.report.words, outcome.report.messages),
-            (reference.report.words, reference.report.messages),
-            "workers={workers:?}"
+        let backend = BackendKind::Sharded { workers };
+        let outcome = run_scenario_on_backend(scenario, backend).unwrap_or_else(|f| panic!("{f}"));
+        assert_outcomes_match(
+            scenario,
+            &format!("workers={workers:?}"),
+            backend,
+            &outcome,
+            &reference,
         );
     }
 }

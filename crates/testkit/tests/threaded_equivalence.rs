@@ -9,8 +9,8 @@
 //! bit-for-bit communication behavior the perf work is held to.
 
 use dtrack_testkit::{
-    apply_matrix_filter, default_matrix, golden, run_scenario_reference, run_scenario_threaded,
-    BASE_MATRIX_LEN,
+    apply_matrix_filter, assert_matches_golden, assert_outcomes_match, default_matrix, golden,
+    run_scenario_reference, run_scenario_threaded, BackendKind, BASE_MATRIX_LEN,
 };
 
 const GOLDEN: &str = include_str!("golden_matrix_costs.txt");
@@ -28,22 +28,19 @@ fn threaded_matches_deterministic_on_full_default_matrix() {
         let name = scenario.to_string();
         let threaded = run_scenario_threaded(scenario).unwrap_or_else(|f| panic!("{f}"));
         let reference = run_scenario_reference(scenario).unwrap_or_else(|f| panic!("{f}"));
-        assert_eq!(
-            threaded.answers, reference.answers,
-            "[{name}] answers diverge between runtimes"
-        );
-        assert_eq!(
-            (threaded.report.words, threaded.report.messages),
-            (reference.report.words, reference.report.messages),
-            "[{name}] metered cost diverges between runtimes"
-        );
+        // On mismatch these print a per-kind cost delta table and replay
+        // the scenario traced, quoting the first diverging hop window.
+        assert_outcomes_match(scenario, "", BackendKind::Threaded, &threaded, &reference);
         let &(golden_words, golden_messages) = golden
             .get(&name)
             .unwrap_or_else(|| panic!("[{name}] missing from golden fixture"));
-        assert_eq!(
+        assert_matches_golden(
+            scenario,
+            "",
+            "threaded",
             (threaded.report.words, threaded.report.messages),
+            &threaded.report.by_kind,
             (golden_words, golden_messages),
-            "[{name}] threaded cost drifted from the golden fixture"
         );
     }
 }

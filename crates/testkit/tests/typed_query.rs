@@ -32,9 +32,11 @@ fn legacy_render(answer: &Answer) -> String {
         Answer::QuantileAt { phi, value } => format!("q({phi})={}", fmt_opt(value)),
         Answer::RankLt { x, rank } => format!("rank_lt({x})={rank}"),
         Answer::Frequency { x, count } => format!("freq({x})={count}"),
-        // Flow-control stats postdate the legacy format; `Display` is the
-        // canonical rendering (no historical fixture to reconstruct).
+        // Flow-control stats and trace summaries postdate the legacy
+        // format; `Display` is the canonical rendering (no historical
+        // fixture to reconstruct).
         Answer::FlowControl(stats) => stats.to_string(),
+        Answer::Trace(summary) => summary.to_string(),
     }
 }
 

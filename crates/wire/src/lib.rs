@@ -462,12 +462,24 @@ impl Loopback {
         origin: u32,
         msg: &U,
     ) -> Result<(u32, U), DecodeError> {
+        self.roundtrip_up_sized(origin, msg)
+            .map(|(origin, msg, _)| (origin, msg))
+    }
+
+    /// [`Self::roundtrip_up`] plus the carried frame's byte length
+    /// (length prefix included) — the tracing layer's per-frame size
+    /// source.
+    pub fn roundtrip_up_sized<U: WireMessage>(
+        &self,
+        origin: u32,
+        msg: &U,
+    ) -> Result<(u32, U, u64), DecodeError> {
         let frame = encode_up(origin, msg);
+        let bytes = frame.len() as u64;
         self.frames_up.fetch_add(1, Ordering::SeqCst);
-        self.bytes_up
-            .fetch_add(frame.len() as u64, Ordering::SeqCst);
+        self.bytes_up.fetch_add(bytes, Ordering::SeqCst);
         match decode::<U, Unreachable>(&frame)? {
-            Frame::Up { origin, msg } => Ok((origin, msg)),
+            Frame::Up { origin, msg } => Ok((origin, msg, bytes)),
             Frame::Down { .. } => Err(DecodeError::BadTag {
                 context: "direction",
                 tag: DIR_DOWN,
@@ -483,12 +495,23 @@ impl Loopback {
         dest: Dest,
         msg: &D,
     ) -> Result<(Dest, D), DecodeError> {
+        self.roundtrip_down_sized(dest, msg)
+            .map(|(dest, msg, _)| (dest, msg))
+    }
+
+    /// [`Self::roundtrip_down`] plus the carried frame's byte length
+    /// (length prefix included).
+    pub fn roundtrip_down_sized<D: WireMessage>(
+        &self,
+        dest: Dest,
+        msg: &D,
+    ) -> Result<(Dest, D, u64), DecodeError> {
         let frame = encode_down(dest, msg);
+        let bytes = frame.len() as u64;
         self.frames_down.fetch_add(1, Ordering::SeqCst);
-        self.bytes_down
-            .fetch_add(frame.len() as u64, Ordering::SeqCst);
+        self.bytes_down.fetch_add(bytes, Ordering::SeqCst);
         match decode::<Unreachable, D>(&frame)? {
-            Frame::Down { dest, msg } => Ok((dest, msg)),
+            Frame::Down { dest, msg } => Ok((dest, msg, bytes)),
             Frame::Up { .. } => Err(DecodeError::BadTag {
                 context: "direction",
                 tag: DIR_UP,

@@ -68,7 +68,7 @@ pub mod prelude {
     pub use dtrack_core::{CoreError, ExactOracle, ValueRange};
     pub use dtrack_sim::{
         Answer, BackendKind, Cluster, Coordinator, MessageSize, Outbox, Protocol, Query,
-        QueryError, Site, SiteId, Tracker, TrackerBuilder, TrackerError,
+        QueryError, Site, SiteId, TraceConfig, TraceSummary, Tracker, TrackerBuilder, TrackerError,
     };
     pub use dtrack_sketch::{FreqStore, OrderStore};
     pub use dtrack_workload::{Assignment, Generator, Stream};
